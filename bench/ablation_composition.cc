@@ -1,0 +1,110 @@
+// §2.1 ablation (composition mechanism): the paper argues component-based
+// composition "introduce[s] a communication overhead that degrades
+// performance", which is why FAME-DBMS uses static (FOP) composition. This
+// bench runs the identical feature selection twice:
+//   static  — core::SensorLogger-style StaticEngine (mixin/template,
+//             statically bound calls)
+//   dynamic — core::Database facade (components behind virtual interfaces,
+//             wired from the feature model at runtime)
+// and reports point-query throughput for both.
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "core/static_engine.h"
+#include "index/keys.h"
+
+using namespace fame;
+using namespace fame::core;
+
+namespace {
+
+constexpr uint64_t kKeys = 20'000;
+constexpr uint64_t kQueries = 1'500'000;
+
+struct BenchCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = false;
+  static constexpr bool kUpdate = false;
+  static constexpr bool kTransactions = false;
+  static constexpr bool kForceCommit = false;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 256;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+
+template <typename PutFn, typename GetFn>
+double RunWorkload(osal::Env* env, PutFn put, GetFn get) {
+  Random rng(7);
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    Status s = put(index::EncodeU64Key(i), "value-" + std::to_string(i));
+    if (!s.ok()) {
+      std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::string v;
+  uint64_t start = env->NowNanos();
+  for (uint64_t q = 0; q < kQueries; ++q) {
+    Status s = get(index::EncodeU64Key(rng.Skewed(kKeys)), &v);
+    if (!s.ok()) {
+      std::fprintf(stderr, "query: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  uint64_t ns = env->NowNanos() - start;
+  return static_cast<double>(kQueries) * 1000.0 / static_cast<double>(ns);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("composition-mechanism ablation: static (FOP mixin) vs "
+              "dynamic (runtime components)\nworkload: %llu skewed point "
+              "queries over %llu keys, same feature selection\n\n",
+              static_cast<unsigned long long>(kQueries),
+              static_cast<unsigned long long>(kKeys));
+
+  auto env1 = osal::NewMemEnv(0);
+  StaticEngine<BenchCfg> static_engine;
+  if (!static_engine.Open(env1.get(), "s").ok()) return 1;
+  double static_mops = RunWorkload(
+      env1.get(),
+      [&](const Slice& k, const Slice& v) { return static_engine.Put(k, v); },
+      [&](const Slice& k, std::string* v) { return static_engine.Get(k, v); });
+
+  auto env2 = osal::NewMemEnv(0);
+  DbOptions opts;
+  opts.features = {"Linux", "Dynamic", "LRU", "B+-Tree"};
+  opts.env = env2.get();
+  opts.path = "d";
+  opts.buffer_frames = BenchCfg::kBufferFrames;
+  auto db = Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  double dynamic_mops = RunWorkload(
+      env2.get(),
+      [&](const Slice& k, const Slice& v) { return (*db)->Put(k, v); },
+      [&](const Slice& k, std::string* v) { return (*db)->Get(k, v); });
+
+  double overhead = (static_mops / dynamic_mops - 1.0) * 100.0;
+  std::printf("%-32s %10s\n", "composition", "Mio. q/s");
+  std::printf("%-32s %10.2f\n", "static (FOP mixin layers)", static_mops);
+  std::printf("%-32s %10.2f\n", "dynamic (virtual components)", dynamic_mops);
+  std::printf("\nstatic composition advantage: %+.1f%%\n", overhead);
+
+  int pass = 0, fail = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    (ok ? pass : fail)++;
+  };
+  std::printf("\nshape checks:\n");
+  check(static_mops >= dynamic_mops * 0.97,
+        "static composition is not slower than component composition");
+  std::printf("\n%d checks passed, %d failed\n", pass, fail);
+  return fail == 0 ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// §2.3 ablation (decomposition granularity): "the granularity is the key
+// for a trade-off between complexity and variability". This table compares
+// three granularities of the same FAME-DBMS prototype — coarse (only
+// top-level options), the paper's mixed granularity (the shipped Figure 2
+// model), and a uniformly fine decomposition — by feature count
+// (complexity proxy) and variant count (variability).
+#include <cstdio>
+
+#include "featuremodel/fame_model.h"
+#include "featuremodel/parser.h"
+
+using namespace fame;
+
+namespace {
+
+constexpr const char kCoarseDsl[] = R"fm(
+feature FAME-DBMS-coarse {
+  mandatory Storage
+  optional Transaction
+  optional API
+  optional SQL-Engine
+}
+constraints { SQL-Engine requires API; }
+)fm";
+
+// Uniformly fine: every concern of the mixed model decomposed further
+// (buffer-manager internals, per-operation transaction hooks, SQL clauses).
+constexpr const char kFineDsl[] = R"fm(
+feature FAME-DBMS-fine {
+  mandatory OS-Abstraction abstract alternative {
+    mandatory Linux
+    mandatory Win32
+    mandatory NutOS
+  }
+  mandatory Buffer-Manager abstract {
+    mandatory Replacement abstract alternative {
+      mandatory LRU
+      mandatory LFU
+      mandatory Clock
+    }
+    mandatory Memory-Alloc abstract alternative {
+      mandatory Dynamic
+      mandatory Static
+    }
+    optional Prefetching
+    optional Dirty-Tracking
+    optional Pin-Counting
+  }
+  mandatory Storage abstract {
+    mandatory Index abstract alternative {
+      mandatory B+-Tree {
+        mandatory BTree-Search
+        optional BTree-Update
+        optional BTree-Remove
+        optional BTree-Bulk
+        optional BTree-Prefix
+      }
+      mandatory List
+    }
+    mandatory Data-Types abstract or {
+      mandatory Int-Types
+      mandatory String-Types
+      mandatory Blob-Types
+    }
+    optional Checksums
+    optional Free-Space-Mgmt
+  }
+  mandatory Access abstract {
+    mandatory Get
+    mandatory Put
+    optional Remove
+    optional Update
+  }
+  optional Transaction {
+    mandatory Commit-Protocol abstract alternative {
+      mandatory WAL-Redo
+      mandatory Force-Commit
+    }
+    optional Locking {
+      optional Deadlock-Detection
+    }
+    optional Group-Commit
+  }
+  optional API
+  optional SQL-Engine {
+    optional Order-By
+    optional Limit-Clause
+    optional Update-Stmt
+  }
+  optional Optimizer
+}
+constraints {
+  Optimizer requires SQL-Engine;
+  SQL-Engine requires API;
+  SQL-Engine requires B+-Tree;
+  NutOS requires Static;
+}
+)fm";
+
+void Report(const char* name, const fm::FeatureModel& m) {
+  auto count = m.CountVariants(50'000'000);
+  std::printf("%-28s %10zu %10zu %14s\n", name, m.size() - 1,
+              m.DecisionFeatures().size(),
+              count.ok() ? std::to_string(*count).c_str() : ">5e7");
+}
+
+}  // namespace
+
+int main() {
+  auto coarse = fm::ParseModel(kCoarseDsl);
+  auto mixed = fm::BuildFameDbmsModel();
+  auto fine = fm::ParseModel(kFineDsl);
+  if (!coarse.ok() || !fine.ok()) {
+    std::fprintf(stderr, "parse failed: %s / %s\n",
+                 coarse.status().ToString().c_str(),
+                 fine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("decomposition-granularity ablation (paper section 2.3)\n\n");
+  std::printf("%-28s %10s %10s %14s\n", "granularity", "features",
+              "decisions", "variants");
+  Report("coarse (components)", **coarse);
+  Report("mixed (paper, Figure 2)", *mixed);
+  Report("fine (uniform)", **fine);
+
+  auto c1 = (*coarse)->CountVariants();
+  auto c2 = mixed->CountVariants();
+  auto c3 = (*fine)->CountVariants(50'000'000);
+  int pass = 0, fail = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    (ok ? pass : fail)++;
+  };
+  std::printf("\nshape checks:\n");
+  check(c1.ok() && c2.ok() && *c1 < *c2,
+        "mixed granularity offers more variability than coarse");
+  // The uniformly fine model's space exceeds the 5e7 search-step cap —
+  // the explosion itself is the result (and the paper's argument for
+  // *mixed* granularity: all that variability must be configured).
+  check((c3.ok() && *c2 < *c3) || !c3.ok(),
+        "fine granularity explodes the variant space beyond mixed");
+  check((*fine)->size() > mixed->size() &&
+            mixed->size() > (*coarse)->size(),
+        "variability is bought with model complexity (feature count)");
+  std::printf("\n%d checks passed, %d failed\n", pass, fail);
+  return fail == 0 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Figure 1a reproduction: binary size of the FameBDB configuration matrix,
+// C (preprocessor) series vs FOP (FeatureC++-style) series. Sizes come from
+// the actually-linked, stripped variant executables in build/variants/.
+//
+// Expected shape (paper §2.2): (i) FOP never larger than C per
+// configuration, (ii) stripping features shrinks the binary, (iii) the
+// minimal FOP variants (7, 8) are the smallest.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace {
+
+double SizeKb(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<double>(st.st_size) / 1024.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = FAME_VARIANT_DIR;
+  struct Config {
+    int number;
+    const char* label;
+    const char* c_name;    // nullptr = no C build of this configuration
+    const char* fop_name;  // nullptr = no FOP build
+  };
+  const Config configs[] = {
+      {1, "complete configuration", "bdb_c_1", "bdb_fop_1"},
+      {2, "without feature Crypto", "bdb_c_2", "bdb_fop_2"},
+      {3, "without feature Hash", "bdb_c_3", "bdb_fop_3"},
+      {4, "without feature Replication", "bdb_c_4", "bdb_fop_4"},
+      {5, "without feature Queue", "bdb_c_5", "bdb_fop_5"},
+      {6, "minimal C version (B-tree)", "bdb_c_6", nullptr},
+      {7, "minimal FOP version (B-tree)", nullptr, "bdb_fop_7"},
+      {8, "minimal FOP version (List)", nullptr, "bdb_fop_8"},
+  };
+
+  std::printf("Figure 1a — binary size of FameBDB variants [KB]\n");
+  std::printf("%-3s  %-32s  %10s  %12s\n", "cfg", "configuration", "C",
+              "FeatureC++");
+  std::map<int, double> c_size, fop_size;
+  for (const Config& cfg : configs) {
+    double c = cfg.c_name ? SizeKb(dir + "/" + cfg.c_name) : -1;
+    double f = cfg.fop_name ? SizeKb(dir + "/" + cfg.fop_name) : -1;
+    if (c >= 0) c_size[cfg.number] = c;
+    if (f >= 0) fop_size[cfg.number] = f;
+    auto cell = [](double v) {
+      static char buf[2][32];
+      static int which = 0;
+      which ^= 1;
+      if (v < 0) {
+        std::snprintf(buf[which], sizeof(buf[which]), "%10s", "-");
+      } else {
+        std::snprintf(buf[which], sizeof(buf[which]), "%10.1f", v);
+      }
+      return buf[which];
+    };
+    std::printf("%-3d  %-32s  %10s  %12s\n", cfg.number, cfg.label,
+                cell(c), cell(f));
+  }
+
+  // ---- shape checks against the paper's claims ----
+  int pass = 0, fail = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    (ok ? pass : fail)++;
+  };
+  std::printf("\nshape checks (paper section 2.2):\n");
+  bool fop_never_larger = true;
+  for (int n = 1; n <= 5; ++n) {
+    if (fop_size.count(n) && c_size.count(n) &&
+        fop_size[n] > c_size[n] * 1.02) {
+      fop_never_larger = false;
+    }
+  }
+  check(fop_never_larger,
+        "C -> FeatureC++ does not increase binary size (configs 1-5)");
+  check(c_size[6] < c_size[1],
+        "stripping features shrinks the C binary (cfg 6 < cfg 1)");
+  bool stripped_shrink = c_size[2] < c_size[1] && c_size[3] < c_size[1] &&
+                         c_size[4] < c_size[1] && c_size[5] < c_size[1];
+  check(stripped_shrink,
+        "every removed feature reduces size (configs 2-5 < config 1)");
+  check(fop_size[7] < c_size[6],
+        "minimal FOP variant beats the minimal C variant (cfg 7 < cfg 6)");
+  check(fop_size[8] < fop_size[7],
+        "the List-index variant is the smallest (cfg 8 < cfg 7)");
+  std::printf("\n%d checks passed, %d failed\n", pass, fail);
+  return fail == 0 ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Figure 3 + §3.1 reproduction: the automated feature-detection tool run
+// over a corpus of client applications. Prints the feature/application
+// need matrix and the derivability statistic the paper reports:
+// "15 of 18 examined Berkeley DB features can be derived automatically from
+//  the application's source code; only 3 of 18 were generally not
+//  derivable, because they are not involved in any infrastructure API
+//  usage within any application."
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "analysis/detector.h"
+
+using namespace fame;
+using namespace fame::analysis;
+
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read fixture %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = FAME_FIXTURE_DIR;
+  const std::vector<std::string> apps = {
+      "calendar",  "sensor_logger", "message_queue",
+      "secure_vault", "fleet_sync", "inventory"};
+
+  FeatureDetector detector = BuildFameBdbDetector();
+
+  // Analyze every application.
+  std::map<std::string, std::vector<DetectionResult>> per_app;
+  for (const std::string& app : apps) {
+    ApplicationModel model = ApplicationModel::Build(
+        {ReadFileOrDie(dir + "/" + app + ".cpp")});
+    per_app[app] = detector.Detect(model);
+  }
+
+  // Matrix: rows = features, columns = applications.
+  std::printf("Figure 3 — automated detection of needed features\n\n");
+  std::printf("%-15s", "feature");
+  for (const std::string& app : apps) {
+    std::printf(" %-9.9s", app.c_str());
+  }
+  std::printf(" derivable\n");
+  size_t n_features = per_app[apps[0]].size();
+  size_t needed_cells = 0;
+  for (size_t f = 0; f < n_features; ++f) {
+    const DetectionResult& first = per_app[apps[0]][f];
+    std::printf("%-15s", first.feature.c_str());
+    for (const std::string& app : apps) {
+      const DetectionResult& r = per_app[app][f];
+      std::printf(" %-9s", !r.derivable ? "?" : (r.needed ? "NEEDED" : "-"));
+      if (r.needed) ++needed_cells;
+    }
+    std::printf(" %s\n", first.derivable ? "yes" : "NO (manual)");
+  }
+
+  std::printf("\nderivability statistic (paper section 3.1):\n");
+  std::printf("  examined features:   %zu\n", detector.registered());
+  std::printf("  derivable from API:  %zu\n", detector.derivable());
+  std::printf("  not derivable:       %zu\n",
+              detector.registered() - detector.derivable());
+
+  int pass = 0, fail = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    (ok ? pass : fail)++;
+  };
+  std::printf("\nshape checks:\n");
+  check(detector.registered() == 18, "18 features examined (paper: 18)");
+  check(detector.derivable() == 15, "15 features derivable (paper: 15)");
+  check(detector.registered() - detector.derivable() == 3,
+        "3 features not derivable (paper: 3)");
+  // The paper's flagship example: TRANSACTION need detected from the flag
+  // combination used to open the environment.
+  bool calendar_txn = false;
+  for (const auto& r : per_app["calendar"]) {
+    if (r.feature == "TRANSACTIONS" && r.needed) calendar_txn = true;
+  }
+  check(calendar_txn,
+        "TRANSACTIONS detected from DB_INIT_TXN open flags (calendar app)");
+  // Different applications need different features (the motivation for
+  // tailoring in the first place).
+  bool sensor_less = false;
+  size_t sensor_needed = 0, calendar_needed = 0;
+  for (const auto& r : per_app["sensor_logger"]) {
+    if (r.needed) ++sensor_needed;
+  }
+  for (const auto& r : per_app["calendar"]) {
+    if (r.needed) ++calendar_needed;
+  }
+  sensor_less = sensor_needed < calendar_needed;
+  check(sensor_less, "the sensor app needs fewer features than the calendar");
+  check(needed_cells > 0, "detection matrix is not empty");
+  std::printf("\n%d checks passed, %d failed\n", pass, fail);
+  return fail == 0 ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// Personal calendar application (the paper's running example): stores
+// appointments in a transactional B-tree database.
+#include <bdb/c_style.h>
+#include <string>
+
+static FameBdbC* OpenCalendarDb(osal::Env* env) {
+  int env_flags = DB_CREATE | DB_INIT_TXN | DB_INIT_LOG;
+  DbEnv dbenv;
+  dbenv.open("/data/calendar", env_flags);
+  Db db;
+  db.open("appointments", DB_BTREE);
+  return 0;
+}
+
+int AddAppointment(FameBdbC& db, const std::string& when,
+                   const std::string& what) {
+  auto txn = db.txn_begin();
+  db.txn_put(txn, when, what);
+  db.txn_commit(txn);
+  return 0;
+}
+
+void ListWeek(FameBdbC& db) {
+  db.range_scan("2026-07-06", "2026-07-13",
+                [](const Slice& k, const Slice& v) { return true; });
+}
+
+void RemoveAppointment(FameBdbC& db, const std::string& when) {
+  db.del(when);
+}
+
+int main() {
+  osal::Env* env = 0;
+  FameBdbC* db = OpenCalendarDb(env);
+  AddAppointment(*db, "2026-07-08", "EDBT submission");
+  ListWeek(*db);
+  RemoveAppointment(*db, "2026-07-08");
+  return 0;
+}

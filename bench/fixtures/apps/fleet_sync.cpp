@@ -1,0 +1,15 @@
+// Vehicle fleet head unit: replicates configuration data to backup ECUs
+// and verifies database integrity after power loss.
+#include <bdb/c_style.h>
+
+int main() {
+  int flags = DB_CREATE | DB_INIT_REP;
+  DbEnv env;
+  env.open("/ecu/config", flags);
+  env.rep_start();
+  Db db;
+  db.open("config", DB_BTREE);
+  db.put("tirepressure.threshold", "2.3");
+  db.verify();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Warehouse hand scanner: hash-indexed part lookups, cursor reports,
+// cache tuned for the device's small RAM.
+#include <bdb/c_style.h>
+
+void Report(Db& db) {
+  db.cursor([](const Slice& k, const Slice& v) { return true; });
+}
+
+int main() {
+  Db db;
+  db.set_cachesize(64 * 1024);
+  db.open("parts", DB_HASH);
+  db.put("part-4711", "M4 screw");
+  std::string v;
+  db.get("part-4711", &v);
+  db.del("part-0000");
+  Report(db);
+  return 0;
+}

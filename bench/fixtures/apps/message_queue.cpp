@@ -1,0 +1,20 @@
+// Store-and-forward message broker for a sensor network: queue access
+// method plus operational statistics.
+#include <bdb/c_style.h>
+
+void Pump(Db& db) {
+  std::string msg;
+  while (db.dequeue(&msg) == 0) {
+    // forward(msg)
+  }
+  db.stat_print();
+}
+
+int main() {
+  Db db;
+  db.open("outbox", DB_QUEUE);
+  db.enqueue("hello");
+  db.enqueue("world");
+  Pump(db);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Credential store on a handheld device: encrypted values, periodic
+// checkpoints, explicit update of existing entries.
+#include <bdb/c_style.h>
+
+int main() {
+  int flags = DB_CREATE | DB_ENCRYPT;
+  DbEnv env;
+  env.set_encrypt("passphrase");
+  env.open("/secure/vault", flags);
+  Db db;
+  db.open("secrets", DB_BTREE);
+  db.put("wifi", "old-password");
+  db.update("wifi", "new-password");
+  db.checkpoint();
+  return 0;
+}

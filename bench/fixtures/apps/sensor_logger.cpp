@@ -1,0 +1,13 @@
+// Deeply embedded sensor firmware: append readings, read them back.
+// Needs almost nothing from the database.
+#include <bdb/c_style.h>
+
+int main() {
+  Db db;
+  db.open("readings", DB_BTREE);
+  db.put("t-000", "21.5");
+  db.put("t-001", "21.7");
+  std::string v;
+  db.get("t-000", &v);
+  return 0;
+}

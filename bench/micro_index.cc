@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the index alternatives: B+-tree
+// vs List vs Hash point operations at different dataset sizes — the
+// quantitative basis for the paper's future-work idea of statically
+// selecting the optimal index from the application's data profile.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "index/bplus_tree.h"
+#include "index/hash_index.h"
+#include "index/keys.h"
+#include "index/list_index.h"
+#include "osal/allocator.h"
+#include "osal/env.h"
+
+namespace fame::index {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<osal::Env> env = osal::NewMemEnv(0);
+  osal::DynamicAllocator alloc;
+  std::unique_ptr<storage::PageFile> file;
+  std::unique_ptr<storage::BufferManager> buffers;
+
+  Fixture() {
+    auto pf = storage::PageFile::Open(env.get(), "db",
+                                      storage::PageFileOptions{});
+    file = std::move(*pf);
+    auto bm = storage::BufferManager::Create(
+        file.get(), 256, &alloc, storage::MakeReplacementPolicy("lru"));
+    buffers = std::move(*bm);
+  }
+};
+
+template <typename OpenFn>
+void RunLookupBench(benchmark::State& state, OpenFn open) {
+  Fixture fx;
+  auto idx = open(fx.buffers.get());
+  if (!idx.ok()) {
+    state.SkipWithError("index open failed");
+    return;
+  }
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!(*idx)->Insert(EncodeU64Key(i), i).ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+  }
+  Random rng(5);
+  uint64_t v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*idx)->Lookup(EncodeU64Key(rng.Uniform(n)), &v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_BtreeLookup(benchmark::State& state) {
+  RunLookupBench(state, [](storage::BufferManager* bm) {
+    return BPlusTree::Open(bm, "t");
+  });
+}
+BENCHMARK(BM_BtreeLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ListLookup(benchmark::State& state) {
+  RunLookupBench(state, [](storage::BufferManager* bm) {
+    return ListIndex::Open(bm, "l");
+  });
+}
+// The List alternative is only viable for tiny datasets — exactly the
+// paper's point about choosing the index per use case.
+BENCHMARK(BM_ListLookup)->Arg(100)->Arg(1000);
+
+void BM_HashLookup(benchmark::State& state) {
+  RunLookupBench(state, [](storage::BufferManager* bm) {
+    return HashIndex::Open(bm, "h", 256);
+  });
+}
+BENCHMARK(BM_HashLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BtreeInsert(benchmark::State& state) {
+  Fixture fx;
+  auto idx = BPlusTree::Open(fx.buffers.get(), "t");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*idx)->Insert(EncodeU64Key(i), i));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BtreeInsert);
+
+void BM_BtreeRangeScan100(benchmark::State& state) {
+  Fixture fx;
+  auto idx = BPlusTree::Open(fx.buffers.get(), "t");
+  for (uint64_t i = 0; i < 10000; ++i) {
+    (void)(*idx)->Insert(EncodeU64Key(i), i);
+  }
+  Random rng(6);
+  for (auto _ : state) {
+    uint64_t start = rng.Uniform(9900);
+    uint64_t count = 0;
+    (void)(*idx)->RangeScan(EncodeU64Key(start), EncodeU64Key(start + 100),
+                            [&count](const Slice&, uint64_t) {
+                              ++count;
+                              return true;
+                            });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BtreeRangeScan100);
+
+}  // namespace
+}  // namespace fame::index
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) for the storage substrate: slotted
+// page operations and buffer-manager behaviour under the replacement
+// alternatives (LRU vs LFU vs Clock) at varying skew.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "osal/allocator.h"
+#include "osal/env.h"
+#include "storage/buffer.h"
+#include "storage/pagefile.h"
+
+namespace fame::storage {
+namespace {
+
+void BM_PageInsert(benchmark::State& state) {
+  std::string buf(4096, 0);
+  Page page(buf.data(), buf.size());
+  std::string rec(static_cast<size_t>(state.range(0)), 'r');
+  for (auto _ : state) {
+    page.Init(PageType::kHeap);
+    while (page.Insert(rec).ok()) {
+    }
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "B records");
+}
+BENCHMARK(BM_PageInsert)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PageChecksum(benchmark::State& state) {
+  std::string buf(4096, 0);
+  Page page(buf.data(), buf.size());
+  page.Init(PageType::kHeap);
+  while (page.Insert("some record data").ok()) {
+  }
+  for (auto _ : state) {
+    page.SealChecksum();
+    benchmark::DoNotOptimize(page.VerifyChecksum());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_PageChecksum);
+
+/// Buffer pool of 64 frames over 512 pages, point fetches with Zipf-ish
+/// skew; reports the hit rate per policy.
+void BM_BufferFetchSkewed(benchmark::State& state) {
+  const char* policies[] = {"lru", "lfu", "clock"};
+  const char* policy = policies[state.range(0)];
+  auto env = osal::NewMemEnv(0);
+  osal::DynamicAllocator alloc;
+  auto file = PageFile::Open(env.get(), "db", PageFileOptions{});
+  if (!file.ok()) {
+    state.SkipWithError("page file open failed");
+    return;
+  }
+  auto bm = BufferManager::Create(file->get(), 64, &alloc,
+                                  MakeReplacementPolicy(policy));
+  if (!bm.ok()) {
+    state.SkipWithError("buffer manager create failed");
+    return;
+  }
+  std::vector<PageId> pages;
+  for (int i = 0; i < 512; ++i) {
+    auto guard = (*bm)->New(PageType::kHeap);
+    if (!guard.ok()) {
+      state.SkipWithError("page alloc failed");
+      return;
+    }
+    pages.push_back(guard->id());
+  }
+  Random rng(99);
+  (*bm)->ResetStats();
+  for (auto _ : state) {
+    auto guard = (*bm)->Fetch(pages[rng.Skewed(pages.size())]);
+    benchmark::DoNotOptimize(guard);
+  }
+  state.SetLabel(std::string(policy) + " hit-rate=" +
+                 std::to_string((*bm)->stats().HitRate()));
+}
+BENCHMARK(BM_BufferFetchSkewed)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_StaticPoolVsMalloc(benchmark::State& state) {
+  bool use_pool = state.range(0) == 1;
+  osal::StaticPoolAllocator pool(1 << 20);
+  osal::DynamicAllocator heap;
+  osal::Allocator* alloc =
+      use_pool ? static_cast<osal::Allocator*>(&pool) : &heap;
+  for (auto _ : state) {
+    void* a = alloc->Allocate(256);
+    void* b = alloc->Allocate(1024);
+    alloc->Deallocate(a, 256);
+    alloc->Deallocate(b, 1024);
+  }
+  state.SetLabel(use_pool ? "static pool" : "heap");
+}
+BENCHMARK(BM_StaticPoolVsMalloc)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace fame::storage
+
+BENCHMARK_MAIN();

@@ -1,0 +1,218 @@
+// Future-work reproduction (paper conclusion): "extend SPL composition and
+// optimization to cover multiple SPLs (e.g., including the operating
+// system and client applications) to optimize the software of an embedded
+// system as a whole."
+//
+// This table compares, under one whole-device ROM budget:
+//   separate — optimize the OS SPL and the DBMS SPL independently, each
+//              granted half the budget (the state of practice the paper
+//              criticizes), then check the combined system;
+//   joint    — one greedy derivation over the composed system model with
+//              cross-SPL constraints.
+// Joint optimization can shift budget between the SPLs and respects
+// cross-SPL constraints by construction.
+#include <cstdio>
+
+#include "featuremodel/fame_model.h"
+#include "featuremodel/multispl.h"
+#include "featuremodel/parser.h"
+#include "nfp/optimizer.h"
+
+using namespace fame;
+using namespace fame::nfp;
+
+namespace {
+
+constexpr const char kOsDsl[] = R"fm(
+feature EmbeddedOS {
+  mandatory Scheduler abstract alternative {
+    mandatory Cooperative
+    mandatory Preemptive
+  }
+  optional Heap-Allocator
+  optional File-System
+  optional Network
+  optional Power-Mgmt
+}
+constraints {
+  Network requires Preemptive;
+}
+)fm";
+
+const std::map<std::string, double>& CostKb() {
+  static const std::map<std::string, double> costs = {
+      // OS SPL
+      {"Preemptive", 6},      {"Heap-Allocator", 6}, {"File-System", 14},
+      {"Network", 20},        {"Power-Mgmt", 4},
+      // DBMS SPL (FAME model names)
+      {"Put", 2},             {"Remove", 3},         {"Update", 3},
+      {"BTree-Update", 2},    {"BTree-Remove", 4},   {"B+-Tree", 18},
+      {"List", 6},            {"Transaction", 34},   {"Locking", 8},
+      {"WAL-Redo", 6},        {"Force-Commit", 2},   {"API", 9},
+      {"SQL-Engine", 28},     {"Optimizer", 7},      {"String-Types", 3},
+      {"Blob-Types", 3},
+  };
+  return costs;
+}
+
+double SizeOf(const std::vector<std::string>& features, double base,
+              const std::string& strip_prefix) {
+  double kb = base;
+  for (const std::string& raw : features) {
+    std::string f = raw;
+    if (!strip_prefix.empty() && f.rfind(strip_prefix, 0) == 0) {
+      f = f.substr(strip_prefix.size());
+    }
+    auto it = CostKb().find(f);
+    if (it != CostKb().end()) kb += it->second;
+  }
+  return kb;
+}
+
+/// Builds a sampled feedback repository for `model`, attributing costs by
+/// the table above (base = fixed kernel/runtime size).
+FeedbackRepository BuildRepo(const fm::FeatureModel& model, double base,
+                             const std::string& strip_prefix, size_t stride) {
+  FeedbackRepository repo;
+  auto variants = model.EnumerateVariants(400'000);
+  if (!variants.ok()) return repo;
+  size_t i = 0;
+  for (const auto& v : *variants) {
+    if (++i % stride != 0) continue;
+    MeasuredProduct mp;
+    mp.features = v.SelectedNames();
+    mp.values[NfpKind::kBinarySize] = SizeOf(mp.features, base, strip_prefix);
+    repo.Add(std::move(mp));
+  }
+  return repo;
+}
+
+const std::map<std::string, double>& Utility() {
+  static const std::map<std::string, double> u = {
+      {"os.Network", 6},     {"os.Power-Mgmt", 3},
+      {"dbms.Transaction", 10}, {"dbms.SQL-Engine", 8},
+      {"dbms.Update", 4},    {"dbms.Remove", 4},  {"dbms.API", 5}};
+  return u;
+}
+
+}  // namespace
+
+int main() {
+  auto os_or = fm::ParseModel(kOsDsl);
+  if (!os_or.ok()) {
+    std::fprintf(stderr, "os model: %s\n", os_or.status().ToString().c_str());
+    return 1;
+  }
+  auto os = std::move(*os_or);
+  auto dbms = fm::BuildFameDbmsModel();
+
+  fm::MultiSplComposer composer("device");
+  if (!composer.AddSpl("os", *os).ok() ||
+      !composer.AddSpl("dbms", *dbms).ok() ||
+      !composer.AddRequires("dbms.Dynamic", "os.Heap-Allocator").ok() ||
+      !composer.AddRequires("dbms.Linux", "os.File-System").ok()) {
+    return 1;
+  }
+  auto composite_or = composer.Compose();
+  if (!composite_or.ok()) {
+    std::fprintf(stderr, "compose: %s\n",
+                 composite_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& composite = *composite_or;
+
+  // Repositories: per-SPL for "separate", whole-system for "joint".
+  FeedbackRepository os_repo = BuildRepo(*os, 20, "", 2);
+  FeedbackRepository dbms_repo = BuildRepo(*dbms, 40, "", 23);
+  FeedbackRepository joint_repo = BuildRepo(*composite, 60, "", 113);
+  // Cost attribution in the joint repo needs prefix stripping.
+  {
+    FeedbackRepository fixed;
+    for (const MeasuredProduct& p : joint_repo.products()) {
+      MeasuredProduct mp = p;
+      double kb = 60;
+      for (const std::string& raw : p.features) {
+        std::string f = raw;
+        size_t dot = f.find('.');
+        if (dot != std::string::npos) f = f.substr(dot + 1);
+        auto it = CostKb().find(f);
+        if (it != CostKb().end()) kb += it->second;
+      }
+      mp.values[NfpKind::kBinarySize] = kb;
+      fixed.Add(std::move(mp));
+    }
+    joint_repo = std::move(fixed);
+  }
+
+  std::printf("whole-system (multi-SPL) vs per-SPL optimization\n");
+  std::printf("(OS repo %zu, DBMS repo %zu, joint repo %zu products)\n\n",
+              os_repo.size(), dbms_repo.size(), joint_repo.size());
+  std::printf("%-10s %18s %18s\n", "ROM [KB]", "separate (50/50)", "joint");
+
+  int pass = 0, fail = 0;
+  bool joint_never_worse = true;
+  for (double budget : {90, 110, 130, 150, 180}) {
+    // ---- separate: each SPL gets half the budget ----
+    double separate_utility = -1;
+    {
+      DerivationRequest os_req;
+      os_req.partial = fm::Configuration(os.get());
+      os_req.constraints = {{NfpKind::kBinarySize, budget / 2}};
+      for (const auto& [f, u] : Utility()) {
+        if (f.rfind("os.", 0) == 0) os_req.utility[f.substr(3)] = u;
+      }
+      DerivationRequest db_req;
+      db_req.partial = fm::Configuration(dbms.get());
+      db_req.constraints = {{NfpKind::kBinarySize, budget / 2}};
+      for (const auto& [f, u] : Utility()) {
+        if (f.rfind("dbms.", 0) == 0) db_req.utility[f.substr(5)] = u;
+      }
+      auto os_est = FitEstimators(os_repo, os_req.constraints);
+      auto db_est = FitEstimators(dbms_repo, db_req.constraints);
+      if (os_est.ok() && db_est.ok()) {
+        auto os_res = GreedyDerive(*os, os_req, *os_est);
+        auto db_res = GreedyDerive(*dbms, db_req, *db_est);
+        if (os_res.ok() && db_res.ok()) {
+          separate_utility = os_res->utility + db_res->utility;
+        }
+      }
+    }
+    // ---- joint: one derivation over the composite ----
+    double joint_utility = -1;
+    {
+      DerivationRequest req;
+      req.partial = fm::Configuration(composite.get());
+      req.constraints = {{NfpKind::kBinarySize, budget}};
+      req.utility = Utility();
+      auto est = FitEstimators(joint_repo, req.constraints);
+      if (est.ok()) {
+        auto res = GreedyDerive(*composite, req, *est);
+        if (res.ok()) joint_utility = res->utility;
+      }
+    }
+    auto cell = [](double u) {
+      static char buf[2][32];
+      static int w = 0;
+      w ^= 1;
+      if (u < 0) {
+        std::snprintf(buf[w], sizeof(buf[w]), "%18s", "infeasible");
+      } else {
+        std::snprintf(buf[w], sizeof(buf[w]), "%18.1f", u);
+      }
+      return buf[w];
+    };
+    std::printf("%-10.0f %s %s\n", budget, cell(separate_utility),
+                cell(joint_utility));
+    if (joint_utility < separate_utility) joint_never_worse = false;
+  }
+
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    (ok ? pass : fail)++;
+  };
+  std::printf("\nshape checks:\n");
+  check(joint_never_worse,
+        "whole-system optimization never loses to fixed 50/50 budgeting");
+  std::printf("\n%d checks passed, %d failed\n", pass, fail);
+  return fail == 0 ? 0 : 1;
+}

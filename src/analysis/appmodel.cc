@@ -1,0 +1,317 @@
+#include "analysis/appmodel.h"
+
+#include <cctype>
+
+#include "analysis/lexer.h"
+#include "common/stringutil.h"
+
+namespace fame::analysis {
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "while",  "for",    "switch", "return", "sizeof",
+      "new",    "delete", "static", "const",  "auto",   "case",
+      "do",     "else",   "int",    "char",   "void",   "bool",
+      "double", "float",  "long",   "short",  "struct", "class",
+      "public", "private","throw",  "catch",  "assert", "unsigned",
+      "namespace", "using", "template", "typename", "enum",
+  };
+  return kw;
+}
+
+/// A "flag symbol" is an UPPER_CASE identifier of length > 1.
+bool IsFlagSymbol(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return has_alpha;
+}
+
+/// Type-looking identifier: starts uppercase but is not a flag symbol.
+bool IsTypeName(const std::string& s) {
+  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0])) &&
+         !IsFlagSymbol(s) && Keywords().count(s) == 0;
+}
+
+size_t FindMatching(const std::vector<CppToken>& toks, size_t open,
+                    const char* open_ch, const char* close_ch) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind == CppToken::kPunct) {
+      if (toks[i].text == open_ch) ++depth;
+      if (toks[i].text == close_ch) {
+        --depth;
+        if (depth == 0) return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+ApplicationModel ApplicationModel::Build(
+    const std::vector<std::string>& sources) {
+  ApplicationModel model;
+  for (const std::string& src : sources) {
+    model.AnalyzeSource(src);
+  }
+  model.ComputeReachability();
+  return model;
+}
+
+void ApplicationModel::AnalyzeSource(const std::string& source) {
+  std::vector<CppToken> toks = TokenizeCpp(source);
+
+  // ---- file-level facts: includes and #define'd flag macros ----
+  std::map<std::string, std::set<std::string>> define_flags;
+  for (const CppToken& t : toks) {
+    if (t.kind != CppToken::kPreproc) continue;
+    std::string body(Trim(t.text));
+    if (StartsWith(body, "include")) {
+      std::string path(Trim(body.substr(7)));
+      if (path.size() >= 2) path = path.substr(1, path.size() - 2);
+      includes_.insert(path);
+    } else if (StartsWith(body, "define")) {
+      // "#define APP_FLAGS (DB_CREATE | DB_INIT_TXN)": the macro expands to
+      // flag symbols, so uses of APP_FLAGS carry those flags.
+      std::vector<CppToken> dtoks = TokenizeCpp(body.substr(6));
+      if (!dtoks.empty() && dtoks[0].kind == CppToken::kIdent) {
+        std::set<std::string> flags;
+        for (size_t i = 1; i < dtoks.size(); ++i) {
+          if (dtoks[i].kind == CppToken::kIdent &&
+              IsFlagSymbol(dtoks[i].text)) {
+            flags.insert(dtoks[i].text);
+          }
+        }
+        if (!flags.empty()) define_flags[dtoks[0].text] = std::move(flags);
+      }
+    }
+  }
+
+  // ---- flag constant propagation: var = FLAG | FLAG ... ----
+  std::map<std::string, std::set<std::string>> flag_vars = define_flags;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != CppToken::kIdent) continue;
+    if (toks[i + 1].kind != CppToken::kPunct ||
+        (toks[i + 1].text != "=" && toks[i + 1].text != "|=")) {
+      continue;
+    }
+    std::set<std::string> flags;
+    size_t j = i + 2;
+    bool pure = true;
+    while (j < toks.size() &&
+           !(toks[j].kind == CppToken::kPunct &&
+             (toks[j].text == ";" || toks[j].text == ")" ||
+              toks[j].text == ","))) {
+      if (toks[j].kind == CppToken::kIdent) {
+        if (flag_vars.count(toks[j].text) > 0) {
+          const auto& prior = flag_vars[toks[j].text];
+          flags.insert(prior.begin(), prior.end());
+        } else if (IsFlagSymbol(toks[j].text)) {
+          flags.insert(toks[j].text);
+        } else {
+          pure = false;
+        }
+      } else if (toks[j].kind == CppToken::kPunct && toks[j].text != "|") {
+        pure = false;
+      }
+      ++j;
+    }
+    if (pure && !flags.empty()) {
+      auto& dst = flag_vars[toks[i].text];
+      if (toks[i + 1].text == "|=") {
+        dst.insert(flags.begin(), flags.end());
+      } else {
+        dst = flags;
+      }
+    }
+  }
+
+  // ---- variable declarations: Type var / Type* var / Type& var ----
+  std::map<std::string, std::string> var_types;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != CppToken::kIdent || !IsTypeName(toks[i].text)) continue;
+    size_t j = i + 1;
+    while (j < toks.size() && toks[j].kind == CppToken::kPunct &&
+           (toks[j].text == "*" || toks[j].text == "&")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != CppToken::kIdent) continue;
+    if (Keywords().count(toks[j].text) > 0 || IsTypeName(toks[j].text)) continue;
+    if (j + 1 >= toks.size() || toks[j + 1].kind != CppToken::kPunct) continue;
+    const std::string& after = toks[j + 1].text;
+    if (after == ";" || after == "=" || after == "(" || after == "{" ||
+        after == ",") {
+      var_types[toks[j].text] = toks[i].text;
+      types_used_.insert(toks[i].text);
+    }
+  }
+
+  // ---- function definitions and the calls inside them ----
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != CppToken::kIdent ||
+        Keywords().count(toks[i].text) > 0) {
+      continue;
+    }
+    if (!(toks[i + 1].kind == CppToken::kPunct && toks[i + 1].text == "(")) {
+      continue;
+    }
+    size_t close = FindMatching(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    // Skip qualifiers between ')' and '{' (const, noexcept, override).
+    size_t k = close + 1;
+    while (k < toks.size() && toks[k].kind == CppToken::kIdent) ++k;
+    if (k >= toks.size() ||
+        !(toks[k].kind == CppToken::kPunct && toks[k].text == "{")) {
+      continue;
+    }
+    // Avoid treating a call followed by a block as a definition: a
+    // definition's name is preceded by a type name, '}', ';', or nothing.
+    if (i > 0) {
+      const CppToken& prev = toks[i - 1];
+      bool def_context =
+          (prev.kind == CppToken::kIdent &&
+           (IsTypeName(prev.text) || Keywords().count(prev.text) > 0)) ||
+          (prev.kind == CppToken::kPunct &&
+           (prev.text == "}" || prev.text == ";" || prev.text == "*" ||
+            prev.text == "&" || prev.text == "::"));
+      if (!def_context) continue;
+    }
+    std::string fname = toks[i].text;
+    size_t body_open = k;
+    size_t body_close = FindMatching(toks, body_open, "{", "}");
+
+    FunctionInfo& fn = functions_[fname];
+    fn.name = fname;
+
+    // Calls within [body_open, body_close).
+    for (size_t c = body_open + 1; c + 1 < body_close; ++c) {
+      if (toks[c].kind != CppToken::kIdent ||
+          Keywords().count(toks[c].text) > 0) {
+        continue;
+      }
+      if (!(toks[c + 1].kind == CppToken::kPunct && toks[c + 1].text == "(")) {
+        continue;
+      }
+      CallSite site;
+      site.callee = toks[c].text;
+      site.enclosing = fname;
+      site.line = toks[c].line;
+      // Receiver: obj.method( / obj->method( / Type::method(.
+      if (c >= 2 && toks[c - 1].kind == CppToken::kPunct) {
+        const std::string& sep = toks[c - 1].text;
+        if ((sep == "." || sep == "->") &&
+            toks[c - 2].kind == CppToken::kIdent) {
+          auto it = var_types.find(toks[c - 2].text);
+          if (it != var_types.end()) site.receiver_type = it->second;
+        } else if (sep == "::" && toks[c - 2].kind == CppToken::kIdent &&
+                   IsTypeName(toks[c - 2].text)) {
+          site.receiver_type = toks[c - 2].text;
+        }
+      }
+      // Flags flowing into arguments.
+      size_t args_close = FindMatching(toks, c + 1, "(", ")");
+      for (size_t a = c + 2; a < args_close && a < body_close; ++a) {
+        if (toks[a].kind != CppToken::kIdent) continue;
+        // Expansion first: an UPPER_CASE macro defined in this file is a
+        // carrier for the flags it expands to, not a flag itself.
+        auto it = flag_vars.find(toks[a].text);
+        if (it != flag_vars.end()) {
+          site.flags.insert(it->second.begin(), it->second.end());
+        } else if (IsFlagSymbol(toks[a].text)) {
+          site.flags.insert(toks[a].text);
+        }
+      }
+      fn.callees.insert(site.callee);
+      fn.calls.push_back(calls_.size());
+      calls_.push_back(std::move(site));
+    }
+    // Continue scanning *inside* the body too (nested lambdas are treated
+    // as part of the enclosing function), so jump only past the header.
+    i = body_open;
+  }
+}
+
+void ApplicationModel::ComputeReachability() {
+  if (functions_.count("main") == 0) {
+    for (auto& [name, fn] : functions_) fn.reachable = true;
+    return;
+  }
+  std::vector<std::string> work = {"main"};
+  while (!work.empty()) {
+    std::string name = work.back();
+    work.pop_back();
+    auto it = functions_.find(name);
+    if (it == functions_.end() || it->second.reachable) continue;
+    it->second.reachable = true;
+    for (const std::string& callee : it->second.callees) {
+      work.push_back(callee);
+    }
+  }
+}
+
+size_t ApplicationModel::ReachableCallCount() const {
+  size_t n = 0;
+  for (const auto& [name, fn] : functions_) {
+    if (fn.reachable) n += fn.calls.size();
+  }
+  return n;
+}
+
+bool ApplicationModel::Calls(const std::string& name) const {
+  // Accept "method" or "Type::method".
+  std::string type, method = name;
+  size_t pos = name.find("::");
+  if (pos != std::string::npos) {
+    type = name.substr(0, pos);
+    method = name.substr(pos + 2);
+  }
+  for (const auto& [fname, fn] : functions_) {
+    if (!fn.reachable) continue;
+    for (size_t idx : fn.calls) {
+      const CallSite& c = calls_[idx];
+      if (c.callee != method) continue;
+      if (type.empty() || c.receiver_type == type) return true;
+    }
+  }
+  return false;
+}
+
+bool ApplicationModel::CallsWithFlag(const std::string& name,
+                                     const std::string& flag) const {
+  std::string type, method = name;
+  size_t pos = name.find("::");
+  if (pos != std::string::npos) {
+    type = name.substr(0, pos);
+    method = name.substr(pos + 2);
+  }
+  for (const auto& [fname, fn] : functions_) {
+    if (!fn.reachable) continue;
+    for (size_t idx : fn.calls) {
+      const CallSite& c = calls_[idx];
+      if (c.callee != method) continue;
+      if (!type.empty() && c.receiver_type != type) continue;
+      if (c.flags.count(flag) > 0) return true;
+    }
+  }
+  return false;
+}
+
+bool ApplicationModel::UsesType(const std::string& type) const {
+  return types_used_.count(type) > 0;
+}
+
+bool ApplicationModel::Includes(const std::string& header) const {
+  for (const std::string& inc : includes_) {
+    if (inc.find(header) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace fame::analysis

@@ -1,0 +1,85 @@
+// Application model (paper §3.1, Figure 3): the result of statically
+// analyzing a client application's sources — "a control flow graph with
+// additional data flow and type information, abstracting from syntactic
+// details".
+//
+// Concretely the model records, per function definition:
+//   - call sites: callee name, optional receiver type (resolved through
+//     local/global variable declarations), and the set of *flag symbols*
+//     reaching each call's arguments (constant data-flow through
+//     uppercase-identifier assignments and |-expressions);
+//   - the intra-file call graph, with reachability from main() (facts in
+//     unreachable code do not witness a feature need).
+// Plus file-level facts: included headers and used API type names.
+#ifndef FAME_ANALYSIS_APPMODEL_H_
+#define FAME_ANALYSIS_APPMODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fame::analysis {
+
+/// One call site in the application.
+struct CallSite {
+  std::string callee;          ///< bare function/method name
+  std::string receiver_type;   ///< declared type of the receiver, or ""
+  std::set<std::string> flags; ///< flag symbols flowing into the arguments
+  std::string enclosing;       ///< function the call appears in
+  int line = 0;
+};
+
+/// One analyzed function definition.
+struct FunctionInfo {
+  std::string name;
+  std::vector<size_t> calls;  // indexes into ApplicationModel::calls
+  std::set<std::string> callees;
+  bool reachable = false;     // from main (or everything when no main)
+};
+
+/// The complete model of one application.
+class ApplicationModel {
+ public:
+  /// Builds the model from any number of translation units.
+  static ApplicationModel Build(const std::vector<std::string>& sources);
+
+  const std::vector<CallSite>& calls() const { return calls_; }
+  const std::map<std::string, FunctionInfo>& functions() const {
+    return functions_;
+  }
+  const std::set<std::string>& includes() const { return includes_; }
+  const std::set<std::string>& types_used() const { return types_used_; }
+
+  // ---- model queries (the predicates of §3.1) ----
+
+  /// Any reachable call of `name` (matches callee or Type::callee form)?
+  bool Calls(const std::string& name) const;
+
+  /// Reachable call of `name` with flag symbol `flag` in its data-flow?
+  bool CallsWithFlag(const std::string& name, const std::string& flag) const;
+
+  /// Any reachable call on a receiver of `type`?
+  bool UsesType(const std::string& type) const;
+
+  /// Was `header` (substring match on the include path) included?
+  bool Includes(const std::string& header) const;
+
+  /// Total reachable call sites (stats / tests).
+  size_t ReachableCallCount() const;
+
+ private:
+  void AnalyzeSource(const std::string& source);
+  void ComputeReachability();
+
+  std::vector<CallSite> calls_;
+  std::map<std::string, FunctionInfo> functions_;
+  std::set<std::string> includes_;
+  std::set<std::string> types_used_;
+};
+
+}  // namespace fame::analysis
+
+#endif  // FAME_ANALYSIS_APPMODEL_H_

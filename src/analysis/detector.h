@@ -1,0 +1,64 @@
+// FeatureDetector: the tool of Figure 3. It binds model queries to
+// infrastructure features; running it over an application model yields the
+// feature selection the application demands, which then seeds product
+// derivation (propagation + NFP-constrained completion).
+//
+// Features registered *without* a query are "not derivable" — the paper
+// found 3 of 18 Berkeley DB features in this class ("not involved in any
+// infrastructure API usage"); the derivability report reproduces that
+// statistic for the FameBDB feature set.
+#ifndef FAME_ANALYSIS_DETECTOR_H_
+#define FAME_ANALYSIS_DETECTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/query.h"
+
+namespace fame::analysis {
+
+/// One feature <-> query binding.
+struct FeatureQuery {
+  std::string feature;
+  std::string query_text;  // empty = not derivable
+  std::unique_ptr<ModelQuery> query;
+};
+
+/// Outcome for one feature on one application.
+struct DetectionResult {
+  std::string feature;
+  bool derivable = false;  // has a query at all
+  bool needed = false;     // query evaluated true
+};
+
+class FeatureDetector {
+ public:
+  /// Registers a derivable feature with its query text. ParseError if the
+  /// query does not parse.
+  Status Register(const std::string& feature, const std::string& query);
+
+  /// Registers a feature with no API footprint (not derivable).
+  void RegisterUnderivable(const std::string& feature);
+
+  /// Evaluates every registered feature against `model`.
+  std::vector<DetectionResult> Detect(const ApplicationModel& model) const;
+
+  /// Names of features whose query matched.
+  std::vector<std::string> NeededFeatures(const ApplicationModel& model) const;
+
+  size_t registered() const { return queries_.size(); }
+  size_t derivable() const;
+
+ private:
+  std::vector<FeatureQuery> queries_;
+};
+
+/// The FameBDB feature/query catalogue used by the Figure 3 reproduction:
+/// 18 features, 15 with queries, 3 without (matching the paper's counts).
+FeatureDetector BuildFameBdbDetector();
+
+}  // namespace fame::analysis
+
+#endif  // FAME_ANALYSIS_DETECTOR_H_

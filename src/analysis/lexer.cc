@@ -1,0 +1,92 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+
+namespace fame::analysis {
+
+std::vector<CppToken> TokenizeCpp(const std::string& src) {
+  std::vector<CppToken> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto peek = [&](size_t k) { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+    } else if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+    } else if (c == '#') {
+      size_t start = ++i;
+      while (i < n && src[i] != '\n') {
+        // Line continuations inside directives.
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      out.push_back({CppToken::kPreproc, src.substr(start, i - start), line});
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.push_back({CppToken::kString, "", line});
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        ++i;
+      }
+      out.push_back({CppToken::kIdent, src.substr(start, i - start), line});
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '.' || src[i] == 'x')) {
+        ++i;
+      }
+      out.push_back({CppToken::kNumber, src.substr(start, i - start), line});
+    } else {
+      // Multi-char operators the analyzer cares about.
+      static const char* kTwoChar[] = {"::", "->", "||", "&&", "==",
+                                       "!=", "<=", ">=", "|=", "+="};
+      std::string two;
+      two.push_back(c);
+      two.push_back(peek(1));
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (two == op) {
+          out.push_back({CppToken::kPunct, two, line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        out.push_back({CppToken::kPunct, std::string(1, c), line});
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fame::analysis

@@ -1,0 +1,30 @@
+// Token stream over C++ source for the application analyzer (§3.1). The
+// analyzer abstracts from syntactic detail, so the lexer only distinguishes
+// identifiers, numbers, punctuation, and preprocessor lines; comments and
+// string literal contents are dropped.
+#ifndef FAME_ANALYSIS_LEXER_H_
+#define FAME_ANALYSIS_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace fame::analysis {
+
+struct CppToken {
+  enum Kind {
+    kIdent,      // identifiers and keywords
+    kNumber,
+    kString,     // string/char literal (contents dropped)
+    kPunct,      // single punctuation char, or ::, ->, ||, &&, etc.
+    kPreproc,    // whole preprocessor line, text = directive body
+  } kind;
+  std::string text;
+  int line;
+};
+
+/// Tokenizes C++ source. Never fails: unknown bytes become punctuation.
+std::vector<CppToken> TokenizeCpp(const std::string& source);
+
+}  // namespace fame::analysis
+
+#endif  // FAME_ANALYSIS_LEXER_H_

@@ -1,0 +1,234 @@
+#include "analysis/query.h"
+
+#include <cctype>
+#include <vector>
+
+namespace fame::analysis {
+namespace {
+
+class AndQuery final : public ModelQuery {
+ public:
+  AndQuery(std::unique_ptr<ModelQuery> a, std::unique_ptr<ModelQuery> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  bool Eval(const ApplicationModel& m) const override {
+    return a_->Eval(m) && b_->Eval(m);
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " and " + b_->ToString() + ")";
+  }
+
+ private:
+  std::unique_ptr<ModelQuery> a_, b_;
+};
+
+class OrQuery final : public ModelQuery {
+ public:
+  OrQuery(std::unique_ptr<ModelQuery> a, std::unique_ptr<ModelQuery> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  bool Eval(const ApplicationModel& m) const override {
+    return a_->Eval(m) || b_->Eval(m);
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " or " + b_->ToString() + ")";
+  }
+
+ private:
+  std::unique_ptr<ModelQuery> a_, b_;
+};
+
+class NotQuery final : public ModelQuery {
+ public:
+  explicit NotQuery(std::unique_ptr<ModelQuery> a) : a_(std::move(a)) {}
+  bool Eval(const ApplicationModel& m) const override { return !a_->Eval(m); }
+  std::string ToString() const override { return "not " + a_->ToString(); }
+
+ private:
+  std::unique_ptr<ModelQuery> a_;
+};
+
+class ConstQuery final : public ModelQuery {
+ public:
+  explicit ConstQuery(bool v) : v_(v) {}
+  bool Eval(const ApplicationModel&) const override { return v_; }
+  std::string ToString() const override { return v_ ? "true" : "false"; }
+
+ private:
+  bool v_;
+};
+
+class PredQuery final : public ModelQuery {
+ public:
+  enum Kind { kCalls, kCallsWithFlag, kUsesType, kIncludes };
+  PredQuery(Kind kind, std::string a, std::string b = "")
+      : kind_(kind), a_(std::move(a)), b_(std::move(b)) {}
+
+  bool Eval(const ApplicationModel& m) const override {
+    switch (kind_) {
+      case kCalls:
+        return m.Calls(a_);
+      case kCallsWithFlag:
+        return m.CallsWithFlag(a_, b_);
+      case kUsesType:
+        return m.UsesType(a_);
+      case kIncludes:
+        return m.Includes(a_);
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    switch (kind_) {
+      case kCalls:
+        return "calls(" + a_ + ")";
+      case kCallsWithFlag:
+        return "callsWithFlag(" + a_ + ", " + b_ + ")";
+      case kUsesType:
+        return "usesType(" + a_ + ")";
+      case kIncludes:
+        return "includes(" + a_ + ")";
+    }
+    return "?";
+  }
+
+ private:
+  Kind kind_;
+  std::string a_, b_;
+};
+
+class QueryParser {
+ public:
+  explicit QueryParser(const std::string& text) : text_(text) {}
+
+  StatusOr<std::unique_ptr<ModelQuery>> Run() {
+    auto expr = ParseExpr();
+    FAME_RETURN_IF_ERROR(expr.status());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input in query at offset " +
+                                std::to_string(pos_));
+    }
+    return expr;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeWord(const std::string& w) {
+    SkipSpace();
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    size_t end = pos_ + w.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;  // prefix of a longer identifier
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ReadName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == ':' || text_[pos_] == '.' ||
+            text_[pos_] == '/' || text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  StatusOr<std::unique_ptr<ModelQuery>> ParseExpr() {
+    auto left = ParseTerm();
+    FAME_RETURN_IF_ERROR(left.status());
+    std::unique_ptr<ModelQuery> node = std::move(left).value();
+    while (ConsumeWord("or")) {
+      auto right = ParseTerm();
+      FAME_RETURN_IF_ERROR(right.status());
+      node = std::make_unique<OrQuery>(std::move(node),
+                                       std::move(right).value());
+    }
+    return node;
+  }
+
+  StatusOr<std::unique_ptr<ModelQuery>> ParseTerm() {
+    auto left = ParseFactor();
+    FAME_RETURN_IF_ERROR(left.status());
+    std::unique_ptr<ModelQuery> node = std::move(left).value();
+    while (ConsumeWord("and")) {
+      auto right = ParseFactor();
+      FAME_RETURN_IF_ERROR(right.status());
+      node = std::make_unique<AndQuery>(std::move(node),
+                                        std::move(right).value());
+    }
+    return node;
+  }
+
+  StatusOr<std::unique_ptr<ModelQuery>> ParseFactor() {
+    if (ConsumeWord("not")) {
+      auto inner = ParseFactor();
+      FAME_RETURN_IF_ERROR(inner.status());
+      return std::unique_ptr<ModelQuery>(
+          new NotQuery(std::move(inner).value()));
+    }
+    if (ConsumeChar('(')) {
+      auto inner = ParseExpr();
+      FAME_RETURN_IF_ERROR(inner.status());
+      if (!ConsumeChar(')')) return Status::ParseError("expected ')'");
+      return inner;
+    }
+    if (ConsumeWord("true")) {
+      return std::unique_ptr<ModelQuery>(new ConstQuery(true));
+    }
+    if (ConsumeWord("false")) {
+      return std::unique_ptr<ModelQuery>(new ConstQuery(false));
+    }
+    for (auto [word, kind, arity] :
+         {std::tuple{"callsWithFlag", PredQuery::kCallsWithFlag, 2},
+          std::tuple{"calls", PredQuery::kCalls, 1},
+          std::tuple{"usesType", PredQuery::kUsesType, 1},
+          std::tuple{"includes", PredQuery::kIncludes, 1}}) {
+      if (!ConsumeWord(word)) continue;
+      if (!ConsumeChar('(')) {
+        return Status::ParseError(std::string("expected '(' after ") + word);
+      }
+      std::string a = ReadName();
+      if (a.empty()) return Status::ParseError("expected argument name");
+      std::string b;
+      if (arity == 2) {
+        if (!ConsumeChar(',')) return Status::ParseError("expected ','");
+        b = ReadName();
+        if (b.empty()) return Status::ParseError("expected flag name");
+      }
+      if (!ConsumeChar(')')) return Status::ParseError("expected ')'");
+      return std::unique_ptr<ModelQuery>(new PredQuery(kind, a, b));
+    }
+    return Status::ParseError("expected predicate at offset " +
+                              std::to_string(pos_));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ModelQuery>> ParseQuery(const std::string& text) {
+  return QueryParser(text).Run();
+}
+
+}  // namespace fame::analysis

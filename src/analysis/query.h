@@ -1,0 +1,41 @@
+// Model queries (paper §3.1): boolean predicates over the application
+// model, associated with infrastructure features. Grammar:
+//
+//   expr   := term ("or" term)*
+//   term   := factor ("and" factor)*
+//   factor := "not" factor | "(" expr ")" | pred
+//   pred   := "calls" "(" NAME ")"
+//           | "callsWithFlag" "(" NAME "," FLAG ")"
+//           | "usesType" "(" NAME ")"
+//           | "includes" "(" PATH ")"
+//           | "true" | "false"
+//
+// NAME may be qualified ("Db::open"). Example (the paper's own example):
+//   callsWithFlag(Db::open, DB_INIT_TXN)   -- application needs TRANSACTION
+#ifndef FAME_ANALYSIS_QUERY_H_
+#define FAME_ANALYSIS_QUERY_H_
+
+#include <memory>
+#include <string>
+
+#include "analysis/appmodel.h"
+#include "common/status.h"
+
+namespace fame::analysis {
+
+/// Parsed query AST node.
+class ModelQuery {
+ public:
+  virtual ~ModelQuery() = default;
+  /// Evaluates against an application model.
+  virtual bool Eval(const ApplicationModel& model) const = 0;
+  /// Round-trippable textual form.
+  virtual std::string ToString() const = 0;
+};
+
+/// Parses the query DSL.
+StatusOr<std::unique_ptr<ModelQuery>> ParseQuery(const std::string& text);
+
+}  // namespace fame::analysis
+
+#endif  // FAME_ANALYSIS_QUERY_H_

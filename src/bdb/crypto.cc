@@ -1,0 +1,116 @@
+#include "bdb/crypto.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace fame::bdb {
+
+namespace {
+constexpr uint32_t kDelta = 0x9e3779b9u;
+constexpr int kRounds = 64;
+}  // namespace
+
+void XteaEncryptBlock(const uint32_t key[4], uint32_t block[2]) {
+  uint32_t v0 = block[0], v1 = block[1], sum = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+  }
+  block[0] = v0;
+  block[1] = v1;
+}
+
+void XteaDecryptBlock(const uint32_t key[4], uint32_t block[2]) {
+  uint32_t v0 = block[0], v1 = block[1];
+  uint32_t sum = static_cast<uint32_t>(kDelta * kRounds);
+  for (int i = 0; i < kRounds; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+  }
+  block[0] = v0;
+  block[1] = v1;
+}
+
+ValueCipher::ValueCipher(const std::string& passphrase) {
+  // Key derivation: four lanes of iterated FNV-1a over the passphrase with
+  // distinct seeds. Fine for feature parity, not for real security.
+  for (int lane = 0; lane < 4; ++lane) {
+    uint32_t h = 2166136261u ^ (0x5bd1e995u * static_cast<uint32_t>(lane + 1));
+    for (int iter = 0; iter < 16; ++iter) {
+      for (unsigned char c : passphrase) {
+        h ^= c;
+        h *= 16777619u;
+      }
+      h ^= h >> 13;
+    }
+    key_[static_cast<size_t>(lane)] = h;
+  }
+  iv_counter_ = (static_cast<uint64_t>(key_[0]) << 32) | key_[1];
+}
+
+std::string ValueCipher::Encrypt(const Slice& plaintext) {
+  // Pad to a multiple of 8 with PKCS#7-style bytes (pad length 1..8).
+  size_t pad = 8 - (plaintext.size() % 8);
+  std::string padded(plaintext.data(), plaintext.size());
+  padded.append(pad, static_cast<char>(pad));
+
+  uint64_t iv = iv_counter_++;
+  std::string out;
+  out.reserve(8 + padded.size());
+  PutFixed64(&out, iv);
+
+  uint32_t prev[2] = {static_cast<uint32_t>(iv),
+                      static_cast<uint32_t>(iv >> 32)};
+  for (size_t off = 0; off < padded.size(); off += 8) {
+    uint32_t block[2];
+    std::memcpy(block, padded.data() + off, 8);
+    block[0] ^= prev[0];
+    block[1] ^= prev[1];
+    XteaEncryptBlock(key_.data(), block);
+    prev[0] = block[0];
+    prev[1] = block[1];
+    char enc[8];
+    std::memcpy(enc, block, 8);
+    out.append(enc, 8);
+  }
+  return out;
+}
+
+StatusOr<std::string> ValueCipher::Decrypt(const Slice& ciphertext) const {
+  if (ciphertext.size() < 16 || (ciphertext.size() - 8) % 8 != 0) {
+    return Status::Corruption("ciphertext framing invalid");
+  }
+  uint64_t iv = DecodeFixed64(ciphertext.data());
+  uint32_t prev[2] = {static_cast<uint32_t>(iv),
+                      static_cast<uint32_t>(iv >> 32)};
+  std::string padded;
+  padded.resize(ciphertext.size() - 8);
+  for (size_t off = 8; off < ciphertext.size(); off += 8) {
+    uint32_t block[2], saved[2];
+    std::memcpy(block, ciphertext.data() + off, 8);
+    saved[0] = block[0];
+    saved[1] = block[1];
+    XteaDecryptBlock(key_.data(), block);
+    block[0] ^= prev[0];
+    block[1] ^= prev[1];
+    prev[0] = saved[0];
+    prev[1] = saved[1];
+    std::memcpy(padded.data() + off - 8, block, 8);
+  }
+  unsigned char pad = static_cast<unsigned char>(padded.back());
+  if (pad == 0 || pad > 8 || pad > padded.size()) {
+    return Status::Corruption("bad padding (wrong key?)");
+  }
+  for (size_t i = padded.size() - pad; i < padded.size(); ++i) {
+    if (static_cast<unsigned char>(padded[i]) != pad) {
+      return Status::Corruption("bad padding (wrong key?)");
+    }
+  }
+  padded.resize(padded.size() - pad);
+  return padded;
+}
+
+}  // namespace fame::bdb

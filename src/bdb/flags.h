@@ -1,0 +1,37 @@
+// FameBDB public flag constants, mirroring the Berkeley DB API style the
+// paper's case study (and its static analyzer example) relies on: clients
+// signal feature needs through flag combinations at open time, e.g.
+// DB_INIT_TXN on the environment — exactly the signal the Figure 3 tool
+// detects.
+#ifndef FAME_BDB_FLAGS_H_
+#define FAME_BDB_FLAGS_H_
+
+#include <cstdint>
+
+namespace fame::bdb {
+
+// Environment-open flags.
+constexpr uint32_t DB_CREATE = 1u << 0;
+constexpr uint32_t DB_INIT_TXN = 1u << 1;
+constexpr uint32_t DB_INIT_LOCK = 1u << 2;
+constexpr uint32_t DB_INIT_LOG = 1u << 3;
+constexpr uint32_t DB_INIT_REP = 1u << 4;
+constexpr uint32_t DB_ENCRYPT = 1u << 5;
+constexpr uint32_t DB_RDONLY = 1u << 6;
+
+/// Access method selectors (Db::open).
+constexpr uint32_t DB_BTREE = 1u << 8;
+constexpr uint32_t DB_HASH = 1u << 9;
+constexpr uint32_t DB_QUEUE = 1u << 10;
+
+/// Stable names for diagnostics.
+inline const char* AccessMethodName(uint32_t am_flag) {
+  if (am_flag & DB_BTREE) return "btree";
+  if (am_flag & DB_HASH) return "hash";
+  if (am_flag & DB_QUEUE) return "queue";
+  return "unknown";
+}
+
+}  // namespace fame::bdb
+
+#endif  // FAME_BDB_FLAGS_H_

@@ -1,0 +1,167 @@
+// FameBDB FOP base layer. The FOP ("FeatureC++") variant composes the
+// engine from *mixin layers* — the classical C++ encoding of
+// feature-oriented programming that FeatureC++ itself compiles down to
+// (Apel et al.): each feature is `template <class Base> class F : public
+// Base`, refining methods by name and delegating with Base::method().
+//
+// A product instantiates exactly the layers its configuration selects,
+// e.g.   using Product = TxLayer<CryptoLayer<BdbCore<BtreeIndexTag>>>;
+// so unselected features contribute zero code to the binary and calls are
+// statically bound — the properties Figure 1 measures.
+#ifndef FAME_BDB_FOP_CORE_H_
+#define FAME_BDB_FOP_CORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bdb/flags.h"
+#include "bdb/storage_bundle.h"
+#include "index/bplus_tree.h"
+#include "index/hash_index.h"
+#include "index/list_index.h"
+
+namespace fame::bdb::fop {
+
+/// Index alternative tags (the Index feature group).
+struct BtreeIndexTag {
+  using Type = index::BPlusTree;
+  static StatusOr<std::unique_ptr<Type>> Open(storage::BufferManager* buffers) {
+    return Type::Open(buffers, "main");
+  }
+  static constexpr bool kOrdered = true;
+};
+
+struct ListIndexTag {
+  using Type = index::ListIndex;
+  static StatusOr<std::unique_ptr<Type>> Open(storage::BufferManager* buffers) {
+    return Type::Open(buffers, "main");
+  }
+  static constexpr bool kOrdered = false;
+};
+
+struct HashIndexTag {
+  using Type = index::HashIndex;
+  static StatusOr<std::unique_ptr<Type>> Open(storage::BufferManager* buffers) {
+    return Type::Open(buffers, "main");
+  }
+  static constexpr bool kOrdered = false;
+};
+
+/// Pair visitor shared by scans.
+using PairVisitor = std::function<bool(const Slice&, const Slice&)>;
+
+/// The base program: a key/value store over one statically chosen index.
+/// Layers above refine Put/Get/Del/Scan.
+template <typename IndexTag>
+class BdbCore {
+ public:
+  using Index = typename IndexTag::Type;
+  static constexpr bool kOrdered = IndexTag::kOrdered;
+
+  /// Two-phase construction: layers refine Open via OnOpen hooks.
+  Status Open(osal::Env* env, const std::string& path,
+              const BundleOptions& opts) {
+    auto bundle_or = StorageBundle::Open(env, path, opts);
+    FAME_RETURN_IF_ERROR(bundle_or.status());
+    bundle_ = std::move(bundle_or).value();
+    auto index_or = IndexTag::Open(bundle_->buffers.get());
+    FAME_RETURN_IF_ERROR(index_or.status());
+    index_ = std::move(index_or).value();
+    env_ = env;
+    path_ = path;
+    return Status::OK();
+  }
+
+  Status Put(const Slice& key, const Slice& value) {
+    uint64_t packed = 0;
+    Status found = index_->Lookup(key, &packed);
+    std::string rec = EncodeHeapRecord(key, value);
+    if (found.ok()) {
+      storage::Rid rid = storage::Rid::Unpack(packed);
+      storage::Rid updated = rid;
+      FAME_RETURN_IF_ERROR(bundle_->heap->Update(&updated, rec));
+      if (!(updated == rid)) {
+        FAME_RETURN_IF_ERROR(index_->Insert(key, updated.Pack()));
+      }
+      return Status::OK();
+    }
+    if (!found.IsNotFound()) return found;
+    auto rid_or = bundle_->heap->Insert(rec);
+    FAME_RETURN_IF_ERROR(rid_or.status());
+    return index_->Insert(key, rid_or.value().Pack());
+  }
+
+  Status Get(const Slice& key, std::string* value) {
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    std::string rec;
+    FAME_RETURN_IF_ERROR(
+        bundle_->heap->Get(storage::Rid::Unpack(packed), &rec));
+    std::string stored_key;
+    FAME_RETURN_IF_ERROR(DecodeHeapRecord(rec, &stored_key, value));
+    if (Slice(stored_key) != key) {
+      return Status::Corruption("index points at the wrong record");
+    }
+    return Status::OK();
+  }
+
+  Status Del(const Slice& key) {
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    FAME_RETURN_IF_ERROR(bundle_->heap->Delete(storage::Rid::Unpack(packed)));
+    return index_->Remove(key);
+  }
+
+  /// Full scan in index order.
+  Status Scan(const PairVisitor& fn) {
+    Status inner = Status::OK();
+    FAME_RETURN_IF_ERROR(index_->Scan([&](const Slice& key, uint64_t packed) {
+      std::string rec;
+      inner = bundle_->heap->Get(storage::Rid::Unpack(packed), &rec);
+      if (!inner.ok()) return false;
+      std::string k, v;
+      inner = DecodeHeapRecord(rec, &k, &v);
+      if (!inner.ok()) return false;
+      return fn(key, Slice(v));
+    }));
+    return inner;
+  }
+
+  /// Range scan [lo, hi); only compiles on ordered-index products —
+  /// selecting a feature an alternative cannot support is a *compile-time*
+  /// error under static composition.
+  Status RangeScan(const Slice& lo, const Slice& hi, const PairVisitor& fn) {
+    static_assert(kOrdered,
+                  "RangeScan requires the B+-tree index alternative");
+    Status inner = Status::OK();
+    FAME_RETURN_IF_ERROR(
+        index_->RangeScan(lo, hi, [&](const Slice& key, uint64_t packed) {
+          std::string rec;
+          inner = bundle_->heap->Get(storage::Rid::Unpack(packed), &rec);
+          if (!inner.ok()) return false;
+          std::string k, v;
+          inner = DecodeHeapRecord(rec, &k, &v);
+          if (!inner.ok()) return false;
+          return fn(key, Slice(v));
+        }));
+    return inner;
+  }
+
+  Status Sync() { return bundle_->Checkpoint(); }
+
+  osal::Env* env() { return env_; }
+  const std::string& path() const { return path_; }
+  Index* index() { return index_.get(); }
+  StorageBundle* bundle() { return bundle_.get(); }
+
+ private:
+  osal::Env* env_ = nullptr;
+  std::string path_;
+  std::unique_ptr<StorageBundle> bundle_;
+  std::unique_ptr<Index> index_;
+};
+
+}  // namespace fame::bdb::fop
+
+#endif  // FAME_BDB_FOP_CORE_H_

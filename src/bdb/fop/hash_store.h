@@ -1,0 +1,75 @@
+// HASH feature for the FOP variant: a secondary hash-indexed store next to
+// the main index (Berkeley DB environments host several access methods side
+// by side; "without feature Hash" in Figure 1 removes this capability).
+#ifndef FAME_BDB_FOP_HASH_STORE_H_
+#define FAME_BDB_FOP_HASH_STORE_H_
+
+#include "bdb/fop/core.h"
+#include "index/hash_index.h"
+
+namespace fame::bdb::fop {
+
+template <typename Base>
+class HashStoreLayer : public Base {
+ public:
+  Status EnableHashStore(uint32_t buckets = 64) {
+    auto heap_or =
+        storage::RecordManager::Open(this->bundle()->buffers.get(), "values_h");
+    FAME_RETURN_IF_ERROR(heap_or.status());
+    heap_ = std::move(heap_or).value();
+    auto idx_or =
+        index::HashIndex::Open(this->bundle()->buffers.get(), "aux", buckets);
+    FAME_RETURN_IF_ERROR(idx_or.status());
+    hash_ = std::move(idx_or).value();
+    return Status::OK();
+  }
+
+  Status HashPut(const Slice& key, const Slice& value) {
+    if (hash_ == nullptr) return Status::InvalidArgument("hash not enabled");
+    uint64_t packed = 0;
+    Status found = hash_->Lookup(key, &packed);
+    std::string rec = EncodeHeapRecord(key, value);
+    if (found.ok()) {
+      storage::Rid rid = storage::Rid::Unpack(packed);
+      storage::Rid updated = rid;
+      FAME_RETURN_IF_ERROR(heap_->Update(&updated, rec));
+      if (!(updated == rid)) {
+        FAME_RETURN_IF_ERROR(hash_->Insert(key, updated.Pack()));
+      }
+      return Status::OK();
+    }
+    if (!found.IsNotFound()) return found;
+    auto rid_or = heap_->Insert(rec);
+    FAME_RETURN_IF_ERROR(rid_or.status());
+    return hash_->Insert(key, rid_or.value().Pack());
+  }
+
+  Status HashGet(const Slice& key, std::string* value) {
+    if (hash_ == nullptr) return Status::InvalidArgument("hash not enabled");
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(hash_->Lookup(key, &packed));
+    std::string rec;
+    FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), &rec));
+    std::string k;
+    FAME_RETURN_IF_ERROR(DecodeHeapRecord(rec, &k, value));
+    return Status::OK();
+  }
+
+  Status HashDel(const Slice& key) {
+    if (hash_ == nullptr) return Status::InvalidArgument("hash not enabled");
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(hash_->Lookup(key, &packed));
+    FAME_RETURN_IF_ERROR(heap_->Delete(storage::Rid::Unpack(packed)));
+    return hash_->Remove(key);
+  }
+
+  index::HashIndex* hash_index() { return hash_.get(); }
+
+ private:
+  std::unique_ptr<storage::RecordManager> heap_;
+  std::unique_ptr<index::HashIndex> hash_;
+};
+
+}  // namespace fame::bdb::fop
+
+#endif  // FAME_BDB_FOP_HASH_STORE_H_

@@ -1,0 +1,50 @@
+// The FameBDB-FOP product table for Figure 1. Configuration numbering
+// follows the paper:
+//
+//   1  complete configuration
+//   2  without feature Crypto
+//   3  without feature Hash
+//   4  without feature Replication
+//   5  without feature Queue
+//   7  minimal FeatureC++ version using the B-tree
+//   8  minimal FeatureC++ version using a different index (List)
+//
+// (6 is the minimal *C* version; it has no FOP counterpart in the figure.)
+// Each alias instantiates exactly the selected mixin layers, so the
+// configurations genuinely differ in generated code.
+#ifndef FAME_BDB_FOP_PRODUCTS_H_
+#define FAME_BDB_FOP_PRODUCTS_H_
+
+#include "bdb/fop/hash_store.h"
+#include "bdb/fop/layers.h"
+
+namespace fame::bdb::fop {
+
+// clang-format off
+using FopComplete =            // configuration 1
+    TxLayer<ReplicationLayer<CryptoLayer<QueueLayer<HashStoreLayer<
+        StatsLayer<BdbCore<BtreeIndexTag>>>>>>>;
+
+using FopNoCrypto =            // configuration 2
+    TxLayer<ReplicationLayer<QueueLayer<HashStoreLayer<
+        StatsLayer<BdbCore<BtreeIndexTag>>>>>>;
+
+using FopNoHash =              // configuration 3
+    TxLayer<ReplicationLayer<CryptoLayer<QueueLayer<
+        StatsLayer<BdbCore<BtreeIndexTag>>>>>>;
+
+using FopNoReplication =       // configuration 4
+    TxLayer<CryptoLayer<QueueLayer<HashStoreLayer<
+        StatsLayer<BdbCore<BtreeIndexTag>>>>>>;
+
+using FopNoQueue =             // configuration 5
+    TxLayer<ReplicationLayer<CryptoLayer<HashStoreLayer<
+        StatsLayer<BdbCore<BtreeIndexTag>>>>>>;
+
+using FopMinimalBtree = BdbCore<BtreeIndexTag>;   // configuration 7
+using FopMinimalList  = BdbCore<ListIndexTag>;    // configuration 8
+// clang-format on
+
+}  // namespace fame::bdb::fop
+
+#endif  // FAME_BDB_FOP_PRODUCTS_H_

@@ -1,0 +1,18 @@
+#include "bdb/repbus.h"
+
+namespace fame::bdb {
+
+size_t ReplicationBus::Subscribe(Subscriber subscriber) {
+  subscribers_.push_back(std::move(subscriber));
+  return subscribers_.size() - 1;
+}
+
+Status ReplicationBus::Publish(RepMessage message) {
+  message.seqno = next_seqno_++;
+  for (const Subscriber& s : subscribers_) {
+    FAME_RETURN_IF_ERROR(s(message));
+  }
+  return Status::OK();
+}
+
+}  // namespace fame::bdb

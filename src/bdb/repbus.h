@@ -1,0 +1,52 @@
+// REPLICATION feature: in-process log-shipping bus.
+//
+// Substitution note (see DESIGN.md): Berkeley DB replicates over sockets to
+// peer processes; the feature Figure 1 measures is the replication machinery
+// itself. The bus delivers committed operations from a master engine to any
+// number of subscribed replicas inside one process, preserving ordering —
+// the same code path shape (serialize op -> deliver -> apply) without a
+// network dependency.
+#ifndef FAME_BDB_REPBUS_H_
+#define FAME_BDB_REPBUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace fame::bdb {
+
+/// One replicated operation.
+struct RepMessage {
+  enum Kind : uint8_t { kPut = 0, kDelete = 1 } kind;
+  uint64_t seqno = 0;
+  std::string key;
+  std::string value;
+};
+
+/// Fan-out bus: the master publishes, replicas subscribe. Delivery is
+/// synchronous and in publish order (total order, single master).
+class ReplicationBus {
+ public:
+  using Subscriber = std::function<Status(const RepMessage&)>;
+
+  /// Registers a replica; returns its subscriber id.
+  size_t Subscribe(Subscriber subscriber);
+
+  /// Publishes to all subscribers; fails fast on the first delivery error.
+  Status Publish(RepMessage message);
+
+  uint64_t published() const { return next_seqno_; }
+  size_t subscribers() const { return subscribers_.size(); }
+
+ private:
+  std::vector<Subscriber> subscribers_;
+  uint64_t next_seqno_ = 0;
+};
+
+}  // namespace fame::bdb
+
+#endif  // FAME_BDB_REPBUS_H_

@@ -1,0 +1,48 @@
+#include "bdb/storage_bundle.h"
+
+#include "common/coding.h"
+
+namespace fame::bdb {
+
+StatusOr<std::unique_ptr<StorageBundle>> StorageBundle::Open(
+    osal::Env* env, const std::string& path, const BundleOptions& opts) {
+  auto bundle = std::make_unique<StorageBundle>();
+  bundle->env = env;
+  storage::PageFileOptions pf_opts;
+  pf_opts.page_size = opts.page_size;
+  pf_opts.paranoid_checks = opts.paranoid_checks;
+  auto file_or = storage::PageFile::Open(env, path, pf_opts);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  bundle->file = std::move(file_or).value();
+  auto bm_or = storage::BufferManager::Create(
+      bundle->file.get(), opts.buffer_frames, &bundle->allocator,
+      storage::MakeReplacementPolicy("lru"));
+  FAME_RETURN_IF_ERROR(bm_or.status());
+  bundle->buffers = std::move(bm_or).value();
+  auto heap_or = storage::RecordManager::Open(bundle->buffers.get(), "values");
+  FAME_RETURN_IF_ERROR(heap_or.status());
+  bundle->heap = std::move(heap_or).value();
+  return bundle;
+}
+
+std::string EncodeHeapRecord(const Slice& key, const Slice& value) {
+  std::string rec;
+  PutVarint32(&rec, static_cast<uint32_t>(key.size()));
+  rec.append(key.data(), key.size());
+  rec.append(value.data(), value.size());
+  return rec;
+}
+
+Status DecodeHeapRecord(const Slice& record, std::string* key,
+                        std::string* value) {
+  Slice in = record;
+  uint32_t klen = 0;
+  if (!GetVarint32(&in, &klen) || in.size() < klen) {
+    return Status::Corruption("bad heap record");
+  }
+  key->assign(in.data(), klen);
+  value->assign(in.data() + klen, in.size() - klen);
+  return Status::OK();
+}
+
+}  // namespace fame::bdb

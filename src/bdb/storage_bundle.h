@@ -1,0 +1,47 @@
+// Shared storage plumbing for both FameBDB variants: one page file, buffer
+// pool, and record heap per database environment.
+#ifndef FAME_BDB_STORAGE_BUNDLE_H_
+#define FAME_BDB_STORAGE_BUNDLE_H_
+
+#include <memory>
+#include <string>
+
+#include "osal/allocator.h"
+#include "osal/env.h"
+#include "storage/buffer.h"
+#include "storage/record.h"
+
+namespace fame::bdb {
+
+/// Tuning knobs shared by the variants.
+struct BundleOptions {
+  uint32_t page_size = 4096;
+  size_t buffer_frames = 64;
+  bool paranoid_checks = true;
+};
+
+/// Env + page file + buffer pool + value heap, opened together.
+struct StorageBundle {
+  osal::Env* env = nullptr;
+  std::unique_ptr<osal::Env> owned_env;  // set when the bundle owns a MemEnv
+  osal::DynamicAllocator allocator;
+  std::unique_ptr<storage::PageFile> file;
+  std::unique_ptr<storage::BufferManager> buffers;
+  std::unique_ptr<storage::RecordManager> heap;
+
+  static StatusOr<std::unique_ptr<StorageBundle>> Open(
+      osal::Env* env, const std::string& path, const BundleOptions& opts);
+
+  Status Checkpoint() { return buffers->Checkpoint(); }
+};
+
+/// Record layout in the value heap: [varint32 klen][key][value]. The key is
+/// stored with the value so scans can reconstruct entries and crypto layers
+/// can validate what they decrypt.
+std::string EncodeHeapRecord(const Slice& key, const Slice& value);
+Status DecodeHeapRecord(const Slice& record, std::string* key,
+                        std::string* value);
+
+}  // namespace fame::bdb
+
+#endif  // FAME_BDB_STORAGE_BUNDLE_H_

@@ -1,0 +1,79 @@
+// Fixed-width and varint byte encodings (little-endian), LevelDB-style.
+// These are the on-page and on-log wire formats, so they must stay stable.
+#ifndef FAME_COMMON_CODING_H_
+#define FAME_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace fame {
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  std::memcpy(dst, &value, sizeof(value));  // little-endian hosts only
+}
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+/// Appends a varint32; at most 5 bytes.
+void PutVarint32(std::string* dst, uint32_t value);
+/// Appends a varint64; at most 10 bytes.
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint length + bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parses a varint32 from [p, limit); returns the byte after it, or nullptr
+/// on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Consumes a varint32/64 from the front of `input`; false on underflow.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+/// Consumes a length-prefixed slice from the front of `input`.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes PutVarint64 would append.
+int VarintLength(uint64_t v);
+
+}  // namespace fame
+
+#endif  // FAME_COMMON_CODING_H_

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random generator for tests and benchmarks
+// (xorshift64*, seedable, header-only). Benchmarks must be reproducible, so
+// nothing in the repo uses std::random_device.
+#ifndef FAME_COMMON_RANDOM_H_
+#define FAME_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fame {
+
+/// Small deterministic PRNG (xorshift64*).
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase-alphanumeric string of length n.
+  std::string NextString(size_t n) {
+    static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s;
+    s.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      s.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    return s;
+  }
+
+  /// Zipf-like skewed pick in [0, n): lower indexes are more likely.
+  /// Used by benchmark workloads to model hot keys.
+  uint64_t Skewed(uint64_t n) {
+    uint64_t bits = Uniform(64);
+    uint64_t max = bits >= 63 ? ~0ull : (1ull << (bits + 1));
+    return Uniform(max) % n;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fame
+
+#endif  // FAME_COMMON_RANDOM_H_

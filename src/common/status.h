@@ -1,0 +1,168 @@
+// Status and StatusOr: error handling without exceptions, in the style used by
+// LevelDB/RocksDB/Arrow. All fallible FAME-DBMS APIs return Status (or
+// StatusOr<T> when they produce a value).
+#ifndef FAME_COMMON_STATUS_H_
+#define FAME_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fame {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIOError = 5,
+  kResourceExhausted = 6,  ///< out of pages / pool memory / lock table slots
+  kBusy = 7,               ///< lock conflict, try again
+  kDeadlock = 8,           ///< transaction chosen as deadlock victim
+  kConfigInvalid = 9,      ///< feature configuration violates the model
+  kParseError = 10,        ///< DSL / SQL / query parse failure
+  kAborted = 11,           ///< transaction aborted
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "NotFound"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status ConfigInvalid(std::string msg = "") {
+    return Status(StatusCode::kConfigInvalid, std::move(msg));
+  }
+  static Status ParseError(std::string msg = "") {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A Status or a value of type T. Modeled on arrow::Result / absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (the common return path).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The contained status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace fame
+
+/// Propagates a non-OK Status from an expression, LevelDB-style.
+#define FAME_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::fame::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define FAME_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto FAME_CONCAT_(_st_or_, __LINE__) = (expr);   \
+  if (!FAME_CONCAT_(_st_or_, __LINE__).ok())       \
+    return FAME_CONCAT_(_st_or_, __LINE__).status(); \
+  lhs = std::move(FAME_CONCAT_(_st_or_, __LINE__)).value()
+
+#define FAME_CONCAT_IMPL_(a, b) a##b
+#define FAME_CONCAT_(a, b) FAME_CONCAT_IMPL_(a, b)
+
+#endif  // FAME_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared by the DSL parsers, analysis tooling, and
+// report printers.
+#ifndef FAME_COMMON_STRINGUTIL_H_
+#define FAME_COMMON_STRINGUTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fame {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace fame
+
+#endif  // FAME_COMMON_STRINGUTIL_H_

@@ -1,0 +1,347 @@
+#include "core/database.h"
+
+#include "core/sql.h"
+#include "index/bplus_tree.h"
+#include "index/list_index.h"
+
+namespace fame::core {
+
+namespace {
+constexpr char kStore[] = "core";
+}  // namespace
+
+Database::~Database() = default;
+
+StatusOr<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
+  std::unique_ptr<Database> db(new Database());
+  db->options_ = options;
+  db->model_ = fm::BuildFameDbmsModel();
+
+  // Derive the product: select the requested features, propagate, complete
+  // minimally, validate.
+  fm::Configuration config(db->model_.get());
+  for (const std::string& f : options.features) {
+    FAME_RETURN_IF_ERROR(config.SelectByName(f));
+  }
+  FAME_RETURN_IF_ERROR(db->model_->CompleteMinimal(&config));
+  db->config_ = config;
+
+  FAME_RETURN_IF_ERROR(db->ComposeComponents(options));
+  return db;
+}
+
+bool Database::HasFeature(const std::string& name) const {
+  auto id_or = model_->Find(name);
+  return id_or.ok() && config_.IsSelected(id_or.value());
+}
+
+Status Database::ComposeComponents(const DbOptions& options) {
+  // OS-Abstraction alternative.
+  if (HasFeature("NutOS")) {
+    owned_env_ = osal::NewMemEnv(options.nutos_capacity_bytes);
+    env_ = owned_env_.get();
+  } else if (HasFeature("Win32")) {
+    osal::Env* base = options.env != nullptr ? options.env
+                                             : osal::GetPosixEnv();
+    owned_env_ = osal::NewWin32PathEnv(base);
+    env_ = owned_env_.get();
+  } else {
+    env_ = options.env != nullptr ? options.env : osal::GetPosixEnv();
+  }
+
+  // Memory Alloc alternative.
+  if (HasFeature("Static")) {
+    allocator_ =
+        std::make_unique<osal::StaticPoolAllocator>(options.static_pool_bytes);
+  } else {
+    allocator_ = std::make_unique<osal::DynamicAllocator>();
+  }
+
+  storage::PageFileOptions pf_opts;
+  pf_opts.page_size = options.page_size;
+  auto file_or = storage::PageFile::Open(env_, options.path, pf_opts);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  file_ = std::move(file_or).value();
+
+  // Replacement alternative.
+  const char* policy = HasFeature("LFU")   ? "lfu"
+                       : HasFeature("Clock") ? "clock"
+                                             : "lru";
+  auto bm_or = storage::BufferManager::Create(
+      file_.get(), options.buffer_frames, allocator_.get(),
+      storage::MakeReplacementPolicy(policy));
+  FAME_RETURN_IF_ERROR(bm_or.status());
+  buffers_ = std::move(bm_or).value();
+
+  auto heap_or = storage::RecordManager::Open(buffers_.get(), kStore);
+  FAME_RETURN_IF_ERROR(heap_or.status());
+  heap_ = std::move(heap_or).value();
+
+  // Index alternative.
+  if (HasFeature("B+-Tree")) {
+    auto idx_or = index::BPlusTree::Open(buffers_.get(), kStore);
+    FAME_RETURN_IF_ERROR(idx_or.status());
+    ordered_ = idx_or.value().get();
+    index_ = std::move(idx_or).value();
+  } else {
+    auto idx_or = index::ListIndex::Open(buffers_.get(), kStore);
+    FAME_RETURN_IF_ERROR(idx_or.status());
+    index_ = std::move(idx_or).value();
+  }
+
+  has_put_ = HasFeature("Put");
+  has_remove_ = HasFeature("Remove");
+  has_update_ = HasFeature("Update");
+
+  // Transaction feature.
+  if (HasFeature("Transaction")) {
+    tx::CommitProtocol protocol = HasFeature("Force-Commit")
+                                      ? tx::CommitProtocol::kForceAtCommit
+                                      : tx::CommitProtocol::kWalRedo;
+    auto mgr_or = tx::TransactionManager::Open(env_, options.path + ".wal",
+                                               this, protocol);
+    FAME_RETURN_IF_ERROR(mgr_or.status());
+    txmgr_ = std::move(mgr_or).value();
+    FAME_RETURN_IF_ERROR(txmgr_->Recover());
+  }
+
+  // SQL Engine feature.
+  if (HasFeature("SQL-Engine")) {
+    sql_ = std::make_unique<SqlEngine>(this, HasFeature("Optimizer"));
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ KV access
+
+Status Database::PutInternal(const Slice& key, const Slice& value) {
+  uint64_t packed = 0;
+  Status found = index_->Lookup(key, &packed);
+  std::string rec;
+  PutVarint32(&rec, static_cast<uint32_t>(key.size()));
+  rec.append(key.data(), key.size());
+  rec.append(value.data(), value.size());
+  if (found.ok()) {
+    storage::Rid rid = storage::Rid::Unpack(packed);
+    storage::Rid updated = rid;
+    FAME_RETURN_IF_ERROR(heap_->Update(&updated, rec));
+    if (!(updated == rid)) {
+      FAME_RETURN_IF_ERROR(index_->Insert(key, updated.Pack()));
+    }
+    return Status::OK();
+  }
+  if (!found.IsNotFound()) return found;
+  auto rid_or = heap_->Insert(rec);
+  FAME_RETURN_IF_ERROR(rid_or.status());
+  return index_->Insert(key, rid_or.value().Pack());
+}
+
+Status Database::RemoveInternal(const Slice& key) {
+  uint64_t packed = 0;
+  FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+  FAME_RETURN_IF_ERROR(heap_->Delete(storage::Rid::Unpack(packed)));
+  return index_->Remove(key);
+}
+
+namespace {
+Status DecodeCoreRecord(const Slice& rec, const Slice& expect_key,
+                        std::string* value) {
+  Slice in = rec;
+  uint32_t klen = 0;
+  if (!GetVarint32(&in, &klen) || in.size() < klen) {
+    return Status::Corruption("bad core record");
+  }
+  if (Slice(in.data(), klen) != expect_key) {
+    return Status::Corruption("index points at the wrong record");
+  }
+  value->assign(in.data() + klen, in.size() - klen);
+  return Status::OK();
+}
+}  // namespace
+
+Status Database::Put(const Slice& key, const Slice& value) {
+  if (!has_put_) return Status::NotSupported("feature Put not selected");
+  return PutInternal(key, value);
+}
+
+Status Database::Get(const Slice& key, std::string* value) {
+  uint64_t packed = 0;
+  FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+  std::string rec;
+  FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), &rec));
+  return DecodeCoreRecord(rec, key, value);
+}
+
+Status Database::Remove(const Slice& key) {
+  if (!has_remove_) return Status::NotSupported("feature Remove not selected");
+  return RemoveInternal(key);
+}
+
+Status Database::Update(const Slice& key, const Slice& value) {
+  if (!has_update_) return Status::NotSupported("feature Update not selected");
+  uint64_t packed = 0;
+  FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+  return PutInternal(key, value);
+}
+
+Status Database::Scan(const index::ScanVisitor& visit) {
+  return index_->Scan(visit);
+}
+
+Status Database::RangeScan(
+    const Slice& lo, const Slice& hi,
+    const std::function<bool(const Slice&, const Slice&)>& fn) {
+  if (ordered_ == nullptr) {
+    return Status::NotSupported("RangeScan requires the B+-Tree feature");
+  }
+  Status inner = Status::OK();
+  FAME_RETURN_IF_ERROR(
+      ordered_->RangeScan(lo, hi, [&](const Slice& k, uint64_t packed) {
+        std::string rec, v;
+        inner = heap_->Get(storage::Rid::Unpack(packed), &rec);
+        if (!inner.ok()) return false;
+        inner = DecodeCoreRecord(rec, k, &v);
+        if (!inner.ok()) return false;
+        return fn(k, Slice(v));
+      }));
+  return inner;
+}
+
+// ------------------------------------------------------------ transactions
+
+StatusOr<tx::Transaction*> Database::Begin() {
+  if (txmgr_ == nullptr) {
+    return Status::NotSupported("feature Transaction not selected");
+  }
+  return txmgr_->Begin();
+}
+
+Status Database::Commit(tx::Transaction* txn) {
+  if (txmgr_ == nullptr) {
+    return Status::NotSupported("feature Transaction not selected");
+  }
+  return txmgr_->Commit(txn);
+}
+
+Status Database::Abort(tx::Transaction* txn) {
+  if (txmgr_ == nullptr) {
+    return Status::NotSupported("feature Transaction not selected");
+  }
+  return txmgr_->Abort(txn);
+}
+
+Status Database::ApplyPut(const std::string& store, const Slice& key,
+                          const Slice& value) {
+  if (store != kStore) return Status::InvalidArgument("unknown store");
+  return PutInternal(key, value);
+}
+
+Status Database::ApplyDelete(const std::string& store, const Slice& key) {
+  if (store != kStore) return Status::InvalidArgument("unknown store");
+  return RemoveInternal(key);
+}
+
+Status Database::ReadCommitted(const std::string& store, const Slice& key,
+                               std::string* value) {
+  if (store != kStore) return Status::InvalidArgument("unknown store");
+  return Get(key, value);
+}
+
+Status Database::CheckpointEngine() { return buffers_->Checkpoint(); }
+
+Status Database::Checkpoint() {
+  if (txmgr_ != nullptr) return txmgr_->Checkpoint();
+  return buffers_->Checkpoint();
+}
+
+// ------------------------------------------------------------ typed records
+
+std::string Database::TableKey(const std::string& table, const Value& pk) {
+  std::string key = "t:" + table + "\x01";
+  key.append(pk.EncodeKey());
+  return key;
+}
+
+std::string Database::SchemaKey(const std::string& table) {
+  return "s:" + table;
+}
+
+Status Database::CreateTable(const Schema& schema) {
+  if (schema.columns.empty()) {
+    return Status::InvalidArgument("a table needs at least one column");
+  }
+  for (const Column& c : schema.columns) {
+    if (c.type == Value::Kind::kInt && !HasFeature("Int-Types")) {
+      return Status::NotSupported("feature Int-Types not selected");
+    }
+    if (c.type == Value::Kind::kString && !HasFeature("String-Types")) {
+      return Status::NotSupported("feature String-Types not selected");
+    }
+    if (c.type == Value::Kind::kBlob && !HasFeature("Blob-Types")) {
+      return Status::NotSupported("feature Blob-Types not selected");
+    }
+  }
+  std::string existing;
+  if (Get(SchemaKey(schema.table), &existing).ok()) {
+    return Status::InvalidArgument("table exists: " + schema.table);
+  }
+  return PutInternal(SchemaKey(schema.table), schema.Encode());
+}
+
+StatusOr<Schema> Database::GetSchema(const std::string& table) {
+  std::string data;
+  Status s = Get(SchemaKey(table), &data);
+  if (s.IsNotFound()) return Status::NotFound("no table named " + table);
+  FAME_RETURN_IF_ERROR(s);
+  return Schema::Decode(data);
+}
+
+Status Database::InsertRow(const std::string& table, const Row& row) {
+  FAME_ASSIGN_OR_RETURN(Schema schema, GetSchema(table));
+  FAME_RETURN_IF_ERROR(schema.CheckRow(row));
+  if (!has_put_) return Status::NotSupported("feature Put not selected");
+  return PutInternal(TableKey(table, row[0]), EncodeRow(row));
+}
+
+StatusOr<Row> Database::FindRow(const std::string& table, const Value& pk) {
+  std::string data;
+  FAME_RETURN_IF_ERROR(Get(TableKey(table, pk), &data));
+  return DecodeRow(data);
+}
+
+Status Database::DeleteRow(const std::string& table, const Value& pk) {
+  if (!has_remove_) return Status::NotSupported("feature Remove not selected");
+  return RemoveInternal(TableKey(table, pk));
+}
+
+Status Database::ScanTable(const std::string& table,
+                           const std::function<bool(const Row&)>& fn) {
+  std::string prefix = "t:" + table + "\x01";
+  Status inner = Status::OK();
+  auto visit = [&](const Slice& key, const Slice& value) {
+    if (!key.starts_with(prefix)) return true;  // other tables (list scan)
+    auto row_or = DecodeRow(value);
+    if (!row_or.ok()) {
+      inner = row_or.status();
+      return false;
+    }
+    return fn(row_or.value());
+  };
+  if (ordered_ != nullptr) {
+    std::string hi = prefix;
+    hi.back() = '\x02';  // first key past the prefix
+    FAME_RETURN_IF_ERROR(RangeScan(prefix, hi, visit));
+  } else {
+    FAME_RETURN_IF_ERROR(Scan([&](const Slice& k, uint64_t) {
+      // List index scan yields keys; fetch values through Get.
+      if (!k.starts_with(prefix)) return true;
+      std::string v;
+      inner = Get(k, &v);
+      if (!inner.ok()) return false;
+      return visit(k, Slice(v));
+    }));
+  }
+  return inner;
+}
+
+}  // namespace fame::core

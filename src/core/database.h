@@ -1,0 +1,132 @@
+// Database: the runtime facade of the FAME-DBMS product line (the API
+// feature). Where the StaticEngine products are composed at compile time
+// (FeatureC++-equivalent), Database composes *components at runtime* from a
+// validated feature Configuration — the component-based comparator the
+// paper discusses in §2.1 (flexible, but paying dispatch overhead; the
+// ablation bench measures exactly that gap).
+#ifndef FAME_CORE_DATABASE_H_
+#define FAME_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/datatypes.h"
+#include "featuremodel/fame_model.h"
+#include "index/index.h"
+#include "osal/allocator.h"
+#include "osal/env.h"
+#include "storage/buffer.h"
+#include "storage/record.h"
+#include "tx/txmgr.h"
+
+namespace fame::core {
+
+/// Open options: a feature selection plus tuning knobs. Feature names are
+/// those of the Figure 2 model; Open() validates the selection against the
+/// model (propagation + completeness) before composing anything.
+struct DbOptions {
+  /// Feature names to select; everything forced by the model is added by
+  /// propagation, everything else is excluded (minimal completion).
+  std::vector<std::string> features = {"Linux", "Dynamic", "LRU", "B+-Tree",
+                                       "BTree-Search", "Int-Types",
+                                       "String-Types", "Get", "Put", "API"};
+  std::string path = "fame.db";
+  uint32_t page_size = 4096;
+  size_t buffer_frames = 64;
+  size_t static_pool_bytes = 256 * 1024;  // used with feature Static
+  uint64_t nutos_capacity_bytes = 0;      // device budget with feature NutOS
+  uint32_t hash_buckets = 64;             // [extension] hash index tuning
+  /// Env for feature Linux; NutOS products create an owned MemEnv.
+  osal::Env* env = nullptr;  // nullptr = GetPosixEnv()
+};
+
+class SqlEngine;
+
+/// A composed FAME-DBMS instance.
+class Database : private tx::ApplyTarget {
+ public:
+  /// Validates `options.features` against the FAME-DBMS feature model,
+  /// derives the minimal valid variant containing them, and composes the
+  /// product. ConfigInvalid when the selection violates the model.
+  static StatusOr<std::unique_ptr<Database>> Open(const DbOptions& options);
+
+  ~Database() override;
+
+  // ---- Access features (runtime-gated: NotSupported when unselected) ----
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Remove(const Slice& key);
+  Status Update(const Slice& key, const Slice& value);
+  Status Scan(const index::ScanVisitor& visit);
+  Status RangeScan(const Slice& lo, const Slice& hi,
+                   const std::function<bool(const Slice&, const Slice&)>& fn);
+
+  // ---- Transaction feature ----
+  StatusOr<tx::Transaction*> Begin();
+  Status Commit(tx::Transaction* txn);
+  Status Abort(tx::Transaction* txn);
+
+  // ---- typed record API (Data Types feature) ----
+  Status CreateTable(const Schema& schema);
+  StatusOr<Schema> GetSchema(const std::string& table);
+  Status InsertRow(const std::string& table, const Row& row);
+  StatusOr<Row> FindRow(const std::string& table, const Value& pk);
+  Status DeleteRow(const std::string& table, const Value& pk);
+  Status ScanTable(const std::string& table,
+                   const std::function<bool(const Row&)>& fn);
+
+  // ---- SQL Engine feature ----
+  /// nullptr when the SQL-Engine feature is not selected.
+  SqlEngine* sql() { return sql_.get(); }
+
+  /// The complete derived configuration this instance runs.
+  const fm::Configuration& configuration() const { return config_; }
+  bool HasFeature(const std::string& name) const;
+
+  Status Checkpoint();
+  const storage::BufferStats& buffer_stats() const {
+    return buffers_->stats();
+  }
+  osal::Env* env() { return env_; }
+
+ private:
+  friend class SqlEngine;
+  Database() = default;
+
+  Status ComposeComponents(const DbOptions& options);
+  Status PutInternal(const Slice& key, const Slice& value);
+  Status RemoveInternal(const Slice& key);
+
+  // tx::ApplyTarget.
+  Status ApplyPut(const std::string& store, const Slice& key,
+                  const Slice& value) override;
+  Status ApplyDelete(const std::string& store, const Slice& key) override;
+  Status ReadCommitted(const std::string& store, const Slice& key,
+                       std::string* value) override;
+  Status CheckpointEngine() override;
+
+  static std::string TableKey(const std::string& table, const Value& pk);
+  static std::string SchemaKey(const std::string& table);
+
+  std::unique_ptr<fm::FeatureModel> model_;
+  fm::Configuration config_;
+  DbOptions options_;
+
+  osal::Env* env_ = nullptr;
+  std::unique_ptr<osal::Env> owned_env_;         // NutOS / Win32 shims
+  std::unique_ptr<osal::Allocator> allocator_;
+  std::unique_ptr<storage::PageFile> file_;
+  std::unique_ptr<storage::BufferManager> buffers_;
+  std::unique_ptr<storage::RecordManager> heap_;
+  std::unique_ptr<index::KeyValueIndex> index_;
+  index::OrderedIndex* ordered_ = nullptr;       // non-null for B+-Tree
+  std::unique_ptr<tx::TransactionManager> txmgr_;
+  std::unique_ptr<SqlEngine> sql_;
+
+  bool has_put_ = false, has_remove_ = false, has_update_ = false;
+};
+
+}  // namespace fame::core
+
+#endif  // FAME_CORE_DATABASE_H_

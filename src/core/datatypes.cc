@@ -1,0 +1,202 @@
+#include "core/datatypes.h"
+
+#include "common/coding.h"
+#include "common/stringutil.h"
+#include "index/keys.h"
+
+namespace fame::core {
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.kind_ = Kind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+Value Value::Blob(std::string v) {
+  Value out;
+  out.kind_ = Kind::kBlob;
+  out.str_ = std::move(v);
+  return out;
+}
+
+std::string Value::EncodeKey() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return std::string(1, '\0');
+    case Kind::kInt:
+      return index::EncodeI64Key(int_);
+    case Kind::kString:
+    case Kind::kBlob:
+      return str_;
+  }
+  return "";
+}
+
+std::string Value::ToDisplay() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kString:
+      return "'" + str_ + "'";
+    case Kind::kBlob: {
+      static const char* hex = "0123456789abcdef";
+      std::string out = "x'";
+      for (unsigned char c : str_) {
+        out.push_back(hex[c >> 4]);
+        out.push_back(hex[c & 0xf]);
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& o) const { return Compare(o) == 0; }
+
+int Value::Compare(const Value& o) const {
+  if (kind_ != o.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(o.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kInt:
+      return int_ < o.int_ ? -1 : (int_ > o.int_ ? 1 : 0);
+    case Kind::kString:
+    case Kind::kBlob:
+      return Slice(str_).compare(Slice(o.str_));
+  }
+  return 0;
+}
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) {
+    out.push_back(static_cast<char>(v.kind()));
+    switch (v.kind()) {
+      case Value::Kind::kNull:
+        break;
+      case Value::Kind::kInt:
+        PutVarint64(&out, static_cast<uint64_t>(v.AsInt()));
+        break;
+      case Value::Kind::kString:
+      case Value::Kind::kBlob:
+        PutLengthPrefixedSlice(&out, v.AsString());
+        break;
+    }
+  }
+  return out;
+}
+
+StatusOr<Row> DecodeRow(const Slice& data) {
+  Slice in = data;
+  uint32_t n = 0;
+  if (!GetVarint32(&in, &n)) return Status::Corruption("bad row header");
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (in.empty()) return Status::Corruption("row truncated");
+    auto kind = static_cast<Value::Kind>(in[0]);
+    in.remove_prefix(1);
+    switch (kind) {
+      case Value::Kind::kNull:
+        row.push_back(Value());
+        break;
+      case Value::Kind::kInt: {
+        uint64_t v = 0;
+        if (!GetVarint64(&in, &v)) return Status::Corruption("row truncated");
+        row.push_back(Value::Int(static_cast<int64_t>(v)));
+        break;
+      }
+      case Value::Kind::kString:
+      case Value::Kind::kBlob: {
+        Slice s;
+        if (!GetLengthPrefixedSlice(&in, &s)) {
+          return Status::Corruption("row truncated");
+        }
+        row.push_back(kind == Value::Kind::kString
+                          ? Value::String(s.ToString())
+                          : Value::Blob(s.ToString()));
+        break;
+      }
+      default:
+        return Status::Corruption("unknown value kind");
+    }
+  }
+  return row;
+}
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+Status Schema::CheckRow(const Row& row) const {
+  if (row.size() != columns.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table " + table +
+        " has " + std::to_string(columns.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].kind() != columns[i].type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     columns[i].name);
+    }
+  }
+  if (row.empty() || row[0].is_null()) {
+    return Status::InvalidArgument("primary key (first column) must be set");
+  }
+  return Status::OK();
+}
+
+std::string Schema::Encode() const {
+  std::string out;
+  PutLengthPrefixedSlice(&out, table);
+  PutVarint32(&out, static_cast<uint32_t>(columns.size()));
+  for (const Column& c : columns) {
+    PutLengthPrefixedSlice(&out, c.name);
+    out.push_back(static_cast<char>(c.type));
+  }
+  return out;
+}
+
+StatusOr<Schema> Schema::Decode(const Slice& data) {
+  Slice in = data;
+  Schema schema;
+  Slice name;
+  if (!GetLengthPrefixedSlice(&in, &name)) {
+    return Status::Corruption("bad schema");
+  }
+  schema.table = name.ToString();
+  uint32_t n = 0;
+  if (!GetVarint32(&in, &n)) return Status::Corruption("bad schema");
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice cname;
+    if (!GetLengthPrefixedSlice(&in, &cname) || in.empty()) {
+      return Status::Corruption("bad schema column");
+    }
+    Column col;
+    col.name = cname.ToString();
+    col.type = static_cast<Value::Kind>(in[0]);
+    in.remove_prefix(1);
+    schema.columns.push_back(std::move(col));
+  }
+  return schema;
+}
+
+}  // namespace fame::core

@@ -1,0 +1,76 @@
+// Data Types feature (Figure 2): typed values and row encoding for the
+// record-oriented API and the SQL-lite engine. The or-group alternatives
+// Int-Types / String-Types / Blob-Types gate which Kind a product accepts.
+#ifndef FAME_CORE_DATATYPES_H_
+#define FAME_CORE_DATATYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace fame::core {
+
+/// A typed value.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kInt = 1, kString = 2, kBlob = 3 };
+
+  Value() : kind_(Kind::kNull) {}
+  static Value Int(int64_t v);
+  static Value String(std::string v);
+  static Value Blob(std::string v);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  int64_t AsInt() const { return int_; }
+  const std::string& AsString() const { return str_; }
+  const std::string& AsBlob() const { return str_; }
+
+  /// Order-preserving key encoding (usable as an index key).
+  std::string EncodeKey() const;
+
+  /// Human-readable form ("42", "'abc'", "x'6162'", "NULL").
+  std::string ToDisplay() const;
+
+  bool operator==(const Value& o) const;
+  /// Total order: NULL < Int < String < Blob; within kind, natural order.
+  int Compare(const Value& o) const;
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  std::string str_;
+};
+
+/// A row: a tuple of values. Serialized as
+/// [varint32 n] then per value [u8 kind][payload].
+using Row = std::vector<Value>;
+
+std::string EncodeRow(const Row& row);
+StatusOr<Row> DecodeRow(const Slice& data);
+
+/// Column description for the record API / SQL tables.
+struct Column {
+  std::string name;
+  Value::Kind type = Value::Kind::kInt;
+};
+
+/// Table schema: named columns, column 0 is the primary key.
+struct Schema {
+  std::string table;
+  std::vector<Column> columns;
+
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+  /// Checks a row's arity and value kinds against the schema (NULLs pass).
+  Status CheckRow(const Row& row) const;
+
+  std::string Encode() const;
+  static StatusOr<Schema> Decode(const Slice& data);
+};
+
+}  // namespace fame::core
+
+#endif  // FAME_CORE_DATATYPES_H_

@@ -1,0 +1,159 @@
+#include "core/index_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "index/bplus_tree.h"
+#include "index/keys.h"
+#include "index/list_index.h"
+#include "osal/allocator.h"
+#include "osal/env.h"
+
+namespace fame::core {
+
+namespace {
+
+double BtreeLevels(uint64_t n, double fanout) {
+  if (n <= 1) return 1;
+  return std::max(1.0, std::ceil(std::log(static_cast<double>(n)) /
+                                 std::log(std::max(2.0, fanout))));
+}
+
+}  // namespace
+
+IndexRecommendation AdviseIndex(const WorkloadProfile& profile,
+                                const IndexCostModel& model) {
+  IndexRecommendation rec;
+  const double n = static_cast<double>(std::max<uint64_t>(1, profile.expected_entries));
+  const double levels = BtreeLevels(profile.expected_entries, model.btree_fanout);
+
+  double btree_read = model.btree_base + model.btree_per_level * levels;
+  double btree_write = btree_read * model.btree_insert_factor;
+  // List: expected half scan on hits; writes scan for the upsert duplicate
+  // check, then append.
+  double list_read = model.list_per_entry * n / 2;
+  double list_write = model.list_per_entry * n;
+
+  rec.btree_cost = profile.point_lookup_fraction * btree_read +
+                   profile.range_scan_fraction * btree_read +
+                   profile.write_fraction * btree_write;
+  rec.list_cost = profile.point_lookup_fraction * list_read +
+                  // a List "range scan" is a full filtered pass
+                  profile.range_scan_fraction * model.list_per_entry * n +
+                  profile.write_fraction * list_write;
+
+  if (profile.requires_order || profile.range_scan_fraction > 0.25) {
+    rec.feature = "B+-Tree";
+    rec.rationale = profile.requires_order
+                        ? "ordered iteration is required"
+                        : "range-scan heavy workloads need the ordered index";
+    return rec;
+  }
+  if (rec.list_cost <= rec.btree_cost) {
+    rec.feature = "List";
+    rec.rationale = StringPrintf(
+        "%llu entries are cheap to scan (%.2f vs %.2f per op) and the List "
+        "index is the smallest footprint",
+        static_cast<unsigned long long>(profile.expected_entries),
+        rec.list_cost, rec.btree_cost);
+  } else {
+    rec.feature = "B+-Tree";
+    rec.rationale = StringPrintf(
+        "linear scans over %llu entries are too slow (%.2f vs %.2f per op)",
+        static_cast<unsigned long long>(profile.expected_entries),
+        rec.list_cost, rec.btree_cost);
+  }
+  return rec;
+}
+
+StatusOr<IndexCostModel> Calibrate(uint64_t sample_size) {
+  sample_size = std::clamp<uint64_t>(sample_size, 256, 100'000);
+  auto env = osal::NewMemEnv(0);
+  osal::DynamicAllocator alloc;
+  storage::PageFileOptions opts;
+  opts.paranoid_checks = false;
+  auto pf = storage::PageFile::Open(env.get(), "cal", opts);
+  FAME_RETURN_IF_ERROR(pf.status());
+  auto bm = storage::BufferManager::Create(
+      pf->get(), 256, &alloc, storage::MakeReplacementPolicy("lru"));
+  FAME_RETURN_IF_ERROR(bm.status());
+
+  IndexCostModel model;
+
+  // ---- B+-tree: measure lookups at two sizes to split base/per-level ----
+  {
+    auto tree_or = index::BPlusTree::Open(bm->get(), "cal_t");
+    FAME_RETURN_IF_ERROR(tree_or.status());
+    auto& tree = *tree_or;
+    Random rng(1);
+    auto measure = [&](uint64_t upto) -> StatusOr<double> {
+      uint64_t v;
+      uint64_t start = env->NowNanos();
+      const uint64_t reps = 20'000;
+      for (uint64_t i = 0; i < reps; ++i) {
+        FAME_RETURN_IF_ERROR(
+            tree->Lookup(index::EncodeU64Key(rng.Uniform(upto)), &v));
+      }
+      return static_cast<double>(env->NowNanos() - start) / 1000.0 /
+             static_cast<double>(reps);  // us/op
+    };
+    uint64_t small_n = std::max<uint64_t>(64, sample_size / 16);
+    for (uint64_t i = 0; i < small_n; ++i) {
+      FAME_RETURN_IF_ERROR(tree->Insert(index::EncodeU64Key(i), i));
+    }
+    FAME_ASSIGN_OR_RETURN(double cost_small, measure(small_n));
+    for (uint64_t i = small_n; i < sample_size; ++i) {
+      FAME_RETURN_IF_ERROR(tree->Insert(index::EncodeU64Key(i), i));
+    }
+    FAME_ASSIGN_OR_RETURN(double cost_large, measure(sample_size));
+    double levels_small = BtreeLevels(small_n, model.btree_fanout);
+    double levels_large = BtreeLevels(sample_size, model.btree_fanout);
+    if (levels_large > levels_small) {
+      model.btree_per_level = std::max(
+          0.01, (cost_large - cost_small) / (levels_large - levels_small));
+    } else {
+      model.btree_per_level = std::max(0.01, cost_large * 0.3);
+    }
+    model.btree_base =
+        std::max(0.01, cost_large - model.btree_per_level * levels_large);
+  }
+
+  // ---- List: per-entry scan cost from a small sample ----
+  {
+    auto list_or = index::ListIndex::Open(bm->get(), "cal_l");
+    FAME_RETURN_IF_ERROR(list_or.status());
+    auto& list = *list_or;
+    const uint64_t n = std::min<uint64_t>(1024, sample_size);
+    for (uint64_t i = 0; i < n; ++i) {
+      FAME_RETURN_IF_ERROR(list->Insert(index::EncodeU64Key(i), i));
+    }
+    Random rng(2);
+    uint64_t v;
+    const uint64_t reps = 2'000;
+    uint64_t start = env->NowNanos();
+    for (uint64_t i = 0; i < reps; ++i) {
+      FAME_RETURN_IF_ERROR(
+          list->Lookup(index::EncodeU64Key(rng.Uniform(n)), &v));
+    }
+    double us_per_lookup =
+        static_cast<double>(env->NowNanos() - start) / 1000.0 /
+        static_cast<double>(reps);
+    // Expected scan length on a hit is n/2 entries.
+    model.list_per_entry =
+        std::max(1e-5, us_per_lookup / (static_cast<double>(n) / 2));
+  }
+  return model;
+}
+
+Status ApplyRecommendation(const IndexRecommendation& rec,
+                           fm::Configuration* config) {
+  if (config == nullptr || config->model() == nullptr) {
+    return Status::InvalidArgument("configuration is not bound to a model");
+  }
+  FAME_RETURN_IF_ERROR(config->SelectByName(rec.feature));
+  return config->model()->Propagate(config);
+}
+
+}  // namespace fame::core

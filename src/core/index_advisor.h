@@ -1,0 +1,70 @@
+// Data-driven index selection — the paper's named future work: "knowledge
+// about the application domain has to be included in the product derivation
+// process ... For example, the data that is to be stored could be
+// considered to statically select the optimal index."
+//
+// The advisor maps an application's *workload profile* (expected dataset
+// size, point/range/write mix) onto the Index alternative of the Figure 2
+// model (B+-Tree vs List) using a per-operation cost model. The model can
+// be used with documented defaults or *calibrated*: Calibrate() actually
+// runs both index structures on a synthetic dataset in a MemEnv and fits
+// the parameters from measurements — measurement-backed derivation, in the
+// spirit of the Feedback Approach.
+#ifndef FAME_CORE_INDEX_ADVISOR_H_
+#define FAME_CORE_INDEX_ADVISOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "featuremodel/model.h"
+
+namespace fame::core {
+
+/// What the application will do with the store.
+struct WorkloadProfile {
+  uint64_t expected_entries = 1000;  ///< dataset size at steady state
+  double point_lookup_fraction = 0.5;  ///< share of operations that are gets
+  double range_scan_fraction = 0.0;    ///< share that are ordered range scans
+  double write_fraction = 0.5;         ///< share that are puts/removes
+  bool requires_order = false;         ///< ordered iteration is mandatory
+};
+
+/// Per-operation cost parameters (arbitrary but consistent units;
+/// microseconds when calibrated).
+struct IndexCostModel {
+  // B+-tree: cost = base + per_level * ceil(log_fanout(n)).
+  double btree_base = 0.4;
+  double btree_per_level = 0.25;
+  double btree_fanout = 64;
+  double btree_insert_factor = 1.6;  ///< writes touch more than reads
+  // List: cost = per_entry * n/2 for lookups, per_entry * n for misses;
+  // inserts append after a duplicate scan.
+  double list_per_entry = 0.01;
+};
+
+/// The advisor's verdict.
+struct IndexRecommendation {
+  std::string feature;       ///< "B+-Tree" or "List" (Figure 2 names)
+  double btree_cost = 0;     ///< estimated cost per operation
+  double list_cost = 0;
+  std::string rationale;     ///< one-line human-readable explanation
+};
+
+/// Estimates per-operation costs for `profile` under `model` and picks the
+/// cheaper index; order requirements force the B+-tree.
+IndexRecommendation AdviseIndex(const WorkloadProfile& profile,
+                                const IndexCostModel& model = {});
+
+/// Measures both index structures on a `sample_size`-entry synthetic
+/// dataset (in-memory) and returns a cost model fitted from the
+/// measurements. `sample_size` is clamped to [256, 100000].
+StatusOr<IndexCostModel> Calibrate(uint64_t sample_size = 4096);
+
+/// Applies a recommendation to a partial FAME-DBMS configuration: selects
+/// the recommended Index alternative (propagation excludes the other).
+Status ApplyRecommendation(const IndexRecommendation& rec,
+                           fm::Configuration* config);
+
+}  // namespace fame::core
+
+#endif  // FAME_CORE_INDEX_ADVISOR_H_

@@ -1,0 +1,94 @@
+// Named, statically-composed FAME-DBMS products (the generator output of
+// the product line). Each Cfg struct is one valid configuration of the
+// Figure 2 feature model; tests assert that correspondence.
+#ifndef FAME_CORE_PRODUCTS_H_
+#define FAME_CORE_PRODUCTS_H_
+
+#include "core/static_engine.h"
+
+namespace fame::core {
+
+/// Deeply embedded sensor node: NutOS (MemEnv), Static allocation, List
+/// index, Get/Put only. Smallest product.
+struct EmbeddedMinimalCfg {
+  using IndexTag = ListTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = false;
+  static constexpr bool kUpdate = false;
+  static constexpr bool kTransactions = false;
+  static constexpr bool kForceCommit = false;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 512;
+  static constexpr size_t kBufferFrames = 4;
+  static constexpr size_t kStaticPoolBytes = 16 * 1024;
+};
+using EmbeddedMinimal = StaticEngine<EmbeddedMinimalCfg>;
+
+/// Data logger: NutOS, Static allocation, B+-tree (range queries over
+/// timestamps), Put/Get/Remove, no transactions.
+struct SensorLoggerCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = false;
+  static constexpr bool kTransactions = false;
+  static constexpr bool kForceCommit = false;
+  static constexpr const char* kReplacement = "lfu";
+  static constexpr uint32_t kPageSize = 1024;
+  static constexpr size_t kBufferFrames = 8;
+  static constexpr size_t kStaticPoolBytes = 32 * 1024;
+};
+using SensorLogger = StaticEngine<SensorLoggerCfg>;
+
+/// Workstation product: Linux, Dynamic allocation, B+-tree, full Access
+/// set, WAL-redo transactions.
+struct WorkstationCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 128;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+using Workstation = StaticEngine<WorkstationCfg>;
+
+/// Controller: force-at-commit protocol (no recovery replay buffer needed),
+/// static allocation — the Transaction alternative aimed at small devices.
+struct ControllerCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = true;
+  static constexpr const char* kReplacement = "clock";
+  static constexpr uint32_t kPageSize = 2048;
+  static constexpr size_t kBufferFrames = 16;
+  static constexpr size_t kStaticPoolBytes = 64 * 1024;
+};
+using Controller = StaticEngine<ControllerCfg>;
+
+/// Feature selections (names from the Figure 2 model) corresponding to the
+/// products above, used by tests and the derivation tooling to check that
+/// every named product is a valid variant.
+const char* const kEmbeddedMinimalFeatures[] = {
+    "NutOS", "Static", "LRU", "List", "Int-Types", "Get", "Put"};
+const char* const kSensorLoggerFeatures[] = {
+    "NutOS", "Static", "LFU", "B+-Tree", "BTree-Search", "BTree-Remove",
+    "Int-Types", "Get", "Put", "Remove"};
+const char* const kWorkstationFeatures[] = {
+    "Linux", "Dynamic", "LRU", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
+    "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API"};
+const char* const kControllerFeatures[] = {
+    "Linux", "Static", "Clock", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "Get", "Put", "Remove", "Update",
+    "Transaction", "Force-Commit"};
+
+}  // namespace fame::core
+
+#endif  // FAME_CORE_PRODUCTS_H_

@@ -1,0 +1,614 @@
+#include "core/sql.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/stringutil.h"
+#include "core/database.h"
+
+namespace fame::core {
+namespace {
+
+struct SqlToken {
+  enum Kind { kWord, kNumber, kString, kBlob, kPunct, kEnd } kind;
+  std::string text;  // words upper-cased; literals raw
+};
+
+StatusOr<std::vector<SqlToken>> Lex(const std::string& sql) {
+  std::vector<SqlToken> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      // x'...' blob literal.
+      if ((word == "x" || word == "X") && i < n && sql[i] == '\'') {
+        size_t end = sql.find('\'', i + 1);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated blob literal");
+        }
+        std::string hex = sql.substr(i + 1, end - i - 1);
+        if (hex.size() % 2 != 0) return Status::ParseError("odd hex length");
+        std::string bytes;
+        for (size_t h = 0; h < hex.size(); h += 2) {
+          auto nib = [](char x) -> int {
+            if (x >= '0' && x <= '9') return x - '0';
+            if (x >= 'a' && x <= 'f') return x - 'a' + 10;
+            if (x >= 'A' && x <= 'F') return x - 'A' + 10;
+            return -1;
+          };
+          int hi = nib(hex[h]), lo = nib(hex[h + 1]);
+          if (hi < 0 || lo < 0) return Status::ParseError("bad hex digit");
+          bytes.push_back(static_cast<char>((hi << 4) | lo));
+        }
+        out.push_back({SqlToken::kBlob, bytes});
+        i = end + 1;
+        continue;
+      }
+      for (char& ch : word) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      out.push_back({SqlToken::kWord, word});
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      out.push_back({SqlToken::kNumber, sql.substr(start, i - start)});
+    } else if (c == '\'') {
+      std::string lit;
+      ++i;
+      while (i < n) {
+        if (sql[i] == '\'' && i + 1 < n && sql[i + 1] == '\'') {
+          lit.push_back('\'');  // escaped quote
+          i += 2;
+        } else if (sql[i] == '\'') {
+          break;
+        } else {
+          lit.push_back(sql[i]);
+          ++i;
+        }
+      }
+      if (i >= n) return Status::ParseError("unterminated string literal");
+      ++i;
+      out.push_back({SqlToken::kString, lit});
+    } else {
+      static const char* kTwoChar[] = {"<=", ">=", "!=", "<>"};
+      std::string two = sql.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (two == op) {
+          out.push_back({SqlToken::kPunct, two == "<>" ? "!=" : two});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        out.push_back({SqlToken::kPunct, std::string(1, c)});
+        ++i;
+      }
+    }
+  }
+  out.push_back({SqlToken::kEnd, ""});
+  return out;
+}
+
+/// Cursor over a token stream with a tiny expectation API.
+class Tokens {
+ public:
+  explicit Tokens(std::vector<SqlToken> toks) : toks_(std::move(toks)) {}
+  const SqlToken& Peek() const { return toks_[pos_]; }
+  const SqlToken& Next() { return toks_[pos_ == toks_.size() - 1 ? pos_ : pos_++]; }
+  bool AtEnd() const {
+    return Peek().kind == SqlToken::kEnd ||
+           (Peek().kind == SqlToken::kPunct && Peek().text == ";");
+  }
+  bool ConsumeWord(const char* w) {
+    if (Peek().kind == SqlToken::kWord && Peek().text == w) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumePunct(const char* p) {
+    if (Peek().kind == SqlToken::kPunct && Peek().text == p) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  StatusOr<std::string> ExpectWord() {
+    if (Peek().kind != SqlToken::kWord) {
+      return Status::ParseError("expected identifier, got '" + Peek().text +
+                                "'");
+    }
+    return Next().text;
+  }
+  Status ExpectPunct(const char* p) {
+    if (!ConsumePunct(p)) {
+      return Status::ParseError(std::string("expected '") + p + "'");
+    }
+    return Status::OK();
+  }
+  StatusOr<Value> ExpectLiteral() {
+    const SqlToken& t = Peek();
+    if (t.kind == SqlToken::kNumber) {
+      Value v = Value::Int(std::strtoll(t.text.c_str(), nullptr, 10));
+      Next();
+      return v;
+    }
+    if (t.kind == SqlToken::kString) {
+      Value v = Value::String(t.text);
+      Next();
+      return v;
+    }
+    if (t.kind == SqlToken::kBlob) {
+      Value v = Value::Blob(t.text);
+      Next();
+      return v;
+    }
+    if (t.kind == SqlToken::kWord && t.text == "NULL") {
+      Next();
+      return Value();
+    }
+    return Status::ParseError("expected literal, got '" + t.text + "'");
+  }
+
+ private:
+  std::vector<SqlToken> toks_;
+  size_t pos_ = 0;
+};
+
+/// Table names arrive upper-cased from the lexer; schemas are stored with
+/// that canonical casing because CREATE also goes through the lexer.
+bool IsComparisonOp(const std::string& p) {
+  return p == "=" || p == "!=" || p == "<" || p == "<=" || p == ">" ||
+         p == ">=";
+}
+
+bool CompareWithOp(int cmp, const std::string& op) {
+  if (op == "=") return cmp == 0;
+  if (op == "!=") return cmp != 0;
+  if (op == "<") return cmp < 0;
+  if (op == "<=") return cmp <= 0;
+  if (op == ">") return cmp > 0;
+  return cmp >= 0;  // >=
+}
+
+}  // namespace
+
+std::string ResultSet::ToTable() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += (i > 0 ? " | " : "") + columns[i];
+  }
+  if (!columns.empty()) out += "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += (i > 0 ? " | " : "") + row[i].ToDisplay();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<ResultSet> SqlEngine::Execute(const std::string& sql) {
+  std::string head = ToLower(std::string(Trim(sql)).substr(0, 6));
+  if (StartsWith(head, "create")) return ExecCreate(sql);
+  if (StartsWith(head, "insert")) return ExecInsert(sql);
+  if (StartsWith(head, "select")) return ExecSelect(sql);
+  if (StartsWith(head, "update")) return ExecUpdate(sql);
+  if (StartsWith(head, "delete")) return ExecDelete(sql);
+  return Status::ParseError("unsupported statement: " + sql);
+}
+
+StatusOr<ResultSet> SqlEngine::ExecCreate(const std::string& sql) {
+  auto toks_or = Lex(sql);
+  FAME_RETURN_IF_ERROR(toks_or.status());
+  Tokens t(std::move(toks_or).value());
+  if (!t.ConsumeWord("CREATE") || !t.ConsumeWord("TABLE")) {
+    return Status::ParseError("expected CREATE TABLE");
+  }
+  Schema schema;
+  FAME_ASSIGN_OR_RETURN(schema.table, t.ExpectWord());
+  FAME_RETURN_IF_ERROR(t.ExpectPunct("("));
+  while (true) {
+    Column col;
+    FAME_ASSIGN_OR_RETURN(col.name, t.ExpectWord());
+    FAME_ASSIGN_OR_RETURN(std::string type, t.ExpectWord());
+    if (type == "INT" || type == "INTEGER") {
+      col.type = Value::Kind::kInt;
+    } else if (type == "TEXT" || type == "VARCHAR" || type == "STRING") {
+      col.type = Value::Kind::kString;
+    } else if (type == "BLOB") {
+      col.type = Value::Kind::kBlob;
+    } else {
+      return Status::ParseError("unknown column type " + type);
+    }
+    schema.columns.push_back(std::move(col));
+    if (t.ConsumePunct(")")) break;
+    FAME_RETURN_IF_ERROR(t.ExpectPunct(","));
+  }
+  FAME_RETURN_IF_ERROR(db_->CreateTable(schema));
+  ResultSet rs;
+  rs.plan = "ddl";
+  return rs;
+}
+
+StatusOr<ResultSet> SqlEngine::ExecInsert(const std::string& sql) {
+  auto toks_or = Lex(sql);
+  FAME_RETURN_IF_ERROR(toks_or.status());
+  Tokens t(std::move(toks_or).value());
+  if (!t.ConsumeWord("INSERT") || !t.ConsumeWord("INTO")) {
+    return Status::ParseError("expected INSERT INTO");
+  }
+  FAME_ASSIGN_OR_RETURN(std::string table, t.ExpectWord());
+  if (!t.ConsumeWord("VALUES")) return Status::ParseError("expected VALUES");
+  ResultSet rs;
+  rs.plan = "insert";
+  while (true) {
+    FAME_RETURN_IF_ERROR(t.ExpectPunct("("));
+    Row row;
+    while (true) {
+      FAME_ASSIGN_OR_RETURN(Value v, t.ExpectLiteral());
+      row.push_back(std::move(v));
+      if (t.ConsumePunct(")")) break;
+      FAME_RETURN_IF_ERROR(t.ExpectPunct(","));
+    }
+    FAME_RETURN_IF_ERROR(db_->InsertRow(table, row));
+    ++rs.affected;
+    if (!t.ConsumePunct(",")) break;
+  }
+  return rs;
+}
+
+bool SqlEngine::RowMatches(const Schema& schema, const Row& row,
+                           const Predicate& pred) {
+  auto idx_or = schema.ColumnIndex(pred.column);
+  if (!idx_or.ok() || idx_or.value() >= row.size()) return false;
+  return CompareWithOp(row[idx_or.value()].Compare(pred.literal), pred.op);
+}
+
+Status SqlEngine::CollectRows(const std::string& table,
+                              const std::vector<Predicate>& preds,
+                              std::vector<Row>* rows, std::string* plan) {
+  FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(table));
+  for (const Predicate& p : preds) {
+    FAME_RETURN_IF_ERROR(schema.ColumnIndex(p.column).status());
+  }
+  *plan = "full-scan";
+
+  // Pick the access-path predicate: an equality on the primary key beats a
+  // range on the primary key beats nothing. The remaining predicates
+  // filter.
+  const Predicate* access = nullptr;
+  for (const Predicate& p : preds) {
+    auto idx_or = schema.ColumnIndex(p.column);
+    if (!idx_or.ok() || idx_or.value() != 0) continue;
+    if (p.op == "=") {
+      access = &p;
+      break;
+    }
+    if (access == nullptr &&
+        (p.op == "<" || p.op == "<=" || p.op == ">" || p.op == ">=")) {
+      access = &p;
+    }
+  }
+  auto matches_all = [&](const Row& row) {
+    for (const Predicate& p : preds) {
+      if (!RowMatches(schema, row, p)) return false;
+    }
+    return true;
+  };
+
+  if (access != nullptr && access->op == "=") {
+    *plan = "point-lookup";
+    auto row_or = db_->FindRow(table, access->literal);
+    if (row_or.ok()) {
+      if (matches_all(row_or.value())) rows->push_back(std::move(row_or).value());
+    } else if (!row_or.status().IsNotFound()) {
+      return row_or.status();
+    }
+    return Status::OK();
+  }
+  if (access != nullptr && optimizer_ && db_->HasFeature("B+-Tree")) {
+    // Rule-based optimizer: range predicate on the key -> index range.
+    *plan = "index-range";
+    std::string prefix = "t:" + table + "\x01";
+    std::string lo = prefix, hi = prefix;
+    hi.back() = '\x02';
+    if (access->op == ">" || access->op == ">=") {
+      lo = prefix + access->literal.EncodeKey();
+    } else {
+      hi = prefix + access->literal.EncodeKey();
+      if (access->op == "<=") hi.push_back('\0');  // include the bound
+    }
+    Status inner = Status::OK();
+    FAME_RETURN_IF_ERROR(
+        db_->RangeScan(lo, hi, [&](const Slice&, const Slice& value) {
+          auto row_or = DecodeRow(value);
+          if (!row_or.ok()) {
+            inner = row_or.status();
+            return false;
+          }
+          // The bounds over-approximate; re-check every predicate exactly.
+          if (matches_all(row_or.value())) {
+            rows->push_back(std::move(row_or).value());
+          }
+          return true;
+        }));
+    return inner;
+  }
+  // Fallback: scan everything, filter.
+  FAME_RETURN_IF_ERROR(db_->ScanTable(table, [&](const Row& row) {
+    if (matches_all(row)) rows->push_back(row);
+    return true;
+  }));
+  return Status::OK();
+}
+
+StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
+  auto toks_or = Lex(sql);
+  FAME_RETURN_IF_ERROR(toks_or.status());
+  Tokens t(std::move(toks_or).value());
+  if (!t.ConsumeWord("SELECT")) return Status::ParseError("expected SELECT");
+
+  // Projection list: '*', plain columns, or aggregates (not mixed).
+  struct Aggregate {
+    std::string fn;      // COUNT SUM AVG MIN MAX
+    std::string column;  // "*" only for COUNT
+  };
+  std::vector<std::string> wanted;
+  std::vector<Aggregate> aggregates;
+  bool star = t.ConsumePunct("*");
+  if (!star) {
+    while (true) {
+      FAME_ASSIGN_OR_RETURN(std::string word, t.ExpectWord());
+      if ((word == "COUNT" || word == "SUM" || word == "AVG" ||
+           word == "MIN" || word == "MAX") &&
+          t.ConsumePunct("(")) {
+        Aggregate agg;
+        agg.fn = word;
+        if (t.ConsumePunct("*")) {
+          if (word != "COUNT") {
+            return Status::ParseError(word + "(*) is not supported");
+          }
+          agg.column = "*";
+        } else {
+          FAME_ASSIGN_OR_RETURN(agg.column, t.ExpectWord());
+        }
+        FAME_RETURN_IF_ERROR(t.ExpectPunct(")"));
+        aggregates.push_back(std::move(agg));
+      } else {
+        wanted.push_back(word);
+      }
+      if (!t.ConsumePunct(",")) break;
+    }
+    if (!aggregates.empty() && !wanted.empty()) {
+      return Status::ParseError(
+          "mixing aggregates and plain columns is not supported");
+    }
+  }
+  if (!t.ConsumeWord("FROM")) return Status::ParseError("expected FROM");
+  FAME_ASSIGN_OR_RETURN(std::string table, t.ExpectWord());
+
+  std::vector<Predicate> preds;
+  if (t.ConsumeWord("WHERE")) {
+    do {
+      Predicate p;
+      FAME_ASSIGN_OR_RETURN(p.column, t.ExpectWord());
+      if (t.Peek().kind != SqlToken::kPunct ||
+          !IsComparisonOp(t.Peek().text)) {
+        return Status::ParseError("expected comparison operator");
+      }
+      p.op = t.Next().text;
+      FAME_ASSIGN_OR_RETURN(p.literal, t.ExpectLiteral());
+      preds.push_back(std::move(p));
+    } while (t.ConsumeWord("AND"));
+  }
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  if (t.ConsumeWord("ORDER")) {
+    if (!t.ConsumeWord("BY")) return Status::ParseError("expected BY");
+    FAME_ASSIGN_OR_RETURN(std::string col, t.ExpectWord());
+    order_by = col;
+    if (t.ConsumeWord("DESC")) {
+      order_desc = true;
+    } else {
+      t.ConsumeWord("ASC");
+    }
+  }
+  std::optional<uint64_t> limit;
+  if (t.ConsumeWord("LIMIT")) {
+    if (t.Peek().kind != SqlToken::kNumber) {
+      return Status::ParseError("expected LIMIT count");
+    }
+    limit = std::strtoull(t.Next().text.c_str(), nullptr, 10);
+  }
+  if (!t.AtEnd()) {
+    return Status::ParseError("trailing input after SELECT: '" +
+                              t.Peek().text + "'");
+  }
+
+  FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(table));
+  ResultSet rs;
+  std::vector<Row> rows;
+  FAME_RETURN_IF_ERROR(CollectRows(table, preds, &rows, &rs.plan));
+
+  if (!aggregates.empty()) {
+    // Aggregation consumes the row set; ORDER BY / LIMIT are meaningless
+    // on the single result row and therefore rejected.
+    if (order_by.has_value() || limit.has_value()) {
+      return Status::ParseError("ORDER BY / LIMIT on an aggregate query");
+    }
+    Row out_row;
+    for (const Aggregate& agg : aggregates) {
+      rs.columns.push_back(agg.fn + "(" + agg.column + ")");
+      if (agg.fn == "COUNT" && agg.column == "*") {
+        out_row.push_back(Value::Int(static_cast<int64_t>(rows.size())));
+        continue;
+      }
+      FAME_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(agg.column));
+      int64_t count = 0, sum = 0;
+      std::optional<Value> best;
+      bool numeric = true;
+      for (const Row& row : rows) {
+        const Value& v = row[col];
+        if (v.is_null()) continue;
+        ++count;
+        if (v.kind() == Value::Kind::kInt) {
+          sum += v.AsInt();
+        } else {
+          numeric = false;
+        }
+        if (!best.has_value() ||
+            (agg.fn == "MIN" && v.Compare(*best) < 0) ||
+            (agg.fn == "MAX" && v.Compare(*best) > 0)) {
+          best = v;
+        }
+      }
+      if (agg.fn == "COUNT") {
+        out_row.push_back(Value::Int(count));
+      } else if (agg.fn == "SUM" || agg.fn == "AVG") {
+        if (!numeric) {
+          return Status::InvalidArgument(agg.fn + " needs an INT column");
+        }
+        if (agg.fn == "SUM") {
+          out_row.push_back(count == 0 ? Value() : Value::Int(sum));
+        } else {
+          out_row.push_back(count == 0 ? Value() : Value::Int(sum / count));
+        }
+      } else {  // MIN / MAX
+        out_row.push_back(best.value_or(Value()));
+      }
+    }
+    rs.rows.push_back(std::move(out_row));
+    return rs;
+  }
+
+  if (order_by.has_value()) {
+    FAME_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(*order_by));
+    std::stable_sort(rows.begin(), rows.end(),
+                     [col, order_desc](const Row& a, const Row& b) {
+                       int cmp = a[col].Compare(b[col]);
+                       return order_desc ? cmp > 0 : cmp < 0;
+                     });
+  }
+  if (limit.has_value() && rows.size() > *limit) rows.resize(*limit);
+
+  // Projection.
+  std::vector<size_t> proj;
+  if (star) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) proj.push_back(i);
+    for (const Column& c : schema.columns) rs.columns.push_back(c.name);
+  } else {
+    for (const std::string& name : wanted) {
+      FAME_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      proj.push_back(idx);
+      rs.columns.push_back(name);
+    }
+  }
+  for (Row& row : rows) {
+    Row out;
+    out.reserve(proj.size());
+    for (size_t idx : proj) out.push_back(row[idx]);
+    rs.rows.push_back(std::move(out));
+  }
+  return rs;
+}
+
+StatusOr<ResultSet> SqlEngine::ExecUpdate(const std::string& sql) {
+  auto toks_or = Lex(sql);
+  FAME_RETURN_IF_ERROR(toks_or.status());
+  Tokens t(std::move(toks_or).value());
+  if (!t.ConsumeWord("UPDATE")) return Status::ParseError("expected UPDATE");
+  FAME_ASSIGN_OR_RETURN(std::string table, t.ExpectWord());
+  if (!t.ConsumeWord("SET")) return Status::ParseError("expected SET");
+
+  std::vector<std::pair<std::string, Value>> sets;
+  while (true) {
+    FAME_ASSIGN_OR_RETURN(std::string col, t.ExpectWord());
+    FAME_RETURN_IF_ERROR(t.ExpectPunct("="));
+    FAME_ASSIGN_OR_RETURN(Value v, t.ExpectLiteral());
+    sets.emplace_back(std::move(col), std::move(v));
+    if (!t.ConsumePunct(",")) break;
+  }
+  std::vector<Predicate> preds;
+  if (t.ConsumeWord("WHERE")) {
+    do {
+      Predicate p;
+      FAME_ASSIGN_OR_RETURN(p.column, t.ExpectWord());
+      if (t.Peek().kind != SqlToken::kPunct ||
+          !IsComparisonOp(t.Peek().text)) {
+        return Status::ParseError("expected comparison operator");
+      }
+      p.op = t.Next().text;
+      FAME_ASSIGN_OR_RETURN(p.literal, t.ExpectLiteral());
+      preds.push_back(std::move(p));
+    } while (t.ConsumeWord("AND"));
+  }
+
+  FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(table));
+  std::vector<std::pair<size_t, Value>> set_idx;
+  for (auto& [col, v] : sets) {
+    FAME_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
+    if (idx == 0) {
+      return Status::NotSupported("updating the primary key is not supported");
+    }
+    set_idx.emplace_back(idx, v);
+  }
+
+  ResultSet rs;
+  std::vector<Row> rows;
+  FAME_RETURN_IF_ERROR(CollectRows(table, preds, &rows, &rs.plan));
+  for (Row& row : rows) {
+    for (const auto& [idx, v] : set_idx) row[idx] = v;
+    FAME_RETURN_IF_ERROR(db_->InsertRow(table, row));  // upsert by key
+    ++rs.affected;
+  }
+  return rs;
+}
+
+StatusOr<ResultSet> SqlEngine::ExecDelete(const std::string& sql) {
+  auto toks_or = Lex(sql);
+  FAME_RETURN_IF_ERROR(toks_or.status());
+  Tokens t(std::move(toks_or).value());
+  if (!t.ConsumeWord("DELETE") || !t.ConsumeWord("FROM")) {
+    return Status::ParseError("expected DELETE FROM");
+  }
+  FAME_ASSIGN_OR_RETURN(std::string table, t.ExpectWord());
+  std::vector<Predicate> preds;
+  if (t.ConsumeWord("WHERE")) {
+    do {
+      Predicate p;
+      FAME_ASSIGN_OR_RETURN(p.column, t.ExpectWord());
+      if (t.Peek().kind != SqlToken::kPunct ||
+          !IsComparisonOp(t.Peek().text)) {
+        return Status::ParseError("expected comparison operator");
+      }
+      p.op = t.Next().text;
+      FAME_ASSIGN_OR_RETURN(p.literal, t.ExpectLiteral());
+      preds.push_back(std::move(p));
+    } while (t.ConsumeWord("AND"));
+  }
+  ResultSet rs;
+  std::vector<Row> rows;
+  FAME_RETURN_IF_ERROR(CollectRows(table, preds, &rows, &rs.plan));
+  for (const Row& row : rows) {
+    FAME_RETURN_IF_ERROR(db_->DeleteRow(table, row[0]));
+    ++rs.affected;
+  }
+  return rs;
+}
+
+}  // namespace fame::core

@@ -1,0 +1,84 @@
+// SQL-lite engine (the SQL Engine + Optimizer features of Figure 2).
+// Supported statements:
+//
+//   CREATE TABLE t (col INT|TEXT|BLOB, ...)      -- first column = key
+//   INSERT INTO t VALUES (lit, ...)
+//   SELECT * | col[, col] | agg[, agg] FROM t
+//       [WHERE col op lit [AND col op lit]...]
+//       [ORDER BY col [DESC]] [LIMIT n]
+//   UPDATE t SET col = lit [, ...] [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//
+// op: = != < <= > >=. Literals: integers, 'strings', x'hex blobs', NULL.
+// agg: COUNT(*) | COUNT(col) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+// (aggregates and plain columns cannot be mixed in one SELECT).
+//
+// Planning: equality on the primary key becomes a point lookup; with the
+// Optimizer feature, range predicates on the primary key become B+-tree
+// range scans — the paper's future-work idea of statically choosing the
+// optimal index, realized as a rule-based optimizer. Everything else is a
+// full scan with a filter. ResultSet::plan records the choice.
+#ifndef FAME_CORE_SQL_H_
+#define FAME_CORE_SQL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/datatypes.h"
+
+namespace fame::core {
+
+class Database;
+
+/// Rows + metadata a statement produced.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  uint64_t affected = 0;        // rows written/deleted by DML
+  std::string plan;             // "point-lookup" | "index-range" | "full-scan"
+
+  std::string ToTable() const;  // ASCII rendering for examples/tools
+};
+
+/// One SQL execution engine bound to a Database.
+class SqlEngine {
+ public:
+  SqlEngine(Database* db, bool optimizer_enabled)
+      : db_(db), optimizer_(optimizer_enabled) {}
+
+  /// Parses and executes one statement.
+  StatusOr<ResultSet> Execute(const std::string& sql);
+
+  bool optimizer_enabled() const { return optimizer_; }
+
+ private:
+  struct Predicate {
+    std::string column;
+    std::string op;  // = != < <= > >=
+    Value literal;
+  };
+
+  StatusOr<ResultSet> ExecCreate(const std::string& sql);
+  StatusOr<ResultSet> ExecInsert(const std::string& sql);
+  StatusOr<ResultSet> ExecSelect(const std::string& sql);
+  StatusOr<ResultSet> ExecUpdate(const std::string& sql);
+  StatusOr<ResultSet> ExecDelete(const std::string& sql);
+
+  /// Collects rows of `table` matching all of `preds`, using the best
+  /// access path for the most selective primary-key predicate and
+  /// filtering with the rest.
+  Status CollectRows(const std::string& table,
+                     const std::vector<Predicate>& preds,
+                     std::vector<Row>* rows, std::string* plan);
+
+  static bool RowMatches(const Schema& schema, const Row& row,
+                         const Predicate& pred);
+
+  Database* db_;
+  bool optimizer_;
+};
+
+}  // namespace fame::core
+
+#endif  // FAME_CORE_SQL_H_

@@ -1,0 +1,262 @@
+// StaticEngine: the FeatureC++-equivalent composition of the FAME-DBMS
+// prototype (paper §2.3). A product is described by a compile-time Cfg
+// traits struct; unselected features either do not instantiate (method
+// templates are instantiated on use only) or fail the build via
+// static_assert — "the application contains only and exactly the
+// functionality required".
+//
+// Cfg requirements:
+//   using IndexTag            — core::BtreeTag or core::ListTag
+//   static constexpr bool kPut, kRemove, kUpdate;   // Access features
+//   static constexpr bool kTransactions;            // Transaction feature
+//   static constexpr bool kForceCommit;             // commit protocol alt
+//   static constexpr const char* kReplacement;      // "lru"|"lfu"|"clock"
+//   static constexpr uint32_t kPageSize;
+//   static constexpr size_t kBufferFrames;
+//   static constexpr size_t kStaticPoolBytes;       // 0 => Dynamic alloc
+#ifndef FAME_CORE_STATIC_ENGINE_H_
+#define FAME_CORE_STATIC_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/bplus_tree.h"
+#include "index/list_index.h"
+#include "osal/allocator.h"
+#include "osal/env.h"
+#include "storage/buffer.h"
+#include "storage/record.h"
+#include "tx/txmgr.h"
+
+namespace fame::core {
+
+/// Index alternatives for the core product line.
+struct BtreeTag {
+  using Type = index::BPlusTree;
+  static constexpr bool kOrdered = true;
+  static StatusOr<std::unique_ptr<Type>> Open(storage::BufferManager* b) {
+    return Type::Open(b, "core");
+  }
+};
+struct ListTag {
+  using Type = index::ListIndex;
+  static constexpr bool kOrdered = false;
+  static StatusOr<std::unique_ptr<Type>> Open(storage::BufferManager* b) {
+    return Type::Open(b, "core");
+  }
+};
+
+namespace detail {
+
+/// Memory Alloc alternative, selected at compile time.
+template <size_t kPoolBytes>
+struct AllocState {  // Static
+  osal::StaticPoolAllocator alloc{kPoolBytes};
+  osal::Allocator* get() { return &alloc; }
+};
+template <>
+struct AllocState<0> {  // Dynamic
+  osal::DynamicAllocator alloc;
+  osal::Allocator* get() { return &alloc; }
+};
+
+}  // namespace detail
+
+template <typename Cfg>
+class StaticEngine : private tx::ApplyTarget {
+ public:
+  using Index = typename Cfg::IndexTag::Type;
+  static constexpr bool kOrdered = Cfg::IndexTag::kOrdered;
+
+  StaticEngine() = default;
+  ~StaticEngine() override = default;
+
+  /// Opens the engine at `path` in `env`. With the Transaction feature the
+  /// WAL is recovered before the call returns.
+  Status Open(osal::Env* env, const std::string& path) {
+    env_ = env;
+    storage::PageFileOptions opts;
+    opts.page_size = Cfg::kPageSize;
+    auto file_or = storage::PageFile::Open(env, path, opts);
+    FAME_RETURN_IF_ERROR(file_or.status());
+    file_ = std::move(file_or).value();
+    auto bm_or = storage::BufferManager::Create(
+        file_.get(), Cfg::kBufferFrames, alloc_.get(),
+        storage::MakeReplacementPolicy(Cfg::kReplacement));
+    FAME_RETURN_IF_ERROR(bm_or.status());
+    buffers_ = std::move(bm_or).value();
+    auto heap_or = storage::RecordManager::Open(buffers_.get(), "core");
+    FAME_RETURN_IF_ERROR(heap_or.status());
+    heap_ = std::move(heap_or).value();
+    auto idx_or = Cfg::IndexTag::Open(buffers_.get());
+    FAME_RETURN_IF_ERROR(idx_or.status());
+    index_ = std::move(idx_or).value();
+    if constexpr (Cfg::kTransactions) {
+      auto mgr_or = tx::TransactionManager::Open(
+          env, path + ".wal", this,
+          Cfg::kForceCommit ? tx::CommitProtocol::kForceAtCommit
+                            : tx::CommitProtocol::kWalRedo);
+      FAME_RETURN_IF_ERROR(mgr_or.status());
+      txmgr_ = std::move(mgr_or).value();
+      FAME_RETURN_IF_ERROR(txmgr_->Recover());
+    }
+    return Status::OK();
+  }
+
+  /// Access:get — present in every product.
+  Status Get(const Slice& key, std::string* value) {
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    std::string rec;
+    FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), &rec));
+    return DecodeRecord(rec, key, value);
+  }
+
+  /// Access:put.
+  Status Put(const Slice& key, const Slice& value) {
+    static_assert(Cfg::kPut, "feature Access:Put is not selected");
+    return PutInternal(key, value);
+  }
+
+  /// Access:remove.
+  Status Remove(const Slice& key) {
+    static_assert(Cfg::kRemove, "feature Access:Remove is not selected");
+    return RemoveInternal(key);
+  }
+
+  /// Access:update — put that requires the key to exist.
+  Status Update(const Slice& key, const Slice& value) {
+    static_assert(Cfg::kUpdate, "feature Access:Update is not selected");
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    return PutInternal(key, value);
+  }
+
+  /// Full scan (index order).
+  Status Scan(const std::function<bool(const Slice&, const Slice&)>& fn) {
+    Status inner = Status::OK();
+    FAME_RETURN_IF_ERROR(index_->Scan([&](const Slice& k, uint64_t packed) {
+      std::string rec, v;
+      inner = heap_->Get(storage::Rid::Unpack(packed), &rec);
+      if (!inner.ok()) return false;
+      inner = DecodeRecord(rec, k, &v);
+      if (!inner.ok()) return false;
+      return fn(k, Slice(v));
+    }));
+    return inner;
+  }
+
+  /// Ordered range scan — compile-time gated on the B+-tree alternative.
+  Status RangeScan(const Slice& lo, const Slice& hi,
+                   const std::function<bool(const Slice&, const Slice&)>& fn) {
+    static_assert(kOrdered, "RangeScan requires the B+-Tree alternative");
+    Status inner = Status::OK();
+    FAME_RETURN_IF_ERROR(
+        index_->RangeScan(lo, hi, [&](const Slice& k, uint64_t packed) {
+          std::string rec, v;
+          inner = heap_->Get(storage::Rid::Unpack(packed), &rec);
+          if (!inner.ok()) return false;
+          inner = DecodeRecord(rec, k, &v);
+          if (!inner.ok()) return false;
+          return fn(k, Slice(v));
+        }));
+    return inner;
+  }
+
+  // ---- Transaction feature surface (instantiated on use only) ----
+  StatusOr<tx::Transaction*> Begin() {
+    static_assert(Cfg::kTransactions, "feature Transaction is not selected");
+    return txmgr_->Begin();
+  }
+  Status Commit(tx::Transaction* txn) {
+    static_assert(Cfg::kTransactions, "feature Transaction is not selected");
+    return txmgr_->Commit(txn);
+  }
+  Status Abort(tx::Transaction* txn) {
+    static_assert(Cfg::kTransactions, "feature Transaction is not selected");
+    return txmgr_->Abort(txn);
+  }
+
+  Status Checkpoint() { return buffers_->Checkpoint(); }
+  storage::BufferManager* buffers() { return buffers_.get(); }
+  osal::Allocator* allocator() { return alloc_.get(); }
+  Index* index() { return index_.get(); }
+
+ private:
+  Status PutInternal(const Slice& key, const Slice& value) {
+    uint64_t packed = 0;
+    Status found = index_->Lookup(key, &packed);
+    std::string rec = EncodeRecord(key, value);
+    if (found.ok()) {
+      storage::Rid rid = storage::Rid::Unpack(packed);
+      storage::Rid updated = rid;
+      FAME_RETURN_IF_ERROR(heap_->Update(&updated, rec));
+      if (!(updated == rid)) {
+        FAME_RETURN_IF_ERROR(index_->Insert(key, updated.Pack()));
+      }
+      return Status::OK();
+    }
+    if (!found.IsNotFound()) return found;
+    auto rid_or = heap_->Insert(rec);
+    FAME_RETURN_IF_ERROR(rid_or.status());
+    return index_->Insert(key, rid_or.value().Pack());
+  }
+
+  Status RemoveInternal(const Slice& key) {
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    FAME_RETURN_IF_ERROR(heap_->Delete(storage::Rid::Unpack(packed)));
+    return index_->Remove(key);
+  }
+
+  static std::string EncodeRecord(const Slice& key, const Slice& value) {
+    std::string rec;
+    PutVarint32(&rec, static_cast<uint32_t>(key.size()));
+    rec.append(key.data(), key.size());
+    rec.append(value.data(), value.size());
+    return rec;
+  }
+
+  static Status DecodeRecord(const Slice& rec, const Slice& expect_key,
+                             std::string* value) {
+    Slice in = rec;
+    uint32_t klen = 0;
+    if (!GetVarint32(&in, &klen) || in.size() < klen) {
+      return Status::Corruption("bad core record");
+    }
+    if (Slice(in.data(), klen) != expect_key) {
+      return Status::Corruption("index points at the wrong record");
+    }
+    value->assign(in.data() + klen, in.size() - klen);
+    return Status::OK();
+  }
+
+  // tx::ApplyTarget (reached only in transactional products).
+  Status ApplyPut(const std::string& store, const Slice& key,
+                  const Slice& value) override {
+    if (store != "core") return Status::InvalidArgument("unknown store");
+    return PutInternal(key, value);
+  }
+  Status ApplyDelete(const std::string& store, const Slice& key) override {
+    if (store != "core") return Status::InvalidArgument("unknown store");
+    return RemoveInternal(key);
+  }
+  Status ReadCommitted(const std::string& store, const Slice& key,
+                       std::string* value) override {
+    if (store != "core") return Status::InvalidArgument("unknown store");
+    return Get(key, value);
+  }
+  Status CheckpointEngine() override { return buffers_->Checkpoint(); }
+
+  osal::Env* env_ = nullptr;
+  detail::AllocState<Cfg::kStaticPoolBytes> alloc_;
+  std::unique_ptr<storage::PageFile> file_;
+  std::unique_ptr<storage::BufferManager> buffers_;
+  std::unique_ptr<storage::RecordManager> heap_;
+  std::unique_ptr<Index> index_;
+  std::unique_ptr<tx::TransactionManager> txmgr_;
+};
+
+}  // namespace fame::core
+
+#endif  // FAME_CORE_STATIC_ENGINE_H_

@@ -1,0 +1,110 @@
+#include "derivation/pipeline.h"
+
+#include "common/stringutil.h"
+
+namespace fame::derivation {
+
+analysis::FeatureDetector BuildFameDbmsDetector() {
+  analysis::FeatureDetector d;
+  auto must = [&d](const char* feature, const char* query) {
+    Status s = d.Register(feature, query);
+    (void)s;
+  };
+  must("Put", "calls(Put) or calls(InsertRow)");
+  must("Remove", "calls(Remove) or calls(DeleteRow)");
+  must("Update", "calls(Update)");
+  must("Transaction", "calls(Begin) or calls(Commit) or calls(Abort)");
+  must("B+-Tree", "calls(RangeScan) or calls(Execute)");
+  must("SQL-Engine", "calls(Execute) or calls(sql)");
+  must("API", "usesType(Database) or usesType(DbOptions)");
+  must("Int-Types", "true");  // keys are always typed; Int is the floor
+  must("String-Types", "usesType(Schema) or calls(String)");
+  must("Blob-Types", "calls(Blob)");
+  // No client-visible footprint: plan choice and storage tuning are
+  // internal decisions.
+  d.RegisterUnderivable("Optimizer");
+  d.RegisterUnderivable("Replacement");
+  return d;
+}
+
+DerivationPipeline::DerivationPipeline(const fm::FeatureModel* model)
+    : model_(model), detector_(BuildFameDbmsDetector()) {}
+
+StatusOr<std::vector<std::string>> DerivationPipeline::DetectFeatures(
+    const std::vector<std::string>& sources) const {
+  analysis::ApplicationModel app = analysis::ApplicationModel::Build(sources);
+  std::vector<std::string> needed = detector_.NeededFeatures(app);
+  // Keep only features the model actually has (detectors may be shared
+  // across product lines).
+  std::vector<std::string> out;
+  for (const std::string& f : needed) {
+    if (model_->Has(f)) out.push_back(f);
+  }
+  return out;
+}
+
+StatusOr<DerivationReport> DerivationPipeline::Run(
+    const std::vector<std::string>& sources,
+    const std::vector<nfp::ResourceConstraint>& constraints,
+    const nfp::FeedbackRepository& repo) const {
+  DerivationReport report;
+  analysis::ApplicationModel app = analysis::ApplicationModel::Build(sources);
+  report.detection = detector_.Detect(app);
+
+  fm::Configuration partial(model_);
+  for (const analysis::DetectionResult& r : report.detection) {
+    if (r.needed && model_->Has(r.feature)) {
+      FAME_RETURN_IF_ERROR(partial.SelectByName(r.feature));
+    }
+  }
+  FAME_RETURN_IF_ERROR(model_->Propagate(&partial));
+  for (fm::FeatureId id = 0; id < model_->size(); ++id) {
+    if (partial.IsSelected(id)) {
+      report.forced_features.push_back(model_->feature(id).name);
+    }
+  }
+
+  nfp::DerivationRequest request;
+  request.partial = partial;
+  request.constraints = constraints;
+
+  if (constraints.empty() || repo.size() < 2) {
+    // No NFP guidance: minimal completion.
+    fm::Configuration config = partial;
+    FAME_RETURN_IF_ERROR(model_->CompleteMinimal(&config));
+    report.derived = config;
+    report.candidates_evaluated = 1;
+    return report;
+  }
+
+  FAME_ASSIGN_OR_RETURN(nfp::EstimatorSet estimators,
+                        nfp::FitEstimators(repo, constraints));
+  FAME_ASSIGN_OR_RETURN(nfp::DerivationResult result,
+                        nfp::GreedyDerive(*model_, request, estimators));
+  report.derived = result.config;
+  report.estimates = result.estimates;
+  report.candidates_evaluated = result.evaluated;
+  return report;
+}
+
+std::string DerivationReport::ToText() const {
+  std::string out;
+  out += "== automated product derivation ==\n";
+  out += "feature detection (static analysis):\n";
+  for (const analysis::DetectionResult& r : detection) {
+    out += StringPrintf("  %-14s %s\n", r.feature.c_str(),
+                        !r.derivable ? "not derivable (manual decision)"
+                        : r.needed   ? "NEEDED"
+                                     : "not needed");
+  }
+  out += "forced after propagation: " + Join(forced_features, ", ") + "\n";
+  out += "derived product: " + derived.Signature() + "\n";
+  for (const auto& [kind, value] : estimates) {
+    out += StringPrintf("  est. %-12s %.1f\n", nfp::NfpKindName(kind), value);
+  }
+  out += StringPrintf("candidates evaluated: %llu\n",
+                      static_cast<unsigned long long>(candidates_evaluated));
+  return out;
+}
+
+}  // namespace fame::derivation

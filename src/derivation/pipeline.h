@@ -1,0 +1,61 @@
+// End-to-end automated product derivation (paper §3): client application
+// sources -> static analysis -> detected features -> feature-model
+// propagation -> NFP-constrained greedy completion -> a concrete FAME-DBMS
+// configuration plus a human-readable report.
+#ifndef FAME_DERIVATION_PIPELINE_H_
+#define FAME_DERIVATION_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/detector.h"
+#include "featuremodel/model.h"
+#include "nfp/optimizer.h"
+
+namespace fame::derivation {
+
+/// Everything a derivation run produced.
+struct DerivationReport {
+  std::vector<analysis::DetectionResult> detection;   // per-feature outcome
+  std::vector<std::string> forced_features;           // detected + propagated
+  fm::Configuration derived;                          // the final variant
+  nfp::NfpVector estimates;                           // its estimated NFPs
+  uint64_t candidates_evaluated = 0;
+
+  /// Multi-line report for tools and the derive_product example.
+  std::string ToText() const;
+};
+
+/// Derivation pipeline over the FAME-DBMS model.
+class DerivationPipeline {
+ public:
+  /// `model` must outlive the pipeline.
+  explicit DerivationPipeline(const fm::FeatureModel* model);
+
+  /// Full run: analyze sources, map detected needs onto model features,
+  /// then greedily complete under `constraints` using `repo` estimates.
+  /// With an empty repo / no constraints the completion is minimal.
+  StatusOr<DerivationReport> Run(
+      const std::vector<std::string>& sources,
+      const std::vector<nfp::ResourceConstraint>& constraints,
+      const nfp::FeedbackRepository& repo) const;
+
+  /// Analysis-only: which model features does the application force?
+  StatusOr<std::vector<std::string>> DetectFeatures(
+      const std::vector<std::string>& sources) const;
+
+ private:
+  const fm::FeatureModel* model_;
+  analysis::FeatureDetector detector_;
+};
+
+/// Detector for the FAME-DBMS client API (Database/SqlEngine method
+/// shapes). Feature names match the Figure 2 model directly. The Optimizer
+/// feature is registered as not derivable: choosing a query plan leaves no
+/// trace in the client's API usage.
+analysis::FeatureDetector BuildFameDbmsDetector();
+
+}  // namespace fame::derivation
+
+#endif  // FAME_DERIVATION_PIPELINE_H_

@@ -1,0 +1,88 @@
+// The FAME-DBMS prototype feature model — Figure 2 of the paper — embedded
+// as DSL text so every tool and benchmark shares one canonical model.
+// Gray features in the figure ("further subfeatures not displayed") are
+// expanded the way the running text describes them: mixed granularity, fine
+// for small-system functionality (B+-tree operations), coarse for features
+// used only on larger systems (Transaction = a small number of subfeatures
+// such as alternative commit protocols). Clock replacement is an
+// [extension] third alternative.
+#ifndef FAME_FEATUREMODEL_FAME_MODEL_H_
+#define FAME_FEATUREMODEL_FAME_MODEL_H_
+
+#include <memory>
+
+#include "featuremodel/model.h"
+
+namespace fame::fm {
+
+/// DSL source of the FAME-DBMS feature model.
+inline constexpr const char kFameDbmsModelDsl[] = R"fm(
+// FAME-DBMS product line (paper Figure 2)
+feature FAME-DBMS {
+  mandatory OS-Abstraction abstract alternative {
+    mandatory Linux
+    mandatory Win32
+    mandatory NutOS
+  }
+  mandatory Buffer-Manager abstract {
+    mandatory Replacement abstract alternative {
+      mandatory LRU
+      mandatory LFU
+      mandatory Clock       // [extension] second-chance policy
+    }
+    mandatory Memory-Alloc abstract alternative {
+      mandatory Dynamic
+      mandatory Static
+    }
+  }
+  mandatory Storage abstract {
+    mandatory Index abstract alternative {
+      mandatory B+-Tree {
+        mandatory BTree-Search
+        optional BTree-Update
+        optional BTree-Remove
+      }
+      mandatory List
+    }
+    mandatory Data-Types abstract or {
+      mandatory Int-Types
+      mandatory String-Types
+      mandatory Blob-Types
+    }
+  }
+  mandatory Access abstract {
+    mandatory Get
+    mandatory Put
+    optional Remove
+    optional Update
+  }
+  optional Transaction {
+    mandatory Commit-Protocol abstract alternative {
+      mandatory WAL-Redo
+      mandatory Force-Commit
+    }
+    optional Locking
+  }
+  optional API
+  optional SQL-Engine
+  optional Optimizer
+}
+constraints {
+  Optimizer requires SQL-Engine;
+  SQL-Engine requires API;
+  SQL-Engine requires B+-Tree;
+  BTree-Update requires Update;
+  BTree-Remove requires Remove;
+  Transaction requires Update;
+  NutOS requires Static;
+  NutOS excludes SQL-Engine;
+}
+)fm";
+
+/// Parses and returns the canonical FAME-DBMS model. Aborts on parse
+/// failure (the text above is a compile-time constant; failure is a bug).
+std::unique_ptr<FeatureModel> BuildFameDbmsModel();
+
+}  // namespace fame::fm
+
+#endif  // FAME_FEATUREMODEL_FAME_MODEL_H_

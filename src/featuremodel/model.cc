@@ -1,0 +1,453 @@
+#include "featuremodel/model.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace fame::fm {
+
+// ------------------------------------------------------------ building
+
+StatusOr<FeatureId> FeatureModel::AddRoot(const std::string& name) {
+  if (!features_.empty()) {
+    return Status::InvalidArgument("model already has a root");
+  }
+  Feature f;
+  f.name = name;
+  features_.push_back(std::move(f));
+  by_name_[name] = 0;
+  return FeatureId{0};
+}
+
+StatusOr<FeatureId> FeatureModel::AddFeature(const std::string& name,
+                                             FeatureId parent, bool optional) {
+  if (features_.empty()) return Status::InvalidArgument("add a root first");
+  if (parent >= features_.size()) {
+    return Status::InvalidArgument("no such parent feature");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate feature name: " + name);
+  }
+  Feature f;
+  f.name = name;
+  f.parent = parent;
+  f.optional = optional;
+  FeatureId id = static_cast<FeatureId>(features_.size());
+  features_.push_back(std::move(f));
+  features_[parent].children.push_back(id);
+  by_name_[name] = id;
+  return id;
+}
+
+Status FeatureModel::SetGroup(FeatureId parent, GroupKind kind) {
+  if (parent >= features_.size()) {
+    return Status::InvalidArgument("no such feature");
+  }
+  features_[parent].group = kind;
+  return Status::OK();
+}
+
+Status FeatureModel::SetAbstract(FeatureId f, bool is_abstract) {
+  if (f >= features_.size()) return Status::InvalidArgument("no such feature");
+  features_[f].abstract_feature = is_abstract;
+  return Status::OK();
+}
+
+Status FeatureModel::SetDescription(FeatureId f, const std::string& d) {
+  if (f >= features_.size()) return Status::InvalidArgument("no such feature");
+  features_[f].description = d;
+  return Status::OK();
+}
+
+Status FeatureModel::AddRequires(const std::string& a, const std::string& b) {
+  FAME_ASSIGN_OR_RETURN(FeatureId ia, Find(a));
+  FAME_ASSIGN_OR_RETURN(FeatureId ib, Find(b));
+  constraints_.push_back(Constraint{Constraint::kRequires, ia, ib});
+  return Status::OK();
+}
+
+Status FeatureModel::AddExcludes(const std::string& a, const std::string& b) {
+  FAME_ASSIGN_OR_RETURN(FeatureId ia, Find(a));
+  FAME_ASSIGN_OR_RETURN(FeatureId ib, Find(b));
+  constraints_.push_back(Constraint{Constraint::kExcludes, ia, ib});
+  return Status::OK();
+}
+
+StatusOr<FeatureId> FeatureModel::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no feature named " + name);
+  }
+  return it->second;
+}
+
+std::vector<FeatureId> FeatureModel::DecisionFeatures() const {
+  std::vector<FeatureId> out;
+  for (FeatureId id = 1; id < features_.size(); ++id) {
+    const Feature& f = features_[id];
+    const Feature& p = features_[f.parent];
+    if (p.group != GroupKind::kAnd || f.optional) out.push_back(id);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ configuration
+
+Status Configuration::Select(FeatureId id) {
+  if (decisions_[id] == Decision::kExcluded) {
+    return Status::ConfigInvalid("contradiction selecting " +
+                                 model_->feature(id).name);
+  }
+  decisions_[id] = Decision::kSelected;
+  return Status::OK();
+}
+
+Status Configuration::Exclude(FeatureId id) {
+  if (decisions_[id] == Decision::kSelected) {
+    return Status::ConfigInvalid("contradiction excluding " +
+                                 model_->feature(id).name);
+  }
+  decisions_[id] = Decision::kExcluded;
+  return Status::OK();
+}
+
+Status Configuration::SelectByName(const std::string& name) {
+  FAME_ASSIGN_OR_RETURN(FeatureId id, model_->Find(name));
+  return Select(id);
+}
+
+Status Configuration::ExcludeByName(const std::string& name) {
+  FAME_ASSIGN_OR_RETURN(FeatureId id, model_->Find(name));
+  return Exclude(id);
+}
+
+bool Configuration::Complete() const {
+  return std::none_of(decisions_.begin(), decisions_.end(),
+                      [](Decision d) { return d == Decision::kUnknown; });
+}
+
+size_t Configuration::SelectedCount() const {
+  return static_cast<size_t>(
+      std::count(decisions_.begin(), decisions_.end(), Decision::kSelected));
+}
+
+std::vector<std::string> Configuration::SelectedNames() const {
+  std::vector<std::string> names;
+  for (FeatureId id = 0; id < decisions_.size(); ++id) {
+    if (decisions_[id] == Decision::kSelected) {
+      names.push_back(model_->feature(id).name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string Configuration::Signature() const {
+  std::string out;
+  for (const std::string& n : SelectedNames()) {
+    if (!out.empty()) out.push_back(',');
+    out.append(n);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ validation
+
+Status FeatureModel::ValidateComplete(const Configuration& config) const {
+  if (!config.Complete()) {
+    return Status::ConfigInvalid("configuration is partial");
+  }
+  if (!config.IsSelected(root())) {
+    return Status::ConfigInvalid("root must be selected");
+  }
+  for (FeatureId id = 1; id < features_.size(); ++id) {
+    const Feature& f = features_[id];
+    if (config.IsSelected(id) && !config.IsSelected(f.parent)) {
+      return Status::ConfigInvalid(f.name + " selected without its parent");
+    }
+  }
+  for (FeatureId id = 0; id < features_.size(); ++id) {
+    const Feature& f = features_[id];
+    if (f.children.empty()) continue;
+    size_t selected_children = 0;
+    for (FeatureId c : f.children) {
+      if (config.IsSelected(c)) ++selected_children;
+    }
+    if (!config.IsSelected(id)) {
+      if (selected_children != 0) {
+        return Status::ConfigInvalid("children of unselected " + f.name);
+      }
+      continue;
+    }
+    switch (f.group) {
+      case GroupKind::kAnd:
+        for (FeatureId c : f.children) {
+          if (!features_[c].optional && !config.IsSelected(c)) {
+            return Status::ConfigInvalid("mandatory " + features_[c].name +
+                                         " not selected");
+          }
+        }
+        break;
+      case GroupKind::kOr:
+        if (selected_children == 0) {
+          return Status::ConfigInvalid("or-group " + f.name + " empty");
+        }
+        break;
+      case GroupKind::kXor:
+        if (selected_children != 1) {
+          return Status::ConfigInvalid("alternative group " + f.name +
+                                       " needs exactly one child");
+        }
+        break;
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    if (!config.IsSelected(c.a)) continue;
+    if (c.kind == Constraint::kRequires && !config.IsSelected(c.b)) {
+      return Status::ConfigInvalid(features_[c.a].name + " requires " +
+                                   features_[c.b].name);
+    }
+    if (c.kind == Constraint::kExcludes && config.IsSelected(c.b)) {
+      return Status::ConfigInvalid(features_[c.a].name + " excludes " +
+                                   features_[c.b].name);
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ propagation
+
+Status FeatureModel::Propagate(Configuration* config) const {
+  FAME_RETURN_IF_ERROR(config->Select(root()));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto select = [&](FeatureId id) -> Status {
+      if (config->Get(id) != Decision::kSelected) {
+        FAME_RETURN_IF_ERROR(config->Select(id));
+        changed = true;
+      }
+      return Status::OK();
+    };
+    auto exclude = [&](FeatureId id) -> Status {
+      if (config->Get(id) != Decision::kExcluded) {
+        FAME_RETURN_IF_ERROR(config->Exclude(id));
+        changed = true;
+      }
+      return Status::OK();
+    };
+
+    for (FeatureId id = 1; id < features_.size(); ++id) {
+      const Feature& f = features_[id];
+      // child selected -> parent selected
+      if (config->IsSelected(id)) {
+        FAME_RETURN_IF_ERROR(select(f.parent));
+      }
+      // parent excluded -> child excluded
+      if (config->IsExcluded(f.parent)) {
+        FAME_RETURN_IF_ERROR(exclude(id));
+      }
+    }
+    for (FeatureId id = 0; id < features_.size(); ++id) {
+      const Feature& f = features_[id];
+      if (f.children.empty()) continue;
+      if (config->IsSelected(id)) {
+        if (f.group == GroupKind::kAnd) {
+          for (FeatureId c : f.children) {
+            if (!features_[c].optional) FAME_RETURN_IF_ERROR(select(c));
+          }
+        } else {
+          size_t selected = 0, excluded = 0;
+          for (FeatureId c : f.children) {
+            if (config->IsSelected(c)) ++selected;
+            if (config->IsExcluded(c)) ++excluded;
+          }
+          if (f.group == GroupKind::kXor && selected == 1) {
+            for (FeatureId c : f.children) {
+              if (!config->IsSelected(c)) FAME_RETURN_IF_ERROR(exclude(c));
+            }
+          }
+          if (selected == 0 && excluded + 1 == f.children.size()) {
+            // one candidate left: it is forced (or and xor alike)
+            for (FeatureId c : f.children) {
+              if (!config->IsExcluded(c)) FAME_RETURN_IF_ERROR(select(c));
+            }
+          }
+          if (selected == 0 && excluded == f.children.size()) {
+            return Status::ConfigInvalid("group " + f.name +
+                                         " cannot be satisfied");
+          }
+        }
+      }
+    }
+    for (const Constraint& c : constraints_) {
+      if (c.kind == Constraint::kRequires) {
+        if (config->IsSelected(c.a)) FAME_RETURN_IF_ERROR(select(c.b));
+        if (config->IsExcluded(c.b)) FAME_RETURN_IF_ERROR(exclude(c.a));
+      } else {  // excludes
+        if (config->IsSelected(c.a)) FAME_RETURN_IF_ERROR(exclude(c.b));
+        if (config->IsSelected(c.b)) FAME_RETURN_IF_ERROR(exclude(c.a));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FeatureModel::CompleteMinimal(Configuration* config) const {
+  FAME_RETURN_IF_ERROR(Propagate(config));
+  // Greedily exclude unknowns (prefer the smallest product), re-propagating
+  // after each decision; on contradiction, select instead. Members of a
+  // selected or/xor group are the exception: one of them is needed anyway,
+  // and declaration order encodes the product line's default alternative,
+  // so the first undecided member of a choice-pending group is selected.
+  for (FeatureId id = 1; id < features_.size(); ++id) {
+    if (config->Get(id) != Decision::kUnknown) continue;
+    const Feature& f = features_[id];
+    const Feature& parent = features_[f.parent];
+    if (parent.group != GroupKind::kAnd && config->IsSelected(f.parent)) {
+      bool sibling_selected = false;
+      for (FeatureId c : parent.children) {
+        if (config->IsSelected(c)) sibling_selected = true;
+      }
+      if (!sibling_selected) {
+        Configuration trial = *config;
+        Status s = trial.Select(id);
+        if (s.ok()) s = Propagate(&trial);
+        if (s.ok()) {
+          *config = trial;
+          continue;
+        }
+      }
+    }
+    Configuration trial = *config;
+    Status s = trial.Exclude(id);
+    if (s.ok()) s = Propagate(&trial);
+    if (s.ok()) {
+      *config = trial;
+      continue;
+    }
+    FAME_RETURN_IF_ERROR(config->Select(id));
+    FAME_RETURN_IF_ERROR(Propagate(config));
+  }
+  return ValidateComplete(*config);
+}
+
+// ------------------------------------------------------------ counting
+
+Status FeatureModel::CountRec(Configuration* config,
+                              const std::vector<FeatureId>& order, size_t idx,
+                              uint64_t* count, uint64_t* steps,
+                              uint64_t max_steps,
+                              std::vector<Configuration>* sink,
+                              uint64_t max_variants) const {
+  if (++*steps > max_steps) {
+    return Status::ResourceExhausted("variant space too large");
+  }
+  // Skip features already decided by propagation.
+  while (idx < order.size() && config->Get(order[idx]) != Decision::kUnknown) {
+    ++idx;
+  }
+  if (idx == order.size()) {
+    // All decision features decided; force the rest via propagation and
+    // defaulted exclusion of still-unknown subtrees.
+    Configuration complete = *config;
+    for (FeatureId id = 0; id < features_.size(); ++id) {
+      if (complete.Get(id) == Decision::kUnknown) {
+        FAME_RETURN_IF_ERROR(complete.Exclude(id));
+        Status s = Propagate(&complete);
+        if (!s.ok()) return Status::OK();  // dead branch, not an error
+      }
+    }
+    if (ValidateComplete(complete).ok()) {
+      ++*count;
+      if (sink != nullptr) {
+        if (sink->size() >= max_variants) {
+          return Status::ResourceExhausted("too many variants to enumerate");
+        }
+        sink->push_back(complete);
+      }
+    }
+    return Status::OK();
+  }
+  for (Decision d : {Decision::kSelected, Decision::kExcluded}) {
+    Configuration trial = *config;
+    Status s = d == Decision::kSelected ? trial.Select(order[idx])
+                                        : trial.Exclude(order[idx]);
+    if (s.ok()) s = Propagate(&trial);
+    if (!s.ok()) continue;  // contradiction: prune
+    FAME_RETURN_IF_ERROR(CountRec(&trial, order, idx + 1, count, steps,
+                                  max_steps, sink, max_variants));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> FeatureModel::CountVariants(uint64_t max_steps) const {
+  Configuration config(this);
+  Status s = Propagate(&config);
+  if (s.code() == StatusCode::kConfigInvalid) return uint64_t{0};  // void model
+  FAME_RETURN_IF_ERROR(s);
+  std::vector<FeatureId> order = DecisionFeatures();
+  uint64_t count = 0, steps = 0;
+  FAME_RETURN_IF_ERROR(CountRec(&config, order, 0, &count, &steps, max_steps,
+                                nullptr, 0));
+  return count;
+}
+
+StatusOr<std::vector<Configuration>> FeatureModel::EnumerateVariants(
+    uint64_t max_variants) const {
+  Configuration config(this);
+  Status s = Propagate(&config);
+  if (s.code() == StatusCode::kConfigInvalid) {
+    return std::vector<Configuration>{};  // void model
+  }
+  FAME_RETURN_IF_ERROR(s);
+  std::vector<FeatureId> order = DecisionFeatures();
+  uint64_t count = 0, steps = 0;
+  std::vector<Configuration> out;
+  FAME_RETURN_IF_ERROR(CountRec(&config, order, 0, &count, &steps,
+                                max_variants * 64 + 1024, &out, max_variants));
+  return out;
+}
+
+// ------------------------------------------------------------ printing
+
+std::string FeatureModel::ToTreeString() const {
+  std::string out;
+  std::function<void(FeatureId, int)> walk = [&](FeatureId id, int depth) {
+    const Feature& f = features_[id];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    if (id != root()) {
+      const Feature& p = features_[f.parent];
+      if (p.group == GroupKind::kOr) {
+        out += "o ";
+      } else if (p.group == GroupKind::kXor) {
+        out += "x ";
+      } else {
+        out += f.optional ? "? " : "! ";
+      }
+    }
+    out += f.name;
+    if (f.abstract_feature) out += " (abstract)";
+    switch (f.group) {
+      case GroupKind::kOr:
+        out += " <or>";
+        break;
+      case GroupKind::kXor:
+        out += " <alternative>";
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+    for (FeatureId c : f.children) walk(c, depth + 1);
+  };
+  if (!features_.empty()) walk(root(), 0);
+  for (const Constraint& c : constraints_) {
+    out += features_[c.a].name;
+    out += c.kind == Constraint::kRequires ? " requires " : " excludes ";
+    out += features_[c.b].name;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fame::fm

@@ -1,0 +1,107 @@
+#include "featuremodel/multispl.h"
+
+#include "common/stringutil.h"
+
+namespace fame::fm {
+
+Status MultiSplComposer::AddSpl(const std::string& spl_name,
+                                const FeatureModel& model) {
+  if (spl_name.empty() || spl_name.find('.') != std::string::npos) {
+    return Status::InvalidArgument("SPL name must be non-empty, without '.'");
+  }
+  for (const SplEntry& e : spls_) {
+    if (e.name == spl_name) {
+      return Status::InvalidArgument("duplicate SPL name: " + spl_name);
+    }
+  }
+  if (model.size() == 0) {
+    return Status::InvalidArgument("cannot compose an empty model");
+  }
+  spls_.push_back(SplEntry{spl_name, &model});
+  return Status::OK();
+}
+
+Status MultiSplComposer::AddRequires(const std::string& a,
+                                     const std::string& b) {
+  constraints_.push_back(CrossConstraint{true, a, b});
+  return Status::OK();
+}
+
+Status MultiSplComposer::AddExcludes(const std::string& a,
+                                     const std::string& b) {
+  constraints_.push_back(CrossConstraint{false, a, b});
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<FeatureModel>> MultiSplComposer::Compose() const {
+  if (spls_.empty()) {
+    return Status::InvalidArgument("compose needs at least one SPL");
+  }
+  auto composite = std::make_unique<FeatureModel>();
+  FAME_ASSIGN_OR_RETURN(FeatureId root, composite->AddRoot(system_name_));
+
+  for (const SplEntry& spl : spls_) {
+    const FeatureModel& m = *spl.model;
+    // Clone the SPL's tree depth-first, keeping child order (declaration
+    // order carries the default-alternative semantics of CompleteMinimal).
+    std::vector<FeatureId> id_map(m.size(), kNoFeature);
+    for (FeatureId id = 0; id < m.size(); ++id) {
+      const Feature& f = m.feature(id);
+      std::string name = spl.name + "." + f.name;
+      FeatureId parent =
+          id == m.root() ? root : id_map[f.parent];
+      if (id != m.root() && parent == kNoFeature) {
+        return Status::InvalidArgument(
+            "model of SPL " + spl.name + " is not in topological id order");
+      }
+      // The constituent root becomes a mandatory child of the system root.
+      auto new_id_or = composite->AddFeature(name, parent,
+                                             id == m.root() ? false
+                                                            : f.optional);
+      FAME_RETURN_IF_ERROR(new_id_or.status());
+      FeatureId new_id = new_id_or.value();
+      id_map[id] = new_id;
+      FAME_RETURN_IF_ERROR(composite->SetGroup(new_id, f.group));
+      FAME_RETURN_IF_ERROR(
+          composite->SetAbstract(new_id, f.abstract_feature));
+    }
+    // Clone intra-SPL constraints.
+    for (const Constraint& c : m.constraints()) {
+      const std::string a = spl.name + "." + m.feature(c.a).name;
+      const std::string b = spl.name + "." + m.feature(c.b).name;
+      Status s = c.kind == Constraint::kRequires
+                     ? composite->AddRequires(a, b)
+                     : composite->AddExcludes(a, b);
+      FAME_RETURN_IF_ERROR(s);
+    }
+  }
+  // Cross-SPL constraints (qualified names must resolve).
+  for (const CrossConstraint& c : constraints_) {
+    Status s = c.requires_kind ? composite->AddRequires(c.a, c.b)
+                               : composite->AddExcludes(c.a, c.b);
+    if (!s.ok()) {
+      return Status::InvalidArgument("cross-SPL constraint " + c.a +
+                                     (c.requires_kind ? " requires " :
+                                                        " excludes ") +
+                                     c.b + ": " + s.message());
+    }
+  }
+  return composite;
+}
+
+std::vector<std::string> ProjectSelection(const FeatureModel& composite,
+                                          const Configuration& config,
+                                          const std::string& spl_name) {
+  std::vector<std::string> out;
+  const std::string prefix = spl_name + ".";
+  for (FeatureId id = 0; id < composite.size(); ++id) {
+    if (!config.IsSelected(id)) continue;
+    const std::string& name = composite.feature(id).name;
+    if (StartsWith(name, prefix)) {
+      out.push_back(name.substr(prefix.size()));
+    }
+  }
+  return out;
+}
+
+}  // namespace fame::fm

@@ -1,0 +1,72 @@
+// Multi-SPL composition — the paper's named future work: "we plan to
+// extend SPL composition and optimization to cover multiple SPLs (e.g.,
+// including the operating system and client applications) to optimize the
+// software of an embedded system as a whole."
+//
+// A CompositeModel merges several feature models (say, an OS product line,
+// the FAME-DBMS product line, and an application product line) under one
+// synthetic root, namespacing feature names as "<spl>.<feature>" where
+// needed, and supports *cross-SPL constraints* ("dbms.NutOS requires
+// os.Cooperative-Scheduler"). The result is an ordinary FeatureModel, so
+// all existing machinery — validation, propagation, counting, NFP-driven
+// greedy derivation — immediately works on whole-system product spaces.
+#ifndef FAME_FEATUREMODEL_MULTISPL_H_
+#define FAME_FEATUREMODEL_MULTISPL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "featuremodel/model.h"
+
+namespace fame::fm {
+
+/// Builder that composes several SPL models into one system model.
+class MultiSplComposer {
+ public:
+  /// `system_name` names the synthetic root of the composite.
+  explicit MultiSplComposer(std::string system_name)
+      : system_name_(std::move(system_name)) {}
+
+  /// Adds a constituent SPL under prefix `spl_name`. Every feature of
+  /// `model` appears in the composite as "<spl_name>.<feature>"; the SPL's
+  /// root becomes a mandatory child of the system root. InvalidArgument on
+  /// duplicate SPL names.
+  Status AddSpl(const std::string& spl_name, const FeatureModel& model);
+
+  /// Adds a cross-SPL constraint between qualified names
+  /// ("dbms.Transaction" requires "os.Heap-Allocator").
+  Status AddRequires(const std::string& a, const std::string& b);
+  Status AddExcludes(const std::string& a, const std::string& b);
+
+  /// Builds the composite model. The composer can be reused afterwards
+  /// (Compose is pure with respect to the accumulated inputs).
+  StatusOr<std::unique_ptr<FeatureModel>> Compose() const;
+
+  size_t spl_count() const { return spls_.size(); }
+
+ private:
+  struct SplEntry {
+    std::string name;
+    const FeatureModel* model;
+  };
+  struct CrossConstraint {
+    bool requires_kind;
+    std::string a, b;
+  };
+
+  std::string system_name_;
+  std::vector<SplEntry> spls_;
+  std::vector<CrossConstraint> constraints_;
+};
+
+/// Projects a composite configuration back onto one constituent SPL:
+/// returns the selected feature names of `spl_name` *without* the prefix,
+/// ready to hand to that SPL's own generator (e.g. core::DbOptions).
+std::vector<std::string> ProjectSelection(const FeatureModel& composite,
+                                          const Configuration& config,
+                                          const std::string& spl_name);
+
+}  // namespace fame::fm
+
+#endif  // FAME_FEATUREMODEL_MULTISPL_H_

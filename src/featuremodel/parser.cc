@@ -1,0 +1,230 @@
+#include "featuremodel/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace fame::fm {
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kLBrace, kRBrace, kSemicolon, kEnd } kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '{') {
+        out.push_back({Token::kLBrace, "{", line_});
+        ++pos_;
+      } else if (c == '}') {
+        out.push_back({Token::kRBrace, "}", line_});
+        ++pos_;
+      } else if (c == ';') {
+        out.push_back({Token::kSemicolon, ";", line_});
+        ++pos_;
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                 c == '-' || c == '+') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+          ++pos_;
+        }
+        out.push_back({Token::kIdent, text_.substr(start, pos_ - start), line_});
+      } else {
+        return Status::ParseError("line " + std::to_string(line_) +
+                                  ": unexpected character '" +
+                                  std::string(1, c) + "'");
+      }
+    }
+    out.push_back({Token::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::unique_ptr<FeatureModel>> Run() {
+    model_ = std::make_unique<FeatureModel>();
+    if (Peek().kind != Token::kIdent || Peek().text != "feature") {
+      return Err("model must start with 'feature <root>'");
+    }
+    FAME_RETURN_IF_ERROR(ParseFeature(kNoFeature));
+    if (Peek().kind == Token::kIdent && Peek().text == "constraints") {
+      Next();
+      FAME_RETURN_IF_ERROR(Expect(Token::kLBrace, "'{' after constraints"));
+      while (Peek().kind != Token::kRBrace) {
+        FAME_RETURN_IF_ERROR(ParseConstraint());
+      }
+      Next();  // }
+    }
+    if (Peek().kind != Token::kEnd) {
+      return Err("trailing input after model");
+    }
+    return std::move(model_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(Peek().line) + ": " +
+                              msg);
+  }
+
+  Status Expect(Token::Kind kind, const std::string& what) {
+    if (Peek().kind != kind) return Err("expected " + what);
+    Next();
+    return Status::OK();
+  }
+
+  Status ParseFeature(FeatureId parent) {
+    const Token& kw = Next();  // feature | mandatory | optional
+    bool optional;
+    if (kw.text == "feature") {
+      if (parent != kNoFeature) {
+        return Err("'feature' keyword is reserved for the root");
+      }
+      optional = false;
+    } else if (kw.text == "mandatory") {
+      optional = false;
+    } else if (kw.text == "optional") {
+      optional = true;
+    } else {
+      return Err("expected feature | mandatory | optional, got '" + kw.text +
+                 "'");
+    }
+    if (Peek().kind != Token::kIdent) return Err("expected feature name");
+    std::string name = Next().text;
+
+    StatusOr<FeatureId> id_or =
+        parent == kNoFeature ? model_->AddRoot(name)
+                             : model_->AddFeature(name, parent, optional);
+    FAME_RETURN_IF_ERROR(id_or.status());
+    FeatureId id = id_or.value();
+
+    // Optional modifiers in any order: abstract, or/alternative.
+    while (Peek().kind == Token::kIdent &&
+           (Peek().text == "abstract" || Peek().text == "or" ||
+            Peek().text == "alternative")) {
+      std::string mod = Next().text;
+      if (mod == "abstract") {
+        FAME_RETURN_IF_ERROR(model_->SetAbstract(id, true));
+      } else {
+        FAME_RETURN_IF_ERROR(model_->SetGroup(
+            id, mod == "or" ? GroupKind::kOr : GroupKind::kXor));
+      }
+    }
+    if (Peek().kind == Token::kLBrace) {
+      Next();
+      while (Peek().kind != Token::kRBrace) {
+        if (Peek().kind == Token::kEnd) return Err("unterminated '{'");
+        FAME_RETURN_IF_ERROR(ParseFeature(id));
+      }
+      Next();  // }
+    }
+    if (model_->feature(id).group != GroupKind::kAnd &&
+        model_->feature(id).children.empty()) {
+      return Err("group feature '" + name + "' has no children");
+    }
+    return Status::OK();
+  }
+
+  Status ParseConstraint() {
+    if (Peek().kind != Token::kIdent) return Err("expected feature name");
+    std::string a = Next().text;
+    if (Peek().kind != Token::kIdent ||
+        (Peek().text != "requires" && Peek().text != "excludes")) {
+      return Err("expected requires | excludes");
+    }
+    std::string op = Next().text;
+    if (Peek().kind != Token::kIdent) return Err("expected feature name");
+    std::string b = Next().text;
+    FAME_RETURN_IF_ERROR(Expect(Token::kSemicolon, "';'"));
+    Status s = op == "requires" ? model_->AddRequires(a, b)
+                                : model_->AddExcludes(a, b);
+    if (!s.ok()) return Status::ParseError(s.message());
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unique_ptr<FeatureModel> model_;
+};
+
+void EmitFeature(const FeatureModel& model, FeatureId id, int depth,
+                 std::string* out) {
+  const Feature& f = model.feature(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (id == model.root()) {
+    out->append("feature ");
+  } else {
+    out->append(f.optional && model.feature(f.parent).group == GroupKind::kAnd
+                    ? "optional "
+                    : "mandatory ");
+  }
+  out->append(f.name);
+  if (f.abstract_feature) out->append(" abstract");
+  if (f.group == GroupKind::kOr) out->append(" or");
+  if (f.group == GroupKind::kXor) out->append(" alternative");
+  if (!f.children.empty()) {
+    out->append(" {\n");
+    for (FeatureId c : f.children) EmitFeature(model, c, depth + 1, out);
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    out->append("}");
+  }
+  out->append("\n");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FeatureModel>> ParseModel(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens_or = lexer.Run();
+  FAME_RETURN_IF_ERROR(tokens_or.status());
+  Parser parser(std::move(tokens_or).value());
+  return parser.Run();
+}
+
+std::string ToDsl(const FeatureModel& model) {
+  std::string out;
+  if (model.size() > 0) EmitFeature(model, model.root(), 0, &out);
+  if (!model.constraints().empty()) {
+    out.append("constraints {\n");
+    for (const Constraint& c : model.constraints()) {
+      out.append("  ");
+      out.append(model.feature(c.a).name);
+      out.append(c.kind == Constraint::kRequires ? " requires " : " excludes ");
+      out.append(model.feature(c.b).name);
+      out.append(";\n");
+    }
+    out.append("}\n");
+  }
+  return out;
+}
+
+}  // namespace fame::fm

@@ -1,0 +1,573 @@
+#include "index/bplus_tree.h"
+
+#include <vector>
+
+namespace fame::index {
+
+using storage::BufferManager;
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageType;
+using storage::kInvalidPageId;
+
+StatusOr<std::unique_ptr<BPlusTree>> BPlusTree::Open(BufferManager* buffers,
+                                                     const std::string& name) {
+  std::unique_ptr<BPlusTree> tree(new BPlusTree(buffers, name));
+  auto root_or = buffers->file()->GetRoot("btree:" + name);
+  if (root_or.ok()) {
+    tree->root_ = root_or.value();
+  } else {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers->New(PageType::kBTreeLeaf));
+    BtreeNode node(guard.page().raw(), buffers->file()->page_size());
+    node.Init(/*leaf=*/true);
+    guard.MarkDirty();
+    tree->root_ = guard.id();
+    guard.Release();
+    FAME_RETURN_IF_ERROR(tree->PersistRoot());
+  }
+  return tree;
+}
+
+Status BPlusTree::PersistRoot() {
+  return buffers_->file()->SetRoot("btree:" + name_, root_);
+}
+
+size_t BPlusTree::MaxKeySize() const {
+  // A node must be able to hold at least 4 entries so splits always make
+  // progress.
+  return NodeCapacity() / 4 - (2 + 8 + BtreeNode::kDirEntrySize);
+}
+
+Status BPlusTree::Lookup(const Slice& key, uint64_t* value) {
+  PageId page = root_;
+  while (true) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
+    BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+    if (node.is_leaf()) {
+      bool equal = false;
+      uint16_t idx = node.LowerBound(key, &equal);
+      if (!equal) return Status::NotFound("key absent");
+      *value = node.PayloadAt(idx);
+      return Status::OK();
+    }
+    page = node.ChildFor(key);
+  }
+}
+
+Status BPlusTree::Insert(const Slice& key, uint64_t value) {
+  if (key.size() > MaxKeySize()) {
+    return Status::InvalidArgument("key too large for page size");
+  }
+  // Preemptive (top-down) splitting: every full node on the descent path is
+  // split while we still hold its parent, which is guaranteed to have room.
+  // The only fallible step of a split is allocating the right page, and it
+  // happens before any mutation — so an out-of-storage failure (routine on
+  // the deeply embedded targets) can never orphan half the tree.
+  const size_t worst = MaxKeySize();
+  {
+    FAME_ASSIGN_OR_RETURN(PageGuard root_guard, buffers_->Fetch(root_));
+    BtreeNode root_node(root_guard.page().raw(), buffers_->file()->page_size());
+    if (!root_node.HasRoomFor(worst)) {
+      // Grow the tree first: new empty root above the old one, then split
+      // the old root as its child 0.
+      FAME_ASSIGN_OR_RETURN(PageGuard new_root_guard,
+                            buffers_->New(PageType::kBTreeInner));
+      BtreeNode new_root(new_root_guard.page().raw(),
+                         buffers_->file()->page_size());
+      new_root.Init(/*leaf=*/false);
+      new_root.set_link(root_);
+      new_root_guard.MarkDirty();
+      Status s = SplitChild(&new_root, &new_root_guard, 0);
+      if (!s.ok()) {
+        // Nothing below was touched; discard the unused root page.
+        PageId unused = new_root_guard.id();
+        root_guard.Release();
+        new_root_guard.Release();
+        (void)buffers_->Free(unused);
+        return s;
+      }
+      root_ = new_root_guard.id();
+      root_guard.Release();
+      new_root_guard.Release();
+      FAME_RETURN_IF_ERROR(PersistRoot());
+    }
+  }
+
+  PageId page = root_;
+  while (true) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
+    BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+    if (node.is_leaf()) {
+      bool equal = false;
+      uint16_t idx = node.LowerBound(key, &equal);
+      if (equal) {  // upsert
+        node.SetPayloadAt(idx, value);
+      } else {
+        node.InsertAt(idx, key, value);  // room guaranteed by pre-splitting
+      }
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    bool eq = false;
+    uint16_t idx = node.LowerBound(key, &eq);
+    uint16_t pos = eq ? static_cast<uint16_t>(idx + 1) : idx;
+    {
+      FAME_ASSIGN_OR_RETURN(PageGuard child_guard,
+                            buffers_->Fetch(node.ChildAt(pos)));
+      BtreeNode child(child_guard.page().raw(),
+                      buffers_->file()->page_size());
+      if (!child.HasRoomFor(worst)) {
+        child_guard.Release();
+        FAME_RETURN_IF_ERROR(SplitChild(&node, &guard, pos));
+        guard.MarkDirty();
+        // Re-route: the key may now belong to the new right sibling.
+        bool eq2 = false;
+        idx = node.LowerBound(key, &eq2);
+        pos = eq2 ? static_cast<uint16_t>(idx + 1) : idx;
+      }
+    }
+    page = node.ChildAt(pos);
+  }
+}
+
+Status BPlusTree::SplitChild(BtreeNode* parent, PageGuard* parent_guard,
+                             uint16_t pos) {
+  const size_t page_size = buffers_->file()->page_size();
+  FAME_ASSIGN_OR_RETURN(PageGuard child_guard,
+                        buffers_->Fetch(parent->ChildAt(pos)));
+  BtreeNode child(child_guard.page().raw(), page_size);
+
+  // The only fallible step — before any mutation.
+  FAME_ASSIGN_OR_RETURN(
+      PageGuard right_guard,
+      buffers_->New(child.is_leaf() ? PageType::kBTreeLeaf
+                                    : PageType::kBTreeInner));
+  BtreeNode right(right_guard.page().raw(), page_size);
+  right.Init(child.is_leaf());
+
+  // Split point: byte midpoint.
+  size_t total = child.UsedBytes();
+  size_t acc = 0;
+  uint16_t mid = 0;
+  while (mid + 1 < child.count() && acc < total / 2) {
+    acc += BtreeNode::EntrySize(child.KeyAt(mid).size());
+    ++mid;
+  }
+  if (mid == 0) mid = 1;
+
+  std::string sep;
+  if (child.is_leaf()) {
+    child.MoveTail(&right, mid);
+    right.set_link(child.link());
+    child.set_link(right_guard.id());
+    sep = right.KeyAt(0).ToString();
+  } else {
+    // The middle key moves up; its payload becomes the right node's
+    // leftmost child.
+    sep = child.KeyAt(mid).ToString();
+    right.set_link(static_cast<PageId>(child.PayloadAt(mid)));
+    child.MoveTail(&right, static_cast<uint16_t>(mid + 1));
+    child.RemoveAt(mid);
+  }
+  bool eq = false;
+  uint16_t at = parent->LowerBound(Slice(sep), &eq);
+  parent->InsertAt(at, Slice(sep), right_guard.id());
+
+  child_guard.MarkDirty();
+  right_guard.MarkDirty();
+  parent_guard->MarkDirty();
+  return Status::OK();
+}
+
+Status BPlusTree::Remove(const Slice& key) {
+  bool underflow = false;
+  FAME_RETURN_IF_ERROR(RemoveRec(root_, key, &underflow));
+  // Shrink the root if it became an empty inner node.
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(root_));
+  BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+  if (!node.is_leaf() && node.count() == 0) {
+    PageId old_root = root_;
+    root_ = node.link();
+    guard.Release();
+    FAME_RETURN_IF_ERROR(buffers_->Free(old_root));
+    FAME_RETURN_IF_ERROR(PersistRoot());
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::RemoveRec(PageId page, const Slice& key, bool* underflow) {
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
+  BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+
+  if (node.is_leaf()) {
+    bool equal = false;
+    uint16_t idx = node.LowerBound(key, &equal);
+    if (!equal) return Status::NotFound("key absent");
+    node.RemoveAt(idx);
+    guard.MarkDirty();
+    *underflow = node.UsedBytes() < UnderflowThreshold();
+    return Status::OK();
+  }
+
+  bool eq = false;
+  uint16_t idx = node.LowerBound(key, &eq);
+  uint16_t pos = eq ? static_cast<uint16_t>(idx + 1) : idx;  // child position
+  PageId child = node.ChildAt(pos);
+
+  bool child_underflow = false;
+  FAME_RETURN_IF_ERROR(RemoveRec(child, key, &child_underflow));
+  if (child_underflow) {
+    FAME_RETURN_IF_ERROR(RebalanceChild(&node, &guard, pos));
+  }
+  *underflow = node.UsedBytes() < UnderflowThreshold();
+  return Status::OK();
+}
+
+Status BPlusTree::RebalanceChild(BtreeNode* parent, PageGuard* parent_guard,
+                                 uint16_t pos) {
+  const size_t page_size = buffers_->file()->page_size();
+  FAME_ASSIGN_OR_RETURN(PageGuard child_guard,
+                        buffers_->Fetch(parent->ChildAt(pos)));
+  BtreeNode child(child_guard.page().raw(), page_size);
+
+  // -------- try borrowing from the right sibling --------
+  if (pos < parent->count()) {
+    FAME_ASSIGN_OR_RETURN(PageGuard right_guard,
+                          buffers_->Fetch(parent->ChildAt(pos + 1)));
+    BtreeNode right(right_guard.page().raw(), page_size);
+    uint16_t sep_idx = pos;  // parent entry separating child | right
+
+    if (right.count() > 1 &&
+        right.UsedBytes() > UnderflowThreshold() + BtreeNode::EntrySize(16)) {
+      if (child.is_leaf()) {
+        Slice k = right.KeyAt(0);
+        uint64_t v = right.PayloadAt(0);
+        if (child.HasRoomFor(k.size())) {
+          child.InsertAt(child.count(), k, v);
+          right.RemoveAt(0);
+          std::string new_sep = right.KeyAt(0).ToString();
+          uint64_t right_ptr = parent->PayloadAt(sep_idx);
+          parent->RemoveAt(sep_idx);
+          bool eq2 = false;
+          uint16_t at = parent->LowerBound(Slice(new_sep), &eq2);
+          parent->InsertAt(at, Slice(new_sep), right_ptr);
+          child_guard.MarkDirty();
+          right_guard.MarkDirty();
+          parent_guard->MarkDirty();
+          return Status::OK();
+        }
+      } else {
+        // Rotate through the parent: child gains (sep, right.leftmost).
+        std::string sep = parent->KeyAt(sep_idx).ToString();
+        if (child.HasRoomFor(sep.size())) {
+          child.InsertAt(child.count(), Slice(sep), right.link());
+          std::string new_sep = right.KeyAt(0).ToString();
+          right.set_link(static_cast<PageId>(right.PayloadAt(0)));
+          right.RemoveAt(0);
+          uint64_t right_ptr = parent->PayloadAt(sep_idx);
+          parent->RemoveAt(sep_idx);
+          bool eq2 = false;
+          uint16_t at = parent->LowerBound(Slice(new_sep), &eq2);
+          parent->InsertAt(at, Slice(new_sep), right_ptr);
+          child_guard.MarkDirty();
+          right_guard.MarkDirty();
+          parent_guard->MarkDirty();
+          return Status::OK();
+        }
+      }
+    }
+
+    // -------- try merging child <- right --------
+    size_t sep_cost = child.is_leaf()
+                          ? 0
+                          : BtreeNode::EntrySize(parent->KeyAt(sep_idx).size());
+    if (child.UsedBytes() + right.UsedBytes() + sep_cost <= NodeCapacity()) {
+      if (child.is_leaf()) {
+        child.AppendAll(right);
+        child.set_link(right.link());
+      } else {
+        child.InsertAt(child.count(), parent->KeyAt(sep_idx), right.link());
+        child.AppendAll(right);
+      }
+      PageId right_id = right_guard.id();
+      parent->RemoveAt(sep_idx);
+      child_guard.MarkDirty();
+      parent_guard->MarkDirty();
+      right_guard.Release();
+      FAME_RETURN_IF_ERROR(buffers_->Free(right_id));
+      return Status::OK();
+    }
+  }
+
+  // -------- try borrowing from the left sibling --------
+  if (pos > 0) {
+    FAME_ASSIGN_OR_RETURN(PageGuard left_guard,
+                          buffers_->Fetch(parent->ChildAt(pos - 1)));
+    BtreeNode left(left_guard.page().raw(), page_size);
+    uint16_t sep_idx = static_cast<uint16_t>(pos - 1);
+
+    if (left.count() > 1 &&
+        left.UsedBytes() > UnderflowThreshold() + BtreeNode::EntrySize(16)) {
+      uint16_t last = static_cast<uint16_t>(left.count() - 1);
+      if (child.is_leaf()) {
+        Slice k = left.KeyAt(last);
+        uint64_t v = left.PayloadAt(last);
+        if (child.HasRoomFor(k.size())) {
+          child.InsertAt(0, k, v);
+          std::string new_sep = k.ToString();
+          left.RemoveAt(last);
+          uint64_t child_ptr = parent->PayloadAt(sep_idx);
+          parent->RemoveAt(sep_idx);
+          bool eq2 = false;
+          uint16_t at = parent->LowerBound(Slice(new_sep), &eq2);
+          parent->InsertAt(at, Slice(new_sep), child_ptr);
+          child_guard.MarkDirty();
+          left_guard.MarkDirty();
+          parent_guard->MarkDirty();
+          return Status::OK();
+        }
+      } else {
+        std::string sep = parent->KeyAt(sep_idx).ToString();
+        if (child.HasRoomFor(sep.size())) {
+          // Child's old leftmost becomes the payload of the rotated-in key.
+          child.InsertAt(0, Slice(sep), child.link());
+          child.set_link(static_cast<PageId>(left.PayloadAt(last)));
+          std::string new_sep = left.KeyAt(last).ToString();
+          left.RemoveAt(last);
+          uint64_t child_ptr = parent->PayloadAt(sep_idx);
+          parent->RemoveAt(sep_idx);
+          bool eq2 = false;
+          uint16_t at = parent->LowerBound(Slice(new_sep), &eq2);
+          parent->InsertAt(at, Slice(new_sep), child_ptr);
+          child_guard.MarkDirty();
+          left_guard.MarkDirty();
+          parent_guard->MarkDirty();
+          return Status::OK();
+        }
+      }
+    }
+
+    // -------- try merging left <- child --------
+    size_t sep_cost = child.is_leaf()
+                          ? 0
+                          : BtreeNode::EntrySize(parent->KeyAt(sep_idx).size());
+    if (left.UsedBytes() + child.UsedBytes() + sep_cost <= NodeCapacity()) {
+      if (child.is_leaf()) {
+        left.AppendAll(child);
+        left.set_link(child.link());
+      } else {
+        left.InsertAt(left.count(), parent->KeyAt(sep_idx), child.link());
+        left.AppendAll(child);
+      }
+      PageId child_id = child_guard.id();
+      parent->RemoveAt(sep_idx);
+      left_guard.MarkDirty();
+      parent_guard->MarkDirty();
+      child_guard.Release();
+      FAME_RETURN_IF_ERROR(buffers_->Free(child_id));
+      return Status::OK();
+    }
+  }
+
+  // Neither borrow nor merge possible (can happen with large variable-size
+  // keys); leave the node underfull — correctness is unaffected.
+  return Status::OK();
+}
+
+Status BPlusTree::BulkLoad(
+    const std::vector<std::pair<std::string, uint64_t>>& entries,
+    double fill) {
+  if (fill < 0.5 || fill > 1.0) {
+    return Status::InvalidArgument("fill must be in [0.5, 1.0]");
+  }
+  {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(root_));
+    BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+    if (!node.is_leaf() || node.count() != 0) {
+      return Status::InvalidArgument("bulk load requires an empty tree");
+    }
+  }
+  if (entries.empty()) return Status::OK();
+  const size_t budget = static_cast<size_t>(
+      static_cast<double>(NodeCapacity()) * fill);
+
+  // ---- pass 1: pack the leaf level ----
+  struct Fence {
+    std::string key;      // first key of the node
+    PageId page;
+  };
+  std::vector<Fence> level;
+  {
+    PageGuard guard;                 // current leaf being filled
+    size_t used = 0;
+    std::string last_key;
+    bool have_last = false;
+    for (const auto& [key, value] : entries) {
+      if (key.size() > MaxKeySize()) {
+        return Status::InvalidArgument("key too large for page size");
+      }
+      if (have_last && Slice(last_key).compare(Slice(key)) >= 0) {
+        return Status::InvalidArgument(
+            "bulk input must be strictly ascending");
+      }
+      last_key = key;
+      have_last = true;
+      size_t need = BtreeNode::EntrySize(key.size());
+      if (!guard.valid() || used + need > budget) {
+        FAME_ASSIGN_OR_RETURN(PageGuard fresh,
+                              buffers_->New(PageType::kBTreeLeaf));
+        BtreeNode fresh_node(fresh.page().raw(),
+                             buffers_->file()->page_size());
+        fresh_node.Init(/*leaf=*/true);
+        fresh.MarkDirty();
+        if (guard.valid()) {
+          BtreeNode full(guard.page().raw(), buffers_->file()->page_size());
+          full.set_link(fresh.id());
+        }
+        guard = std::move(fresh);
+        used = 0;
+        level.push_back(Fence{key, guard.id()});
+      }
+      BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+      node.InsertAt(node.count(), key, value);
+      guard.MarkDirty();
+      used += need;
+    }
+  }
+
+  // ---- passes 2..h: build inner levels until one node remains ----
+  while (level.size() > 1) {
+    std::vector<Fence> upper;
+    PageGuard guard;
+    size_t used = 0;
+    for (size_t i = 0; i < level.size(); ++i) {
+      size_t need = BtreeNode::EntrySize(level[i].key.size());
+      if (!guard.valid() || used + need > budget) {
+        FAME_ASSIGN_OR_RETURN(PageGuard fresh,
+                              buffers_->New(PageType::kBTreeInner));
+        BtreeNode fresh_node(fresh.page().raw(),
+                             buffers_->file()->page_size());
+        fresh_node.Init(/*leaf=*/false);
+        fresh_node.set_link(level[i].page);  // leftmost child
+        fresh.MarkDirty();
+        guard = std::move(fresh);
+        used = 0;
+        upper.push_back(Fence{level[i].key, guard.id()});
+        continue;  // the leftmost child carries no separator entry
+      }
+      BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+      node.InsertAt(node.count(), Slice(level[i].key), level[i].page);
+      guard.MarkDirty();
+      used += need;
+    }
+    level = std::move(upper);
+  }
+
+  // Swap the new tree in; the old empty root goes to the free list.
+  PageId old_root = root_;
+  root_ = level[0].page;
+  FAME_RETURN_IF_ERROR(PersistRoot());
+  return buffers_->Free(old_root);
+}
+
+Status BPlusTree::Scan(const ScanVisitor& visit) {
+  return RangeScan(Slice(), Slice(), visit);
+}
+
+Status BPlusTree::RangeScan(const Slice& lo, const Slice& hi,
+                            const ScanVisitor& visit) {
+  // Descend to the leaf containing lo (leftmost leaf for empty lo).
+  PageId page = root_;
+  while (true) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
+    BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+    if (node.is_leaf()) break;
+    page = lo.empty() ? node.ChildAt(0) : node.ChildFor(lo);
+  }
+  bool first_leaf = true;
+  while (page != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
+    BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+    uint16_t start = 0;
+    if (first_leaf && !lo.empty()) {
+      bool equal = false;
+      start = node.LowerBound(lo, &equal);
+    }
+    first_leaf = false;
+    for (uint16_t i = start; i < node.count(); ++i) {
+      Slice k = node.KeyAt(i);
+      if (!hi.empty() && k.compare(hi) >= 0) return Status::OK();
+      if (!visit(k, node.PayloadAt(i))) return Status::OK();
+    }
+    page = node.link();
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> BPlusTree::Count() {
+  uint64_t n = 0;
+  FAME_RETURN_IF_ERROR(Scan([&n](const Slice&, uint64_t) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+StatusOr<uint32_t> BPlusTree::Height() {
+  uint32_t h = 1;
+  PageId page = root_;
+  while (true) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
+    BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+    if (node.is_leaf()) return h;
+    page = node.ChildAt(0);
+    ++h;
+  }
+}
+
+Status BPlusTree::CheckInvariants() {
+  uint32_t leaf_depth = 0;
+  return CheckNodeInvariants(root_, Slice(), Slice(), 1, &leaf_depth);
+}
+
+Status BPlusTree::CheckNodeInvariants(PageId page, const Slice& lo,
+                                      const Slice& hi, uint32_t depth,
+                                      uint32_t* leaf_depth) {
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
+  BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+
+  // Keys strictly ascending and within (lo, hi].
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    Slice k = node.KeyAt(i);
+    if (i > 0 && node.KeyAt(i - 1).compare(k) >= 0) {
+      return Status::Corruption("keys not strictly ascending");
+    }
+    if (!lo.empty() && k.compare(lo) < 0) {
+      return Status::Corruption("key below subtree lower bound");
+    }
+    if (!hi.empty() && k.compare(hi) >= 0) {
+      return Status::Corruption("key above subtree upper bound");
+    }
+  }
+  if (node.is_leaf()) {
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at differing depths");
+    }
+    return Status::OK();
+  }
+  // Recurse into children with tightened bounds.
+  for (uint16_t pos = 0; pos <= node.count(); ++pos) {
+    Slice child_lo = pos == 0 ? lo : node.KeyAt(pos - 1);
+    Slice child_hi = pos == node.count() ? hi : node.KeyAt(pos);
+    std::string lo_copy = child_lo.ToString();
+    std::string hi_copy = child_hi.ToString();
+    FAME_RETURN_IF_ERROR(CheckNodeInvariants(node.ChildAt(pos),
+                                             Slice(lo_copy), Slice(hi_copy),
+                                             depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+}  // namespace fame::index

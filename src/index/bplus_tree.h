@@ -1,0 +1,89 @@
+// Disk-based B+-tree over the buffer manager: the "B+-Tree" index
+// alternative of the FAME-DBMS feature diagram. Supports point lookups,
+// upsert, deletion with borrow/merge rebalancing, and ordered range scans
+// via the leaf sibling chain.
+//
+// Keys are variable-length byte strings compared bytewise; payloads are
+// 64-bit values (typically packed Rids). Keys must be unique (the engine
+// layers enforce this; Insert is an upsert).
+#ifndef FAME_INDEX_BPLUS_TREE_H_
+#define FAME_INDEX_BPLUS_TREE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/btree_node.h"
+#include "index/index.h"
+#include "storage/buffer.h"
+
+namespace fame::index {
+
+class BPlusTree final : public OrderedIndex {
+ public:
+  /// Opens (creating on first use) the tree named `name` in the page file
+  /// behind `buffers`.
+  static StatusOr<std::unique_ptr<BPlusTree>> Open(storage::BufferManager* buffers,
+                                                   const std::string& name);
+
+  Status Insert(const Slice& key, uint64_t value) override;
+  Status Lookup(const Slice& key, uint64_t* value) override;
+  Status Remove(const Slice& key) override;
+  Status Scan(const ScanVisitor& visit) override;
+  Status RangeScan(const Slice& lo, const Slice& hi,
+                   const ScanVisitor& visit) override;
+  StatusOr<uint64_t> Count() override;
+  const char* name() const override { return "btree"; }
+  bool ordered() const override { return true; }
+
+  /// Height of the tree (1 = root is a leaf). For tests and stats.
+  StatusOr<uint32_t> Height();
+
+  /// Checks structural invariants (key order within nodes, separator
+  /// correctness, leaf chain order). Used by property tests.
+  Status CheckInvariants();
+
+  /// Maximum key length this tree accepts (a node must hold >= 4 entries).
+  size_t MaxKeySize() const;
+
+  /// [extension] Bulk-loads `entries` (strictly ascending keys, unique)
+  /// into an *empty* tree by packing leaves bottom-up to `fill` (0.5–1.0,
+  /// default 0.9) and building the inner levels from the leaf fence keys —
+  /// O(n) instead of n inserts, and the resulting leaves are packed instead
+  /// of half-full. InvalidArgument if the tree is not empty or the input is
+  /// not strictly ascending.
+  Status BulkLoad(
+      const std::vector<std::pair<std::string, uint64_t>>& entries,
+      double fill = 0.9);
+
+ private:
+  BPlusTree(storage::BufferManager* buffers, std::string name)
+      : buffers_(buffers), name_(std::move(name)) {}
+
+  /// Splits the (full) child at logical position `pos` of `parent`,
+  /// inserting the separator into `parent` (which must have room — the
+  /// preemptive descent guarantees it). Fails only before any mutation.
+  Status SplitChild(BtreeNode* parent, storage::PageGuard* parent_guard,
+                    uint16_t pos);
+  Status RemoveRec(storage::PageId page, const Slice& key, bool* underflow);
+  /// Rebalances the child at logical position `pos` of inner node `parent`.
+  Status RebalanceChild(BtreeNode* parent, storage::PageGuard* parent_guard,
+                        uint16_t pos);
+
+  Status PersistRoot();
+  size_t NodeCapacity() const {
+    return buffers_->file()->page_size() - BtreeNode::kHeaderSize;
+  }
+  size_t UnderflowThreshold() const { return NodeCapacity() / 4; }
+
+  Status CheckNodeInvariants(storage::PageId page, const Slice& lo,
+                             const Slice& hi, uint32_t depth,
+                             uint32_t* leaf_depth);
+
+  storage::BufferManager* buffers_;
+  std::string name_;
+  storage::PageId root_ = storage::kInvalidPageId;
+};
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_BPLUS_TREE_H_

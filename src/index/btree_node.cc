@@ -1,0 +1,119 @@
+#include "index/btree_node.h"
+
+#include <cstring>
+#include <vector>
+
+namespace fame::index {
+
+uint16_t BtreeNode::LowerBound(const Slice& key, bool* equal) const {
+  uint16_t lo = 0, hi = count();
+  *equal = false;
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    int c = KeyAt(mid).compare(key);
+    if (c < 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      if (c == 0) *equal = true;
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+storage::PageId BtreeNode::ChildFor(const Slice& key) const {
+  bool equal = false;
+  uint16_t idx = LowerBound(key, &equal);
+  // Entry i covers keys >= key[i]; on equality descend into that entry's
+  // child, otherwise into the child left of idx.
+  if (equal) return static_cast<storage::PageId>(PayloadAt(idx));
+  return ChildAt(idx);
+}
+
+void BtreeNode::InsertAt(uint16_t idx, const Slice& key, uint64_t payload) {
+  size_t rec_size = 2 + key.size() + 8;
+  size_t gap = (size_ - kDirEntrySize * count()) - free_off();
+  if (gap < rec_size + kDirEntrySize) {
+    Compact();
+  }
+  uint16_t off = free_off();
+  EncodeFixed16(data_ + off, static_cast<uint16_t>(key.size()));
+  std::memcpy(data_ + off + 2, key.data(), key.size());
+  EncodeFixed64(data_ + off + 2 + key.size(), payload);
+  set_free_off(static_cast<uint16_t>(off + rec_size));
+
+  // Shift directory entries [idx, count) down by one slot. The directory
+  // grows downward, so entry i lives at size_ - 2*(i+1); shifting means
+  // moving the block [size - 2*count, size - 2*idx) left by 2 bytes.
+  uint16_t n = count();
+  char* dir_begin = data_ + size_ - kDirEntrySize * n;
+  size_t move = kDirEntrySize * (n - idx);
+  if (move > 0) {
+    std::memmove(dir_begin - kDirEntrySize, dir_begin, move);
+  }
+  set_dir_off(idx, off);
+  set_count(static_cast<uint16_t>(n + 1));
+}
+
+void BtreeNode::RemoveAt(uint16_t idx) {
+  uint16_t n = count();
+  const char* rec = data_ + dir_off(idx);
+  uint16_t klen = DecodeFixed16(rec);
+  set_dead_bytes(static_cast<uint16_t>(dead_bytes() + 2 + klen + 8));
+  // Shift directory entries (idx, count) up by one slot: move the block
+  // [size - 2*count, size - 2*(idx+1)) right by 2 bytes.
+  char* dir_begin = data_ + size_ - kDirEntrySize * n;
+  size_t move = kDirEntrySize * (n - idx - 1);
+  if (move > 0) {
+    std::memmove(dir_begin + kDirEntrySize, dir_begin, move);
+  }
+  set_count(static_cast<uint16_t>(n - 1));
+}
+
+size_t BtreeNode::UsedBytes() const {
+  size_t used = 0;
+  for (uint16_t i = 0; i < count(); ++i) {
+    used += EntrySize(KeyAt(i).size());
+  }
+  return used;
+}
+
+void BtreeNode::Compact() {
+  uint16_t n = count();
+  std::vector<std::pair<uint16_t, std::string>> entries;  // (offset order kept via dir)
+  entries.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    const char* rec = data_ + dir_off(i);
+    uint16_t klen = DecodeFixed16(rec);
+    entries.emplace_back(i, std::string(rec, 2 + klen + 8));
+  }
+  uint16_t write = kHeaderSize;
+  for (auto& [idx, bytes] : entries) {
+    std::memcpy(data_ + write, bytes.data(), bytes.size());
+    set_dir_off(idx, write);
+    write = static_cast<uint16_t>(write + bytes.size());
+  }
+  set_free_off(write);
+  set_dead_bytes(0);
+}
+
+void BtreeNode::MoveTail(BtreeNode* dst, uint16_t from) {
+  uint16_t n = count();
+  for (uint16_t i = from; i < n; ++i) {
+    dst->InsertAt(static_cast<uint16_t>(i - from), KeyAt(i), PayloadAt(i));
+  }
+  // Drop the moved tail from this node (directory shrink + dead bytes).
+  for (uint16_t i = n; i > from; --i) {
+    RemoveAt(static_cast<uint16_t>(i - 1));
+  }
+  Compact();
+}
+
+void BtreeNode::AppendAll(const BtreeNode& src) {
+  uint16_t base = count();
+  for (uint16_t i = 0; i < src.count(); ++i) {
+    InsertAt(static_cast<uint16_t>(base + i), src.KeyAt(i), src.PayloadAt(i));
+  }
+}
+
+}  // namespace fame::index

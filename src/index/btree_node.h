@@ -1,0 +1,150 @@
+// B+-tree node layout over a page frame.
+//
+// Node layout (reuses the generic page header offsets so checksumming and
+// typing are uniform):
+//   [0]   u8   page type (kBTreeLeaf / kBTreeInner)
+//   [2]   u16  entry count
+//   [4]   u16  free-space offset (record area grows up from kHeaderSize)
+//   [6]   u16  dead bytes (reclaimable by compaction)
+//   [8]   u32  leaf: right-sibling page id / inner: leftmost child page id
+//   [16]  u64  page LSN
+//   [24]  u32  masked CRC
+//   [32..]     entries: [u16 klen][key bytes][u64 payload]
+//   [end down] directory: u16 entry offsets, *sorted by key*
+//
+// An inner node with N directory entries has N+1 children: the leftmost
+// child in the header, and one child per entry (its payload), covering keys
+// >= that entry's key.
+#ifndef FAME_INDEX_BTREE_NODE_H_
+#define FAME_INDEX_BTREE_NODE_H_
+
+#include <cstdint>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace fame::index {
+
+/// Mutable view over one B+-tree node frame.
+class BtreeNode {
+ public:
+  static constexpr size_t kHeaderSize = storage::Page::kHeaderSize;
+  static constexpr size_t kDirEntrySize = 2;
+
+  BtreeNode(char* data, size_t page_size) : data_(data), size_(page_size) {}
+
+  void Init(bool leaf) {
+    std::memset(data_, 0, size_);
+    data_[0] = static_cast<char>(leaf ? storage::PageType::kBTreeLeaf
+                                      : storage::PageType::kBTreeInner);
+    set_count(0);
+    set_free_off(kHeaderSize);
+    set_dead_bytes(0);
+    set_link(storage::kInvalidPageId);
+  }
+
+  bool is_leaf() const {
+    return data_[0] == static_cast<char>(storage::PageType::kBTreeLeaf);
+  }
+
+  uint16_t count() const { return DecodeFixed16(data_ + 2); }
+
+  /// Leaf: right sibling. Inner: leftmost child.
+  storage::PageId link() const { return DecodeFixed32(data_ + 8); }
+  void set_link(storage::PageId id) { EncodeFixed32(data_ + 8, id); }
+
+  Slice KeyAt(uint16_t idx) const {
+    const char* rec = data_ + dir_off(idx);
+    uint16_t klen = DecodeFixed16(rec);
+    return Slice(rec + 2, klen);
+  }
+
+  uint64_t PayloadAt(uint16_t idx) const {
+    const char* rec = data_ + dir_off(idx);
+    uint16_t klen = DecodeFixed16(rec);
+    return DecodeFixed64(rec + 2 + klen);
+  }
+
+  void SetPayloadAt(uint16_t idx, uint64_t payload) {
+    char* rec = data_ + dir_off(idx);
+    uint16_t klen = DecodeFixed16(rec);
+    EncodeFixed64(rec + 2 + klen, payload);
+  }
+
+  /// First index whose key is >= `key` (count() if none). `*equal` reports
+  /// an exact match at the returned index.
+  uint16_t LowerBound(const Slice& key, bool* equal) const;
+
+  /// Child page covering `key` in an inner node.
+  storage::PageId ChildFor(const Slice& key) const;
+  /// Child pointer at logical child position `pos` in [0, count()]:
+  /// pos 0 = leftmost link, pos i>0 = payload of entry i-1.
+  storage::PageId ChildAt(uint16_t pos) const {
+    return pos == 0 ? link() : static_cast<storage::PageId>(PayloadAt(pos - 1));
+  }
+
+  /// Bytes one entry occupies (record + directory slot).
+  static size_t EntrySize(size_t key_len) {
+    return 2 + key_len + 8 + kDirEntrySize;
+  }
+
+  /// True if an entry with `key_len`-byte key fits (possibly after
+  /// compaction).
+  bool HasRoomFor(size_t key_len) const {
+    return FreeBytes() + dead_bytes() >= EntrySize(key_len);
+  }
+
+  /// Inserts (key, payload) at sorted position `idx` (from LowerBound).
+  /// Caller guarantees HasRoomFor. Compacts internally when the contiguous
+  /// gap is too small.
+  void InsertAt(uint16_t idx, const Slice& key, uint64_t payload);
+
+  /// Removes the entry at `idx`.
+  void RemoveAt(uint16_t idx);
+
+  /// Bytes of payload data currently live (excludes header/directory).
+  size_t UsedBytes() const;
+
+  /// Contiguous free gap minus nothing (dead bytes are extra potential).
+  size_t FreeBytes() const {
+    return (size_ - kDirEntrySize * count()) - free_off();
+  }
+
+  uint16_t dead_bytes() const { return DecodeFixed16(data_ + 6); }
+
+  /// Moves entries [from, count) of this node to the *empty* node `dst`
+  /// (same page size). Used by splits.
+  void MoveTail(BtreeNode* dst, uint16_t from);
+
+  /// Appends all entries of `src` (whose keys all sort after ours) to this
+  /// node. Used by merges. Caller guarantees room.
+  void AppendAll(const BtreeNode& src);
+
+  char* raw() { return data_; }
+  size_t page_size() const { return size_; }
+
+ private:
+  void set_count(uint16_t n) { EncodeFixed16(data_ + 2, n); }
+  uint16_t free_off() const { return DecodeFixed16(data_ + 4); }
+  void set_free_off(uint16_t v) { EncodeFixed16(data_ + 4, v); }
+  void set_dead_bytes(uint16_t v) { EncodeFixed16(data_ + 6, v); }
+
+  uint16_t dir_off(uint16_t idx) const {
+    return DecodeFixed16(data_ + size_ - kDirEntrySize * (idx + 1));
+  }
+  void set_dir_off(uint16_t idx, uint16_t off) {
+    EncodeFixed16(data_ + size_ - kDirEntrySize * (idx + 1), off);
+  }
+
+  /// Rewrites the record area densely, preserving directory order.
+  void Compact();
+
+  char* data_;
+  size_t size_;
+};
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_BTREE_NODE_H_

@@ -1,0 +1,230 @@
+#include "index/hash_index.h"
+
+#include "common/coding.h"
+
+namespace fame::index {
+
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageType;
+using storage::kInvalidPageId;
+
+namespace {
+
+std::string EncodeEntry(const Slice& key, uint64_t value) {
+  std::string rec;
+  PutFixed16(&rec, static_cast<uint16_t>(key.size()));
+  rec.append(key.data(), key.size());
+  PutFixed64(&rec, value);
+  return rec;
+}
+
+bool DecodeEntry(const Slice& rec, Slice* key, uint64_t* value) {
+  if (rec.size() < 10) return false;
+  uint16_t klen = DecodeFixed16(rec.data());
+  if (rec.size() != static_cast<size_t>(2 + klen + 8)) return false;
+  *key = Slice(rec.data() + 2, klen);
+  *value = DecodeFixed64(rec.data() + 2 + klen);
+  return true;
+}
+
+}  // namespace
+
+uint64_t HashIndex::HashBytes(const Slice& key) {
+  // FNV-1a 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < key.size(); ++i) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint32_t HashIndex::BucketFor(const Slice& key) const {
+  return static_cast<uint32_t>(HashBytes(key) & (buckets_.size() - 1));
+}
+
+StatusOr<std::unique_ptr<HashIndex>> HashIndex::Open(
+    storage::BufferManager* buffers, const std::string& name,
+    uint32_t bucket_count) {
+  std::unique_ptr<HashIndex> idx(new HashIndex(buffers, name));
+  auto root_or = buffers->file()->GetRoot("hash:" + name);
+  if (root_or.ok()) {
+    idx->directory_ = root_or.value();
+    FAME_ASSIGN_OR_RETURN(PageGuard dir, buffers->Fetch(idx->directory_));
+    auto rec_or = dir.page().Get(0);
+    FAME_RETURN_IF_ERROR(rec_or.status());
+    Slice rec = rec_or.value();
+    if (rec.size() < 4) return Status::Corruption("bad hash directory");
+    uint32_t n = DecodeFixed32(rec.data());
+    if (rec.size() != 4 + 4ull * n) return Status::Corruption("bad hash directory");
+    idx->buckets_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      idx->buckets_[i] = DecodeFixed32(rec.data() + 4 + 4ull * i);
+    }
+    return idx;
+  }
+
+  if (bucket_count == 0 || (bucket_count & (bucket_count - 1)) != 0) {
+    return Status::InvalidArgument("bucket_count must be a power of two");
+  }
+  // Directory record must fit on one page.
+  size_t dir_bytes = 4 + 4ull * bucket_count;
+  if (dir_bytes + storage::Page::kHeaderSize + storage::Page::kSlotSize >
+      buffers->file()->page_size()) {
+    return Status::InvalidArgument("bucket_count too large for page size");
+  }
+  idx->buckets_.resize(bucket_count);
+  for (uint32_t i = 0; i < bucket_count; ++i) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers->New(PageType::kHashBucket));
+    idx->buckets_[i] = guard.id();
+    guard.MarkDirty();
+  }
+  std::string rec;
+  PutFixed32(&rec, bucket_count);
+  for (PageId id : idx->buckets_) PutFixed32(&rec, id);
+  FAME_ASSIGN_OR_RETURN(PageGuard dir, buffers->New(PageType::kMeta));
+  idx->directory_ = dir.id();
+  auto slot_or = dir.page().Insert(Slice(rec));
+  FAME_RETURN_IF_ERROR(slot_or.status());
+  dir.MarkDirty();
+  dir.Release();
+  FAME_RETURN_IF_ERROR(
+      buffers->file()->SetRoot("hash:" + name, idx->directory_));
+  return idx;
+}
+
+Status HashIndex::Insert(const Slice& key, uint64_t value) {
+  std::string rec = EncodeEntry(key, value);
+  PageId id = buckets_[BucketFor(key)];
+  PageId last = kInvalidPageId;
+  // Pass 1: look for the key (upsert) while remembering the chain tail.
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    storage::Page page = guard.page();
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto rec_or = page.Get(slot);
+      if (!rec_or.ok()) continue;
+      Slice k;
+      uint64_t v;
+      if (DecodeEntry(rec_or.value(), &k, &v) && k == key) {
+        FAME_RETURN_IF_ERROR(page.Update(slot, Slice(rec)));
+        guard.MarkDirty();
+        return Status::OK();
+      }
+    }
+    last = id;
+    id = page.next_page();
+  }
+  // Pass 2: insert into the first chain page with room.
+  id = buckets_[BucketFor(key)];
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    storage::Page page = guard.page();
+    auto slot_or = page.Insert(Slice(rec));
+    if (slot_or.ok()) {
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    if (slot_or.status().code() != StatusCode::kResourceExhausted) {
+      return slot_or.status();
+    }
+    id = page.next_page();
+  }
+  // Chain full: extend it.
+  FAME_ASSIGN_OR_RETURN(PageGuard fresh, buffers_->New(PageType::kHashBucket));
+  PageId fresh_id = fresh.id();
+  auto slot_or = fresh.page().Insert(Slice(rec));
+  FAME_RETURN_IF_ERROR(slot_or.status());
+  fresh.MarkDirty();
+  fresh.Release();
+  FAME_ASSIGN_OR_RETURN(PageGuard tail, buffers_->Fetch(last));
+  tail.page().set_next_page(fresh_id);
+  tail.MarkDirty();
+  return Status::OK();
+}
+
+Status HashIndex::Lookup(const Slice& key, uint64_t* value) {
+  PageId id = buckets_[BucketFor(key)];
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    storage::Page page = guard.page();
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto rec_or = page.Get(slot);
+      if (!rec_or.ok()) continue;
+      Slice k;
+      if (DecodeEntry(rec_or.value(), &k, value) && k == key) {
+        return Status::OK();
+      }
+    }
+    id = page.next_page();
+  }
+  return Status::NotFound("key absent");
+}
+
+Status HashIndex::Remove(const Slice& key) {
+  PageId id = buckets_[BucketFor(key)];
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    storage::Page page = guard.page();
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto rec_or = page.Get(slot);
+      if (!rec_or.ok()) continue;
+      Slice k;
+      uint64_t v;
+      if (DecodeEntry(rec_or.value(), &k, &v) && k == key) {
+        FAME_RETURN_IF_ERROR(page.Delete(slot));
+        guard.MarkDirty();
+        return Status::OK();
+      }
+    }
+    id = page.next_page();
+  }
+  return Status::NotFound("key absent");
+}
+
+Status HashIndex::Scan(const ScanVisitor& visit) {
+  for (PageId bucket : buckets_) {
+    PageId id = bucket;
+    while (id != kInvalidPageId) {
+      FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+      storage::Page page = guard.page();
+      for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+        auto rec_or = page.Get(slot);
+        if (!rec_or.ok()) continue;
+        Slice k;
+        uint64_t v;
+        if (!DecodeEntry(rec_or.value(), &k, &v)) {
+          return Status::Corruption("bad hash entry");
+        }
+        if (!visit(k, v)) return Status::OK();
+      }
+      id = page.next_page();
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> HashIndex::Count() {
+  uint64_t n = 0;
+  FAME_RETURN_IF_ERROR(Scan([&n](const Slice&, uint64_t) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+StatusOr<double> HashIndex::AverageChainLength() {
+  uint64_t pages = 0;
+  for (PageId bucket : buckets_) {
+    PageId id = bucket;
+    while (id != kInvalidPageId) {
+      ++pages;
+      FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+      id = guard.page().next_page();
+    }
+  }
+  return static_cast<double>(pages) / static_cast<double>(buckets_.size());
+}
+
+}  // namespace fame::index

@@ -1,0 +1,58 @@
+// HashIndex: static-bucket hash access method with per-bucket overflow
+// chains (the HASH access method of the Berkeley-DB-substitute product
+// line). O(1) expected point operations, no order.
+//
+// Layout: `bucket_count` bucket head pages are allocated at creation; their
+// ids are stored in a bucket directory page persisted as the index root.
+// Each bucket is a chain of slotted pages holding
+// [u16 klen][key][u64 payload] entries.
+#ifndef FAME_INDEX_HASH_INDEX_H_
+#define FAME_INDEX_HASH_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "storage/buffer.h"
+
+namespace fame::index {
+
+class HashIndex final : public KeyValueIndex {
+ public:
+  /// Opens the hash index `name`, creating it with `bucket_count` buckets
+  /// (power of two, <= page_size/4 entries in the directory page) on first
+  /// use. The bucket count of an existing index is read from storage and
+  /// `bucket_count` is ignored.
+  static StatusOr<std::unique_ptr<HashIndex>> Open(
+      storage::BufferManager* buffers, const std::string& name,
+      uint32_t bucket_count = 64);
+
+  Status Insert(const Slice& key, uint64_t value) override;
+  Status Lookup(const Slice& key, uint64_t* value) override;
+  Status Remove(const Slice& key) override;
+  Status Scan(const ScanVisitor& visit) override;
+  StatusOr<uint64_t> Count() override;
+  const char* name() const override { return "hash"; }
+  bool ordered() const override { return false; }
+
+  uint32_t bucket_count() const { return static_cast<uint32_t>(buckets_.size()); }
+  /// Average chain length (pages per bucket); load-factor probe for tests.
+  StatusOr<double> AverageChainLength();
+
+ private:
+  HashIndex(storage::BufferManager* buffers, std::string name)
+      : buffers_(buffers), name_(std::move(name)) {}
+
+  uint32_t BucketFor(const Slice& key) const;
+  static uint64_t HashBytes(const Slice& key);
+
+  storage::BufferManager* buffers_;
+  std::string name_;
+  storage::PageId directory_ = storage::kInvalidPageId;
+  std::vector<storage::PageId> buckets_;
+};
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_HASH_INDEX_H_

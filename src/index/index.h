@@ -1,0 +1,55 @@
+// Common index abstractions (the "Index" feature group of Figure 2:
+// B+-Tree | List, extended with Hash and Queue access methods for the
+// Berkeley-DB-substitute product line).
+//
+// Indexes map byte-string keys to 64-bit payloads (typically a packed
+// storage::Rid). Key ordering is plain bytewise comparison; the data-type
+// layer produces order-preserving encodings (see keys.h).
+#ifndef FAME_INDEX_INDEX_H_
+#define FAME_INDEX_INDEX_H_
+
+#include <functional>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace fame::index {
+
+/// Visitor for scans: (key, payload) -> keep-going.
+using ScanVisitor = std::function<bool(const Slice& key, uint64_t value)>;
+
+/// Minimal key-to-u64 map interface shared by all access methods. Virtual
+/// dispatch is only paid by the *dynamic* (component-composed) products;
+/// statically composed products use the concrete classes directly.
+class KeyValueIndex {
+ public:
+  virtual ~KeyValueIndex() = default;
+
+  /// Inserts or overwrites `key`.
+  virtual Status Insert(const Slice& key, uint64_t value) = 0;
+  /// Point lookup; NotFound if absent.
+  virtual Status Lookup(const Slice& key, uint64_t* value) = 0;
+  /// Removes `key`; NotFound if absent.
+  virtual Status Remove(const Slice& key) = 0;
+  /// Visits all entries (ordered for ordered indexes).
+  virtual Status Scan(const ScanVisitor& visit) = 0;
+  /// Live entry count.
+  virtual StatusOr<uint64_t> Count() = 0;
+  /// Stable feature name: "btree", "list", "hash", "queue".
+  virtual const char* name() const = 0;
+  /// True when Scan/RangeScan return keys in byte order.
+  virtual bool ordered() const = 0;
+};
+
+/// Ordered index with range scans (B+-tree; List satisfies it by scanning).
+class OrderedIndex : public KeyValueIndex {
+ public:
+  /// Visits entries with lo <= key < hi (empty hi = unbounded).
+  virtual Status RangeScan(const Slice& lo, const Slice& hi,
+                           const ScanVisitor& visit) = 0;
+};
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_INDEX_H_

@@ -1,0 +1,72 @@
+// Order-preserving key encodings ("Data Types" feature): the indexes compare
+// keys bytewise, so typed values must be serialized such that bytewise order
+// equals value order.
+#ifndef FAME_INDEX_KEYS_H_
+#define FAME_INDEX_KEYS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace fame::index {
+
+/// Unsigned integers: big-endian.
+inline std::string EncodeU32Key(uint32_t v) {
+  std::string s(4, '\0');
+  for (int i = 3; i >= 0; --i) {
+    s[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return s;
+}
+
+inline std::string EncodeU64Key(uint64_t v) {
+  std::string s(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    s[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return s;
+}
+
+/// Signed integers: flip the sign bit, then big-endian, so negative values
+/// sort before positive ones.
+inline std::string EncodeI64Key(int64_t v) {
+  return EncodeU64Key(static_cast<uint64_t>(v) ^ (1ull << 63));
+}
+
+inline std::string EncodeI32Key(int32_t v) {
+  return EncodeU32Key(static_cast<uint32_t>(v) ^ (1u << 31));
+}
+
+inline uint64_t DecodeU64Key(const Slice& s) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < s.size(); ++i) {
+    v = (v << 8) | static_cast<unsigned char>(s[i]);
+  }
+  return v;
+}
+
+inline uint32_t DecodeU32Key(const Slice& s) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4 && i < s.size(); ++i) {
+    v = (v << 8) | static_cast<unsigned char>(s[i]);
+  }
+  return v;
+}
+
+inline int64_t DecodeI64Key(const Slice& s) {
+  return static_cast<int64_t>(DecodeU64Key(s) ^ (1ull << 63));
+}
+
+inline int32_t DecodeI32Key(const Slice& s) {
+  return static_cast<int32_t>(DecodeU32Key(s) ^ (1u << 31));
+}
+
+/// Strings are already bytewise-ordered; provided for symmetry.
+inline std::string EncodeStringKey(const Slice& s) { return s.ToString(); }
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_KEYS_H_

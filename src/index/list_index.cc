@@ -1,0 +1,160 @@
+#include "index/list_index.h"
+
+#include "common/coding.h"
+
+namespace fame::index {
+
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageType;
+using storage::kInvalidPageId;
+
+StatusOr<std::unique_ptr<ListIndex>> ListIndex::Open(
+    storage::BufferManager* buffers, const std::string& name) {
+  std::unique_ptr<ListIndex> idx(new ListIndex(buffers, name));
+  auto root_or = buffers->file()->GetRoot("list:" + name);
+  if (root_or.ok()) {
+    idx->head_ = root_or.value();
+  } else {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers->New(PageType::kListData));
+    idx->head_ = guard.id();
+    guard.MarkDirty();
+    guard.Release();
+    FAME_RETURN_IF_ERROR(buffers->file()->SetRoot("list:" + name, idx->head_));
+  }
+  return idx;
+}
+
+std::string ListIndex::EncodeEntry(const Slice& key, uint64_t value) {
+  std::string rec;
+  PutFixed16(&rec, static_cast<uint16_t>(key.size()));
+  rec.append(key.data(), key.size());
+  PutFixed64(&rec, value);
+  return rec;
+}
+
+bool ListIndex::DecodeEntry(const Slice& rec, Slice* key, uint64_t* value) {
+  if (rec.size() < 10) return false;
+  uint16_t klen = DecodeFixed16(rec.data());
+  if (rec.size() != static_cast<size_t>(2 + klen + 8)) return false;
+  *key = Slice(rec.data() + 2, klen);
+  *value = DecodeFixed64(rec.data() + 2 + klen);
+  return true;
+}
+
+StatusOr<ListIndex::Location> ListIndex::Find(const Slice& key) {
+  PageId id = head_;
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    storage::Page page = guard.page();
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto rec_or = page.Get(slot);
+      if (!rec_or.ok()) continue;
+      Slice k;
+      uint64_t v;
+      if (DecodeEntry(rec_or.value(), &k, &v) && k == key) {
+        return Location{id, slot, true};
+      }
+    }
+    id = page.next_page();
+  }
+  return Location{};
+}
+
+Status ListIndex::Insert(const Slice& key, uint64_t value) {
+  FAME_ASSIGN_OR_RETURN(Location loc, Find(key));
+  std::string rec = EncodeEntry(key, value);
+  if (loc.found) {  // upsert in place (same record size: only payload varies)
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(loc.page));
+    FAME_RETURN_IF_ERROR(guard.page().Update(loc.slot, Slice(rec)));
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  // Append to the first page with room, extending the chain when full.
+  PageId id = head_;
+  PageId last = kInvalidPageId;
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    storage::Page page = guard.page();
+    auto slot_or = page.Insert(Slice(rec));
+    if (slot_or.ok()) {
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    if (slot_or.status().code() != StatusCode::kResourceExhausted) {
+      return slot_or.status();
+    }
+    last = id;
+    id = page.next_page();
+  }
+  FAME_ASSIGN_OR_RETURN(PageGuard fresh, buffers_->New(PageType::kListData));
+  PageId fresh_id = fresh.id();
+  auto slot_or = fresh.page().Insert(Slice(rec));
+  FAME_RETURN_IF_ERROR(slot_or.status());
+  fresh.MarkDirty();
+  fresh.Release();
+  FAME_ASSIGN_OR_RETURN(PageGuard tail, buffers_->Fetch(last));
+  tail.page().set_next_page(fresh_id);
+  tail.MarkDirty();
+  return Status::OK();
+}
+
+Status ListIndex::Lookup(const Slice& key, uint64_t* value) {
+  FAME_ASSIGN_OR_RETURN(Location loc, Find(key));
+  if (!loc.found) return Status::NotFound("key absent");
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(loc.page));
+  auto rec_or = guard.page().Get(loc.slot);
+  FAME_RETURN_IF_ERROR(rec_or.status());
+  Slice k;
+  if (!DecodeEntry(rec_or.value(), &k, value)) {
+    return Status::Corruption("bad list entry");
+  }
+  return Status::OK();
+}
+
+Status ListIndex::Remove(const Slice& key) {
+  FAME_ASSIGN_OR_RETURN(Location loc, Find(key));
+  if (!loc.found) return Status::NotFound("key absent");
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(loc.page));
+  FAME_RETURN_IF_ERROR(guard.page().Delete(loc.slot));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status ListIndex::Scan(const ScanVisitor& visit) {
+  return RangeScan(Slice(), Slice(), visit);
+}
+
+Status ListIndex::RangeScan(const Slice& lo, const Slice& hi,
+                            const ScanVisitor& visit) {
+  PageId id = head_;
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    storage::Page page = guard.page();
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto rec_or = page.Get(slot);
+      if (!rec_or.ok()) continue;
+      Slice k;
+      uint64_t v;
+      if (!DecodeEntry(rec_or.value(), &k, &v)) {
+        return Status::Corruption("bad list entry");
+      }
+      if (!lo.empty() && k.compare(lo) < 0) continue;
+      if (!hi.empty() && k.compare(hi) >= 0) continue;
+      if (!visit(k, v)) return Status::OK();
+    }
+    id = page.next_page();
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> ListIndex::Count() {
+  uint64_t n = 0;
+  FAME_RETURN_IF_ERROR(Scan([&n](const Slice&, uint64_t) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace fame::index

@@ -1,0 +1,55 @@
+// ListIndex: the "List" index alternative of Figure 2 — an unordered chain
+// of pages scanned linearly. It is the smallest-footprint index (no node
+// logic, no rebalancing) and the right choice for tiny datasets on deeply
+// embedded devices; lookups are O(n).
+#ifndef FAME_INDEX_LIST_INDEX_H_
+#define FAME_INDEX_LIST_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "index/index.h"
+#include "storage/buffer.h"
+
+namespace fame::index {
+
+class ListIndex final : public OrderedIndex {
+ public:
+  static StatusOr<std::unique_ptr<ListIndex>> Open(
+      storage::BufferManager* buffers, const std::string& name);
+
+  Status Insert(const Slice& key, uint64_t value) override;
+  Status Lookup(const Slice& key, uint64_t* value) override;
+  Status Remove(const Slice& key) override;
+  Status Scan(const ScanVisitor& visit) override;
+  /// Filtered full scan; emission order is *not* sorted (ordered() is
+  /// false) — callers needing order must sort or pick the B+-tree feature.
+  Status RangeScan(const Slice& lo, const Slice& hi,
+                   const ScanVisitor& visit) override;
+  StatusOr<uint64_t> Count() override;
+  const char* name() const override { return "list"; }
+  bool ordered() const override { return false; }
+
+ private:
+  ListIndex(storage::BufferManager* buffers, std::string name)
+      : buffers_(buffers), name_(std::move(name)) {}
+
+  struct Location {
+    storage::PageId page = storage::kInvalidPageId;
+    uint16_t slot = 0;
+    bool found = false;
+  };
+  /// Finds the page/slot holding `key`.
+  StatusOr<Location> Find(const Slice& key);
+
+  static std::string EncodeEntry(const Slice& key, uint64_t value);
+  static bool DecodeEntry(const Slice& rec, Slice* key, uint64_t* value);
+
+  storage::BufferManager* buffers_;
+  std::string name_;
+  storage::PageId head_ = storage::kInvalidPageId;
+};
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_LIST_INDEX_H_

@@ -1,0 +1,157 @@
+#include "index/queue_am.h"
+
+#include "common/coding.h"
+
+namespace fame::index {
+
+using storage::Page;
+using storage::PageGuard;
+using storage::PageId;
+using storage::PageType;
+using storage::kInvalidPageId;
+
+// In-page layout: [Page header | u64 base recno | cells...], each cell is
+// [u8 live flag][record_size bytes].
+namespace {
+constexpr size_t kBaseOff = Page::kHeaderSize;
+constexpr size_t kCellsOff = kBaseOff + 8;
+}  // namespace
+
+uint32_t QueueAM::CellsPerPage() const {
+  return static_cast<uint32_t>(
+      (buffers_->file()->page_size() - kCellsOff) / (1 + record_size_));
+}
+
+StatusOr<std::unique_ptr<QueueAM>> QueueAM::Open(
+    storage::BufferManager* buffers, const std::string& name,
+    uint32_t record_size) {
+  if (record_size == 0 ||
+      record_size + 1 + kCellsOff > buffers->file()->page_size()) {
+    return Status::InvalidArgument("queue record size does not fit a page");
+  }
+  std::unique_ptr<QueueAM> q(new QueueAM(buffers, name));
+  auto meta_or = buffers->file()->GetRootAux("queue:" + name + ":m");
+  if (meta_or.ok()) {
+    q->record_size_ = static_cast<uint32_t>(meta_or.value());
+    if (q->record_size_ != record_size) {
+      return Status::InvalidArgument("queue record size mismatch");
+    }
+    FAME_ASSIGN_OR_RETURN(q->head_page_,
+                          buffers->file()->GetRoot("queue:" + name + ":h"));
+    FAME_ASSIGN_OR_RETURN(q->head_,
+                          buffers->file()->GetRootAux("queue:" + name + ":h"));
+    FAME_ASSIGN_OR_RETURN(q->tail_page_,
+                          buffers->file()->GetRoot("queue:" + name + ":t"));
+    FAME_ASSIGN_OR_RETURN(q->tail_,
+                          buffers->file()->GetRootAux("queue:" + name + ":t"));
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers->Fetch(q->head_page_));
+    q->head_page_base_ = DecodeFixed64(guard.page().raw() + kBaseOff);
+    return q;
+  }
+  q->record_size_ = record_size;
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers->New(PageType::kQueueData));
+  EncodeFixed64(guard.page().raw() + kBaseOff, 0);
+  guard.MarkDirty();
+  q->head_page_ = q->tail_page_ = guard.id();
+  q->head_page_base_ = 0;
+  guard.Release();
+  FAME_RETURN_IF_ERROR(q->PersistState());
+  return q;
+}
+
+Status QueueAM::PersistState() {
+  auto* file = buffers_->file();
+  FAME_RETURN_IF_ERROR(
+      file->SetRoot("queue:" + name_ + ":m", kInvalidPageId, record_size_));
+  FAME_RETURN_IF_ERROR(file->SetRoot("queue:" + name_ + ":h", head_page_, head_));
+  return file->SetRoot("queue:" + name_ + ":t", tail_page_, tail_);
+}
+
+StatusOr<uint64_t> QueueAM::Enqueue(const Slice& record) {
+  if (record.size() != record_size_) {
+    return Status::InvalidArgument("record must be exactly the queue's size");
+  }
+  uint32_t cells = CellsPerPage();
+  uint64_t recno = tail_;
+  FAME_ASSIGN_OR_RETURN(PageGuard tail_guard, buffers_->Fetch(tail_page_));
+  uint64_t tail_base = DecodeFixed64(tail_guard.page().raw() + kBaseOff);
+  uint32_t cell = static_cast<uint32_t>(recno - tail_base);
+  if (cell >= cells) {
+    // Tail page full: chain a fresh page.
+    FAME_ASSIGN_OR_RETURN(PageGuard fresh, buffers_->New(PageType::kQueueData));
+    EncodeFixed64(fresh.page().raw() + kBaseOff, recno);
+    fresh.MarkDirty();
+    tail_guard.page().set_next_page(fresh.id());
+    tail_guard.MarkDirty();
+    tail_page_ = fresh.id();
+    tail_guard = std::move(fresh);
+    tail_base = recno;
+    cell = 0;
+  }
+  char* cell_ptr =
+      tail_guard.page().raw() + kCellsOff + cell * (1ull + record_size_);
+  cell_ptr[0] = 1;  // live
+  std::memcpy(cell_ptr + 1, record.data(), record_size_);
+  tail_guard.MarkDirty();
+  ++tail_;
+  return PersistState().ok() ? StatusOr<uint64_t>(recno)
+                             : StatusOr<uint64_t>(Status::IOError(
+                                   "failed to persist queue state"));
+}
+
+Status QueueAM::Dequeue(std::string* out) {
+  if (head_ == tail_) return Status::NotFound("queue empty");
+  uint32_t cells = CellsPerPage();
+  uint32_t cell = static_cast<uint32_t>(head_ - head_page_base_);
+  {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(head_page_));
+    char* cell_ptr =
+        guard.page().raw() + kCellsOff + cell * (1ull + record_size_);
+    if (cell_ptr[0] != 1) return Status::Corruption("dequeue of dead cell");
+    out->assign(cell_ptr + 1, record_size_);
+    cell_ptr[0] = 0;
+    guard.MarkDirty();
+    ++head_;
+    // Free the head page once fully consumed (and not also the tail page).
+    if (head_ - head_page_base_ >= cells && head_page_ != tail_page_) {
+      PageId old = head_page_;
+      head_page_ = guard.page().next_page();
+      guard.Release();
+      FAME_ASSIGN_OR_RETURN(PageGuard next_guard, buffers_->Fetch(head_page_));
+      head_page_base_ = DecodeFixed64(next_guard.page().raw() + kBaseOff);
+      next_guard.Release();
+      FAME_RETURN_IF_ERROR(buffers_->Free(old));
+    }
+  }
+  return PersistState();
+}
+
+StatusOr<storage::PageId> QueueAM::PageFor(uint64_t recno) {
+  uint32_t cells = CellsPerPage();
+  PageId id = head_page_;
+  uint64_t base = head_page_base_;
+  while (id != kInvalidPageId) {
+    if (recno >= base && recno < base + cells) return id;
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    id = guard.page().next_page();
+    base += cells;
+  }
+  return Status::NotFound("record number beyond queue pages");
+}
+
+Status QueueAM::Get(uint64_t recno, std::string* out) {
+  if (recno < head_ || recno >= tail_) {
+    return Status::NotFound("record not live");
+  }
+  FAME_ASSIGN_OR_RETURN(PageId id, PageFor(recno));
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+  uint64_t base = DecodeFixed64(guard.page().raw() + kBaseOff);
+  uint32_t cell = static_cast<uint32_t>(recno - base);
+  const char* cell_ptr =
+      guard.page().raw() + kCellsOff + cell * (1ull + record_size_);
+  if (cell_ptr[0] != 1) return Status::NotFound("record not live");
+  out->assign(cell_ptr + 1, record_size_);
+  return Status::OK();
+}
+
+}  // namespace fame::index

@@ -1,0 +1,65 @@
+// QueueAM: record-number-based queue access method (the QUEUE feature of the
+// Berkeley-DB-substitute product line). Fixed-length records, strictly FIFO:
+// Enqueue appends at the tail record number, Dequeue consumes from the head.
+// Random access by record number is supported while the record is live.
+//
+// Pages hold `cells_per_page` fixed-size cells; each page stores the record
+// number of its first cell, so recno -> (page, cell) needs only arithmetic
+// plus a chain hop. Head/tail record numbers persist in the root aux word.
+#ifndef FAME_INDEX_QUEUE_AM_H_
+#define FAME_INDEX_QUEUE_AM_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/buffer.h"
+
+namespace fame::index {
+
+class QueueAM {
+ public:
+  /// Opens the queue `name`, creating it with fixed `record_size` payloads.
+  /// The record size of an existing queue is read from storage; a mismatch
+  /// with `record_size` is InvalidArgument.
+  static StatusOr<std::unique_ptr<QueueAM>> Open(
+      storage::BufferManager* buffers, const std::string& name,
+      uint32_t record_size);
+
+  /// Appends a record (must be exactly record_size bytes); returns its
+  /// record number.
+  StatusOr<uint64_t> Enqueue(const Slice& record);
+
+  /// Removes the head record, copying it into `out`; NotFound when empty.
+  Status Dequeue(std::string* out);
+
+  /// Reads record `recno` if still live.
+  Status Get(uint64_t recno, std::string* out);
+
+  /// Live record count.
+  uint64_t Size() const { return tail_ - head_; }
+  uint64_t head_recno() const { return head_; }
+  uint64_t tail_recno() const { return tail_; }
+  uint32_t record_size() const { return record_size_; }
+
+ private:
+  QueueAM(storage::BufferManager* buffers, std::string name)
+      : buffers_(buffers), name_(std::move(name)) {}
+
+  uint32_t CellsPerPage() const;
+  Status PersistState();
+  /// Page containing `recno`, walking the chain from head_page_.
+  StatusOr<storage::PageId> PageFor(uint64_t recno);
+
+  storage::BufferManager* buffers_;
+  std::string name_;
+  uint32_t record_size_ = 0;
+  uint64_t head_ = 0;                     // next recno to dequeue
+  uint64_t tail_ = 0;                     // next recno to enqueue
+  storage::PageId head_page_ = storage::kInvalidPageId;
+  storage::PageId tail_page_ = storage::kInvalidPageId;
+  uint64_t head_page_base_ = 0;           // recno of head page's first cell
+};
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_QUEUE_AM_H_

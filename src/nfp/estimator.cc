@@ -1,0 +1,197 @@
+#include "nfp/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fame::nfp {
+namespace {
+
+/// Solves (A + lambda*I) x = b in place by Gaussian elimination with
+/// partial pivoting. A is n x n row-major.
+bool SolveRidge(std::vector<double>& a, std::vector<double>& b, size_t n,
+                double lambda) {
+  for (size_t i = 0; i < n; ++i) a[i * n + i] += lambda;
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0) continue;
+      for (size_t j = col; j < n; ++j) a[row * n + j] -= factor * a[col * n + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (size_t col = n; col-- > 0;) {
+    for (size_t j = col + 1; j < n; ++j) b[col] -= a[col * n + j] * b[j];
+    b[col] /= a[col * n + col];
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<AdditiveEstimator> AdditiveEstimator::Fit(
+    const FeedbackRepository& repo, NfpKind kind) {
+  std::vector<const MeasuredProduct*> train;
+  for (const MeasuredProduct& p : repo.products()) {
+    if (p.values.count(kind) > 0) train.push_back(&p);
+  }
+  if (train.size() < 2) {
+    return Status::InvalidArgument("need at least 2 measured products");
+  }
+  std::vector<std::string> universe = repo.FeatureUniverse();
+  const size_t n = universe.size() + 1;  // + intercept
+
+  // Normal equations: (X^T X) w = X^T y with X rows = [1, indicators...].
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  for (const MeasuredProduct* p : train) {
+    std::vector<double> row(n, 0.0);
+    row[0] = 1.0;
+    for (size_t f = 0; f < universe.size(); ++f) {
+      if (p->Has(universe[f])) row[f + 1] = 1.0;
+    }
+    double y = p->values.at(kind);
+    for (size_t i = 0; i < n; ++i) {
+      if (row[i] == 0.0) continue;
+      xty[i] += row[i] * y;
+      for (size_t j = 0; j < n; ++j) {
+        xtx[i * n + j] += row[i] * row[j];
+      }
+    }
+  }
+  // Small ridge term keeps collinear feature groups (e.g. features always
+  // selected together) solvable.
+  if (!SolveRidge(xtx, xty, n, /*lambda=*/1e-6)) {
+    return Status::InvalidArgument("singular NFP design matrix");
+  }
+
+  AdditiveEstimator est;
+  est.kind_ = kind;
+  est.intercept_ = xty[0];
+  for (size_t f = 0; f < universe.size(); ++f) {
+    est.weights_[universe[f]] = xty[f + 1];
+  }
+  double abs_err = 0;
+  for (const MeasuredProduct* p : train) {
+    abs_err += std::fabs(est.Estimate(p->features) - p->values.at(kind));
+  }
+  est.training_mae_ = abs_err / static_cast<double>(train.size());
+  return est;
+}
+
+double AdditiveEstimator::Estimate(
+    const std::set<std::string>& features) const {
+  double v = intercept_;
+  for (const std::string& f : features) {
+    auto it = weights_.find(f);
+    if (it != weights_.end()) v += it->second;
+  }
+  return v;
+}
+
+double AdditiveEstimator::Estimate(
+    const std::vector<std::string>& features) const {
+  return Estimate(std::set<std::string>(features.begin(), features.end()));
+}
+
+double AdditiveEstimator::FeatureWeight(const std::string& feature) const {
+  auto it = weights_.find(feature);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+StatusOr<SimilarityEstimator> SimilarityEstimator::Fit(
+    const FeedbackRepository& repo, NfpKind kind, size_t k) {
+  SimilarityEstimator est;
+  FAME_ASSIGN_OR_RETURN(est.additive_, AdditiveEstimator::Fit(repo, kind));
+  est.k_ = k == 0 ? 1 : k;
+  for (const std::string& f : repo.FeatureUniverse()) {
+    uint32_t id = static_cast<uint32_t>(est.feature_ids_.size());
+    est.feature_ids_.emplace(f, id);
+  }
+  for (const MeasuredProduct& p : repo.products()) {
+    if (p.values.count(kind) == 0) continue;
+    TrainPoint tp;
+    tp.features = est.Intern(
+        std::set<std::string>(p.features.begin(), p.features.end()));
+    tp.residual = p.values.at(kind) - est.additive_.Estimate(p.features);
+    est.points_.push_back(std::move(tp));
+  }
+  return est;
+}
+
+std::vector<uint32_t> SimilarityEstimator::Intern(
+    const std::set<std::string>& features) const {
+  std::vector<uint32_t> ids;
+  ids.reserve(features.size());
+  for (const std::string& f : features) {
+    auto it = feature_ids_.find(f);
+    if (it != feature_ids_.end()) ids.push_back(it->second);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+double SimilarityEstimator::Estimate(
+    const std::set<std::string>& features) const {
+  double base = additive_.Estimate(features);
+  if (points_.empty()) return base;
+  std::vector<uint32_t> ids = Intern(features);
+  // Hamming distance between feature sets (symmetric difference size),
+  // computed by a linear merge over the sorted id vectors.
+  std::vector<std::pair<size_t, double>> dist;  // (distance, residual)
+  dist.reserve(points_.size());
+  for (const TrainPoint& tp : points_) {
+    size_t i = 0, j = 0, d = 0;
+    while (i < ids.size() && j < tp.features.size()) {
+      if (ids[i] == tp.features[j]) {
+        ++i;
+        ++j;
+      } else if (ids[i] < tp.features[j]) {
+        ++d;
+        ++i;
+      } else {
+        ++d;
+        ++j;
+      }
+    }
+    d += (ids.size() - i) + (tp.features.size() - j);
+    dist.emplace_back(d, tp.residual);
+  }
+  std::nth_element(dist.begin(),
+                   dist.begin() + static_cast<long>(std::min(k_, dist.size()) - 1),
+                   dist.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(dist.begin(),
+            dist.begin() + static_cast<long>(std::min(k_, dist.size())),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t take = std::min(k_, dist.size());
+  // Inverse-distance weighting; an exact match dominates.
+  double wsum = 0, corr = 0;
+  for (size_t i = 0; i < take; ++i) {
+    double w = 1.0 / (1.0 + static_cast<double>(dist[i].first));
+    wsum += w;
+    corr += w * dist[i].second;
+  }
+  return base + (wsum > 0 ? corr / wsum : 0.0);
+}
+
+double SimilarityEstimator::Estimate(
+    const std::vector<std::string>& features) const {
+  return Estimate(std::set<std::string>(features.begin(), features.end()));
+}
+
+}  // namespace fame::nfp

@@ -1,0 +1,72 @@
+// NFP estimators. The paper (§3.2) proposes a two-step prediction:
+//   1. *feature properties* — per-feature contributions derived from
+//      measured products (here: ridge-regularized least squares on feature
+//      indicator vectors), giving an additive model;
+//   2. *similarity heuristics* — corrections from already-built products
+//      close to the candidate (here: k-nearest-neighbour residual
+//      correction over feature-set Hamming distance).
+#ifndef FAME_NFP_ESTIMATOR_H_
+#define FAME_NFP_ESTIMATOR_H_
+
+#include "nfp/feedback.h"
+
+namespace fame::nfp {
+
+/// Additive per-feature model: estimate(S) = intercept + sum_{f in S} w_f.
+class AdditiveEstimator {
+ public:
+  /// Fits contributions for `kind` from every product in `repo` that has a
+  /// measurement of that kind. InvalidArgument with fewer than 2 products.
+  static StatusOr<AdditiveEstimator> Fit(const FeedbackRepository& repo,
+                                         NfpKind kind);
+
+  double Estimate(const std::set<std::string>& features) const;
+  double Estimate(const std::vector<std::string>& features) const;
+
+  /// Fitted contribution of one feature (0 for unknown features).
+  double FeatureWeight(const std::string& feature) const;
+  double intercept() const { return intercept_; }
+  NfpKind kind() const { return kind_; }
+
+  /// Mean absolute error over the products it was fitted on.
+  double TrainingMae() const { return training_mae_; }
+
+ private:
+  NfpKind kind_ = NfpKind::kBinarySize;
+  double intercept_ = 0;
+  std::map<std::string, double> weights_;
+  double training_mae_ = 0;
+};
+
+/// Additive model + k-NN residual correction ("corrected values" in the
+/// paper). Falls back to the plain additive estimate when the repository
+/// has no neighbours.
+class SimilarityEstimator {
+ public:
+  static StatusOr<SimilarityEstimator> Fit(const FeedbackRepository& repo,
+                                           NfpKind kind, size_t k = 3);
+
+  double Estimate(const std::set<std::string>& features) const;
+  double Estimate(const std::vector<std::string>& features) const;
+
+  const AdditiveEstimator& additive() const { return additive_; }
+
+ private:
+  AdditiveEstimator additive_;
+  size_t k_ = 3;
+  // Residual (measured - additive estimate) per training product. Feature
+  // sets are interned to sorted id vectors so the Hamming distance is a
+  // linear merge instead of string-set operations (the optimizers call
+  // Estimate thousands of times per derivation).
+  struct TrainPoint {
+    std::vector<uint32_t> features;  // sorted interned ids
+    double residual;
+  };
+  std::vector<uint32_t> Intern(const std::set<std::string>& features) const;
+  std::map<std::string, uint32_t> feature_ids_;
+  std::vector<TrainPoint> points_;
+};
+
+}  // namespace fame::nfp
+
+#endif  // FAME_NFP_ESTIMATOR_H_

@@ -1,0 +1,48 @@
+// FeedbackRepository: the store of measured products the paper's Feedback
+// Approach accumulates — "store as much information as possible about
+// generated products in the model describing the SPL" (§3.2). Persisted as
+// a line-oriented text format:
+//
+//   product <feature,feature,...>
+//   nfp <kind> <value>
+//   ...blank line between products...
+#ifndef FAME_NFP_FEEDBACK_H_
+#define FAME_NFP_FEEDBACK_H_
+
+#include <optional>
+
+#include "nfp/nfp.h"
+#include "osal/env.h"
+
+namespace fame::nfp {
+
+class FeedbackRepository {
+ public:
+  /// Records a measured product; a product with the same signature is
+  /// replaced (newer measurement wins).
+  void Add(MeasuredProduct product);
+
+  const std::vector<MeasuredProduct>& products() const { return products_; }
+  size_t size() const { return products_.size(); }
+
+  /// Exact-match lookup by configuration signature.
+  std::optional<MeasuredProduct> FindBySignature(
+      const std::string& signature) const;
+
+  /// All distinct feature names mentioned by any product.
+  std::vector<std::string> FeatureUniverse() const;
+
+  std::string Serialize() const;
+  static StatusOr<FeedbackRepository> Deserialize(const std::string& text);
+
+  Status Save(osal::Env* env, const std::string& path) const;
+  static StatusOr<FeedbackRepository> Load(osal::Env* env,
+                                           const std::string& path);
+
+ private:
+  std::vector<MeasuredProduct> products_;
+};
+
+}  // namespace fame::nfp
+
+#endif  // FAME_NFP_FEEDBACK_H_

@@ -1,0 +1,49 @@
+#include "nfp/nfp.h"
+
+#include <algorithm>
+
+namespace fame::nfp {
+
+const char* NfpKindName(NfpKind kind) {
+  switch (kind) {
+    case NfpKind::kBinarySize:
+      return "binary_size";
+    case NfpKind::kRamPeak:
+      return "ram_peak";
+    case NfpKind::kThroughput:
+      return "throughput";
+    case NfpKind::kLatency:
+      return "latency";
+    case NfpKind::kEnergy:
+      return "energy";
+  }
+  return "unknown";
+}
+
+StatusOr<NfpKind> NfpKindFromName(const std::string& name) {
+  for (int i = 0; i <= 4; ++i) {
+    auto kind = static_cast<NfpKind>(i);
+    if (name == NfpKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown NFP kind: " + name);
+}
+
+bool LowerIsBetter(NfpKind kind) { return kind != NfpKind::kThroughput; }
+
+std::string MeasuredProduct::Signature() const {
+  std::vector<std::string> sorted = features;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const std::string& f : sorted) {
+    if (!out.empty()) out.push_back(',');
+    out.append(f);
+  }
+  return out;
+}
+
+bool MeasuredProduct::Has(const std::string& feature) const {
+  return std::find(features.begin(), features.end(), feature) !=
+         features.end();
+}
+
+}  // namespace fame::nfp

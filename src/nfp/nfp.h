@@ -1,0 +1,49 @@
+// Non-functional properties (paper §3.2). A product's NFPs are measured
+// values — binary size, peak RAM, throughput — attached to configurations,
+// features, or implementation units ("Feedback Approach" [21]).
+#ifndef FAME_NFP_NFP_H_
+#define FAME_NFP_NFP_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fame::nfp {
+
+/// The measured property kinds the FAME tooling understands.
+enum class NfpKind : uint8_t {
+  kBinarySize = 0,   ///< bytes of code+rodata (ROM footprint)
+  kRamPeak = 1,      ///< peak heap/pool bytes during the reference workload
+  kThroughput = 2,   ///< operations per second on the reference workload
+  kLatency = 3,      ///< mean microseconds per operation
+  kEnergy = 4,       ///< synthetic energy units (embedded cost model)
+};
+
+/// Stable names used in serialized repositories ("binary_size", ...).
+const char* NfpKindName(NfpKind kind);
+StatusOr<NfpKind> NfpKindFromName(const std::string& name);
+
+/// True for properties where smaller is better (size, RAM, latency,
+/// energy); false for throughput.
+bool LowerIsBetter(NfpKind kind);
+
+/// A bag of measured properties.
+using NfpVector = std::map<NfpKind, double>;
+
+/// One measured product: the feature selection that was built plus the
+/// properties observed on it.
+struct MeasuredProduct {
+  std::vector<std::string> features;  // sorted selected feature names
+  NfpVector values;
+
+  /// Canonical signature (comma-joined sorted features).
+  std::string Signature() const;
+  bool Has(const std::string& feature) const;
+};
+
+}  // namespace fame::nfp
+
+#endif  // FAME_NFP_NFP_H_

@@ -1,0 +1,107 @@
+#include "osal/allocator.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace fame::osal {
+
+void* DynamicAllocator::Allocate(size_t n) {
+  void* p = ::operator new(n, std::nothrow);
+  if (p != nullptr) in_use_ += n;
+  return p;
+}
+
+void DynamicAllocator::Deallocate(void* p, size_t n) {
+  if (p == nullptr) return;
+  assert(in_use_ >= n);
+  in_use_ -= n;
+  ::operator delete(p);
+}
+
+StaticPoolAllocator::StaticPoolAllocator(void* arena, size_t size)
+    : arena_(static_cast<char*>(arena)), size_(size) {
+  assert(size > sizeof(BlockHeader));
+  free_list_ = reinterpret_cast<BlockHeader*>(arena_);
+  free_list_->size = size - AlignUp(sizeof(BlockHeader));
+  free_list_->next = nullptr;
+}
+
+StaticPoolAllocator::StaticPoolAllocator(size_t size)
+    : owned_arena_(new char[size]), arena_(owned_arena_.get()), size_(size) {
+  assert(size > sizeof(BlockHeader));
+  free_list_ = reinterpret_cast<BlockHeader*>(arena_);
+  free_list_->size = size - AlignUp(sizeof(BlockHeader));
+  free_list_->next = nullptr;
+}
+
+void* StaticPoolAllocator::Allocate(size_t n) {
+  if (n == 0) n = 1;
+  n = AlignUp(n);
+  BlockHeader** prev = &free_list_;
+  for (BlockHeader* b = free_list_; b != nullptr; prev = &b->next, b = b->next) {
+    if (b->size < n) continue;
+    const size_t header = AlignUp(sizeof(BlockHeader));
+    if (b->size >= n + header + kAlign) {
+      // Split: carve the tail of this free block into the allocation, leave
+      // the head on the free list with a reduced size.
+      b->size -= n + header;
+      char* alloc_start = reinterpret_cast<char*>(b) + header + b->size;
+      auto* ah = reinterpret_cast<BlockHeader*>(alloc_start);
+      ah->size = n;
+      ah->next = nullptr;
+      in_use_ += n;
+      return alloc_start + header;
+    }
+    // Exact-ish fit: hand out the whole block.
+    *prev = b->next;
+    b->next = nullptr;
+    in_use_ += b->size;
+    return reinterpret_cast<char*>(b) + header;
+  }
+  return nullptr;  // pool exhausted or too fragmented
+}
+
+void StaticPoolAllocator::Deallocate(void* p, size_t n) {
+  if (p == nullptr) return;
+  (void)n;
+  const size_t header = AlignUp(sizeof(BlockHeader));
+  auto* b = reinterpret_cast<BlockHeader*>(static_cast<char*>(p) - header);
+  assert(reinterpret_cast<char*>(b) >= arena_ &&
+         reinterpret_cast<char*>(b) < arena_ + size_);
+  in_use_ -= b->size;
+
+  // Insert into the address-ordered free list and coalesce neighbours so
+  // long-running embedded products do not fragment to death.
+  BlockHeader** prev = &free_list_;
+  while (*prev != nullptr && *prev < b) prev = &(*prev)->next;
+  b->next = *prev;
+  *prev = b;
+
+  // Coalesce with successor.
+  char* b_end = reinterpret_cast<char*>(b) + header + b->size;
+  if (b->next != nullptr && b_end == reinterpret_cast<char*>(b->next)) {
+    b->size += header + b->next->size;
+    b->next = b->next->next;
+  }
+  // Coalesce with predecessor.
+  if (prev != &free_list_) {
+    auto* pred = reinterpret_cast<BlockHeader*>(
+        reinterpret_cast<char*>(prev) - offsetof(BlockHeader, next));
+    char* pred_end = reinterpret_cast<char*>(pred) + header + pred->size;
+    if (pred_end == reinterpret_cast<char*>(b)) {
+      pred->size += header + b->size;
+      pred->next = b->next;
+    }
+  }
+}
+
+size_t StaticPoolAllocator::LargestFreeBlock() const {
+  size_t best = 0;
+  for (BlockHeader* b = free_list_; b != nullptr; b = b->next) {
+    if (b->size > best) best = b->size;
+  }
+  return best;
+}
+
+}  // namespace fame::osal

@@ -1,0 +1,121 @@
+// Memory allocation alternatives ("Memory Alloc" feature, Figure 2):
+//   - DynamicAllocator    — heap-backed, for hosts with an OS allocator
+//   - StaticPoolAllocator — fixed arena with a first-fit free list, for
+//                           deeply embedded targets where all memory is
+//                           budgeted at build time (no malloc)
+//   - TrackingAllocator   — decorator counting live/peak bytes, feeding the
+//                           RAM non-functional property measurements (§3.2)
+#ifndef FAME_OSAL_ALLOCATOR_H_
+#define FAME_OSAL_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace fame::osal {
+
+/// Abstract allocator used by the buffer manager and index structures.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Returns a block of at least `n` bytes, or nullptr when exhausted
+  /// (static pools are finite; callers must handle nullptr).
+  virtual void* Allocate(size_t n) = 0;
+
+  /// Returns a block obtained from Allocate. `n` must match the original
+  /// request (needed by pool allocators; checked where possible).
+  virtual void Deallocate(void* p, size_t n) = 0;
+
+  /// Bytes currently handed out.
+  virtual size_t bytes_in_use() const = 0;
+
+  /// Stable identifier of the alternative: "dynamic", "static", "tracking".
+  virtual const char* name() const = 0;
+};
+
+/// Heap-backed allocator (operator new/delete).
+class DynamicAllocator final : public Allocator {
+ public:
+  void* Allocate(size_t n) override;
+  void Deallocate(void* p, size_t n) override;
+  size_t bytes_in_use() const override { return in_use_; }
+  const char* name() const override { return "dynamic"; }
+
+ private:
+  size_t in_use_ = 0;
+};
+
+/// Fixed-arena allocator with a first-fit free list and coalescing of
+/// adjacent free blocks. All state lives inside the arena passed at
+/// construction, so a product can place it in a static buffer.
+class StaticPoolAllocator final : public Allocator {
+ public:
+  /// Manages `size` bytes at `arena` (not owned). The pool reserves a small
+  /// per-block header; usable capacity is slightly under `size`.
+  StaticPoolAllocator(void* arena, size_t size);
+
+  /// Convenience: owns an internal arena of `size` bytes.
+  explicit StaticPoolAllocator(size_t size);
+
+  void* Allocate(size_t n) override;
+  void Deallocate(void* p, size_t n) override;
+  size_t bytes_in_use() const override { return in_use_; }
+  const char* name() const override { return "static"; }
+
+  size_t capacity() const { return size_; }
+  /// Largest single allocation currently satisfiable (fragmentation probe).
+  size_t LargestFreeBlock() const;
+
+ private:
+  struct BlockHeader {
+    size_t size;        // payload size of this block
+    BlockHeader* next;  // next free block (free blocks only)
+  };
+  static constexpr size_t kAlign = alignof(std::max_align_t);
+  static size_t AlignUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+  std::unique_ptr<char[]> owned_arena_;
+  char* arena_;
+  size_t size_;
+  BlockHeader* free_list_;
+  size_t in_use_ = 0;
+};
+
+/// Decorator that forwards to `base` and records live and peak usage.
+class TrackingAllocator final : public Allocator {
+ public:
+  explicit TrackingAllocator(Allocator* base) : base_(base) {}
+
+  void* Allocate(size_t n) override {
+    void* p = base_->Allocate(n);
+    if (p != nullptr) {
+      live_ += n;
+      if (live_ > peak_) peak_ = live_;
+      ++alloc_calls_;
+    }
+    return p;
+  }
+  void Deallocate(void* p, size_t n) override {
+    base_->Deallocate(p, n);
+    live_ -= n;
+  }
+  size_t bytes_in_use() const override { return live_; }
+  const char* name() const override { return "tracking"; }
+
+  size_t peak_bytes() const { return peak_; }
+  uint64_t alloc_calls() const { return alloc_calls_; }
+  void ResetPeak() { peak_ = live_; }
+
+ private:
+  Allocator* base_;
+  size_t live_ = 0;
+  size_t peak_ = 0;
+  uint64_t alloc_calls_ = 0;
+};
+
+}  // namespace fame::osal
+
+#endif  // FAME_OSAL_ALLOCATOR_H_

@@ -1,0 +1,30 @@
+#include "osal/env.h"
+
+namespace fame::osal {
+
+Status Env::WriteStringToFile(const std::string& name, const Slice& data) {
+  auto file_or = OpenFile(name, /*create=*/true);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  std::unique_ptr<RandomAccessFile> file = std::move(file_or).value();
+  FAME_RETURN_IF_ERROR(file->Truncate(0));
+  FAME_RETURN_IF_ERROR(file->Write(0, data));
+  return file->Sync();
+}
+
+Status Env::ReadFileToString(const std::string& name, std::string* out) {
+  out->clear();
+  auto file_or = OpenFile(name, /*create=*/false);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  std::unique_ptr<RandomAccessFile> file = std::move(file_or).value();
+  auto size_or = file->Size();
+  FAME_RETURN_IF_ERROR(size_or.status());
+  uint64_t size = size_or.value();
+  out->resize(size);
+  if (size == 0) return Status::OK();
+  Slice result;
+  FAME_RETURN_IF_ERROR(file->Read(0, size, out->data(), &result));
+  out->resize(result.size());
+  return Status::OK();
+}
+
+}  // namespace fame::osal

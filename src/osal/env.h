@@ -1,0 +1,91 @@
+// OS abstraction layer ("OS-Abstraction" feature in the FAME-DBMS feature
+// diagram, Figure 2 of the paper). A DBMS product selects exactly one Env
+// alternative at composition time:
+//   - PosixEnv      ("Linux")  — real files on a POSIX filesystem
+//   - MemEnv        ("NutOS")  — no filesystem; fixed-capacity in-memory
+//                                storage, modelling a deeply embedded device
+//   - Win32PathEnv  ("Win32")  — Windows path semantics shimmed over a
+//                                backing Env (separator & drive handling)
+#ifndef FAME_OSAL_ENV_H_
+#define FAME_OSAL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace fame::osal {
+
+/// A file supporting positional reads and writes; the unit of storage the
+/// page manager sits on.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `scratch`; `*result` points into
+  /// scratch (possibly fewer bytes at EOF).
+  virtual Status Read(uint64_t offset, size_t n, char* scratch,
+                      Slice* result) const = 0;
+
+  /// Writes `data` at `offset`, extending the file if needed.
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+
+  /// Forces written data to the storage medium.
+  virtual Status Sync() = 0;
+
+  /// Current file size in bytes.
+  virtual StatusOr<uint64_t> Size() const = 0;
+
+  /// Shrinks or extends the file to exactly `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+/// Operating-system facade. Thread-compatible; products for single-core
+/// embedded targets use it from one thread.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens (creating if `create`) a file for positional read/write.
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> OpenFile(
+      const std::string& name, bool create) = 0;
+
+  virtual Status DeleteFile(const std::string& name) = 0;
+  virtual bool FileExists(const std::string& name) const = 0;
+
+  /// Renames a file, replacing any existing target (used for atomic
+  /// checkpoint installs).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Convenience whole-file helpers for small artifacts (feature models,
+  /// feedback repositories).
+  virtual Status WriteStringToFile(const std::string& name,
+                                   const Slice& data);
+  virtual Status ReadFileToString(const std::string& name, std::string* out);
+
+  /// Monotonic clock in nanoseconds (benchmark timing).
+  virtual uint64_t NowNanos() const = 0;
+
+  /// Stable identifier of the OS alternative: "linux", "nutos", "win32".
+  virtual const char* name() const = 0;
+};
+
+/// Process-wide POSIX environment (never deleted).
+Env* GetPosixEnv();
+
+/// Creates a fresh in-memory environment with a total storage capacity of
+/// `capacity_bytes` (0 = unlimited). Models the NutOS target: no file
+/// system, storage carved out of a fixed RAM/flash budget.
+std::unique_ptr<Env> NewMemEnv(uint64_t capacity_bytes);
+
+/// Wraps `base` with Windows path semantics: accepts '\\' separators and a
+/// leading drive letter, normalizing to the backing env's flat namespace.
+std::unique_ptr<Env> NewWin32PathEnv(Env* base);
+
+}  // namespace fame::osal
+
+#endif  // FAME_OSAL_ENV_H_

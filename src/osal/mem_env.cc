@@ -1,0 +1,150 @@
+// MemEnv: the "NutOS" OS-Abstraction alternative. Deeply embedded devices in
+// the paper's target class have no file system; persistent state lives in a
+// fixed RAM/flash budget. MemEnv models that: a flat name -> buffer namespace
+// with a hard capacity limit, returning ResourceExhausted when the device is
+// full (so products and tests can exercise out-of-storage paths).
+#include <chrono>
+#include <map>
+
+#include "osal/env.h"
+
+namespace fame::osal {
+namespace {
+
+class MemEnvImpl;
+
+struct FileBuffer {
+  std::string data;
+};
+
+class MemFile final : public RandomAccessFile {
+ public:
+  MemFile(MemEnvImpl* env, std::shared_ptr<FileBuffer> buf)
+      : env_(env), buf_(std::move(buf)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              Slice* result) const override {
+    const std::string& d = buf_->data;
+    if (offset >= d.size()) {
+      *result = Slice(scratch, 0);
+      return Status::OK();
+    }
+    size_t avail = d.size() - static_cast<size_t>(offset);
+    size_t take = n < avail ? n : avail;
+    std::memcpy(scratch, d.data() + offset, take);
+    *result = Slice(scratch, take);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override;
+
+  Status Sync() override { return Status::OK(); }
+
+  StatusOr<uint64_t> Size() const override {
+    return static_cast<uint64_t>(buf_->data.size());
+  }
+
+  Status Truncate(uint64_t size) override;
+
+ private:
+  MemEnvImpl* env_;
+  std::shared_ptr<FileBuffer> buf_;
+};
+
+class MemEnvImpl final : public Env {
+ public:
+  explicit MemEnvImpl(uint64_t capacity) : capacity_(capacity) {}
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& name,
+                                                       bool create) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      if (!create) return Status::IOError("no such file: " + name);
+      it = files_.emplace(name, std::make_shared<FileBuffer>()).first;
+    }
+    return std::unique_ptr<RandomAccessFile>(new MemFile(this, it->second));
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::IOError("no such file: " + name);
+    used_ -= it->second->data.size();
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& name) const override {
+    return files_.count(name) > 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    auto it = files_.find(from);
+    if (it == files_.end()) return Status::IOError("no such file: " + from);
+    auto old_target = files_.find(to);
+    if (old_target != files_.end()) {
+      used_ -= old_target->second->data.size();
+      files_.erase(old_target);
+    }
+    files_[to] = it->second;
+    files_.erase(from);
+    return Status::OK();
+  }
+
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  const char* name() const override { return "nutos"; }
+
+  /// Reserves `delta` more bytes of device storage; fails when the fixed
+  /// capacity would be exceeded.
+  Status Reserve(uint64_t delta) {
+    if (capacity_ != 0 && used_ + delta > capacity_) {
+      return Status::ResourceExhausted("device storage full");
+    }
+    used_ += delta;
+    return Status::OK();
+  }
+  void Release(uint64_t delta) { used_ -= delta; }
+
+  uint64_t used() const { return used_; }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::map<std::string, std::shared_ptr<FileBuffer>> files_;
+};
+
+Status MemFile::Write(uint64_t offset, const Slice& data) {
+  std::string& d = buf_->data;
+  uint64_t end = offset + data.size();
+  if (end > d.size()) {
+    FAME_RETURN_IF_ERROR(env_->Reserve(end - d.size()));
+    d.resize(end);
+  }
+  std::memcpy(d.data() + offset, data.data(), data.size());
+  return Status::OK();
+}
+
+Status MemFile::Truncate(uint64_t size) {
+  std::string& d = buf_->data;
+  if (size > d.size()) {
+    FAME_RETURN_IF_ERROR(env_->Reserve(size - d.size()));
+  } else {
+    env_->Release(d.size() - size);
+  }
+  d.resize(size);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv(uint64_t capacity_bytes) {
+  return std::make_unique<MemEnvImpl>(capacity_bytes);
+}
+
+}  // namespace fame::osal

@@ -1,0 +1,126 @@
+// PosixEnv: the "Linux" OS-Abstraction alternative. Plain pread/pwrite files.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "osal/env.h"
+
+namespace fame::osal {
+namespace {
+
+Status ErrnoStatus(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+class PosixFile final : public RandomAccessFile {
+ public:
+  explicit PosixFile(int fd, std::string name)
+      : fd_(fd), name_(std::move(name)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              Slice* result) const override {
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, scratch + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread " + name_, errno);
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    *result = Slice(scratch, got);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    size_t put = 0;
+    while (put < data.size()) {
+      ssize_t w = ::pwrite(fd_, data.data() + put, data.size() - put,
+                           static_cast<off_t>(offset + put));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite " + name_, errno);
+      }
+      put += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + name_, errno);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat " + name_, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate " + name_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string name_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& name,
+                                                       bool create) override {
+    int flags = O_RDWR;
+    if (create) flags |= O_CREAT;
+    int fd = ::open(name.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open " + name, errno);
+    return std::unique_ptr<RandomAccessFile>(new PosixFile(fd, name));
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    if (::unlink(name.c_str()) != 0) return ErrnoStatus("unlink " + name, errno);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& name) const override {
+    return ::access(name.c_str(), F_OK) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  const char* name() const override { return "linux"; }
+};
+
+}  // namespace
+
+Env* GetPosixEnv() {
+  static PosixEnv* env = new PosixEnv();  // intentionally leaked singleton
+  return env;
+}
+
+}  // namespace fame::osal

@@ -1,0 +1,62 @@
+// Win32PathEnv: the "Win32" OS-Abstraction alternative. The behavioural
+// difference this feature carries in the product line is path handling:
+// backslash separators, optional drive-letter prefixes, and case-insensitive
+// names. It normalizes those onto a backing Env, so products composed for
+// Win32 accept Windows-style database paths.
+#include <cctype>
+
+#include "osal/env.h"
+
+namespace fame::osal {
+namespace {
+
+class Win32PathEnv final : public Env {
+ public:
+  explicit Win32PathEnv(Env* base) : base_(base) {}
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& name,
+                                                       bool create) override {
+    return base_->OpenFile(Normalize(name), create);
+  }
+  Status DeleteFile(const std::string& name) override {
+    return base_->DeleteFile(Normalize(name));
+  }
+  bool FileExists(const std::string& name) const override {
+    return base_->FileExists(Normalize(name));
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(Normalize(from), Normalize(to));
+  }
+  uint64_t NowNanos() const override { return base_->NowNanos(); }
+  const char* name() const override { return "win32"; }
+
+  /// Win32 path normalization: strip "C:"-style drive prefixes, convert
+  /// backslashes to slashes, and lower-case (NTFS default is
+  /// case-insensitive).
+  static std::string Normalize(const std::string& path) {
+    std::string out;
+    size_t start = 0;
+    if (path.size() >= 2 && std::isalpha(static_cast<unsigned char>(path[0])) &&
+        path[1] == ':') {
+      start = 2;
+    }
+    for (size_t i = start; i < path.size(); ++i) {
+      char c = path[i];
+      if (c == '\\') c = '/';
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+  }
+
+ private:
+  Env* base_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewWin32PathEnv(Env* base) {
+  return std::make_unique<Win32PathEnv>(base);
+}
+
+}  // namespace fame::osal

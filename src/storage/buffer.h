@@ -1,0 +1,149 @@
+// BufferManager: a fixed pool of page frames over a PageFile, with a
+// pluggable ReplacementPolicy (the Buffer Manager feature of Figure 2).
+// Frame memory comes from an osal::Allocator so products can run it out of a
+// static arena.
+#ifndef FAME_STORAGE_BUFFER_H_
+#define FAME_STORAGE_BUFFER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "osal/allocator.h"
+#include "storage/page.h"
+#include "storage/pagefile.h"
+#include "storage/replacement.h"
+
+namespace fame::storage {
+
+/// Counters exposed for tests, NFP measurement, and the micro benchmarks.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class BufferManager;
+
+/// RAII pin on a buffered page. Unpins (optionally marking dirty) when it
+/// goes out of scope. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferManager* bm, PageId id, char* frame, size_t page_size)
+      : bm_(bm), id_(id), frame_(frame), page_size_(page_size) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return bm_ != nullptr; }
+  PageId id() const { return id_; }
+
+  /// Page view over the pinned frame.
+  Page page() { return Page(frame_, page_size_); }
+  const Page page() const { return Page(frame_, page_size_); }
+
+  /// Marks the frame dirty (will be written back before eviction/flush).
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  BufferManager* bm_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* frame_ = nullptr;
+  size_t page_size_ = 0;
+  bool dirty_ = false;
+};
+
+/// Fixed-capacity buffer pool. Not thread-safe (embedded products are
+/// single-threaded; the transaction layer serializes concurrent use).
+class BufferManager {
+ public:
+  /// `pool_frames` frames of `file->page_size()` bytes each, allocated from
+  /// `allocator`. `policy` decides eviction victims.
+  static StatusOr<std::unique_ptr<BufferManager>> Create(
+      PageFile* file, size_t pool_frames, osal::Allocator* allocator,
+      std::unique_ptr<ReplacementPolicy> policy);
+
+  ~BufferManager();
+
+  /// Pins page `id`, reading it from storage on a miss.
+  StatusOr<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file, pins it, and formats it as `type`.
+  StatusOr<PageGuard> New(PageType type);
+
+  /// Frees `id` in the file. The page must not be pinned.
+  Status Free(PageId id);
+
+  /// Writes back all dirty frames (does not evict).
+  Status FlushAll();
+
+  /// FlushAll + file sync.
+  Status Checkpoint();
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats{}; }
+  size_t pool_frames() const { return frames_.size(); }
+  size_t pinned_frames() const;
+  PageFile* file() { return file_; }
+  ReplacementPolicy* policy() { return policy_.get(); }
+
+  /// Hook installed by the recovery/tx layer: called with (page_id, frame)
+  /// right before a dirty page is written back, enforcing WAL (flush log up
+  /// to page LSN first).
+  using PreWriteHook = Status (*)(void* ctx, PageId id, const char* frame);
+  void SetPreWriteHook(PreWriteHook hook, void* ctx) {
+    pre_write_hook_ = hook;
+    pre_write_ctx_ = ctx;
+  }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    char* data = nullptr;
+    PageId page = kInvalidPageId;
+    uint32_t pins = 0;
+    bool dirty = false;
+  };
+
+  BufferManager(PageFile* file, osal::Allocator* allocator,
+                std::unique_ptr<ReplacementPolicy> policy)
+      : file_(file), allocator_(allocator), policy_(std::move(policy)) {}
+
+  /// Finds a frame for a new page: a never-used frame, else a victim from
+  /// the policy (writing it back if dirty). ResourceExhausted if every frame
+  /// is pinned.
+  StatusOr<FrameId> GetVictimFrame();
+
+  Status WriteBack(Frame& f);
+
+  /// Called by PageGuard on release.
+  void Unpin(PageId id, bool dirty);
+
+  PageFile* file_;
+  osal::Allocator* allocator_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, FrameId> page_table_;
+  size_t next_unused_frame_ = 0;
+  BufferStats stats_;
+  PreWriteHook pre_write_hook_ = nullptr;
+  void* pre_write_ctx_ = nullptr;
+};
+
+}  // namespace fame::storage
+
+#endif  // FAME_STORAGE_BUFFER_H_

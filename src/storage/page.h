@@ -1,0 +1,134 @@
+// Slotted page layout. A Page is a *view* over a fixed-size frame owned by
+// the buffer manager; all mutation happens in place so the same bytes can be
+// written back to storage verbatim.
+//
+// Layout (little-endian):
+//   [0]   u8   page type (PageType)
+//   [1]   u8   flags
+//   [2]   u16  slot count
+//   [4]   u16  free-space offset (start of unused gap)
+//   [6]   u16  live bytes in record area (for compaction accounting)
+//   [8]   u32  next page id (overflow / chain; kInvalidPageId if none)
+//   [12]  u32  reserved
+//   [16]  u64  page LSN (recovery)
+//   [24]  u32  masked CRC of the rest of the page
+//   [28]  u32  reserved
+//   [32..]     record area, growing up
+//   [...end]   slot directory, growing down; each slot is {u16 off, u16 len},
+//              off == 0 marks a dead slot (page offsets are >= header size,
+//              so 0 is never a valid record offset).
+#ifndef FAME_STORAGE_PAGE_H_
+#define FAME_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace fame::storage {
+
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Discriminates what lives on a page (used for corruption checks and
+/// debugging dumps).
+enum class PageType : uint8_t {
+  kFree = 0,
+  kMeta = 1,
+  kHeap = 2,       // record manager data page
+  kBTreeLeaf = 3,
+  kBTreeInner = 4,
+  kListData = 5,   // list index page
+  kHashBucket = 6,
+  kQueueData = 7,
+  kOverflow = 8,
+};
+
+/// View over one page-sized buffer. Cheap to construct; does not own memory.
+class Page {
+ public:
+  static constexpr size_t kHeaderSize = 32;
+  static constexpr size_t kSlotSize = 4;
+
+  Page(char* data, size_t page_size) : data_(data), size_(page_size) {}
+
+  /// Formats the buffer as an empty page of the given type.
+  void Init(PageType type);
+
+  PageType type() const { return static_cast<PageType>(data_[0]); }
+  void set_type(PageType t) { data_[0] = static_cast<char>(t); }
+
+  uint16_t slot_count() const { return DecodeFixed16(data_ + 2); }
+  PageId next_page() const { return DecodeFixed32(data_ + 8); }
+  void set_next_page(PageId id) { EncodeFixed32(data_ + 8, id); }
+  uint64_t lsn() const { return DecodeFixed64(data_ + 16); }
+  void set_lsn(uint64_t lsn) { EncodeFixed64(data_ + 16, lsn); }
+
+  /// Bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+  /// Bytes that compaction could additionally reclaim (dead records).
+  size_t ReclaimableSpace() const;
+
+  /// Inserts a record; returns its slot index, or ResourceExhausted when the
+  /// page is full even after compaction.
+  StatusOr<uint16_t> Insert(const Slice& record);
+
+  /// Reads the record in `slot`; NotFound for dead or out-of-range slots.
+  StatusOr<Slice> Get(uint16_t slot) const;
+
+  /// Marks `slot` dead. Idempotent on dead slots (returns NotFound).
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record in `slot`. May move the record within the page;
+  /// fails with ResourceExhausted if the new value does not fit.
+  Status Update(uint16_t slot, const Slice& record);
+
+  /// Number of live (non-deleted) records.
+  uint16_t LiveRecords() const;
+
+  /// Recomputes and stores the page checksum. Called before write-back.
+  void SealChecksum();
+  /// Verifies the stored checksum; Corruption on mismatch.
+  Status VerifyChecksum() const;
+
+  char* raw() { return data_; }
+  const char* raw() const { return data_; }
+  size_t page_size() const { return size_; }
+
+ private:
+  uint16_t free_off() const { return DecodeFixed16(data_ + 4); }
+  void set_free_off(uint16_t off) { EncodeFixed16(data_ + 4, off); }
+  uint16_t live_bytes() const { return DecodeFixed16(data_ + 6); }
+  void set_live_bytes(uint16_t n) { EncodeFixed16(data_ + 6, n); }
+  void set_slot_count(uint16_t n) { EncodeFixed16(data_ + 2, n); }
+
+  char* slot_ptr(uint16_t slot) {
+    return data_ + size_ - kSlotSize * (slot + 1);
+  }
+  const char* slot_ptr(uint16_t slot) const {
+    return data_ + size_ - kSlotSize * (slot + 1);
+  }
+  uint16_t slot_offset(uint16_t slot) const {
+    return DecodeFixed16(slot_ptr(slot));
+  }
+  uint16_t slot_length(uint16_t slot) const {
+    return DecodeFixed16(slot_ptr(slot) + 2);
+  }
+  void set_slot(uint16_t slot, uint16_t off, uint16_t len) {
+    EncodeFixed16(slot_ptr(slot), off);
+    EncodeFixed16(slot_ptr(slot) + 2, len);
+  }
+
+  /// Slides live records together to make the free gap contiguous.
+  void Compact();
+
+  char* data_;
+  size_t size_;
+};
+
+}  // namespace fame::storage
+
+#endif  // FAME_STORAGE_PAGE_H_

@@ -1,0 +1,236 @@
+#include "storage/pagefile.h"
+
+#include <cstring>
+#include <vector>
+
+namespace fame::storage {
+
+StatusOr<std::unique_ptr<PageFile>> PageFile::Open(osal::Env* env,
+                                                   const std::string& name,
+                                                   const PageFileOptions& opts) {
+  if (opts.page_size < 512 || opts.page_size > 65536 ||
+      (opts.page_size & (opts.page_size - 1)) != 0) {
+    return Status::InvalidArgument("page_size must be a power of two in [512, 65536]");
+  }
+  bool existed = env->FileExists(name);
+  auto file_or = env->OpenFile(name, /*create=*/true);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  std::unique_ptr<PageFile> pf(
+      new PageFile(env, std::move(file_or).value(), opts));
+  if (existed) {
+    auto size_or = pf->file_->Size();
+    FAME_RETURN_IF_ERROR(size_or.status());
+    existed = size_or.value() > 0;
+  }
+  if (existed) {
+    FAME_RETURN_IF_ERROR(pf->LoadMeta());
+  } else {
+    pf->page_count_ = 1;
+    pf->free_head_ = kInvalidPageId;
+    pf->roots_used_ = 0;
+    pf->meta_dirty_ = true;
+    FAME_RETURN_IF_ERROR(pf->StoreMeta());
+  }
+  return pf;
+}
+
+PageFile::~PageFile() {
+  if (meta_dirty_) StoreMeta();  // best effort
+}
+
+Status PageFile::LoadMeta() {
+  std::vector<char> buf(opts_.page_size);
+  Slice result;
+  FAME_RETURN_IF_ERROR(file_->Read(0, opts_.page_size, buf.data(), &result));
+  if (result.size() < opts_.page_size) {
+    return Status::Corruption("meta page truncated");
+  }
+  if (DecodeFixed32(buf.data()) != kMagic) {
+    return Status::Corruption("bad magic: not a FAME page file");
+  }
+  if (DecodeFixed32(buf.data() + 4) != kVersion) {
+    return Status::NotSupported("unsupported page file version");
+  }
+  uint32_t stored_ps = DecodeFixed32(buf.data() + 8);
+  if (stored_ps != opts_.page_size) {
+    return Status::InvalidArgument("page size mismatch: file has " +
+                                   std::to_string(stored_ps));
+  }
+  page_count_ = DecodeFixed32(buf.data() + 12);
+  free_head_ = DecodeFixed32(buf.data() + 16);
+  roots_used_ = DecodeFixed32(buf.data() + 20);
+  if (roots_used_ > kMaxRoots) return Status::Corruption("root directory overflow");
+  const char* p = buf.data() + 24;
+  for (uint32_t i = 0; i < roots_used_; ++i) {
+    roots_[i].name_hash = DecodeFixed32(p);
+    roots_[i].page = DecodeFixed32(p + 4);
+    roots_[i].aux = DecodeFixed64(p + 8);
+    p += 16;
+  }
+  return Status::OK();
+}
+
+Status PageFile::StoreMeta() {
+  std::vector<char> buf(opts_.page_size, 0);
+  EncodeFixed32(buf.data(), kMagic);
+  EncodeFixed32(buf.data() + 4, kVersion);
+  EncodeFixed32(buf.data() + 8, opts_.page_size);
+  EncodeFixed32(buf.data() + 12, page_count_);
+  EncodeFixed32(buf.data() + 16, free_head_);
+  EncodeFixed32(buf.data() + 20, roots_used_);
+  char* p = buf.data() + 24;
+  for (uint32_t i = 0; i < roots_used_; ++i) {
+    EncodeFixed32(p, roots_[i].name_hash);
+    EncodeFixed32(p + 4, roots_[i].page);
+    EncodeFixed64(p + 8, roots_[i].aux);
+    p += 16;
+  }
+  FAME_RETURN_IF_ERROR(
+      file_->Write(0, Slice(buf.data(), opts_.page_size)));
+  meta_dirty_ = false;
+  return Status::OK();
+}
+
+StatusOr<PageId> PageFile::AllocatePage() {
+  if (free_head_ != kInvalidPageId) {
+    PageId id = free_head_;
+    // A free page stores the next free id in its first 4 bytes after a
+    // one-byte kFree type tag (we just use header offset 8, the next_page
+    // field of a normal page, by reading the raw page).
+    std::vector<char> buf(opts_.page_size);
+    Slice result;
+    FAME_RETURN_IF_ERROR(file_->Read(
+        static_cast<uint64_t>(id) * opts_.page_size, opts_.page_size,
+        buf.data(), &result));
+    if (result.size() < opts_.page_size) {
+      return Status::Corruption("free page truncated");
+    }
+    free_head_ = DecodeFixed32(buf.data() + 8);
+    meta_dirty_ = true;
+    return id;
+  }
+  PageId id = page_count_;
+  if (id == kInvalidPageId) return Status::ResourceExhausted("page id space");
+  ++page_count_;
+  meta_dirty_ = true;
+  // Extend the file eagerly so reads of the new page succeed. MemEnv also
+  // charges its capacity budget here.
+  std::vector<char> zero(opts_.page_size, 0);
+  Status s = file_->Write(static_cast<uint64_t>(id) * opts_.page_size,
+                          Slice(zero.data(), zero.size()));
+  if (!s.ok()) {
+    --page_count_;
+    return s;
+  }
+  return id;
+}
+
+Status PageFile::FreePage(PageId id) {
+  if (id == 0 || id >= page_count_) {
+    return Status::InvalidArgument("cannot free page " + std::to_string(id));
+  }
+  std::vector<char> buf(opts_.page_size, 0);
+  Page page(buf.data(), opts_.page_size);
+  page.Init(PageType::kFree);
+  page.set_next_page(free_head_);
+  page.SealChecksum();
+  FAME_RETURN_IF_ERROR(file_->Write(
+      static_cast<uint64_t>(id) * opts_.page_size, Slice(buf.data(), buf.size())));
+  free_head_ = id;
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(PageId id, char* buf) {
+  if (id == 0 || id >= page_count_) {
+    return Status::InvalidArgument("read of invalid page " + std::to_string(id));
+  }
+  Slice result;
+  FAME_RETURN_IF_ERROR(file_->Read(static_cast<uint64_t>(id) * opts_.page_size,
+                                   opts_.page_size, buf, &result));
+  if (result.size() < opts_.page_size) {
+    return Status::Corruption("short page read");
+  }
+  if (opts_.paranoid_checks) {
+    Page page(buf, opts_.page_size);
+    FAME_RETURN_IF_ERROR(page.VerifyChecksum());
+  }
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, char* buf) {
+  if (id == 0 || id >= page_count_) {
+    return Status::InvalidArgument("write of invalid page " + std::to_string(id));
+  }
+  Page page(buf, opts_.page_size);
+  page.SealChecksum();
+  return file_->Write(static_cast<uint64_t>(id) * opts_.page_size,
+                      Slice(buf, opts_.page_size));
+}
+
+Status PageFile::Sync() {
+  if (meta_dirty_) FAME_RETURN_IF_ERROR(StoreMeta());
+  return file_->Sync();
+}
+
+uint32_t PageFile::HashName(const std::string& name) {
+  // FNV-1a, 32-bit.
+  uint32_t h = 2166136261u;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+StatusOr<PageId> PageFile::GetRoot(const std::string& name) const {
+  uint32_t h = HashName(name);
+  for (uint32_t i = 0; i < roots_used_; ++i) {
+    if (roots_[i].name_hash == h) return roots_[i].page;
+  }
+  return Status::NotFound("no root named " + name);
+}
+
+StatusOr<uint64_t> PageFile::GetRootAux(const std::string& name) const {
+  uint32_t h = HashName(name);
+  for (uint32_t i = 0; i < roots_used_; ++i) {
+    if (roots_[i].name_hash == h) return roots_[i].aux;
+  }
+  return Status::NotFound("no root named " + name);
+}
+
+Status PageFile::SetRoot(const std::string& name, PageId id, uint64_t aux) {
+  uint32_t h = HashName(name);
+  for (uint32_t i = 0; i < roots_used_; ++i) {
+    if (roots_[i].name_hash == h) {
+      roots_[i].page = id;
+      roots_[i].aux = aux;
+      meta_dirty_ = true;
+      return Status::OK();
+    }
+  }
+  if (roots_used_ >= kMaxRoots) {
+    return Status::ResourceExhausted("root directory full");
+  }
+  roots_[roots_used_++] = RootEntry{h, id, aux};
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+StatusOr<uint32_t> PageFile::CountFreePages() {
+  uint32_t n = 0;
+  PageId id = free_head_;
+  std::vector<char> buf(opts_.page_size);
+  while (id != kInvalidPageId) {
+    ++n;
+    if (n > page_count_) return Status::Corruption("free chain cycle");
+    Slice result;
+    FAME_RETURN_IF_ERROR(file_->Read(static_cast<uint64_t>(id) * opts_.page_size,
+                                     opts_.page_size, buf.data(), &result));
+    if (result.size() < opts_.page_size) return Status::Corruption("short read");
+    id = DecodeFixed32(buf.data() + 8);
+  }
+  return n;
+}
+
+}  // namespace fame::storage

@@ -1,0 +1,101 @@
+// PageFile: paged storage over an osal::RandomAccessFile.
+//
+// Page 0 is the meta page:
+//   [0]  u32  magic "FAME"
+//   [4]  u32  format version
+//   [8]  u32  page size
+//   [12] u32  page count (including meta page)
+//   [16] u32  head of the free-page chain (kInvalidPageId if empty)
+//   [20] u32  root directory entries used
+//   [24..]    root directory: up to kMaxRoots entries of
+//             {u32 name hash, u32 page id, u64 aux} — named anchor points
+//             (index roots, record-manager heads) that survive reopen.
+#ifndef FAME_STORAGE_PAGEFILE_H_
+#define FAME_STORAGE_PAGEFILE_H_
+
+#include <memory>
+#include <string>
+
+#include "osal/env.h"
+#include "storage/page.h"
+
+namespace fame::storage {
+
+/// Options controlling a PageFile.
+struct PageFileOptions {
+  /// Page size in bytes; must be a power of two in [512, 65536].
+  uint32_t page_size = 4096;
+  /// Verify page checksums on every read (off for benchmarked minimal
+  /// products, on everywhere else).
+  bool paranoid_checks = true;
+};
+
+/// Paged file with a persistent free list and a named-root directory.
+/// Not thread-safe; the buffer manager above it serializes access.
+class PageFile {
+ public:
+  static constexpr uint32_t kMagic = 0x454d4146u;  // "FAME"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr size_t kMaxRoots = 16;
+
+  /// Opens (or creates) a page file at `name` within `env`.
+  static StatusOr<std::unique_ptr<PageFile>> Open(osal::Env* env,
+                                                  const std::string& name,
+                                                  const PageFileOptions& opts);
+
+  ~PageFile();
+
+  /// Allocates a page (reusing the free chain first). The returned page is
+  /// not zeroed on disk until written.
+  StatusOr<PageId> AllocatePage();
+
+  /// Returns `id` to the free chain.
+  Status FreePage(PageId id);
+
+  /// Reads page `id` into `buf` (page_size bytes).
+  Status ReadPage(PageId id, char* buf);
+
+  /// Writes page `id` from `buf`; seals the checksum in `buf` first.
+  Status WritePage(PageId id, char* buf);
+
+  /// Durably flushes file contents and the meta page.
+  Status Sync();
+
+  /// Looks up / installs a named root anchor. Roots persist across reopen.
+  StatusOr<PageId> GetRoot(const std::string& name) const;
+  Status SetRoot(const std::string& name, PageId id, uint64_t aux = 0);
+  StatusOr<uint64_t> GetRootAux(const std::string& name) const;
+
+  uint32_t page_size() const { return opts_.page_size; }
+  uint32_t page_count() const { return page_count_; }
+  /// Pages currently on the free chain (O(chain length); for tests/stats).
+  StatusOr<uint32_t> CountFreePages();
+
+ private:
+  PageFile(osal::Env* env, std::unique_ptr<osal::RandomAccessFile> file,
+           PageFileOptions opts)
+      : env_(env), file_(std::move(file)), opts_(opts) {}
+
+  Status LoadMeta();
+  Status StoreMeta();
+  static uint32_t HashName(const std::string& name);
+
+  osal::Env* env_;
+  std::unique_ptr<osal::RandomAccessFile> file_;
+  PageFileOptions opts_;
+  uint32_t page_count_ = 1;
+  PageId free_head_ = kInvalidPageId;
+
+  struct RootEntry {
+    uint32_t name_hash = 0;
+    PageId page = kInvalidPageId;
+    uint64_t aux = 0;
+  };
+  RootEntry roots_[kMaxRoots];
+  uint32_t roots_used_ = 0;
+  bool meta_dirty_ = false;
+};
+
+}  // namespace fame::storage
+
+#endif  // FAME_STORAGE_PAGEFILE_H_

@@ -1,0 +1,117 @@
+#include "storage/record.h"
+
+namespace fame::storage {
+
+StatusOr<std::unique_ptr<RecordManager>> RecordManager::Open(
+    BufferManager* buffers, const std::string& name) {
+  std::unique_ptr<RecordManager> rm(new RecordManager(buffers, name));
+  auto root_or = buffers->file()->GetRoot("heap:" + name);
+  if (root_or.ok()) {
+    rm->head_ = root_or.value();
+  } else {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers->New(PageType::kHeap));
+    rm->head_ = guard.id();
+    guard.MarkDirty();
+    guard.Release();
+    FAME_RETURN_IF_ERROR(
+        buffers->file()->SetRoot("heap:" + name, rm->head_));
+  }
+  return rm;
+}
+
+StatusOr<PageId> RecordManager::FindPageWithSpace(size_t need) {
+  PageId id = head_;
+  PageId last = kInvalidPageId;
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    Page page = guard.page();
+    if (page.FreeSpace() + page.ReclaimableSpace() >= need) return id;
+    last = id;
+    id = page.next_page();
+  }
+  // Chain exhausted: append a page.
+  FAME_ASSIGN_OR_RETURN(PageGuard fresh, buffers_->New(PageType::kHeap));
+  PageId fresh_id = fresh.id();
+  fresh.MarkDirty();
+  fresh.Release();
+  FAME_ASSIGN_OR_RETURN(PageGuard tail, buffers_->Fetch(last));
+  tail.page().set_next_page(fresh_id);
+  tail.MarkDirty();
+  return fresh_id;
+}
+
+StatusOr<Rid> RecordManager::Insert(const Slice& record) {
+  size_t need = record.size() + Page::kSlotSize;
+  if (need + Page::kHeaderSize + Page::kSlotSize >
+      buffers_->file()->page_size()) {
+    return Status::InvalidArgument("record larger than a page");
+  }
+  FAME_ASSIGN_OR_RETURN(PageId id, FindPageWithSpace(need));
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+  Page page = guard.page();
+  auto slot_or = page.Insert(record);
+  FAME_RETURN_IF_ERROR(slot_or.status());
+  guard.MarkDirty();
+  return Rid{id, slot_or.value()};
+}
+
+Status RecordManager::Get(const Rid& rid, std::string* out) {
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(rid.page));
+  auto rec_or = guard.page().Get(rid.slot);
+  FAME_RETURN_IF_ERROR(rec_or.status());
+  out->assign(rec_or.value().data(), rec_or.value().size());
+  return Status::OK();
+}
+
+Status RecordManager::Update(Rid* rid, const Slice& record) {
+  {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(rid->page));
+    Page page = guard.page();
+    Status s = page.Update(rid->slot, record);
+    if (s.ok()) {
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    if (s.code() != StatusCode::kResourceExhausted) return s;
+    // Doesn't fit on its page: delete here, reinsert elsewhere.
+    FAME_RETURN_IF_ERROR(page.Delete(rid->slot));
+    guard.MarkDirty();
+  }
+  FAME_ASSIGN_OR_RETURN(Rid moved, Insert(record));
+  *rid = moved;
+  return Status::OK();
+}
+
+Status RecordManager::Delete(const Rid& rid) {
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(rid.page));
+  FAME_RETURN_IF_ERROR(guard.page().Delete(rid.slot));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status RecordManager::Scan(
+    const std::function<bool(const Rid&, const Slice&)>& visit) {
+  PageId id = head_;
+  while (id != kInvalidPageId) {
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
+    Page page = guard.page();
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto rec_or = page.Get(slot);
+      if (!rec_or.ok()) continue;  // dead slot
+      if (!visit(Rid{id, slot}, rec_or.value())) return Status::OK();
+    }
+    id = page.next_page();
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> RecordManager::Count() {
+  uint64_t n = 0;
+  FAME_RETURN_IF_ERROR(Scan([&n](const Rid&, const Slice&) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace fame::storage

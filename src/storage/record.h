@@ -1,0 +1,78 @@
+// RecordManager: a heap file of variable-length records over the buffer
+// manager. Records are addressed by RID {page, slot}. Pages with free space
+// are kept on a simple chain threaded through Page::next_page.
+#ifndef FAME_STORAGE_RECORD_H_
+#define FAME_STORAGE_RECORD_H_
+
+#include <functional>
+#include <string>
+
+#include "storage/buffer.h"
+
+namespace fame::storage {
+
+/// Record identifier: physical address of a record.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const Rid& o) const {
+    return page == o.page && slot == o.slot;
+  }
+  /// 48-bit packed form used inside index payloads.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    Rid r;
+    r.page = static_cast<PageId>(v >> 16);
+    r.slot = static_cast<uint16_t>(v & 0xffff);
+    return r;
+  }
+};
+
+/// Heap-file record storage. One RecordManager per named heap; the head of
+/// its page chain persists as a PageFile root.
+class RecordManager {
+ public:
+  /// Opens (creating on first use) the heap named `name`.
+  static StatusOr<std::unique_ptr<RecordManager>> Open(BufferManager* buffers,
+                                                       const std::string& name);
+
+  /// Inserts a record, returning its RID.
+  StatusOr<Rid> Insert(const Slice& record);
+
+  /// Reads the record at `rid` into `out`.
+  Status Get(const Rid& rid, std::string* out);
+
+  /// Replaces the record at `rid` in place. If the new value no longer fits
+  /// on its page, the record moves and `*rid` is updated (callers owning
+  /// index entries must re-point them; the engine layers do).
+  Status Update(Rid* rid, const Slice& record);
+
+  /// Deletes the record at `rid`.
+  Status Delete(const Rid& rid);
+
+  /// Visits every live record. Returning false from the visitor stops the
+  /// scan early.
+  Status Scan(const std::function<bool(const Rid&, const Slice&)>& visit);
+
+  /// Number of live records (full scan; for tests/stats).
+  StatusOr<uint64_t> Count();
+
+ private:
+  RecordManager(BufferManager* buffers, std::string name)
+      : buffers_(buffers), name_(std::move(name)) {}
+
+  /// Finds (or appends) a page with at least `need` free bytes.
+  StatusOr<PageId> FindPageWithSpace(size_t need);
+
+  BufferManager* buffers_;
+  std::string name_;
+  PageId head_ = kInvalidPageId;
+};
+
+}  // namespace fame::storage
+
+#endif  // FAME_STORAGE_RECORD_H_

@@ -1,0 +1,132 @@
+#include "storage/replacement.h"
+
+#include <string>
+
+namespace fame::storage {
+
+// ---------------------------------------------------------------- LRU
+
+void LruPolicy::OnUnpinned(FrameId frame) {
+  auto it = map_.find(frame);
+  if (it != map_.end()) order_.erase(it->second);
+  order_.push_back(frame);
+  map_[frame] = std::prev(order_.end());
+}
+
+void LruPolicy::OnRemoved(FrameId frame) {
+  auto it = map_.find(frame);
+  if (it == map_.end()) return;
+  order_.erase(it->second);
+  map_.erase(it);
+}
+
+bool LruPolicy::Victim(FrameId* frame) {
+  if (order_.empty()) return false;
+  *frame = order_.front();
+  order_.pop_front();
+  map_.erase(*frame);
+  return true;
+}
+
+// ---------------------------------------------------------------- LFU
+
+void LfuPolicy::OnUnpinned(FrameId frame) {
+  ++freq_[frame];
+  evictable_[frame] = ++seq_;
+}
+
+void LfuPolicy::OnRemoved(FrameId frame) {
+  // Called both when a frame is re-pinned (keep its frequency) and when it
+  // is evicted/replaced. The buffer manager calls ResetFrequency via
+  // OnRemoved-then-forget semantics: frequency entries for frames that
+  // leave the pool are dropped when the frame id is reused (OnUnpinned of a
+  // new page increments from whatever is stored, so we clear here only the
+  // evictable mark; eviction clears frequency through Victim()).
+  evictable_.erase(frame);
+}
+
+void LfuPolicy::OnAccess(FrameId frame) { ++freq_[frame]; }
+
+bool LfuPolicy::Victim(FrameId* frame) {
+  if (evictable_.empty()) return false;
+  FrameId best = 0;
+  uint64_t best_freq = ~0ull;
+  uint64_t best_seq = ~0ull;
+  for (const auto& [f, seq] : evictable_) {
+    uint64_t fr = freq_[f];
+    if (fr < best_freq || (fr == best_freq && seq < best_seq)) {
+      best = f;
+      best_freq = fr;
+      best_seq = seq;
+    }
+  }
+  *frame = best;
+  evictable_.erase(best);
+  freq_.erase(best);  // the frame will hold a different page next
+  return true;
+}
+
+// ---------------------------------------------------------------- Clock
+
+void ClockPolicy::OnUnpinned(FrameId frame) {
+  auto it = pos_.find(frame);
+  if (it != pos_.end()) {
+    Entry& e = ring_[it->second];
+    if (!e.present) {
+      e.present = true;
+      ++present_count_;
+    }
+    e.referenced = true;
+    return;
+  }
+  pos_[frame] = ring_.size();
+  ring_.push_back(Entry{frame, true, true});
+  ++present_count_;
+}
+
+void ClockPolicy::OnRemoved(FrameId frame) {
+  auto it = pos_.find(frame);
+  if (it == pos_.end()) return;
+  Entry& e = ring_[it->second];
+  if (e.present) {
+    e.present = false;
+    --present_count_;
+  }
+}
+
+void ClockPolicy::OnAccess(FrameId frame) {
+  auto it = pos_.find(frame);
+  if (it != pos_.end()) ring_[it->second].referenced = true;
+}
+
+bool ClockPolicy::Victim(FrameId* frame) {
+  if (present_count_ == 0 || ring_.empty()) return false;
+  // Sweep at most two full revolutions: one to clear reference bits, one to
+  // pick.
+  for (size_t sweep = 0; sweep < 2 * ring_.size(); ++sweep) {
+    Entry& e = ring_[hand_];
+    hand_ = (hand_ + 1) % ring_.size();
+    if (!e.present) continue;
+    if (e.referenced) {
+      e.referenced = false;
+      continue;
+    }
+    e.present = false;
+    --present_count_;
+    *frame = e.frame;
+    return true;
+  }
+  return false;
+}
+
+size_t ClockPolicy::Size() const { return present_count_; }
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
+    const std::string& name) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "lfu") return std::make_unique<LfuPolicy>();
+  if (name == "clock") return std::make_unique<ClockPolicy>();
+  return nullptr;
+}
+
+}  // namespace fame::storage

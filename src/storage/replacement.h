@@ -1,0 +1,102 @@
+// Buffer replacement policies — the "Replacement" feature alternative in the
+// FAME-DBMS feature diagram (LRU | LFU, plus Clock as an extension).
+//
+// A policy tracks *evictable* frames only: the buffer manager calls
+// OnUnpinned when a frame's pin count drops to zero and OnPinned / OnRemoved
+// when it becomes ineligible. Victim() picks among the tracked frames.
+#ifndef FAME_STORAGE_REPLACEMENT_H_
+#define FAME_STORAGE_REPLACEMENT_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace fame::storage {
+
+using FrameId = uint32_t;
+
+/// Victim-selection strategy for the buffer manager.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Frame became evictable (pin count hit zero).
+  virtual void OnUnpinned(FrameId frame) = 0;
+  /// Frame was pinned (or evicted) and is no longer a candidate.
+  virtual void OnRemoved(FrameId frame) = 0;
+  /// A pinned access happened (LFU counts these; LRU ignores — recency is
+  /// captured by OnUnpinned order).
+  virtual void OnAccess(FrameId frame) = 0;
+  /// Picks an eviction victim; false if no evictable frame exists.
+  virtual bool Victim(FrameId* frame) = 0;
+  /// Number of evictable frames tracked.
+  virtual size_t Size() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Least-recently-used: victims in OnUnpinned order, refreshed per unpin.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void OnUnpinned(FrameId frame) override;
+  void OnRemoved(FrameId frame) override;
+  void OnAccess(FrameId /*frame*/) override {}
+  bool Victim(FrameId* frame) override;
+  size_t Size() const override { return map_.size(); }
+  const char* name() const override { return "lru"; }
+
+ private:
+  std::list<FrameId> order_;  // front = least recently unpinned
+  std::unordered_map<FrameId, std::list<FrameId>::iterator> map_;
+};
+
+/// Least-frequently-used with FIFO tie-breaking. Frequencies persist while a
+/// frame stays resident (they reset on eviction, not on pin).
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  void OnUnpinned(FrameId frame) override;
+  void OnRemoved(FrameId frame) override;
+  void OnAccess(FrameId frame) override;
+  bool Victim(FrameId* frame) override;
+  size_t Size() const override { return evictable_.size(); }
+  const char* name() const override { return "lfu"; }
+
+ private:
+  std::unordered_map<FrameId, uint64_t> freq_;       // all resident frames
+  std::unordered_map<FrameId, uint64_t> evictable_;  // frame -> seq of unpin
+  uint64_t seq_ = 0;
+};
+
+/// Clock (second chance) — [extension] not in the paper's diagram; included
+/// as a third alternative to exercise the feature-model tooling with a group
+/// larger than two.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  void OnUnpinned(FrameId frame) override;
+  void OnRemoved(FrameId frame) override;
+  void OnAccess(FrameId frame) override;
+  bool Victim(FrameId* frame) override;
+  size_t Size() const override;
+  const char* name() const override { return "clock"; }
+
+ private:
+  struct Entry {
+    FrameId frame;
+    bool referenced;
+    bool present;
+  };
+  std::vector<Entry> ring_;
+  std::unordered_map<FrameId, size_t> pos_;
+  size_t hand_ = 0;
+  size_t present_count_ = 0;
+};
+
+/// Factory by feature name ("lru", "lfu", "clock"); nullptr if unknown.
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
+    const std::string& name);
+
+}  // namespace fame::storage
+
+#endif  // FAME_STORAGE_REPLACEMENT_H_

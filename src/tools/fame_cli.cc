@@ -1,0 +1,213 @@
+// `fame` — command-line front end to the FAME-DBMS tooling.
+//
+//   fame model print [file.fm]        print a feature model (default: the
+//                                     built-in FAME-DBMS model of Figure 2)
+//   fame model count [file.fm]        count its valid variants
+//   fame model check <file.fm> f1,f2  validate a feature selection
+//   fame detect <src.cpp...>          static analysis: which FAME-DBMS
+//                                     features do these sources need?
+//   fame derive <src.cpp...>          full derivation (minimal completion)
+//   fame advise <entries> <point%> <range%> <write%>
+//                                     data-driven index recommendation
+//   fame sql <db-path> "<stmt>" ...   run SQL against a database file
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/index_advisor.h"
+#include "core/sql.h"
+#include "derivation/pipeline.h"
+#include "featuremodel/fame_model.h"
+#include "featuremodel/parser.h"
+
+using namespace fame;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fame model print [file.fm]\n"
+               "  fame model count [file.fm]\n"
+               "  fame model check <file.fm|-> <f1,f2,...>\n"
+               "  fame detect <source.cpp...>\n"
+               "  fame derive <source.cpp...>\n"
+               "  fame advise <entries> <point%%> <range%%> <write%%>\n"
+               "  fame sql <db-path> \"<statement>\" [...]\n");
+  return 2;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Loads a model from a .fm file, or the built-in FAME-DBMS model for ""
+/// or "-".
+StatusOr<std::unique_ptr<fm::FeatureModel>> LoadModel(
+    const std::string& path) {
+  if (path.empty() || path == "-") return fm::BuildFameDbmsModel();
+  FAME_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return fm::ParseModel(text);
+}
+
+int CmdModel(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string sub = argv[0];
+  std::string file = argc >= 2 ? argv[1] : "";
+  auto model_or = LoadModel(file);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& model = *model_or;
+  if (sub == "print") {
+    std::printf("%s", model->ToTreeString().c_str());
+    return 0;
+  }
+  if (sub == "count") {
+    auto count = model->CountVariants(100'000'000);
+    if (!count.ok()) {
+      std::fprintf(stderr, "error: %s\n", count.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%llu\n", static_cast<unsigned long long>(*count));
+    return 0;
+  }
+  if (sub == "check") {
+    if (argc < 3) return Usage();
+    fm::Configuration config(model.get());
+    std::string features = argv[2];
+    size_t start = 0;
+    while (start <= features.size()) {
+      size_t comma = features.find(',', start);
+      std::string f = features.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (!f.empty()) {
+        Status s = config.SelectByName(f);
+        if (!s.ok()) {
+          std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    Status s = model->CompleteMinimal(&config);
+    if (!s.ok()) {
+      std::printf("INVALID: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("VALID\nderived variant: %s\n",
+                config.Signature().c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+int CmdDetectOrDerive(bool derive, int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::vector<std::string> sources;
+  for (int i = 0; i < argc; ++i) {
+    auto text = ReadFile(argv[i]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    sources.push_back(std::move(*text));
+  }
+  auto model = fm::BuildFameDbmsModel();
+  derivation::DerivationPipeline pipeline(model.get());
+  if (!derive) {
+    auto features = pipeline.DetectFeatures(sources);
+    if (!features.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   features.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& f : *features) std::printf("%s\n", f.c_str());
+    return 0;
+  }
+  nfp::FeedbackRepository empty;
+  auto report = pipeline.Run(sources, {}, empty);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report->ToText().c_str());
+  return 0;
+}
+
+int CmdAdvise(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  core::WorkloadProfile profile;
+  profile.expected_entries = std::strtoull(argv[0], nullptr, 10);
+  profile.point_lookup_fraction = std::atof(argv[1]) / 100.0;
+  profile.range_scan_fraction = std::atof(argv[2]) / 100.0;
+  profile.write_fraction = std::atof(argv[3]) / 100.0;
+  auto model = core::Calibrate();
+  core::IndexRecommendation rec = model.ok()
+                                      ? core::AdviseIndex(profile, *model)
+                                      : core::AdviseIndex(profile);
+  std::printf("recommendation: %s\nrationale: %s\n"
+              "est. cost/op: B+-Tree %.3f, List %.3f%s\n",
+              rec.feature.c_str(), rec.rationale.c_str(), rec.btree_cost,
+              rec.list_cost, model.ok() ? " (calibrated)" : " (defaults)");
+  return 0;
+}
+
+int CmdSql(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  core::DbOptions opts;
+  opts.features = {"Linux",  "B+-Tree",      "SQL-Engine", "Optimizer",
+                   "Remove", "BTree-Remove", "Update",     "BTree-Update",
+                   "Int-Types", "String-Types", "Blob-Types"};
+  opts.path = argv[0];
+  auto db = core::Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  for (int i = 1; i < argc; ++i) {
+    auto rs = (*db)->sql()->Execute(argv[i]);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "error: %s\n  in: %s\n",
+                   rs.status().ToString().c_str(), argv[i]);
+      return 1;
+    }
+    if (!rs->rows.empty() || !rs->columns.empty()) {
+      std::printf("%s", rs->ToTable().c_str());
+    } else {
+      std::printf("ok (%llu rows affected, plan: %s)\n",
+                  static_cast<unsigned long long>(rs->affected),
+                  rs->plan.c_str());
+    }
+  }
+  Status s = (*db)->Checkpoint();
+  if (!s.ok()) {
+    std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "model") return CmdModel(argc - 2, argv + 2);
+  if (cmd == "detect") return CmdDetectOrDerive(false, argc - 2, argv + 2);
+  if (cmd == "derive") return CmdDetectOrDerive(true, argc - 2, argv + 2);
+  if (cmd == "advise") return CmdAdvise(argc - 2, argv + 2);
+  if (cmd == "sql") return CmdSql(argc - 2, argv + 2);
+  return Usage();
+}

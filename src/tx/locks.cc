@@ -1,0 +1,97 @@
+#include "tx/locks.h"
+
+#include <functional>
+
+namespace fame::tx {
+
+Status LockManager::Acquire(uint64_t txid, const std::string& resource,
+                            LockMode mode) {
+  auto it = table_.find(resource);
+  if (it == table_.end()) {
+    Entry e;
+    e.mode = mode;
+    e.holders.insert(txid);
+    table_.emplace(resource, std::move(e));
+    wait_for_.erase(txid);
+    return Status::OK();
+  }
+  Entry& e = it->second;
+  bool already_holder = e.holders.count(txid) > 0;
+
+  if (already_holder) {
+    if (mode == LockMode::kShared || e.mode == LockMode::kExclusive) {
+      return Status::OK();  // idempotent re-acquire
+    }
+    // Upgrade shared -> exclusive: only if sole holder.
+    if (e.holders.size() == 1) {
+      e.mode = LockMode::kExclusive;
+      return Status::OK();
+    }
+  }
+
+  bool compatible = !already_holder && mode == LockMode::kShared &&
+                    e.mode == LockMode::kShared;
+  if (compatible) {
+    e.holders.insert(txid);
+    wait_for_.erase(txid);
+    return Status::OK();
+  }
+
+  // Conflict: record the hypothetical wait edges and classify.
+  ++conflicts_;
+  std::set<uint64_t> blockers = e.holders;
+  blockers.erase(txid);
+  if (WouldDeadlock(txid, blockers)) {
+    ++deadlocks_;
+    return Status::Deadlock("lock cycle on " + resource);
+  }
+  wait_for_[txid].insert(blockers.begin(), blockers.end());
+  return Status::Busy("lock held on " + resource);
+}
+
+bool LockManager::WouldDeadlock(uint64_t waiter,
+                                const std::set<uint64_t>& holders) {
+  // DFS from each holder through wait_for_ looking for `waiter`.
+  std::set<uint64_t> visited;
+  std::function<bool(uint64_t)> reaches = [&](uint64_t node) {
+    if (node == waiter) return true;
+    if (!visited.insert(node).second) return false;
+    auto it = wait_for_.find(node);
+    if (it == wait_for_.end()) return false;
+    for (uint64_t next : it->second) {
+      if (reaches(next)) return true;
+    }
+    return false;
+  };
+  for (uint64_t h : holders) {
+    if (reaches(h)) return true;
+  }
+  return false;
+}
+
+void LockManager::ReleaseAll(uint64_t txid) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.holders.erase(txid);
+    if (it->second.holders.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  wait_for_.erase(txid);
+  for (auto& [waiter, blockers] : wait_for_) {
+    blockers.erase(txid);
+  }
+}
+
+bool LockManager::Holds(uint64_t txid, const std::string& resource,
+                        LockMode mode) const {
+  auto it = table_.find(resource);
+  if (it == table_.end() || it->second.holders.count(txid) == 0) return false;
+  if (mode == LockMode::kExclusive) {
+    return it->second.mode == LockMode::kExclusive;
+  }
+  return true;
+}
+
+}  // namespace fame::tx

@@ -1,0 +1,63 @@
+// Lock manager for the TRANSACTION feature: strict two-phase locking with
+// shared/exclusive modes on named resources (store:key granularity by
+// convention). Embedded products run transactions interleaved on a single
+// thread, so acquisition is *no-wait*: a conflicting request fails
+// immediately with Busy, or with Deadlock when granting a hypothetical wait
+// would close a cycle in the wait-for graph (the caller then aborts that
+// transaction, which is how the engine layer resolves deadlocks).
+#ifndef FAME_TX_LOCKS_H_
+#define FAME_TX_LOCKS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fame::tx {
+
+enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+/// Table of held locks. Not thread-safe (by design; see header comment).
+class LockManager {
+ public:
+  /// Acquires `mode` on `resource` for `txid`. Re-acquisition is idempotent;
+  /// a shared holder asking for exclusive is upgraded when it is the sole
+  /// holder. Conflicts return Busy or Deadlock (never block).
+  Status Acquire(uint64_t txid, const std::string& resource, LockMode mode);
+
+  /// Releases everything `txid` holds (strict 2PL: release only at end).
+  void ReleaseAll(uint64_t txid);
+
+  /// True if `txid` holds `resource` in at least `mode`.
+  bool Holds(uint64_t txid, const std::string& resource, LockMode mode) const;
+
+  /// Number of resources currently locked (tests / stats).
+  size_t LockedResources() const { return table_.size(); }
+
+  /// Lock acquisitions that failed with Busy/Deadlock (stats).
+  uint64_t conflicts() const { return conflicts_; }
+  uint64_t deadlocks() const { return deadlocks_; }
+
+ private:
+  struct Entry {
+    LockMode mode = LockMode::kShared;
+    std::set<uint64_t> holders;
+  };
+
+  /// Would `waiter` -> each of `holders` close a cycle in the wait-for
+  /// graph built from currently recorded conflicts?
+  bool WouldDeadlock(uint64_t waiter, const std::set<uint64_t>& holders);
+
+  std::map<std::string, Entry> table_;
+  // wait-for edges recorded from failed acquisitions: waiter -> holders.
+  std::map<uint64_t, std::set<uint64_t>> wait_for_;
+  uint64_t conflicts_ = 0;
+  uint64_t deadlocks_ = 0;
+};
+
+}  // namespace fame::tx
+
+#endif  // FAME_TX_LOCKS_H_

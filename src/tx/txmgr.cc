@@ -1,0 +1,137 @@
+#include "tx/txmgr.h"
+
+namespace fame::tx {
+
+Status Transaction::Put(const std::string& store, const Slice& key,
+                        const Slice& value) {
+  if (!active_) return Status::Aborted("transaction is finished");
+  FAME_RETURN_IF_ERROR(mgr_->locks_.Acquire(id_, store + ":" + key.ToString(),
+                                            LockMode::kExclusive));
+  writes_.push_back(WriteOp{OpType::kPut, store, key.ToString(),
+                            value.ToString()});
+  latest_[{store, key.ToString()}] = writes_.size() - 1;
+  return Status::OK();
+}
+
+Status Transaction::Delete(const std::string& store, const Slice& key) {
+  if (!active_) return Status::Aborted("transaction is finished");
+  FAME_RETURN_IF_ERROR(mgr_->locks_.Acquire(id_, store + ":" + key.ToString(),
+                                            LockMode::kExclusive));
+  writes_.push_back(WriteOp{OpType::kDelete, store, key.ToString(), ""});
+  latest_[{store, key.ToString()}] = writes_.size() - 1;
+  return Status::OK();
+}
+
+Status Transaction::Get(const std::string& store, const Slice& key,
+                        std::string* value) {
+  if (!active_) return Status::Aborted("transaction is finished");
+  FAME_RETURN_IF_ERROR(mgr_->locks_.Acquire(id_, store + ":" + key.ToString(),
+                                            LockMode::kShared));
+  auto it = latest_.find({store, key.ToString()});
+  if (it != latest_.end()) {
+    const WriteOp& op = writes_[it->second];
+    if (op.op == OpType::kDelete) return Status::NotFound("deleted in txn");
+    *value = op.value;
+    return Status::OK();
+  }
+  return mgr_->target_->ReadCommitted(store, key, value);
+}
+
+StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Open(
+    osal::Env* env, const std::string& log_path, ApplyTarget* target,
+    CommitProtocol protocol) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("transaction manager needs a target");
+  }
+  std::unique_ptr<TransactionManager> mgr(
+      new TransactionManager(target, protocol));
+  auto log_or = LogManager::Open(env, log_path);
+  FAME_RETURN_IF_ERROR(log_or.status());
+  mgr->log_ = std::move(log_or).value();
+  return mgr;
+}
+
+Status TransactionManager::Recover() {
+  // Pass 1: find committed transaction ids.
+  std::set<uint64_t> committed_ids;
+  FAME_RETURN_IF_ERROR(log_->Replay([&](Lsn, const LogRecord& rec) {
+    if (rec.type == LogRecordType::kCommit) committed_ids.insert(rec.txid);
+    return Status::OK();
+  }));
+  // Pass 2: redo committed ops in log order.
+  FAME_RETURN_IF_ERROR(log_->Replay([&](Lsn, const LogRecord& rec) {
+    if (rec.type != LogRecordType::kOp || committed_ids.count(rec.txid) == 0) {
+      return Status::OK();
+    }
+    if (rec.op == OpType::kPut) {
+      return target_->ApplyPut(rec.store, rec.key, rec.value);
+    }
+    Status s = target_->ApplyDelete(rec.store, rec.key);
+    // Redo of a delete whose effect is already durable is a no-op.
+    return s.IsNotFound() ? Status::OK() : s;
+  }));
+  return Checkpoint();
+}
+
+StatusOr<Transaction*> TransactionManager::Begin() {
+  uint64_t id = next_txid_++;
+  auto txn = std::unique_ptr<Transaction>(new Transaction(this, id));
+  Transaction* ptr = txn.get();
+  active_[id] = std::move(txn);
+  return ptr;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn == nullptr || !txn->active_) {
+    return Status::Aborted("transaction is finished");
+  }
+  if (!txn->writes_.empty()) {
+    // WAL: every op, then the commit record, durably — before any engine
+    // mutation.
+    FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Begin(txn->id_)).status());
+    for (const auto& op : txn->writes_) {
+      LogRecord rec = op.op == OpType::kPut
+                          ? LogRecord::Put(txn->id_, op.store, op.key, op.value)
+                          : LogRecord::Delete(txn->id_, op.store, op.key);
+      FAME_RETURN_IF_ERROR(log_->Append(rec).status());
+    }
+    FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Commit(txn->id_)).status());
+    FAME_RETURN_IF_ERROR(log_->Flush());
+    // Apply the write set to the engine.
+    for (const auto& op : txn->writes_) {
+      if (op.op == OpType::kPut) {
+        FAME_RETURN_IF_ERROR(target_->ApplyPut(op.store, op.key, op.value));
+      } else {
+        Status s = target_->ApplyDelete(op.store, op.key);
+        if (!s.ok() && !s.IsNotFound()) return s;
+      }
+    }
+    if (protocol_ == CommitProtocol::kForceAtCommit) {
+      FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+      FAME_RETURN_IF_ERROR(log_->Truncate());
+    }
+  }
+  txn->active_ = false;
+  locks_.ReleaseAll(txn->id_);
+  ++committed_;
+  active_.erase(txn->id_);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn == nullptr || !txn->active_) {
+    return Status::Aborted("transaction is finished");
+  }
+  txn->active_ = false;
+  locks_.ReleaseAll(txn->id_);
+  ++aborted_;
+  active_.erase(txn->id_);
+  return Status::OK();
+}
+
+Status TransactionManager::Checkpoint() {
+  FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+  return log_->Truncate();
+}
+
+}  // namespace fame::tx

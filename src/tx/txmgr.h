@@ -1,0 +1,131 @@
+// TransactionManager: the TRANSACTION feature of the FAME-DBMS feature
+// diagram. Deferred-update transactions (writes buffered per transaction,
+// read-your-writes) with strict 2PL locking, a WAL, and the feature
+// diagram's *alternative commit protocols*:
+//
+//   kWalRedo ("no-force"): at commit the write set is logged + fsynced,
+//     then applied to the engine; pages reach storage lazily. Crash
+//     recovery replays committed transactions from the log.
+//   kForceAtCommit ("force"): commit additionally checkpoints the engine
+//     (flush + sync) and truncates the log — no redo needed after a crash,
+//     at the cost of synchronous page writes. The protocol of choice when
+//     RAM for a log replay buffer is scarce.
+#ifndef FAME_TX_TXMGR_H_
+#define FAME_TX_TXMGR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tx/locks.h"
+#include "tx/wal.h"
+
+namespace fame::tx {
+
+/// Engine-side interface the transaction layer applies committed writes
+/// through; implemented by the storage engines (FAME-DBMS core, FameBDB).
+class ApplyTarget {
+ public:
+  virtual ~ApplyTarget() = default;
+
+  /// Applies a committed put to `store`.
+  virtual Status ApplyPut(const std::string& store, const Slice& key,
+                          const Slice& value) = 0;
+  /// Applies a committed delete.
+  virtual Status ApplyDelete(const std::string& store, const Slice& key) = 0;
+  /// Reads current committed state (for transactional Get).
+  virtual Status ReadCommitted(const std::string& store, const Slice& key,
+                               std::string* value) = 0;
+  /// Flushes engine state durably (force protocol / checkpoints).
+  virtual Status CheckpointEngine() = 0;
+};
+
+enum class CommitProtocol : uint8_t { kWalRedo = 0, kForceAtCommit = 1 };
+
+class TransactionManager;
+
+/// A transaction handle. Writes accumulate in its write set; Get sees its
+/// own writes. Obtained from TransactionManager::Begin.
+class Transaction {
+ public:
+  uint64_t id() const { return id_; }
+  bool active() const { return active_; }
+
+  /// Buffered transactional put (acquires an exclusive lock).
+  Status Put(const std::string& store, const Slice& key, const Slice& value);
+  /// Buffered transactional delete.
+  Status Delete(const std::string& store, const Slice& key);
+  /// Read-your-writes get (acquires a shared lock).
+  Status Get(const std::string& store, const Slice& key, std::string* value);
+
+ private:
+  friend class TransactionManager;
+  Transaction(TransactionManager* mgr, uint64_t id) : mgr_(mgr), id_(id) {}
+
+  struct WriteOp {
+    OpType op;
+    std::string store;
+    std::string key;
+    std::string value;
+  };
+
+  TransactionManager* mgr_;
+  uint64_t id_;
+  bool active_ = true;
+  std::vector<WriteOp> writes_;
+  // (store, key) -> index into writes_ of the latest write, for
+  // read-your-writes and write coalescing.
+  std::map<std::pair<std::string, std::string>, size_t> latest_;
+};
+
+/// Coordinates transactions over one engine. Single-threaded interleaving;
+/// conflicts surface as Busy/Deadlock from the lock manager and the caller
+/// aborts-and-retries.
+class TransactionManager {
+ public:
+  /// `log_path` is created within `env` on first use.
+  static StatusOr<std::unique_ptr<TransactionManager>> Open(
+      osal::Env* env, const std::string& log_path, ApplyTarget* target,
+      CommitProtocol protocol);
+
+  /// Replays committed transactions from the log into the target (call once
+  /// at startup, before Begin). Checkpoints and truncates on success.
+  Status Recover();
+
+  /// Starts a transaction. The pointer stays valid until Commit/Abort.
+  StatusOr<Transaction*> Begin();
+
+  /// Durably commits `txn` per the configured protocol.
+  Status Commit(Transaction* txn);
+
+  /// Drops the write set and releases locks.
+  Status Abort(Transaction* txn);
+
+  /// Flush engine + truncate log (periodic housekeeping for kWalRedo).
+  Status Checkpoint();
+
+  CommitProtocol protocol() const { return protocol_; }
+  LockManager& locks() { return locks_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+
+ private:
+  friend class Transaction;
+
+  TransactionManager(ApplyTarget* target, CommitProtocol protocol)
+      : target_(target), protocol_(protocol) {}
+
+  ApplyTarget* target_;
+  CommitProtocol protocol_;
+  std::unique_ptr<LogManager> log_;
+  LockManager locks_;
+  uint64_t next_txid_ = 1;
+  std::map<uint64_t, std::unique_ptr<Transaction>> active_;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+}  // namespace fame::tx
+
+#endif  // FAME_TX_TXMGR_H_

@@ -1,0 +1,166 @@
+#include "tx/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace fame::tx {
+
+LogRecord LogRecord::Begin(uint64_t txid) {
+  LogRecord r;
+  r.type = LogRecordType::kBegin;
+  r.txid = txid;
+  return r;
+}
+
+LogRecord LogRecord::Commit(uint64_t txid) {
+  LogRecord r;
+  r.type = LogRecordType::kCommit;
+  r.txid = txid;
+  return r;
+}
+
+LogRecord LogRecord::Abort(uint64_t txid) {
+  LogRecord r;
+  r.type = LogRecordType::kAbort;
+  r.txid = txid;
+  return r;
+}
+
+LogRecord LogRecord::Put(uint64_t txid, std::string store, std::string key,
+                         std::string value) {
+  LogRecord r;
+  r.type = LogRecordType::kOp;
+  r.txid = txid;
+  r.op = OpType::kPut;
+  r.store = std::move(store);
+  r.key = std::move(key);
+  r.value = std::move(value);
+  return r;
+}
+
+LogRecord LogRecord::Delete(uint64_t txid, std::string store,
+                            std::string key) {
+  LogRecord r;
+  r.type = LogRecordType::kOp;
+  r.txid = txid;
+  r.op = OpType::kDelete;
+  r.store = std::move(store);
+  r.key = std::move(key);
+  return r;
+}
+
+std::string LogRecord::EncodePayload() const {
+  std::string out;
+  PutVarint64(&out, txid);
+  if (type == LogRecordType::kOp) {
+    out.push_back(static_cast<char>(op));
+    PutLengthPrefixedSlice(&out, store);
+    PutLengthPrefixedSlice(&out, key);
+    PutLengthPrefixedSlice(&out, value);
+  }
+  return out;
+}
+
+StatusOr<LogRecord> LogRecord::DecodePayload(LogRecordType type,
+                                             const Slice& payload) {
+  LogRecord r;
+  r.type = type;
+  Slice in = payload;
+  if (!GetVarint64(&in, &r.txid)) {
+    return Status::Corruption("log record missing txid");
+  }
+  if (type == LogRecordType::kOp) {
+    if (in.empty()) return Status::Corruption("log op record truncated");
+    r.op = static_cast<OpType>(in[0]);
+    in.remove_prefix(1);
+    Slice store, key, value;
+    if (!GetLengthPrefixedSlice(&in, &store) ||
+        !GetLengthPrefixedSlice(&in, &key) ||
+        !GetLengthPrefixedSlice(&in, &value)) {
+      return Status::Corruption("log op record truncated");
+    }
+    r.store = store.ToString();
+    r.key = key.ToString();
+    r.value = value.ToString();
+  }
+  return r;
+}
+
+StatusOr<std::unique_ptr<LogManager>> LogManager::Open(
+    osal::Env* env, const std::string& path) {
+  std::unique_ptr<LogManager> log(new LogManager(env, path));
+  auto file_or = env->OpenFile(path, /*create=*/true);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  log->file_ = std::move(file_or).value();
+  auto size_or = log->file_->Size();
+  FAME_RETURN_IF_ERROR(size_or.status());
+  log->durable_size_ = size_or.value();
+  return log;
+}
+
+StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
+  Lsn lsn = head();
+  std::string payload = record.EncodePayload();
+  if (payload.size() + 1 > 0xffff) {
+    return Status::InvalidArgument("log record too large");
+  }
+  std::string body;
+  body.reserve(payload.size() + 3);
+  PutFixed16(&body, static_cast<uint16_t>(payload.size() + 1));
+  body.push_back(static_cast<char>(record.type));
+  body.append(payload);
+  uint32_t crc = Crc32(body.data(), body.size());
+  std::string frame;
+  PutFixed32(&frame, MaskCrc(crc));
+  frame.append(body);
+  buffer_.append(frame);
+  return lsn;
+}
+
+Status LogManager::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  FAME_RETURN_IF_ERROR(file_->Write(durable_size_, buffer_));
+  FAME_RETURN_IF_ERROR(file_->Sync());
+  durable_size_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status LogManager::Replay(
+    const std::function<Status(Lsn, const LogRecord&)>& apply) {
+  auto size_or = file_->Size();
+  FAME_RETURN_IF_ERROR(size_or.status());
+  uint64_t size = size_or.value();
+  std::string contents(size, '\0');
+  if (size > 0) {
+    Slice result;
+    FAME_RETURN_IF_ERROR(file_->Read(0, size, contents.data(), &result));
+    if (result.size() != size) return Status::IOError("short log read");
+  }
+  uint64_t off = 0;
+  while (off + 6 <= size) {
+    uint32_t stored_crc = DecodeFixed32(contents.data() + off);
+    uint16_t len = DecodeFixed16(contents.data() + off + 4);
+    if (off + 6 + len > size || len == 0) break;  // torn tail
+    const char* body = contents.data() + off + 4;
+    uint32_t crc = Crc32(body, 2 + len);
+    if (MaskCrc(crc) != stored_crc) break;  // corrupt tail: stop replay
+    auto type = static_cast<LogRecordType>(body[2]);
+    Slice payload(body + 3, len - 1);
+    auto rec_or = LogRecord::DecodePayload(type, payload);
+    if (!rec_or.ok()) break;
+    FAME_RETURN_IF_ERROR(apply(off, rec_or.value()));
+    off += 6 + len;
+  }
+  return Status::OK();
+}
+
+Status LogManager::Truncate() {
+  buffer_.clear();
+  FAME_RETURN_IF_ERROR(file_->Truncate(0));
+  FAME_RETURN_IF_ERROR(file_->Sync());
+  durable_size_ = 0;
+  return Status::OK();
+}
+
+}  // namespace fame::tx

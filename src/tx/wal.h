@@ -1,0 +1,101 @@
+// Write-ahead log for the TRANSACTION feature. The FAME-DBMS transaction
+// layer uses *deferred updates* (no-steal): a transaction's writes are
+// buffered until commit, logged as logical redo records, then applied to the
+// storage engine. Recovery therefore only ever redoes complete, committed
+// transactions — the right trade-off for embedded targets (no undo pass, no
+// per-page rollback state).
+//
+// On-log record framing:
+//   [u32 masked CRC of len..payload][u16 len][u8 type][payload]
+//
+// Payloads:
+//   kBegin / kCommit / kAbort : varint64 txid
+//   kOp  : varint64 txid, u8 op (0 = put, 1 = del),
+//          length-prefixed store, key, value (value empty for del)
+#ifndef FAME_TX_WAL_H_
+#define FAME_TX_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osal/env.h"
+
+namespace fame::tx {
+
+/// Log sequence number: byte offset of a record in the log file.
+using Lsn = uint64_t;
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kOp = 2,
+  kCommit = 3,
+  kAbort = 4,
+};
+
+enum class OpType : uint8_t { kPut = 0, kDelete = 1 };
+
+/// A decoded log record.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  uint64_t txid = 0;
+  // kOp fields:
+  OpType op = OpType::kPut;
+  std::string store;
+  std::string key;
+  std::string value;
+
+  static LogRecord Begin(uint64_t txid);
+  static LogRecord Commit(uint64_t txid);
+  static LogRecord Abort(uint64_t txid);
+  static LogRecord Put(uint64_t txid, std::string store, std::string key,
+                       std::string value);
+  static LogRecord Delete(uint64_t txid, std::string store, std::string key);
+
+  /// Payload serialization (without framing).
+  std::string EncodePayload() const;
+  static StatusOr<LogRecord> DecodePayload(LogRecordType type,
+                                           const Slice& payload);
+};
+
+/// Append-only log over an osal file. Appends are buffered in memory until
+/// Flush (group commit); recovery iterates whole records, stopping at the
+/// first torn/corrupt tail.
+class LogManager {
+ public:
+  static StatusOr<std::unique_ptr<LogManager>> Open(osal::Env* env,
+                                                    const std::string& path);
+
+  /// Appends a record, returning its LSN. Buffered until Flush().
+  StatusOr<Lsn> Append(const LogRecord& record);
+
+  /// Durably writes all buffered records.
+  Status Flush();
+
+  /// Replays every intact record in LSN order. A corrupt or torn record
+  /// ends the scan silently (it is the crashed tail).
+  Status Replay(const std::function<Status(Lsn, const LogRecord&)>& apply);
+
+  /// Discards the entire log (after a checkpoint made the data durable).
+  Status Truncate();
+
+  /// Next LSN to be assigned.
+  Lsn head() const { return durable_size_ + static_cast<Lsn>(buffer_.size()); }
+  /// Bytes already durable.
+  uint64_t durable_size() const { return durable_size_; }
+
+ private:
+  LogManager(osal::Env* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  osal::Env* env_;
+  std::string path_;
+  std::unique_ptr<osal::RandomAccessFile> file_;
+  std::string buffer_;
+  uint64_t durable_size_ = 0;
+};
+
+}  // namespace fame::tx
+
+#endif  // FAME_TX_WAL_H_

@@ -1,0 +1,256 @@
+// Tests for the static application analysis: C++ lexer, application model
+// (calls, receiver types, flag data-flow, reachability), model-query
+// parsing/evaluation, and the Figure 3 feature detector (15-of-18).
+#include <gtest/gtest.h>
+
+#include "analysis/appmodel.h"
+#include "analysis/detector.h"
+#include "analysis/lexer.h"
+#include "analysis/query.h"
+
+namespace fame::analysis {
+namespace {
+
+TEST(CppLexerTest, TokenKinds) {
+  auto toks = TokenizeCpp("int x = 42; // comment\nfoo(\"str\", 'c');");
+  std::vector<CppToken::Kind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  // int x = 42 ; foo ( "" , '' ) ;
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[3].kind, CppToken::kNumber);
+  EXPECT_EQ(toks[3].text, "42");
+}
+
+TEST(CppLexerTest, CommentsAndStringsDropped) {
+  auto toks = TokenizeCpp("/* txn_begin() */ a; // put(x)\n\"del(k)\"");
+  for (const auto& t : toks) {
+    EXPECT_NE(t.text, "txn_begin");
+    EXPECT_NE(t.text, "put");
+    EXPECT_NE(t.text, "del");
+  }
+}
+
+TEST(CppLexerTest, PreprocessorCaptured) {
+  auto toks = TokenizeCpp("#include <bdb/c_style.h>\nint main() {}");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, CppToken::kPreproc);
+  EXPECT_NE(toks[0].text.find("bdb/c_style.h"), std::string::npos);
+}
+
+TEST(CppLexerTest, MultiCharOperators) {
+  auto toks = TokenizeCpp("a->b; c::d; e || f;");
+  std::vector<std::string> punct;
+  for (const auto& t : toks) {
+    if (t.kind == CppToken::kPunct) punct.push_back(t.text);
+  }
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "->"), punct.end());
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "::"), punct.end());
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "||"), punct.end());
+}
+
+constexpr const char kCalendarApp[] = R"cpp(
+#include <bdb/c_style.h>
+
+static void load_entries(FameBdbC* db) {
+  db->cursor([](const Slice& k, const Slice& v) { return true; });
+}
+
+int add_entry(FameBdbC& db, const char* key, const char* text) {
+  int flags = DB_CREATE | DB_INIT_TXN;
+  DbEnv env;
+  env.open("/data/cal", flags);
+  Db database;
+  database.open("entries", DB_BTREE);
+  database.put(key, text);
+  return 0;
+}
+
+void unused_admin_tool(Db& db) {
+  db.verify();
+}
+
+int main() {
+  FameBdbC* db = 0;
+  load_entries(db);
+  Db database;
+  add_entry(*reinterpret_cast<FameBdbC*>(db), "k", "v");
+  return 0;
+}
+)cpp";
+
+TEST(AppModelTest, FindsFunctionsAndCalls) {
+  ApplicationModel model = ApplicationModel::Build({kCalendarApp});
+  EXPECT_GE(model.functions().count("main"), 1u);
+  EXPECT_GE(model.functions().count("add_entry"), 1u);
+  EXPECT_TRUE(model.Calls("put"));
+  EXPECT_TRUE(model.Calls("cursor"));
+  EXPECT_TRUE(model.Includes("bdb/c_style.h"));
+}
+
+TEST(AppModelTest, ReceiverTypesResolved) {
+  ApplicationModel model = ApplicationModel::Build({kCalendarApp});
+  EXPECT_TRUE(model.Calls("DbEnv::open"));
+  EXPECT_TRUE(model.Calls("Db::open"));
+  EXPECT_FALSE(model.Calls("DbEnv::put"));
+  EXPECT_TRUE(model.UsesType("DbEnv"));
+  EXPECT_TRUE(model.UsesType("FameBdbC"));
+}
+
+TEST(AppModelTest, FlagDataFlowThroughVariables) {
+  ApplicationModel model = ApplicationModel::Build({kCalendarApp});
+  // `flags` carries DB_CREATE | DB_INIT_TXN into env.open(...).
+  EXPECT_TRUE(model.CallsWithFlag("DbEnv::open", "DB_INIT_TXN"));
+  EXPECT_TRUE(model.CallsWithFlag("DbEnv::open", "DB_CREATE"));
+  EXPECT_FALSE(model.CallsWithFlag("DbEnv::open", "DB_ENCRYPT"));
+  // Direct flag argument at the call site.
+  EXPECT_TRUE(model.CallsWithFlag("Db::open", "DB_BTREE"));
+}
+
+TEST(AppModelTest, UnreachableCodeDoesNotWitnessFeatures) {
+  ApplicationModel model = ApplicationModel::Build({kCalendarApp});
+  // verify() only occurs in unused_admin_tool, which main never reaches.
+  EXPECT_FALSE(model.Calls("verify"));
+  auto it = model.functions().find("unused_admin_tool");
+  ASSERT_NE(it, model.functions().end());
+  EXPECT_FALSE(it->second.reachable);
+}
+
+TEST(AppModelTest, NoMainMeansEverythingReachable) {
+  ApplicationModel model = ApplicationModel::Build(
+      {"void helper(Db& db) { db.verify(); }"});
+  EXPECT_TRUE(model.Calls("verify"));
+}
+
+TEST(AppModelTest, MultipleTranslationUnits) {
+  ApplicationModel model = ApplicationModel::Build({
+      "void util(Db& d) { d.del(1); }",
+      "void util2(Db& d); int main() { Db d; util(d); util2(d); }",
+      "void util2(Db& d) { d.stat(); }",
+  });
+  EXPECT_TRUE(model.Calls("del"));
+  EXPECT_TRUE(model.Calls("stat"));
+}
+
+TEST(AppModelTest, DefinedFlagMacrosExpand) {
+  const char* src = R"cpp(
+#include <bdb/c_style.h>
+#define APP_ENV_FLAGS (DB_CREATE | DB_INIT_TXN)
+#define APP_AM DB_QUEUE
+int main() {
+  DbEnv env;
+  env.open("/data", APP_ENV_FLAGS);
+  Db db;
+  db.open("q", APP_AM);
+  return 0;
+}
+)cpp";
+  ApplicationModel model = ApplicationModel::Build({src});
+  EXPECT_TRUE(model.CallsWithFlag("DbEnv::open", "DB_INIT_TXN"));
+  EXPECT_TRUE(model.CallsWithFlag("DbEnv::open", "DB_CREATE"));
+  EXPECT_TRUE(model.CallsWithFlag("Db::open", "DB_QUEUE"));
+  EXPECT_FALSE(model.CallsWithFlag("Db::open", "DB_INIT_TXN"));
+}
+
+// ------------------------------------------------------------ queries
+
+TEST(QueryTest, ParsesAndEvaluatesPredicates) {
+  ApplicationModel model = ApplicationModel::Build({kCalendarApp});
+  auto q = ParseQuery("callsWithFlag(DbEnv::open, DB_INIT_TXN)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE((*q)->Eval(model));
+  q = ParseQuery("calls(rep_start)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE((*q)->Eval(model));
+}
+
+TEST(QueryTest, BooleanConnectives) {
+  ApplicationModel model = ApplicationModel::Build({kCalendarApp});
+  auto q = ParseQuery("calls(put) and not calls(verify)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->Eval(model));
+  q = ParseQuery("calls(verify) or calls(cursor)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->Eval(model));
+  q = ParseQuery("(calls(put) or calls(verify)) and includes(bdb)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->Eval(model));
+  q = ParseQuery("not (calls(put) or true)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE((*q)->Eval(model));
+}
+
+TEST(QueryTest, PrecedenceAndOverOr) {
+  ApplicationModel empty = ApplicationModel::Build({""});
+  // true or (false and false) = true; ((true or false) and false) = false.
+  auto q = ParseQuery("true or false and false");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->Eval(empty));
+}
+
+TEST(QueryTest, ParseErrors) {
+  EXPECT_FALSE(ParseQuery("calls(").ok());
+  EXPECT_FALSE(ParseQuery("callsWithFlag(open)").ok());
+  EXPECT_FALSE(ParseQuery("bogus(x)").ok());
+  EXPECT_FALSE(ParseQuery("calls(x) garbage").ok());
+  EXPECT_FALSE(ParseQuery("").ok());
+}
+
+TEST(QueryTest, ToStringRoundTrips) {
+  auto q = ParseQuery("calls(put) and not usesType(Db)");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery((*q)->ToString());
+  ASSERT_TRUE(q2.ok()) << (*q)->ToString();
+}
+
+// ------------------------------------------------------------ detector
+
+TEST(DetectorTest, CatalogueCounts) {
+  FeatureDetector d = BuildFameBdbDetector();
+  // The paper's §3.1 statistic: 18 examined features, 15 derivable.
+  EXPECT_EQ(d.registered(), 18u);
+  EXPECT_EQ(d.derivable(), 15u);
+}
+
+TEST(DetectorTest, DetectsTransactionNeedFromFlags) {
+  FeatureDetector d = BuildFameBdbDetector();
+  ApplicationModel model = ApplicationModel::Build({kCalendarApp});
+  auto results = d.Detect(model);
+  auto find = [&](const std::string& f) -> const DetectionResult& {
+    for (const auto& r : results) {
+      if (r.feature == f) return r;
+    }
+    static DetectionResult none;
+    return none;
+  };
+  EXPECT_TRUE(find("TRANSACTIONS").needed);  // the paper's own example
+  EXPECT_TRUE(find("BTREE").needed);
+  EXPECT_TRUE(find("CURSOR").needed);
+  EXPECT_FALSE(find("CRYPTO").needed);
+  EXPECT_FALSE(find("REPLICATION").needed);
+  EXPECT_FALSE(find("VERIFY").needed);  // unreachable code!
+  EXPECT_FALSE(find("DIAGNOSTIC").derivable);
+}
+
+TEST(DetectorTest, NeededFeaturesList) {
+  FeatureDetector d = BuildFameBdbDetector();
+  ApplicationModel model = ApplicationModel::Build(
+      {"int main() { Db d; d.open(\"x\", DB_QUEUE); d.enqueue(r); "
+       "d.dequeue(&r); d.stat(); return 0; }"});
+  auto needed = d.NeededFeatures(model);
+  EXPECT_NE(std::find(needed.begin(), needed.end(), "QUEUE"), needed.end());
+  EXPECT_NE(std::find(needed.begin(), needed.end(), "STATISTICS"),
+            needed.end());
+  EXPECT_EQ(std::find(needed.begin(), needed.end(), "TRANSACTIONS"),
+            needed.end());
+}
+
+TEST(DetectorTest, RejectsMalformedQuery) {
+  FeatureDetector d;
+  EXPECT_FALSE(d.Register("F", "calls(").ok());
+  EXPECT_TRUE(d.Register("F", "calls(x)").ok());
+}
+
+}  // namespace
+}  // namespace fame::analysis

@@ -1,0 +1,166 @@
+// Integration tests for the end-to-end derivation pipeline (Figure 3 →
+// §3.2): analyze client sources, detect needed FAME-DBMS features,
+// propagate, complete under NFP constraints, and hand the result to
+// Database::Open.
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "derivation/pipeline.h"
+#include "featuremodel/fame_model.h"
+
+namespace fame::derivation {
+namespace {
+
+constexpr const char kCalendarSource[] = R"cpp(
+#include <core/database.h>
+// A personal calendar application (the paper's running example).
+int main() {
+  DbOptions opts;
+  Database* db = 0;
+  db->Put("2026-07-08", "EDBT deadline");
+  std::string v;
+  db->Get("2026-07-08", &v);
+  db->RangeScan("2026-07-01", "2026-08-01", 0);
+  auto txn = db->Begin();
+  db->Commit(txn);
+  return 0;
+}
+)cpp";
+
+constexpr const char kSensorSource[] = R"cpp(
+// Tiny sensor firmware: append-only readings, point reads.
+int main() {
+  Database* db = 0;
+  db->Put("t0", "21.5");
+  std::string v;
+  db->Get("t0", &v);
+  return 0;
+}
+)cpp";
+
+TEST(PipelineTest, DetectsCalendarFeatureNeeds) {
+  auto model = fm::BuildFameDbmsModel();
+  DerivationPipeline pipeline(model.get());
+  auto features = pipeline.DetectFeatures({kCalendarSource});
+  ASSERT_TRUE(features.ok());
+  auto has = [&](const char* f) {
+    return std::find(features->begin(), features->end(), f) !=
+           features->end();
+  };
+  EXPECT_TRUE(has("Put"));
+  EXPECT_TRUE(has("Transaction"));
+  EXPECT_TRUE(has("B+-Tree"));  // RangeScan witnessed
+  EXPECT_TRUE(has("API"));
+  EXPECT_FALSE(has("SQL-Engine"));
+  EXPECT_FALSE(has("Remove"));
+}
+
+TEST(PipelineTest, SensorAppNeedsLess) {
+  auto model = fm::BuildFameDbmsModel();
+  DerivationPipeline pipeline(model.get());
+  auto features = pipeline.DetectFeatures({kSensorSource});
+  ASSERT_TRUE(features.ok());
+  auto has = [&](const char* f) {
+    return std::find(features->begin(), features->end(), f) !=
+           features->end();
+  };
+  EXPECT_TRUE(has("Put"));
+  EXPECT_FALSE(has("Transaction"));
+  EXPECT_FALSE(has("B+-Tree"));
+  EXPECT_FALSE(has("Update"));
+}
+
+TEST(PipelineTest, RunWithoutNfpGivesMinimalCompletion) {
+  auto model = fm::BuildFameDbmsModel();
+  DerivationPipeline pipeline(model.get());
+  nfp::FeedbackRepository empty;
+  auto report = pipeline.Run({kSensorSource}, {}, empty);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(model->ValidateComplete(report->derived).ok());
+  // Minimal: no transaction machinery for the sensor app.
+  EXPECT_FALSE(report->derived.IsSelected(*model->Find("Transaction")));
+  EXPECT_TRUE(report->derived.IsSelected(*model->Find("Put")));
+  std::string text = report->ToText();
+  EXPECT_NE(text.find("derived product:"), std::string::npos);
+}
+
+TEST(PipelineTest, CalendarDerivationIncludesTransactions) {
+  auto model = fm::BuildFameDbmsModel();
+  DerivationPipeline pipeline(model.get());
+  nfp::FeedbackRepository empty;
+  auto report = pipeline.Run({kCalendarSource}, {}, empty);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->derived.IsSelected(*model->Find("Transaction")));
+  // Commit-Protocol alternative was auto-resolved to satisfy the model.
+  bool wal = report->derived.IsSelected(*model->Find("WAL-Redo"));
+  bool force = report->derived.IsSelected(*model->Find("Force-Commit"));
+  EXPECT_TRUE(wal != force);
+}
+
+TEST(PipelineTest, NfpConstrainedDerivationStaysInBudget) {
+  auto model = fm::BuildFameDbmsModel();
+  DerivationPipeline pipeline(model.get());
+  // Synthetic repository: minimal product ~40 KB, features add size.
+  nfp::FeedbackRepository repo;
+  auto add = [&repo](std::vector<std::string> features, double kb) {
+    nfp::MeasuredProduct p;
+    p.features = std::move(features);
+    p.values[nfp::NfpKind::kBinarySize] = kb * 1024;
+    repo.Add(std::move(p));
+  };
+  std::vector<std::string> base = {"FAME-DBMS", "OS-Abstraction", "Linux",
+                                   "Buffer-Manager", "Replacement", "LRU",
+                                   "Memory-Alloc", "Dynamic", "Storage",
+                                   "Index", "List", "Data-Types",
+                                   "Int-Types", "Access", "Get", "Put"};
+  add(base, 40);
+  auto plus = [&base](std::initializer_list<const char*> extra) {
+    std::vector<std::string> v = base;
+    for (const char* e : extra) v.push_back(e);
+    return v;
+  };
+  add(plus({"Remove"}), 44);
+  add(plus({"Update"}), 45);
+  add(plus({"Remove", "Update"}), 49);
+  add(plus({"Transaction", "Commit-Protocol", "WAL-Redo", "Update"}), 85);
+  add(plus({"API"}), 50);
+  add(plus({"API", "Remove", "Update"}), 59);
+
+  std::vector<nfp::ResourceConstraint> constraints = {
+      {nfp::NfpKind::kBinarySize, 128 * 1024}};
+  auto report = pipeline.Run({kSensorSource}, constraints, repo);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(model->ValidateComplete(report->derived).ok());
+  EXPECT_LE(report->estimates.at(nfp::NfpKind::kBinarySize), 128 * 1024 + 512);
+}
+
+TEST(PipelineTest, DerivedConfigurationOpensAsDatabase) {
+  auto model = fm::BuildFameDbmsModel();
+  DerivationPipeline pipeline(model.get());
+  nfp::FeedbackRepository empty;
+  auto report = pipeline.Run({kCalendarSource}, {}, empty);
+  ASSERT_TRUE(report.ok());
+
+  auto env = osal::NewMemEnv(0);
+  core::DbOptions opts;
+  opts.features.clear();
+  for (fm::FeatureId id = 0; id < model->size(); ++id) {
+    if (report->derived.IsSelected(id)) {
+      opts.features.push_back(model->feature(id).name);
+    }
+  }
+  opts.env = env.get();
+  opts.path = "derived.db";
+  auto db = core::Database::Open(opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // The derived product really supports what the app needs...
+  ASSERT_TRUE((*db)->Put("2026-07-08", "works").ok());
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+  // ...and nothing it does not (calendar never deletes).
+  EXPECT_EQ((*db)->Remove("2026-07-08").code(), StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace fame::derivation

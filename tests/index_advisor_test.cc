@@ -1,0 +1,123 @@
+// Tests for the data-driven index advisor (the paper's "statically select
+// the optimal index" future work): the cost model's decision behaviour,
+// measurement-backed calibration, the decision crossover, and integration
+// with feature-model propagation.
+#include <gtest/gtest.h>
+
+#include "core/index_advisor.h"
+#include "featuremodel/fame_model.h"
+
+namespace fame::core {
+namespace {
+
+TEST(IndexAdvisorTest, TinyDatasetPrefersList) {
+  WorkloadProfile profile;
+  profile.expected_entries = 20;
+  profile.point_lookup_fraction = 0.8;
+  profile.write_fraction = 0.2;
+  IndexRecommendation rec = AdviseIndex(profile);
+  EXPECT_EQ(rec.feature, "List");
+  EXPECT_LE(rec.list_cost, rec.btree_cost);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(IndexAdvisorTest, LargeDatasetPrefersBtree) {
+  WorkloadProfile profile;
+  profile.expected_entries = 100'000;
+  profile.point_lookup_fraction = 0.8;
+  profile.write_fraction = 0.2;
+  IndexRecommendation rec = AdviseIndex(profile);
+  EXPECT_EQ(rec.feature, "B+-Tree");
+  EXPECT_LT(rec.btree_cost, rec.list_cost);
+}
+
+TEST(IndexAdvisorTest, OrderRequirementForcesBtree) {
+  WorkloadProfile profile;
+  profile.expected_entries = 10;  // List would win on cost
+  profile.requires_order = true;
+  IndexRecommendation rec = AdviseIndex(profile);
+  EXPECT_EQ(rec.feature, "B+-Tree");
+  EXPECT_NE(rec.rationale.find("order"), std::string::npos);
+}
+
+TEST(IndexAdvisorTest, RangeHeavyWorkloadForcesBtree) {
+  WorkloadProfile profile;
+  profile.expected_entries = 50;
+  profile.point_lookup_fraction = 0.3;
+  profile.range_scan_fraction = 0.5;
+  profile.write_fraction = 0.2;
+  IndexRecommendation rec = AdviseIndex(profile);
+  EXPECT_EQ(rec.feature, "B+-Tree");
+}
+
+TEST(IndexAdvisorTest, DecisionHasACrossover) {
+  // Somewhere between tiny and huge the recommendation flips exactly once.
+  WorkloadProfile profile;
+  profile.point_lookup_fraction = 0.7;
+  profile.write_fraction = 0.3;
+  bool seen_btree = false;
+  int flips = 0;
+  std::string last;
+  for (uint64_t n : {8, 32, 128, 512, 2048, 8192, 32768, 131072}) {
+    profile.expected_entries = n;
+    IndexRecommendation rec = AdviseIndex(profile);
+    if (!last.empty() && rec.feature != last) ++flips;
+    last = rec.feature;
+    if (rec.feature == "B+-Tree") seen_btree = true;
+  }
+  EXPECT_TRUE(seen_btree);
+  EXPECT_EQ(flips, 1);  // monotone decision boundary
+}
+
+TEST(IndexAdvisorTest, CalibrationProducesSaneModel) {
+  auto model = Calibrate(4096);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT(model->btree_base, 0);
+  EXPECT_GT(model->btree_per_level, 0);
+  EXPECT_GT(model->list_per_entry, 0);
+  // Measured reality check: with the calibrated model a 100k-entry
+  // point-lookup workload must prefer the B+-tree...
+  WorkloadProfile big;
+  big.expected_entries = 100'000;
+  big.point_lookup_fraction = 1.0;
+  big.write_fraction = 0;
+  EXPECT_EQ(AdviseIndex(big, *model).feature, "B+-Tree");
+  // ...and a 4-entry configuration store the List.
+  WorkloadProfile tiny;
+  tiny.expected_entries = 4;
+  tiny.point_lookup_fraction = 1.0;
+  tiny.write_fraction = 0;
+  EXPECT_EQ(AdviseIndex(tiny, *model).feature, "List");
+}
+
+TEST(IndexAdvisorTest, RecommendationDrivesConfiguration) {
+  auto model = fm::BuildFameDbmsModel();
+  WorkloadProfile profile;
+  profile.expected_entries = 16;
+  IndexRecommendation rec = AdviseIndex(profile);
+  ASSERT_EQ(rec.feature, "List");
+
+  fm::Configuration config(model.get());
+  ASSERT_TRUE(ApplyRecommendation(rec, &config).ok());
+  EXPECT_TRUE(config.IsSelected(*model->Find("List")));
+  EXPECT_TRUE(config.IsExcluded(*model->Find("B+-Tree")));  // alternative
+  // The completed product is valid.
+  ASSERT_TRUE(model->CompleteMinimal(&config).ok());
+  EXPECT_TRUE(model->ValidateComplete(config).ok());
+}
+
+TEST(IndexAdvisorTest, RecommendationConflictsSurface) {
+  // An application that already forced the B+-tree (e.g. it range-scans)
+  // cannot take a List recommendation: the model catches it.
+  auto model = fm::BuildFameDbmsModel();
+  fm::Configuration config(model.get());
+  ASSERT_TRUE(config.SelectByName("B+-Tree").ok());
+  ASSERT_TRUE(model->Propagate(&config).ok());
+  IndexRecommendation rec;
+  rec.feature = "List";
+  EXPECT_EQ(ApplyRecommendation(rec, &config).code(),
+            StatusCode::kConfigInvalid);
+}
+
+}  // namespace
+}  // namespace fame::core

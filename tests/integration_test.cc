@@ -1,0 +1,228 @@
+// Cross-module integration and property tests:
+//   - SQL engine vs an in-memory oracle under random DML
+//   - buffer-manager pin/eviction invariants under random churn
+//   - RAM-peak NFP measurement through the tracking allocator, feeding the
+//     feedback repository (the §3.2 loop with a second property kind)
+//   - derived products running their deriving application's workload
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "core/sql.h"
+#include "nfp/estimator.h"
+#include "osal/allocator.h"
+#include "storage/buffer.h"
+
+namespace fame {
+namespace {
+
+// ------------------------------------------------------------ SQL property
+
+TEST(SqlPropertyTest, RandomDmlMatchesOracle) {
+  auto env = osal::NewMemEnv(0);
+  core::DbOptions opts;
+  opts.features = {"Linux",  "B+-Tree",      "SQL-Engine", "Optimizer",
+                   "Remove", "BTree-Remove", "Update",     "BTree-Update",
+                   "Int-Types", "String-Types"};
+  opts.env = env.get();
+  opts.path = "db";
+  auto db = core::Database::Open(opts);
+  ASSERT_TRUE(db.ok());
+  core::SqlEngine* sql = (*db)->sql();
+  ASSERT_NE(sql, nullptr);
+  ASSERT_TRUE(sql->Execute("CREATE TABLE t (k INT, v INT)").ok());
+
+  std::map<int64_t, int64_t> oracle;
+  Random rng(321);
+  for (int step = 0; step < 400; ++step) {
+    int64_t k = static_cast<int64_t>(rng.Uniform(60));
+    int op = static_cast<int>(rng.Uniform(4));
+    if (op == 0) {  // insert (upsert semantics via InsertRow)
+      int64_t v = static_cast<int64_t>(rng.Uniform(1000));
+      auto rs = sql->Execute("INSERT INTO t VALUES (" + std::to_string(k) +
+                             ", " + std::to_string(v) + ")");
+      ASSERT_TRUE(rs.ok());
+      oracle[k] = v;
+    } else if (op == 1) {  // delete
+      auto rs = sql->Execute("DELETE FROM t WHERE k = " + std::to_string(k));
+      ASSERT_TRUE(rs.ok());
+      EXPECT_EQ(rs->affected, oracle.erase(k));
+    } else if (op == 2) {  // update a value range
+      int64_t v = static_cast<int64_t>(rng.Uniform(1000));
+      auto rs = sql->Execute("UPDATE t SET v = " + std::to_string(v) +
+                             " WHERE k >= " + std::to_string(k));
+      ASSERT_TRUE(rs.ok());
+      uint64_t expect = 0;
+      for (auto& [key, val] : oracle) {
+        if (key >= k) {
+          val = v;
+          ++expect;
+        }
+      }
+      EXPECT_EQ(rs->affected, expect);
+    } else {  // range query
+      auto rs = sql->Execute("SELECT k, v FROM t WHERE k < " +
+                             std::to_string(k) + " ORDER BY k");
+      ASSERT_TRUE(rs.ok());
+      size_t expect = 0;
+      for (const auto& [key, val] : oracle) {
+        if (key < k) ++expect;
+      }
+      ASSERT_EQ(rs->rows.size(), expect);
+      int64_t prev = INT64_MIN;
+      for (const core::Row& row : rs->rows) {
+        int64_t key = row[0].AsInt();
+        EXPECT_GT(key, prev);
+        prev = key;
+        ASSERT_EQ(row[1].AsInt(), oracle.at(key));
+      }
+    }
+  }
+  // Aggregate cross-check at the end.
+  auto rs = sql->Execute("SELECT COUNT(*), SUM(v) FROM t");
+  ASSERT_TRUE(rs.ok());
+  int64_t sum = 0;
+  for (const auto& [k, v] : oracle) sum += v;
+  EXPECT_EQ(rs->rows[0][0].AsInt(), static_cast<int64_t>(oracle.size()));
+  if (oracle.empty()) {
+    EXPECT_TRUE(rs->rows[0][1].is_null());
+  } else {
+    EXPECT_EQ(rs->rows[0][1].AsInt(), sum);
+  }
+}
+
+// ------------------------------------------------------ buffer invariants
+
+TEST(BufferInvariantTest, RandomChurnKeepsPoolConsistent) {
+  auto env = osal::NewMemEnv(0);
+  osal::DynamicAllocator alloc;
+  auto pf = storage::PageFile::Open(env.get(), "db",
+                                    storage::PageFileOptions{});
+  ASSERT_TRUE(pf.ok());
+  auto bm_or = storage::BufferManager::Create(
+      pf->get(), 8, &alloc, storage::MakeReplacementPolicy("lru"));
+  ASSERT_TRUE(bm_or.ok());
+  auto& bm = *bm_or;
+
+  std::vector<storage::PageId> pages;
+  std::map<storage::PageId, char> stamp;  // expected first record byte
+  std::vector<storage::PageGuard> held;
+  Random rng(11);
+
+  for (int step = 0; step < 4000; ++step) {
+    int op = static_cast<int>(rng.Uniform(10));
+    if (op < 2 && pages.size() < 200) {  // create
+      auto guard = bm->New(storage::PageType::kHeap);
+      ASSERT_TRUE(guard.ok());
+      char c = static_cast<char>('a' + rng.Uniform(26));
+      ASSERT_TRUE(guard->page().Insert(Slice(&c, 1)).ok());
+      guard->MarkDirty();
+      stamp[guard->id()] = c;
+      pages.push_back(guard->id());
+    } else if (op < 7 && !pages.empty()) {  // fetch + verify
+      storage::PageId id = pages[rng.Uniform(pages.size())];
+      auto guard = bm->Fetch(id);
+      ASSERT_TRUE(guard.ok()) << guard.status().ToString();
+      auto rec = guard->page().Get(0);
+      ASSERT_TRUE(rec.ok());
+      ASSERT_EQ((*rec)[0], stamp.at(id)) << "page " << id;
+      if (rng.OneIn(4) && held.size() < 6) {
+        held.push_back(std::move(*guard));  // keep pinned a while
+      }
+    } else if (op < 8 && !held.empty()) {  // release a held pin
+      held.erase(held.begin() +
+                 static_cast<long>(rng.Uniform(held.size())));
+    } else if (!pages.empty() && rng.OneIn(3)) {  // rewrite
+      storage::PageId id = pages[rng.Uniform(pages.size())];
+      auto guard = bm->Fetch(id);
+      ASSERT_TRUE(guard.ok());
+      char c = static_cast<char>('A' + rng.Uniform(26));
+      ASSERT_TRUE(guard->page().Update(0, Slice(&c, 1)).ok());
+      guard->MarkDirty();
+      stamp[id] = c;
+    }
+    // Invariant: pinned frames never exceed pins held by the test.
+    ASSERT_LE(bm->pinned_frames(), held.size());
+  }
+  held.clear();
+  ASSERT_EQ(bm->pinned_frames(), 0u);
+  ASSERT_TRUE(bm->Checkpoint().ok());
+  // Everything still reads back correctly after full churn.
+  for (storage::PageId id : pages) {
+    auto guard = bm->Fetch(id);
+    ASSERT_TRUE(guard.ok());
+    auto rec = guard->page().Get(0);
+    ASSERT_TRUE(rec.ok());
+    ASSERT_EQ((*rec)[0], stamp.at(id));
+  }
+}
+
+// ------------------------------------------------------------ RAM NFP loop
+
+TEST(RamNfpTest, TrackingAllocatorMeasuresProductRam) {
+  // Measure peak RAM of two products differing in one feature (buffer pool
+  // size stands in for a feature-controlled resource), store both in a
+  // feedback repository, and fit an estimator over kRamPeak — the §3.2
+  // loop with a property other than binary size.
+  auto measure = [](size_t frames) -> size_t {
+    auto env = osal::NewMemEnv(0);
+    osal::DynamicAllocator base;
+    osal::TrackingAllocator tracking(&base);
+    auto pf = storage::PageFile::Open(env.get(), "db",
+                                      storage::PageFileOptions{});
+    EXPECT_TRUE(pf.ok());
+    auto bm = storage::BufferManager::Create(
+        pf->get(), frames, &tracking, storage::MakeReplacementPolicy("lru"));
+    EXPECT_TRUE(bm.ok());
+    for (int i = 0; i < 64; ++i) {
+      auto guard = (*bm)->New(storage::PageType::kHeap);
+      EXPECT_TRUE(guard.ok());
+    }
+    return tracking.peak_bytes();
+  };
+  size_t small = measure(8);
+  size_t large = measure(64);
+  EXPECT_EQ(small, 8u * 4096);
+  EXPECT_EQ(large, 64u * 4096);
+
+  nfp::FeedbackRepository repo;
+  repo.Add({{"base"}, {{nfp::NfpKind::kRamPeak, static_cast<double>(small)}}});
+  repo.Add({{"base", "big-pool"},
+            {{nfp::NfpKind::kRamPeak, static_cast<double>(large)}}});
+  auto est = nfp::AdditiveEstimator::Fit(repo, nfp::NfpKind::kRamPeak);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->FeatureWeight("big-pool"),
+              static_cast<double>(large - small), 1.0);
+}
+
+// ----------------------------------------------- static pool end-to-end
+
+TEST(StaticPoolIntegrationTest, DatabaseRunsEntirelyFromFixedArena) {
+  // A Static product's buffer pool must live in the fixed arena and the
+  // arena must bound it: too-small pools fail cleanly at Open.
+  core::DbOptions opts;
+  opts.features = {"NutOS", "List"};
+  opts.nutos_capacity_bytes = 512 * 1024;
+  opts.page_size = 512;
+  opts.buffer_frames = 8;
+  opts.static_pool_bytes = 8 * 512 + 512;  // just enough (+ headers)
+  auto db = core::Database::Open(opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        (*db)->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  std::string v;
+  ASSERT_TRUE((*db)->Get("k123", &v).ok());
+  EXPECT_EQ(v, "v123");
+
+  core::DbOptions tiny = opts;
+  tiny.static_pool_bytes = 3 * 512;  // cannot hold 8 frames
+  auto fail = core::Database::Open(tiny);
+  EXPECT_EQ(fail.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace fame

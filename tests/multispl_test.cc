@@ -1,0 +1,212 @@
+// Tests for multi-SPL composition (the paper's whole-system optimization
+// future work): composing an OS product line with the FAME-DBMS product
+// line, cross-SPL constraints, joint derivation, and projection back onto
+// constituent SPLs.
+#include <gtest/gtest.h>
+
+#include "featuremodel/fame_model.h"
+#include "featuremodel/multispl.h"
+#include "featuremodel/parser.h"
+#include "nfp/optimizer.h"
+
+namespace fame::fm {
+namespace {
+
+/// A small embedded-OS product line.
+std::unique_ptr<FeatureModel> OsModel() {
+  auto m = ParseModel(R"(
+    feature EmbeddedOS {
+      mandatory Scheduler abstract alternative {
+        mandatory Cooperative
+        mandatory Preemptive
+      }
+      optional Heap-Allocator
+      optional File-System
+      optional Network
+    }
+    constraints {
+      Network requires Preemptive;
+    }
+  )");
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m).value();
+}
+
+TEST(MultiSplTest, ComposesTwoSpls) {
+  auto os = OsModel();
+  auto dbms = BuildFameDbmsModel();
+  MultiSplComposer composer("device");
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  ASSERT_TRUE(composer.AddSpl("dbms", *dbms).ok());
+  auto composite = composer.Compose();
+  ASSERT_TRUE(composite.ok()) << composite.status().ToString();
+  // 1 synthetic root + all features of both SPLs.
+  EXPECT_EQ((*composite)->size(), 1 + os->size() + dbms->size());
+  EXPECT_TRUE((*composite)->Has("os.EmbeddedOS"));
+  EXPECT_TRUE((*composite)->Has("os.Scheduler"));
+  EXPECT_TRUE((*composite)->Has("dbms.FAME-DBMS"));
+  EXPECT_TRUE((*composite)->Has("dbms.B+-Tree"));
+  EXPECT_FALSE((*composite)->Has("B+-Tree"));  // everything namespaced
+}
+
+TEST(MultiSplTest, RejectsBadSplNames) {
+  auto os = OsModel();
+  MultiSplComposer composer("device");
+  EXPECT_FALSE(composer.AddSpl("", *os).ok());
+  EXPECT_FALSE(composer.AddSpl("a.b", *os).ok());
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  EXPECT_FALSE(composer.AddSpl("os", *os).ok());  // duplicate
+}
+
+TEST(MultiSplTest, IntraSplConstraintsSurvive) {
+  auto os = OsModel();
+  MultiSplComposer composer("device");
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  auto composite = composer.Compose();
+  ASSERT_TRUE(composite.ok());
+  Configuration c(composite->get());
+  ASSERT_TRUE(c.SelectByName("os.Network").ok());
+  ASSERT_TRUE((*composite)->Propagate(&c).ok());
+  EXPECT_TRUE(c.IsSelected(*(*composite)->Find("os.Preemptive")));
+  EXPECT_TRUE(c.IsExcluded(*(*composite)->Find("os.Cooperative")));
+}
+
+TEST(MultiSplTest, CrossSplConstraintsPropagate) {
+  auto os = OsModel();
+  auto dbms = BuildFameDbmsModel();
+  MultiSplComposer composer("device");
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  ASSERT_TRUE(composer.AddSpl("dbms", *dbms).ok());
+  // Whole-system knowledge the paper's vision calls for: the DBMS's
+  // dynamic allocation needs the OS heap; the Linux OS-abstraction of the
+  // DBMS needs a file system underneath.
+  ASSERT_TRUE(composer.AddRequires("dbms.Dynamic", "os.Heap-Allocator").ok());
+  ASSERT_TRUE(composer.AddRequires("dbms.Linux", "os.File-System").ok());
+  ASSERT_TRUE(composer.AddExcludes("dbms.NutOS", "os.File-System").ok());
+  auto composite = composer.Compose();
+  ASSERT_TRUE(composite.ok());
+
+  Configuration c(composite->get());
+  ASSERT_TRUE(c.SelectByName("dbms.Linux").ok());
+  ASSERT_TRUE(c.SelectByName("dbms.Dynamic").ok());
+  ASSERT_TRUE((*composite)->Propagate(&c).ok());
+  EXPECT_TRUE(c.IsSelected(*(*composite)->Find("os.File-System")));
+  EXPECT_TRUE(c.IsSelected(*(*composite)->Find("os.Heap-Allocator")));
+
+  // And the other direction: a NutOS product cannot carry a file system.
+  Configuration c2(composite->get());
+  ASSERT_TRUE(c2.SelectByName("dbms.NutOS").ok());
+  ASSERT_TRUE(c2.SelectByName("os.File-System").ok());
+  EXPECT_EQ((*composite)->Propagate(&c2).code(), StatusCode::kConfigInvalid);
+}
+
+TEST(MultiSplTest, UnknownCrossConstraintRejectedAtCompose) {
+  auto os = OsModel();
+  MultiSplComposer composer("device");
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  ASSERT_TRUE(composer.AddRequires("os.Network", "dbms.Transaction").ok());
+  EXPECT_FALSE(composer.Compose().ok());  // dbms SPL never added
+}
+
+TEST(MultiSplTest, CompositeVariantsMultiply) {
+  auto os = OsModel();
+  auto dbms = BuildFameDbmsModel();
+  MultiSplComposer composer("device");
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  ASSERT_TRUE(composer.AddSpl("dbms", *dbms).ok());
+  auto composite = composer.Compose();
+  ASSERT_TRUE(composite.ok());
+  auto os_count = os->CountVariants();
+  auto dbms_count = dbms->CountVariants();
+  auto all = (*composite)->CountVariants(100'000'000);
+  ASSERT_TRUE(os_count.ok());
+  ASSERT_TRUE(dbms_count.ok());
+  ASSERT_TRUE(all.ok());
+  // Without cross-SPL constraints the spaces are independent.
+  EXPECT_EQ(*all, *os_count * *dbms_count);
+}
+
+TEST(MultiSplTest, WholeSystemDerivationAndProjection) {
+  auto os = OsModel();
+  auto dbms = BuildFameDbmsModel();
+  MultiSplComposer composer("device");
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  ASSERT_TRUE(composer.AddSpl("dbms", *dbms).ok());
+  ASSERT_TRUE(composer.AddRequires("dbms.Dynamic", "os.Heap-Allocator").ok());
+  ASSERT_TRUE(composer.AddRequires("dbms.Linux", "os.File-System").ok());
+  auto composite = composer.Compose();
+  ASSERT_TRUE(composite.ok());
+
+  // One derivation over the whole system.
+  Configuration c(composite->get());
+  ASSERT_TRUE(c.SelectByName("dbms.Transaction").ok());
+  ASSERT_TRUE(c.SelectByName("dbms.Linux").ok());
+  ASSERT_TRUE((*composite)->CompleteMinimal(&c).ok());
+  ASSERT_TRUE((*composite)->ValidateComplete(c).ok());
+
+  // Project the DBMS part back — it is a valid variant of the DBMS SPL.
+  std::vector<std::string> dbms_features =
+      ProjectSelection(**composite, c, "dbms");
+  Configuration dbms_config(dbms.get());
+  for (const std::string& f : dbms_features) {
+    ASSERT_TRUE(dbms_config.SelectByName(f).ok()) << f;
+  }
+  // All other DBMS features excluded: this must be complete and valid.
+  for (FeatureId id = 0; id < dbms->size(); ++id) {
+    if (dbms_config.Get(id) == Decision::kUnknown) {
+      ASSERT_TRUE(dbms_config.Exclude(id).ok());
+    }
+  }
+  EXPECT_TRUE(dbms->ValidateComplete(dbms_config).ok());
+  // The OS side satisfied the cross-SPL needs.
+  EXPECT_TRUE(c.IsSelected(*(*composite)->Find("os.File-System")));
+}
+
+TEST(MultiSplTest, NfpDerivationOverComposite) {
+  // Whole-system greedy derivation with a budget spanning both SPLs.
+  auto os = OsModel();
+  auto dbms = BuildFameDbmsModel();
+  MultiSplComposer composer("device");
+  ASSERT_TRUE(composer.AddSpl("os", *os).ok());
+  ASSERT_TRUE(composer.AddSpl("dbms", *dbms).ok());
+  auto composite_or = composer.Compose();
+  ASSERT_TRUE(composite_or.ok());
+  auto& composite = *composite_or;
+
+  nfp::FeedbackRepository repo;
+  const std::map<std::string, double> costs = {
+      {"os.Heap-Allocator", 6}, {"os.File-System", 14}, {"os.Network", 20},
+      {"os.Preemptive", 4},     {"dbms.Transaction", 34},
+      {"dbms.SQL-Engine", 28},  {"dbms.API", 9},        {"dbms.B+-Tree", 18},
+      {"dbms.List", 6}};
+  auto variants = composite->EnumerateVariants(200'000);
+  ASSERT_TRUE(variants.ok());
+  size_t i = 0;
+  for (const auto& v : *variants) {
+    if (++i % 97 != 0) continue;
+    nfp::MeasuredProduct mp;
+    mp.features = v.SelectedNames();
+    double kb = 60;
+    for (const std::string& f : mp.features) {
+      auto it = costs.find(f);
+      if (it != costs.end()) kb += it->second;
+    }
+    mp.values[nfp::NfpKind::kBinarySize] = kb;
+    repo.Add(std::move(mp));
+  }
+  ASSERT_GE(repo.size(), 10u);
+
+  nfp::DerivationRequest req;
+  req.partial = Configuration(composite.get());
+  req.constraints = {{nfp::NfpKind::kBinarySize, 130}};
+  req.utility = {{"dbms.Transaction", 10}, {"os.Network", 6}};
+  auto est = nfp::FitEstimators(repo, req.constraints);
+  ASSERT_TRUE(est.ok());
+  auto result = nfp::GreedyDerive(*composite, req, *est);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(composite->ValidateComplete(result->config).ok());
+  EXPECT_LE(result->estimates.at(nfp::NfpKind::kBinarySize), 130.5);
+}
+
+}  // namespace
+}  // namespace fame::fm

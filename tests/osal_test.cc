@@ -1,0 +1,265 @@
+// Unit tests for the OS abstraction layer: the three Env alternatives and
+// the allocator family.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "osal/allocator.h"
+#include "osal/env.h"
+
+namespace fame::osal {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("fame_osal_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+class EnvContractTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "posix") {
+      env_ = GetPosixEnv();
+      prefix_ = TempPath("envtest_");
+    } else {
+      owned_ = NewMemEnv(0);
+      env_ = owned_.get();
+      prefix_ = "/dev/";
+    }
+  }
+  void TearDown() override {
+    for (const auto& f : created_) {
+      if (env_->FileExists(f)) env_->DeleteFile(f);
+    }
+  }
+  std::string Path(const std::string& n) {
+    created_.push_back(prefix_ + n);
+    return prefix_ + n;
+  }
+
+  Env* env_ = nullptr;
+  std::unique_ptr<Env> owned_;
+  std::string prefix_;
+  std::vector<std::string> created_;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvContractTest,
+                         ::testing::Values("posix", "mem"));
+
+TEST_P(EnvContractTest, CreateWriteReadRoundTrip) {
+  std::string path = Path("a");
+  EXPECT_FALSE(env_->FileExists(path));
+  auto f = env_->OpenFile(path, true);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE((*f)->Write(0, "hello world").ok());
+  char buf[32];
+  Slice result;
+  ASSERT_TRUE((*f)->Read(0, 11, buf, &result).ok());
+  EXPECT_EQ(result.ToString(), "hello world");
+  EXPECT_TRUE(env_->FileExists(path));
+}
+
+TEST_P(EnvContractTest, PositionalWriteExtends) {
+  auto f = env_->OpenFile(Path("b"), true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(100, "x").ok());
+  auto size = (*f)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 101u);
+  // Reading the hole yields zero bytes (posix) — both envs must return the
+  // full requested range.
+  char buf[101];
+  Slice result;
+  ASSERT_TRUE((*f)->Read(0, 101, buf, &result).ok());
+  EXPECT_EQ(result.size(), 101u);
+  EXPECT_EQ(result[100], 'x');
+}
+
+TEST_P(EnvContractTest, ReadPastEofIsShort) {
+  auto f = env_->OpenFile(Path("c"), true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(0, "abc").ok());
+  char buf[16];
+  Slice result;
+  ASSERT_TRUE((*f)->Read(1, 10, buf, &result).ok());
+  EXPECT_EQ(result.ToString(), "bc");
+  ASSERT_TRUE((*f)->Read(50, 10, buf, &result).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_P(EnvContractTest, TruncateShrinksAndGrows) {
+  auto f = env_->OpenFile(Path("d"), true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(0, "0123456789").ok());
+  ASSERT_TRUE((*f)->Truncate(4).ok());
+  EXPECT_EQ(*(*f)->Size(), 4u);
+  ASSERT_TRUE((*f)->Truncate(8).ok());
+  EXPECT_EQ(*(*f)->Size(), 8u);
+}
+
+TEST_P(EnvContractTest, OpenMissingWithoutCreateFails) {
+  auto f = env_->OpenFile(prefix_ + "missing_no_create", false);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST_P(EnvContractTest, DeleteRemoves) {
+  std::string path = Path("e");
+  ASSERT_TRUE(env_->OpenFile(path, true).ok());
+  ASSERT_TRUE(env_->DeleteFile(path).ok());
+  EXPECT_FALSE(env_->FileExists(path));
+  EXPECT_FALSE(env_->DeleteFile(path).ok());
+}
+
+TEST_P(EnvContractTest, RenameReplacesTarget) {
+  std::string a = Path("f1"), b = Path("f2");
+  ASSERT_TRUE(env_->WriteStringToFile(a, "AAA").ok());
+  ASSERT_TRUE(env_->WriteStringToFile(b, "BBB").ok());
+  ASSERT_TRUE(env_->RenameFile(a, b).ok());
+  EXPECT_FALSE(env_->FileExists(a));
+  std::string out;
+  ASSERT_TRUE(env_->ReadFileToString(b, &out).ok());
+  EXPECT_EQ(out, "AAA");
+}
+
+TEST_P(EnvContractTest, WholeFileHelpers) {
+  std::string path = Path("g");
+  ASSERT_TRUE(env_->WriteStringToFile(path, "feature model v1").ok());
+  std::string out;
+  ASSERT_TRUE(env_->ReadFileToString(path, &out).ok());
+  EXPECT_EQ(out, "feature model v1");
+  // Overwrite must truncate.
+  ASSERT_TRUE(env_->WriteStringToFile(path, "v2").ok());
+  ASSERT_TRUE(env_->ReadFileToString(path, &out).ok());
+  EXPECT_EQ(out, "v2");
+}
+
+TEST_P(EnvContractTest, ClockIsMonotonicNonDecreasing) {
+  uint64_t a = env_->NowNanos();
+  uint64_t b = env_->NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(MemEnvTest, CapacityEnforced) {
+  auto env = NewMemEnv(1024);
+  auto f = env->OpenFile("data", true);
+  ASSERT_TRUE(f.ok());
+  std::string big(2048, 'x');
+  Status s = (*f)->Write(0, big);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // A small write still fits.
+  EXPECT_TRUE((*f)->Write(0, std::string(512, 'y')).ok());
+}
+
+TEST(MemEnvTest, DeleteReleasesCapacity) {
+  auto env = NewMemEnv(1000);
+  ASSERT_TRUE(env->WriteStringToFile("a", std::string(800, 'x')).ok());
+  // Device nearly full: a second large file fails.
+  EXPECT_FALSE(env->WriteStringToFile("b", std::string(800, 'y')).ok());
+  ASSERT_TRUE(env->DeleteFile("a").ok());
+  EXPECT_TRUE(env->WriteStringToFile("b", std::string(800, 'y')).ok());
+}
+
+TEST(MemEnvTest, NameIsNutos) {
+  EXPECT_STREQ(NewMemEnv(0)->name(), "nutos");
+}
+
+TEST(Win32EnvTest, PathNormalization) {
+  auto base = NewMemEnv(0);
+  auto env = NewWin32PathEnv(base.get());
+  ASSERT_TRUE(env->WriteStringToFile("C:\\Data\\DB.fame", "hi").ok());
+  // Same file under normalized aliases.
+  EXPECT_TRUE(env->FileExists("c:\\data\\db.fame"));
+  EXPECT_TRUE(env->FileExists("D:\\data\\db.fame"));  // drive letters strip
+  EXPECT_TRUE(base->FileExists("/data/db.fame"));
+  std::string out;
+  ASSERT_TRUE(env->ReadFileToString("C:/data/DB.FAME", &out).ok());
+  EXPECT_EQ(out, "hi");
+  EXPECT_STREQ(env->name(), "win32");
+}
+
+// ------------------------------------------------------------ allocators
+
+TEST(DynamicAllocatorTest, TracksUsage) {
+  DynamicAllocator alloc;
+  void* p = alloc.Allocate(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.bytes_in_use(), 100u);
+  alloc.Deallocate(p, 100);
+  EXPECT_EQ(alloc.bytes_in_use(), 0u);
+}
+
+TEST(StaticPoolAllocatorTest, AllocatesUntilExhausted) {
+  StaticPoolAllocator pool(4096);
+  std::vector<void*> blocks;
+  void* p;
+  while ((p = pool.Allocate(256)) != nullptr) blocks.push_back(p);
+  EXPECT_GE(blocks.size(), 10u);   // 4 KiB minus headers
+  EXPECT_LE(blocks.size(), 16u);
+  for (void* b : blocks) pool.Deallocate(b, 256);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+}
+
+TEST(StaticPoolAllocatorTest, CoalescingAllowsBigBlockAfterFree) {
+  StaticPoolAllocator pool(4096);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 8; ++i) {
+    void* p = pool.Allocate(256);
+    ASSERT_NE(p, nullptr);
+    blocks.push_back(p);
+  }
+  size_t frag = pool.LargestFreeBlock();
+  for (void* b : blocks) pool.Deallocate(b, 256);
+  // After freeing everything adjacent blocks must have merged back.
+  EXPECT_GT(pool.LargestFreeBlock(), frag);
+  EXPECT_GE(pool.LargestFreeBlock(), 4096u - 64u);
+}
+
+TEST(StaticPoolAllocatorTest, DistinctNonOverlappingBlocks) {
+  StaticPoolAllocator pool(8192);
+  char* a = static_cast<char*>(pool.Allocate(100));
+  char* b = static_cast<char*>(pool.Allocate(100));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(a, b);
+  std::memset(a, 0xaa, 100);
+  std::memset(b, 0xbb, 100);
+  EXPECT_EQ(static_cast<unsigned char>(a[99]), 0xaa);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xbb);
+}
+
+TEST(StaticPoolAllocatorTest, ReuseAfterFree) {
+  StaticPoolAllocator pool(2048);
+  void* a = pool.Allocate(512);
+  ASSERT_NE(a, nullptr);
+  pool.Deallocate(a, 512);
+  void* b = pool.Allocate(512);
+  EXPECT_NE(b, nullptr);
+  pool.Deallocate(b, 512);
+}
+
+TEST(StaticPoolAllocatorTest, ExternalArena) {
+  alignas(std::max_align_t) static char arena[1024];
+  StaticPoolAllocator pool(arena, sizeof(arena));
+  void* p = pool.Allocate(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(p, static_cast<void*>(arena));
+  EXPECT_LT(p, static_cast<void*>(arena + sizeof(arena)));
+  pool.Deallocate(p, 64);
+}
+
+TEST(TrackingAllocatorTest, PeakTracking) {
+  DynamicAllocator base;
+  TrackingAllocator t(&base);
+  void* a = t.Allocate(100);
+  void* b = t.Allocate(200);
+  EXPECT_EQ(t.peak_bytes(), 300u);
+  t.Deallocate(a, 100);
+  EXPECT_EQ(t.bytes_in_use(), 200u);
+  EXPECT_EQ(t.peak_bytes(), 300u);  // peak persists
+  t.Deallocate(b, 200);
+  EXPECT_EQ(t.alloc_calls(), 2u);
+}
+
+}  // namespace
+}  // namespace fame::osal

@@ -1,0 +1,446 @@
+// Tests for the transaction substrate: WAL framing and replay (including
+// torn/corrupt tails), lock manager semantics, transaction manager with
+// both commit protocols, and crash-recovery property tests with fault
+// injection at every log prefix.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "osal/env.h"
+#include "tx/locks.h"
+#include "tx/txmgr.h"
+#include "tx/wal.h"
+
+namespace fame::tx {
+namespace {
+
+// ------------------------------------------------------------ WAL
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = osal::NewMemEnv(0); }
+  std::unique_ptr<osal::Env> env_;
+};
+
+TEST_F(WalTest, AppendFlushReplayRoundTrip) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(1)).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Put(1, "main", "k1", "v1")).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Delete(1, "main", "k2")).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Commit(1)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+
+  std::vector<LogRecord> seen;
+  ASSERT_TRUE((*log)
+                  ->Replay([&seen](Lsn, const LogRecord& rec) {
+                    seen.push_back(rec);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].type, LogRecordType::kBegin);
+  EXPECT_EQ(seen[1].type, LogRecordType::kOp);
+  EXPECT_EQ(seen[1].op, OpType::kPut);
+  EXPECT_EQ(seen[1].key, "k1");
+  EXPECT_EQ(seen[1].value, "v1");
+  EXPECT_EQ(seen[2].op, OpType::kDelete);
+  EXPECT_EQ(seen[3].type, LogRecordType::kCommit);
+  EXPECT_EQ(seen[3].txid, 1u);
+}
+
+TEST_F(WalTest, UnflushedRecordsAreNotDurable) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(1)).ok());
+  // No Flush: a fresh LogManager over the same file sees nothing.
+  auto log2 = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log2.ok());
+  int count = 0;
+  ASSERT_TRUE((*log2)
+                  ->Replay([&count](Lsn, const LogRecord&) {
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(WalTest, TornTailStopsReplaySilently) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(1)).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Commit(1)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+  // Simulate a torn write: truncate mid-record.
+  auto file = env_->OpenFile("wal", false);
+  ASSERT_TRUE(file.ok());
+  uint64_t size = *(*file)->Size();
+  ASSERT_TRUE((*file)->Truncate(size - 3).ok());
+
+  auto log2 = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log2.ok());
+  std::vector<LogRecordType> seen;
+  ASSERT_TRUE((*log2)
+                  ->Replay([&seen](Lsn, const LogRecord& rec) {
+                    seen.push_back(rec.type);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 1u);  // only the intact Begin
+  EXPECT_EQ(seen[0], LogRecordType::kBegin);
+}
+
+TEST_F(WalTest, CorruptRecordStopsReplay) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Put(1, "s", "key", "value")).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Commit(1)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+  // Flip a byte inside the first record's payload.
+  auto file = env_->OpenFile("wal", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(10, "X").ok());
+
+  auto log2 = LogManager::Open(env_.get(), "wal");
+  int count = 0;
+  ASSERT_TRUE((*log2)
+                  ->Replay([&count](Lsn, const LogRecord&) {
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 0);  // corruption at record 0 stops everything
+}
+
+TEST_F(WalTest, TruncateResetsLog) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(7)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+  EXPECT_GT((*log)->durable_size(), 0u);
+  ASSERT_TRUE((*log)->Truncate().ok());
+  EXPECT_EQ((*log)->durable_size(), 0u);
+  int count = 0;
+  ASSERT_TRUE((*log)
+                  ->Replay([&count](Lsn, const LogRecord&) {
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+// ------------------------------------------------------------ locks
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, "r", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Holds(1, "r", LockMode::kShared));
+  EXPECT_TRUE(locks.Holds(2, "r", LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, "r", LockMode::kShared).IsBusy());
+  EXPECT_TRUE(locks.Acquire(2, "r", LockMode::kExclusive).IsBusy());
+  EXPECT_EQ(locks.conflicts(), 2u);
+}
+
+TEST(LockManagerTest, ReacquisitionIsIdempotent) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Holds(1, "r", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReaders) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "r", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, "r", LockMode::kShared).ok());
+  Status s = locks.Acquire(1, "r", LockMode::kExclusive);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesResources) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "b", LockMode::kExclusive).ok());
+  EXPECT_EQ(locks.LockedResources(), 2u);
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.LockedResources(), 0u);
+  EXPECT_TRUE(locks.Acquire(2, "a", LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, DeadlockCycleDetected) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, "b", LockMode::kExclusive).ok());
+  // T2 wants a (held by T1) -> Busy, records wait edge 2->1.
+  EXPECT_TRUE(locks.Acquire(2, "a", LockMode::kExclusive).IsBusy());
+  // T1 wants b (held by T2): granting the wait closes the cycle.
+  EXPECT_TRUE(locks.Acquire(1, "b", LockMode::kExclusive).IsDeadlock());
+  EXPECT_EQ(locks.deadlocks(), 1u);
+}
+
+TEST(LockManagerTest, ThreeWayDeadlock) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, "b", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(3, "c", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "b", LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(locks.Acquire(2, "c", LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(locks.Acquire(3, "a", LockMode::kExclusive).IsDeadlock());
+}
+
+TEST(LockManagerTest, AbortBreaksDeadlock) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, "b", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, "a", LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(locks.Acquire(1, "b", LockMode::kExclusive).IsDeadlock());
+  locks.ReleaseAll(1);  // victim aborts
+  EXPECT_TRUE(locks.Acquire(2, "a", LockMode::kExclusive).ok());
+}
+
+// ------------------------------------------------------------ txmgr
+
+/// In-memory ApplyTarget recording committed state.
+class MapTarget : public ApplyTarget {
+ public:
+  Status ApplyPut(const std::string& store, const Slice& key,
+                  const Slice& value) override {
+    data_[store + ":" + key.ToString()] = value.ToString();
+    ++applies_;
+    return Status::OK();
+  }
+  Status ApplyDelete(const std::string& store, const Slice& key) override {
+    if (data_.erase(store + ":" + key.ToString()) == 0) {
+      return Status::NotFound("");
+    }
+    return Status::OK();
+  }
+  Status ReadCommitted(const std::string& store, const Slice& key,
+                       std::string* value) override {
+    auto it = data_.find(store + ":" + key.ToString());
+    if (it == data_.end()) return Status::NotFound("");
+    *value = it->second;
+    return Status::OK();
+  }
+  Status CheckpointEngine() override {
+    checkpointed_ = data_;
+    ++checkpoints_;
+    return Status::OK();
+  }
+
+  std::map<std::string, std::string> data_;
+  std::map<std::string, std::string> checkpointed_;
+  int applies_ = 0;
+  int checkpoints_ = 0;
+};
+
+class TxMgrTest : public ::testing::TestWithParam<CommitProtocol> {
+ protected:
+  void SetUp() override {
+    env_ = osal::NewMemEnv(0);
+    auto mgr = TransactionManager::Open(env_.get(), "wal", &target_,
+                                        GetParam());
+    ASSERT_TRUE(mgr.ok());
+    mgr_ = std::move(*mgr);
+  }
+  std::unique_ptr<osal::Env> env_;
+  MapTarget target_;
+  std::unique_ptr<TransactionManager> mgr_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, TxMgrTest,
+                         ::testing::Values(CommitProtocol::kWalRedo,
+                                           CommitProtocol::kForceAtCommit),
+                         [](const auto& info) {
+                           return info.param == CommitProtocol::kWalRedo
+                                      ? "WalRedo"
+                                      : "ForceAtCommit";
+                         });
+
+TEST_P(TxMgrTest, CommitAppliesWrites) {
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("main", "k", "v").ok());
+  EXPECT_EQ(target_.applies_, 0);  // deferred
+  ASSERT_TRUE(mgr_->Commit(*txn).ok());
+  EXPECT_EQ(target_.data_.at("main:k"), "v");
+}
+
+TEST_P(TxMgrTest, AbortDiscardsWrites) {
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("main", "k", "v").ok());
+  ASSERT_TRUE(mgr_->Abort(*txn).ok());
+  EXPECT_TRUE(target_.data_.empty());
+  EXPECT_EQ(mgr_->aborted(), 1u);
+}
+
+TEST_P(TxMgrTest, ReadYourOwnWrites) {
+  target_.data_["main:k"] = "old";
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::string v;
+  ASSERT_TRUE((*txn)->Get("main", "k", &v).ok());
+  EXPECT_EQ(v, "old");
+  ASSERT_TRUE((*txn)->Put("main", "k", "new").ok());
+  ASSERT_TRUE((*txn)->Get("main", "k", &v).ok());
+  EXPECT_EQ(v, "new");  // sees its own write
+  ASSERT_TRUE((*txn)->Delete("main", "k").ok());
+  EXPECT_TRUE((*txn)->Get("main", "k", &v).IsNotFound());
+  ASSERT_TRUE(mgr_->Commit(*txn).ok());
+  EXPECT_EQ(target_.data_.count("main:k"), 0u);
+}
+
+TEST_P(TxMgrTest, WriteConflictBetweenTransactions) {
+  auto t1 = mgr_->Begin();
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE((*t1)->Put("main", "k", "a").ok());
+  Status s = (*t2)->Put("main", "k", "b");
+  EXPECT_FALSE(s.ok());  // Busy
+  ASSERT_TRUE(mgr_->Commit(*t1).ok());
+  // After T1 commits its locks are gone; T2 can proceed.
+  ASSERT_TRUE((*t2)->Put("main", "k", "b").ok());
+  ASSERT_TRUE(mgr_->Commit(*t2).ok());
+  EXPECT_EQ(target_.data_.at("main:k"), "b");
+}
+
+TEST_P(TxMgrTest, OpsOnFinishedTransactionFail) {
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn.ok());
+  Transaction* t = *txn;
+  ASSERT_TRUE(mgr_->Commit(t).ok());
+  EXPECT_TRUE(mgr_->Commit(t).IsAborted());
+}
+
+TEST_P(TxMgrTest, ForceProtocolCheckpointsAtCommit) {
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("main", "k", "v").ok());
+  ASSERT_TRUE(mgr_->Commit(*txn).ok());
+  if (GetParam() == CommitProtocol::kForceAtCommit) {
+    EXPECT_EQ(target_.checkpoints_, 1);
+    EXPECT_EQ(target_.checkpointed_.at("main:k"), "v");
+  } else {
+    EXPECT_EQ(target_.checkpoints_, 0);
+  }
+}
+
+TEST_P(TxMgrTest, ReadOnlyCommitWritesNoLog) {
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::string v;
+  EXPECT_TRUE((*txn)->Get("main", "absent", &v).IsNotFound());
+  ASSERT_TRUE(mgr_->Commit(*txn).ok());
+  std::string log_contents;
+  ASSERT_TRUE(env_->ReadFileToString("wal", &log_contents).ok());
+  EXPECT_TRUE(log_contents.empty());
+}
+
+// Crash recovery: commit transactions, "crash" (drop the manager without
+// checkpoint), recover into a fresh target, compare.
+TEST(TxRecoveryTest, RecoverReappliesCommittedTransactions) {
+  auto env = osal::NewMemEnv(0);
+  MapTarget before;
+  {
+    auto mgr = TransactionManager::Open(env.get(), "wal", &before,
+                                        CommitProtocol::kWalRedo);
+    ASSERT_TRUE(mgr.ok());
+    auto t1 = (*mgr)->Begin();
+    ASSERT_TRUE((*t1)->Put("main", "a", "1").ok());
+    ASSERT_TRUE((*t1)->Put("main", "b", "2").ok());
+    ASSERT_TRUE((*mgr)->Commit(*t1).ok());
+    auto t2 = (*mgr)->Begin();
+    ASSERT_TRUE((*t2)->Delete("main", "a").ok());
+    ASSERT_TRUE((*t2)->Put("main", "c", "3").ok());
+    ASSERT_TRUE((*mgr)->Commit(*t2).ok());
+    auto t3 = (*mgr)->Begin();  // uncommitted at crash
+    ASSERT_TRUE((*t3)->Put("main", "zombie", "x").ok());
+    // no commit; crash
+  }
+  MapTarget after;  // pages "lost": recovery must rebuild from the log
+  auto mgr = TransactionManager::Open(env.get(), "wal", &after,
+                                      CommitProtocol::kWalRedo);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE((*mgr)->Recover().ok());
+  EXPECT_EQ(after.data_, before.data_);
+  EXPECT_EQ(after.data_.count("main:zombie"), 0u);
+  // Recovery checkpointed and truncated the log.
+  std::string log_contents;
+  ASSERT_TRUE(env->ReadFileToString("wal", &log_contents).ok());
+  EXPECT_TRUE(log_contents.empty());
+}
+
+// Property: for a random committed history, replaying any torn prefix of
+// the log recovers exactly the transactions whose commit record survived.
+TEST(TxRecoveryTest, EveryLogPrefixRecoversACommittedPrefix) {
+  auto env = osal::NewMemEnv(0);
+  MapTarget live;
+  std::vector<std::map<std::string, std::string>> after_each_commit;
+  after_each_commit.push_back({});  // state with zero commits
+  {
+    auto mgr = TransactionManager::Open(env.get(), "wal", &live,
+                                        CommitProtocol::kWalRedo);
+    ASSERT_TRUE(mgr.ok());
+    Random rng(41);
+    for (int t = 0; t < 10; ++t) {
+      auto txn = (*mgr)->Begin();
+      ASSERT_TRUE(txn.ok());
+      int ops = 1 + static_cast<int>(rng.Uniform(4));
+      for (int o = 0; o < ops; ++o) {
+        std::string key = "k" + std::to_string(rng.Uniform(6));
+        if (rng.OneIn(4)) {
+          Status s = (*txn)->Delete("main", key);
+          ASSERT_TRUE(s.ok());
+        } else {
+          ASSERT_TRUE((*txn)->Put("main", key, rng.NextString(8)).ok());
+        }
+      }
+      ASSERT_TRUE((*mgr)->Commit(*txn).ok());
+      after_each_commit.push_back(live.data_);
+    }
+  }
+  std::string full_log;
+  ASSERT_TRUE(env->ReadFileToString("wal", &full_log).ok());
+  // Chop the log at every byte boundary; recovery must land exactly on one
+  // of the committed-prefix states.
+  for (size_t cut = 0; cut <= full_log.size(); cut += 7) {
+    auto env2 = osal::NewMemEnv(0);
+    ASSERT_TRUE(
+        env2->WriteStringToFile("wal", full_log.substr(0, cut)).ok());
+    MapTarget recovered;
+    auto mgr = TransactionManager::Open(env2.get(), "wal", &recovered,
+                                        CommitProtocol::kWalRedo);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->Recover().ok());
+    bool matched = false;
+    for (const auto& state : after_each_commit) {
+      if (recovered.data_ == state) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "cut at " << cut
+                         << " produced a state that is not any committed "
+                            "prefix";
+  }
+}
+
+}  // namespace
+}  // namespace fame::tx
