@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_composition"
+  "../bench/ablation_composition.pdb"
+  "CMakeFiles/ablation_composition.dir/ablation_composition.cc.o"
+  "CMakeFiles/ablation_composition.dir/ablation_composition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1a_binary_size"
+  "../bench/fig1a_binary_size.pdb"
+  "CMakeFiles/fig1a_binary_size.dir/fig1a_binary_size.cc.o"
+  "CMakeFiles/fig1a_binary_size.dir/fig1a_binary_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_binary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

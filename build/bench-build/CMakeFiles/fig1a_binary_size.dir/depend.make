@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1a_binary_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1b_performance"
+  "../bench/fig1b_performance.pdb"
+  "CMakeFiles/fig1b_performance.dir/fig1b_performance.cc.o"
+  "CMakeFiles/fig1b_performance.dir/fig1b_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_feature_model"
+  "../bench/fig2_feature_model.pdb"
+  "CMakeFiles/fig2_feature_model.dir/fig2_feature_model.cc.o"
+  "CMakeFiles/fig2_feature_model.dir/fig2_feature_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_feature_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_feature_detection"
+  "../bench/fig3_feature_detection.pdb"
+  "CMakeFiles/fig3_feature_detection.dir/fig3_feature_detection.cc.o"
+  "CMakeFiles/fig3_feature_detection.dir/fig3_feature_detection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_feature_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

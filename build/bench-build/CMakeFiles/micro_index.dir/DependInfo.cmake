@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_index.cc" "bench-build/CMakeFiles/micro_index.dir/micro_index.cc.o" "gcc" "bench-build/CMakeFiles/micro_index.dir/micro_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/fame_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fame_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/fame_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

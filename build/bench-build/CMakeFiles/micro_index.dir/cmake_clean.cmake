@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_index"
+  "../bench/micro_index.pdb"
+  "CMakeFiles/micro_index.dir/micro_index.cc.o"
+  "CMakeFiles/micro_index.dir/micro_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_storage"
+  "../bench/micro_storage.pdb"
+  "CMakeFiles/micro_storage.dir/micro_storage.cc.o"
+  "CMakeFiles/micro_storage.dir/micro_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_greedy_vs_optimal"
+  "../bench/tab_greedy_vs_optimal.pdb"
+  "CMakeFiles/tab_greedy_vs_optimal.dir/tab_greedy_vs_optimal.cc.o"
+  "CMakeFiles/tab_greedy_vs_optimal.dir/tab_greedy_vs_optimal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_greedy_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_greedy_vs_optimal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_multispl"
+  "../bench/tab_multispl.pdb"
+  "CMakeFiles/tab_multispl.dir/tab_multispl.cc.o"
+  "CMakeFiles/tab_multispl.dir/tab_multispl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_multispl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

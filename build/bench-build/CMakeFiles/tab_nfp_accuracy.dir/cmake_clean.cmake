@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_nfp_accuracy"
+  "../bench/tab_nfp_accuracy.pdb"
+  "CMakeFiles/tab_nfp_accuracy.dir/tab_nfp_accuracy.cc.o"
+  "CMakeFiles/tab_nfp_accuracy.dir/tab_nfp_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_nfp_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

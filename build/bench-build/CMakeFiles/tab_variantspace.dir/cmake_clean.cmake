@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_variantspace"
+  "../bench/tab_variantspace.pdb"
+  "CMakeFiles/tab_variantspace.dir/tab_variantspace.cc.o"
+  "CMakeFiles/tab_variantspace.dir/tab_variantspace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_variantspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

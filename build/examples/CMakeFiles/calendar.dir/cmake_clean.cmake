@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar.dir/calendar.cpp.o"
+  "CMakeFiles/calendar.dir/calendar.cpp.o.d"
+  "calendar"
+  "calendar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derive_product.dir/derive_product.cpp.o"
+  "CMakeFiles/derive_product.dir/derive_product.cpp.o.d"
+  "derive_product"
+  "derive_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derive_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

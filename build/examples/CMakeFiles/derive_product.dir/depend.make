@@ -1,0 +1,2 @@
+# Empty dependencies file for derive_product.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_logger.dir/sensor_logger.cpp.o"
+  "CMakeFiles/sensor_logger.dir/sensor_logger.cpp.o.d"
+  "sensor_logger"
+  "sensor_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

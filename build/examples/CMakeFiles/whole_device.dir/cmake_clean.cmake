@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_device.dir/whole_device.cpp.o"
+  "CMakeFiles/whole_device.dir/whole_device.cpp.o.d"
+  "whole_device"
+  "whole_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

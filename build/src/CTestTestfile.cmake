@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("osal")
+subdirs("storage")
+subdirs("index")
+subdirs("tx")
+subdirs("featuremodel")
+subdirs("nfp")
+subdirs("analysis")
+subdirs("bdb")
+subdirs("core")
+subdirs("derivation")
+subdirs("tools")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/appmodel.cc" "src/analysis/CMakeFiles/fame_analysis.dir/appmodel.cc.o" "gcc" "src/analysis/CMakeFiles/fame_analysis.dir/appmodel.cc.o.d"
+  "/root/repo/src/analysis/detector.cc" "src/analysis/CMakeFiles/fame_analysis.dir/detector.cc.o" "gcc" "src/analysis/CMakeFiles/fame_analysis.dir/detector.cc.o.d"
+  "/root/repo/src/analysis/lexer.cc" "src/analysis/CMakeFiles/fame_analysis.dir/lexer.cc.o" "gcc" "src/analysis/CMakeFiles/fame_analysis.dir/lexer.cc.o.d"
+  "/root/repo/src/analysis/query.cc" "src/analysis/CMakeFiles/fame_analysis.dir/query.cc.o" "gcc" "src/analysis/CMakeFiles/fame_analysis.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

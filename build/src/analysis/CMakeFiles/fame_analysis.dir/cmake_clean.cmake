@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_analysis.dir/appmodel.cc.o"
+  "CMakeFiles/fame_analysis.dir/appmodel.cc.o.d"
+  "CMakeFiles/fame_analysis.dir/detector.cc.o"
+  "CMakeFiles/fame_analysis.dir/detector.cc.o.d"
+  "CMakeFiles/fame_analysis.dir/lexer.cc.o"
+  "CMakeFiles/fame_analysis.dir/lexer.cc.o.d"
+  "CMakeFiles/fame_analysis.dir/query.cc.o"
+  "CMakeFiles/fame_analysis.dir/query.cc.o.d"
+  "libfame_analysis.a"
+  "libfame_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_bdb_c.dir/c_style.cc.o"
+  "CMakeFiles/fame_bdb_c.dir/c_style.cc.o.d"
+  "libfame_bdb_c.a"
+  "libfame_bdb_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_bdb_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfame_bdb_c.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_bdb_support.dir/crypto.cc.o"
+  "CMakeFiles/fame_bdb_support.dir/crypto.cc.o.d"
+  "CMakeFiles/fame_bdb_support.dir/repbus.cc.o"
+  "CMakeFiles/fame_bdb_support.dir/repbus.cc.o.d"
+  "CMakeFiles/fame_bdb_support.dir/storage_bundle.cc.o"
+  "CMakeFiles/fame_bdb_support.dir/storage_bundle.cc.o.d"
+  "libfame_bdb_support.a"
+  "libfame_bdb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_bdb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_common.dir/coding.cc.o"
+  "CMakeFiles/fame_common.dir/coding.cc.o.d"
+  "CMakeFiles/fame_common.dir/crc32.cc.o"
+  "CMakeFiles/fame_common.dir/crc32.cc.o.d"
+  "CMakeFiles/fame_common.dir/status.cc.o"
+  "CMakeFiles/fame_common.dir/status.cc.o.d"
+  "CMakeFiles/fame_common.dir/stringutil.cc.o"
+  "CMakeFiles/fame_common.dir/stringutil.cc.o.d"
+  "libfame_common.a"
+  "libfame_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

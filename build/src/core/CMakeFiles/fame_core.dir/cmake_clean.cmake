@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_core.dir/database.cc.o"
+  "CMakeFiles/fame_core.dir/database.cc.o.d"
+  "CMakeFiles/fame_core.dir/datatypes.cc.o"
+  "CMakeFiles/fame_core.dir/datatypes.cc.o.d"
+  "CMakeFiles/fame_core.dir/index_advisor.cc.o"
+  "CMakeFiles/fame_core.dir/index_advisor.cc.o.d"
+  "CMakeFiles/fame_core.dir/sql.cc.o"
+  "CMakeFiles/fame_core.dir/sql.cc.o.d"
+  "libfame_core.a"
+  "libfame_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_derivation.dir/pipeline.cc.o"
+  "CMakeFiles/fame_derivation.dir/pipeline.cc.o.d"
+  "libfame_derivation.a"
+  "libfame_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

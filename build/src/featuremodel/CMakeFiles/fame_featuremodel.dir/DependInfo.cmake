@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/featuremodel/fame_model.cc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/fame_model.cc.o" "gcc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/fame_model.cc.o.d"
+  "/root/repo/src/featuremodel/model.cc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/model.cc.o" "gcc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/model.cc.o.d"
+  "/root/repo/src/featuremodel/multispl.cc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/multispl.cc.o" "gcc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/multispl.cc.o.d"
+  "/root/repo/src/featuremodel/parser.cc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/parser.cc.o" "gcc" "src/featuremodel/CMakeFiles/fame_featuremodel.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_featuremodel.dir/fame_model.cc.o"
+  "CMakeFiles/fame_featuremodel.dir/fame_model.cc.o.d"
+  "CMakeFiles/fame_featuremodel.dir/model.cc.o"
+  "CMakeFiles/fame_featuremodel.dir/model.cc.o.d"
+  "CMakeFiles/fame_featuremodel.dir/multispl.cc.o"
+  "CMakeFiles/fame_featuremodel.dir/multispl.cc.o.d"
+  "CMakeFiles/fame_featuremodel.dir/parser.cc.o"
+  "CMakeFiles/fame_featuremodel.dir/parser.cc.o.d"
+  "libfame_featuremodel.a"
+  "libfame_featuremodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_featuremodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

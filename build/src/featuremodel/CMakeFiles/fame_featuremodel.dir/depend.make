@@ -1,0 +1,2 @@
+# Empty dependencies file for fame_featuremodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bplus_tree.cc" "src/index/CMakeFiles/fame_index.dir/bplus_tree.cc.o" "gcc" "src/index/CMakeFiles/fame_index.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/index/btree_node.cc" "src/index/CMakeFiles/fame_index.dir/btree_node.cc.o" "gcc" "src/index/CMakeFiles/fame_index.dir/btree_node.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/index/CMakeFiles/fame_index.dir/hash_index.cc.o" "gcc" "src/index/CMakeFiles/fame_index.dir/hash_index.cc.o.d"
+  "/root/repo/src/index/list_index.cc" "src/index/CMakeFiles/fame_index.dir/list_index.cc.o" "gcc" "src/index/CMakeFiles/fame_index.dir/list_index.cc.o.d"
+  "/root/repo/src/index/queue_am.cc" "src/index/CMakeFiles/fame_index.dir/queue_am.cc.o" "gcc" "src/index/CMakeFiles/fame_index.dir/queue_am.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/fame_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/fame_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

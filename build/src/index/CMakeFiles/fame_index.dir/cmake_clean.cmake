@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_index.dir/bplus_tree.cc.o"
+  "CMakeFiles/fame_index.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/fame_index.dir/btree_node.cc.o"
+  "CMakeFiles/fame_index.dir/btree_node.cc.o.d"
+  "CMakeFiles/fame_index.dir/hash_index.cc.o"
+  "CMakeFiles/fame_index.dir/hash_index.cc.o.d"
+  "CMakeFiles/fame_index.dir/list_index.cc.o"
+  "CMakeFiles/fame_index.dir/list_index.cc.o.d"
+  "CMakeFiles/fame_index.dir/queue_am.cc.o"
+  "CMakeFiles/fame_index.dir/queue_am.cc.o.d"
+  "libfame_index.a"
+  "libfame_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfp/estimator.cc" "src/nfp/CMakeFiles/fame_nfp.dir/estimator.cc.o" "gcc" "src/nfp/CMakeFiles/fame_nfp.dir/estimator.cc.o.d"
+  "/root/repo/src/nfp/feedback.cc" "src/nfp/CMakeFiles/fame_nfp.dir/feedback.cc.o" "gcc" "src/nfp/CMakeFiles/fame_nfp.dir/feedback.cc.o.d"
+  "/root/repo/src/nfp/nfp.cc" "src/nfp/CMakeFiles/fame_nfp.dir/nfp.cc.o" "gcc" "src/nfp/CMakeFiles/fame_nfp.dir/nfp.cc.o.d"
+  "/root/repo/src/nfp/optimizer.cc" "src/nfp/CMakeFiles/fame_nfp.dir/optimizer.cc.o" "gcc" "src/nfp/CMakeFiles/fame_nfp.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/fame_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/featuremodel/CMakeFiles/fame_featuremodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_nfp.dir/estimator.cc.o"
+  "CMakeFiles/fame_nfp.dir/estimator.cc.o.d"
+  "CMakeFiles/fame_nfp.dir/feedback.cc.o"
+  "CMakeFiles/fame_nfp.dir/feedback.cc.o.d"
+  "CMakeFiles/fame_nfp.dir/nfp.cc.o"
+  "CMakeFiles/fame_nfp.dir/nfp.cc.o.d"
+  "CMakeFiles/fame_nfp.dir/optimizer.cc.o"
+  "CMakeFiles/fame_nfp.dir/optimizer.cc.o.d"
+  "libfame_nfp.a"
+  "libfame_nfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_nfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

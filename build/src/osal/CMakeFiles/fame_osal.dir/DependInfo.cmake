@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osal/allocator.cc" "src/osal/CMakeFiles/fame_osal.dir/allocator.cc.o" "gcc" "src/osal/CMakeFiles/fame_osal.dir/allocator.cc.o.d"
+  "/root/repo/src/osal/env.cc" "src/osal/CMakeFiles/fame_osal.dir/env.cc.o" "gcc" "src/osal/CMakeFiles/fame_osal.dir/env.cc.o.d"
+  "/root/repo/src/osal/mem_env.cc" "src/osal/CMakeFiles/fame_osal.dir/mem_env.cc.o" "gcc" "src/osal/CMakeFiles/fame_osal.dir/mem_env.cc.o.d"
+  "/root/repo/src/osal/posix_env.cc" "src/osal/CMakeFiles/fame_osal.dir/posix_env.cc.o" "gcc" "src/osal/CMakeFiles/fame_osal.dir/posix_env.cc.o.d"
+  "/root/repo/src/osal/win32_env.cc" "src/osal/CMakeFiles/fame_osal.dir/win32_env.cc.o" "gcc" "src/osal/CMakeFiles/fame_osal.dir/win32_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

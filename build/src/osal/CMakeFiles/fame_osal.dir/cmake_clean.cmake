@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_osal.dir/allocator.cc.o"
+  "CMakeFiles/fame_osal.dir/allocator.cc.o.d"
+  "CMakeFiles/fame_osal.dir/env.cc.o"
+  "CMakeFiles/fame_osal.dir/env.cc.o.d"
+  "CMakeFiles/fame_osal.dir/mem_env.cc.o"
+  "CMakeFiles/fame_osal.dir/mem_env.cc.o.d"
+  "CMakeFiles/fame_osal.dir/posix_env.cc.o"
+  "CMakeFiles/fame_osal.dir/posix_env.cc.o.d"
+  "CMakeFiles/fame_osal.dir/win32_env.cc.o"
+  "CMakeFiles/fame_osal.dir/win32_env.cc.o.d"
+  "libfame_osal.a"
+  "libfame_osal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_osal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer.cc" "src/storage/CMakeFiles/fame_storage.dir/buffer.cc.o" "gcc" "src/storage/CMakeFiles/fame_storage.dir/buffer.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/fame_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/fame_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/pagefile.cc" "src/storage/CMakeFiles/fame_storage.dir/pagefile.cc.o" "gcc" "src/storage/CMakeFiles/fame_storage.dir/pagefile.cc.o.d"
+  "/root/repo/src/storage/record.cc" "src/storage/CMakeFiles/fame_storage.dir/record.cc.o" "gcc" "src/storage/CMakeFiles/fame_storage.dir/record.cc.o.d"
+  "/root/repo/src/storage/replacement.cc" "src/storage/CMakeFiles/fame_storage.dir/replacement.cc.o" "gcc" "src/storage/CMakeFiles/fame_storage.dir/replacement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/fame_osal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

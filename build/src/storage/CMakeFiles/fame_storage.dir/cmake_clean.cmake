@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_storage.dir/buffer.cc.o"
+  "CMakeFiles/fame_storage.dir/buffer.cc.o.d"
+  "CMakeFiles/fame_storage.dir/page.cc.o"
+  "CMakeFiles/fame_storage.dir/page.cc.o.d"
+  "CMakeFiles/fame_storage.dir/pagefile.cc.o"
+  "CMakeFiles/fame_storage.dir/pagefile.cc.o.d"
+  "CMakeFiles/fame_storage.dir/record.cc.o"
+  "CMakeFiles/fame_storage.dir/record.cc.o.d"
+  "CMakeFiles/fame_storage.dir/replacement.cc.o"
+  "CMakeFiles/fame_storage.dir/replacement.cc.o.d"
+  "libfame_storage.a"
+  "libfame_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

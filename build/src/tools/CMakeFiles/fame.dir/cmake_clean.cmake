@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame.dir/fame_cli.cc.o"
+  "CMakeFiles/fame.dir/fame_cli.cc.o.d"
+  "fame"
+  "fame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

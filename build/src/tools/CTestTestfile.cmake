@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/tools
+# Build directory: /root/repo/build/src/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_model_print "/root/repo/build/src/tools/fame" "model" "print")
+set_tests_properties(cli_model_print PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;5;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_model_count "/root/repo/build/src/tools/fame" "model" "count")
+set_tests_properties(cli_model_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;6;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_model_check "/root/repo/build/src/tools/fame" "model" "check" "-" "Transaction,SQL-Engine")
+set_tests_properties(cli_model_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;7;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_advise "/root/repo/build/src/tools/fame" "advise" "50000" "70" "10" "20")
+set_tests_properties(cli_advise PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;8;add_test;/root/repo/src/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/src/tools/fame")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/tools/CMakeLists.txt;9;add_test;/root/repo/src/tools/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_tx.dir/locks.cc.o"
+  "CMakeFiles/fame_tx.dir/locks.cc.o.d"
+  "CMakeFiles/fame_tx.dir/txmgr.cc.o"
+  "CMakeFiles/fame_tx.dir/txmgr.cc.o.d"
+  "CMakeFiles/fame_tx.dir/wal.cc.o"
+  "CMakeFiles/fame_tx.dir/wal.cc.o.d"
+  "libfame_tx.a"
+  "libfame_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfame_tx.a"
+)

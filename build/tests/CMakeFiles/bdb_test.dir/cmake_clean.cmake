@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdb_test.dir/bdb_test.cc.o"
+  "CMakeFiles/bdb_test.dir/bdb_test.cc.o.d"
+  "bdb_test"
+  "bdb_test.pdb"
+  "bdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

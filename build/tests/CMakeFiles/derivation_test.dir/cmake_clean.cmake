@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivation_test.dir/derivation_test.cc.o"
+  "CMakeFiles/derivation_test.dir/derivation_test.cc.o.d"
+  "derivation_test"
+  "derivation_test.pdb"
+  "derivation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/featuremodel_test.dir/featuremodel_test.cc.o"
+  "CMakeFiles/featuremodel_test.dir/featuremodel_test.cc.o.d"
+  "featuremodel_test"
+  "featuremodel_test.pdb"
+  "featuremodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/featuremodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

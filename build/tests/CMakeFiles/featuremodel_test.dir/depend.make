@@ -1,0 +1,2 @@
+# Empty dependencies file for featuremodel_test.
+# This may be replaced when dependencies are built.

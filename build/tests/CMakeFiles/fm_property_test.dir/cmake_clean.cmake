@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_property_test.dir/fm_property_test.cc.o"
+  "CMakeFiles/fm_property_test.dir/fm_property_test.cc.o.d"
+  "fm_property_test"
+  "fm_property_test.pdb"
+  "fm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/index_advisor_test.cc" "tests/CMakeFiles/index_advisor_test.dir/index_advisor_test.cc.o" "gcc" "tests/CMakeFiles/index_advisor_test.dir/index_advisor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fame_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fame_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fame_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/fame_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/featuremodel/CMakeFiles/fame_featuremodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/fame_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_advisor_test.dir/index_advisor_test.cc.o"
+  "CMakeFiles/index_advisor_test.dir/index_advisor_test.cc.o.d"
+  "index_advisor_test"
+  "index_advisor_test.pdb"
+  "index_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

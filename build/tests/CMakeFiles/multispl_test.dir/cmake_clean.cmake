@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multispl_test.dir/multispl_test.cc.o"
+  "CMakeFiles/multispl_test.dir/multispl_test.cc.o.d"
+  "multispl_test"
+  "multispl_test.pdb"
+  "multispl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multispl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

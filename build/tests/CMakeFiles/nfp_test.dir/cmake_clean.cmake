@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_test.dir/nfp_test.cc.o"
+  "CMakeFiles/nfp_test.dir/nfp_test.cc.o.d"
+  "nfp_test"
+  "nfp_test.pdb"
+  "nfp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osal_test.dir/osal_test.cc.o"
+  "CMakeFiles/osal_test.dir/osal_test.cc.o.d"
+  "osal_test"
+  "osal_test.pdb"
+  "osal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_test.dir/tx_test.cc.o"
+  "CMakeFiles/tx_test.dir/tx_test.cc.o.d"
+  "tx_test"
+  "tx_test.pdb"
+  "tx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdb_c_2.dir/__/src/bdb/c_style.cc.o"
+  "CMakeFiles/bdb_c_2.dir/__/src/bdb/c_style.cc.o.d"
+  "CMakeFiles/bdb_c_2.dir/c_main.cc.o"
+  "CMakeFiles/bdb_c_2.dir/c_main.cc.o.d"
+  "bdb_c_2"
+  "bdb_c_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdb_c_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdb_fop_5.dir/fop_main.cc.o"
+  "CMakeFiles/bdb_fop_5.dir/fop_main.cc.o.d"
+  "bdb_fop_5"
+  "bdb_fop_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdb_fop_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

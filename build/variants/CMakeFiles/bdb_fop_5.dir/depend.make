@@ -1,0 +1,2 @@
+# Empty dependencies file for bdb_fop_5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/variants
+# Build directory: /root/repo/build/variants
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(variant_selftest_bdb_c_1 "/root/repo/build/variants/bdb_c_1")
+set_tests_properties(variant_selftest_bdb_c_1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_c_2 "/root/repo/build/variants/bdb_c_2")
+set_tests_properties(variant_selftest_bdb_c_2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_c_3 "/root/repo/build/variants/bdb_c_3")
+set_tests_properties(variant_selftest_bdb_c_3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_c_4 "/root/repo/build/variants/bdb_c_4")
+set_tests_properties(variant_selftest_bdb_c_4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_c_5 "/root/repo/build/variants/bdb_c_5")
+set_tests_properties(variant_selftest_bdb_c_5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_c_6 "/root/repo/build/variants/bdb_c_6")
+set_tests_properties(variant_selftest_bdb_c_6 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_fop_1 "/root/repo/build/variants/bdb_fop_1")
+set_tests_properties(variant_selftest_bdb_fop_1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_fop_2 "/root/repo/build/variants/bdb_fop_2")
+set_tests_properties(variant_selftest_bdb_fop_2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_fop_3 "/root/repo/build/variants/bdb_fop_3")
+set_tests_properties(variant_selftest_bdb_fop_3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_fop_4 "/root/repo/build/variants/bdb_fop_4")
+set_tests_properties(variant_selftest_bdb_fop_4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_fop_5 "/root/repo/build/variants/bdb_fop_5")
+set_tests_properties(variant_selftest_bdb_fop_5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_fop_7 "/root/repo/build/variants/bdb_fop_7")
+set_tests_properties(variant_selftest_bdb_fop_7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
+add_test(variant_selftest_bdb_fop_8 "/root/repo/build/variants/bdb_fop_8")
+set_tests_properties(variant_selftest_bdb_fop_8 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/variants/CMakeLists.txt;65;add_test;/root/repo/variants/CMakeLists.txt;0;")
