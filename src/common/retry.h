@@ -1,0 +1,47 @@
+// Bounded retry for transient storage errors. Embedded flash/EEPROM parts
+// exhibit transient write/read failures (bus noise, charge-pump brownout)
+// that succeed on immediate retry; the storage and log layers wrap their IO
+// in RetryOnTransient so a bounded number of such glitches is invisible to
+// the layers above, while persistent failures still surface promptly.
+#ifndef FAME_COMMON_RETRY_H_
+#define FAME_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fame {
+
+/// Retry configuration. The default (3 attempts, no wait) suits the
+/// single-threaded embedded targets: retries are immediate bus retries, not
+/// scheduler sleeps. Hosts that want real backoff install a `backoff` hook
+/// (called between attempts with the 1-based attempt number just failed;
+/// implementations typically wait ~base << attempt).
+struct RetryPolicy {
+  uint32_t max_attempts = 3;  ///< total tries, including the first (>= 1)
+  void (*backoff)(uint32_t attempt) = nullptr;
+};
+
+/// True for error codes worth retrying: transient IO glitches and busy
+/// resources. Corruption, NotFound, etc. are deterministic and are not.
+inline bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kIOError || s.code() == StatusCode::kBusy;
+}
+
+/// Runs `fn` (returning Status) up to `policy.max_attempts` times, stopping
+/// on success or on the first non-transient error. Returns the last status.
+template <typename Fn>
+Status RetryOnTransient(const RetryPolicy& policy, Fn&& fn) {
+  uint32_t attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Status s;
+  for (uint32_t attempt = 1;; ++attempt) {
+    s = fn();
+    if (s.ok() || !IsTransient(s) || attempt >= attempts) return s;
+    if (policy.backoff != nullptr) policy.backoff(attempt);
+  }
+}
+
+}  // namespace fame
+
+#endif  // FAME_COMMON_RETRY_H_

@@ -112,6 +112,27 @@ Status Database::ComposeComponents(const DbOptions& options) {
   return Status::OK();
 }
 
+// ------------------------------------------------------------ degradation
+
+Status Database::GuardWrite() const {
+  if (write_error_.ok()) return Status::OK();
+  return Status::IOError("database is read-only after write failure: " +
+                         write_error_.ToString());
+}
+
+Status Database::NoteWrite(Status s) {
+  // IO errors that survived the storage layer's bounded retries, and
+  // corruption discovered on a mutation path, are persistent: a half-applied
+  // write may be on disk, so stop mutating instead of compounding it. Reads
+  // stay up; reopening the database (which re-runs recovery) is the reset.
+  if (write_error_.ok() &&
+      (s.code() == StatusCode::kIOError ||
+       s.code() == StatusCode::kCorruption)) {
+    write_error_ = s;
+  }
+  return s;
+}
+
 // ------------------------------------------------------------ KV access
 
 Status Database::PutInternal(const Slice& key, const Slice& value) {
@@ -161,7 +182,8 @@ Status DecodeCoreRecord(const Slice& rec, const Slice& expect_key,
 
 Status Database::Put(const Slice& key, const Slice& value) {
   if (!has_put_) return Status::NotSupported("feature Put not selected");
-  return PutInternal(key, value);
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  return NoteWrite(PutInternal(key, value));
 }
 
 Status Database::Get(const Slice& key, std::string* value) {
@@ -174,14 +196,16 @@ Status Database::Get(const Slice& key, std::string* value) {
 
 Status Database::Remove(const Slice& key) {
   if (!has_remove_) return Status::NotSupported("feature Remove not selected");
-  return RemoveInternal(key);
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  return NoteWrite(RemoveInternal(key));
 }
 
 Status Database::Update(const Slice& key, const Slice& value) {
   if (!has_update_) return Status::NotSupported("feature Update not selected");
+  FAME_RETURN_IF_ERROR(GuardWrite());
   uint64_t packed = 0;
   FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-  return PutInternal(key, value);
+  return NoteWrite(PutInternal(key, value));
 }
 
 Status Database::Scan(const index::ScanVisitor& visit) {
@@ -220,7 +244,14 @@ Status Database::Commit(tx::Transaction* txn) {
   if (txmgr_ == nullptr) {
     return Status::NotSupported("feature Transaction not selected");
   }
-  return txmgr_->Commit(txn);
+  Status guard = GuardWrite();
+  if (!guard.ok()) {
+    // Still finish the transaction (drop writes, release locks) so the
+    // handle does not leak, but refuse the mutation.
+    txmgr_->Abort(txn);
+    return guard;
+  }
+  return NoteWrite(txmgr_->Commit(txn));
 }
 
 Status Database::Abort(tx::Transaction* txn) {
@@ -250,8 +281,9 @@ Status Database::ReadCommitted(const std::string& store, const Slice& key,
 Status Database::CheckpointEngine() { return buffers_->Checkpoint(); }
 
 Status Database::Checkpoint() {
-  if (txmgr_ != nullptr) return txmgr_->Checkpoint();
-  return buffers_->Checkpoint();
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  if (txmgr_ != nullptr) return NoteWrite(txmgr_->Checkpoint());
+  return NoteWrite(buffers_->Checkpoint());
 }
 
 // ------------------------------------------------------------ typed records
@@ -285,7 +317,8 @@ Status Database::CreateTable(const Schema& schema) {
   if (Get(SchemaKey(schema.table), &existing).ok()) {
     return Status::InvalidArgument("table exists: " + schema.table);
   }
-  return PutInternal(SchemaKey(schema.table), schema.Encode());
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  return NoteWrite(PutInternal(SchemaKey(schema.table), schema.Encode()));
 }
 
 StatusOr<Schema> Database::GetSchema(const std::string& table) {
@@ -300,7 +333,8 @@ Status Database::InsertRow(const std::string& table, const Row& row) {
   FAME_ASSIGN_OR_RETURN(Schema schema, GetSchema(table));
   FAME_RETURN_IF_ERROR(schema.CheckRow(row));
   if (!has_put_) return Status::NotSupported("feature Put not selected");
-  return PutInternal(TableKey(table, row[0]), EncodeRow(row));
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  return NoteWrite(PutInternal(TableKey(table, row[0]), EncodeRow(row)));
 }
 
 StatusOr<Row> Database::FindRow(const std::string& table, const Value& pk) {
@@ -311,7 +345,8 @@ StatusOr<Row> Database::FindRow(const std::string& table, const Value& pk) {
 
 Status Database::DeleteRow(const std::string& table, const Value& pk) {
   if (!has_remove_) return Status::NotSupported("feature Remove not selected");
-  return RemoveInternal(TableKey(table, pk));
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  return NoteWrite(RemoveInternal(TableKey(table, pk)));
 }
 
 Status Database::ScanTable(const std::string& table,

@@ -90,6 +90,20 @@ class Database : private tx::ApplyTarget {
   }
   osal::Env* env() { return env_; }
 
+  // ---- degraded (read-only) mode ----
+  /// True after a persistent write failure (IO error or on-disk corruption
+  /// on a mutation path) flipped the engine to read-only. Reads keep
+  /// serving; every mutation is rejected so a half-applied write cannot be
+  /// compounded. Recovery is reopening the database.
+  bool read_only() const { return !write_error_.ok(); }
+  /// The failure that degraded the engine (OK while healthy).
+  const Status& degraded_status() const { return write_error_; }
+  /// What crash recovery found in the WAL at open (zero-valued without the
+  /// Transaction feature or with a clean log).
+  tx::RecoveryReport recovery_report() const {
+    return txmgr_ != nullptr ? txmgr_->recovery_report() : tx::RecoveryReport{};
+  }
+
  private:
   friend class SqlEngine;
   Database() = default;
@@ -97,6 +111,12 @@ class Database : private tx::ApplyTarget {
   Status ComposeComponents(const DbOptions& options);
   Status PutInternal(const Slice& key, const Slice& value);
   Status RemoveInternal(const Slice& key);
+
+  /// Rejects mutations once the engine is degraded.
+  Status GuardWrite() const;
+  /// Flips the engine to read-only when `s` is a persistent write failure;
+  /// returns `s` unchanged.
+  Status NoteWrite(Status s);
 
   // tx::ApplyTarget.
   Status ApplyPut(const std::string& store, const Slice& key,
@@ -125,6 +145,7 @@ class Database : private tx::ApplyTarget {
   std::unique_ptr<SqlEngine> sql_;
 
   bool has_put_ = false, has_remove_ = false, has_update_ = false;
+  Status write_error_;  // first persistent write failure; OK while healthy
 };
 
 }  // namespace fame::core

@@ -115,21 +115,24 @@ class StaticEngine : private tx::ApplyTarget {
   /// Access:put.
   Status Put(const Slice& key, const Slice& value) {
     static_assert(Cfg::kPut, "feature Access:Put is not selected");
-    return PutInternal(key, value);
+    FAME_RETURN_IF_ERROR(GuardWrite());
+    return NoteWrite(PutInternal(key, value));
   }
 
   /// Access:remove.
   Status Remove(const Slice& key) {
     static_assert(Cfg::kRemove, "feature Access:Remove is not selected");
-    return RemoveInternal(key);
+    FAME_RETURN_IF_ERROR(GuardWrite());
+    return NoteWrite(RemoveInternal(key));
   }
 
   /// Access:update — put that requires the key to exist.
   Status Update(const Slice& key, const Slice& value) {
     static_assert(Cfg::kUpdate, "feature Access:Update is not selected");
+    FAME_RETURN_IF_ERROR(GuardWrite());
     uint64_t packed = 0;
     FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-    return PutInternal(key, value);
+    return NoteWrite(PutInternal(key, value));
   }
 
   /// Full scan (index order).
@@ -170,19 +173,52 @@ class StaticEngine : private tx::ApplyTarget {
   }
   Status Commit(tx::Transaction* txn) {
     static_assert(Cfg::kTransactions, "feature Transaction is not selected");
-    return txmgr_->Commit(txn);
+    Status guard = GuardWrite();
+    if (!guard.ok()) {
+      txmgr_->Abort(txn);  // finish the handle; refuse the mutation
+      return guard;
+    }
+    return NoteWrite(txmgr_->Commit(txn));
   }
   Status Abort(tx::Transaction* txn) {
     static_assert(Cfg::kTransactions, "feature Transaction is not selected");
     return txmgr_->Abort(txn);
   }
 
-  Status Checkpoint() { return buffers_->Checkpoint(); }
+  Status Checkpoint() {
+    FAME_RETURN_IF_ERROR(GuardWrite());
+    return NoteWrite(buffers_->Checkpoint());
+  }
+
+  // ---- degraded (read-only) mode, mirroring core::Database ----
+  /// True after a persistent write failure flipped the engine read-only;
+  /// Get/Scan keep serving, mutations are rejected until reopen.
+  bool read_only() const { return !write_error_.ok(); }
+  const Status& degraded_status() const { return write_error_; }
+  /// What WAL recovery found at Open (transactional products).
+  tx::RecoveryReport recovery_report() const {
+    return txmgr_ != nullptr ? txmgr_->recovery_report() : tx::RecoveryReport{};
+  }
   storage::BufferManager* buffers() { return buffers_.get(); }
   osal::Allocator* allocator() { return alloc_.get(); }
   Index* index() { return index_.get(); }
 
  private:
+  Status GuardWrite() const {
+    if (write_error_.ok()) return Status::OK();
+    return Status::IOError("engine is read-only after write failure: " +
+                           write_error_.ToString());
+  }
+
+  Status NoteWrite(Status s) {
+    if (write_error_.ok() &&
+        (s.code() == StatusCode::kIOError ||
+         s.code() == StatusCode::kCorruption)) {
+      write_error_ = s;
+    }
+    return s;
+  }
+
   Status PutInternal(const Slice& key, const Slice& value) {
     uint64_t packed = 0;
     Status found = index_->Lookup(key, &packed);
@@ -255,6 +291,7 @@ class StaticEngine : private tx::ApplyTarget {
   std::unique_ptr<storage::RecordManager> heap_;
   std::unique_ptr<Index> index_;
   std::unique_ptr<tx::TransactionManager> txmgr_;
+  Status write_error_;  // first persistent write failure; OK while healthy
 };
 
 }  // namespace fame::core

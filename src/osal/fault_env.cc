@@ -1,0 +1,187 @@
+#include "osal/fault_env.h"
+
+#include <cstring>
+
+namespace fame::osal {
+
+/// A handle whose ops report to the env's fault scheduler. Shares the
+/// durable-image state with every other handle on the same name.
+class FaultFile final : public RandomAccessFile {
+ public:
+  FaultFile(FaultInjectionEnv* env, std::unique_ptr<RandomAccessFile> base,
+            std::shared_ptr<FaultInjectionEnv::FileState> state)
+      : env_(env), base_(std::move(base)), state_(std::move(state)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              Slice* result) const override {
+    FAME_RETURN_IF_ERROR(env_->CheckOp(FaultOp::kRead, nullptr, nullptr));
+    return base_->Read(offset, n, scratch, result);
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    bool torn = false;
+    uint64_t keep = 0;
+    Status s = env_->CheckOp(FaultOp::kWrite, &torn, &keep);
+    if (torn) {
+      // Persist a prefix, then report the failure: the bytes are on the
+      // medium even though the caller sees an error.
+      uint64_t k = keep < data.size() ? keep : data.size();
+      if (k > 0) {
+        FAME_RETURN_IF_ERROR(base_->Write(offset, Slice(data.data(), k)));
+      }
+      return s.ok() ? Status::IOError("injected torn write") : s;
+    }
+    if (!s.ok()) return s;
+    return base_->Write(offset, data);
+  }
+
+  Status Sync() override {
+    FAME_RETURN_IF_ERROR(env_->CheckOp(FaultOp::kSync, nullptr, nullptr));
+    FAME_RETURN_IF_ERROR(base_->Sync());
+    // Durability point: snapshot the current content as the on-flash image.
+    auto size_or = base_->Size();
+    FAME_RETURN_IF_ERROR(size_or.status());
+    std::string image(size_or.value(), '\0');
+    if (!image.empty()) {
+      Slice result;
+      FAME_RETURN_IF_ERROR(
+          base_->Read(0, image.size(), image.data(), &result));
+      image.resize(result.size());
+    }
+    state_->synced = std::move(image);
+    state_->durable = true;
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() const override { return base_->Size(); }
+
+  Status Truncate(uint64_t size) override {
+    FAME_RETURN_IF_ERROR(env_->CheckOp(FaultOp::kTruncate, nullptr, nullptr));
+    return base_->Truncate(size);
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+  std::shared_ptr<FaultInjectionEnv::FileState> state_;
+};
+
+Status FaultInjectionEnv::CheckOp(FaultOp op, bool* torn,
+                                  uint64_t* torn_keep) {
+  uint64_t index = op_counts_[static_cast<size_t>(op)]++;
+  bool mutating = op != FaultOp::kRead;
+  if (mutating) {
+    uint64_t mindex = mutations_++;
+    if (mindex >= crash_after_) {
+      ++faults_injected_;
+      return Status::IOError("injected device failure (post-crash-point)");
+    }
+  }
+  for (const FaultRule& r : rules_) {
+    if (r.op != op) continue;
+    if (index < r.start || index - r.start >= r.count) continue;
+    ++faults_injected_;
+    if (r.torn && torn != nullptr) {
+      *torn = true;
+      *torn_keep = r.torn_keep;
+      return Status::OK();  // FaultFile::Write builds the torn IOError
+    }
+    return r.error;
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<FaultInjectionEnv::FileState> FaultInjectionEnv::TrackFile(
+    const std::string& name, bool existed) {
+  auto it = files_.find(name);
+  if (it != files_.end()) return it->second;
+  auto state = std::make_shared<FileState>();
+  if (existed) {
+    // Pre-existing content counts as durable.
+    std::string content;
+    if (base_->ReadFileToString(name, &content).ok()) {
+      state->synced = std::move(content);
+    }
+    state->durable = true;
+  }
+  files_[name] = state;
+  return state;
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> FaultInjectionEnv::OpenFile(
+    const std::string& name, bool create) {
+  bool existed = base_->FileExists(name);
+  auto file_or = base_->OpenFile(name, create);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  auto state = TrackFile(name, existed);
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultFile(this, std::move(file_or).value(), state));
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& name) {
+  files_.erase(name);
+  return base_->DeleteFile(name);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& name) const {
+  return base_->FileExists(name);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  FAME_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  // Rename is the atomic-install primitive; treat it as durable.
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::FailRange(FaultOp op, uint64_t start, uint64_t count,
+                                  Status error) {
+  rules_.push_back(FaultRule{op, start, count, std::move(error), false, 0});
+}
+
+void FaultInjectionEnv::FailFrom(FaultOp op, uint64_t start, Status error) {
+  FailRange(op, start, ~0ull, std::move(error));
+}
+
+void FaultInjectionEnv::TearWrite(uint64_t nth, uint64_t keep_bytes) {
+  rules_.push_back(FaultRule{FaultOp::kWrite, nth, 1,
+                             Status::IOError("injected torn write"), true,
+                             keep_bytes});
+}
+
+void FaultInjectionEnv::CrashAfterMutations(uint64_t nth) {
+  crash_after_ = nth;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  rules_.clear();
+  crash_after_ = ~0ull;
+}
+
+void FaultInjectionEnv::SimulateCrash() {
+  ClearFaults();
+  for (auto it = files_.begin(); it != files_.end();) {
+    const std::string& name = it->first;
+    FileState& state = *it->second;
+    if (!state.durable) {
+      // Never synced: the file never reached the medium.
+      base_->DeleteFile(name);
+      it = files_.erase(it);
+      continue;
+    }
+    auto file_or = base_->OpenFile(name, /*create=*/true);
+    if (file_or.ok()) {
+      auto& f = *file_or.value();
+      f.Truncate(state.synced.size());
+      if (!state.synced.empty()) f.Write(0, state.synced);
+    }
+    ++it;
+  }
+}
+
+}  // namespace fame::osal

@@ -1,0 +1,124 @@
+// FaultInjectionEnv: a deterministic fault-injection wrapper over any Env,
+// modelling the failure modes of the embedded storage hardware FAME-DBMS
+// targets (NutOS-class flash): transient IO errors, torn/short sector
+// writes, fsync failures, and power loss.
+//
+// Failure model:
+//   - Write/Read/Sync/Truncate each have a monotonically increasing op
+//     counter; fault rules fire on exact, scheduled op indexes, so every
+//     run of a deterministic workload injects at exactly the same points.
+//   - A torn write persists only a prefix of the data and reports IOError —
+//     the partial bytes ARE on the medium, exactly like a sector write that
+//     lost power halfway.
+//   - Sync() is the durability point: on success the file's current content
+//     becomes the "on-flash" image. SimulateCrash() reverts every file to
+//     its last synced image (files never synced since creation disappear),
+//     modelling power loss with all volatile buffers dropped.
+//   - CrashAfterMutations(n) kills the "device" after the n-th mutating op
+//     (write/sync/truncate): every later mutation fails with IOError until
+//     SimulateCrash() resets the schedule — the way the randomized recovery
+//     harness sweeps crash points through a workload.
+//
+// The wrapper is test infrastructure but lives in src/osal because recovery
+// guarantees are product features here: products are validated against this
+// env in tier-1 tests.
+#ifndef FAME_OSAL_FAULT_ENV_H_
+#define FAME_OSAL_FAULT_ENV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osal/env.h"
+
+namespace fame::osal {
+
+/// Operation classes a fault rule can target.
+enum class FaultOp : uint8_t { kRead = 0, kWrite = 1, kSync = 2, kTruncate = 3 };
+constexpr size_t kNumFaultOps = 4;
+
+class FaultInjectionEnv final : public Env {
+ public:
+  /// Wraps `base` (not owned). All files must be opened through the wrapper
+  /// for crash modelling to see them.
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // ---- Env interface (forwards to base, applying fault rules) ----
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& name,
+                                                       bool create) override;
+  Status DeleteFile(const std::string& name) override;
+  bool FileExists(const std::string& name) const override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  uint64_t NowNanos() const override { return base_->NowNanos(); }
+  const char* name() const override { return "fault"; }
+
+  // ---- fault scheduling (deterministic) ----
+  /// Ops of kind `op` whose 0-based index falls in [start, start+count)
+  /// fail with `error` (transient if count is finite).
+  void FailRange(FaultOp op, uint64_t start, uint64_t count, Status error);
+  /// Every op of kind `op` from index `start` on fails (persistent failure,
+  /// e.g. worn-out flash).
+  void FailFrom(FaultOp op, uint64_t start, Status error);
+  /// The write with index `nth` persists only its first `keep_bytes` bytes
+  /// and returns IOError: a torn sector write.
+  void TearWrite(uint64_t nth, uint64_t keep_bytes);
+  /// After `nth` mutating ops (writes/syncs/truncates, globally counted)
+  /// have completed, every further mutation fails with IOError — the device
+  /// died mid-workload. Reads keep working.
+  void CrashAfterMutations(uint64_t nth);
+  /// Removes every scheduled fault.
+  void ClearFaults();
+
+  // ---- crash modelling ----
+  /// Power loss: every file reverts to its last synced image; files created
+  /// but never synced disappear. Also clears all fault schedules (the
+  /// replacement device is healthy). Open handles from before the crash
+  /// must not be used afterwards.
+  void SimulateCrash();
+
+  // ---- observability ----
+  /// Ops of kind `op` seen so far (attempted, including failed ones).
+  uint64_t op_count(FaultOp op) const {
+    return op_counts_[static_cast<size_t>(op)];
+  }
+  /// Mutating ops (write/sync/truncate) seen so far.
+  uint64_t mutation_count() const { return mutations_; }
+  /// Faults injected so far.
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  friend class FaultFile;
+
+  struct FileState {
+    std::string synced;        // last durable image
+    bool durable = false;      // survived at least one Sync (or pre-existed)
+  };
+
+  struct FaultRule {
+    FaultOp op;
+    uint64_t start;
+    uint64_t count;       // number of op indexes covered
+    Status error;
+    bool torn = false;    // torn write: persist prefix, then fail
+    uint64_t torn_keep = 0;
+  };
+
+  /// Advances the `op` counter and returns the injected fault, if any.
+  /// For torn writes, `*torn_keep` receives the prefix length to persist.
+  Status CheckOp(FaultOp op, bool* torn, uint64_t* torn_keep);
+
+  std::shared_ptr<FileState> TrackFile(const std::string& name, bool existed);
+
+  Env* base_;
+  std::vector<FaultRule> rules_;
+  uint64_t crash_after_ = ~0ull;
+  uint64_t op_counts_[kNumFaultOps] = {0, 0, 0, 0};
+  uint64_t mutations_ = 0;
+  uint64_t faults_injected_ = 0;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+};
+
+}  // namespace fame::osal
+
+#endif  // FAME_OSAL_FAULT_ENV_H_

@@ -1,9 +1,21 @@
 #include "storage/pagefile.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "common/crc32.h"
+
 namespace fame::storage {
+
+namespace {
+std::atomic<uint64_t> g_lost_meta_writes{0};
+}  // namespace
+
+uint64_t PageFile::lost_meta_writes() {
+  return g_lost_meta_writes.load(std::memory_order_relaxed);
+}
 
 StatusOr<std::unique_ptr<PageFile>> PageFile::Open(osal::Env* env,
                                                    const std::string& name,
@@ -12,6 +24,7 @@ StatusOr<std::unique_ptr<PageFile>> PageFile::Open(osal::Env* env,
       (opts.page_size & (opts.page_size - 1)) != 0) {
     return Status::InvalidArgument("page_size must be a power of two in [512, 65536]");
   }
+  static_assert(kMetaSlotBytes <= 512, "meta slot must fit the minimum page");
   bool existed = env->FileExists(name);
   auto file_or = env->OpenFile(name, /*create=*/true);
   FAME_RETURN_IF_ERROR(file_or.status());
@@ -25,9 +38,10 @@ StatusOr<std::unique_ptr<PageFile>> PageFile::Open(osal::Env* env,
   if (existed) {
     FAME_RETURN_IF_ERROR(pf->LoadMeta());
   } else {
-    pf->page_count_ = 1;
+    pf->page_count_ = kFirstDataPage;
     pf->free_head_ = kInvalidPageId;
     pf->roots_used_ = 0;
+    pf->epoch_ = 0;
     pf->meta_dirty_ = true;
     FAME_RETURN_IF_ERROR(pf->StoreMeta());
   }
@@ -35,77 +49,179 @@ StatusOr<std::unique_ptr<PageFile>> PageFile::Open(osal::Env* env,
 }
 
 PageFile::~PageFile() {
-  if (meta_dirty_) StoreMeta();  // best effort
+  if (closed_) return;
+  Status s = Close();
+  if (!s.ok()) {
+    // The caller can no longer see this status; record the loss.
+    g_lost_meta_writes.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "fame: PageFile close lost metadata: %s\n",
+                 s.ToString().c_str());
+  }
 }
 
-Status PageFile::LoadMeta() {
-  std::vector<char> buf(opts_.page_size);
-  Slice result;
-  FAME_RETURN_IF_ERROR(file_->Read(0, opts_.page_size, buf.data(), &result));
-  if (result.size() < opts_.page_size) {
-    return Status::Corruption("meta page truncated");
-  }
-  if (DecodeFixed32(buf.data()) != kMagic) {
-    return Status::Corruption("bad magic: not a FAME page file");
-  }
-  if (DecodeFixed32(buf.data() + 4) != kVersion) {
-    return Status::NotSupported("unsupported page file version");
-  }
-  uint32_t stored_ps = DecodeFixed32(buf.data() + 8);
-  if (stored_ps != opts_.page_size) {
-    return Status::InvalidArgument("page size mismatch: file has " +
-                                   std::to_string(stored_ps));
-  }
-  page_count_ = DecodeFixed32(buf.data() + 12);
-  free_head_ = DecodeFixed32(buf.data() + 16);
-  roots_used_ = DecodeFixed32(buf.data() + 20);
-  if (roots_used_ > kMaxRoots) return Status::Corruption("root directory overflow");
-  const char* p = buf.data() + 24;
-  for (uint32_t i = 0; i < roots_used_; ++i) {
-    roots_[i].name_hash = DecodeFixed32(p);
-    roots_[i].page = DecodeFixed32(p + 4);
-    roots_[i].aux = DecodeFixed64(p + 8);
-    p += 16;
-  }
-  return Status::OK();
+Status PageFile::Close() {
+  if (closed_) return close_status_;
+  closed_ = true;
+  close_status_ = Status::OK();
+  if (meta_dirty_) close_status_ = StoreMeta();
+  if (close_status_.ok()) close_status_ = SyncFile();
+  return close_status_;
 }
 
-Status PageFile::StoreMeta() {
-  std::vector<char> buf(opts_.page_size, 0);
-  EncodeFixed32(buf.data(), kMagic);
-  EncodeFixed32(buf.data() + 4, kVersion);
-  EncodeFixed32(buf.data() + 8, opts_.page_size);
-  EncodeFixed32(buf.data() + 12, page_count_);
-  EncodeFixed32(buf.data() + 16, free_head_);
-  EncodeFixed32(buf.data() + 20, roots_used_);
-  char* p = buf.data() + 24;
+// ------------------------------------------------------------ retried IO
+
+Status PageFile::ReadAt(uint64_t offset, size_t n, char* scratch) {
+  return RetryOnTransient(retry_, [&] {
+    Slice result;
+    FAME_RETURN_IF_ERROR(file_->Read(offset, n, scratch, &result));
+    if (result.size() < n) return Status::Corruption("short read");
+    if (result.data() != scratch) std::memmove(scratch, result.data(), n);
+    return Status::OK();
+  });
+}
+
+Status PageFile::WriteAt(uint64_t offset, const Slice& data) {
+  return RetryOnTransient(retry_, [&] { return file_->Write(offset, data); });
+}
+
+Status PageFile::SyncFile() {
+  return RetryOnTransient(retry_, [&] { return file_->Sync(); });
+}
+
+// ------------------------------------------------------------ meta page
+
+void PageFile::EncodeMetaSlot(char* buf, uint64_t epoch) const {
+  std::memset(buf, 0, kMetaSlotBytes);
+  EncodeFixed32(buf, kMagic);
+  EncodeFixed32(buf + 4, kVersion);
+  EncodeFixed32(buf + 8, opts_.page_size);
+  EncodeFixed32(buf + 12, page_count_);
+  EncodeFixed32(buf + 16, free_head_);
+  EncodeFixed32(buf + 20, roots_used_);
+  EncodeFixed64(buf + 24, epoch);
+  char* p = buf + 32;
   for (uint32_t i = 0; i < roots_used_; ++i) {
     EncodeFixed32(p, roots_[i].name_hash);
     EncodeFixed32(p + 4, roots_[i].page);
     EncodeFixed64(p + 8, roots_[i].aux);
     p += 16;
   }
+  uint32_t crc = Crc32(buf, kMetaSlotBytes - 4);
+  EncodeFixed32(buf + kMetaSlotBytes - 4, MaskCrc(crc));
+}
+
+PageFile::MetaSlot PageFile::DecodeMetaSlot(const char* buf) const {
+  MetaSlot slot;
+  if (DecodeFixed32(buf) != kMagic) {
+    slot.why = Status::Corruption("bad magic: not a FAME page file");
+    return slot;
+  }
+  if (DecodeFixed32(buf + 4) != kVersion) {
+    slot.why = Status::NotSupported("unsupported page file version");
+    return slot;
+  }
+  uint32_t stored_crc = DecodeFixed32(buf + kMetaSlotBytes - 4);
+  if (MaskCrc(Crc32(buf, kMetaSlotBytes - 4)) != stored_crc) {
+    slot.why = Status::Corruption("meta slot checksum mismatch");
+    return slot;
+  }
+  slot.stored_page_size = DecodeFixed32(buf + 8);
+  slot.page_count = DecodeFixed32(buf + 12);
+  slot.free_head = DecodeFixed32(buf + 16);
+  slot.roots_used = DecodeFixed32(buf + 20);
+  slot.epoch = DecodeFixed64(buf + 24);
+  if (slot.roots_used > kMaxRoots) {
+    slot.why = Status::Corruption("root directory overflow");
+    return slot;
+  }
+  const char* p = buf + 32;
+  for (uint32_t i = 0; i < slot.roots_used; ++i) {
+    slot.roots[i].name_hash = DecodeFixed32(p);
+    slot.roots[i].page = DecodeFixed32(p + 4);
+    slot.roots[i].aux = DecodeFixed64(p + 8);
+    p += 16;
+  }
+  slot.valid = true;
+  return slot;
+}
+
+Status PageFile::LoadMeta() {
+  // Slot A lives at offset 0, slot B at one page. Each is independently
+  // validated; the valid slot with the larger epoch wins, so a torn write
+  // of one slot falls back to the other.
+  char buf_a[kMetaSlotBytes];
+  char buf_b[kMetaSlotBytes];
+  MetaSlot a, b;
+  Status ra = ReadAt(0, kMetaSlotBytes, buf_a);
+  a = ra.ok() ? DecodeMetaSlot(buf_a) : MetaSlot{};
+  if (!ra.ok()) a.why = ra;
+  Status rb = ReadAt(opts_.page_size, kMetaSlotBytes, buf_b);
+  b = rb.ok() ? DecodeMetaSlot(buf_b) : MetaSlot{};
+  if (!rb.ok()) b.why = rb;
+
+  const MetaSlot* best = nullptr;
+  if (a.valid) best = &a;
+  if (b.valid && (best == nullptr || b.epoch > best->epoch)) best = &b;
+  if (best == nullptr) {
+    // Prefer the most specific diagnosis: a recognized-but-unsupported
+    // version beats generic corruption.
+    if (a.why.code() == StatusCode::kNotSupported) return a.why;
+    if (b.why.code() == StatusCode::kNotSupported) return b.why;
+    return a.why.ok() ? Status::Corruption("no valid meta slot") : a.why;
+  }
+  if (best->stored_page_size != opts_.page_size) {
+    return Status::InvalidArgument(
+        "page size mismatch: file has " +
+        std::to_string(best->stored_page_size));
+  }
+  page_count_ = best->page_count;
+  free_head_ = best->free_head;
+  roots_used_ = best->roots_used;
+  std::memcpy(roots_, best->roots, sizeof(roots_));
+  epoch_ = best->epoch;
+  if (page_count_ < kFirstDataPage) {
+    return Status::Corruption("meta page count below first data page");
+  }
+  return Status::OK();
+}
+
+Status PageFile::StoreMeta() {
+  // Write the *other* slot than the one the current epoch lives in: the
+  // previous meta stays intact on disk until this write (and a later sync)
+  // lands, so a torn write here is always recoverable.
+  uint64_t new_epoch = epoch_ + 1;
+  uint64_t slot = new_epoch & 1;
+  std::vector<char> buf(opts_.page_size, 0);
+  EncodeMetaSlot(buf.data(), new_epoch);
   FAME_RETURN_IF_ERROR(
-      file_->Write(0, Slice(buf.data(), opts_.page_size)));
+      WriteAt(slot * opts_.page_size, Slice(buf.data(), buf.size())));
+  epoch_ = new_epoch;
   meta_dirty_ = false;
   return Status::OK();
 }
 
+// ------------------------------------------------------------ page alloc
+
 StatusOr<PageId> PageFile::AllocatePage() {
   if (free_head_ != kInvalidPageId) {
     PageId id = free_head_;
-    // A free page stores the next free id in its first 4 bytes after a
-    // one-byte kFree type tag (we just use header offset 8, the next_page
-    // field of a normal page, by reading the raw page).
-    std::vector<char> buf(opts_.page_size);
-    Slice result;
-    FAME_RETURN_IF_ERROR(file_->Read(
-        static_cast<uint64_t>(id) * opts_.page_size, opts_.page_size,
-        buf.data(), &result));
-    if (result.size() < opts_.page_size) {
-      return Status::Corruption("free page truncated");
+    if (id < kFirstDataPage || id >= page_count_) {
+      return Status::Corruption("free chain head out of range: " +
+                                std::to_string(id));
     }
-    free_head_ = DecodeFixed32(buf.data() + 8);
+    std::vector<char> buf(opts_.page_size);
+    FAME_RETURN_IF_ERROR(ReadAt(
+        static_cast<uint64_t>(id) * opts_.page_size, opts_.page_size,
+        buf.data()));
+    // Validate before trusting the chain link: a reused or corrupted page
+    // here means a double free or a scribbled chain.
+    Page page(buf.data(), opts_.page_size);
+    if (page.type() != PageType::kFree) {
+      return Status::Corruption("free chain entry " + std::to_string(id) +
+                                " is not a free page (double free?)");
+    }
+    FAME_RETURN_IF_ERROR(page.VerifyChecksum());
+    free_head_ = page.next_page();
     meta_dirty_ = true;
     return id;
   }
@@ -116,8 +232,8 @@ StatusOr<PageId> PageFile::AllocatePage() {
   // Extend the file eagerly so reads of the new page succeed. MemEnv also
   // charges its capacity budget here.
   std::vector<char> zero(opts_.page_size, 0);
-  Status s = file_->Write(static_cast<uint64_t>(id) * opts_.page_size,
-                          Slice(zero.data(), zero.size()));
+  Status s = WriteAt(static_cast<uint64_t>(id) * opts_.page_size,
+                     Slice(zero.data(), zero.size()));
   if (!s.ok()) {
     --page_count_;
     return s;
@@ -126,7 +242,7 @@ StatusOr<PageId> PageFile::AllocatePage() {
 }
 
 Status PageFile::FreePage(PageId id) {
-  if (id == 0 || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("cannot free page " + std::to_string(id));
   }
   std::vector<char> buf(opts_.page_size, 0);
@@ -134,7 +250,7 @@ Status PageFile::FreePage(PageId id) {
   page.Init(PageType::kFree);
   page.set_next_page(free_head_);
   page.SealChecksum();
-  FAME_RETURN_IF_ERROR(file_->Write(
+  FAME_RETURN_IF_ERROR(WriteAt(
       static_cast<uint64_t>(id) * opts_.page_size, Slice(buf.data(), buf.size())));
   free_head_ = id;
   meta_dirty_ = true;
@@ -142,15 +258,11 @@ Status PageFile::FreePage(PageId id) {
 }
 
 Status PageFile::ReadPage(PageId id, char* buf) {
-  if (id == 0 || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("read of invalid page " + std::to_string(id));
   }
-  Slice result;
-  FAME_RETURN_IF_ERROR(file_->Read(static_cast<uint64_t>(id) * opts_.page_size,
-                                   opts_.page_size, buf, &result));
-  if (result.size() < opts_.page_size) {
-    return Status::Corruption("short page read");
-  }
+  FAME_RETURN_IF_ERROR(ReadAt(static_cast<uint64_t>(id) * opts_.page_size,
+                              opts_.page_size, buf));
   if (opts_.paranoid_checks) {
     Page page(buf, opts_.page_size);
     FAME_RETURN_IF_ERROR(page.VerifyChecksum());
@@ -159,19 +271,21 @@ Status PageFile::ReadPage(PageId id, char* buf) {
 }
 
 Status PageFile::WritePage(PageId id, char* buf) {
-  if (id == 0 || id >= page_count_) {
+  if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("write of invalid page " + std::to_string(id));
   }
   Page page(buf, opts_.page_size);
   page.SealChecksum();
-  return file_->Write(static_cast<uint64_t>(id) * opts_.page_size,
-                      Slice(buf, opts_.page_size));
+  return WriteAt(static_cast<uint64_t>(id) * opts_.page_size,
+                 Slice(buf, opts_.page_size));
 }
 
 Status PageFile::Sync() {
   if (meta_dirty_) FAME_RETURN_IF_ERROR(StoreMeta());
-  return file_->Sync();
+  return SyncFile();
 }
+
+// ------------------------------------------------------------ roots
 
 uint32_t PageFile::HashName(const std::string& name) {
   // FNV-1a, 32-bit.
@@ -224,11 +338,16 @@ StatusOr<uint32_t> PageFile::CountFreePages() {
   while (id != kInvalidPageId) {
     ++n;
     if (n > page_count_) return Status::Corruption("free chain cycle");
-    Slice result;
-    FAME_RETURN_IF_ERROR(file_->Read(static_cast<uint64_t>(id) * opts_.page_size,
-                                     opts_.page_size, buf.data(), &result));
-    if (result.size() < opts_.page_size) return Status::Corruption("short read");
-    id = DecodeFixed32(buf.data() + 8);
+    if (id < kFirstDataPage || id >= page_count_) {
+      return Status::Corruption("free chain entry out of range");
+    }
+    FAME_RETURN_IF_ERROR(ReadAt(static_cast<uint64_t>(id) * opts_.page_size,
+                                opts_.page_size, buf.data()));
+    Page page(buf.data(), opts_.page_size);
+    if (page.type() != PageType::kFree) {
+      return Status::Corruption("free chain entry is not a free page");
+    }
+    id = page.next_page();
   }
   return n;
 }

@@ -1,21 +1,31 @@
 // PageFile: paged storage over an osal::RandomAccessFile.
 //
-// Page 0 is the meta page:
-//   [0]  u32  magic "FAME"
-//   [4]  u32  format version
-//   [8]  u32  page size
-//   [12] u32  page count (including meta page)
-//   [16] u32  head of the free-page chain (kInvalidPageId if empty)
-//   [20] u32  root directory entries used
-//   [24..]    root directory: up to kMaxRoots entries of
-//             {u32 name hash, u32 page id, u64 aux} — named anchor points
-//             (index roots, record-manager heads) that survive reopen.
+// Pages 0 and 1 are the two slots of a dual-slot meta page (format v2).
+// Meta writes alternate between the slots, each stamped with a
+// monotonically increasing epoch and a CRC32 over the slot contents; the
+// loader picks the valid slot with the highest epoch. A torn or corrupt
+// meta write therefore rolls back to the previous consistent meta instead
+// of bricking the file. Data pages start at kFirstDataPage.
+//
+// Meta slot layout (one slot per page, fixed offsets):
+//   [0]   u32  magic "FAME"
+//   [4]   u32  format version (2)
+//   [8]   u32  page size
+//   [12]  u32  page count (including the two meta pages)
+//   [16]  u32  head of the free-page chain (kInvalidPageId if empty)
+//   [20]  u32  root directory entries used
+//   [24]  u64  meta epoch (larger = newer)
+//   [32..]     root directory: kMaxRoots entries of
+//              {u32 name hash, u32 page id, u64 aux} — named anchor points
+//              (index roots, record-manager heads) that survive reopen
+//   [288] u32  masked CRC32 of bytes [0, 288)
 #ifndef FAME_STORAGE_PAGEFILE_H_
 #define FAME_STORAGE_PAGEFILE_H_
 
 #include <memory>
 #include <string>
 
+#include "common/retry.h"
 #include "osal/env.h"
 #include "storage/page.h"
 
@@ -28,6 +38,8 @@ struct PageFileOptions {
   /// Verify page checksums on every read (off for benchmarked minimal
   /// products, on everywhere else).
   bool paranoid_checks = true;
+  /// Bounded retry budget for transient IO errors (total attempts per IO).
+  uint32_t io_attempts = 3;
 };
 
 /// Paged file with a persistent free list and a named-root directory.
@@ -35,8 +47,10 @@ struct PageFileOptions {
 class PageFile {
  public:
   static constexpr uint32_t kMagic = 0x454d4146u;  // "FAME"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;
   static constexpr size_t kMaxRoots = 16;
+  /// Pages 0 and 1 hold the dual-slot meta; data pages start here.
+  static constexpr PageId kFirstDataPage = 2;
 
   /// Opens (or creates) a page file at `name` within `env`.
   static StatusOr<std::unique_ptr<PageFile>> Open(osal::Env* env,
@@ -45,8 +59,20 @@ class PageFile {
 
   ~PageFile();
 
+  /// Durably persists the meta and syncs the file. Idempotent; the
+  /// destructor calls it as a best effort, but callers that need to detect
+  /// lost metadata (a failed final meta write) should Close() explicitly
+  /// and check the returned status.
+  Status Close();
+
+  /// Process-wide count of meta writes lost in destructor-time best-effort
+  /// closes (observability for the silent-failure path).
+  static uint64_t lost_meta_writes();
+
   /// Allocates a page (reusing the free chain first). The returned page is
-  /// not zeroed on disk until written.
+  /// not zeroed on disk until written. Returns Corruption when the free
+  /// chain head fails its type-tag/checksum validation (double free or a
+  /// corrupted chain).
   StatusOr<PageId> AllocatePage();
 
   /// Returns `id` to the free chain.
@@ -68,32 +94,65 @@ class PageFile {
 
   uint32_t page_size() const { return opts_.page_size; }
   uint32_t page_count() const { return page_count_; }
+  /// Epoch of the currently loaded meta (tests/diagnostics).
+  uint64_t meta_epoch() const { return epoch_; }
   /// Pages currently on the free chain (O(chain length); for tests/stats).
   StatusOr<uint32_t> CountFreePages();
 
  private:
+  /// Serialized meta slot size (fixed layout; fits the 512-byte minimum
+  /// page size).
+  static constexpr size_t kMetaSlotBytes = 292;
+
   PageFile(osal::Env* env, std::unique_ptr<osal::RandomAccessFile> file,
            PageFileOptions opts)
-      : env_(env), file_(std::move(file)), opts_(opts) {}
-
-  Status LoadMeta();
-  Status StoreMeta();
-  static uint32_t HashName(const std::string& name);
-
-  osal::Env* env_;
-  std::unique_ptr<osal::RandomAccessFile> file_;
-  PageFileOptions opts_;
-  uint32_t page_count_ = 1;
-  PageId free_head_ = kInvalidPageId;
+      : env_(env), file_(std::move(file)), opts_(opts) {
+    retry_.max_attempts = opts_.io_attempts;
+  }
 
   struct RootEntry {
     uint32_t name_hash = 0;
     PageId page = kInvalidPageId;
     uint64_t aux = 0;
   };
+
+  /// One decoded meta slot plus its validation verdict.
+  struct MetaSlot {
+    bool valid = false;
+    Status why;  // reason when invalid
+    uint64_t epoch = 0;
+    uint32_t stored_page_size = 0;
+    uint32_t page_count = 0;
+    PageId free_head = kInvalidPageId;
+    uint32_t roots_used = 0;
+    RootEntry roots[kMaxRoots];
+  };
+
+  Status LoadMeta();
+  Status StoreMeta();
+  MetaSlot DecodeMetaSlot(const char* buf) const;
+  void EncodeMetaSlot(char* buf, uint64_t epoch) const;
+
+  /// file_ ops with bounded transient-error retry.
+  Status ReadAt(uint64_t offset, size_t n, char* scratch);
+  Status WriteAt(uint64_t offset, const Slice& data);
+  Status SyncFile();
+
+  static uint32_t HashName(const std::string& name);
+
+  osal::Env* env_;
+  std::unique_ptr<osal::RandomAccessFile> file_;
+  PageFileOptions opts_;
+  RetryPolicy retry_;
+  uint32_t page_count_ = kFirstDataPage;
+  PageId free_head_ = kInvalidPageId;
+  uint64_t epoch_ = 0;
+
   RootEntry roots_[kMaxRoots];
   uint32_t roots_used_ = 0;
   bool meta_dirty_ = false;
+  bool closed_ = false;
+  Status close_status_;
 };
 
 }  // namespace fame::storage

@@ -1,5 +1,7 @@
 #include "tx/txmgr.h"
 
+#include <set>
+
 namespace fame::tx {
 
 Status Transaction::Put(const std::string& store, const Slice& key,
@@ -52,12 +54,14 @@ StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Open(
 }
 
 Status TransactionManager::Recover() {
-  // Pass 1: find committed transaction ids.
+  // Pass 1: find committed transaction ids, and classify the log tail.
   std::set<uint64_t> committed_ids;
-  FAME_RETURN_IF_ERROR(log_->Replay([&](Lsn, const LogRecord& rec) {
-    if (rec.type == LogRecordType::kCommit) committed_ids.insert(rec.txid);
-    return Status::OK();
-  }));
+  FAME_RETURN_IF_ERROR(log_->Replay(
+      [&](Lsn, const LogRecord& rec) {
+        if (rec.type == LogRecordType::kCommit) committed_ids.insert(rec.txid);
+        return Status::OK();
+      },
+      &report_));
   // Pass 2: redo committed ops in log order.
   FAME_RETURN_IF_ERROR(log_->Replay([&](Lsn, const LogRecord& rec) {
     if (rec.type != LogRecordType::kOp || committed_ids.count(rec.txid) == 0) {
@@ -70,6 +74,11 @@ Status TransactionManager::Recover() {
     // Redo of a delete whose effect is already durable is a no-op.
     return s.IsNotFound() ? Status::OK() : s;
   }));
+  // Drop the torn/corrupt tail before anything can append after it, so a
+  // later flush never lands beyond unparseable bytes.
+  if (report_.dropped_bytes > 0) {
+    FAME_RETURN_IF_ERROR(log_->TruncateTo(report_.recovered_lsn));
+  }
   return Checkpoint();
 }
 
@@ -85,36 +94,50 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn == nullptr || !txn->active_) {
     return Status::Aborted("transaction is finished");
   }
-  if (!txn->writes_.empty()) {
-    // WAL: every op, then the commit record, durably — before any engine
-    // mutation.
-    FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Begin(txn->id_)).status());
-    for (const auto& op : txn->writes_) {
-      LogRecord rec = op.op == OpType::kPut
-                          ? LogRecord::Put(txn->id_, op.store, op.key, op.value)
-                          : LogRecord::Delete(txn->id_, op.store, op.key);
-      FAME_RETURN_IF_ERROR(log_->Append(rec).status());
-    }
-    FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Commit(txn->id_)).status());
-    FAME_RETURN_IF_ERROR(log_->Flush());
-    // Apply the write set to the engine.
-    for (const auto& op : txn->writes_) {
-      if (op.op == OpType::kPut) {
-        FAME_RETURN_IF_ERROR(target_->ApplyPut(op.store, op.key, op.value));
-      } else {
-        Status s = target_->ApplyDelete(op.store, op.key);
-        if (!s.ok() && !s.IsNotFound()) return s;
-      }
-    }
-    if (protocol_ == CommitProtocol::kForceAtCommit) {
-      FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
-      FAME_RETURN_IF_ERROR(log_->Truncate());
-    }
+  Status s = CommitInternal(txn);
+  // Success or failure, the transaction is finished: locks are released and
+  // the handle is dead. A failed commit must not leave its buffered log
+  // records behind — a later flush would resurrect them as committed.
+  if (!s.ok()) {
+    log_->DropBuffered();
+    ++aborted_;
+  } else {
+    ++committed_;
   }
   txn->active_ = false;
   locks_.ReleaseAll(txn->id_);
-  ++committed_;
   active_.erase(txn->id_);
+  return s;
+}
+
+Status TransactionManager::CommitInternal(Transaction* txn) {
+  if (txn->writes_.empty()) return Status::OK();
+  // WAL: every op, then the commit record, durably — before any engine
+  // mutation.
+  FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Begin(txn->id_)).status());
+  for (const auto& op : txn->writes_) {
+    LogRecord rec = op.op == OpType::kPut
+                        ? LogRecord::Put(txn->id_, op.store, op.key, op.value)
+                        : LogRecord::Delete(txn->id_, op.store, op.key);
+    FAME_RETURN_IF_ERROR(log_->Append(rec).status());
+  }
+  FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Commit(txn->id_)).status());
+  FAME_RETURN_IF_ERROR(log_->Flush());
+  // Apply the write set to the engine. From here the transaction is
+  // durable: even if applying fails (and the commit call reports an
+  // error), recovery will redo it from the log after a restart.
+  for (const auto& op : txn->writes_) {
+    if (op.op == OpType::kPut) {
+      FAME_RETURN_IF_ERROR(target_->ApplyPut(op.store, op.key, op.value));
+    } else {
+      Status s = target_->ApplyDelete(op.store, op.key);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+  }
+  if (protocol_ == CommitProtocol::kForceAtCommit) {
+    FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+    FAME_RETURN_IF_ERROR(log_->Truncate());
+  }
   return Status::OK();
 }
 

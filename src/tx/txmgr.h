@@ -90,8 +90,14 @@ class TransactionManager {
       CommitProtocol protocol);
 
   /// Replays committed transactions from the log into the target (call once
-  /// at startup, before Begin). Checkpoints and truncates on success.
+  /// at startup, before Begin). A torn log tail is truncated and recovery
+  /// continues; mid-log corruption is reported through recovery_report()
+  /// (recovered LSN, dropped-record count) while the intact prefix is still
+  /// applied. Checkpoints and truncates on success.
   Status Recover();
+
+  /// What the last Recover() found in the log (zero-valued before Recover).
+  const RecoveryReport& recovery_report() const { return report_; }
 
   /// Starts a transaction. The pointer stays valid until Commit/Abort.
   StatusOr<Transaction*> Begin();
@@ -116,6 +122,10 @@ class TransactionManager {
   TransactionManager(ApplyTarget* target, CommitProtocol protocol)
       : target_(target), protocol_(protocol) {}
 
+  /// Commit body; the caller handles finishing the transaction and cleanup
+  /// on failure.
+  Status CommitInternal(Transaction* txn);
+
   ApplyTarget* target_;
   CommitProtocol protocol_;
   std::unique_ptr<LogManager> log_;
@@ -124,6 +134,7 @@ class TransactionManager {
   std::map<uint64_t, std::unique_ptr<Transaction>> active_;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
+  RecoveryReport report_;
 };
 
 }  // namespace fame::tx

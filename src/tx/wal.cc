@@ -119,48 +119,112 @@ StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
 
 Status LogManager::Flush() {
   if (buffer_.empty()) return Status::OK();
-  FAME_RETURN_IF_ERROR(file_->Write(durable_size_, buffer_));
-  FAME_RETURN_IF_ERROR(file_->Sync());
+  Status s = RetryOnTransient(
+      retry_, [&] { return file_->Write(durable_size_, buffer_); });
+  if (s.ok()) {
+    s = RetryOnTransient(retry_, [&] { return file_->Sync(); });
+  }
+  if (!s.ok()) {
+    // Remove any partially written, unsynced bytes so a later successful
+    // flush does not leave stale frames past its own tail (best effort —
+    // after a crash the unsynced bytes are gone anyway).
+    file_->Truncate(durable_size_);
+    return s;
+  }
   durable_size_ += buffer_.size();
   buffer_.clear();
   return Status::OK();
 }
 
+namespace {
+
+/// Validates the frame at `off` and decodes it into `rec`; on success sets
+/// `*next` to the following frame's offset. False for torn/corrupt frames.
+bool DecodeFrame(const std::string& contents, uint64_t off, uint64_t size,
+                 LogRecord* rec, uint64_t* next) {
+  if (off + 6 > size) return false;
+  uint32_t stored_crc = DecodeFixed32(contents.data() + off);
+  uint16_t len = DecodeFixed16(contents.data() + off + 4);
+  if (off + 6 + len > size || len == 0) return false;
+  const char* body = contents.data() + off + 4;
+  if (MaskCrc(Crc32(body, 2 + len)) != stored_crc) return false;
+  auto type = static_cast<LogRecordType>(body[2]);
+  auto rec_or = LogRecord::DecodePayload(type, Slice(body + 3, len - 1));
+  if (!rec_or.ok()) return false;
+  *rec = std::move(rec_or).value();
+  *next = off + 6 + len;
+  return true;
+}
+
+}  // namespace
+
 Status LogManager::Replay(
-    const std::function<Status(Lsn, const LogRecord&)>& apply) {
+    const std::function<Status(Lsn, const LogRecord&)>& apply,
+    RecoveryReport* report) {
   auto size_or = file_->Size();
   FAME_RETURN_IF_ERROR(size_or.status());
   uint64_t size = size_or.value();
   std::string contents(size, '\0');
   if (size > 0) {
-    Slice result;
-    FAME_RETURN_IF_ERROR(file_->Read(0, size, contents.data(), &result));
-    if (result.size() != size) return Status::IOError("short log read");
+    Status read = RetryOnTransient(retry_, [&] {
+      Slice result;
+      FAME_RETURN_IF_ERROR(file_->Read(0, size, contents.data(), &result));
+      if (result.size() != size) return Status::IOError("short log read");
+      return Status::OK();
+    });
+    FAME_RETURN_IF_ERROR(read);
   }
+  RecoveryReport local;
+  RecoveryReport* rep = report != nullptr ? report : &local;
+  *rep = RecoveryReport{};
   uint64_t off = 0;
-  while (off + 6 <= size) {
-    uint32_t stored_crc = DecodeFixed32(contents.data() + off);
-    uint16_t len = DecodeFixed16(contents.data() + off + 4);
-    if (off + 6 + len > size || len == 0) break;  // torn tail
-    const char* body = contents.data() + off + 4;
-    uint32_t crc = Crc32(body, 2 + len);
-    if (MaskCrc(crc) != stored_crc) break;  // corrupt tail: stop replay
-    auto type = static_cast<LogRecordType>(body[2]);
-    Slice payload(body + 3, len - 1);
-    auto rec_or = LogRecord::DecodePayload(type, payload);
-    if (!rec_or.ok()) break;
-    FAME_RETURN_IF_ERROR(apply(off, rec_or.value()));
-    off += 6 + len;
+  LogRecord rec;
+  uint64_t next = 0;
+  while (DecodeFrame(contents, off, size, &rec, &next)) {
+    FAME_RETURN_IF_ERROR(apply(off, rec));
+    ++rep->applied_records;
+    off = next;
   }
+  rep->recovered_lsn = off;
+  rep->dropped_bytes = size - off;
+  if (rep->dropped_bytes == 0) return Status::OK();
+  // Classify the bad region: resynchronize past it looking for intact
+  // frames. Finding any means once-durable records are stranded behind
+  // damage (mid-log corruption); finding none means the tail simply never
+  // completed (a crash mid-append — the normal case).
+  uint64_t stranded = 0;
+  uint64_t scan = off + 1;
+  while (scan + 6 <= size) {
+    if (DecodeFrame(contents, scan, size, &rec, &next)) {
+      ++stranded;
+      scan = next;
+    } else {
+      ++scan;
+    }
+  }
+  if (stranded > 0) {
+    rep->corruption = true;
+    rep->dropped_records = stranded + 1;  // the damaged frame itself, too
+  } else {
+    rep->torn_tail = true;
+  }
+  return Status::OK();
+}
+
+Status LogManager::TruncateTo(Lsn lsn) {
+  if (!buffer_.empty()) {
+    return Status::InvalidArgument("flush or drop buffered appends first");
+  }
+  FAME_RETURN_IF_ERROR(
+      RetryOnTransient(retry_, [&] { return file_->Truncate(lsn); }));
+  FAME_RETURN_IF_ERROR(RetryOnTransient(retry_, [&] { return file_->Sync(); }));
+  durable_size_ = lsn;
   return Status::OK();
 }
 
 Status LogManager::Truncate() {
   buffer_.clear();
-  FAME_RETURN_IF_ERROR(file_->Truncate(0));
-  FAME_RETURN_IF_ERROR(file_->Sync());
-  durable_size_ = 0;
-  return Status::OK();
+  return TruncateTo(0);
 }
 
 }  // namespace fame::tx

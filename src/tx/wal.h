@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "osal/env.h"
 
 namespace fame::tx {
@@ -59,9 +60,32 @@ struct LogRecord {
                                            const Slice& payload);
 };
 
+/// What recovery found in the log. Distinguishes the two ways a replay scan
+/// can end early:
+///   - a *torn tail* — the trailing bytes never formed a complete record
+///     (the normal result of crashing mid-append); truncate and continue;
+///   - *mid-log corruption* — intact, once-durable records exist past the
+///     bad region, so committed data was lost to media damage. The report
+///     carries how much so the caller can surface it instead of silently
+///     serving a shortened history.
+struct RecoveryReport {
+  Lsn recovered_lsn = 0;         ///< end offset of the intact prefix
+  uint64_t applied_records = 0;  ///< records replayed from the prefix
+  uint64_t dropped_bytes = 0;    ///< bytes past recovered_lsn
+  /// Records provably lost: the damaged frame plus every intact record
+  /// stranded after it. 0 for a clean torn tail (a partial append was
+  /// never a record).
+  uint64_t dropped_records = 0;
+  bool torn_tail = false;   ///< scan ended at a clean crashed tail
+  bool corruption = false;  ///< intact records exist past the damage
+
+  /// True when the log needs attention beyond tail truncation.
+  bool lost_committed_data() const { return corruption; }
+};
+
 /// Append-only log over an osal file. Appends are buffered in memory until
 /// Flush (group commit); recovery iterates whole records, stopping at the
-/// first torn/corrupt tail.
+/// first torn/corrupt tail and classifying what it stopped on.
 class LogManager {
  public:
   static StatusOr<std::unique_ptr<LogManager>> Open(osal::Env* env,
@@ -70,15 +94,28 @@ class LogManager {
   /// Appends a record, returning its LSN. Buffered until Flush().
   StatusOr<Lsn> Append(const LogRecord& record);
 
-  /// Durably writes all buffered records.
+  /// Durably writes all buffered records. Transient IO errors are retried
+  /// with a bounded budget before surfacing.
   Status Flush();
 
-  /// Replays every intact record in LSN order. A corrupt or torn record
-  /// ends the scan silently (it is the crashed tail).
-  Status Replay(const std::function<Status(Lsn, const LogRecord&)>& apply);
+  /// Replays every intact record in LSN order, stopping at the first torn
+  /// or corrupt frame. When `report` is non-null it is filled with the
+  /// recovered LSN, drop counts, and the torn-tail vs corruption verdict.
+  Status Replay(const std::function<Status(Lsn, const LogRecord&)>& apply,
+                RecoveryReport* report = nullptr);
+
+  /// Shrinks the log to exactly `lsn` durable bytes, discarding a torn or
+  /// corrupt tail identified by Replay. Buffered appends must be flushed or
+  /// abandoned first.
+  Status TruncateTo(Lsn lsn);
 
   /// Discards the entire log (after a checkpoint made the data durable).
   Status Truncate();
+
+  /// Abandons buffered, unflushed appends. A failed commit must drop its
+  /// buffered records so they cannot ride along with a later flush and
+  /// resurrect as committed.
+  void DropBuffered() { buffer_.clear(); }
 
   /// Next LSN to be assigned.
   Lsn head() const { return durable_size_ + static_cast<Lsn>(buffer_.size()); }
@@ -94,6 +131,7 @@ class LogManager {
   std::unique_ptr<osal::RandomAccessFile> file_;
   std::string buffer_;
   uint64_t durable_size_ = 0;
+  RetryPolicy retry_;
 };
 
 }  // namespace fame::tx

@@ -1,0 +1,343 @@
+// Randomized crash-recovery harness: a deterministic transactional workload
+// runs over a FaultInjectionEnv, the "device" dies at a swept mutation
+// index, power is lost (unsynced state dropped), and the database reopens.
+// The invariant under every crash point:
+//
+//   recovered state == oracle at the last acknowledged commit, OR
+//   recovered state == that oracle plus the one transaction whose commit
+//                      was in flight when the device died
+//
+// (the commit durability point is the WAL flush, which happens before the
+// engine apply completes — so an errored commit may legitimately surface
+// after recovery, but only atomically). Nothing else may appear: no torn
+// half-transaction, no resurrected aborted write, no lost acknowledged
+// commit.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "core/products.h"
+#include "osal/env.h"
+#include "osal/fault_env.h"
+
+namespace fame::core {
+namespace {
+
+using osal::FaultInjectionEnv;
+using osal::FaultOp;
+
+constexpr int kWorkloadOps = 520;  // puts/deletes issued across the workload
+constexpr int kKeySpace = 24;
+constexpr uint32_t kSeed = 20260806;
+
+std::string KeyOf(uint32_t i) { return "key" + std::to_string(i); }
+
+DbOptions FaultOptions(osal::Env* env) {
+  DbOptions opts;
+  opts.features = {"Linux", "B+-Tree", "Transaction", "Update",
+                   "BTree-Update"};
+  opts.path = "db";
+  opts.buffer_frames = 8;  // small pool: evictions hit the device mid-run
+  opts.env = env;
+  return opts;
+}
+
+struct WorkloadResult {
+  /// Oracle state at the last commit the database acknowledged.
+  std::map<std::string, std::string> committed;
+  /// `committed` plus the write set of the transaction whose commit
+  /// errored (it may have become durable at the WAL flush regardless).
+  std::map<std::string, std::string> in_flight;
+  bool commit_failed = false;
+  Status first_error;
+};
+
+/// Runs the seeded put/delete/commit workload. Stops at the first failed
+/// commit — past that point the injected device failure is persistent and
+/// the engine has latched read-only anyway. Fully deterministic: the rng
+/// draw sequence never depends on injected outcomes.
+WorkloadResult RunWorkload(Database* db, uint32_t seed) {
+  WorkloadResult r;
+  Random rng(seed);
+  int ops_done = 0;
+  while (ops_done < kWorkloadOps) {
+    auto txn_or = db->Begin();
+    if (!txn_or.ok()) {
+      r.commit_failed = true;
+      r.first_error = txn_or.status();
+      break;
+    }
+    tx::Transaction* txn = *txn_or;
+    std::map<std::string, std::string> pending = r.committed;
+    int nops = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < nops; ++i, ++ops_done) {
+      std::string key = KeyOf(rng.Uniform(kKeySpace));
+      if (rng.OneIn(4)) {
+        EXPECT_TRUE(txn->Delete("core", key).ok());
+        pending.erase(key);
+      } else {
+        std::string value = rng.NextString(1 + rng.Uniform(40));
+        EXPECT_TRUE(txn->Put("core", key, value).ok());
+        pending[key] = value;
+      }
+    }
+    Status s = db->Commit(txn);
+    if (s.ok()) {
+      r.committed = std::move(pending);
+    } else {
+      r.commit_failed = true;
+      r.first_error = s;
+      r.in_flight = std::move(pending);
+      break;
+    }
+  }
+  if (!r.commit_failed) r.in_flight = r.committed;
+  return r;
+}
+
+/// Reads the whole key universe back through Get.
+std::map<std::string, std::string> DumpState(Database* db) {
+  std::map<std::string, std::string> state;
+  for (uint32_t i = 0; i < kKeySpace; ++i) {
+    std::string v;
+    Status s = db->Get(KeyOf(i), &v);
+    if (s.ok()) {
+      state[KeyOf(i)] = v;
+    } else {
+      EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+    }
+  }
+  return state;
+}
+
+TEST(FaultRecoveryTest, GoldenWorkloadRunsCleanUnderTheFaultEnv) {
+  auto base = osal::NewMemEnv(0);
+  FaultInjectionEnv fenv(base.get());
+  auto db = Database::Open(FaultOptions(&fenv));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  WorkloadResult gold = RunWorkload(db->get(), kSeed);
+  ASSERT_FALSE(gold.commit_failed) << gold.first_error.ToString();
+  EXPECT_EQ(DumpState(db->get()), gold.committed);
+  EXPECT_FALSE((*db)->read_only());
+  EXPECT_EQ(fenv.faults_injected(), 0u);
+}
+
+// The tentpole property test: sweep a fail-stop device death across the
+// whole workload, reopen after power loss, and hold the recovery invariant
+// at every crash point.
+TEST(FaultRecoveryTest, CommittedTransactionsSurviveEveryCrashPoint) {
+  // Golden run measures how many device mutations the workload performs.
+  uint64_t total_mutations = 0;
+  {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    auto db = Database::Open(FaultOptions(&fenv));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    WorkloadResult gold = RunWorkload(db->get(), kSeed);
+    ASSERT_FALSE(gold.commit_failed);
+    total_mutations = fenv.mutation_count();
+  }
+  ASSERT_GT(total_mutations, 100u);
+
+  int verified = 0;
+  for (uint64_t crash = 1; crash < total_mutations; crash += 13) {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    fenv.CrashAfterMutations(crash);
+    WorkloadResult run;
+    {
+      auto db = Database::Open(FaultOptions(&fenv));
+      if (db.ok()) {
+        run = RunWorkload(db->get(), kSeed);
+        if (run.commit_failed) {
+          // The engine latched read-only on the persistent failure...
+          EXPECT_TRUE((*db)->read_only()) << "crash@" << crash;
+          EXPECT_FALSE((*db)->degraded_status().ok());
+          // ...reads keep serving...
+          (void)DumpState(db->get());
+          // ...and further mutations are refused before touching the
+          // device.
+          uint64_t muts = fenv.mutation_count();
+          EXPECT_FALSE((*db)->Put("key0", "rejected").ok());
+          EXPECT_EQ(fenv.mutation_count(), muts) << "crash@" << crash;
+        }
+      }
+      // else: the device died during Open; both oracles stay empty.
+      // Destructors run against the dead device here and must stay tame.
+    }
+    // Power loss: unsynced writes vanish, the replacement device is
+    // healthy.
+    fenv.SimulateCrash();
+    auto db = Database::Open(FaultOptions(&fenv));
+    ASSERT_TRUE(db.ok())
+        << "crash@" << crash << ": reopen failed: " << db.status().ToString();
+    // Fail-stop plus power loss can only tear the log tail, never strand
+    // committed records behind damage.
+    EXPECT_FALSE((*db)->recovery_report().lost_committed_data())
+        << "crash@" << crash;
+    auto state = DumpState(db->get());
+    EXPECT_TRUE(state == run.committed || state == run.in_flight)
+        << "crash@" << crash
+        << ": recovered state is neither the last acknowledged commit nor "
+           "that plus the in-flight transaction";
+    ++verified;
+  }
+  EXPECT_GT(verified, 20);
+}
+
+// A WAL whose tail was torn on the *medium* (no power loss — e.g. a torn
+// sector write followed by a clean restart) is truncated at reopen and the
+// database keeps working.
+TEST(FaultRecoveryTest, TornWalTailOnMediumIsTruncatedAtReopen) {
+  auto env = osal::NewMemEnv(0);
+  {
+    auto db = Database::Open(FaultOptions(env.get()));
+    ASSERT_TRUE(db.ok());
+    for (int t = 0; t < 3; ++t) {
+      auto txn = (*db)->Begin();
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE((*txn)->Put("core", KeyOf(t), "v" + std::to_string(t)).ok());
+      ASSERT_TRUE((*db)->Commit(*txn).ok());
+    }
+  }
+  // Tear the last few bytes off the log.
+  std::string wal;
+  ASSERT_TRUE(env->ReadFileToString("db.wal", &wal).ok());
+  ASSERT_GT(wal.size(), 4u);
+  ASSERT_TRUE(env->WriteStringToFile("db.wal", wal.substr(0, wal.size() - 3))
+                  .ok());
+
+  auto db = Database::Open(FaultOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  tx::RecoveryReport report = (*db)->recovery_report();
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_FALSE(report.lost_committed_data());
+  // The tail was truncated: new commits append cleanly and survive.
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("core", "after", "tear").ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+  std::string v;
+  ASSERT_TRUE((*db)->Get("after", &v).ok());
+  EXPECT_EQ(v, "tear");
+}
+
+// Mid-log bit rot strands once-committed records behind the damage; the
+// engine must come up, apply the intact prefix, and *say so* through the
+// recovery report instead of silently serving a shortened history.
+TEST(FaultRecoveryTest, MidLogCorruptionIsSurfacedInTheRecoveryReport) {
+  auto env = osal::NewMemEnv(0);
+  {
+    auto db = Database::Open(FaultOptions(env.get()));
+    ASSERT_TRUE(db.ok());
+    for (int t = 0; t < 4; ++t) {
+      auto txn = (*db)->Begin();
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE((*txn)->Put("core", KeyOf(t), "v" + std::to_string(t)).ok());
+      ASSERT_TRUE((*db)->Commit(*txn).ok());
+    }
+  }
+  std::string wal;
+  ASSERT_TRUE(env->ReadFileToString("db.wal", &wal).ok());
+  wal[wal.size() / 2] ^= 0x01;  // bit rot in the middle of the log
+  ASSERT_TRUE(env->WriteStringToFile("db.wal", wal).ok());
+
+  auto db = Database::Open(FaultOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  tx::RecoveryReport report = (*db)->recovery_report();
+  EXPECT_TRUE(report.corruption);
+  EXPECT_TRUE(report.lost_committed_data());
+  EXPECT_GT(report.dropped_records, 0u);
+}
+
+// Transient device hiccups (a bounded burst of IO errors) are absorbed by
+// the retry layer: the workload completes as if the device were healthy.
+TEST(FaultRecoveryTest, TransientIoErrorBurstsAreRetriedAway) {
+  auto base = osal::NewMemEnv(0);
+  FaultInjectionEnv fenv(base.get());
+  // Every 10th write fails once; the retry layer gets a clean second try.
+  for (uint64_t n = 5; n < 400; n += 10) {
+    fenv.FailRange(FaultOp::kWrite, n, 1, Status::IOError("transient"));
+  }
+  auto db = Database::Open(FaultOptions(&fenv));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  WorkloadResult run = RunWorkload(db->get(), kSeed);
+  EXPECT_FALSE(run.commit_failed) << run.first_error.ToString();
+  EXPECT_FALSE((*db)->read_only());
+  EXPECT_GT(fenv.faults_injected(), 0u);
+  EXPECT_EQ(DumpState(db->get()), run.committed);
+}
+
+// ------------------------------------------------- StaticEngine products
+
+TEST(FaultRecoveryTest, StaticEngineDegradesToReadOnlyOnWriteFailure) {
+  auto base = osal::NewMemEnv(0);
+  FaultInjectionEnv fenv(base.get());
+  Workstation db;
+  ASSERT_TRUE(db.Open(&fenv, "ws").ok());
+  {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put("core", "stable", "1").ok());
+    ASSERT_TRUE(db.Commit(*txn).ok());
+  }
+  // The device dies for good.
+  fenv.FailFrom(FaultOp::kWrite, fenv.op_count(FaultOp::kWrite),
+                Status::IOError("device died"));
+  fenv.FailFrom(FaultOp::kSync, fenv.op_count(FaultOp::kSync),
+                Status::IOError("device died"));
+  {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put("core", "doomed", "x").ok());
+    EXPECT_FALSE(db.Commit(*txn).ok());
+  }
+  EXPECT_TRUE(db.read_only());
+  EXPECT_FALSE(db.degraded_status().ok());
+  // Reads keep serving the committed data.
+  std::string v;
+  ASSERT_TRUE(db.Get("stable", &v).ok());
+  EXPECT_EQ(v, "1");
+  // Every mutation path is refused up front.
+  EXPECT_FALSE(db.Put("k", "v").ok());
+  EXPECT_FALSE(db.Update("stable", "2").ok());
+  EXPECT_FALSE(db.Remove("stable").ok());
+  EXPECT_FALSE(db.Checkpoint().ok());
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_FALSE(db.Commit(*txn).ok());
+  // The failed commit's write set never leaked.
+  EXPECT_TRUE(db.Get("doomed", &v).IsNotFound());
+}
+
+TEST(FaultRecoveryTest, StaticEngineRecoversCommittedDataAfterPowerLoss) {
+  auto base = osal::NewMemEnv(0);
+  FaultInjectionEnv fenv(base.get());
+  {
+    Workstation db;
+    ASSERT_TRUE(db.Open(&fenv, "ws").ok());
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put("core", "setpoint", "42").ok());
+    ASSERT_TRUE(db.Commit(*txn).ok());
+    auto t2 = db.Begin();
+    ASSERT_TRUE(t2.ok());
+    ASSERT_TRUE((*t2)->Put("core", "zombie", "x").ok());
+    // no commit for t2 — power fails now
+  }
+  fenv.SimulateCrash();
+  Workstation db;
+  ASSERT_TRUE(db.Open(&fenv, "ws").ok());
+  EXPECT_FALSE(db.recovery_report().lost_committed_data());
+  std::string v;
+  ASSERT_TRUE(db.Get("setpoint", &v).ok());
+  EXPECT_EQ(v, "42");
+  EXPECT_TRUE(db.Get("zombie", &v).IsNotFound());
+  EXPECT_FALSE(db.read_only());  // reopen resets degradation
+}
+
+}  // namespace
+}  // namespace fame::core

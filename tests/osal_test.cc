@@ -6,6 +6,7 @@
 
 #include "osal/allocator.h"
 #include "osal/env.h"
+#include "osal/fault_env.h"
 
 namespace fame::osal {
 namespace {
@@ -176,6 +177,125 @@ TEST(Win32EnvTest, PathNormalization) {
   ASSERT_TRUE(env->ReadFileToString("C:/data/DB.FAME", &out).ok());
   EXPECT_EQ(out, "hi");
   EXPECT_STREQ(env->name(), "win32");
+}
+
+// ------------------------------------------------------------ fault env
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  FaultEnvTest() : base_(NewMemEnv(0)), env_(base_.get()) {}
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv env_;
+};
+
+TEST_F(FaultEnvTest, PassesThroughWhenHealthy) {
+  auto f = env_.OpenFile("f", true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(0, "hello").ok());
+  char buf[8];
+  Slice result;
+  ASSERT_TRUE((*f)->Read(0, 5, buf, &result).ok());
+  EXPECT_EQ(result.ToString(), "hello");
+  EXPECT_EQ(env_.op_count(FaultOp::kWrite), 1u);
+  EXPECT_EQ(env_.op_count(FaultOp::kRead), 1u);
+  EXPECT_EQ(env_.faults_injected(), 0u);
+}
+
+TEST_F(FaultEnvTest, FailRangeFiresOnExactOpIndexes) {
+  env_.FailRange(FaultOp::kWrite, 1, 1, Status::IOError("injected"));
+  auto f = env_.OpenFile("f", true);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->Write(0, "a").ok());    // write #0
+  EXPECT_FALSE((*f)->Write(1, "b").ok());   // write #1: scheduled fault
+  EXPECT_TRUE((*f)->Write(1, "b").ok());    // write #2: healthy again
+  EXPECT_EQ(env_.faults_injected(), 1u);
+}
+
+TEST_F(FaultEnvTest, FailFromIsPersistent) {
+  env_.FailFrom(FaultOp::kSync, 1, Status::IOError("worn out"));
+  auto f = env_.OpenFile("f", true);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->Sync().ok());
+  EXPECT_FALSE((*f)->Sync().ok());
+  EXPECT_FALSE((*f)->Sync().ok());
+  env_.ClearFaults();
+  EXPECT_TRUE((*f)->Sync().ok());
+}
+
+TEST_F(FaultEnvTest, TornWritePersistsPrefixAndFails) {
+  env_.TearWrite(0, 3);
+  auto f = env_.OpenFile("f", true);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE((*f)->Write(0, "hello").ok());
+  // The prefix reached the medium even though the caller saw an error.
+  std::string out;
+  ASSERT_TRUE(base_->ReadFileToString("f", &out).ok());
+  EXPECT_EQ(out, "hel");
+}
+
+TEST_F(FaultEnvTest, SimulateCrashRevertsToLastSyncedImage) {
+  {
+    auto f = env_.OpenFile("f", true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "AAAA").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Write(4, "BBBB").ok());  // never synced
+  }
+  env_.SimulateCrash();
+  std::string out;
+  ASSERT_TRUE(env_.ReadFileToString("f", &out).ok());
+  EXPECT_EQ(out, "AAAA");
+}
+
+TEST_F(FaultEnvTest, NeverSyncedFileVanishesAtCrash) {
+  {
+    auto f = env_.OpenFile("ghost", true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "volatile").ok());
+  }
+  env_.SimulateCrash();
+  EXPECT_FALSE(env_.FileExists("ghost"));
+}
+
+TEST_F(FaultEnvTest, PreexistingContentSurvivesCrash) {
+  ASSERT_TRUE(base_->WriteStringToFile("old", "durable data").ok());
+  {
+    auto f = env_.OpenFile("old", false);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "XXXX").ok());  // unsynced overwrite
+  }
+  env_.SimulateCrash();
+  std::string out;
+  ASSERT_TRUE(env_.ReadFileToString("old", &out).ok());
+  EXPECT_EQ(out, "durable data");
+}
+
+TEST_F(FaultEnvTest, FailedSyncIsNotADurabilityPoint) {
+  env_.FailRange(FaultOp::kSync, 0, 1, Status::IOError("injected"));
+  {
+    auto f = env_.OpenFile("f", true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "data").ok());
+    EXPECT_FALSE((*f)->Sync().ok());
+  }
+  env_.SimulateCrash();
+  EXPECT_FALSE(env_.FileExists("f"));
+}
+
+TEST_F(FaultEnvTest, CrashAfterMutationsKillsTheDevice) {
+  env_.CrashAfterMutations(2);
+  auto f = env_.OpenFile("f", true);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->Write(0, "a").ok());   // mutation #0
+  EXPECT_TRUE((*f)->Write(1, "b").ok());   // mutation #1
+  EXPECT_FALSE((*f)->Write(2, "c").ok());  // past the crash point
+  EXPECT_FALSE((*f)->Sync().ok());
+  // Reads keep working on the dead device.
+  char buf[4];
+  Slice result;
+  EXPECT_TRUE((*f)->Read(0, 2, buf, &result).ok());
+  EXPECT_EQ(result.ToString(), "ab");
+  EXPECT_EQ(env_.mutation_count(), 4u);  // attempted ops count too
 }
 
 // ------------------------------------------------------------ allocators

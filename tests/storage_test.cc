@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "osal/allocator.h"
 #include "osal/env.h"
+#include "osal/fault_env.h"
 #include "storage/buffer.h"
 #include "storage/pagefile.h"
 #include "storage/record.h"
@@ -168,14 +169,14 @@ TEST_F(PageFileTest, CreateAndReopen) {
     ASSERT_TRUE(pf.ok()) << pf.status().ToString();
     auto id = (*pf)->AllocatePage();
     ASSERT_TRUE(id.ok());
-    EXPECT_EQ(*id, 1u);
+    EXPECT_EQ(*id, PageFile::kFirstDataPage);
     ASSERT_TRUE((*pf)->SetRoot("main", *id, 77).ok());
     ASSERT_TRUE((*pf)->Sync().ok());
   }
   auto pf = PageFile::Open(env_.get(), "db", opts);
   ASSERT_TRUE(pf.ok());
-  EXPECT_EQ((*pf)->page_count(), 2u);
-  EXPECT_EQ(*(*pf)->GetRoot("main"), 1u);
+  EXPECT_EQ((*pf)->page_count(), PageFile::kFirstDataPage + 1);
+  EXPECT_EQ(*(*pf)->GetRoot("main"), PageFile::kFirstDataPage);
   EXPECT_EQ(*(*pf)->GetRootAux("main"), 77u);
   EXPECT_TRUE((*pf)->GetRoot("absent").status().IsNotFound());
 }
@@ -247,14 +248,14 @@ TEST_F(PageFileTest, FreeListRecyclesPages) {
   PageId a = *pf->AllocatePage();
   PageId b = *pf->AllocatePage();
   PageId c = *pf->AllocatePage();
-  EXPECT_EQ(pf->page_count(), 4u);
+  EXPECT_EQ(pf->page_count(), PageFile::kFirstDataPage + 3);
   ASSERT_TRUE(pf->FreePage(b).ok());
   ASSERT_TRUE(pf->FreePage(a).ok());
   EXPECT_EQ(*pf->CountFreePages(), 2u);
   // LIFO reuse, no file growth.
   EXPECT_EQ(*pf->AllocatePage(), a);
   EXPECT_EQ(*pf->AllocatePage(), b);
-  EXPECT_EQ(pf->page_count(), 4u);
+  EXPECT_EQ(pf->page_count(), PageFile::kFirstDataPage + 3);
   EXPECT_EQ(*pf->CountFreePages(), 0u);
   (void)c;
 }
@@ -264,9 +265,11 @@ TEST_F(PageFileTest, CannotFreeMetaOrInvalid) {
   auto pf = PageFile::Open(env_.get(), "db", opts);
   ASSERT_TRUE(pf.ok());
   EXPECT_FALSE((*pf)->FreePage(0).ok());
+  EXPECT_FALSE((*pf)->FreePage(1).ok());  // both meta slots are protected
   EXPECT_FALSE((*pf)->FreePage(99).ok());
   std::vector<char> buf(opts.page_size);
   EXPECT_FALSE((*pf)->ReadPage(0, buf.data()).ok());
+  EXPECT_FALSE((*pf)->ReadPage(1, buf.data()).ok());
 }
 
 TEST_F(PageFileTest, RootDirectoryCapacity) {
@@ -280,6 +283,158 @@ TEST_F(PageFileTest, RootDirectoryCapacity) {
             StatusCode::kResourceExhausted);
   // Updating an existing root still works.
   EXPECT_TRUE((*pf)->SetRoot("r3", 2).ok());
+}
+
+TEST_F(PageFileTest, MetaEpochAdvancesPerStore) {
+  PageFileOptions opts;
+  auto pf = PageFile::Open(env_.get(), "db", opts);
+  ASSERT_TRUE(pf.ok());
+  uint64_t e0 = (*pf)->meta_epoch();
+  ASSERT_TRUE((*pf)->SetRoot("r", PageFile::kFirstDataPage).ok());
+  ASSERT_TRUE((*pf)->Sync().ok());
+  EXPECT_EQ((*pf)->meta_epoch(), e0 + 1);
+  ASSERT_TRUE((*pf)->Sync().ok());  // clean meta: no new epoch
+  EXPECT_EQ((*pf)->meta_epoch(), e0 + 1);
+}
+
+TEST_F(PageFileTest, CorruptNewestMetaSlotFallsBackToPrevious) {
+  PageFileOptions opts;
+  uint64_t newest_epoch = 0;
+  PageId root = 0;
+  {
+    auto pf = PageFile::Open(env_.get(), "db", opts);
+    ASSERT_TRUE(pf.ok());
+    root = *(*pf)->AllocatePage();
+    ASSERT_TRUE((*pf)->SetRoot("main", root).ok());
+    ASSERT_TRUE((*pf)->Sync().ok());  // previous good meta
+    ASSERT_TRUE((*pf)->SetRoot("doomed", root).ok());
+    ASSERT_TRUE((*pf)->Sync().ok());  // newest meta, in the other slot
+    newest_epoch = (*pf)->meta_epoch();
+    ASSERT_TRUE((*pf)->Close().ok());
+  }
+  // Scribble over the newest slot, as a torn meta write would have.
+  auto raw = env_->OpenFile("db", false);
+  ASSERT_TRUE(raw.ok());
+  uint64_t slot_off = (newest_epoch & 1) * opts.page_size;
+  ASSERT_TRUE((*raw)->Write(slot_off + 40, "torn!").ok());
+
+  auto pf = PageFile::Open(env_.get(), "db", opts);
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  EXPECT_EQ((*pf)->meta_epoch(), newest_epoch - 1);
+  EXPECT_EQ(*(*pf)->GetRoot("main"), root);
+  EXPECT_TRUE((*pf)->GetRoot("doomed").status().IsNotFound());
+}
+
+TEST_F(PageFileTest, TornMetaWriteOnSyncRollsBack) {
+  osal::FaultInjectionEnv fenv(env_.get());
+  PageFileOptions opts;
+  opts.io_attempts = 1;  // a retry would simply rewrite and heal the tear
+  uint64_t good_epoch = 0;
+  PageId root = 0;
+  {
+    auto pf = PageFile::Open(&fenv, "db", opts);
+    ASSERT_TRUE(pf.ok());
+    root = *(*pf)->AllocatePage();
+    ASSERT_TRUE((*pf)->SetRoot("main", root).ok());
+    ASSERT_TRUE((*pf)->Sync().ok());
+    good_epoch = (*pf)->meta_epoch();
+    ASSERT_TRUE((*pf)->SetRoot("doomed", root).ok());
+    // The very next write is the meta store for the sync below: tear it
+    // mid-slot and keep the device dead from then on.
+    fenv.TearWrite(fenv.op_count(osal::FaultOp::kWrite), 100);
+    fenv.FailFrom(osal::FaultOp::kWrite,
+                  fenv.op_count(osal::FaultOp::kWrite) + 1,
+                  Status::IOError("device died"));
+    EXPECT_FALSE((*pf)->Sync().ok());
+    EXPECT_FALSE((*pf)->Close().ok());
+  }
+  fenv.ClearFaults();
+  // The torn bytes are on the medium; the loader must reject that slot and
+  // fall back to the previous epoch.
+  auto pf = PageFile::Open(env_.get(), "db", opts);
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  EXPECT_EQ((*pf)->meta_epoch(), good_epoch);
+  EXPECT_EQ(*(*pf)->GetRoot("main"), root);
+  EXPECT_TRUE((*pf)->GetRoot("doomed").status().IsNotFound());
+}
+
+TEST_F(PageFileTest, TransientWriteErrorsAreRetried) {
+  osal::FaultInjectionEnv fenv(env_.get());
+  fenv.FailRange(osal::FaultOp::kWrite, 0, 1, Status::IOError("transient"));
+  PageFileOptions opts;  // default io_attempts = 3
+  auto pf = PageFile::Open(&fenv, "db", opts);
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  EXPECT_EQ(fenv.faults_injected(), 1u);
+}
+
+TEST_F(PageFileTest, AllocateDetectsDoubleFreeTypeTag) {
+  PageFileOptions opts;
+  auto pf = PageFile::Open(env_.get(), "db", opts);
+  ASSERT_TRUE(pf.ok());
+  PageId a = *(*pf)->AllocatePage();
+  ASSERT_TRUE((*pf)->FreePage(a).ok());
+  // A client keeps using the freed page (double free / crossed chain): the
+  // head of the free chain no longer carries the kFree tag.
+  std::vector<char> buf(opts.page_size, 0);
+  Page page(buf.data(), buf.size());
+  page.Init(PageType::kHeap);
+  ASSERT_TRUE((*pf)->WritePage(a, buf.data()).ok());
+  auto id = (*pf)->AllocatePage();
+  ASSERT_TRUE(id.status().IsCorruption());
+  EXPECT_NE(id.status().ToString().find("double free"), std::string::npos);
+}
+
+TEST_F(PageFileTest, AllocateDetectsScribbledFreePage) {
+  PageFileOptions opts;
+  auto pf = PageFile::Open(env_.get(), "db", opts);
+  ASSERT_TRUE(pf.ok());
+  PageId a = *(*pf)->AllocatePage();
+  ASSERT_TRUE((*pf)->FreePage(a).ok());
+  // Flip a byte in the freed page's body behind the page file's back: the
+  // type tag still reads kFree but the checksum must catch the damage.
+  auto raw = env_->OpenFile("db", false);
+  ASSERT_TRUE(raw.ok());
+  uint64_t off = static_cast<uint64_t>(a) * opts.page_size + 200;
+  ASSERT_TRUE((*raw)->Write(off, "Z").ok());
+  EXPECT_TRUE((*pf)->AllocatePage().status().IsCorruption());
+}
+
+TEST_F(PageFileTest, CloseReturnsTheFinalMetaWriteStatus) {
+  osal::FaultInjectionEnv fenv(env_.get());
+  PageFileOptions opts;
+  opts.io_attempts = 1;
+  auto pf = PageFile::Open(&fenv, "db", opts);
+  ASSERT_TRUE(pf.ok());
+  ASSERT_TRUE((*pf)->SetRoot("r", PageFile::kFirstDataPage).ok());
+  fenv.FailFrom(osal::FaultOp::kWrite, fenv.op_count(osal::FaultOp::kWrite),
+                Status::IOError("device died"));
+  fenv.FailFrom(osal::FaultOp::kSync, fenv.op_count(osal::FaultOp::kSync),
+                Status::IOError("device died"));
+  Status s = (*pf)->Close();
+  EXPECT_FALSE(s.ok());
+  // Idempotent: the memoized status comes back, without new IO.
+  uint64_t writes = fenv.op_count(osal::FaultOp::kWrite);
+  EXPECT_EQ((*pf)->Close().ToString(), s.ToString());
+  EXPECT_EQ(fenv.op_count(osal::FaultOp::kWrite), writes);
+}
+
+TEST_F(PageFileTest, DestructorRecordsLostMetaWrite) {
+  osal::FaultInjectionEnv fenv(env_.get());
+  PageFileOptions opts;
+  opts.io_attempts = 1;
+  uint64_t before = PageFile::lost_meta_writes();
+  {
+    auto pf = PageFile::Open(&fenv, "db", opts);
+    ASSERT_TRUE(pf.ok());
+    ASSERT_TRUE((*pf)->SetRoot("r", PageFile::kFirstDataPage).ok());
+    fenv.FailFrom(osal::FaultOp::kWrite, fenv.op_count(osal::FaultOp::kWrite),
+                  Status::IOError("device died"));
+    fenv.FailFrom(osal::FaultOp::kSync, fenv.op_count(osal::FaultOp::kSync),
+                  Status::IOError("device died"));
+    // No explicit Close: the destructor's best-effort close fails and the
+    // loss is recorded instead of vanishing.
+  }
+  EXPECT_EQ(PageFile::lost_meta_writes(), before + 1);
 }
 
 // ------------------------------------------------------------ BufferManager

@@ -132,6 +132,158 @@ TEST_F(WalTest, TruncateResetsLog) {
   EXPECT_EQ(count, 0);
 }
 
+TEST_F(WalTest, ReportClassifiesTornTail) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(1)).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Commit(1)).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(2)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+  // Tear the last record: a crash mid-append.
+  auto file = env_->OpenFile("wal", false);
+  ASSERT_TRUE(file.ok());
+  uint64_t size = *(*file)->Size();
+  ASSERT_TRUE((*file)->Truncate(size - 2).ok());
+
+  auto log2 = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log2.ok());
+  RecoveryReport report;
+  ASSERT_TRUE((*log2)
+                  ->Replay([](Lsn, const LogRecord&) { return Status::OK(); },
+                           &report)
+                  .ok());
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_FALSE(report.corruption);
+  EXPECT_FALSE(report.lost_committed_data());
+  EXPECT_EQ(report.applied_records, 2u);
+  EXPECT_EQ(report.dropped_records, 0u);  // a partial append was no record
+  EXPECT_GT(report.dropped_bytes, 0u);
+  EXPECT_LT(report.recovered_lsn, size - 2);
+}
+
+TEST_F(WalTest, ReportClassifiesMidLogCorruption) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Put(1, "s", "key", "value")).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Commit(1)).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(2)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+  // Flip a bit inside the first record: two intact, once-durable records
+  // are now stranded behind the damage.
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString("wal", &contents).ok());
+  contents[10] ^= 0x01;
+  ASSERT_TRUE(env_->WriteStringToFile("wal", contents).ok());
+
+  auto log2 = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log2.ok());
+  RecoveryReport report;
+  ASSERT_TRUE((*log2)
+                  ->Replay([](Lsn, const LogRecord&) { return Status::OK(); },
+                           &report)
+                  .ok());
+  EXPECT_TRUE(report.corruption);
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_TRUE(report.lost_committed_data());
+  EXPECT_EQ(report.applied_records, 0u);
+  EXPECT_EQ(report.recovered_lsn, 0u);
+  EXPECT_EQ(report.dropped_records, 3u);  // damaged frame + 2 stranded
+}
+
+TEST_F(WalTest, TruncateToDiscardsTheClassifiedTail) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(1)).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Commit(1)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+  auto file = env_->OpenFile("wal", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Truncate(*(*file)->Size() - 1).ok());
+
+  auto log2 = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log2.ok());
+  RecoveryReport report;
+  ASSERT_TRUE((*log2)
+                  ->Replay([](Lsn, const LogRecord&) { return Status::OK(); },
+                           &report)
+                  .ok());
+  ASSERT_TRUE(report.torn_tail);
+  ASSERT_TRUE((*log2)->TruncateTo(report.recovered_lsn).ok());
+  RecoveryReport clean;
+  ASSERT_TRUE((*log2)
+                  ->Replay([](Lsn, const LogRecord&) { return Status::OK(); },
+                           &clean)
+                  .ok());
+  EXPECT_EQ(clean.dropped_bytes, 0u);
+  EXPECT_FALSE(clean.torn_tail);
+  EXPECT_EQ(clean.applied_records, report.applied_records);
+}
+
+TEST_F(WalTest, TruncateToRejectsBufferedAppends) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(1)).ok());
+  EXPECT_TRUE((*log)->TruncateTo(0).IsInvalidArgument());
+  (*log)->DropBuffered();
+  EXPECT_TRUE((*log)->TruncateTo(0).ok());
+  EXPECT_EQ((*log)->head(), 0u);
+}
+
+TEST_F(WalTest, DroppedBufferedRecordsNeverSurface) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Begin(9)).ok());
+  ASSERT_TRUE((*log)->Append(LogRecord::Commit(9)).ok());
+  (*log)->DropBuffered();  // a failed commit abandons its records
+  ASSERT_TRUE((*log)->Flush().ok());
+  int count = 0;
+  ASSERT_TRUE((*log)
+                  ->Replay([&count](Lsn, const LogRecord&) {
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+// Property: a single bit flip anywhere in the log yields a clean prefix
+// recovery — Replay never fails, applies only records ahead of the damage,
+// and flags the tail as torn or corrupt.
+TEST_F(WalTest, BitFlipAnywhereYieldsPrefixRecovery) {
+  auto log = LogManager::Open(env_.get(), "wal");
+  ASSERT_TRUE(log.ok());
+  uint64_t total = 0;
+  for (uint64_t t = 1; t <= 3; ++t) {
+    ASSERT_TRUE((*log)->Append(LogRecord::Begin(t)).ok());
+    ASSERT_TRUE(
+        (*log)->Append(LogRecord::Put(t, "s", "k" + std::to_string(t),
+                                      "v" + std::to_string(t))).ok());
+    ASSERT_TRUE((*log)->Append(LogRecord::Commit(t)).ok());
+    total += 3;
+  }
+  ASSERT_TRUE((*log)->Flush().ok());
+  std::string pristine;
+  ASSERT_TRUE(env_->ReadFileToString("wal", &pristine).ok());
+
+  for (size_t pos = 0; pos < pristine.size(); pos += 3) {
+    auto env2 = osal::NewMemEnv(0);
+    std::string damaged = pristine;
+    damaged[pos] ^= 0x40;
+    ASSERT_TRUE(env2->WriteStringToFile("wal", damaged).ok());
+    auto log2 = LogManager::Open(env2.get(), "wal");
+    ASSERT_TRUE(log2.ok());
+    RecoveryReport report;
+    ASSERT_TRUE((*log2)
+                    ->Replay([](Lsn, const LogRecord&) { return Status::OK(); },
+                             &report)
+                    .ok())
+        << "flip at " << pos;
+    EXPECT_LT(report.applied_records, total) << "flip at " << pos;
+    EXPECT_TRUE(report.torn_tail || report.corruption) << "flip at " << pos;
+    EXPECT_LE(report.recovered_lsn, pos) << "flip at " << pos;
+  }
+}
+
 // ------------------------------------------------------------ locks
 
 TEST(LockManagerTest, SharedLocksAreCompatible) {
