@@ -23,9 +23,26 @@ struct RetryPolicy {
   void (*backoff)(uint32_t attempt) = nullptr;
 };
 
+/// True when `s` means the medium is out of space. Envs report that as
+/// ResourceExhausted (POSIX ENOSPC/EDQUOT, MemEnv capacity, injected disk
+/// full); the message check catches IOError-wrapped ENOSPC from foreign
+/// env implementations.
+inline bool IsDiskFull(const Status& s) {
+  if (s.code() == StatusCode::kResourceExhausted) return true;
+  if (s.code() != StatusCode::kIOError) return false;
+  const std::string& m = s.message();
+  return m.find("ENOSPC") != std::string::npos ||
+         m.find("No space left") != std::string::npos ||
+         m.find("disk full") != std::string::npos;
+}
+
 /// True for error codes worth retrying: transient IO glitches and busy
-/// resources. Corruption, NotFound, etc. are deterministic and are not.
+/// resources. Corruption and NotFound are deterministic; a full disk stays
+/// full on the immediate retry — none of those may burn retry budget or,
+/// worse, repeat a mutation.
 inline bool IsTransient(const Status& s) {
+  if (s.code() == StatusCode::kCorruption) return false;
+  if (IsDiskFull(s)) return false;
   return s.code() == StatusCode::kIOError || s.code() == StatusCode::kBusy;
 }
 

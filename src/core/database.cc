@@ -57,37 +57,7 @@ Status Database::ComposeComponents(const DbOptions& options) {
     allocator_ = std::make_unique<osal::DynamicAllocator>();
   }
 
-  storage::PageFileOptions pf_opts;
-  pf_opts.page_size = options.page_size;
-  auto file_or = storage::PageFile::Open(env_, options.path, pf_opts);
-  FAME_RETURN_IF_ERROR(file_or.status());
-  file_ = std::move(file_or).value();
-
-  // Replacement alternative.
-  const char* policy = HasFeature("LFU")   ? "lfu"
-                       : HasFeature("Clock") ? "clock"
-                                             : "lru";
-  auto bm_or = storage::BufferManager::Create(
-      file_.get(), options.buffer_frames, allocator_.get(),
-      storage::MakeReplacementPolicy(policy));
-  FAME_RETURN_IF_ERROR(bm_or.status());
-  buffers_ = std::move(bm_or).value();
-
-  auto heap_or = storage::RecordManager::Open(buffers_.get(), kStore);
-  FAME_RETURN_IF_ERROR(heap_or.status());
-  heap_ = std::move(heap_or).value();
-
-  // Index alternative.
-  if (HasFeature("B+-Tree")) {
-    auto idx_or = index::BPlusTree::Open(buffers_.get(), kStore);
-    FAME_RETURN_IF_ERROR(idx_or.status());
-    ordered_ = idx_or.value().get();
-    index_ = std::move(idx_or).value();
-  } else {
-    auto idx_or = index::ListIndex::Open(buffers_.get(), kStore);
-    FAME_RETURN_IF_ERROR(idx_or.status());
-    index_ = std::move(idx_or).value();
-  }
+  FAME_RETURN_IF_ERROR(OpenStorageStack());
 
   has_put_ = HasFeature("Put");
   has_remove_ = HasFeature("Remove");
@@ -108,6 +78,49 @@ Status Database::ComposeComponents(const DbOptions& options) {
   // SQL Engine feature.
   if (HasFeature("SQL-Engine")) {
     sql_ = std::make_unique<SqlEngine>(this, HasFeature("Optimizer"));
+  }
+  return Status::OK();
+}
+
+Status Database::OpenStorageStack() {
+  ordered_ = nullptr;
+  scrubber_.reset();
+  storage::PageFileOptions pf_opts;
+  pf_opts.page_size = options_.page_size;
+  auto file_or = storage::PageFile::Open(env_, options_.path, pf_opts);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  file_ = std::move(file_or).value();
+
+  // Replacement alternative.
+  const char* policy = HasFeature("LFU")   ? "lfu"
+                       : HasFeature("Clock") ? "clock"
+                                             : "lru";
+  auto bm_or = storage::BufferManager::Create(
+      file_.get(), options_.buffer_frames, allocator_.get(),
+      storage::MakeReplacementPolicy(policy));
+  FAME_RETURN_IF_ERROR(bm_or.status());
+  buffers_ = std::move(bm_or).value();
+
+  auto heap_or = storage::RecordManager::Open(buffers_.get(), kStore);
+  FAME_RETURN_IF_ERROR(heap_or.status());
+  heap_ = std::move(heap_or).value();
+
+  // Index alternative.
+  if (HasFeature("B+-Tree")) {
+    auto idx_or = index::BPlusTree::Open(buffers_.get(), kStore);
+    FAME_RETURN_IF_ERROR(idx_or.status());
+    ordered_ = idx_or.value().get();
+    index_ = std::move(idx_or).value();
+  } else {
+    auto idx_or = index::ListIndex::Open(buffers_.get(), kStore);
+    FAME_RETURN_IF_ERROR(idx_or.status());
+    index_ = std::move(idx_or).value();
+  }
+
+  // Integrity features keep one scrubber so incremental cycles and stats
+  // survive across calls.
+  if (HasFeature("Scrub") || HasFeature("Verify")) {
+    scrubber_ = std::make_unique<storage::Scrubber>(file_.get());
   }
   return Status::OK();
 }

@@ -17,6 +17,7 @@
 #include "osal/allocator.h"
 #include "osal/env.h"
 #include "storage/buffer.h"
+#include "storage/integrity.h"
 #include "storage/record.h"
 #include "tx/txmgr.h"
 
@@ -42,6 +43,27 @@ struct DbOptions {
 };
 
 class SqlEngine;
+
+/// One-stop observability snapshot (Database::GetStats): buffer pool,
+/// scrubbing, fault/degradation, repair, and transaction counters that were
+/// previously scattered across component accessors or stderr logs.
+struct DbStats {
+  storage::BufferStats buffer;
+  storage::ScrubStats scrub;
+  /// Process-wide meta writes lost in destructor-time best-effort closes.
+  uint64_t lost_meta_writes = 0;
+  uint64_t page_count = 0;
+  uint64_t verify_runs = 0;
+  uint64_t repair_runs = 0;
+  uint64_t pages_quarantined = 0;
+  uint64_t records_salvaged = 0;
+  uint64_t committed_txns = 0;
+  uint64_t aborted_txns = 0;
+  bool read_only = false;
+  tx::RecoveryReport recovery;
+
+  std::string ToString() const;
+};
 
 /// A composed FAME-DBMS instance.
 class Database : private tx::ApplyTarget {
@@ -90,6 +112,30 @@ class Database : private tx::ApplyTarget {
   }
   osal::Env* env() { return env_; }
 
+  // ---- integrity features (Scrub / Verify / Repair, runtime-gated) ----
+  /// [feature Scrub] Incremental scrubbing: checks up to `max_pages` pages,
+  /// resuming across calls; call from idle time. Returns pages checked.
+  StatusOr<uint32_t> Scrub(uint32_t max_pages);
+  /// [feature Verify] Full integrity pass: page scrub + free-list audit +
+  /// index invariants + heap/index cross-check + WAL scan. Fills `report`
+  /// either way; returns OK only when the report is clean. Read-only.
+  Status VerifyIntegrity(storage::IntegrityReport* report);
+  /// [feature Repair] Quarantines corrupt pages (raw images appended to
+  /// `<path>.quarantine`), salvages every record still readable, rebuilds
+  /// the file and index from the salvage, replays the WAL for anything
+  /// newer than the last checkpoint, and lifts the read-only latch.
+  /// Committed records on corrupt pages are lost (and say so in `report`);
+  /// everything else survives. Fails InvalidArgument with transactions
+  /// still active.
+  Status Repair(storage::IntegrityReport* report = nullptr);
+  /// Unified observability counters (always available).
+  DbStats GetStats() const;
+  /// Accumulated findings of incremental Scrub() calls (VerifyIntegrity
+  /// uses its own per-call report instead).
+  const storage::IntegrityReport& scrub_findings() const {
+    return scrub_findings_;
+  }
+
   // ---- degraded (read-only) mode ----
   /// True after a persistent write failure (IO error or on-disk corruption
   /// on a mutation path) flipped the engine to read-only. Reads keep
@@ -109,6 +155,10 @@ class Database : private tx::ApplyTarget {
   Database() = default;
 
   Status ComposeComponents(const DbOptions& options);
+  /// Opens the storage stack (page file, buffer pool, heap, index,
+  /// scrubber) at options_.path; Repair re-runs it after rebuilding the
+  /// file. env_ and allocator_ must already be set up.
+  Status OpenStorageStack();
   Status PutInternal(const Slice& key, const Slice& value);
   Status RemoveInternal(const Slice& key);
 
@@ -143,9 +193,15 @@ class Database : private tx::ApplyTarget {
   index::OrderedIndex* ordered_ = nullptr;       // non-null for B+-Tree
   std::unique_ptr<tx::TransactionManager> txmgr_;
   std::unique_ptr<SqlEngine> sql_;
+  std::unique_ptr<storage::Scrubber> scrubber_;  // with Scrub/Verify
+  storage::IntegrityReport scrub_findings_;      // incremental Scrub() only
 
   bool has_put_ = false, has_remove_ = false, has_update_ = false;
   Status write_error_;  // first persistent write failure; OK while healthy
+  uint64_t verify_runs_ = 0;
+  uint64_t repair_runs_ = 0;
+  uint64_t pages_quarantined_ = 0;
+  uint64_t records_salvaged_ = 0;
 };
 
 }  // namespace fame::core

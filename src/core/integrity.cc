@@ -1,0 +1,403 @@
+// Integrity features of the Database facade: Scrub (incremental page
+// scrubbing), Verify (the full structural pass behind VerifyIntegrity),
+// Repair (quarantine + salvage + rebuild + WAL replay), and the unified
+// GetStats snapshot. Kept out of database.cc so the access-path code stays
+// readable; everything here is runtime-gated on the Scrub/Verify/Repair
+// features of the extended Figure-2 model.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sql.h"
+#include "index/bplus_tree.h"
+#include "index/list_index.h"
+
+namespace fame::core {
+
+namespace {
+
+constexpr char kStore[] = "core";  // same store name database.cc composes
+
+/// Caps per-category issue lists so a totally shredded file cannot balloon
+/// the report; the tail is summarized instead.
+constexpr size_t kMaxListedIssues = 64;
+
+void AddIssue(std::vector<std::string>* list, std::string msg) {
+  if (list->size() < kMaxListedIssues) {
+    list->push_back(std::move(msg));
+  } else if (list->size() == kMaxListedIssues) {
+    list->push_back("(further issues of this kind suppressed)");
+  }
+}
+
+/// Splits a core record ("varint32 klen, key, value") into its key; false
+/// when the bytes cannot possibly be a record.
+bool DecodeRecordKey(const Slice& rec, Slice* key) {
+  Slice in = rec;
+  uint32_t klen = 0;
+  if (!GetVarint32(&in, &klen) || in.size() < klen) return false;
+  *key = Slice(in.data(), klen);
+  return true;
+}
+
+std::string RidStr(const storage::Rid& rid) {
+  return std::to_string(rid.page) + ":" + std::to_string(rid.slot);
+}
+
+// ------------------------------------------------------------ salvage
+
+struct SalvageResult {
+  /// key -> full record bytes, keyed so the rebuild is deduplicated and
+  /// (for the B+-tree) fed in ascending key order.
+  std::map<std::string, std::string> records;
+  std::vector<storage::PageId> quarantined;
+  std::string quarantine_blob;  // concatenated quarantine entries
+};
+
+/// Quarantine container entry framing: ["FQ01"][u32 page id][u32 page size]
+/// [image]. Raw page images only; a post-mortem tool can dig records out.
+void AppendQuarantineEntry(std::string* blob, storage::PageId id,
+                           const char* image, uint32_t page_size) {
+  blob->append("FQ01", 4);
+  PutFixed32(blob, id);
+  PutFixed32(blob, page_size);
+  blob->append(image, page_size);
+}
+
+/// Raw scan of every data page: corrupt pages are quarantined, live records
+/// on intact heap pages are collected. Never trusts any chain or index —
+/// those may be the corrupt part.
+Status SalvageScan(storage::PageFile* file, storage::IntegrityReport* report,
+                   SalvageResult* out) {
+  const uint32_t page_size = file->page_size();
+  std::vector<char> buf(page_size);
+  for (storage::PageId id = storage::PageFile::kFirstDataPage;
+       id < file->page_count(); ++id) {
+    Status rs = file->ReadPageRaw(id, buf.data());
+    if (!rs.ok()) {
+      report->AddCorrupt(id, "unreadable: " + rs.ToString());
+      out->quarantined.push_back(id);  // no image to preserve
+      continue;
+    }
+    bool all_zero =
+        std::all_of(buf.begin(), buf.end(), [](char c) { return c == 0; });
+    if (all_zero) continue;  // allocated, never written
+    storage::Page page(buf.data(), page_size);
+    uint8_t tag = static_cast<uint8_t>(buf[0]);
+    bool bad_tag = tag > static_cast<uint8_t>(storage::PageType::kOverflow) ||
+                   page.type() == storage::PageType::kMeta;
+    Status cs = bad_tag ? Status::OK() : page.VerifyChecksum();
+    if (bad_tag || !cs.ok()) {
+      report->AddCorrupt(id, bad_tag ? "bad page type tag" : cs.message());
+      out->quarantined.push_back(id);
+      AppendQuarantineEntry(&out->quarantine_blob, id, buf.data(), page_size);
+      continue;
+    }
+    if (page.type() != storage::PageType::kHeap) continue;
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto rec_or = page.Get(slot);
+      if (!rec_or.ok()) continue;  // dead slot
+      Slice rec = rec_or.value();
+      Slice key;
+      if (!DecodeRecordKey(rec, &key)) {
+        AddIssue(&report->heap_issues,
+                 "dropping undecodable record at " +
+                     RidStr(storage::Rid{id, slot}));
+        continue;
+      }
+      auto inserted = out->records.emplace(key.ToString(), rec.ToString());
+      if (!inserted.second) {
+        AddIssue(&report->heap_issues,
+                 "duplicate key on page " + std::to_string(id) +
+                     " (keeping the first copy)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Appends `blob` to `name` (creating it on first use).
+Status AppendToFile(osal::Env* env, const std::string& name,
+                    const std::string& blob) {
+  auto file_or = env->OpenFile(name, /*create=*/true);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  auto& f = *file_or.value();
+  FAME_ASSIGN_OR_RETURN(uint64_t size, f.Size());
+  FAME_RETURN_IF_ERROR(f.Write(size, blob));
+  return f.Sync();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Scrub
+
+StatusOr<uint32_t> Database::Scrub(uint32_t max_pages) {
+  if (!HasFeature("Scrub")) {
+    return Status::NotSupported("feature Scrub not selected");
+  }
+  return scrubber_->ScrubStep(max_pages, &scrub_findings_);
+}
+
+// ------------------------------------------------------------ Verify
+
+Status Database::VerifyIntegrity(storage::IntegrityReport* report) {
+  if (!HasFeature("Verify")) {
+    return Status::NotSupported("feature Verify not selected");
+  }
+  *report = storage::IntegrityReport{};
+
+  // Bring the medium up to date so the scrub covers current state. Only a
+  // healthy engine flushes — a degraded one verifies what is on disk.
+  if (write_error_.ok()) {
+    FAME_RETURN_IF_ERROR(buffers_->FlushAll());
+    FAME_RETURN_IF_ERROR(file_->Sync());
+  }
+
+  // Page-level: checksums, type tags, free-list audit.
+  FAME_RETURN_IF_ERROR(scrubber_->ScrubAll(report));
+
+  // Index structure.
+  if (ordered_ != nullptr) {
+    Status s = static_cast<index::BPlusTree*>(ordered_)->CheckInvariants();
+    if (!s.ok()) AddIssue(&report->index_issues, s.ToString());
+  }
+
+  // Heap -> index: every live record must be indexed under its own key at
+  // its own rid.
+  Status hs = heap_->Scan([&](const storage::Rid& rid, const Slice& rec) {
+    Slice key;
+    if (!DecodeRecordKey(rec, &key)) {
+      AddIssue(&report->heap_issues,
+               "undecodable record at " + RidStr(rid));
+      return true;
+    }
+    uint64_t packed = 0;
+    Status ls = index_->Lookup(key, &packed);
+    if (!ls.ok()) {
+      AddIssue(&report->heap_issues,
+               "record at " + RidStr(rid) + " missing from the index");
+    } else if (!(storage::Rid::Unpack(packed) == rid)) {
+      AddIssue(&report->heap_issues,
+               "index maps the key of record " + RidStr(rid) +
+                   " to a different rid " +
+                   RidStr(storage::Rid::Unpack(packed)));
+    }
+    return true;
+  });
+  if (!hs.ok()) {
+    AddIssue(&report->heap_issues, "heap walk stopped: " + hs.ToString());
+  }
+
+  // Index -> heap: every entry must point at a live record bearing its key.
+  Status is = index_->Scan([&](const Slice& key, uint64_t packed) {
+    storage::Rid rid = storage::Rid::Unpack(packed);
+    std::string rec;
+    Status gs = heap_->Get(rid, &rec);
+    Slice stored_key;
+    if (!gs.ok()) {
+      AddIssue(&report->index_issues,
+               "index entry dangles at " + RidStr(rid) + ": " +
+                   gs.ToString());
+    } else if (!DecodeRecordKey(Slice(rec), &stored_key) ||
+               stored_key != key) {
+      AddIssue(&report->index_issues,
+               "index entry points at a record with a different key (" +
+                   RidStr(rid) + ")");
+    }
+    return true;
+  });
+  if (!is.ok()) {
+    AddIssue(&report->index_issues, "index scan stopped: " + is.ToString());
+  }
+
+  // WAL: decode every durable frame. Post-recovery, any torn tail or
+  // mid-log damage is new.
+  if (txmgr_ != nullptr) {
+    tx::RecoveryReport wal;
+    Status ws = txmgr_->ScanLog(&wal);
+    if (!ws.ok()) {
+      AddIssue(&report->wal_issues, "wal scan failed: " + ws.ToString());
+    } else if (wal.corruption) {
+      AddIssue(&report->wal_issues,
+               "mid-log corruption: " + std::to_string(wal.dropped_records) +
+                   " record(s) stranded past LSN " +
+                   std::to_string(wal.recovered_lsn));
+    } else if (wal.torn_tail) {
+      AddIssue(&report->wal_issues,
+               "torn tail past LSN " + std::to_string(wal.recovered_lsn) +
+                   " (" + std::to_string(wal.dropped_bytes) +
+                   " byte(s); truncated at next recovery)");
+    }
+  }
+
+  ++verify_runs_;
+  if (report->clean()) return Status::OK();
+  return Status::Corruption("integrity verification found " +
+                            std::to_string(report->corrupt_pages.size()) +
+                            " corrupt page(s) and further issues; see report");
+}
+
+// ------------------------------------------------------------ Repair
+
+Status Database::Repair(storage::IntegrityReport* report) {
+  if (!HasFeature("Repair")) {
+    return Status::NotSupported("feature Repair not selected");
+  }
+  storage::IntegrityReport local;
+  if (report == nullptr) report = &local;
+  *report = storage::IntegrityReport{};
+  if (txmgr_ != nullptr && txmgr_->active_transactions() > 0) {
+    return Status::InvalidArgument("repair with transactions still active");
+  }
+  report->page_size = file_->page_size();
+  report->page_count = file_->page_count();
+
+  // Flush whatever clean state the pool still holds; failures here are
+  // usually the reason repair was called, so they are not fatal.
+  (void)buffers_->FlushAll();
+  (void)file_->Sync();
+
+  // Tear down everything above the page file. The WAL file stays on disk:
+  // committed operations newer than the last checkpoint are replayed after
+  // the rebuild.
+  sql_.reset();
+  txmgr_.reset();
+  scrubber_.reset();
+  index_.reset();
+  ordered_ = nullptr;
+  heap_.reset();
+
+  SalvageResult salvage;
+  FAME_RETURN_IF_ERROR(SalvageScan(file_.get(), report, &salvage));
+
+  buffers_.reset();
+  (void)file_->Close();  // the old image is about to be replaced
+  file_.reset();
+
+  if (!salvage.quarantine_blob.empty()) {
+    FAME_RETURN_IF_ERROR(AppendToFile(env_, options_.path + ".quarantine",
+                                      salvage.quarantine_blob));
+  }
+
+  // Rebuild a fresh file from the salvage, then install it atomically.
+  std::string tmp = options_.path + ".repair";
+  if (env_->FileExists(tmp)) FAME_RETURN_IF_ERROR(env_->DeleteFile(tmp));
+  Status rebuild = [&]() -> Status {
+    storage::PageFileOptions pf_opts;
+    pf_opts.page_size = options_.page_size;
+    FAME_ASSIGN_OR_RETURN(auto pf, storage::PageFile::Open(env_, tmp, pf_opts));
+    {
+      FAME_ASSIGN_OR_RETURN(
+          auto bm, storage::BufferManager::Create(
+                       pf.get(), options_.buffer_frames, allocator_.get(),
+                       storage::MakeReplacementPolicy("lru")));
+      FAME_ASSIGN_OR_RETURN(auto heap,
+                            storage::RecordManager::Open(bm.get(), kStore));
+      if (HasFeature("B+-Tree")) {
+        FAME_ASSIGN_OR_RETURN(auto tree,
+                              index::BPlusTree::Open(bm.get(), kStore));
+        std::vector<std::pair<std::string, uint64_t>> entries;
+        entries.reserve(salvage.records.size());
+        for (const auto& [key, rec] : salvage.records) {
+          FAME_ASSIGN_OR_RETURN(storage::Rid rid, heap->Insert(rec));
+          entries.emplace_back(key, rid.Pack());
+        }
+        if (!entries.empty()) FAME_RETURN_IF_ERROR(tree->BulkLoad(entries));
+      } else {
+        FAME_ASSIGN_OR_RETURN(auto list,
+                              index::ListIndex::Open(bm.get(), kStore));
+        for (const auto& [key, rec] : salvage.records) {
+          FAME_ASSIGN_OR_RETURN(storage::Rid rid, heap->Insert(rec));
+          FAME_RETURN_IF_ERROR(list->Insert(key, rid.Pack()));
+        }
+      }
+      FAME_RETURN_IF_ERROR(bm->Checkpoint());
+    }
+    FAME_RETURN_IF_ERROR(pf->Close());
+    return env_->RenameFile(tmp, options_.path);
+  }();
+
+  // Recompose on whichever file is now at options_.path — the rebuilt one,
+  // or (when the rebuild failed before install) the original.
+  Status reopen = OpenStorageStack();
+  if (rebuild.ok() && reopen.ok() && HasFeature("Transaction")) {
+    tx::CommitProtocol protocol = HasFeature("Force-Commit")
+                                      ? tx::CommitProtocol::kForceAtCommit
+                                      : tx::CommitProtocol::kWalRedo;
+    auto mgr_or = tx::TransactionManager::Open(env_, options_.path + ".wal",
+                                               this, protocol);
+    reopen = mgr_or.status();
+    if (reopen.ok()) {
+      txmgr_ = std::move(mgr_or).value();
+      // Replays everything committed after the last checkpoint. Redone
+      // puts are idempotent upserts; deletes of already-gone keys are
+      // tolerated by recovery.
+      reopen = txmgr_->Recover();
+    }
+  }
+  if (!rebuild.ok()) return rebuild;
+  FAME_RETURN_IF_ERROR(reopen);
+  if (HasFeature("SQL-Engine")) {
+    sql_ = std::make_unique<SqlEngine>(this, HasFeature("Optimizer"));
+  }
+
+  // The rebuilt file is consistent by construction: lift the latch.
+  write_error_ = Status::OK();
+  report->repaired = true;
+  report->quarantined_pages = salvage.quarantined;
+  report->records_salvaged = salvage.records.size();
+  ++repair_runs_;
+  pages_quarantined_ += salvage.quarantined.size();
+  records_salvaged_ += salvage.records.size();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ stats
+
+DbStats Database::GetStats() const {
+  DbStats s;
+  if (buffers_ != nullptr) s.buffer = buffers_->stats();
+  if (scrubber_ != nullptr) s.scrub = scrubber_->stats();
+  s.lost_meta_writes = storage::PageFile::lost_meta_writes();
+  if (file_ != nullptr) s.page_count = file_->page_count();
+  s.verify_runs = verify_runs_;
+  s.repair_runs = repair_runs_;
+  s.pages_quarantined = pages_quarantined_;
+  s.records_salvaged = records_salvaged_;
+  s.read_only = read_only();
+  if (txmgr_ != nullptr) {
+    s.committed_txns = txmgr_->committed();
+    s.aborted_txns = txmgr_->aborted();
+    s.recovery = txmgr_->recovery_report();
+  }
+  return s;
+}
+
+std::string DbStats::ToString() const {
+  std::string out;
+  auto line = [&out](const char* k, uint64_t v) {
+    out += std::string(k) + ": " + std::to_string(v) + "\n";
+  };
+  line("pages", page_count);
+  line("buffer hits", buffer.hits);
+  line("buffer misses", buffer.misses);
+  line("buffer evictions", buffer.evictions);
+  line("dirty writebacks", buffer.dirty_writebacks);
+  line("scrub pages checked", scrub.pages_checked);
+  line("scrub corrupt pages", scrub.corrupt_pages);
+  line("scrub cycles", scrub.cycles_completed);
+  line("verify runs", verify_runs);
+  line("repair runs", repair_runs);
+  line("pages quarantined", pages_quarantined);
+  line("records salvaged", records_salvaged);
+  line("lost meta writes", lost_meta_writes);
+  line("committed txns", committed_txns);
+  line("aborted txns", aborted_txns);
+  line("wal records replayed at open", recovery.applied_records);
+  line("wal bytes dropped at open", recovery.dropped_bytes);
+  out += std::string("read-only: ") + (read_only ? "yes" : "no") + "\n";
+  return out;
+}
+
+}  // namespace fame::core

@@ -527,14 +527,60 @@ StatusOr<uint32_t> BPlusTree::Height() {
 
 Status BPlusTree::CheckInvariants() {
   uint32_t leaf_depth = 0;
-  return CheckNodeInvariants(root_, Slice(), Slice(), 1, &leaf_depth);
+  std::vector<PageId> leaves;
+  FAME_RETURN_IF_ERROR(
+      CheckNodeInvariants(root_, Slice(), Slice(), 1, &leaf_depth, &leaves));
+  // Sibling-link consistency: the chain from the leftmost leaf must visit
+  // exactly the in-order leaf sequence and then terminate. A wrong link
+  // would silently skip or repeat keys in every range scan.
+  PageId chain = leaves.empty() ? storage::kInvalidPageId : leaves.front();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (chain != leaves[i]) {
+      return Status::Corruption(
+          "leaf sibling chain diverges from tree order at page " +
+          std::to_string(chain));
+    }
+    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(chain));
+    BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+    chain = node.link();
+  }
+  if (chain != storage::kInvalidPageId) {
+    return Status::Corruption("leaf sibling chain does not terminate (page " +
+                              std::to_string(chain) + " past the last leaf)");
+  }
+  return Status::OK();
 }
 
 Status BPlusTree::CheckNodeInvariants(PageId page, const Slice& lo,
                                       const Slice& hi, uint32_t depth,
-                                      uint32_t* leaf_depth) {
+                                      uint32_t* leaf_depth,
+                                      std::vector<PageId>* leaves) {
   FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
-  BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
+  const size_t page_size = buffers_->file()->page_size();
+  BtreeNode node(guard.page().raw(), page_size);
+
+  // The node must actually be a B+-tree page: a heap or free page wired in
+  // here means a cross-linked structure.
+  storage::PageType tag = guard.page().type();
+  if (tag != storage::PageType::kBTreeLeaf &&
+      tag != storage::PageType::kBTreeInner) {
+    return Status::Corruption("page " + std::to_string(page) +
+                              " in the tree has non-btree type tag " +
+                              std::to_string(static_cast<unsigned>(tag)));
+  }
+  // Occupancy bounds: directory and record area must fit the page. (Nodes
+  // may be legally underfull — rebalancing leaves a node underfull when
+  // neither borrow nor merge is possible — so there is no lower bound.)
+  if (BtreeNode::kHeaderSize + BtreeNode::kDirEntrySize * node.count() >
+      page_size) {
+    return Status::Corruption("node directory overflows page " +
+                              std::to_string(page));
+  }
+  if (node.UsedBytes() + BtreeNode::kDirEntrySize * node.count() >
+      page_size - BtreeNode::kHeaderSize) {
+    return Status::Corruption("node entries overflow page " +
+                              std::to_string(page));
+  }
 
   // Keys strictly ascending and within (lo, hi].
   for (uint16_t i = 0; i < node.count(); ++i) {
@@ -555,6 +601,7 @@ Status BPlusTree::CheckNodeInvariants(PageId page, const Slice& lo,
     } else if (*leaf_depth != depth) {
       return Status::Corruption("leaves at differing depths");
     }
+    leaves->push_back(page);
     return Status::OK();
   }
   // Recurse into children with tightened bounds.
@@ -565,7 +612,7 @@ Status BPlusTree::CheckNodeInvariants(PageId page, const Slice& lo,
     std::string hi_copy = child_hi.ToString();
     FAME_RETURN_IF_ERROR(CheckNodeInvariants(node.ChildAt(pos),
                                              Slice(lo_copy), Slice(hi_copy),
-                                             depth + 1, leaf_depth));
+                                             depth + 1, leaf_depth, leaves));
   }
   return Status::OK();
 }

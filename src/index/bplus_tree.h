@@ -38,8 +38,10 @@ class BPlusTree final : public OrderedIndex {
   /// Height of the tree (1 = root is a leaf). For tests and stats.
   StatusOr<uint32_t> Height();
 
-  /// Checks structural invariants (key order within nodes, separator
-  /// correctness, leaf chain order). Used by property tests.
+  /// Checks structural invariants: page type tags, key order within nodes,
+  /// separator correctness, uniform leaf depth, occupancy bounds, and
+  /// sibling-link consistency (the leaf chain must equal the in-order leaf
+  /// sequence and terminate). Used by property tests and VerifyIntegrity.
   Status CheckInvariants();
 
   /// Maximum key length this tree accepts (a node must hold >= 4 entries).
@@ -77,7 +79,8 @@ class BPlusTree final : public OrderedIndex {
 
   Status CheckNodeInvariants(storage::PageId page, const Slice& lo,
                              const Slice& hi, uint32_t depth,
-                             uint32_t* leaf_depth);
+                             uint32_t* leaf_depth,
+                             std::vector<storage::PageId>* leaves);
 
   storage::BufferManager* buffers_;
   std::string name_;

@@ -14,29 +14,50 @@ class FaultFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, char* scratch,
               Slice* result) const override {
-    FAME_RETURN_IF_ERROR(env_->CheckOp(FaultOp::kRead, nullptr, nullptr));
-    return base_->Read(offset, n, scratch, result);
+    FaultInjectionEnv::FaultOutcome o = env_->CheckOp(FaultOp::kRead);
+    if (!o.error.ok()) return o.error;
+    FAME_RETURN_IF_ERROR(base_->Read(offset, n, scratch, result));
+    if (o.corrupt && result->size() > 0) {
+      // Silent bit rot: deliver flipped data with a clean status. The base
+      // may return a pointer into its own memory; corrupt a copy in the
+      // caller's scratch, never the medium.
+      if (result->data() != scratch) {
+        std::memcpy(scratch, result->data(), result->size());
+        *result = Slice(scratch, result->size());
+      }
+      uint64_t at = o.corrupt_byte < result->size() ? o.corrupt_byte
+                                                    : result->size() - 1;
+      scratch[at] ^= static_cast<char>(1u << (o.corrupt_bit & 7));
+    }
+    return Status::OK();
   }
 
   Status Write(uint64_t offset, const Slice& data) override {
-    bool torn = false;
-    uint64_t keep = 0;
-    Status s = env_->CheckOp(FaultOp::kWrite, &torn, &keep);
-    if (torn) {
+    FaultInjectionEnv::FaultOutcome o = env_->CheckOp(FaultOp::kWrite);
+    if (o.torn) {
       // Persist a prefix, then report the failure: the bytes are on the
       // medium even though the caller sees an error.
-      uint64_t k = keep < data.size() ? keep : data.size();
+      uint64_t k = o.torn_keep < data.size() ? o.torn_keep : data.size();
       if (k > 0) {
         FAME_RETURN_IF_ERROR(base_->Write(offset, Slice(data.data(), k)));
       }
-      return s.ok() ? Status::IOError("injected torn write") : s;
+      return o.error.ok() ? Status::IOError("injected torn write") : o.error;
     }
-    if (!s.ok()) return s;
+    if (!o.error.ok()) return o.error;
+    if (env_->disk_full_) {
+      auto size_or = base_->Size();
+      FAME_RETURN_IF_ERROR(size_or.status());
+      if (offset + data.size() > size_or.value()) {
+        ++env_->faults_injected_;
+        return Status::ResourceExhausted("injected disk full (ENOSPC)");
+      }
+    }
     return base_->Write(offset, data);
   }
 
   Status Sync() override {
-    FAME_RETURN_IF_ERROR(env_->CheckOp(FaultOp::kSync, nullptr, nullptr));
+    FaultInjectionEnv::FaultOutcome o = env_->CheckOp(FaultOp::kSync);
+    if (!o.error.ok()) return o.error;
     FAME_RETURN_IF_ERROR(base_->Sync());
     // Durability point: snapshot the current content as the on-flash image.
     auto size_or = base_->Size();
@@ -56,7 +77,16 @@ class FaultFile final : public RandomAccessFile {
   StatusOr<uint64_t> Size() const override { return base_->Size(); }
 
   Status Truncate(uint64_t size) override {
-    FAME_RETURN_IF_ERROR(env_->CheckOp(FaultOp::kTruncate, nullptr, nullptr));
+    FaultInjectionEnv::FaultOutcome o = env_->CheckOp(FaultOp::kTruncate);
+    if (!o.error.ok()) return o.error;
+    if (env_->disk_full_) {
+      auto size_or = base_->Size();
+      FAME_RETURN_IF_ERROR(size_or.status());
+      if (size > size_or.value()) {
+        ++env_->faults_injected_;
+        return Status::ResourceExhausted("injected disk full (ENOSPC)");
+      }
+    }
     return base_->Truncate(size);
   }
 
@@ -66,29 +96,37 @@ class FaultFile final : public RandomAccessFile {
   std::shared_ptr<FaultInjectionEnv::FileState> state_;
 };
 
-Status FaultInjectionEnv::CheckOp(FaultOp op, bool* torn,
-                                  uint64_t* torn_keep) {
+FaultInjectionEnv::FaultOutcome FaultInjectionEnv::CheckOp(FaultOp op) {
+  FaultOutcome out;
   uint64_t index = op_counts_[static_cast<size_t>(op)]++;
   bool mutating = op != FaultOp::kRead;
   if (mutating) {
     uint64_t mindex = mutations_++;
     if (mindex >= crash_after_) {
       ++faults_injected_;
-      return Status::IOError("injected device failure (post-crash-point)");
+      out.error = Status::IOError("injected device failure (post-crash-point)");
+      return out;
     }
   }
   for (const FaultRule& r : rules_) {
     if (r.op != op) continue;
     if (index < r.start || index - r.start >= r.count) continue;
     ++faults_injected_;
-    if (r.torn && torn != nullptr) {
-      *torn = true;
-      *torn_keep = r.torn_keep;
-      return Status::OK();  // FaultFile::Write builds the torn IOError
+    if (r.torn) {
+      out.torn = true;
+      out.torn_keep = r.torn_keep;
+      return out;  // FaultFile::Write builds the torn IOError
     }
-    return r.error;
+    if (r.corrupt) {
+      out.corrupt = true;
+      out.corrupt_byte = r.corrupt_byte;
+      out.corrupt_bit = r.corrupt_bit;
+      return out;  // the read reports success; the data lies
+    }
+    out.error = r.error;
+    return out;
   }
-  return Status::OK();
+  return out;
 }
 
 std::shared_ptr<FaultInjectionEnv::FileState> FaultInjectionEnv::TrackFile(
@@ -149,9 +187,40 @@ void FaultInjectionEnv::FailFrom(FaultOp op, uint64_t start, Status error) {
 }
 
 void FaultInjectionEnv::TearWrite(uint64_t nth, uint64_t keep_bytes) {
-  rules_.push_back(FaultRule{FaultOp::kWrite, nth, 1,
-                             Status::IOError("injected torn write"), true,
-                             keep_bytes});
+  FaultRule r{FaultOp::kWrite, nth, 1, Status::IOError("injected torn write"),
+              true, keep_bytes};
+  rules_.push_back(std::move(r));
+}
+
+void FaultInjectionEnv::CorruptRead(uint64_t nth, uint64_t byte_in_result,
+                                    uint8_t bit) {
+  FaultRule r{FaultOp::kRead, nth, 1, Status::OK(), false, 0};
+  r.corrupt = true;
+  r.corrupt_byte = byte_in_result;
+  r.corrupt_bit = bit;
+  rules_.push_back(std::move(r));
+}
+
+Status FaultInjectionEnv::FlipBitAtRest(const std::string& name,
+                                        uint64_t offset, uint8_t bit) {
+  auto file_or = base_->OpenFile(name, /*create=*/false);
+  FAME_RETURN_IF_ERROR(file_or.status());
+  auto& f = *file_or.value();
+  char byte = 0;
+  Slice result;
+  FAME_RETURN_IF_ERROR(f.Read(offset, 1, &byte, &result));
+  if (result.size() < 1) {
+    return Status::InvalidArgument("bit-flip offset past end of file");
+  }
+  char mask = static_cast<char>(1u << (bit & 7));
+  char flipped = static_cast<char>(result.data()[0] ^ mask);
+  FAME_RETURN_IF_ERROR(f.Write(offset, Slice(&flipped, 1)));
+  // The rot is on the flash itself, so a post-crash image carries it too.
+  auto it = files_.find(name);
+  if (it != files_.end() && offset < it->second->synced.size()) {
+    it->second->synced[offset] ^= mask;
+  }
+  return Status::OK();
 }
 
 void FaultInjectionEnv::CrashAfterMutations(uint64_t nth) {
@@ -161,6 +230,7 @@ void FaultInjectionEnv::CrashAfterMutations(uint64_t nth) {
 void FaultInjectionEnv::ClearFaults() {
   rules_.clear();
   crash_after_ = ~0ull;
+  disk_full_ = false;
 }
 
 void FaultInjectionEnv::SimulateCrash() {

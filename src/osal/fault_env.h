@@ -63,12 +63,30 @@ class FaultInjectionEnv final : public Env {
   /// The write with index `nth` persists only its first `keep_bytes` bytes
   /// and returns IOError: a torn sector write.
   void TearWrite(uint64_t nth, uint64_t keep_bytes);
+  /// The read with index `nth` *succeeds* but silently delivers flipped bit
+  /// `bit` (0-7) of result byte `byte_in_result` (clamped to the result):
+  /// bit rot on the wire / in the sense amplifier. The medium itself is
+  /// untouched — a later read sees clean data.
+  void CorruptRead(uint64_t nth, uint64_t byte_in_result, uint8_t bit);
   /// After `nth` mutating ops (writes/syncs/truncates, globally counted)
   /// have completed, every further mutation fails with IOError — the device
   /// died mid-workload. Reads keep working.
   void CrashAfterMutations(uint64_t nth);
+  /// While set, every *size-extending* write or truncate fails with
+  /// ResourceExhausted — a full device. Overwrites of existing bytes (meta
+  /// slots, WAL tail truncation, page write-back) still succeed, exactly
+  /// like a real ENOSPC. Cleared by ClearFaults()/SimulateCrash().
+  void SetDiskFull(bool on) { disk_full_ = on; }
+  bool disk_full() const { return disk_full_; }
   /// Removes every scheduled fault.
   void ClearFaults();
+
+  // ---- at-rest damage ----
+  /// Flips bit `bit` (0-7) of byte `offset` of `name` directly on the
+  /// backing medium — silent bit rot of data at rest. The synced crash
+  /// image is flipped too (the damage is on the flash, not in a buffer).
+  /// Not counted as an op; no fault rules apply.
+  Status FlipBitAtRest(const std::string& name, uint64_t offset, uint8_t bit);
 
   // ---- crash modelling ----
   /// Power loss: every file reverts to its last synced image; files created
@@ -102,17 +120,31 @@ class FaultInjectionEnv final : public Env {
     Status error;
     bool torn = false;    // torn write: persist prefix, then fail
     uint64_t torn_keep = 0;
+    bool corrupt = false;  // corrupt read: deliver a flipped bit, report OK
+    uint64_t corrupt_byte = 0;
+    uint8_t corrupt_bit = 0;
+  };
+
+  /// What CheckOp decided for one op: an error to return, a torn write to
+  /// persist partially, or a read to corrupt silently.
+  struct FaultOutcome {
+    Status error;
+    bool torn = false;
+    uint64_t torn_keep = 0;
+    bool corrupt = false;
+    uint64_t corrupt_byte = 0;
+    uint8_t corrupt_bit = 0;
   };
 
   /// Advances the `op` counter and returns the injected fault, if any.
-  /// For torn writes, `*torn_keep` receives the prefix length to persist.
-  Status CheckOp(FaultOp op, bool* torn, uint64_t* torn_keep);
+  FaultOutcome CheckOp(FaultOp op);
 
   std::shared_ptr<FileState> TrackFile(const std::string& name, bool existed);
 
   Env* base_;
   std::vector<FaultRule> rules_;
   uint64_t crash_after_ = ~0ull;
+  bool disk_full_ = false;
   uint64_t op_counts_[kNumFaultOps] = {0, 0, 0, 0};
   uint64_t mutations_ = 0;
   uint64_t faults_injected_ = 0;

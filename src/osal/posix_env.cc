@@ -13,6 +13,16 @@ namespace fame::osal {
 namespace {
 
 Status ErrnoStatus(const std::string& context, int err) {
+  // A full device is not an IO glitch: retrying cannot help and the engine
+  // must not degrade to read-only over it. Surface it as ResourceExhausted,
+  // the same code MemEnv uses for an exceeded capacity budget.
+  if (err == ENOSPC
+#ifdef EDQUOT
+      || err == EDQUOT
+#endif
+  ) {
+    return Status::ResourceExhausted(context + ": " + std::strerror(err));
+  }
   return Status::IOError(context + ": " + std::strerror(err));
 }
 

@@ -1,0 +1,124 @@
+// Integrity subsystem: online page scrubbing and structural verification
+// over a PageFile. PR 1 made FAME-DBMS survive *stops* (crashes, torn
+// writes); this layer handles *lies* — bit rot, wear, and misdirected
+// writes that silently corrupt pages on embedded flash and are otherwise
+// discovered only when a query returns garbage.
+//
+// The checksum domains are:
+//   - meta pages 0/1: dual-slot CRC, validated by PageFile::LoadMeta (a bad
+//     slot rolls back to the other); the scrubber does not re-check them;
+//   - every data page: full-page masked CRC32 sealed at write-back;
+//   - WAL frames: per-record CRC, validated by LogManager::Replay.
+//
+// A Scrubber walks the data pages, verifying checksums and type tags
+// against the free-list/meta view, either in one full pass (ScrubAll) or a
+// bounded number of pages per call (ScrubStep) so products can scrub on
+// idle without missing deadlines. Findings accumulate in an
+// IntegrityReport — the one abstraction threaded through storage, index,
+// tx, core, and the fame_check tool.
+#ifndef FAME_STORAGE_INTEGRITY_H_
+#define FAME_STORAGE_INTEGRITY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/pagefile.h"
+
+namespace fame::storage {
+
+/// One page-level finding: which page, and why it is suspect.
+struct PageIssue {
+  PageId page = kInvalidPageId;
+  std::string reason;
+};
+
+/// Cumulative scrubbing counters (survive across incremental cycles; for
+/// Database::GetStats and NFP throughput measurement).
+struct ScrubStats {
+  uint64_t pages_checked = 0;     ///< page checks performed (all cycles)
+  uint64_t corrupt_pages = 0;     ///< corrupt detections (all cycles)
+  uint64_t cycles_completed = 0;  ///< full passes finished
+};
+
+/// Findings of a verification or repair pass. `corrupt_pages` lists pages
+/// whose on-medium bytes are provably bad (checksum/type-tag/IO failures);
+/// the *_issues lists carry structural findings that reference, but are not
+/// themselves, bad pages.
+struct IntegrityReport {
+  uint32_t page_size = 0;
+  uint32_t page_count = 0;
+  uint64_t pages_scanned = 0;
+  uint64_t unwritten_pages = 0;  ///< allocated, never written (all zero)
+  uint64_t free_pages = 0;       ///< verified members of the free chain
+
+  std::vector<PageIssue> corrupt_pages;     ///< bad bytes on the medium
+  std::vector<PageIssue> freelist_issues;   ///< cycles, overlap, orphans
+  std::vector<std::string> index_issues;    ///< B+-tree invariant violations
+  std::vector<std::string> heap_issues;     ///< heap/index cross-check
+  std::vector<std::string> wal_issues;      ///< log damage past the tail
+
+  // Filled by Repair:
+  std::vector<PageId> quarantined_pages;
+  uint64_t records_salvaged = 0;
+  bool repaired = false;
+
+  /// True when nothing at all was found.
+  bool clean() const {
+    return corrupt_pages.empty() && freelist_issues.empty() &&
+           index_issues.empty() && heap_issues.empty() && wal_issues.empty();
+  }
+
+  /// Records `page` as corrupt (deduplicated: one entry per page).
+  void AddCorrupt(PageId page, std::string reason);
+  bool IsCorrupt(PageId page) const;
+  void AddFreelistIssue(PageId page, std::string reason);
+
+  /// Human-readable multi-line summary (fame_check output).
+  std::string ToString() const;
+};
+
+/// Audits the free chain: no cycles, all links in range, every member
+/// free-typed with a valid checksum (overlap with a live page shows up as a
+/// wrongly-typed member). Findings go to `report`; the set of chain members
+/// visited before any damage is returned through `chain` so page-level
+/// checks can tell orphans (free-typed, off-chain) from members. Never
+/// fails on *file* damage — that is a finding, not an error.
+Status AuditFreeList(PageFile* file, IntegrityReport* report,
+                     std::set<PageId>* chain);
+
+/// Walks the data pages of a PageFile verifying full-page checksums and
+/// type tags against the free-list view. Not thread-safe (same discipline
+/// as PageFile). All-zero pages are *unwritten* — AllocatePage zero-extends
+/// the file before first write-back — and are deliberately not findings:
+/// flagging them would make every freshly extended file "corrupt".
+class Scrubber {
+ public:
+  explicit Scrubber(PageFile* file) : file_(file) {}
+
+  /// One full pass over every data page (restarts any incremental cycle).
+  Status ScrubAll(IntegrityReport* report);
+
+  /// Checks up to `max_pages` pages, resuming where the previous call left
+  /// off; a new cycle (fresh free-list audit) starts automatically after
+  /// the previous one completes. Returns the number of pages checked this
+  /// call (less than `max_pages` only at cycle end).
+  StatusOr<uint32_t> ScrubStep(uint32_t max_pages, IntegrityReport* report);
+
+  const ScrubStats& stats() const { return stats_; }
+
+ private:
+  /// Starts a cycle: audits the free list and snapshots chain membership.
+  Status BeginCycle(IntegrityReport* report);
+  void CheckPage(PageId id, IntegrityReport* report);
+
+  PageFile* file_;
+  ScrubStats stats_;
+  bool cycle_open_ = false;
+  PageId cursor_ = PageFile::kFirstDataPage;
+  std::set<PageId> free_set_;  // chain membership, snapshotted per cycle
+};
+
+}  // namespace fame::storage
+
+#endif  // FAME_STORAGE_INTEGRITY_H_

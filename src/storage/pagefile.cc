@@ -227,15 +227,21 @@ StatusOr<PageId> PageFile::AllocatePage() {
   }
   PageId id = page_count_;
   if (id == kInvalidPageId) return Status::ResourceExhausted("page id space");
+  bool was_dirty = meta_dirty_;
   ++page_count_;
   meta_dirty_ = true;
   // Extend the file eagerly so reads of the new page succeed. MemEnv also
-  // charges its capacity budget here.
+  // charges its capacity budget here; a full device (ENOSPC) fails right
+  // here, before any state changed.
   std::vector<char> zero(opts_.page_size, 0);
   Status s = WriteAt(static_cast<uint64_t>(id) * opts_.page_size,
                      Slice(zero.data(), zero.size()));
   if (!s.ok()) {
+    // Roll back completely: a failed extension must not leave the meta
+    // dirty, or the next Sync would persist a page count the medium never
+    // accepted.
     --page_count_;
+    meta_dirty_ = was_dirty;
     return s;
   }
   return id;
@@ -268,6 +274,14 @@ Status PageFile::ReadPage(PageId id, char* buf) {
     FAME_RETURN_IF_ERROR(page.VerifyChecksum());
   }
   return Status::OK();
+}
+
+Status PageFile::ReadPageRaw(PageId id, char* buf) {
+  if (id < kFirstDataPage || id >= page_count_) {
+    return Status::InvalidArgument("read of invalid page " + std::to_string(id));
+  }
+  return ReadAt(static_cast<uint64_t>(id) * opts_.page_size, opts_.page_size,
+                buf);
 }
 
 Status PageFile::WritePage(PageId id, char* buf) {

@@ -81,6 +81,11 @@ class PageFile {
   /// Reads page `id` into `buf` (page_size bytes).
   Status ReadPage(PageId id, char* buf);
 
+  /// Reads page `id` without checksum verification, regardless of
+  /// paranoid_checks. Integrity scans and salvage use this: they decide for
+  /// themselves what bad bytes mean instead of failing the read.
+  Status ReadPageRaw(PageId id, char* buf);
+
   /// Writes page `id` from `buf`; seals the checksum in `buf` first.
   Status WritePage(PageId id, char* buf);
 
@@ -94,6 +99,9 @@ class PageFile {
 
   uint32_t page_size() const { return opts_.page_size; }
   uint32_t page_count() const { return page_count_; }
+  /// Head of the persistent free chain (kInvalidPageId when empty); the
+  /// integrity layer audits the chain from here.
+  PageId free_head() const { return free_head_; }
   /// Epoch of the currently loaded meta (tests/diagnostics).
   uint64_t meta_epoch() const { return epoch_; }
   /// Pages currently on the free chain (O(chain length); for tests/stats).

@@ -157,4 +157,9 @@ Status TransactionManager::Checkpoint() {
   return log_->Truncate();
 }
 
+Status TransactionManager::ScanLog(RecoveryReport* report) {
+  return log_->Replay(
+      [](Lsn, const LogRecord&) { return Status::OK(); }, report);
+}
+
 }  // namespace fame::tx

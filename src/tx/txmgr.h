@@ -111,6 +111,15 @@ class TransactionManager {
   /// Flush engine + truncate log (periodic housekeeping for kWalRedo).
   Status Checkpoint();
 
+  /// Read-only integrity scan of the durable log: decodes every frame
+  /// without applying anything and reports what a future recovery would
+  /// find (torn tail, mid-log corruption, drop counts). Never mutates the
+  /// log or the engine.
+  Status ScanLog(RecoveryReport* report);
+
+  /// Transactions begun but not yet committed/aborted.
+  size_t active_transactions() const { return active_.size(); }
+
   CommitProtocol protocol() const { return protocol_; }
   LockManager& locks() { return locks_; }
   uint64_t committed() const { return committed_; }

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "featuremodel/fame_model.h"
 #include "featuremodel/parser.h"
 #include "nfp/optimizer.h"
 #include "osal/env.h"
@@ -317,6 +318,38 @@ TEST(OptimizerTest, PartialSelectionsAreRespected) {
   ASSERT_TRUE(exact.ok());
   EXPECT_TRUE(exact->config.IsSelected(*model->Find("f1")));
   EXPECT_FALSE(exact->config.IsSelected(*model->Find("f4")));
+}
+
+// The shipped integrity NFP seed (measured Scrub/Verify/Repair costs) must
+// stay loadable and usable: derivation tooling fits estimators straight
+// from it, so a format or name drift here breaks `fame advise`-style flows
+// silently.
+TEST(FeedbackTest, IntegrityNfpSeedLoadsAndFits) {
+  auto repo_or = FeedbackRepository::Deserialize(fm::kFameIntegrityNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 4u);
+
+  auto est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  // Each integrity feature must carry a real (positive) code-size cost,
+  // and the full stack must estimate above the base product.
+  std::vector<std::string> base = {"API",       "B+-Tree", "BTree-Search",
+                                   "Dynamic",   "Get",     "Int-Types",
+                                   "LRU",       "Linux",   "Put",
+                                   "String-Types"};
+  std::vector<std::string> full = base;
+  full.insert(full.end(), {"Scrub", "Verify", "Repair"});
+  EXPECT_GT(est->Estimate(full), est->Estimate(base));
+  EXPECT_GT(est->FeatureWeight("Scrub"), 0.0);
+
+  // The seed's feature names must all exist in the Figure 2 model (guards
+  // against the seed and the model drifting apart).
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
 }
 
 }  // namespace
