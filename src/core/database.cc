@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <mutex>
+
 #include "core/sql.h"
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
@@ -63,13 +65,18 @@ Status Database::ComposeComponents(const DbOptions& options) {
   has_remove_ = HasFeature("Remove");
   has_update_ = HasFeature("Update");
 
+  // Concurrency feature: group-commit WAL + thread-safe transaction
+  // surface. The runtime-composed engine stack itself stays behind the
+  // transaction manager's apply/read serialization.
+  concurrent_ = HasFeature("Concurrency");
+
   // Transaction feature.
   if (HasFeature("Transaction")) {
     tx::CommitProtocol protocol = HasFeature("Force-Commit")
                                       ? tx::CommitProtocol::kForceAtCommit
                                       : tx::CommitProtocol::kWalRedo;
     auto mgr_or = tx::TransactionManager::Open(env_, options.path + ".wal",
-                                               this, protocol);
+                                               this, protocol, concurrent_);
     FAME_RETURN_IF_ERROR(mgr_or.status());
     txmgr_ = std::move(mgr_or).value();
     FAME_RETURN_IF_ERROR(txmgr_->Recover());
@@ -128,6 +135,8 @@ Status Database::OpenStorageStack() {
 // ------------------------------------------------------------ degradation
 
 Status Database::GuardWrite() const {
+  std::unique_lock<std::mutex> l(latch_mu_, std::defer_lock);
+  if (concurrent_) l.lock();  // committers race on the latch otherwise
   if (write_error_.ok()) return Status::OK();
   return Status::IOError("database is read-only after write failure: " +
                          write_error_.ToString());
@@ -138,6 +147,8 @@ Status Database::NoteWrite(Status s) {
   // corruption discovered on a mutation path, are persistent: a half-applied
   // write may be on disk, so stop mutating instead of compounding it. Reads
   // stay up; reopening the database (which re-runs recovery) is the reset.
+  std::unique_lock<std::mutex> l(latch_mu_, std::defer_lock);
+  if (concurrent_) l.lock();
   if (write_error_.ok() &&
       (s.code() == StatusCode::kIOError ||
        s.code() == StatusCode::kCorruption)) {

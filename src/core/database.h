@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/datatypes.h"
@@ -52,6 +53,12 @@ struct DbStats {
   storage::ScrubStats scrub;
   /// Process-wide meta writes lost in destructor-time best-effort closes.
   uint64_t lost_meta_writes = 0;
+  /// Process-wide dirty-page writebacks lost in destructor-time best-effort
+  /// buffer flushes (the FlushAll status the destructor cannot return).
+  uint64_t lost_page_writebacks = 0;
+  /// WAL counters (fsync count, group-commit batching) — zero-valued
+  /// without the Transaction feature.
+  tx::WalStats wal;
   uint64_t page_count = 0;
   uint64_t verify_runs = 0;
   uint64_t repair_runs = 0;
@@ -107,9 +114,8 @@ class Database : private tx::ApplyTarget {
   bool HasFeature(const std::string& name) const;
 
   Status Checkpoint();
-  const storage::BufferStats& buffer_stats() const {
-    return buffers_->stats();
-  }
+  /// Aggregated snapshot (by value: the pool keeps per-shard counters).
+  storage::BufferStats buffer_stats() const { return buffers_->stats(); }
   osal::Env* env() { return env_; }
 
   // ---- integrity features (Scrub / Verify / Repair, runtime-gated) ----
@@ -141,7 +147,11 @@ class Database : private tx::ApplyTarget {
   /// on a mutation path) flipped the engine to read-only. Reads keep
   /// serving; every mutation is rejected so a half-applied write cannot be
   /// compounded. Recovery is reopening the database.
-  bool read_only() const { return !write_error_.ok(); }
+  bool read_only() const {
+    std::unique_lock<std::mutex> l(latch_mu_, std::defer_lock);
+    if (concurrent_) l.lock();
+    return !write_error_.ok();
+  }
   /// The failure that degraded the engine (OK while healthy).
   const Status& degraded_status() const { return write_error_; }
   /// What crash recovery found in the WAL at open (zero-valued without the
@@ -197,6 +207,10 @@ class Database : private tx::ApplyTarget {
   storage::IntegrityReport scrub_findings_;      // incremental Scrub() only
 
   bool has_put_ = false, has_remove_ = false, has_update_ = false;
+  /// Concurrency feature selected: transaction surface is thread-safe and
+  /// the degradation latch below is mutex-guarded.
+  bool concurrent_ = false;
+  mutable std::mutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy
   uint64_t verify_runs_ = 0;
   uint64_t repair_runs_ = 0;

@@ -360,6 +360,7 @@ DbStats Database::GetStats() const {
   if (buffers_ != nullptr) s.buffer = buffers_->stats();
   if (scrubber_ != nullptr) s.scrub = scrubber_->stats();
   s.lost_meta_writes = storage::PageFile::lost_meta_writes();
+  s.lost_page_writebacks = storage::BufferLostWritebacks();
   if (file_ != nullptr) s.page_count = file_->page_count();
   s.verify_runs = verify_runs_;
   s.repair_runs = repair_runs_;
@@ -370,6 +371,7 @@ DbStats Database::GetStats() const {
     s.committed_txns = txmgr_->committed();
     s.aborted_txns = txmgr_->aborted();
     s.recovery = txmgr_->recovery_report();
+    s.wal = txmgr_->wal_stats();
   }
   return s;
 }
@@ -392,8 +394,12 @@ std::string DbStats::ToString() const {
   line("pages quarantined", pages_quarantined);
   line("records salvaged", records_salvaged);
   line("lost meta writes", lost_meta_writes);
+  line("lost page writebacks", lost_page_writebacks);
   line("committed txns", committed_txns);
   line("aborted txns", aborted_txns);
+  line("wal records appended", wal.records_appended);
+  line("wal fsyncs", wal.syncs);
+  line("wal group-commit batches", wal.group_batches);
   line("wal records replayed at open", recovery.applied_records);
   line("wal bytes dropped at open", recovery.dropped_bytes);
   out += std::string("read-only: ") + (read_only ? "yes" : "no") + "\n";

@@ -72,6 +72,26 @@ struct ControllerCfg {
 };
 using Controller = StaticEngine<ControllerCfg>;
 
+/// Edge server: Workstation plus the optional Concurrency feature — the
+/// multi-core product. Commits from concurrent threads batch through WAL
+/// group commit (one fsync per epoch); the storage substrate gains sharded
+/// lock striping (storage::ConcurrentBufferManager) for callers composing
+/// it directly.
+struct EdgeServerCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr bool kConcurrency = true;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 256;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+using EdgeServer = StaticEngine<EdgeServerCfg>;
+
 /// Feature selections (names from the Figure 2 model) corresponding to the
 /// products above, used by tests and the derivation tooling to check that
 /// every named product is a valid variant.
@@ -88,6 +108,11 @@ const char* const kControllerFeatures[] = {
     "Linux", "Static", "Clock", "B+-Tree", "BTree-Search", "BTree-Update",
     "BTree-Remove", "Int-Types", "Get", "Put", "Remove", "Update",
     "Transaction", "Force-Commit"};
+const char* const kEdgeServerFeatures[] = {
+    "Linux", "Dynamic", "LRU", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
+    "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
+    "Concurrency"};
 
 }  // namespace fame::core
 

@@ -14,11 +14,20 @@
 //   static constexpr uint32_t kPageSize;
 //   static constexpr size_t kBufferFrames;
 //   static constexpr size_t kStaticPoolBytes;       // 0 => Dynamic alloc
+//   static constexpr bool kConcurrency;             // optional Concurrency
+//                                                   // feature; absent => off
+//
+// With Concurrency selected, the transaction surface (Begin/Commit/Abort,
+// one transaction per thread) becomes thread-safe and commits batch through
+// WAL group commit; the read-only degradation latch turns mutex-guarded.
+// Deselected products compile to the historical lock-free engine.
 #ifndef FAME_CORE_STATIC_ENGINE_H_
 #define FAME_CORE_STATIC_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <type_traits>
 
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
@@ -60,6 +69,14 @@ struct AllocState<0> {  // Dynamic
   osal::Allocator* get() { return &alloc; }
 };
 
+/// Detects the optional Concurrency feature: Cfg structs written before the
+/// feature existed (no kConcurrency member) keep compiling and mean "off".
+template <typename Cfg, typename = void>
+struct ConcurrencySelected : std::false_type {};
+template <typename Cfg>
+struct ConcurrencySelected<Cfg, std::void_t<decltype(Cfg::kConcurrency)>>
+    : std::bool_constant<Cfg::kConcurrency> {};
+
 }  // namespace detail
 
 template <typename Cfg>
@@ -67,6 +84,8 @@ class StaticEngine : private tx::ApplyTarget {
  public:
   using Index = typename Cfg::IndexTag::Type;
   static constexpr bool kOrdered = Cfg::IndexTag::kOrdered;
+  /// Optional Concurrency feature (off for Cfgs that predate it).
+  static constexpr bool kConcurrent = detail::ConcurrencySelected<Cfg>::value;
 
   StaticEngine() = default;
   ~StaticEngine() override = default;
@@ -95,7 +114,8 @@ class StaticEngine : private tx::ApplyTarget {
       auto mgr_or = tx::TransactionManager::Open(
           env, path + ".wal", this,
           Cfg::kForceCommit ? tx::CommitProtocol::kForceAtCommit
-                            : tx::CommitProtocol::kWalRedo);
+                            : tx::CommitProtocol::kWalRedo,
+          /*group_commit=*/kConcurrent);
       FAME_RETURN_IF_ERROR(mgr_or.status());
       txmgr_ = std::move(mgr_or).value();
       FAME_RETURN_IF_ERROR(txmgr_->Recover());
@@ -193,7 +213,10 @@ class StaticEngine : private tx::ApplyTarget {
   // ---- degraded (read-only) mode, mirroring core::Database ----
   /// True after a persistent write failure flipped the engine read-only;
   /// Get/Scan keep serving, mutations are rejected until reopen.
-  bool read_only() const { return !write_error_.ok(); }
+  bool read_only() const {
+    storage::LockGuard<LatchMutex> l(latch_mu_);
+    return !write_error_.ok();
+  }
   const Status& degraded_status() const { return write_error_; }
   /// What WAL recovery found at Open (transactional products).
   tx::RecoveryReport recovery_report() const {
@@ -204,13 +227,21 @@ class StaticEngine : private tx::ApplyTarget {
   Index* index() { return index_.get(); }
 
  private:
+  /// The degradation latch is touched from every committer in a concurrent
+  /// product; a no-op lock (compiled away) in single-threaded ones.
+  using LatchMutex =
+      std::conditional_t<kConcurrent, std::mutex,
+                         storage::SingleThreaded::Mutex>;
+
   Status GuardWrite() const {
+    storage::LockGuard<LatchMutex> l(latch_mu_);
     if (write_error_.ok()) return Status::OK();
     return Status::IOError("engine is read-only after write failure: " +
                            write_error_.ToString());
   }
 
   Status NoteWrite(Status s) {
+    storage::LockGuard<LatchMutex> l(latch_mu_);
     if (write_error_.ok() &&
         (s.code() == StatusCode::kIOError ||
          s.code() == StatusCode::kCorruption)) {
@@ -291,6 +322,7 @@ class StaticEngine : private tx::ApplyTarget {
   std::unique_ptr<storage::RecordManager> heap_;
   std::unique_ptr<Index> index_;
   std::unique_ptr<tx::TransactionManager> txmgr_;
+  mutable LatchMutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy
 };
 

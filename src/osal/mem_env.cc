@@ -3,8 +3,15 @@
 // fixed RAM/flash budget. MemEnv models that: a flat name -> buffer namespace
 // with a hard capacity limit, returning ResourceExhausted when the device is
 // full (so products and tests can exercise out-of-storage paths).
+//
+// A single env-wide mutex guards the namespace, the capacity accounting, and
+// every file buffer. NutOS products are single-threaded (the feature model
+// excludes Concurrency under NutOS), so for them the lock is never contended;
+// it exists so the in-memory env can back multi-threaded buffer-pool and
+// group-commit tests without data races.
 #include <chrono>
 #include <map>
+#include <mutex>
 
 #include "osal/env.h"
 
@@ -23,27 +30,10 @@ class MemFile final : public RandomAccessFile {
       : env_(env), buf_(std::move(buf)) {}
 
   Status Read(uint64_t offset, size_t n, char* scratch,
-              Slice* result) const override {
-    const std::string& d = buf_->data;
-    if (offset >= d.size()) {
-      *result = Slice(scratch, 0);
-      return Status::OK();
-    }
-    size_t avail = d.size() - static_cast<size_t>(offset);
-    size_t take = n < avail ? n : avail;
-    std::memcpy(scratch, d.data() + offset, take);
-    *result = Slice(scratch, take);
-    return Status::OK();
-  }
-
+              Slice* result) const override;
   Status Write(uint64_t offset, const Slice& data) override;
-
   Status Sync() override { return Status::OK(); }
-
-  StatusOr<uint64_t> Size() const override {
-    return static_cast<uint64_t>(buf_->data.size());
-  }
-
+  StatusOr<uint64_t> Size() const override;
   Status Truncate(uint64_t size) override;
 
  private:
@@ -57,6 +47,7 @@ class MemEnvImpl final : public Env {
 
   StatusOr<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& name,
                                                        bool create) override {
+    std::lock_guard<std::mutex> l(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) {
       if (!create) return Status::IOError("no such file: " + name);
@@ -66,6 +57,7 @@ class MemEnvImpl final : public Env {
   }
 
   Status DeleteFile(const std::string& name) override {
+    std::lock_guard<std::mutex> l(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::IOError("no such file: " + name);
     used_ -= it->second->data.size();
@@ -74,10 +66,12 @@ class MemEnvImpl final : public Env {
   }
 
   bool FileExists(const std::string& name) const override {
+    std::lock_guard<std::mutex> l(mu_);
     return files_.count(name) > 0;
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::mutex> l(mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::IOError("no such file: " + from);
     auto old_target = files_.find(to);
@@ -99,43 +93,71 @@ class MemEnvImpl final : public Env {
 
   const char* name() const override { return "nutos"; }
 
+  uint64_t used() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return used_;
+  }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  friend class MemFile;
+
   /// Reserves `delta` more bytes of device storage; fails when the fixed
-  /// capacity would be exceeded.
-  Status Reserve(uint64_t delta) {
+  /// capacity would be exceeded. Caller holds mu_.
+  Status ReserveLocked(uint64_t delta) {
     if (capacity_ != 0 && used_ + delta > capacity_) {
       return Status::ResourceExhausted("device storage full");
     }
     used_ += delta;
     return Status::OK();
   }
-  void Release(uint64_t delta) { used_ -= delta; }
+  void ReleaseLocked(uint64_t delta) { used_ -= delta; }
 
-  uint64_t used() const { return used_; }
-  uint64_t capacity() const { return capacity_; }
-
- private:
-  uint64_t capacity_;
+  const uint64_t capacity_;
+  mutable std::mutex mu_;  // guards files_, used_, and all buffer contents
   uint64_t used_ = 0;
   std::map<std::string, std::shared_ptr<FileBuffer>> files_;
 };
 
+Status MemFile::Read(uint64_t offset, size_t n, char* scratch,
+                     Slice* result) const {
+  std::lock_guard<std::mutex> l(env_->mu_);
+  const std::string& d = buf_->data;
+  if (offset >= d.size()) {
+    *result = Slice(scratch, 0);
+    return Status::OK();
+  }
+  size_t avail = d.size() - static_cast<size_t>(offset);
+  size_t take = n < avail ? n : avail;
+  std::memcpy(scratch, d.data() + offset, take);
+  *result = Slice(scratch, take);
+  return Status::OK();
+}
+
 Status MemFile::Write(uint64_t offset, const Slice& data) {
+  std::lock_guard<std::mutex> l(env_->mu_);
   std::string& d = buf_->data;
   uint64_t end = offset + data.size();
   if (end > d.size()) {
-    FAME_RETURN_IF_ERROR(env_->Reserve(end - d.size()));
+    FAME_RETURN_IF_ERROR(env_->ReserveLocked(end - d.size()));
     d.resize(end);
   }
   std::memcpy(d.data() + offset, data.data(), data.size());
   return Status::OK();
 }
 
+StatusOr<uint64_t> MemFile::Size() const {
+  std::lock_guard<std::mutex> l(env_->mu_);
+  return static_cast<uint64_t>(buf_->data.size());
+}
+
 Status MemFile::Truncate(uint64_t size) {
+  std::lock_guard<std::mutex> l(env_->mu_);
   std::string& d = buf_->data;
   if (size > d.size()) {
-    FAME_RETURN_IF_ERROR(env_->Reserve(size - d.size()));
+    FAME_RETURN_IF_ERROR(env_->ReserveLocked(size - d.size()));
   } else {
-    env_->Release(d.size() - size);
+    env_->ReleaseLocked(d.size() - size);
   }
   d.resize(size);
   return Status::OK();

@@ -1,191 +1,28 @@
 #include "storage/buffer.h"
 
-#include <cassert>
+#include <atomic>
 
 namespace fame::storage {
 
-PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
-  if (this != &other) {
-    Release();
-    bm_ = other.bm_;
-    id_ = other.id_;
-    frame_ = other.frame_;
-    page_size_ = other.page_size_;
-    dirty_ = other.dirty_;
-    other.bm_ = nullptr;
-    other.frame_ = nullptr;
-  }
-  return *this;
+namespace {
+// Process-wide, like PageFile's lost-meta-write counter: destructor-time
+// flush failures have no caller left to report to, so they are aggregated
+// here and surfaced through Database::GetStats.
+std::atomic<uint64_t> g_lost_writebacks{0};
+}  // namespace
+
+uint64_t BufferLostWritebacks() {
+  return g_lost_writebacks.load(std::memory_order_relaxed);
 }
 
-void PageGuard::Release() {
-  if (bm_ != nullptr) {
-    bm_->Unpin(id_, dirty_);
-    bm_ = nullptr;
-    frame_ = nullptr;
-    dirty_ = false;
-  }
+namespace internal {
+void NoteBufferLostWritebacks(uint64_t n) {
+  g_lost_writebacks.fetch_add(n, std::memory_order_relaxed);
 }
+}  // namespace internal
 
-StatusOr<std::unique_ptr<BufferManager>> BufferManager::Create(
-    PageFile* file, size_t pool_frames, osal::Allocator* allocator,
-    std::unique_ptr<ReplacementPolicy> policy) {
-  if (pool_frames == 0) {
-    return Status::InvalidArgument("buffer pool needs at least one frame");
-  }
-  if (policy == nullptr) {
-    return Status::InvalidArgument("replacement policy required");
-  }
-  std::unique_ptr<BufferManager> bm(
-      new BufferManager(file, allocator, std::move(policy)));
-  bm->frames_.resize(pool_frames);
-  for (size_t i = 0; i < pool_frames; ++i) {
-    void* mem = allocator->Allocate(file->page_size());
-    if (mem == nullptr) {
-      // Roll back what we grabbed so static pools are left clean.
-      for (size_t j = 0; j < i; ++j) {
-        allocator->Deallocate(bm->frames_[j].data, file->page_size());
-        bm->frames_[j].data = nullptr;
-      }
-      return Status::ResourceExhausted(
-          "allocator cannot satisfy buffer pool of " +
-          std::to_string(pool_frames) + " frames");
-    }
-    bm->frames_[i].data = static_cast<char*>(mem);
-  }
-  return bm;
-}
-
-BufferManager::~BufferManager() {
-  FlushAll();  // best effort
-  for (Frame& f : frames_) {
-    if (f.data != nullptr) allocator_->Deallocate(f.data, file_->page_size());
-  }
-}
-
-size_t BufferManager::pinned_frames() const {
-  size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.pins > 0) ++n;
-  }
-  return n;
-}
-
-Status BufferManager::WriteBack(Frame& f) {
-  if (pre_write_hook_ != nullptr) {
-    FAME_RETURN_IF_ERROR(pre_write_hook_(pre_write_ctx_, f.page, f.data));
-  }
-  FAME_RETURN_IF_ERROR(file_->WritePage(f.page, f.data));
-  f.dirty = false;
-  ++stats_.dirty_writebacks;
-  return Status::OK();
-}
-
-StatusOr<FrameId> BufferManager::GetVictimFrame() {
-  if (next_unused_frame_ < frames_.size()) {
-    return static_cast<FrameId>(next_unused_frame_++);
-  }
-  FrameId victim;
-  if (!policy_->Victim(&victim)) {
-    return Status::ResourceExhausted("all buffer frames pinned");
-  }
-  Frame& f = frames_[victim];
-  assert(f.pins == 0);
-  if (f.dirty) {
-    FAME_RETURN_IF_ERROR(WriteBack(f));
-  }
-  page_table_.erase(f.page);
-  f.page = kInvalidPageId;
-  ++stats_.evictions;
-  return victim;
-}
-
-StatusOr<PageGuard> BufferManager::Fetch(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pins == 0) {
-      policy_->OnRemoved(it->second);  // no longer evictable
-    }
-    policy_->OnAccess(it->second);
-    ++f.pins;
-    ++stats_.hits;
-    return PageGuard(this, id, f.data, file_->page_size());
-  }
-  ++stats_.misses;
-  FAME_ASSIGN_OR_RETURN(FrameId frame, GetVictimFrame());
-  Frame& f = frames_[frame];
-  Status s = file_->ReadPage(id, f.data);
-  if (!s.ok()) {
-    // Frame stays unmapped but reusable: hand it back to the policy.
-    f.page = kInvalidPageId;
-    f.pins = 0;
-    f.dirty = false;
-    policy_->OnUnpinned(frame);
-    return s;
-  }
-  f.page = id;
-  f.pins = 1;
-  f.dirty = false;
-  page_table_[id] = frame;
-  return PageGuard(this, id, f.data, file_->page_size());
-}
-
-StatusOr<PageGuard> BufferManager::New(PageType type) {
-  FAME_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
-  FAME_ASSIGN_OR_RETURN(FrameId frame, GetVictimFrame());
-  Frame& f = frames_[frame];
-  f.page = id;
-  f.pins = 1;
-  f.dirty = true;
-  page_table_[id] = frame;
-  Page page(f.data, file_->page_size());
-  page.Init(type);
-  return PageGuard(this, id, f.data, file_->page_size());
-}
-
-Status BufferManager::Free(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    FrameId frame = it->second;
-    Frame& f = frames_[frame];
-    if (f.pins > 0) {
-      return Status::Busy("freeing a pinned page");
-    }
-    policy_->OnRemoved(frame);
-    f.page = kInvalidPageId;
-    f.dirty = false;
-    page_table_.erase(it);
-    // Recycle the frame eagerly.
-    policy_->OnUnpinned(frame);
-  }
-  return file_->FreePage(id);
-}
-
-Status BufferManager::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.page != kInvalidPageId && f.dirty) {
-      FAME_RETURN_IF_ERROR(WriteBack(f));
-    }
-  }
-  return Status::OK();
-}
-
-Status BufferManager::Checkpoint() {
-  FAME_RETURN_IF_ERROR(FlushAll());
-  return file_->Sync();
-}
-
-void BufferManager::Unpin(PageId id, bool dirty) {
-  auto it = page_table_.find(id);
-  assert(it != page_table_.end());
-  Frame& f = frames_[it->second];
-  assert(f.pins > 0);
-  if (dirty) f.dirty = true;
-  --f.pins;
-  if (f.pins == 0) {
-    policy_->OnUnpinned(it->second);
-  }
-}
+// The single-threaded pool every existing product links.
+template class BasicPageGuard<SingleThreaded>;
+template class BasicBufferManager<SingleThreaded>;
 
 }  // namespace fame::storage

@@ -1,0 +1,8 @@
+#include "storage/buffer_concurrent.h"
+
+namespace fame::storage {
+
+template class BasicPageGuard<MultiThreaded>;
+template class BasicBufferManager<MultiThreaded>;
+
+}  // namespace fame::storage

@@ -1,0 +1,22 @@
+// ConcurrentBufferManager — the buffer pool the optional "Concurrency"
+// Storage feature composes: BasicBufferManager instantiated against the
+// MultiThreaded policy (lock-striped shards, atomic pins, aggregated
+// stats). Lives in its own header + TU so products that deselect the
+// feature never include threading headers through the buffer path.
+#ifndef FAME_STORAGE_BUFFER_CONCURRENT_H_
+#define FAME_STORAGE_BUFFER_CONCURRENT_H_
+
+#include "storage/buffer.h"
+#include "storage/concurrency_mt.h"
+
+namespace fame::storage {
+
+using ConcurrentPageGuard = BasicPageGuard<MultiThreaded>;
+using ConcurrentBufferManager = BasicBufferManager<MultiThreaded>;
+
+extern template class BasicPageGuard<MultiThreaded>;
+extern template class BasicBufferManager<MultiThreaded>;
+
+}  // namespace fame::storage
+
+#endif  // FAME_STORAGE_BUFFER_CONCURRENT_H_

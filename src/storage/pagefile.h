@@ -22,6 +22,7 @@
 #ifndef FAME_STORAGE_PAGEFILE_H_
 #define FAME_STORAGE_PAGEFILE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -43,7 +44,12 @@ struct PageFileOptions {
 };
 
 /// Paged file with a persistent free list and a named-root directory.
-/// Not thread-safe; the buffer manager above it serializes access.
+/// Threading: ReadPage/WritePage are stateless apart from an atomic bounds
+/// check and may be issued concurrently when the Env's file supports it
+/// (posix pread/pwrite does). Everything that mutates meta state —
+/// AllocatePage, FreePage, Sync, SetRoot, Close — must be externally
+/// serialized; the buffer manager's file lock does so for concurrent
+/// products, and single-threaded products need nothing.
 class PageFile {
  public:
   static constexpr uint32_t kMagic = 0x454d4146u;  // "FAME"
@@ -152,7 +158,11 @@ class PageFile {
   std::unique_ptr<osal::RandomAccessFile> file_;
   PageFileOptions opts_;
   RetryPolicy retry_;
-  uint32_t page_count_ = kFirstDataPage;
+  /// Atomic so the concurrent buffer pool's lock-free read path can bounds
+  /// check against it while an allocation (serialized by the pool's file
+  /// lock) bumps it. Relaxed ordering everywhere: a plain load on the
+  /// targets we care about, so single-threaded products are unaffected.
+  std::atomic<uint32_t> page_count_{kFirstDataPage};
   PageId free_head_ = kInvalidPageId;
   uint64_t epoch_ = 0;
 

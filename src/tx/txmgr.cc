@@ -4,11 +4,33 @@
 
 namespace fame::tx {
 
+namespace {
+
+/// Scoped lock that only engages in group-commit mode, so the
+/// single-threaded path keeps its historical zero-locking behavior.
+class MaybeLock {
+ public:
+  MaybeLock(std::mutex& m, bool engage) : m_(m), engaged_(engage) {
+    if (engaged_) m_.lock();
+  }
+  ~MaybeLock() {
+    if (engaged_) m_.unlock();
+  }
+  MaybeLock(const MaybeLock&) = delete;
+  MaybeLock& operator=(const MaybeLock&) = delete;
+
+ private:
+  std::mutex& m_;
+  bool engaged_;
+};
+
+}  // namespace
+
 Status Transaction::Put(const std::string& store, const Slice& key,
                         const Slice& value) {
   if (!active_) return Status::Aborted("transaction is finished");
-  FAME_RETURN_IF_ERROR(mgr_->locks_.Acquire(id_, store + ":" + key.ToString(),
-                                            LockMode::kExclusive));
+  FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
+                                         LockMode::kExclusive));
   writes_.push_back(WriteOp{OpType::kPut, store, key.ToString(),
                             value.ToString()});
   latest_[{store, key.ToString()}] = writes_.size() - 1;
@@ -17,8 +39,8 @@ Status Transaction::Put(const std::string& store, const Slice& key,
 
 Status Transaction::Delete(const std::string& store, const Slice& key) {
   if (!active_) return Status::Aborted("transaction is finished");
-  FAME_RETURN_IF_ERROR(mgr_->locks_.Acquire(id_, store + ":" + key.ToString(),
-                                            LockMode::kExclusive));
+  FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
+                                         LockMode::kExclusive));
   writes_.push_back(WriteOp{OpType::kDelete, store, key.ToString(), ""});
   latest_[{store, key.ToString()}] = writes_.size() - 1;
   return Status::OK();
@@ -27,8 +49,8 @@ Status Transaction::Delete(const std::string& store, const Slice& key) {
 Status Transaction::Get(const std::string& store, const Slice& key,
                         std::string* value) {
   if (!active_) return Status::Aborted("transaction is finished");
-  FAME_RETURN_IF_ERROR(mgr_->locks_.Acquire(id_, store + ":" + key.ToString(),
-                                            LockMode::kShared));
+  FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
+                                         LockMode::kShared));
   auto it = latest_.find({store, key.ToString()});
   if (it != latest_.end()) {
     const WriteOp& op = writes_[it->second];
@@ -36,12 +58,12 @@ Status Transaction::Get(const std::string& store, const Slice& key,
     *value = op.value;
     return Status::OK();
   }
-  return mgr_->target_->ReadCommitted(store, key, value);
+  return mgr_->ReadCommittedSafe(store, key, value);
 }
 
 StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Open(
     osal::Env* env, const std::string& log_path, ApplyTarget* target,
-    CommitProtocol protocol) {
+    CommitProtocol protocol, bool group_commit) {
   if (target == nullptr) {
     return Status::InvalidArgument("transaction manager needs a target");
   }
@@ -50,10 +72,38 @@ StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Open(
   auto log_or = LogManager::Open(env, log_path);
   FAME_RETURN_IF_ERROR(log_or.status());
   mgr->log_ = std::move(log_or).value();
+  if (group_commit) {
+    mgr->group_commit_ = true;
+    mgr->log_->EnableGroupCommit();
+  }
   return mgr;
 }
 
+Status TransactionManager::AcquireLock(uint64_t txid, const std::string& what,
+                                       LockMode mode) {
+  MaybeLock l(locks_mu_, group_commit_);
+  return locks_.Acquire(txid, what, mode);
+}
+
+void TransactionManager::ReleaseLocks(uint64_t txid) {
+  MaybeLock l(locks_mu_, group_commit_);
+  locks_.ReleaseAll(txid);
+}
+
+Status TransactionManager::ReadCommittedSafe(const std::string& store,
+                                             const Slice& key,
+                                             std::string* value) {
+  MaybeLock l(apply_mu_, group_commit_);
+  return target_->ReadCommitted(store, key, value);
+}
+
+size_t TransactionManager::active_transactions() const {
+  MaybeLock l(state_mu_, group_commit_);
+  return active_.size();
+}
+
 Status TransactionManager::Recover() {
+  // Startup-time, before any concurrent use: no locking needed.
   // Pass 1: find committed transaction ids, and classify the log tail.
   std::set<uint64_t> committed_ids;
   FAME_RETURN_IF_ERROR(log_->Replay(
@@ -83,9 +133,10 @@ Status TransactionManager::Recover() {
 }
 
 StatusOr<Transaction*> TransactionManager::Begin() {
-  uint64_t id = next_txid_++;
+  uint64_t id = next_txid_.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::unique_ptr<Transaction>(new Transaction(this, id));
   Transaction* ptr = txn.get();
+  MaybeLock l(state_mu_, group_commit_);
   active_[id] = std::move(txn);
   return ptr;
 }
@@ -98,20 +149,43 @@ Status TransactionManager::Commit(Transaction* txn) {
   // Success or failure, the transaction is finished: locks are released and
   // the handle is dead. A failed commit must not leave its buffered log
   // records behind — a later flush would resurrect them as committed.
+  // (Under group commit DropBuffered is a no-op: the shared buffer holds
+  // other transactions' records, and a record sequence with no commit
+  // record is inert to recovery.)
   if (!s.ok()) {
     log_->DropBuffered();
-    ++aborted_;
+    aborted_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++committed_;
+    committed_.fetch_add(1, std::memory_order_relaxed);
   }
   txn->active_ = false;
-  locks_.ReleaseAll(txn->id_);
+  ReleaseLocks(txn->id_);
+  MaybeLock l(state_mu_, group_commit_);
   active_.erase(txn->id_);
   return s;
 }
 
 Status TransactionManager::CommitInternal(Transaction* txn) {
   if (txn->writes_.empty()) return Status::OK();
+  if (group_commit_) {
+    if (protocol_ == CommitProtocol::kForceAtCommit) {
+      // Force truncates the log at commit; no other transaction's records
+      // may be in flight around that, so force commits serialize wholesale.
+      // Group commit buys nothing here — the protocol is synchronous by
+      // design — but remains correct.
+      std::unique_lock<std::shared_mutex> cl(checkpoint_mu_);
+      return CommitPipeline(txn);
+    }
+    // Hold the checkpoint lock shared from append through apply so a
+    // concurrent Checkpoint cannot truncate our records before their
+    // engine apply happened.
+    std::shared_lock<std::shared_mutex> cl(checkpoint_mu_);
+    return CommitPipeline(txn);
+  }
+  return CommitPipeline(txn);
+}
+
+Status TransactionManager::CommitPipeline(Transaction* txn) {
   // WAL: every op, then the commit record, durably — before any engine
   // mutation.
   FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Begin(txn->id_)).status());
@@ -121,22 +195,26 @@ Status TransactionManager::CommitInternal(Transaction* txn) {
                         : LogRecord::Delete(txn->id_, op.store, op.key);
     FAME_RETURN_IF_ERROR(log_->Append(rec).status());
   }
-  FAME_RETURN_IF_ERROR(log_->Append(LogRecord::Commit(txn->id_)).status());
-  FAME_RETURN_IF_ERROR(log_->Flush());
+  FAME_ASSIGN_OR_RETURN(Lsn commit_lsn,
+                        log_->Append(LogRecord::Commit(txn->id_)));
+  FAME_RETURN_IF_ERROR(log_->SyncCommit(commit_lsn));
   // Apply the write set to the engine. From here the transaction is
   // durable: even if applying fails (and the commit call reports an
   // error), recovery will redo it from the log after a restart.
-  for (const auto& op : txn->writes_) {
-    if (op.op == OpType::kPut) {
-      FAME_RETURN_IF_ERROR(target_->ApplyPut(op.store, op.key, op.value));
-    } else {
-      Status s = target_->ApplyDelete(op.store, op.key);
-      if (!s.ok() && !s.IsNotFound()) return s;
+  {
+    MaybeLock al(apply_mu_, group_commit_);
+    for (const auto& op : txn->writes_) {
+      if (op.op == OpType::kPut) {
+        FAME_RETURN_IF_ERROR(target_->ApplyPut(op.store, op.key, op.value));
+      } else {
+        Status s = target_->ApplyDelete(op.store, op.key);
+        if (!s.ok() && !s.IsNotFound()) return s;
+      }
     }
-  }
-  if (protocol_ == CommitProtocol::kForceAtCommit) {
-    FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
-    FAME_RETURN_IF_ERROR(log_->Truncate());
+    if (protocol_ == CommitProtocol::kForceAtCommit) {
+      FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+      FAME_RETURN_IF_ERROR(log_->Truncate());
+    }
   }
   return Status::OK();
 }
@@ -146,18 +224,34 @@ Status TransactionManager::Abort(Transaction* txn) {
     return Status::Aborted("transaction is finished");
   }
   txn->active_ = false;
-  locks_.ReleaseAll(txn->id_);
-  ++aborted_;
+  ReleaseLocks(txn->id_);
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  MaybeLock l(state_mu_, group_commit_);
   active_.erase(txn->id_);
   return Status::OK();
 }
 
 Status TransactionManager::Checkpoint() {
+  if (group_commit_) {
+    // Exclusive against every commit pipeline: nothing may sit between
+    // "synced to the log" and "applied to the engine" while the log is
+    // truncated, or a crash after the truncate would lose it.
+    std::unique_lock<std::shared_mutex> cl(checkpoint_mu_);
+    MaybeLock al(apply_mu_, true);
+    FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+    return log_->Truncate();
+  }
   FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
   return log_->Truncate();
 }
 
 Status TransactionManager::ScanLog(RecoveryReport* report) {
+  if (group_commit_) {
+    // Quiesce committers so the scan sees a stable file.
+    std::unique_lock<std::shared_mutex> cl(checkpoint_mu_);
+    return log_->Replay([](Lsn, const LogRecord&) { return Status::OK(); },
+                        report);
+  }
   return log_->Replay(
       [](Lsn, const LogRecord&) { return Status::OK(); }, report);
 }

@@ -13,8 +13,11 @@
 #ifndef FAME_TX_TXMGR_H_
 #define FAME_TX_TXMGR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -79,15 +82,26 @@ class Transaction {
   std::map<std::pair<std::string, std::string>, size_t> latest_;
 };
 
-/// Coordinates transactions over one engine. Single-threaded interleaving;
-/// conflicts surface as Busy/Deadlock from the lock manager and the caller
-/// aborts-and-retries.
+/// Coordinates transactions over one engine. Conflicts surface as
+/// Busy/Deadlock from the lock manager and the caller aborts-and-retries.
+///
+/// Threading: single-threaded by default (`group_commit` off) with zero
+/// locking — the historical engine. With the Concurrency feature selected,
+/// Open is passed `group_commit = true` and the manager becomes safe for
+/// one-transaction-per-thread use: transaction ids and counters are atomic,
+/// shared maps and the lock manager are mutex-guarded, commit durability
+/// goes through the WAL's group-commit epochs (one fsync amortized across
+/// concurrent committers), and engine access — apply *and* ReadCommitted —
+/// is serialized behind an apply mutex, because the storage engine under
+/// the tx layer is not itself thread-safe. A Transaction handle still
+/// belongs to a single thread.
 class TransactionManager {
  public:
-  /// `log_path` is created within `env` on first use.
+  /// `log_path` is created within `env` on first use. `group_commit`
+  /// selects the concurrent commit path (Concurrency feature).
   static StatusOr<std::unique_ptr<TransactionManager>> Open(
       osal::Env* env, const std::string& log_path, ApplyTarget* target,
-      CommitProtocol protocol);
+      CommitProtocol protocol, bool group_commit = false);
 
   /// Replays committed transactions from the log into the target (call once
   /// at startup, before Begin). A torn log tail is truncated and recovery
@@ -118,12 +132,17 @@ class TransactionManager {
   Status ScanLog(RecoveryReport* report);
 
   /// Transactions begun but not yet committed/aborted.
-  size_t active_transactions() const { return active_.size(); }
+  size_t active_transactions() const;
 
   CommitProtocol protocol() const { return protocol_; }
+  bool group_commit() const { return group_commit_; }
   LockManager& locks() { return locks_; }
-  uint64_t committed() const { return committed_; }
-  uint64_t aborted() const { return aborted_; }
+  uint64_t committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted() const { return aborted_.load(std::memory_order_relaxed); }
+  /// WAL counters (fsync count feeds the fsyncs-per-commit metric).
+  WalStats wal_stats() const { return log_->wal_stats(); }
 
  private:
   friend class Transaction;
@@ -134,16 +153,36 @@ class TransactionManager {
   /// Commit body; the caller handles finishing the transaction and cleanup
   /// on failure.
   Status CommitInternal(Transaction* txn);
+  /// Log + sync + apply (+ force checkpoint) for one transaction.
+  Status CommitPipeline(Transaction* txn);
+
+  /// Lock-manager access, serialized when group commit is on.
+  Status AcquireLock(uint64_t txid, const std::string& what, LockMode mode);
+  void ReleaseLocks(uint64_t txid);
+  /// Engine read behind the apply mutex when group commit is on.
+  Status ReadCommittedSafe(const std::string& store, const Slice& key,
+                           std::string* value);
 
   ApplyTarget* target_;
   CommitProtocol protocol_;
+  bool group_commit_ = false;
   std::unique_ptr<LogManager> log_;
   LockManager locks_;
-  uint64_t next_txid_ = 1;
+  std::atomic<uint64_t> next_txid_{1};
   std::map<uint64_t, std::unique_ptr<Transaction>> active_;
-  uint64_t committed_ = 0;
-  uint64_t aborted_ = 0;
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
   RecoveryReport report_;
+
+  // Group-commit mode only; never locked otherwise.
+  mutable std::mutex state_mu_;  // next/active_ bookkeeping
+  std::mutex locks_mu_;          // LockManager is not thread-safe
+  std::mutex apply_mu_;          // engine apply + reads (engine not MT-safe)
+  /// Commit pipelines hold this shared from append through apply;
+  /// Checkpoint (and force-protocol commits, which truncate the log) hold
+  /// it exclusive. Prevents a checkpoint from truncating records whose
+  /// engine apply has not happened yet.
+  std::shared_mutex checkpoint_mu_;
 };
 
 }  // namespace fame::tx

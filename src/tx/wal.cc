@@ -98,8 +98,24 @@ StatusOr<std::unique_ptr<LogManager>> LogManager::Open(
   return log;
 }
 
+Lsn LogManager::head() const {
+  if (group_commit_) {
+    std::lock_guard<std::mutex> l(mu_);
+    return durable_size_.load(std::memory_order_relaxed) +
+           static_cast<Lsn>(buffer_.size());
+  }
+  return durable_size_.load(std::memory_order_relaxed) +
+         static_cast<Lsn>(buffer_.size());
+}
+
 StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
-  Lsn lsn = head();
+  std::unique_lock<std::mutex> l(mu_, std::defer_lock);
+  if (group_commit_) {
+    l.lock();
+    if (!poison_.ok()) return poison_;
+  }
+  Lsn lsn = durable_size_.load(std::memory_order_relaxed) +
+            static_cast<Lsn>(buffer_.size());
   std::string payload = record.EncodePayload();
   if (payload.size() + 1 > 0xffff) {
     return Status::InvalidArgument("log record too large");
@@ -114,13 +130,21 @@ StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
   PutFixed32(&frame, MaskCrc(crc));
   frame.append(body);
   buffer_.append(frame);
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
   return lsn;
 }
 
 Status LogManager::Flush() {
+  if (group_commit_) {
+    std::unique_lock<std::mutex> l(mu_);
+    Lsn target = durable_size_.load(std::memory_order_relaxed) +
+                 static_cast<Lsn>(buffer_.size());
+    return SyncThroughLocked(l, target);
+  }
   if (buffer_.empty()) return Status::OK();
+  uint64_t durable = durable_size_.load(std::memory_order_relaxed);
   Status s = RetryOnTransient(
-      retry_, [&] { return file_->Write(durable_size_, buffer_); });
+      retry_, [&] { return file_->Write(durable, buffer_); });
   if (s.ok()) {
     s = RetryOnTransient(retry_, [&] { return file_->Sync(); });
   }
@@ -128,12 +152,78 @@ Status LogManager::Flush() {
     // Remove any partially written, unsynced bytes so a later successful
     // flush does not leave stale frames past its own tail (best effort —
     // after a crash the unsynced bytes are gone anyway).
-    file_->Truncate(durable_size_);
+    file_->Truncate(durable);
     return s;
   }
-  durable_size_ += buffer_.size();
+  durable_size_.store(durable + buffer_.size(), std::memory_order_relaxed);
   buffer_.clear();
+  syncs_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status LogManager::SyncCommit(Lsn rec_lsn) {
+  if (!group_commit_) return Flush();
+  std::unique_lock<std::mutex> l(mu_);
+  // The record starting at rec_lsn is durable once the prefix strictly
+  // covers it; flushes move in whole-record granules, so rec_lsn + 1 is a
+  // sufficient target.
+  return SyncThroughLocked(l, rec_lsn + 1);
+}
+
+Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
+                                     Lsn target) {
+  for (;;) {
+    if (!poison_.ok()) return poison_;
+    if (durable_size_.load(std::memory_order_relaxed) >= target) {
+      return Status::OK();
+    }
+    if (!flush_in_progress_) break;
+    // An epoch is in flight; follow it. Records appended while the leader
+    // is fsyncing form the *next* epoch, so we may loop back to lead it.
+    cv_.wait(l);
+  }
+  if (buffer_.empty()) return Status::OK();
+  // Lead this epoch: take everything buffered — our record plus every
+  // follower's — and fsync once for the whole batch.
+  flush_in_progress_ = true;
+  std::string batch;
+  batch.swap(buffer_);
+  const uint64_t base = durable_size_.load(std::memory_order_relaxed);
+  l.unlock();
+  Status s =
+      RetryOnTransient(retry_, [&] { return file_->Write(base, batch); });
+  if (s.ok()) {
+    s = RetryOnTransient(retry_, [&] { return file_->Sync(); });
+  }
+  if (!s.ok()) {
+    file_->Truncate(base);  // best effort, as in Flush()
+  }
+  l.lock();
+  flush_in_progress_ = false;
+  if (s.ok()) {
+    durable_size_.store(base + batch.size(), std::memory_order_relaxed);
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    group_batches_.fetch_add(1, std::memory_order_relaxed);
+    group_batched_bytes_.fetch_add(batch.size(), std::memory_order_relaxed);
+  } else {
+    // The batch interleaved records from several transactions and none can
+    // be selectively unwound: poison the log so every current and future
+    // committer fails (the database above latches read-only). The durable
+    // prefix on disk stays intact.
+    poison_ = s;
+  }
+  cv_.notify_all();
+  return s;
+}
+
+WalStats LogManager::wal_stats() const {
+  WalStats out;
+  out.records_appended = records_appended_.load(std::memory_order_relaxed);
+  out.syncs = syncs_.load(std::memory_order_relaxed);
+  out.group_batches = group_batches_.load(std::memory_order_relaxed);
+  out.group_batched_bytes =
+      group_batched_bytes_.load(std::memory_order_relaxed);
+  return out;
 }
 
 namespace {

@@ -15,8 +15,11 @@
 #ifndef FAME_TX_WAL_H_
 #define FAME_TX_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,20 +86,64 @@ struct RecoveryReport {
   bool lost_committed_data() const { return corruption; }
 };
 
+/// Counters for NFP measurement and the concurrency benchmarks; snapshot
+/// aggregated from relaxed atomics, safe to read while the log is hot.
+struct WalStats {
+  uint64_t records_appended = 0;
+  /// fsyncs issued by Flush/SyncCommit (recovery-time syncs not counted),
+  /// the denominator-side input of the fsyncs-per-commit metric.
+  uint64_t syncs = 0;
+  /// Group-commit epochs led (== syncs when group commit is on).
+  uint64_t group_batches = 0;
+  uint64_t group_batched_bytes = 0;
+};
+
 /// Append-only log over an osal file. Appends are buffered in memory until
-/// Flush (group commit); recovery iterates whole records, stopping at the
-/// first torn/corrupt tail and classifying what it stopped on.
+/// a flush makes them durable; recovery iterates whole records, stopping at
+/// the first torn/corrupt tail and classifying what it stopped on.
+///
+/// Threading: single-threaded by default — the historical engine, with zero
+/// synchronization on the append path beyond the (relaxed-atomic) stats.
+/// EnableGroupCommit() switches on the cross-thread commit protocol:
+/// Append/Flush/SyncCommit become thread-safe, and concurrent committers
+/// batch — whoever finds no flush in flight becomes the epoch leader, swaps
+/// the whole buffer out, and fsyncs once for every transaction in it while
+/// followers wait on the durable LSN. Replay/TruncateTo/Truncate remain
+/// recovery-time operations and must be externally serialized against
+/// committers (TransactionManager's checkpoint lock does this).
 class LogManager {
  public:
   static StatusOr<std::unique_ptr<LogManager>> Open(osal::Env* env,
                                                     const std::string& path);
 
-  /// Appends a record, returning its LSN. Buffered until Flush().
+  /// Switches on the group-commit protocol. Call once, before any
+  /// concurrent use; products that deselect the Concurrency feature never
+  /// call it and keep the lock-free single-threaded path.
+  void EnableGroupCommit() { group_commit_ = true; }
+  bool group_commit() const { return group_commit_; }
+
+  /// Appends a record, returning its LSN. Buffered until a flush. With
+  /// group commit enabled this is thread-safe and fails fast once the log
+  /// is poisoned by a failed epoch.
   StatusOr<Lsn> Append(const LogRecord& record);
 
   /// Durably writes all buffered records. Transient IO errors are retried
-  /// with a bounded budget before surfacing.
+  /// with a bounded budget before surfacing. With group commit enabled this
+  /// joins (or leads) the current epoch.
   Status Flush();
+
+  /// Blocks until the record appended at `rec_lsn` is durable: joins the
+  /// in-flight epoch as a follower, or leads a new one and fsyncs the whole
+  /// batch. Equivalent to Flush() when group commit is off.
+  ///
+  /// A failed epoch poisons the log: a batch interleaves records from many
+  /// transactions and none of them can be selectively unwound, so every
+  /// current and future committer gets the sticky error (the database above
+  /// latches read-only) while the durable prefix stays intact on disk.
+  Status SyncCommit(Lsn rec_lsn);
+
+  /// Snapshot of the append/sync counters; safe while the log is hot.
+  WalStats wal_stats() const;
 
   /// Replays every intact record in LSN order, stopping at the first torn
   /// or corrupt frame. When `report` is non-null it is filled with the
@@ -114,24 +161,47 @@ class LogManager {
 
   /// Abandons buffered, unflushed appends. A failed commit must drop its
   /// buffered records so they cannot ride along with a later flush and
-  /// resurrect as committed.
-  void DropBuffered() { buffer_.clear(); }
+  /// resurrect as committed. No-op under group commit: the shared buffer
+  /// interleaves other transactions' records, and a commit-less record
+  /// sequence is inert to recovery anyway.
+  void DropBuffered() {
+    if (!group_commit_) buffer_.clear();
+  }
 
   /// Next LSN to be assigned.
-  Lsn head() const { return durable_size_ + static_cast<Lsn>(buffer_.size()); }
+  Lsn head() const;
   /// Bytes already durable.
-  uint64_t durable_size() const { return durable_size_; }
+  uint64_t durable_size() const {
+    return durable_size_.load(std::memory_order_relaxed);
+  }
 
  private:
   LogManager(osal::Env* env, std::string path)
       : env_(env), path_(std::move(path)) {}
 
+  /// Group-commit epoch engine; `l` holds mu_. Returns once
+  /// durable_size_ >= target or the log is poisoned.
+  Status SyncThroughLocked(std::unique_lock<std::mutex>& l, Lsn target);
+
   osal::Env* env_;
   std::string path_;
   std::unique_ptr<osal::RandomAccessFile> file_;
   std::string buffer_;
-  uint64_t durable_size_ = 0;
+  /// Atomic so stats readers never see a torn value; mutated only by the
+  /// flushing thread (under mu_ when group commit is on).
+  std::atomic<uint64_t> durable_size_{0};
   RetryPolicy retry_;
+
+  bool group_commit_ = false;
+  mutable std::mutex mu_;  // guards buffer_, flush_in_progress_, poison_
+  std::condition_variable cv_;
+  bool flush_in_progress_ = false;
+  Status poison_;  // sticky failure of a group-commit epoch
+
+  std::atomic<uint64_t> records_appended_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> group_batches_{0};
+  std::atomic<uint64_t> group_batched_bytes_{0};
 };
 
 }  // namespace fame::tx

@@ -179,7 +179,7 @@ TEST(MultiSplTest, NfpDerivationOverComposite) {
       {"os.Preemptive", 4},     {"dbms.Transaction", 34},
       {"dbms.SQL-Engine", 28},  {"dbms.API", 9},        {"dbms.B+-Tree", 18},
       {"dbms.List", 6}};
-  auto variants = composite->EnumerateVariants(2'000'000);
+  auto variants = composite->EnumerateVariants(4'000'000);
   ASSERT_TRUE(variants.ok());
   size_t i = 0;
   for (const auto& v : *variants) {

@@ -352,5 +352,37 @@ TEST(FeedbackTest, IntegrityNfpSeedLoadsAndFits) {
   }
 }
 
+// Same guarantees for the Concurrency NFP seed (sharded pool + group
+// commit): loadable, fits both kinds, and the feature carries a measured
+// positive code-size cost and throughput gain.
+TEST(FeedbackTest, ConcurrencyNfpSeedLoadsAndFits) {
+  auto repo_or = FeedbackRepository::Deserialize(fm::kFameConcurrencyNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 2u);
+
+  std::vector<std::string> base = {
+      "API", "B+-Tree", "BTree-Search", "Dynamic",     "Get",
+      "Int-Types",      "LRU",          "Linux",       "Put",
+      "String-Types",   "Transaction",  "Update",      "WAL-Redo"};
+  std::vector<std::string> conc = base;
+  conc.push_back("Concurrency");
+
+  auto size_est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(size_est.ok()) << size_est.status().ToString();
+  EXPECT_GT(size_est->FeatureWeight("Concurrency"), 0.0);
+  EXPECT_GT(size_est->Estimate(conc), size_est->Estimate(base));
+
+  auto tput_est = AdditiveEstimator::Fit(*repo_or, NfpKind::kThroughput);
+  ASSERT_TRUE(tput_est.ok()) << tput_est.status().ToString();
+  EXPECT_GT(tput_est->Estimate(conc), tput_est->Estimate(base));
+
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fame::nfp

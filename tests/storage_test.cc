@@ -555,6 +555,55 @@ TEST_P(BufferTest, FreeRejectsPinnedPage) {
   EXPECT_TRUE(bm_->Free(id).ok());
 }
 
+TEST_P(BufferTest, GuardMoveAssignmentReleasesTargetPin) {
+  auto g1 = bm_->New(PageType::kHeap);
+  ASSERT_TRUE(g1.ok());
+  auto g2 = bm_->New(PageType::kHeap);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(bm_->pinned_frames(), 2u);
+  // Move-assign over a live guard: the overwritten guard's pin is dropped,
+  // the moved-from guard is emptied (its destructor must not double-unpin).
+  *g2 = std::move(*g1);
+  EXPECT_EQ(bm_->pinned_frames(), 1u);
+  EXPECT_FALSE(g1->valid());
+  EXPECT_TRUE(g2->valid());
+  g2->Release();
+  EXPECT_EQ(bm_->pinned_frames(), 0u);
+}
+
+TEST_P(BufferTest, GuardSelfMoveAndDoubleReleaseAreSafe) {
+  auto g = bm_->New(PageType::kHeap);
+  ASSERT_TRUE(g.ok());
+  PageGuard& alias = *g;  // defeat -Wself-move without changing semantics
+  *g = std::move(alias);
+  EXPECT_TRUE(g->valid());
+  EXPECT_EQ(bm_->pinned_frames(), 1u);
+  g->Release();
+  g->Release();  // idempotent
+  EXPECT_EQ(bm_->pinned_frames(), 0u);
+}
+
+TEST_P(BufferTest, FetchWithAllFramesPinnedIsResourceExhausted) {
+  // Materialize 5 pages (evictions allowed while unpinned), then pin four
+  // of them — the Fetch of the fifth has no victim frame.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto guard = bm_->New(PageType::kHeap);
+    ASSERT_TRUE(guard.ok());
+    ids.push_back(guard->id());
+  }
+  std::vector<PageGuard> pinned;
+  for (int i = 0; i < 4; ++i) {
+    auto guard = bm_->Fetch(ids[i]);
+    ASSERT_TRUE(guard.ok());
+    pinned.push_back(std::move(*guard));
+  }
+  auto miss = bm_->Fetch(ids[4]);
+  EXPECT_EQ(miss.status().code(), StatusCode::kResourceExhausted);
+  pinned.clear();
+  EXPECT_TRUE(bm_->Fetch(ids[4]).ok());
+}
+
 TEST_P(BufferTest, StatsHitRate) {
   auto g = bm_->New(PageType::kHeap);
   ASSERT_TRUE(g.ok());
