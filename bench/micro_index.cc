@@ -109,6 +109,77 @@ void BM_BtreeRangeScan100(benchmark::State& state) {
 }
 BENCHMARK(BM_BtreeRangeScan100);
 
+// Cursor pipeline benchmarks (BENCH_cursor.json in CI): the pull-based
+// access path that replaced per-layer visitor plumbing. CursorRangeScan is
+// the apples-to-apples companion of BM_BtreeRangeScan100 — the visitor
+// entry point is now an adapter over this cursor, so the two must stay
+// within noise of each other. CursorLimitK demonstrates O(k) early
+// termination: pulling k rows costs one descent plus k leaf steps, so
+// time/iteration should grow ∝ k, not with the 10k dataset.
+void BM_BtreeCursorRangeScan100(benchmark::State& state) {
+  Fixture fx;
+  auto idx = BPlusTree::Open(fx.buffers.get(), "t");
+  for (uint64_t i = 0; i < 10000; ++i) {
+    (void)(*idx)->Insert(EncodeU64Key(i), i);
+  }
+  auto cur = (*idx)->NewCursor();
+  Random rng(6);
+  for (auto _ : state) {
+    uint64_t start = rng.Uniform(9900);
+    std::string hi = EncodeU64Key(start + 100);
+    uint64_t count = 0;
+    for ((*cur)->Seek(EncodeU64Key(start)); (*cur)->Valid(); (*cur)->Next()) {
+      if ((*cur)->key().compare(Slice(hi)) >= 0) break;
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BtreeCursorRangeScan100);
+
+void BM_BtreeCursorLimitK(benchmark::State& state) {
+  Fixture fx;
+  auto idx = BPlusTree::Open(fx.buffers.get(), "t");
+  for (uint64_t i = 0; i < 10000; ++i) {
+    (void)(*idx)->Insert(EncodeU64Key(i), i);
+  }
+  auto cur = (*idx)->NewCursor();
+  const uint64_t k = static_cast<uint64_t>(state.range(0));
+  Random rng(7);
+  for (auto _ : state) {
+    uint64_t start = rng.Uniform(10000 - k);
+    uint64_t pulled = 0;
+    for ((*cur)->Seek(EncodeU64Key(start));
+         (*cur)->Valid() && pulled < k; (*cur)->Next()) {
+      ++pulled;
+    }
+    benchmark::DoNotOptimize(pulled);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BtreeCursorLimitK)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_BtreeCursorReverseScan100(benchmark::State& state) {
+  Fixture fx;
+  auto idx = BPlusTree::Open(fx.buffers.get(), "t");
+  for (uint64_t i = 0; i < 10000; ++i) {
+    (void)(*idx)->Insert(EncodeU64Key(i), i);
+  }
+  auto cur = (*idx)->NewCursor();
+  Random rng(8);
+  for (auto _ : state) {
+    uint64_t start = 100 + rng.Uniform(9900);
+    uint64_t count = 0;
+    for ((*cur)->Seek(EncodeU64Key(start));
+         (*cur)->Valid() && count < 100; (*cur)->Prev()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BtreeCursorReverseScan100);
+
 }  // namespace
 }  // namespace fame::index
 

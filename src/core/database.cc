@@ -124,6 +124,8 @@ Status Database::OpenStorageStack() {
     index_ = std::move(idx_or).value();
   }
 
+  engine_.Bind(heap_.get(), index_.get());
+
   // Integrity features keep one scrubber so incremental cycles and stats
   // survive across calls.
   if (HasFeature("Scrub") || HasFeature("Verify")) {
@@ -158,70 +160,24 @@ Status Database::NoteWrite(Status s) {
 }
 
 // ------------------------------------------------------------ KV access
-
-Status Database::PutInternal(const Slice& key, const Slice& value) {
-  uint64_t packed = 0;
-  Status found = index_->Lookup(key, &packed);
-  std::string rec;
-  PutVarint32(&rec, static_cast<uint32_t>(key.size()));
-  rec.append(key.data(), key.size());
-  rec.append(value.data(), value.size());
-  if (found.ok()) {
-    storage::Rid rid = storage::Rid::Unpack(packed);
-    storage::Rid updated = rid;
-    FAME_RETURN_IF_ERROR(heap_->Update(&updated, rec));
-    if (!(updated == rid)) {
-      FAME_RETURN_IF_ERROR(index_->Insert(key, updated.Pack()));
-    }
-    return Status::OK();
-  }
-  if (!found.IsNotFound()) return found;
-  auto rid_or = heap_->Insert(rec);
-  FAME_RETURN_IF_ERROR(rid_or.status());
-  return index_->Insert(key, rid_or.value().Pack());
-}
-
-Status Database::RemoveInternal(const Slice& key) {
-  uint64_t packed = 0;
-  FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-  FAME_RETURN_IF_ERROR(heap_->Delete(storage::Rid::Unpack(packed)));
-  return index_->Remove(key);
-}
-
-namespace {
-Status DecodeCoreRecord(const Slice& rec, const Slice& expect_key,
-                        std::string* value) {
-  Slice in = rec;
-  uint32_t klen = 0;
-  if (!GetVarint32(&in, &klen) || in.size() < klen) {
-    return Status::Corruption("bad core record");
-  }
-  if (Slice(in.data(), klen) != expect_key) {
-    return Status::Corruption("index points at the wrong record");
-  }
-  value->assign(in.data() + klen, in.size() - klen);
-  return Status::OK();
-}
-}  // namespace
+//
+// The bodies live in EngineCore (shared with StaticEngine); Database adds
+// only feature gating and the degradation latch.
 
 Status Database::Put(const Slice& key, const Slice& value) {
   if (!has_put_) return Status::NotSupported("feature Put not selected");
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(PutInternal(key, value));
+  return NoteWrite(engine_.Put(key, value));
 }
 
 Status Database::Get(const Slice& key, std::string* value) {
-  uint64_t packed = 0;
-  FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-  std::string rec;
-  FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), &rec));
-  return DecodeCoreRecord(rec, key, value);
+  return engine_.Get(key, value);
 }
 
 Status Database::Remove(const Slice& key) {
   if (!has_remove_) return Status::NotSupported("feature Remove not selected");
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(RemoveInternal(key));
+  return NoteWrite(engine_.Remove(key));
 }
 
 Status Database::Update(const Slice& key, const Slice& value) {
@@ -229,30 +185,27 @@ Status Database::Update(const Slice& key, const Slice& value) {
   FAME_RETURN_IF_ERROR(GuardWrite());
   uint64_t packed = 0;
   FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-  return NoteWrite(PutInternal(key, value));
+  return NoteWrite(engine_.Put(key, value));
 }
 
 Status Database::Scan(const index::ScanVisitor& visit) {
   return index_->Scan(visit);
 }
 
-Status Database::RangeScan(
-    const Slice& lo, const Slice& hi,
-    const std::function<bool(const Slice&, const Slice&)>& fn) {
+Status Database::RangeScan(const Slice& lo, const Slice& hi,
+                           const KvVisitor& fn) {
   if (ordered_ == nullptr) {
     return Status::NotSupported("RangeScan requires the B+-Tree feature");
   }
-  Status inner = Status::OK();
-  FAME_RETURN_IF_ERROR(
-      ordered_->RangeScan(lo, hi, [&](const Slice& k, uint64_t packed) {
-        std::string rec, v;
-        inner = heap_->Get(storage::Rid::Unpack(packed), &rec);
-        if (!inner.ok()) return false;
-        inner = DecodeCoreRecord(rec, k, &v);
-        if (!inner.ok()) return false;
-        return fn(k, Slice(v));
-      }));
-  return inner;
+  return engine_.RangeScan(lo, hi, /*ordered=*/true, fn);
+}
+
+Status Database::ReverseScan(const Slice& lo, const Slice& hi,
+                             const KvVisitor& fn) {
+  if (!HasFeature("ReverseScan")) {
+    return Status::NotSupported("feature ReverseScan not selected");
+  }
+  return engine_.ReverseScan(lo, hi, fn);
 }
 
 // ------------------------------------------------------------ transactions
@@ -288,12 +241,12 @@ Status Database::Abort(tx::Transaction* txn) {
 Status Database::ApplyPut(const std::string& store, const Slice& key,
                           const Slice& value) {
   if (store != kStore) return Status::InvalidArgument("unknown store");
-  return PutInternal(key, value);
+  return engine_.Put(key, value);
 }
 
 Status Database::ApplyDelete(const std::string& store, const Slice& key) {
   if (store != kStore) return Status::InvalidArgument("unknown store");
-  return RemoveInternal(key);
+  return engine_.Remove(key);
 }
 
 Status Database::ReadCommitted(const std::string& store, const Slice& key,
@@ -342,7 +295,7 @@ Status Database::CreateTable(const Schema& schema) {
     return Status::InvalidArgument("table exists: " + schema.table);
   }
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(PutInternal(SchemaKey(schema.table), schema.Encode()));
+  return NoteWrite(engine_.Put(SchemaKey(schema.table), schema.Encode()));
 }
 
 StatusOr<Schema> Database::GetSchema(const std::string& table) {
@@ -358,7 +311,7 @@ Status Database::InsertRow(const std::string& table, const Row& row) {
   FAME_RETURN_IF_ERROR(schema.CheckRow(row));
   if (!has_put_) return Status::NotSupported("feature Put not selected");
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(PutInternal(TableKey(table, row[0]), EncodeRow(row)));
+  return NoteWrite(engine_.Put(TableKey(table, row[0]), EncodeRow(row)));
 }
 
 StatusOr<Row> Database::FindRow(const std::string& table, const Value& pk) {
@@ -370,36 +323,22 @@ StatusOr<Row> Database::FindRow(const std::string& table, const Value& pk) {
 Status Database::DeleteRow(const std::string& table, const Value& pk) {
   if (!has_remove_) return Status::NotSupported("feature Remove not selected");
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(RemoveInternal(TableKey(table, pk)));
+  return NoteWrite(engine_.Remove(TableKey(table, pk)));
 }
 
 Status Database::ScanTable(const std::string& table,
                            const std::function<bool(const Row&)>& fn) {
   std::string prefix = "t:" + table + "\x01";
   Status inner = Status::OK();
-  auto visit = [&](const Slice& key, const Slice& value) {
-    if (!key.starts_with(prefix)) return true;  // other tables (list scan)
-    auto row_or = DecodeRow(value);
-    if (!row_or.ok()) {
-      inner = row_or.status();
-      return false;
-    }
-    return fn(row_or.value());
-  };
-  if (ordered_ != nullptr) {
-    std::string hi = prefix;
-    hi.back() = '\x02';  // first key past the prefix
-    FAME_RETURN_IF_ERROR(RangeScan(prefix, hi, visit));
-  } else {
-    FAME_RETURN_IF_ERROR(Scan([&](const Slice& k, uint64_t) {
-      // List index scan yields keys; fetch values through Get.
-      if (!k.starts_with(prefix)) return true;
-      std::string v;
-      inner = Get(k, &v);
-      if (!inner.ok()) return false;
-      return visit(k, Slice(v));
-    }));
-  }
+  FAME_RETURN_IF_ERROR(engine_.ScanPrefix(
+      prefix, ordered_ != nullptr, [&](const Slice&, const Slice& value) {
+        auto row_or = DecodeRow(value);
+        if (!row_or.ok()) {
+          inner = row_or.status();
+          return false;
+        }
+        return fn(row_or.value());
+      }));
   return inner;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/datatypes.h"
+#include "core/engine_core.h"
 #include "featuremodel/fame_model.h"
 #include "index/index.h"
 #include "osal/allocator.h"
@@ -88,8 +89,15 @@ class Database : private tx::ApplyTarget {
   Status Remove(const Slice& key);
   Status Update(const Slice& key, const Slice& value);
   Status Scan(const index::ScanVisitor& visit);
-  Status RangeScan(const Slice& lo, const Slice& hi,
-                   const std::function<bool(const Slice&, const Slice&)>& fn);
+  Status RangeScan(const Slice& lo, const Slice& hi, const KvVisitor& fn);
+  /// [feature ReverseScan] Descending iteration over [lo, hi) (empty hi =
+  /// from the last key). NotSupported unless the ReverseScan feature is
+  /// selected (which the model ties to B+-Tree).
+  Status ReverseScan(const Slice& lo, const Slice& hi, const KvVisitor& fn);
+
+  /// Pull-based cursor over the engine's records (heap-joined values).
+  /// Mutating the database invalidates open cursors; re-Seek after writes.
+  StatusOr<EngineCursor> NewCursor() { return engine_.NewCursor(); }
 
   // ---- Transaction feature ----
   StatusOr<tx::Transaction*> Begin();
@@ -166,11 +174,9 @@ class Database : private tx::ApplyTarget {
 
   Status ComposeComponents(const DbOptions& options);
   /// Opens the storage stack (page file, buffer pool, heap, index,
-  /// scrubber) at options_.path; Repair re-runs it after rebuilding the
-  /// file. env_ and allocator_ must already be set up.
+  /// scrubber) at options_.path and rebinds engine_; Repair re-runs it
+  /// after rebuilding the file. env_ and allocator_ must already be set up.
   Status OpenStorageStack();
-  Status PutInternal(const Slice& key, const Slice& value);
-  Status RemoveInternal(const Slice& key);
 
   /// Rejects mutations once the engine is degraded.
   Status GuardWrite() const;
@@ -201,6 +207,10 @@ class Database : private tx::ApplyTarget {
   std::unique_ptr<storage::RecordManager> heap_;
   std::unique_ptr<index::KeyValueIndex> index_;
   index::OrderedIndex* ordered_ = nullptr;       // non-null for B+-Tree
+  /// The shared engine-level access path (Get/Put/Remove/cursors) over the
+  /// runtime-composed heap + index; StaticEngine instantiates the same
+  /// template over its compile-time index type.
+  EngineCore<index::KeyValueIndex> engine_;
   std::unique_ptr<tx::TransactionManager> txmgr_;
   std::unique_ptr<SqlEngine> sql_;
   std::unique_ptr<storage::Scrubber> scrubber_;  // with Scrub/Verify

@@ -1,0 +1,293 @@
+// EngineCore: the one implementation of the engine-level access path —
+// heap-record encoding, index maintenance on Put/Remove, and the
+// heap-joining cursor — shared by both composition styles. Database
+// instantiates it over the virtual index::KeyValueIndex (component
+// composition, §2.1); StaticEngine<Cfg> instantiates it over the concrete
+// index type of the product (FeatureC++-style, §2.3), so every call
+// devirtualizes. Neither engine carries its own Get/Scan/RangeScan
+// traversal logic anymore; feature gating, latching and tx plumbing stay
+// in the owners.
+//
+// Record format in the heap: [varint32 klen][key][value]. The key is
+// embedded so a record is self-identifying — Get cross-checks it against
+// the index to catch a stale or cross-linked rid as Corruption instead of
+// returning another key's value.
+#ifndef FAME_CORE_ENGINE_CORE_H_
+#define FAME_CORE_ENGINE_CORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/coding.h"
+#include "index/cursor.h"
+#include "storage/record.h"
+
+namespace fame::core {
+
+/// Engine-level visitor: (key, value bytes) -> keep-going.
+using KvVisitor = std::function<bool(const Slice& key, const Slice& value)>;
+
+/// Pull-based cursor over engine records: iterates the index cursor and
+/// joins each entry's Rid through the RecordManager *lazily* — value() does
+/// the heap fetch on first use per position, so key-only consumers (LIMIT
+/// probes, prefix checks, COUNT) never touch the heap.
+///
+/// Same protocol as index::Cursor (Seek*/Valid/Next/key/status, reverse
+/// ops when the access method supports them); value() is the engine-level
+/// difference: it returns the record bytes and, on a heap IO/decode
+/// failure, records the error in status() and invalidates the cursor so
+/// consumer loops terminate.
+class EngineCursor {
+ public:
+  EngineCursor(std::unique_ptr<index::Cursor> base,
+               storage::RecordManager* heap)
+      : base_(std::move(base)), heap_(heap) {}
+
+  void SeekToFirst() {
+    Reset();
+    base_->SeekToFirst();
+  }
+  void Seek(const Slice& target) {
+    Reset();
+    base_->Seek(target);
+  }
+  bool Valid() const { return status_.ok() && base_->Valid(); }
+  void Next() {
+    loaded_ = false;
+    base_->Next();
+  }
+
+  /// Key at the current position (stable until the next cursor call).
+  Slice key() const { return base_->key(); }
+
+  /// Record value, joined through the heap on first call per position.
+  /// On failure returns empty, sets status() and invalidates the cursor.
+  Slice value() {
+    if (!loaded_ && !Load()) return Slice();
+    return value_;
+  }
+
+  /// OK, or the first error from either the index walk or the heap join.
+  const Status& status() const {
+    return status_.ok() ? base_->status() : status_;
+  }
+
+  // ---- ReverseScan feature (availability follows the access method) ----
+  bool SupportsReverse() const { return base_->SupportsReverse(); }
+  void SeekToLast() {
+    Reset();
+    base_->SeekToLast();
+  }
+  void Prev() {
+    loaded_ = false;
+    base_->Prev();
+  }
+
+ private:
+  void Reset() {
+    loaded_ = false;
+    status_ = Status::OK();
+  }
+
+  bool Load() {
+    storage::Rid rid = storage::Rid::Unpack(base_->value());
+    Status s = heap_->Get(rid, &record_);
+    if (s.ok()) {
+      Slice in(record_);
+      uint32_t klen = 0;
+      if (!GetVarint32(&in, &klen) || in.size() < klen) {
+        s = Status::Corruption("bad core record");
+      } else if (Slice(in.data(), klen) != base_->key()) {
+        s = Status::Corruption("index points at the wrong record");
+      } else {
+        value_ = Slice(in.data() + klen, in.size() - klen);
+        loaded_ = true;
+        return true;
+      }
+    }
+    status_ = s;
+    return false;
+  }
+
+  std::unique_ptr<index::Cursor> base_;
+  storage::RecordManager* heap_;
+  std::string record_;     // owned copy of the current heap record
+  Slice value_;            // value bytes within record_
+  bool loaded_ = false;
+  Status status_;
+};
+
+template <typename IndexT>
+class EngineCore {
+ public:
+  /// Binds the composed components (non-owning); call after the storage
+  /// stack is (re)opened.
+  void Bind(storage::RecordManager* heap, IndexT* index) {
+    heap_ = heap;
+    index_ = index;
+  }
+
+  IndexT* index() { return index_; }
+
+  static std::string EncodeRecord(const Slice& key, const Slice& value) {
+    std::string rec;
+    PutVarint32(&rec, static_cast<uint32_t>(key.size()));
+    rec.append(key.data(), key.size());
+    rec.append(value.data(), value.size());
+    return rec;
+  }
+
+  static Status DecodeRecord(const Slice& rec, const Slice& expect_key,
+                             std::string* value) {
+    Slice in = rec;
+    uint32_t klen = 0;
+    if (!GetVarint32(&in, &klen) || in.size() < klen) {
+      return Status::Corruption("bad core record");
+    }
+    if (Slice(in.data(), klen) != expect_key) {
+      return Status::Corruption("index points at the wrong record");
+    }
+    value->assign(in.data() + klen, in.size() - klen);
+    return Status::OK();
+  }
+
+  Status Get(const Slice& key, std::string* value) {
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    std::string rec;
+    FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), &rec));
+    return DecodeRecord(rec, key, value);
+  }
+
+  /// Upsert: in-place heap update when the key exists (re-indexing only if
+  /// the record moved), insert + index otherwise.
+  Status Put(const Slice& key, const Slice& value) {
+    uint64_t packed = 0;
+    Status found = index_->Lookup(key, &packed);
+    std::string rec = EncodeRecord(key, value);
+    if (found.ok()) {
+      storage::Rid rid = storage::Rid::Unpack(packed);
+      storage::Rid updated = rid;
+      FAME_RETURN_IF_ERROR(heap_->Update(&updated, rec));
+      if (!(updated == rid)) {
+        FAME_RETURN_IF_ERROR(index_->Insert(key, updated.Pack()));
+      }
+      return Status::OK();
+    }
+    if (!found.IsNotFound()) return found;
+    auto rid_or = heap_->Insert(rec);
+    FAME_RETURN_IF_ERROR(rid_or.status());
+    return index_->Insert(key, rid_or.value().Pack());
+  }
+
+  Status Remove(const Slice& key) {
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    FAME_RETURN_IF_ERROR(heap_->Delete(storage::Rid::Unpack(packed)));
+    return index_->Remove(key);
+  }
+
+  /// Opens a heap-joining cursor (index iteration order).
+  StatusOr<EngineCursor> NewCursor() {
+    FAME_ASSIGN_OR_RETURN(std::unique_ptr<index::Cursor> c,
+                          index_->NewCursor());
+    return EngineCursor(std::move(c), heap_);
+  }
+
+  /// Visitor adapters over the cursor — the legacy entry points.
+  Status Scan(const KvVisitor& fn) {
+    return ScanRange(Slice(), Slice(), /*ordered=*/true, fn);
+  }
+
+  /// lo <= key < hi. `ordered` must match the access method: when false,
+  /// out-of-range keys are filtered instead of terminating the walk.
+  Status RangeScan(const Slice& lo, const Slice& hi, bool ordered,
+                   const KvVisitor& fn) {
+    return ScanRange(lo, hi, ordered, fn);
+  }
+
+  /// All records whose key starts with `prefix`: a bounded range on an
+  /// ordered index, a filtered full scan otherwise.
+  Status ScanPrefix(const Slice& prefix, bool ordered, const KvVisitor& fn) {
+    if (!ordered) {
+      return ScanRange(Slice(), Slice(), false, [&](const Slice& k,
+                                                    const Slice& v) {
+        return k.starts_with(prefix) ? fn(k, v) : true;
+      });
+    }
+    std::string hi = PrefixUpperBound(prefix);
+    return ScanRange(prefix, Slice(hi), true, fn);
+  }
+
+  /// Descending over [lo, hi) — the ReverseScan feature. The caller gates
+  /// on feature selection; the access method must support reverse.
+  Status ReverseScan(const Slice& lo, const Slice& hi, const KvVisitor& fn) {
+    FAME_ASSIGN_OR_RETURN(EngineCursor c, NewCursor());
+    if (!c.SupportsReverse()) {
+      return Status::NotSupported("access method has no reverse iteration");
+    }
+    if (hi.empty()) {
+      c.SeekToLast();
+    } else {
+      // Predecessor of hi: the entry before the first key >= hi (the last
+      // entry overall when every key is < hi).
+      c.Seek(hi);
+      if (c.Valid()) {
+        c.Prev();
+      } else if (c.status().ok()) {
+        c.SeekToLast();
+      }
+    }
+    for (; c.Valid(); c.Prev()) {
+      if (!lo.empty() && c.key().compare(lo) < 0) break;
+      Slice v = c.value();
+      if (!c.Valid()) break;  // heap join failed; status() has the error
+      if (!fn(c.key(), v)) break;
+    }
+    return c.status();
+  }
+
+ private:
+  /// Smallest key greater than every key with `prefix` ("" = unbounded,
+  /// for an all-0xff prefix).
+  static std::string PrefixUpperBound(const Slice& prefix) {
+    std::string hi = prefix.ToString();
+    while (!hi.empty()) {
+      if (static_cast<unsigned char>(hi.back()) != 0xff) {
+        hi.back() = static_cast<char>(hi.back() + 1);
+        return hi;
+      }
+      hi.pop_back();
+    }
+    return hi;
+  }
+
+  Status ScanRange(const Slice& lo, const Slice& hi, bool ordered,
+                   const KvVisitor& fn) {
+    FAME_ASSIGN_OR_RETURN(EngineCursor c, NewCursor());
+    if (lo.empty()) {
+      c.SeekToFirst();
+    } else {
+      c.Seek(lo);
+    }
+    for (; c.Valid(); c.Next()) {
+      if (!hi.empty() && c.key().compare(hi) >= 0) {
+        if (ordered) break;
+        continue;
+      }
+      Slice v = c.value();
+      if (!c.Valid()) break;  // heap join failed; status() has the error
+      if (!fn(c.key(), v)) break;
+    }
+    return c.status();
+  }
+
+  storage::RecordManager* heap_ = nullptr;
+  IndexT* index_ = nullptr;
+};
+
+}  // namespace fame::core
+
+#endif  // FAME_CORE_ENGINE_CORE_H_

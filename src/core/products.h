@@ -92,6 +92,23 @@ struct EdgeServerCfg {
 };
 using EdgeServer = StaticEngine<EdgeServerCfg>;
 
+/// Analytics node: Workstation plus the optional ReverseScan feature —
+/// descending cursor iteration for latest-first queries over ordered keys.
+struct AnalyticsCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr bool kReverseScan = true;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 128;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+using Analytics = StaticEngine<AnalyticsCfg>;
+
 /// Feature selections (names from the Figure 2 model) corresponding to the
 /// products above, used by tests and the derivation tooling to check that
 /// every named product is a valid variant.
@@ -113,6 +130,11 @@ const char* const kEdgeServerFeatures[] = {
     "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
     "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
     "Concurrency"};
+const char* const kAnalyticsFeatures[] = {
+    "Linux", "Dynamic", "LRU", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
+    "Remove", "Update", "ReverseScan", "Transaction", "WAL-Redo", "Locking",
+    "API"};
 
 }  // namespace fame::core
 

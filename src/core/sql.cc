@@ -281,12 +281,15 @@ bool SqlEngine::RowMatches(const Schema& schema, const Row& row,
 
 Status SqlEngine::CollectRows(const std::string& table,
                               const std::vector<Predicate>& preds,
+                              std::optional<uint64_t> limit,
                               std::vector<Row>* rows, std::string* plan) {
   FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(table));
   for (const Predicate& p : preds) {
     FAME_RETURN_IF_ERROR(schema.ColumnIndex(p.column).status());
   }
   *plan = "full-scan";
+  auto done = [&] { return limit.has_value() && rows->size() >= *limit; };
+  if (done()) return Status::OK();
 
   // Pick the access-path predicate: an equality on the primary key beats a
   // range on the primary key beats nothing. The remaining predicates
@@ -333,25 +336,33 @@ Status SqlEngine::CollectRows(const std::string& table,
       hi = prefix + access->literal.EncodeKey();
       if (access->op == "<=") hi.push_back('\0');  // include the bound
     }
-    Status inner = Status::OK();
-    FAME_RETURN_IF_ERROR(
-        db_->RangeScan(lo, hi, [&](const Slice&, const Slice& value) {
-          auto row_or = DecodeRow(value);
-          if (!row_or.ok()) {
-            inner = row_or.status();
-            return false;
-          }
-          // The bounds over-approximate; re-check every predicate exactly.
-          if (matches_all(row_or.value())) {
-            rows->push_back(std::move(row_or).value());
-          }
-          return true;
-        }));
-    return inner;
+    // Consume the engine cursor directly: seek to the range start, pull
+    // rows until the bound or the limit, then abandon the cursor — a
+    // LIMIT-k query never touches more than k matching leaves.
+    auto cur_or = db_->NewCursor();
+    FAME_RETURN_IF_ERROR(cur_or.status());
+    EngineCursor cur = std::move(cur_or).value();
+    for (cur.Seek(lo); cur.Valid(); cur.Next()) {
+      if (cur.key().compare(Slice(hi)) >= 0) break;
+      Slice value = cur.value();
+      if (!cur.Valid()) break;  // heap join failed; status() has the error
+      auto row_or = DecodeRow(value);
+      if (!row_or.ok()) return row_or.status();
+      // The bounds over-approximate; re-check every predicate exactly.
+      if (matches_all(row_or.value())) {
+        rows->push_back(std::move(row_or).value());
+        if (done()) break;
+      }
+    }
+    return cur.status();
   }
-  // Fallback: scan everything, filter.
+  // Fallback: scan everything, filter; the limit still stops the
+  // underlying cursor early once enough rows matched.
   FAME_RETURN_IF_ERROR(db_->ScanTable(table, [&](const Row& row) {
-    if (matches_all(row)) rows->push_back(row);
+    if (matches_all(row)) {
+      rows->push_back(row);
+      if (done()) return false;
+    }
     return true;
   }));
   return Status::OK();
@@ -443,7 +454,12 @@ StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
   FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(table));
   ResultSet rs;
   std::vector<Row> rows;
-  FAME_RETURN_IF_ERROR(CollectRows(table, preds, &rows, &rs.plan));
+  // LIMIT pushes down into collection (stopping the cursor after k matches)
+  // only when collection order is output order; ORDER BY and aggregates
+  // need the full row set first.
+  std::optional<uint64_t> pushdown;
+  if (!order_by.has_value() && aggregates.empty()) pushdown = limit;
+  FAME_RETURN_IF_ERROR(CollectRows(table, preds, pushdown, &rows, &rs.plan));
 
   if (!aggregates.empty()) {
     // Aggregation consumes the row set; ORDER BY / LIMIT are meaningless
@@ -570,7 +586,8 @@ StatusOr<ResultSet> SqlEngine::ExecUpdate(const std::string& sql) {
 
   ResultSet rs;
   std::vector<Row> rows;
-  FAME_RETURN_IF_ERROR(CollectRows(table, preds, &rows, &rs.plan));
+  FAME_RETURN_IF_ERROR(
+      CollectRows(table, preds, std::nullopt, &rows, &rs.plan));
   for (Row& row : rows) {
     for (const auto& [idx, v] : set_idx) row[idx] = v;
     FAME_RETURN_IF_ERROR(db_->InsertRow(table, row));  // upsert by key
@@ -603,7 +620,8 @@ StatusOr<ResultSet> SqlEngine::ExecDelete(const std::string& sql) {
   }
   ResultSet rs;
   std::vector<Row> rows;
-  FAME_RETURN_IF_ERROR(CollectRows(table, preds, &rows, &rs.plan));
+  FAME_RETURN_IF_ERROR(
+      CollectRows(table, preds, std::nullopt, &rows, &rs.plan));
   for (const Row& row : rows) {
     FAME_RETURN_IF_ERROR(db_->DeleteRow(table, row[0]));
     ++rs.affected;

@@ -67,10 +67,14 @@ class SqlEngine {
 
   /// Collects rows of `table` matching all of `preds`, using the best
   /// access path for the most selective primary-key predicate and
-  /// filtering with the rest.
+  /// filtering with the rest. With `limit`, collection stops as soon as
+  /// that many rows matched — the underlying cursor is abandoned early, so
+  /// LIMIT-k queries do O(k) work (callers must only pass a limit when
+  /// collection order is output order: no ORDER BY, no aggregates).
   Status CollectRows(const std::string& table,
                      const std::vector<Predicate>& preds,
-                     std::vector<Row>* rows, std::string* plan);
+                     std::optional<uint64_t> limit, std::vector<Row>* rows,
+                     std::string* plan);
 
   static bool RowMatches(const Schema& schema, const Row& row,
                          const Predicate& pred);

@@ -16,6 +16,8 @@
 //   static constexpr size_t kStaticPoolBytes;       // 0 => Dynamic alloc
 //   static constexpr bool kConcurrency;             // optional Concurrency
 //                                                   // feature; absent => off
+//   static constexpr bool kReverseScan;             // optional ReverseScan
+//                                                   // feature; absent => off
 //
 // With Concurrency selected, the transaction surface (Begin/Commit/Abort,
 // one transaction per thread) becomes thread-safe and commits batch through
@@ -29,6 +31,7 @@
 #include <string>
 #include <type_traits>
 
+#include "core/engine_core.h"
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
 #include "osal/allocator.h"
@@ -77,6 +80,14 @@ template <typename Cfg>
 struct ConcurrencySelected<Cfg, std::void_t<decltype(Cfg::kConcurrency)>>
     : std::bool_constant<Cfg::kConcurrency> {};
 
+/// Detects the optional ReverseScan sub-feature of Access; Cfg structs
+/// without a kReverseScan member mean "off".
+template <typename Cfg, typename = void>
+struct ReverseScanSelected : std::false_type {};
+template <typename Cfg>
+struct ReverseScanSelected<Cfg, std::void_t<decltype(Cfg::kReverseScan)>>
+    : std::bool_constant<Cfg::kReverseScan> {};
+
 }  // namespace detail
 
 template <typename Cfg>
@@ -86,6 +97,8 @@ class StaticEngine : private tx::ApplyTarget {
   static constexpr bool kOrdered = Cfg::IndexTag::kOrdered;
   /// Optional Concurrency feature (off for Cfgs that predate it).
   static constexpr bool kConcurrent = detail::ConcurrencySelected<Cfg>::value;
+  /// Optional ReverseScan feature (off for Cfgs that predate it).
+  static constexpr bool kReverse = detail::ReverseScanSelected<Cfg>::value;
 
   StaticEngine() = default;
   ~StaticEngine() override = default;
@@ -110,6 +123,7 @@ class StaticEngine : private tx::ApplyTarget {
     auto idx_or = Cfg::IndexTag::Open(buffers_.get());
     FAME_RETURN_IF_ERROR(idx_or.status());
     index_ = std::move(idx_or).value();
+    core_.Bind(heap_.get(), index_.get());
     if constexpr (Cfg::kTransactions) {
       auto mgr_or = tx::TransactionManager::Open(
           env, path + ".wal", this,
@@ -123,27 +137,28 @@ class StaticEngine : private tx::ApplyTarget {
     return Status::OK();
   }
 
+  // The access-path bodies live in EngineCore<Index> — the same template
+  // Database instantiates over the virtual index interface; here it is
+  // instantiated over the concrete index type, so calls devirtualize.
+  // StaticEngine adds only compile-time gating and the degradation latch.
+
   /// Access:get — present in every product.
   Status Get(const Slice& key, std::string* value) {
-    uint64_t packed = 0;
-    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-    std::string rec;
-    FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), &rec));
-    return DecodeRecord(rec, key, value);
+    return core_.Get(key, value);
   }
 
   /// Access:put.
   Status Put(const Slice& key, const Slice& value) {
     static_assert(Cfg::kPut, "feature Access:Put is not selected");
     FAME_RETURN_IF_ERROR(GuardWrite());
-    return NoteWrite(PutInternal(key, value));
+    return NoteWrite(core_.Put(key, value));
   }
 
   /// Access:remove.
   Status Remove(const Slice& key) {
     static_assert(Cfg::kRemove, "feature Access:Remove is not selected");
     FAME_RETURN_IF_ERROR(GuardWrite());
-    return NoteWrite(RemoveInternal(key));
+    return NoteWrite(core_.Remove(key));
   }
 
   /// Access:update — put that requires the key to exist.
@@ -152,38 +167,28 @@ class StaticEngine : private tx::ApplyTarget {
     FAME_RETURN_IF_ERROR(GuardWrite());
     uint64_t packed = 0;
     FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-    return NoteWrite(PutInternal(key, value));
+    return NoteWrite(core_.Put(key, value));
   }
 
-  /// Full scan (index order).
-  Status Scan(const std::function<bool(const Slice&, const Slice&)>& fn) {
-    Status inner = Status::OK();
-    FAME_RETURN_IF_ERROR(index_->Scan([&](const Slice& k, uint64_t packed) {
-      std::string rec, v;
-      inner = heap_->Get(storage::Rid::Unpack(packed), &rec);
-      if (!inner.ok()) return false;
-      inner = DecodeRecord(rec, k, &v);
-      if (!inner.ok()) return false;
-      return fn(k, Slice(v));
-    }));
-    return inner;
-  }
+  /// Pull-based cursor over the engine's records (heap-joined values).
+  /// Mutation invalidates open cursors; re-Seek after writes.
+  StatusOr<EngineCursor> NewCursor() { return core_.NewCursor(); }
+
+  /// Full scan (index order) — visitor adapter over the cursor.
+  Status Scan(const KvVisitor& fn) { return core_.Scan(fn); }
 
   /// Ordered range scan — compile-time gated on the B+-tree alternative.
-  Status RangeScan(const Slice& lo, const Slice& hi,
-                   const std::function<bool(const Slice&, const Slice&)>& fn) {
+  Status RangeScan(const Slice& lo, const Slice& hi, const KvVisitor& fn) {
     static_assert(kOrdered, "RangeScan requires the B+-Tree alternative");
-    Status inner = Status::OK();
-    FAME_RETURN_IF_ERROR(
-        index_->RangeScan(lo, hi, [&](const Slice& k, uint64_t packed) {
-          std::string rec, v;
-          inner = heap_->Get(storage::Rid::Unpack(packed), &rec);
-          if (!inner.ok()) return false;
-          inner = DecodeRecord(rec, k, &v);
-          if (!inner.ok()) return false;
-          return fn(k, Slice(v));
-        }));
-    return inner;
+    return core_.RangeScan(lo, hi, /*ordered=*/true, fn);
+  }
+
+  /// Descending scan over [lo, hi) — the ReverseScan feature, gated at
+  /// compile time (and model-constrained to the B+-Tree alternative).
+  Status ReverseScan(const Slice& lo, const Slice& hi, const KvVisitor& fn) {
+    static_assert(kReverse, "feature Access:ReverseScan is not selected");
+    static_assert(kOrdered, "ReverseScan requires the B+-Tree alternative");
+    return core_.ReverseScan(lo, hi, fn);
   }
 
   // ---- Transaction feature surface (instantiated on use only) ----
@@ -250,63 +255,15 @@ class StaticEngine : private tx::ApplyTarget {
     return s;
   }
 
-  Status PutInternal(const Slice& key, const Slice& value) {
-    uint64_t packed = 0;
-    Status found = index_->Lookup(key, &packed);
-    std::string rec = EncodeRecord(key, value);
-    if (found.ok()) {
-      storage::Rid rid = storage::Rid::Unpack(packed);
-      storage::Rid updated = rid;
-      FAME_RETURN_IF_ERROR(heap_->Update(&updated, rec));
-      if (!(updated == rid)) {
-        FAME_RETURN_IF_ERROR(index_->Insert(key, updated.Pack()));
-      }
-      return Status::OK();
-    }
-    if (!found.IsNotFound()) return found;
-    auto rid_or = heap_->Insert(rec);
-    FAME_RETURN_IF_ERROR(rid_or.status());
-    return index_->Insert(key, rid_or.value().Pack());
-  }
-
-  Status RemoveInternal(const Slice& key) {
-    uint64_t packed = 0;
-    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-    FAME_RETURN_IF_ERROR(heap_->Delete(storage::Rid::Unpack(packed)));
-    return index_->Remove(key);
-  }
-
-  static std::string EncodeRecord(const Slice& key, const Slice& value) {
-    std::string rec;
-    PutVarint32(&rec, static_cast<uint32_t>(key.size()));
-    rec.append(key.data(), key.size());
-    rec.append(value.data(), value.size());
-    return rec;
-  }
-
-  static Status DecodeRecord(const Slice& rec, const Slice& expect_key,
-                             std::string* value) {
-    Slice in = rec;
-    uint32_t klen = 0;
-    if (!GetVarint32(&in, &klen) || in.size() < klen) {
-      return Status::Corruption("bad core record");
-    }
-    if (Slice(in.data(), klen) != expect_key) {
-      return Status::Corruption("index points at the wrong record");
-    }
-    value->assign(in.data() + klen, in.size() - klen);
-    return Status::OK();
-  }
-
   // tx::ApplyTarget (reached only in transactional products).
   Status ApplyPut(const std::string& store, const Slice& key,
                   const Slice& value) override {
     if (store != "core") return Status::InvalidArgument("unknown store");
-    return PutInternal(key, value);
+    return core_.Put(key, value);
   }
   Status ApplyDelete(const std::string& store, const Slice& key) override {
     if (store != "core") return Status::InvalidArgument("unknown store");
-    return RemoveInternal(key);
+    return core_.Remove(key);
   }
   Status ReadCommitted(const std::string& store, const Slice& key,
                        std::string* value) override {
@@ -321,6 +278,7 @@ class StaticEngine : private tx::ApplyTarget {
   std::unique_ptr<storage::BufferManager> buffers_;
   std::unique_ptr<storage::RecordManager> heap_;
   std::unique_ptr<Index> index_;
+  EngineCore<Index> core_;
   std::unique_ptr<tx::TransactionManager> txmgr_;
   mutable LatchMutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy

@@ -59,6 +59,7 @@ feature FAME-DBMS {
     mandatory Put
     optional Remove
     optional Update
+    optional ReverseScan  // [extension] descending cursor iteration
   }
   optional Transaction {
     mandatory Commit-Protocol abstract alternative {
@@ -82,6 +83,7 @@ constraints {
   NutOS excludes SQL-Engine;
   Repair requires Verify;
   NutOS excludes Concurrency;
+  ReverseScan requires B+-Tree;
 }
 )fm";
 
@@ -135,6 +137,24 @@ nfp throughput 5480
 product API,B+-Tree,BTree-Search,Concurrency,Dynamic,Get,Int-Types,LRU,Linux,Put,String-Types,Transaction,Update,WAL-Redo
 nfp binary_size 567486
 nfp throughput 18270
+
+)nfp";
+
+/// Measured non-functional properties of the ReverseScan feature
+/// (descending cursor iteration), FeedbackRepository text format.
+/// binary_size is Release .text bytes on x86-64 Linux (gcc -O2): the
+/// integrity seed's base product plus the reverse-iteration symbol group
+/// summed from `nm --size-sort` — BasicBtreeCursor SeekToLast (1,326 B),
+/// FindLastBelow (1,234 B) and Prev (456 B) in index/bplus_tree.o, plus
+/// EngineCore::ReverseScan (2,691 B) and the Database::ReverseScan gate
+/// (377 B) in core/database.o; 6,084 B total. Forward-only products link
+/// none of it (the cursor ops are virtual defaults that invalidate).
+/// Remeasure after material changes to the cursor layer.
+inline constexpr const char kFameReverseScanNfpSeed[] = R"nfp(product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Put,String-Types
+nfp binary_size 465782
+
+product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Put,ReverseScan,String-Types
+nfp binary_size 471866
 
 )nfp";
 

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "index/btree_cursor.h"
+
 namespace fame::index {
 
 using storage::BufferManager;
@@ -470,46 +472,37 @@ Status BPlusTree::BulkLoad(
   return buffers_->Free(old_root);
 }
 
+StatusOr<std::unique_ptr<Cursor>> BPlusTree::NewCursor() {
+  return std::unique_ptr<Cursor>(new BtreeCursor(buffers_, root_));
+}
+
 Status BPlusTree::Scan(const ScanVisitor& visit) {
   return RangeScan(Slice(), Slice(), visit);
 }
 
 Status BPlusTree::RangeScan(const Slice& lo, const Slice& hi,
                             const ScanVisitor& visit) {
-  // Descend to the leaf containing lo (leftmost leaf for empty lo).
+  BtreeCursor c(buffers_, root_);
+  return c.DriveRange(lo, hi, visit);
+}
+
+StatusOr<uint64_t> BPlusTree::Count() {
+  // Walk the leaf sibling chain summing per-leaf entry counts — no key
+  // visits, no per-entry directory decoding.
   PageId page = root_;
   while (true) {
     FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
     BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
     if (node.is_leaf()) break;
-    page = lo.empty() ? node.ChildAt(0) : node.ChildFor(lo);
+    page = node.ChildAt(0);
   }
-  bool first_leaf = true;
+  uint64_t n = 0;
   while (page != kInvalidPageId) {
     FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
     BtreeNode node(guard.page().raw(), buffers_->file()->page_size());
-    uint16_t start = 0;
-    if (first_leaf && !lo.empty()) {
-      bool equal = false;
-      start = node.LowerBound(lo, &equal);
-    }
-    first_leaf = false;
-    for (uint16_t i = start; i < node.count(); ++i) {
-      Slice k = node.KeyAt(i);
-      if (!hi.empty() && k.compare(hi) >= 0) return Status::OK();
-      if (!visit(k, node.PayloadAt(i))) return Status::OK();
-    }
+    n += node.count();
     page = node.link();
   }
-  return Status::OK();
-}
-
-StatusOr<uint64_t> BPlusTree::Count() {
-  uint64_t n = 0;
-  FAME_RETURN_IF_ERROR(Scan([&n](const Slice&, uint64_t) {
-    ++n;
-    return true;
-  }));
   return n;
 }
 

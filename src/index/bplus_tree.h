@@ -28,12 +28,21 @@ class BPlusTree final : public OrderedIndex {
   Status Insert(const Slice& key, uint64_t value) override;
   Status Lookup(const Slice& key, uint64_t* value) override;
   Status Remove(const Slice& key) override;
+  /// Leaf-resident cursor (BtreeCursor): one descent per Seek, sibling-chain
+  /// hops after that. Supports reverse iteration (the ReverseScan feature).
+  StatusOr<std::unique_ptr<Cursor>> NewCursor() override;
+  /// Visitor adapters driving a stack-allocated concrete cursor, so the
+  /// per-entry calls devirtualize (no heap cursor, no vtable per step).
   Status Scan(const ScanVisitor& visit) override;
   Status RangeScan(const Slice& lo, const Slice& hi,
                    const ScanVisitor& visit) override;
   StatusOr<uint64_t> Count() override;
   const char* name() const override { return "btree"; }
   bool ordered() const override { return true; }
+
+  /// Current root page, for cursors over other pool instantiations of the
+  /// same file (e.g. BasicBtreeCursor<MultiThreaded>) and for tests.
+  storage::PageId root() const { return root_; }
 
   /// Height of the tree (1 = root is a leaf). For tests and stats.
   StatusOr<uint32_t> Height();

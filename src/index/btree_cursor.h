@@ -1,0 +1,223 @@
+// Leaf-resident B+-tree cursor: descends once per Seek*, then iterates
+// inside the pinned leaf and hops the sibling chain — no per-call
+// re-descent, one page pinned at a time (the embedded memory budget).
+//
+// Templated on the buffer-pool threading policy so read-only cursors can
+// run over BasicBufferManager<MultiThreaded> (the Concurrency feature);
+// BPlusTree itself hands out the SingleThreaded instantiation.
+//
+// Reverse iteration (the ReverseScan feature) walks the leaf backwards;
+// crossing a leaf boundary re-descends for the last key below the current
+// leaf's fence — there is no back-link on the chain (and adding one would
+// double the pointer maintenance every split/merge pays), so Prev() is
+// O(log n) per leaf boundary and O(1) within a leaf.
+#ifndef FAME_INDEX_BTREE_CURSOR_H_
+#define FAME_INDEX_BTREE_CURSOR_H_
+
+#include <string>
+
+#include "index/btree_node.h"
+#include "index/cursor.h"
+#include "storage/buffer.h"
+
+namespace fame::index {
+
+template <typename Threading>
+class BasicBtreeCursor final : public Cursor {
+ public:
+  using Buffers = storage::BasicBufferManager<Threading>;
+  using Guard = storage::BasicPageGuard<Threading>;
+
+  /// Iterates the tree rooted at `root` (as persisted under "btree:<name>").
+  /// The tree must not be mutated while the cursor is open.
+  BasicBtreeCursor(Buffers* buffers, storage::PageId root)
+      : buffers_(buffers),
+        root_(root),
+        page_size_(buffers->file()->page_size()) {}
+
+  void SeekToFirst() override { Seek(Slice()); }
+
+  void Seek(const Slice& target) override {
+    Reset();
+    storage::PageId page = root_;
+    while (true) {
+      auto guard_or = buffers_->Fetch(page);
+      if (!Check(guard_or.status())) return;
+      Pin(std::move(guard_or).value());
+      BtreeNode node = View();
+      if (node.is_leaf()) break;
+      page = target.empty() ? node.ChildAt(0) : node.ChildFor(target);
+    }
+    bool equal = false;
+    idx_ = target.empty() ? 0 : View().LowerBound(target, &equal);
+    SkipEmptyForward();
+  }
+
+  // Equivalent to guard_.valid() && status_.ok(): every error path and
+  // clean end goes through Unpin(), so the frame pointer alone decides.
+  bool Valid() const override { return frame_ != nullptr; }
+
+  void Next() override {
+    ++idx_;
+    SkipEmptyForward();
+  }
+
+  Slice key() const override { return View().KeyAt(idx_); }
+  uint64_t value() const override { return View().PayloadAt(idx_); }
+  const Status& status() const override { return status_; }
+
+  // ---- ReverseScan feature ----
+  bool SupportsReverse() const override { return true; }
+
+  /// Batch form of the step API for the visitor adapters: drives `visit`
+  /// over [lo, hi) with leaf-local loop state (index, node view, count) in
+  /// locals instead of members, which the opaque visit call would otherwise
+  /// force to memory every entry. Traversal itself is the same Seek /
+  /// SkipEmptyForward code the step API uses.
+  Status DriveRange(const Slice& lo, const Slice& hi,
+                    const ScanVisitor& visit) {
+    if (lo.empty()) {
+      SeekToFirst();
+    } else {
+      Seek(lo);
+    }
+    while (frame_ != nullptr) {
+      BtreeNode node = View();
+      const uint16_t n = count_;
+      for (uint16_t i = idx_; i < n; ++i) {
+        Slice k = node.KeyAt(i);
+        if (!hi.empty() && k.compare(hi) >= 0) {
+          Unpin();
+          return status_;
+        }
+        if (!visit(k, node.PayloadAt(i))) {
+          Unpin();
+          return status_;
+        }
+      }
+      idx_ = n;
+      SkipEmptyForward();
+    }
+    return status_;
+  }
+
+  void SeekToLast() override {
+    Reset();
+    storage::PageId page = root_;
+    while (true) {
+      auto guard_or = buffers_->Fetch(page);
+      if (!Check(guard_or.status())) return;
+      Pin(std::move(guard_or).value());
+      BtreeNode node = View();
+      if (node.is_leaf()) break;
+      page = node.ChildAt(node.count());  // rightmost child
+    }
+    if (count_ == 0) {  // empty tree (root leaf)
+      Invalidate();
+      return;
+    }
+    idx_ = static_cast<uint16_t>(count_ - 1);
+  }
+
+  void Prev() override {
+    if (idx_ > 0) {
+      --idx_;
+      return;
+    }
+    // At the leaf's first entry: the predecessor is the last key below this
+    // leaf's fence. No back-link on the chain, so re-descend for it.
+    std::string bound = View().KeyAt(0).ToString();
+    Unpin();
+    if (!FindLastBelow(root_, Slice(bound))) Invalidate();
+  }
+
+ protected:
+  void Invalidate() override { Unpin(); }
+
+ private:
+  /// The frame pointer and page size are cached so the hot per-entry calls
+  /// (key/value/Next) build node views without chasing guard_ → frame →
+  /// file → page_size on every step.
+  BtreeNode View() const { return BtreeNode(frame_, page_size_); }
+
+  void Pin(Guard guard) {
+    guard_ = std::move(guard);
+    frame_ = guard_.page().raw();
+    count_ = View().count();
+  }
+
+  void Unpin() {
+    guard_ = Guard();
+    frame_ = nullptr;
+    count_ = 0;
+  }
+
+  void Reset() {
+    Unpin();
+    status_ = Status::OK();
+    idx_ = 0;
+  }
+
+  /// Records a fetch failure and invalidates; returns s.ok().
+  bool Check(const Status& s) {
+    if (s.ok()) return true;
+    status_ = s;
+    Invalidate();
+    return false;
+  }
+
+  /// Hops the sibling chain while idx_ is past the current leaf's entries.
+  /// (Non-root leaves are never left empty — an empty leaf always merges —
+  /// so this loops more than once only on a damaged chain.)
+  void SkipEmptyForward() {
+    while (frame_ != nullptr && idx_ >= count_) {
+      storage::PageId next = View().link();
+      Unpin();
+      if (next == storage::kInvalidPageId) return;  // clean end
+      auto guard_or = buffers_->Fetch(next);
+      if (!Check(guard_or.status())) return;
+      Pin(std::move(guard_or).value());
+      idx_ = 0;
+    }
+  }
+
+  /// Positions at the last key < bound in the subtree at `page`; descends
+  /// right-to-left over the candidate children (only the first candidate
+  /// can miss, and only at the leaf boundary, so this stays O(log n)).
+  bool FindLastBelow(storage::PageId page, const Slice& bound) {
+    auto guard_or = buffers_->Fetch(page);
+    if (!Check(guard_or.status())) return false;
+    Guard guard = std::move(guard_or).value();
+    BtreeNode node(guard.page().raw(), page_size_);
+    bool equal = false;
+    uint16_t i = node.LowerBound(bound, &equal);
+    if (node.is_leaf()) {
+      if (i == 0) return false;  // every key here is >= bound
+      Pin(std::move(guard));
+      idx_ = static_cast<uint16_t>(i - 1);
+      return true;
+    }
+    for (int j = i; j >= 0; --j) {
+      if (FindLastBelow(node.ChildAt(static_cast<uint16_t>(j)), bound)) {
+        return true;
+      }
+      if (!status_.ok()) return false;
+    }
+    return false;
+  }
+
+  Buffers* buffers_;
+  storage::PageId root_;
+  uint32_t page_size_;       // cached from the page file (immutable)
+  Guard guard_;              // pinned current leaf; invalid = unpositioned
+  char* frame_ = nullptr;    // guard_'s frame data, cached for View()
+  uint16_t count_ = 0;       // entry count of the pinned leaf
+  uint16_t idx_ = 0;         // entry within the leaf
+  Status status_;
+};
+
+using BtreeCursor = BasicBtreeCursor<storage::SingleThreaded>;
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_BTREE_CURSOR_H_

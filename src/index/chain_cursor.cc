@@ -1,0 +1,94 @@
+#include "index/chain_cursor.h"
+
+#include "common/coding.h"
+
+namespace fame::index {
+
+using storage::PageGuard;
+using storage::PageId;
+using storage::kInvalidPageId;
+
+namespace {
+
+bool DecodeEntry(const Slice& rec, Slice* key, uint64_t* value) {
+  if (rec.size() < 10) return false;
+  uint16_t klen = DecodeFixed16(rec.data());
+  if (rec.size() != static_cast<size_t>(2 + klen + 8)) return false;
+  *key = Slice(rec.data() + 2, klen);
+  *value = DecodeFixed64(rec.data() + 2 + klen);
+  return true;
+}
+
+}  // namespace
+
+void SlottedChainCursor::SeekToFirst() { Seek(Slice()); }
+
+void SlottedChainCursor::Seek(const Slice& target) {
+  lo_ = target.ToString();
+  chain_ = 0;
+  guard_ = PageGuard();
+  slot_ = 0;
+  positioned_ = false;
+  status_ = Status::OK();
+  Locate();
+}
+
+void SlottedChainCursor::Next() {
+  positioned_ = false;
+  ++slot_;
+  Locate();
+}
+
+void SlottedChainCursor::Locate() {
+  while (true) {
+    if (!guard_.valid()) {
+      // Start (or continue into) the next chain.
+      if (chain_ >= heads_.size()) return;  // exhausted, clean end
+      auto guard_or = buffers_->Fetch(heads_[chain_]);
+      if (!guard_or.ok()) {
+        status_ = guard_or.status();
+        return;
+      }
+      guard_ = std::move(guard_or).value();
+      slot_ = 0;
+    }
+    storage::Page page = guard_.page();
+    for (; slot_ < page.slot_count(); ++slot_) {
+      auto rec_or = page.Get(slot_);
+      if (!rec_or.ok()) {
+        if (rec_or.status().IsNotFound()) continue;  // dead slot
+        status_ = rec_or.status();
+        guard_ = PageGuard();
+        return;
+      }
+      Slice k;
+      uint64_t v;
+      if (!DecodeEntry(rec_or.value(), &k, &v)) {
+        status_ = Status::Corruption(std::string("bad ") + what_ + " entry");
+        guard_ = PageGuard();
+        return;
+      }
+      if (!lo_.empty() && k.compare(Slice(lo_)) < 0) continue;
+      key_ = k;
+      value_ = v;
+      positioned_ = true;
+      return;
+    }
+    // Page exhausted: hop to the next page of the chain, or the next chain.
+    PageId next = page.next_page();
+    guard_ = PageGuard();
+    slot_ = 0;
+    if (next != kInvalidPageId) {
+      auto guard_or = buffers_->Fetch(next);
+      if (!guard_or.ok()) {
+        status_ = guard_or.status();
+        return;
+      }
+      guard_ = std::move(guard_or).value();
+    } else {
+      ++chain_;
+    }
+  }
+}
+
+}  // namespace fame::index

@@ -1,0 +1,57 @@
+// SlottedChainCursor: pull-based iteration over chains of slotted pages
+// holding [u16 klen][key][u64 payload] entries — the storage shape shared
+// by ListIndex (one chain) and HashIndex (one chain per bucket). Emission
+// is storage order, so Seek(t) filters (every emitted key >= t) rather
+// than positions; see cursor.h.
+#ifndef FAME_INDEX_CHAIN_CURSOR_H_
+#define FAME_INDEX_CHAIN_CURSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "index/cursor.h"
+#include "storage/buffer.h"
+
+namespace fame::index {
+
+class SlottedChainCursor final : public Cursor {
+ public:
+  /// Iterates the chains starting at `heads` in order, one pinned page at a
+  /// time. `what` names the owning access method in corruption messages.
+  SlottedChainCursor(storage::BufferManager* buffers,
+                     std::vector<storage::PageId> heads, const char* what)
+      : buffers_(buffers), heads_(std::move(heads)), what_(what) {}
+
+  void SeekToFirst() override;
+  void Seek(const Slice& target) override;
+  bool Valid() const override { return positioned_; }
+  void Next() override;
+  Slice key() const override { return key_; }
+  uint64_t value() const override { return value_; }
+  const Status& status() const override { return status_; }
+
+ protected:
+  void Invalidate() override { positioned_ = false; }
+
+ private:
+  /// Advances from the current (chain, page, slot) position to the next
+  /// live entry with key >= lo_, hopping pages and chains as needed.
+  void Locate();
+
+  storage::BufferManager* buffers_;
+  std::vector<storage::PageId> heads_;
+  const char* what_;
+
+  std::string lo_;                 // Seek filter ("" = none)
+  size_t chain_ = 0;               // index into heads_
+  storage::PageGuard guard_;       // pinned current page
+  uint16_t slot_ = 0;
+  Slice key_;                      // into the pinned frame
+  uint64_t value_ = 0;
+  bool positioned_ = false;
+  Status status_;
+};
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_CHAIN_CURSOR_H_

@@ -1,0 +1,10 @@
+#include "index/cursor.h"
+
+namespace fame::index {
+
+Status CursorScan(Cursor* c, const Slice& lo, const Slice& hi, bool ordered,
+                  const ScanVisitor& visit) {
+  return DriveCursor(*c, lo, hi, ordered, visit);
+}
+
+}  // namespace fame::index

@@ -1,0 +1,109 @@
+// Pull-based cursor: the open/next/close operator interface every access
+// method implements (the iterator shape code-generating engines compile
+// into tight loops). One cursor protocol replaces the push-style
+// ScanVisitor plumbing that used to be re-implemented per layer; the
+// visitor entry points survive as thin adapters (CursorScan).
+//
+// Protocol:
+//   - A fresh cursor is not positioned; call SeekToFirst()/Seek()/
+//     SeekToLast() before anything else.
+//   - Valid() gates key()/value()/Next()/Prev(). An exhausted or errored
+//     cursor is !Valid(); consult status() to tell the two apart (OK =
+//     clean end, anything else = the first IO/corruption error, sticky).
+//   - key() Slices point into the access method's pinned page frame (or a
+//     cursor-owned buffer) and are stable only until the next cursor call.
+//   - Ordered access methods (B+-tree, Queue) position Seek(t) at the
+//     smallest key >= t and iterate in byte order. Unordered ones (List,
+//     Hash) iterate in storage order and treat Seek(t) as a *filter*:
+//     every emitted key is >= t, with no ordering among them.
+//   - Mutating the underlying index invalidates every open cursor on it;
+//     the only legal operations afterwards are re-Seek*() and status().
+//     (See DESIGN.md §11 for why embedded-scale FAME-DBMS pins exactly one
+//     leaf instead of versioning pages.)
+//   - Reverse iteration (SeekToLast/Prev) is the optional ReverseScan
+//     feature; only cursors with SupportsReverse() implement it, others
+//     simply become !Valid().
+#ifndef FAME_INDEX_CURSOR_H_
+#define FAME_INDEX_CURSOR_H_
+
+#include <functional>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace fame::index {
+
+using ScanVisitor = std::function<bool(const Slice& key, uint64_t value)>;
+
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  /// Positions at the first entry in iteration order (!Valid() when empty).
+  virtual void SeekToFirst() = 0;
+  /// Ordered: positions at the smallest key >= target. Unordered: restarts
+  /// iteration emitting only keys >= target (storage order).
+  virtual void Seek(const Slice& target) = 0;
+  /// True when positioned on an entry.
+  virtual bool Valid() const = 0;
+  /// Advances to the next entry. Requires Valid().
+  virtual void Next() = 0;
+
+  /// Key at the current position. Requires Valid().
+  virtual Slice key() const = 0;
+  /// 64-bit payload (typically a packed storage::Rid). Requires Valid().
+  virtual uint64_t value() const = 0;
+
+  /// OK, or the first IO/corruption error that stopped iteration (sticky
+  /// until the next Seek*()).
+  virtual const Status& status() const = 0;
+
+  // ---- ReverseScan feature (optional) ----
+  /// True when SeekToLast()/Prev() are implemented.
+  virtual bool SupportsReverse() const { return false; }
+  /// Positions at the last entry; default: unsupported, becomes !Valid().
+  virtual void SeekToLast() { Invalidate(); }
+  /// Steps to the previous entry; default: unsupported, becomes !Valid().
+  virtual void Prev() { Invalidate(); }
+
+ protected:
+  /// Hook for the default reverse ops: leave the cursor unpositioned.
+  virtual void Invalidate() = 0;
+};
+
+/// Drives `c` over [lo, hi) calling `visit` — the one adapter behind every
+/// legacy ScanVisitor entry point. Empty lo/hi mean unbounded. `ordered`
+/// must match the access method: when true an entry >= hi terminates the
+/// walk, when false it is filtered and iteration continues (unordered
+/// emission can interleave in- and out-of-range keys). Returns the
+/// cursor's final status.
+Status CursorScan(Cursor* c, const Slice& lo, const Slice& hi, bool ordered,
+                  const ScanVisitor& visit);
+
+/// The CursorScan loop templated on the concrete cursor type: access
+/// methods drive their own `final` cursor class through this so the
+/// compiler devirtualizes and inlines the per-entry calls — the visitor
+/// entry points then cost the same as the hand-rolled leaf walks they
+/// replaced. CursorScan(Cursor*, ...) is this instantiated at the base.
+template <typename C>
+Status DriveCursor(C& c, const Slice& lo, const Slice& hi, bool ordered,
+                   const ScanVisitor& visit) {
+  if (lo.empty()) {
+    c.SeekToFirst();
+  } else {
+    c.Seek(lo);
+  }
+  for (; c.Valid(); c.Next()) {
+    Slice key = c.key();  // one directory decode per entry, not two
+    if (!hi.empty() && key.compare(hi) >= 0) {
+      if (ordered) break;  // everything after is >= hi too
+      continue;            // unordered: filter and keep going
+    }
+    if (!visit(key, c.value())) break;
+  }
+  return c.status();
+}
+
+}  // namespace fame::index
+
+#endif  // FAME_INDEX_CURSOR_H_

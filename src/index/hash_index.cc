@@ -1,6 +1,7 @@
 #include "index/hash_index.h"
 
 #include "common/coding.h"
+#include "index/chain_cursor.h"
 
 namespace fame::index {
 
@@ -183,26 +184,9 @@ Status HashIndex::Remove(const Slice& key) {
   return Status::NotFound("key absent");
 }
 
-Status HashIndex::Scan(const ScanVisitor& visit) {
-  for (PageId bucket : buckets_) {
-    PageId id = bucket;
-    while (id != kInvalidPageId) {
-      FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
-      storage::Page page = guard.page();
-      for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
-        auto rec_or = page.Get(slot);
-        if (!rec_or.ok()) continue;
-        Slice k;
-        uint64_t v;
-        if (!DecodeEntry(rec_or.value(), &k, &v)) {
-          return Status::Corruption("bad hash entry");
-        }
-        if (!visit(k, v)) return Status::OK();
-      }
-      id = page.next_page();
-    }
-  }
-  return Status::OK();
+StatusOr<std::unique_ptr<Cursor>> HashIndex::NewCursor() {
+  return std::unique_ptr<Cursor>(
+      new SlottedChainCursor(buffers_, buckets_, "hash"));
 }
 
 StatusOr<uint64_t> HashIndex::Count() {

@@ -31,7 +31,8 @@ class HashIndex final : public KeyValueIndex {
   Status Insert(const Slice& key, uint64_t value) override;
   Status Lookup(const Slice& key, uint64_t* value) override;
   Status Remove(const Slice& key) override;
-  Status Scan(const ScanVisitor& visit) override;
+  /// Bucket-by-bucket chain cursor; Seek filters (no order).
+  StatusOr<std::unique_ptr<Cursor>> NewCursor() override;
   StatusOr<uint64_t> Count() override;
   const char* name() const override { return "hash"; }
   bool ordered() const override { return false; }

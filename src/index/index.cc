@@ -1,0 +1,16 @@
+#include "index/index.h"
+
+namespace fame::index {
+
+Status KeyValueIndex::Scan(const ScanVisitor& visit) {
+  FAME_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> c, NewCursor());
+  return CursorScan(c.get(), Slice(), Slice(), ordered(), visit);
+}
+
+Status OrderedIndex::RangeScan(const Slice& lo, const Slice& hi,
+                               const ScanVisitor& visit) {
+  FAME_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> c, NewCursor());
+  return CursorScan(c.get(), lo, hi, ordered(), visit);
+}
+
+}  // namespace fame::index

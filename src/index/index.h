@@ -8,16 +8,14 @@
 #ifndef FAME_INDEX_INDEX_H_
 #define FAME_INDEX_INDEX_H_
 
-#include <functional>
+#include <memory>
 #include <string>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "index/cursor.h"
 
 namespace fame::index {
-
-/// Visitor for scans: (key, payload) -> keep-going.
-using ScanVisitor = std::function<bool(const Slice& key, uint64_t value)>;
 
 /// Minimal key-to-u64 map interface shared by all access methods. Virtual
 /// dispatch is only paid by the *dynamic* (component-composed) products;
@@ -32,8 +30,12 @@ class KeyValueIndex {
   virtual Status Lookup(const Slice& key, uint64_t* value) = 0;
   /// Removes `key`; NotFound if absent.
   virtual Status Remove(const Slice& key) = 0;
-  /// Visits all entries (ordered for ordered indexes).
-  virtual Status Scan(const ScanVisitor& visit) = 0;
+  /// Opens a pull-based cursor (the one traversal primitive; see cursor.h).
+  /// Mutating the index invalidates open cursors.
+  virtual StatusOr<std::unique_ptr<Cursor>> NewCursor() = 0;
+  /// Visits all entries (ordered for ordered indexes). Implemented once
+  /// over NewCursor(); access methods contain no visitor traversal logic.
+  virtual Status Scan(const ScanVisitor& visit);
   /// Live entry count.
   virtual StatusOr<uint64_t> Count() = 0;
   /// Stable feature name: "btree", "list", "hash", "queue".
@@ -45,9 +47,11 @@ class KeyValueIndex {
 /// Ordered index with range scans (B+-tree; List satisfies it by scanning).
 class OrderedIndex : public KeyValueIndex {
  public:
-  /// Visits entries with lo <= key < hi (empty hi = unbounded).
+  /// Visits entries with lo <= key < hi (empty hi = unbounded). Emission is
+  /// sorted only when ordered() — the List alternative filters a storage-
+  /// order walk. Implemented once over NewCursor().
   virtual Status RangeScan(const Slice& lo, const Slice& hi,
-                           const ScanVisitor& visit) = 0;
+                           const ScanVisitor& visit);
 };
 
 }  // namespace fame::index

@@ -1,6 +1,7 @@
 #include "index/list_index.h"
 
 #include "common/coding.h"
+#include "index/chain_cursor.h"
 
 namespace fame::index {
 
@@ -121,31 +122,9 @@ Status ListIndex::Remove(const Slice& key) {
   return Status::OK();
 }
 
-Status ListIndex::Scan(const ScanVisitor& visit) {
-  return RangeScan(Slice(), Slice(), visit);
-}
-
-Status ListIndex::RangeScan(const Slice& lo, const Slice& hi,
-                            const ScanVisitor& visit) {
-  PageId id = head_;
-  while (id != kInvalidPageId) {
-    FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(id));
-    storage::Page page = guard.page();
-    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
-      auto rec_or = page.Get(slot);
-      if (!rec_or.ok()) continue;
-      Slice k;
-      uint64_t v;
-      if (!DecodeEntry(rec_or.value(), &k, &v)) {
-        return Status::Corruption("bad list entry");
-      }
-      if (!lo.empty() && k.compare(lo) < 0) continue;
-      if (!hi.empty() && k.compare(hi) >= 0) continue;
-      if (!visit(k, v)) return Status::OK();
-    }
-    id = page.next_page();
-  }
-  return Status::OK();
+StatusOr<std::unique_ptr<Cursor>> ListIndex::NewCursor() {
+  return std::unique_ptr<Cursor>(
+      new SlottedChainCursor(buffers_, {head_}, "list"));
 }
 
 StatusOr<uint64_t> ListIndex::Count() {

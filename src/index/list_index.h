@@ -21,11 +21,9 @@ class ListIndex final : public OrderedIndex {
   Status Insert(const Slice& key, uint64_t value) override;
   Status Lookup(const Slice& key, uint64_t* value) override;
   Status Remove(const Slice& key) override;
-  Status Scan(const ScanVisitor& visit) override;
-  /// Filtered full scan; emission order is *not* sorted (ordered() is
-  /// false) — callers needing order must sort or pick the B+-tree feature.
-  Status RangeScan(const Slice& lo, const Slice& hi,
-                   const ScanVisitor& visit) override;
+  /// Storage-order chain cursor; Seek filters (ordered() is false — callers
+  /// needing sorted emission must sort or pick the B+-tree feature).
+  StatusOr<std::unique_ptr<Cursor>> NewCursor() override;
   StatusOr<uint64_t> Count() override;
   const char* name() const override { return "list"; }
   bool ordered() const override { return false; }

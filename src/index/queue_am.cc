@@ -1,6 +1,7 @@
 #include "index/queue_am.h"
 
 #include "common/coding.h"
+#include "index/keys.h"
 
 namespace fame::index {
 
@@ -137,6 +138,92 @@ StatusOr<storage::PageId> QueueAM::PageFor(uint64_t recno) {
     base += cells;
   }
   return Status::NotFound("record number beyond queue pages");
+}
+
+namespace {
+
+/// Cursor over [head, tail): key = EncodeU64Key(recno) (byte order equals
+/// recno order), value = recno. Dead cells inside the window are skipped.
+class QueueCursor final : public Cursor {
+ public:
+  QueueCursor(QueueAM* q) : q_(q) {}
+
+  void SeekToFirst() override { Position(q_->head_recno(), /*forward=*/true); }
+
+  void Seek(const Slice& target) override {
+    // First recno whose 8-byte big-endian key is >= target: pad short
+    // targets with zeros (the smallest extension); a target longer than 8
+    // bytes sorts strictly after its 8-byte prefix.
+    char padded[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::memcpy(padded, target.data(), target.size() < 8 ? target.size() : 8);
+    uint64_t recno = DecodeU64Key(Slice(padded, 8));
+    if (target.size() > 8) ++recno;
+    if (recno < q_->head_recno()) recno = q_->head_recno();
+    Position(recno, /*forward=*/true);
+  }
+
+  bool Valid() const override { return positioned_; }
+
+  void Next() override {
+    positioned_ = false;
+    if (recno_ + 1 < q_->tail_recno()) Position(recno_ + 1, /*forward=*/true);
+  }
+
+  Slice key() const override { return Slice(key_buf_); }
+  uint64_t value() const override { return recno_; }
+  const Status& status() const override { return status_; }
+
+  bool SupportsReverse() const override { return true; }
+  void SeekToLast() override {
+    positioned_ = false;
+    status_ = Status::OK();
+    if (q_->tail_recno() > q_->head_recno()) {
+      Position(q_->tail_recno() - 1, /*forward=*/false);
+    }
+  }
+  void Prev() override {
+    positioned_ = false;
+    if (recno_ > q_->head_recno()) Position(recno_ - 1, /*forward=*/false);
+  }
+
+ protected:
+  void Invalidate() override { positioned_ = false; }
+
+ private:
+  /// Positions at the nearest live recno at-or-beyond `recno` in the given
+  /// direction (probing liveness via Get, which also validates bounds).
+  void Position(uint64_t recno, bool forward) {
+    positioned_ = false;
+    status_ = Status::OK();
+    std::string record;
+    while (recno < q_->tail_recno() && recno >= q_->head_recno()) {
+      Status s = q_->Get(recno, &record);
+      if (s.ok()) {
+        recno_ = recno;
+        key_buf_ = EncodeU64Key(recno);
+        positioned_ = true;
+        return;
+      }
+      if (!s.IsNotFound()) {  // IO/corruption error, not a dead cell
+        status_ = s;
+        return;
+      }
+      if (!forward && recno == 0) return;
+      recno = forward ? recno + 1 : recno - 1;
+    }
+  }
+
+  QueueAM* q_;
+  uint64_t recno_ = 0;
+  std::string key_buf_;
+  bool positioned_ = false;
+  Status status_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Cursor>> QueueAM::NewCursor() {
+  return std::unique_ptr<Cursor>(new QueueCursor(this));
 }
 
 Status QueueAM::Get(uint64_t recno, std::string* out) {

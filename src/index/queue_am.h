@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "index/cursor.h"
 #include "storage/buffer.h"
 
 namespace fame::index {
@@ -34,6 +35,12 @@ class QueueAM {
 
   /// Reads record `recno` if still live.
   Status Get(uint64_t recno, std::string* out);
+
+  /// Cursor over the live records in recno order: key() is the
+  /// order-preserving EncodeU64Key(recno), value() the recno itself (fetch
+  /// payload bytes via Get). Supports reverse iteration. The snapshot of
+  /// [head, tail) is taken at Seek time; mutation invalidates the cursor.
+  StatusOr<std::unique_ptr<Cursor>> NewCursor();
 
   /// Live record count.
   uint64_t Size() const { return tail_ - head_; }

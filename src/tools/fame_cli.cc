@@ -10,6 +10,10 @@
 //   fame advise <entries> <point%> <range%> <write%>
 //                                     data-driven index recommendation
 //   fame sql <db-path> "<stmt>" ...   run SQL against a database file
+//   fame scan <db-path> [--limit N] [--prefix P]
+//                                     cursor scan of the raw KV records
+//   fame range <db-path> <lo> <hi> [--limit N]
+//                                     cursor range scan over [lo, hi)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,7 +41,9 @@ int Usage() {
                "  fame detect <source.cpp...>\n"
                "  fame derive <source.cpp...>\n"
                "  fame advise <entries> <point%%> <range%%> <write%%>\n"
-               "  fame sql <db-path> \"<statement>\" [...]\n");
+               "  fame sql <db-path> \"<statement>\" [...]\n"
+               "  fame scan <db-path> [--limit N] [--prefix P]\n"
+               "  fame range <db-path> <lo> <hi> [--limit N]\n");
   return 2;
 }
 
@@ -199,6 +205,125 @@ int CmdSql(int argc, char** argv) {
   return 0;
 }
 
+/// Bytes rendered with non-printables as \xNN (keys can be binary).
+std::string Printable(const Slice& s) {
+  std::string out;
+  char buf[5];
+  for (size_t i = 0; i < s.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+/// Opens an existing database read-mostly: the feature selection is not
+/// persisted, so any valid B+-Tree product opens files the other commands
+/// wrote.
+StatusOr<std::unique_ptr<core::Database>> OpenForScan(const char* path) {
+  core::DbOptions opts;
+  opts.features = {"Linux", "B+-Tree", "Int-Types", "String-Types"};
+  opts.path = path;
+  return core::Database::Open(opts);
+}
+
+/// Pulls at most `limit` records from `cur` within [lo-already-sought, hi),
+/// keeping only keys starting with `prefix`; prints key=value lines.
+/// Returns 1 (after a diagnostic) when the cursor stopped on an IO error.
+int DrainCursor(core::EngineCursor* cur, const std::string& hi,
+                const std::string& prefix, uint64_t limit) {
+  uint64_t shown = 0;
+  for (; cur->Valid() && shown < limit; cur->Next()) {
+    if (!hi.empty() && cur->key().compare(Slice(hi)) >= 0) break;
+    if (!prefix.empty() && !cur->key().starts_with(Slice(prefix))) continue;
+    Slice value = cur->value();
+    if (!cur->Valid()) break;  // heap join failed; status() has the error
+    std::printf("%s=%s\n", Printable(cur->key()).c_str(),
+                Printable(value).c_str());
+    ++shown;
+  }
+  if (!cur->status().ok()) {
+    std::fprintf(stderr, "error: scan stopped: %s\n",
+                 cur->status().ToString().c_str());
+    return 1;
+  }
+  std::printf("(%llu records)\n", static_cast<unsigned long long>(shown));
+  return 0;
+}
+
+/// Shared option parsing for scan/range: --limit N and (scan only)
+/// --prefix P.
+bool ParseScanFlags(int argc, char** argv, bool allow_prefix, uint64_t* limit,
+                    std::string* prefix) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc) {
+      *limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (allow_prefix && std::strcmp(argv[i], "--prefix") == 0 &&
+               i + 1 < argc) {
+      *prefix = argv[++i];
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdScan(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  uint64_t limit = UINT64_MAX;
+  std::string prefix;
+  if (!ParseScanFlags(argc - 1, argv + 1, /*allow_prefix=*/true, &limit,
+                      &prefix)) {
+    return Usage();
+  }
+  auto db = OpenForScan(argv[0]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto cur_or = (*db)->NewCursor();
+  if (!cur_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", cur_or.status().ToString().c_str());
+    return 1;
+  }
+  core::EngineCursor cur = std::move(cur_or).value();
+  // Seeking straight to the prefix (ordered index) makes --limit N with a
+  // prefix O(N), not O(first match).
+  if (prefix.empty()) {
+    cur.SeekToFirst();
+  } else {
+    cur.Seek(Slice(prefix));
+  }
+  return DrainCursor(&cur, /*hi=*/"", prefix, limit);
+}
+
+int CmdRange(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  uint64_t limit = UINT64_MAX;
+  std::string prefix;
+  if (!ParseScanFlags(argc - 3, argv + 3, /*allow_prefix=*/false, &limit,
+                      &prefix)) {
+    return Usage();
+  }
+  auto db = OpenForScan(argv[0]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto cur_or = (*db)->NewCursor();
+  if (!cur_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", cur_or.status().ToString().c_str());
+    return 1;
+  }
+  core::EngineCursor cur = std::move(cur_or).value();
+  cur.Seek(Slice(argv[1]));
+  return DrainCursor(&cur, /*hi=*/argv[2], /*prefix=*/"", limit);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,5 +334,7 @@ int main(int argc, char** argv) {
   if (cmd == "derive") return CmdDetectOrDerive(true, argc - 2, argv + 2);
   if (cmd == "advise") return CmdAdvise(argc - 2, argv + 2);
   if (cmd == "sql") return CmdSql(argc - 2, argv + 2);
+  if (cmd == "scan") return CmdScan(argc - 2, argv + 2);
+  if (cmd == "range") return CmdRange(argc - 2, argv + 2);
   return Usage();
 }

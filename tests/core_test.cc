@@ -178,6 +178,8 @@ TEST(StaticProductTest, ProductsMatchFeatureModelVariants) {
   check(kSensorLoggerFeatures, std::size(kSensorLoggerFeatures));
   check(kWorkstationFeatures, std::size(kWorkstationFeatures));
   check(kControllerFeatures, std::size(kControllerFeatures));
+  check(kEdgeServerFeatures, std::size(kEdgeServerFeatures));
+  check(kAnalyticsFeatures, std::size(kAnalyticsFeatures));
 }
 
 // ------------------------------------------------------------ Database

@@ -263,7 +263,7 @@ TEST(FameModelTest, ParsesAndHasFigureTwoFeatures) {
         "Buffer-Manager", "Replacement", "LRU", "LFU", "Memory-Alloc",
         "Dynamic", "Static", "Storage", "Index", "B+-Tree", "List",
         "Data-Types", "Access", "Get", "Put", "Remove", "Update",
-        "Transaction", "API", "SQL-Engine", "Optimizer"}) {
+        "ReverseScan", "Transaction", "API", "SQL-Engine", "Optimizer"}) {
     EXPECT_TRUE(m->Has(f)) << f;
   }
 }

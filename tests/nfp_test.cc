@@ -384,5 +384,32 @@ TEST(FeedbackTest, ConcurrencyNfpSeedLoadsAndFits) {
   }
 }
 
+// Same guarantees for the ReverseScan NFP seed (descending cursor
+// iteration): loadable, fits, positive footprint, names valid features.
+TEST(FeedbackTest, ReverseScanNfpSeedLoadsAndFits) {
+  auto repo_or = FeedbackRepository::Deserialize(fm::kFameReverseScanNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 2u);
+
+  std::vector<std::string> base = {"API",       "B+-Tree", "BTree-Search",
+                                   "Dynamic",   "Get",     "Int-Types",
+                                   "LRU",       "Linux",   "Put",
+                                   "String-Types"};
+  std::vector<std::string> rev = base;
+  rev.push_back("ReverseScan");
+
+  auto size_est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(size_est.ok()) << size_est.status().ToString();
+  EXPECT_GT(size_est->FeatureWeight("ReverseScan"), 0.0);
+  EXPECT_GT(size_est->Estimate(rev), size_est->Estimate(base));
+
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fame::nfp
