@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare benchmark runs of the obs-off and obs-on builds.
+
+Usage:
+    compare_obs.py OFF.json ON.json [--out BENCH_obs.json] [--threshold 1.02]
+
+Both inputs are Google Benchmark JSON (--benchmark_out_format=json) from the
+same benchmark binary built twice: once with -DFAME_OBSERVABILITY=OFF and
+once with the default ON. Benchmarks are matched by name; for each pair the
+ratio off/on of real_time is computed (ratio < 1 means the off build is
+faster, as expected when instrumentation compiles out).
+
+The guard is the zero-overhead claim in the direction that can actually
+break: a build with observability *disabled* must not run slower than the
+instrumented build beyond noise. Exits nonzero when the geomean ratio
+exceeds the threshold (default 1.02 = 2%).
+
+The merged report (per-benchmark ratios + geomean + verdict) is written to
+--out for the CI artifact.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = float(b["real_time"])
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("off_json", help="benchmark JSON from the obs-off build")
+    ap.add_argument("on_json", help="benchmark JSON from the obs-on build")
+    ap.add_argument("--out", default="BENCH_obs.json")
+    ap.add_argument("--threshold", type=float, default=1.02,
+                    help="max allowed geomean of off/on real_time ratios")
+    args = ap.parse_args()
+
+    off = load_times(args.off_json)
+    on = load_times(args.on_json)
+    common = sorted(set(off) & set(on))
+    if not common:
+        print("compare_obs: no common benchmarks between inputs",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    log_sum = 0.0
+    for name in common:
+        ratio = off[name] / on[name] if on[name] > 0 else float("inf")
+        log_sum += math.log(ratio)
+        rows.append({"name": name, "off_ns": off[name], "on_ns": on[name],
+                     "off_over_on": round(ratio, 4)})
+    geomean = math.exp(log_sum / len(common))
+    ok = geomean <= args.threshold
+
+    report = {
+        "benchmarks": rows,
+        "geomean_off_over_on": round(geomean, 4),
+        "threshold": args.threshold,
+        "ok": ok,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for r in rows:
+        print(f"{r['name']}: off/on = {r['off_over_on']:.4f}")
+    print(f"geomean off/on = {geomean:.4f} (threshold {args.threshold})")
+    if not ok:
+        print("FAIL: the observability-disabled build is slower than the "
+              "instrumented build beyond noise — gating overhead leaked into "
+              "the off configuration", file=sys.stderr)
+        return 1
+    print("OK: obs-off build within noise of obs-on")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+# Symbol-table check behind the Observability feature's zero-overhead
+# claim. Run as a ctest:
+#
+#   cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoObsSymbols.cmake
+#
+# Greps `nm` output of BINARY for the mangled fame::obs namespace prefix
+# ("4fame3obs" — every symbol defined in the namespace carries it).
+# EXPECT=absent fails on any hit: a product built with FAME_OBS_DISABLE
+# must contain no observability code at all. EXPECT=present is the positive
+# control on the obs-enabled twin of the same product, proving the probe
+# methodology actually sees the symbols it claims to rule out.
+if(NOT DEFINED BINARY OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "usage: cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoObsSymbols.cmake")
+endif()
+
+find_program(NM_TOOL NAMES nm llvm-nm)
+if(NOT NM_TOOL)
+  message(FATAL_ERROR "nm not found; cannot check ${BINARY}")
+endif()
+
+execute_process(
+  COMMAND ${NM_TOOL} --defined-only ${BINARY}
+  OUTPUT_VARIABLE SYMBOLS
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE NM_ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY}: ${NM_ERR}")
+endif()
+
+string(REGEX MATCHALL "[^\n]*4fame3obs[^\n]*" OBS_SYMBOLS "${SYMBOLS}")
+list(LENGTH OBS_SYMBOLS HITS)
+
+if(EXPECT STREQUAL "absent")
+  if(HITS GREATER 0)
+    list(SUBLIST OBS_SYMBOLS 0 10 SAMPLE)
+    string(JOIN "\n  " SAMPLE_TEXT ${SAMPLE})
+    message(FATAL_ERROR
+      "${BINARY} was built with observability disabled but defines ${HITS} "
+      "fame::obs symbol(s):\n  ${SAMPLE_TEXT}")
+  endif()
+  message(STATUS "${BINARY}: no fame::obs symbols (as required)")
+elseif(EXPECT STREQUAL "present")
+  if(HITS EQUAL 0)
+    message(FATAL_ERROR
+      "${BINARY} should carry fame::obs symbols (positive control for the "
+      "absence test) but nm found none — the check would be vacuous")
+  endif()
+  message(STATUS "${BINARY}: ${HITS} fame::obs symbols (positive control ok)")
+else()
+  message(FATAL_ERROR "EXPECT must be 'absent' or 'present', got '${EXPECT}'")
+endif()

@@ -75,6 +75,7 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsInvalidArgument() const {

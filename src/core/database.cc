@@ -5,6 +5,10 @@
 #include "core/sql.h"
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
+#include "obs/obs.h"
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 
 namespace fame::core {
 
@@ -58,6 +62,12 @@ Status Database::ComposeComponents(const DbOptions& options) {
   } else {
     allocator_ = std::make_unique<osal::DynamicAllocator>();
   }
+
+  // Tracing feature: flip the process-wide recording gate before the
+  // storage stack opens, so open-time page IO is already in the ring.
+  // (Static products call obs::Trace::Enable themselves; the facade
+  // derives it from the configuration like every other feature.)
+  FAME_OBS_TRACE(if (HasFeature("Tracing")) obs::Trace::Enable(true);)
 
   FAME_RETURN_IF_ERROR(OpenStorageStack());
 
@@ -125,6 +135,7 @@ Status Database::OpenStorageStack() {
   }
 
   engine_.Bind(heap_.get(), index_.get());
+  FAME_OBS(engine_.SetCursorSink(metrics_.cursors.sink());)
 
   // Integrity features keep one scrubber so incremental cycles and stats
   // survive across calls.
@@ -166,30 +177,56 @@ Status Database::NoteWrite(Status s) {
 
 Status Database::Put(const Slice& key, const Slice& value) {
   if (!has_put_) return Status::NotSupported("feature Put not selected");
+  FAME_OBS(metrics_.puts.Add(1);
+           obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.put_ns);)
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kPut);)
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(engine_.Put(key, value));
+  Status s = NoteWrite(engine_.Put(key, value));
+  FAME_OBS_TRACE(span.set_error(!s.ok());)
+  return s;
 }
 
 Status Database::Get(const Slice& key, std::string* value) {
-  return engine_.Get(key, value);
+  FAME_OBS(metrics_.gets.Add(1);
+           obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.get_ns);)
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kGet);)
+  Status s = engine_.Get(key, value);
+  FAME_OBS_TRACE(span.set_error(!s.ok() && !s.IsNotFound());)
+  return s;
 }
 
 Status Database::Remove(const Slice& key) {
   if (!has_remove_) return Status::NotSupported("feature Remove not selected");
+  FAME_OBS(
+      metrics_.removes.Add(1);
+      obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.remove_ns);)
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kRemove);)
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(engine_.Remove(key));
+  Status s = NoteWrite(engine_.Remove(key));
+  FAME_OBS_TRACE(span.set_error(!s.ok() && !s.IsNotFound());)
+  return s;
 }
 
 Status Database::Update(const Slice& key, const Slice& value) {
   if (!has_update_) return Status::NotSupported("feature Update not selected");
+  FAME_OBS(metrics_.puts.Add(1);
+           obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.put_ns);)
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kUpdate);)
   FAME_RETURN_IF_ERROR(GuardWrite());
   uint64_t packed = 0;
   FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-  return NoteWrite(engine_.Put(key, value));
+  Status s = NoteWrite(engine_.Put(key, value));
+  FAME_OBS_TRACE(span.set_error(!s.ok());)
+  return s;
 }
 
 Status Database::Scan(const index::ScanVisitor& visit) {
-  return index_->Scan(visit);
+  FAME_OBS(metrics_.scans.Add(1);
+           obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.scan_ns);)
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kScan);)
+  Status s = index_->Scan(visit);
+  FAME_OBS_TRACE(span.set_error(!s.ok());)
+  return s;
 }
 
 Status Database::RangeScan(const Slice& lo, const Slice& hi,
@@ -197,7 +234,12 @@ Status Database::RangeScan(const Slice& lo, const Slice& hi,
   if (ordered_ == nullptr) {
     return Status::NotSupported("RangeScan requires the B+-Tree feature");
   }
-  return engine_.RangeScan(lo, hi, /*ordered=*/true, fn);
+  FAME_OBS(metrics_.scans.Add(1);
+           obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.scan_ns);)
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kScan);)
+  Status s = engine_.RangeScan(lo, hi, /*ordered=*/true, fn);
+  FAME_OBS_TRACE(span.set_error(!s.ok());)
+  return s;
 }
 
 Status Database::ReverseScan(const Slice& lo, const Slice& hi,
@@ -205,7 +247,12 @@ Status Database::ReverseScan(const Slice& lo, const Slice& hi,
   if (!HasFeature("ReverseScan")) {
     return Status::NotSupported("feature ReverseScan not selected");
   }
-  return engine_.ReverseScan(lo, hi, fn);
+  FAME_OBS(metrics_.scans.Add(1);
+           obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.scan_ns);)
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kReverseScan);)
+  Status s = engine_.ReverseScan(lo, hi, fn);
+  FAME_OBS_TRACE(span.set_error(!s.ok());)
+  return s;
 }
 
 // ------------------------------------------------------------ transactions
@@ -221,20 +268,25 @@ Status Database::Commit(tx::Transaction* txn) {
   if (txmgr_ == nullptr) {
     return Status::NotSupported("feature Transaction not selected");
   }
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kCommit);)
   Status guard = GuardWrite();
   if (!guard.ok()) {
     // Still finish the transaction (drop writes, release locks) so the
     // handle does not leak, but refuse the mutation.
     txmgr_->Abort(txn);
+    FAME_OBS_TRACE(span.set_error(true);)
     return guard;
   }
-  return NoteWrite(txmgr_->Commit(txn));
+  Status s = NoteWrite(txmgr_->Commit(txn));
+  FAME_OBS_TRACE(span.set_error(!s.ok());)
+  return s;
 }
 
 Status Database::Abort(tx::Transaction* txn) {
   if (txmgr_ == nullptr) {
     return Status::NotSupported("feature Transaction not selected");
   }
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kAbort);)
   return txmgr_->Abort(txn);
 }
 

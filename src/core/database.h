@@ -16,6 +16,7 @@
 #include "core/engine_core.h"
 #include "featuremodel/fame_model.h"
 #include "index/index.h"
+#include "obs/metrics.h"
 #include "osal/allocator.h"
 #include "osal/env.h"
 #include "storage/buffer.h"
@@ -48,7 +49,10 @@ class SqlEngine;
 
 /// One-stop observability snapshot (Database::GetStats): buffer pool,
 /// scrubbing, fault/degradation, repair, and transaction counters that were
-/// previously scattered across component accessors or stderr logs.
+/// previously scattered across component accessors or stderr logs. The
+/// legacy named fields are kept for existing callers; `metrics` carries the
+/// same values (plus the Observability extensions) and is what ToString
+/// renders — there is exactly one serializer (obs::RenderText).
 struct DbStats {
   storage::BufferStats buffer;
   storage::ScrubStats scrub;
@@ -69,6 +73,8 @@ struct DbStats {
   uint64_t aborted_txns = 0;
   bool read_only = false;
   tx::RecoveryReport recovery;
+  /// The full Observability view the fields above are derived from.
+  obs::MetricsSnapshot metrics;
 
   std::string ToString() const;
 };
@@ -144,6 +150,12 @@ class Database : private tx::ApplyTarget {
   Status Repair(storage::IntegrityReport* report = nullptr);
   /// Unified observability counters (always available).
   DbStats GetStats() const;
+  /// [feature Observability] The full metrics snapshot — engine-op
+  /// counters/latencies, buffer pool per shard, file IO, WAL batching,
+  /// B+-tree structure, cursor pipeline. NotSupported unless the
+  /// Observability feature is selected (GetStats stays available either
+  /// way; this is the surface `fame stats` and the NFP feedback hook use).
+  StatusOr<obs::MetricsSnapshot> GetMetricsSnapshot() const;
   /// Accumulated findings of incremental Scrub() calls (VerifyIntegrity
   /// uses its own per-call report instead).
   const storage::IntegrityReport& scrub_findings() const {
@@ -177,6 +189,11 @@ class Database : private tx::ApplyTarget {
   /// scrubber) at options_.path and rebinds engine_; Repair re-runs it
   /// after rebuilding the file. env_ and allocator_ must already be set up.
   Status OpenStorageStack();
+
+  /// Assembles the full metrics view from the registry and the component
+  /// groups (internal; GetMetricsSnapshot adds the feature gate, GetStats
+  /// derives its legacy fields from it).
+  obs::MetricsSnapshot SnapshotMetrics() const;
 
   /// Rejects mutations once the engine is degraded.
   Status GuardWrite() const;
@@ -222,10 +239,11 @@ class Database : private tx::ApplyTarget {
   bool concurrent_ = false;
   mutable std::mutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy
-  uint64_t verify_runs_ = 0;
-  uint64_t repair_runs_ = 0;
-  uint64_t pages_quarantined_ = 0;
-  uint64_t records_salvaged_ = 0;
+  /// All Database-owned counters (engine ops, integrity runs, cursor
+  /// pipeline) live here — SharedCells because the Concurrency feature lets
+  /// several threads drive the transaction surface, and torn non-atomic
+  /// counter reads in GetStats were exactly the bug this replaces.
+  mutable obs::BasicMetricsRegistry<obs::SharedCells> metrics_;
 };
 
 }  // namespace fame::core

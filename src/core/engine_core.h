@@ -22,6 +22,13 @@
 
 #include "common/coding.h"
 #include "index/cursor.h"
+#include "obs/obs.h"
+#if FAME_OBS_ENABLED
+#include "obs/metrics.h"
+#endif
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 #include "storage/record.h"
 
 namespace fame::core {
@@ -45,17 +52,55 @@ class EngineCursor {
                storage::RecordManager* heap)
       : base_(std::move(base)), heap_(heap) {}
 
+  // Movable, not copyable. The moved-from cursor is left invalid and
+  // flushes nothing; the target re-loads its value lazily (value_ points
+  // into record_, which SSO may relocate on move).
+  EngineCursor(EngineCursor&& o) noexcept
+      : base_(std::move(o.base_)),
+        heap_(o.heap_),
+        record_(std::move(o.record_)),
+        status_(std::move(o.status_)) {
+    FAME_OBS(TakeMetrics(o);)
+  }
+  EngineCursor& operator=(EngineCursor&& o) noexcept {
+    if (this != &o) {
+      FAME_OBS(FlushMetrics(/*closing=*/true);)
+      base_ = std::move(o.base_);
+      heap_ = o.heap_;
+      record_ = std::move(o.record_);
+      loaded_ = false;
+      status_ = std::move(o.status_);
+      FAME_OBS(TakeMetrics(o);)
+    }
+    return *this;
+  }
+  ~EngineCursor() { FAME_OBS(FlushMetrics(/*closing=*/true);) }
+
+#if FAME_OBS_ENABLED
+  /// [feature Observability] Wires the flush target for this cursor's
+  /// counters. Counters accumulate in plain locals (a cursor has one
+  /// owner, so this is race-free even in concurrent products) and flush
+  /// on every Seek and on destruction.
+  void set_sink(obs::CursorSink sink) {
+    sink_ = sink;
+    if (sink_.track_open != nullptr) sink_.track_open(sink_.ctx, true);
+  }
+#endif
+
   void SeekToFirst() {
     Reset();
+    FAME_OBS(++seeks_;)
     base_->SeekToFirst();
   }
   void Seek(const Slice& target) {
     Reset();
+    FAME_OBS(++seeks_;)
     base_->Seek(target);
   }
   bool Valid() const { return status_.ok() && base_->Valid(); }
   void Next() {
     loaded_ = false;
+    FAME_OBS(++scanned_;)
     base_->Next();
   }
 
@@ -78,15 +123,18 @@ class EngineCursor {
   bool SupportsReverse() const { return base_->SupportsReverse(); }
   void SeekToLast() {
     Reset();
+    FAME_OBS(++seeks_;)
     base_->SeekToLast();
   }
   void Prev() {
     loaded_ = false;
+    FAME_OBS(++scanned_;)
     base_->Prev();
   }
 
  private:
   void Reset() {
+    FAME_OBS(FlushMetrics(/*closing=*/false);)
     loaded_ = false;
     status_ = Status::OK();
   }
@@ -104,12 +152,44 @@ class EngineCursor {
       } else {
         value_ = Slice(in.data() + klen, in.size() - klen);
         loaded_ = true;
+        FAME_OBS(++returned_;)
         return true;
       }
     }
+    // A mid-scan heap-join failure invalidates the cursor; tag it in the
+    // trace so a truncated scan is attributable to the exact position.
+    FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kCursor,
+                                      obs::TraceOp::kScan, scanned_,
+                                      returned_, /*error=*/true);)
     status_ = s;
     return false;
   }
+
+#if FAME_OBS_ENABLED
+  /// Adds the accumulated counters to the sink and zeroes them; `closing`
+  /// also drops the open-cursor gauge and detaches the sink.
+  void FlushMetrics(bool closing) {
+    if (sink_.flush != nullptr && (seeks_ | scanned_ | returned_) != 0) {
+      sink_.flush(sink_.ctx, seeks_, scanned_, returned_);
+    }
+    seeks_ = scanned_ = returned_ = 0;
+    if (closing && sink_.track_open != nullptr) {
+      sink_.track_open(sink_.ctx, false);
+      sink_ = obs::CursorSink{};
+    }
+  }
+
+  /// Move helper: steal the source's counters and sink, detaching them
+  /// from the source so its destructor flushes nothing.
+  void TakeMetrics(EngineCursor& o) {
+    sink_ = o.sink_;
+    seeks_ = o.seeks_;
+    scanned_ = o.scanned_;
+    returned_ = o.returned_;
+    o.sink_ = obs::CursorSink{};
+    o.seeks_ = o.scanned_ = o.returned_ = 0;
+  }
+#endif
 
   std::unique_ptr<index::Cursor> base_;
   storage::RecordManager* heap_;
@@ -117,6 +197,12 @@ class EngineCursor {
   Slice value_;            // value bytes within record_
   bool loaded_ = false;
   Status status_;
+#if FAME_OBS_ENABLED
+  obs::CursorSink sink_;
+  uint64_t seeks_ = 0;
+  uint64_t scanned_ = 0;
+  uint64_t returned_ = 0;
+#endif
 };
 
 template <typename IndexT>
@@ -130,6 +216,12 @@ class EngineCore {
   }
 
   IndexT* index() { return index_; }
+
+#if FAME_OBS_ENABLED
+  /// [feature Observability] Sink wired into every cursor this core opens
+  /// (the owner engine points it at its registry's cursor metrics).
+  void SetCursorSink(obs::CursorSink sink) { cursor_sink_ = sink; }
+#endif
 
   static std::string EncodeRecord(const Slice& key, const Slice& value) {
     std::string rec;
@@ -193,7 +285,9 @@ class EngineCore {
   StatusOr<EngineCursor> NewCursor() {
     FAME_ASSIGN_OR_RETURN(std::unique_ptr<index::Cursor> c,
                           index_->NewCursor());
-    return EngineCursor(std::move(c), heap_);
+    EngineCursor cur(std::move(c), heap_);
+    FAME_OBS(cur.set_sink(cursor_sink_);)
+    return cur;
   }
 
   /// Visitor adapters over the cursor — the legacy entry points.
@@ -286,6 +380,9 @@ class EngineCore {
 
   storage::RecordManager* heap_ = nullptr;
   IndexT* index_ = nullptr;
+#if FAME_OBS_ENABLED
+  obs::CursorSink cursor_sink_;
+#endif
 };
 
 }  // namespace fame::core

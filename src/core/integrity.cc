@@ -12,6 +12,11 @@
 #include "core/sql.h"
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
+#include "obs/obs.h"
+#include "obs/serialize.h"
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 
 namespace fame::core {
 
@@ -145,6 +150,7 @@ Status Database::VerifyIntegrity(storage::IntegrityReport* report) {
   if (!HasFeature("Verify")) {
     return Status::NotSupported("feature Verify not selected");
   }
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kVerify);)
   *report = storage::IntegrityReport{};
 
   // Bring the medium up to date so the scrub covers current state. Only a
@@ -231,7 +237,7 @@ Status Database::VerifyIntegrity(storage::IntegrityReport* report) {
     }
   }
 
-  ++verify_runs_;
+  metrics_.verify_runs.Add(1);
   if (report->clean()) return Status::OK();
   return Status::Corruption("integrity verification found " +
                             std::to_string(report->corrupt_pages.size()) +
@@ -244,6 +250,7 @@ Status Database::Repair(storage::IntegrityReport* report) {
   if (!HasFeature("Repair")) {
     return Status::NotSupported("feature Repair not selected");
   }
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kRepair);)
   storage::IntegrityReport local;
   if (report == nullptr) report = &local;
   *report = storage::IntegrityReport{};
@@ -347,63 +354,106 @@ Status Database::Repair(storage::IntegrityReport* report) {
   report->repaired = true;
   report->quarantined_pages = salvage.quarantined;
   report->records_salvaged = salvage.records.size();
-  ++repair_runs_;
-  pages_quarantined_ += salvage.quarantined.size();
-  records_salvaged_ += salvage.records.size();
+  metrics_.repair_runs.Add(1);
+  metrics_.pages_quarantined.Add(salvage.quarantined.size());
+  metrics_.records_salvaged.Add(salvage.records.size());
   return Status::OK();
 }
 
 // ------------------------------------------------------------ stats
 
+obs::MetricsSnapshot Database::SnapshotMetrics() const {
+  obs::MetricsSnapshot m;
+  metrics_.Snapshot(&m);
+  if (buffers_ != nullptr) {
+    storage::BufferStats b = buffers_->stats();
+    m.buffer_hits = b.hits;
+    m.buffer_misses = b.misses;
+    m.buffer_evictions = b.evictions;
+    m.buffer_writebacks = b.dirty_writebacks;
+    for (size_t i = 0; i < buffers_->shard_count(); ++i) {
+      storage::BufferStats sh = buffers_->shard_stats(i);
+      m.buffer_shards.push_back(
+          {sh.hits, sh.misses, sh.evictions, sh.dirty_writebacks});
+    }
+  }
+  if (scrubber_ != nullptr) {
+    storage::ScrubStats sc = scrubber_->stats();
+    m.scrub_pages_checked = sc.pages_checked;
+    m.scrub_corrupt_pages = sc.corrupt_pages;
+    m.scrub_cycles = sc.cycles_completed;
+  }
+#if FAME_OBS_ENABLED
+  if (file_ != nullptr) {
+    const auto& io = file_->io_metrics();
+    m.file_reads = io.reads.Load();
+    m.file_writes = io.writes.Load();
+    m.file_syncs = io.syncs.Load();
+    m.file_read_bytes = io.read_bytes.Load();
+    m.file_write_bytes = io.write_bytes.Load();
+    m.file_read_ns = io.read_ns.Snapshot();
+    m.file_write_ns = io.write_ns.Snapshot();
+    m.file_sync_ns = io.sync_ns.Snapshot();
+  }
+  if (ordered_ != nullptr) {
+    const auto& bt = static_cast<const index::BPlusTree*>(ordered_)->metrics();
+    m.btree_splits = bt.splits.Load();
+    m.btree_merges = bt.merges.Load();
+    m.btree_descents = bt.descents.Load();
+  }
+#endif
+  if (txmgr_ != nullptr) {
+    tx::WalStats w = txmgr_->wal_stats();
+    m.wal_appends = w.records_appended;
+    m.wal_syncs = w.syncs;
+    m.wal_batches = w.group_batches;
+    m.wal_batched_bytes = w.group_batched_bytes;
+    FAME_OBS(m.wal_batch_records = txmgr_->wal_batch_histogram();)
+    m.committed_txns = txmgr_->committed();
+    m.aborted_txns = txmgr_->aborted();
+    tx::RecoveryReport r = txmgr_->recovery_report();
+    m.recovery_applied_records = r.applied_records;
+    m.recovery_dropped_bytes = r.dropped_bytes;
+  }
+  m.lost_meta_writes = storage::PageFile::lost_meta_writes();
+  m.lost_page_writebacks = storage::BufferLostWritebacks();
+  if (file_ != nullptr) m.page_count = file_->page_count();
+  m.read_only = read_only();
+  return m;
+}
+
+StatusOr<obs::MetricsSnapshot> Database::GetMetricsSnapshot() const {
+  if (!HasFeature("Observability")) {
+    return Status::NotSupported("feature Observability not selected");
+  }
+  return SnapshotMetrics();
+}
+
 DbStats Database::GetStats() const {
   DbStats s;
+  s.metrics = SnapshotMetrics();
+  // Legacy named fields, derived from the one snapshot so there is a
+  // single read of every counter (the snapshot reads are atomic; the old
+  // implementation re-read multi-word structs non-atomically).
   if (buffers_ != nullptr) s.buffer = buffers_->stats();
   if (scrubber_ != nullptr) s.scrub = scrubber_->stats();
-  s.lost_meta_writes = storage::PageFile::lost_meta_writes();
-  s.lost_page_writebacks = storage::BufferLostWritebacks();
-  if (file_ != nullptr) s.page_count = file_->page_count();
-  s.verify_runs = verify_runs_;
-  s.repair_runs = repair_runs_;
-  s.pages_quarantined = pages_quarantined_;
-  s.records_salvaged = records_salvaged_;
-  s.read_only = read_only();
+  s.lost_meta_writes = s.metrics.lost_meta_writes;
+  s.lost_page_writebacks = s.metrics.lost_page_writebacks;
+  s.page_count = s.metrics.page_count;
+  s.verify_runs = s.metrics.verify_runs;
+  s.repair_runs = s.metrics.repair_runs;
+  s.pages_quarantined = s.metrics.pages_quarantined;
+  s.records_salvaged = s.metrics.records_salvaged;
+  s.committed_txns = s.metrics.committed_txns;
+  s.aborted_txns = s.metrics.aborted_txns;
+  s.read_only = s.metrics.read_only;
   if (txmgr_ != nullptr) {
-    s.committed_txns = txmgr_->committed();
-    s.aborted_txns = txmgr_->aborted();
     s.recovery = txmgr_->recovery_report();
     s.wal = txmgr_->wal_stats();
   }
   return s;
 }
 
-std::string DbStats::ToString() const {
-  std::string out;
-  auto line = [&out](const char* k, uint64_t v) {
-    out += std::string(k) + ": " + std::to_string(v) + "\n";
-  };
-  line("pages", page_count);
-  line("buffer hits", buffer.hits);
-  line("buffer misses", buffer.misses);
-  line("buffer evictions", buffer.evictions);
-  line("dirty writebacks", buffer.dirty_writebacks);
-  line("scrub pages checked", scrub.pages_checked);
-  line("scrub corrupt pages", scrub.corrupt_pages);
-  line("scrub cycles", scrub.cycles_completed);
-  line("verify runs", verify_runs);
-  line("repair runs", repair_runs);
-  line("pages quarantined", pages_quarantined);
-  line("records salvaged", records_salvaged);
-  line("lost meta writes", lost_meta_writes);
-  line("lost page writebacks", lost_page_writebacks);
-  line("committed txns", committed_txns);
-  line("aborted txns", aborted_txns);
-  line("wal records appended", wal.records_appended);
-  line("wal fsyncs", wal.syncs);
-  line("wal group-commit batches", wal.group_batches);
-  line("wal records replayed at open", recovery.applied_records);
-  line("wal bytes dropped at open", recovery.dropped_bytes);
-  out += std::string("read-only: ") + (read_only ? "yes" : "no") + "\n";
-  return out;
-}
+std::string DbStats::ToString() const { return obs::RenderText(metrics); }
 
 }  // namespace fame::core

@@ -109,6 +109,25 @@ struct AnalyticsCfg {
 };
 using Analytics = StaticEngine<AnalyticsCfg>;
 
+/// Telemetry node: Workstation plus the optional Observability feature —
+/// the metrics registry is compiled into the engine's hot paths (plain
+/// integer cells: no Concurrency, so no atomics) and GetMetricsSnapshot()
+/// exists. Products without kObservability carry zero bytes of it.
+struct TelemetryNodeCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr bool kObservability = true;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 128;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+using TelemetryNode = StaticEngine<TelemetryNodeCfg>;
+
 /// Feature selections (names from the Figure 2 model) corresponding to the
 /// products above, used by tests and the derivation tooling to check that
 /// every named product is a valid variant.
@@ -135,6 +154,11 @@ const char* const kAnalyticsFeatures[] = {
     "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
     "Remove", "Update", "ReverseScan", "Transaction", "WAL-Redo", "Locking",
     "API"};
+const char* const kTelemetryNodeFeatures[] = {
+    "Linux", "Dynamic", "LRU", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
+    "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
+    "Observability"};
 
 }  // namespace fame::core
 

@@ -34,6 +34,10 @@
 #include "core/engine_core.h"
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
+#include "obs/obs.h"
+#if FAME_OBS_ENABLED
+#include "obs/metrics.h"
+#endif
 #include "osal/allocator.h"
 #include "osal/env.h"
 #include "storage/buffer.h"
@@ -88,6 +92,18 @@ template <typename Cfg>
 struct ReverseScanSelected<Cfg, std::void_t<decltype(Cfg::kReverseScan)>>
     : std::bool_constant<Cfg::kReverseScan> {};
 
+/// Detects the optional Observability sub-feature of Storage; Cfg structs
+/// without a kObservability member mean "off".
+template <typename Cfg, typename = void>
+struct ObservabilitySelected : std::false_type {};
+template <typename Cfg>
+struct ObservabilitySelected<Cfg, std::void_t<decltype(Cfg::kObservability)>>
+    : std::bool_constant<Cfg::kObservability> {};
+
+/// Empty stand-in for the metrics registry in products that deselect
+/// Observability (the member collapses via [[no_unique_address]]).
+struct NoMetrics {};
+
 }  // namespace detail
 
 template <typename Cfg>
@@ -99,6 +115,21 @@ class StaticEngine : private tx::ApplyTarget {
   static constexpr bool kConcurrent = detail::ConcurrencySelected<Cfg>::value;
   /// Optional ReverseScan feature (off for Cfgs that predate it).
   static constexpr bool kReverse = detail::ReverseScanSelected<Cfg>::value;
+#if FAME_OBS_ENABLED
+  /// Optional Observability feature (off for Cfgs that predate it). In a
+  /// build with FAME_OBS_DISABLE the trait is pinned off and the metrics
+  /// surface does not exist at all.
+  static constexpr bool kObservability =
+      detail::ObservabilitySelected<Cfg>::value;
+  /// Plain integers in single-threaded products, relaxed atomics when the
+  /// Concurrency feature is selected — the same policy split as the
+  /// buffer pool (storage/concurrency.h).
+  using ObsCells =
+      std::conditional_t<kConcurrent, obs::SharedCells,
+                         storage::SingleThreaded>;
+#else
+  static constexpr bool kObservability = false;
+#endif
 
   StaticEngine() = default;
   ~StaticEngine() override = default;
@@ -124,6 +155,11 @@ class StaticEngine : private tx::ApplyTarget {
     FAME_RETURN_IF_ERROR(idx_or.status());
     index_ = std::move(idx_or).value();
     core_.Bind(heap_.get(), index_.get());
+#if FAME_OBS_ENABLED
+    if constexpr (kObservability) {
+      core_.SetCursorSink(metrics_.cursors.sink());
+    }
+#endif
     if constexpr (Cfg::kTransactions) {
       auto mgr_or = tx::TransactionManager::Open(
           env, path + ".wal", this,
@@ -144,6 +180,13 @@ class StaticEngine : private tx::ApplyTarget {
 
   /// Access:get — present in every product.
   Status Get(const Slice& key, std::string* value) {
+#if FAME_OBS_ENABLED
+    if constexpr (kObservability) {
+      obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.get_ns);
+      metrics_.gets.Add(1);
+      return core_.Get(key, value);
+    }
+#endif
     return core_.Get(key, value);
   }
 
@@ -151,6 +194,13 @@ class StaticEngine : private tx::ApplyTarget {
   Status Put(const Slice& key, const Slice& value) {
     static_assert(Cfg::kPut, "feature Access:Put is not selected");
     FAME_RETURN_IF_ERROR(GuardWrite());
+#if FAME_OBS_ENABLED
+    if constexpr (kObservability) {
+      obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.put_ns);
+      metrics_.puts.Add(1);
+      return NoteWrite(core_.Put(key, value));
+    }
+#endif
     return NoteWrite(core_.Put(key, value));
   }
 
@@ -158,6 +208,13 @@ class StaticEngine : private tx::ApplyTarget {
   Status Remove(const Slice& key) {
     static_assert(Cfg::kRemove, "feature Access:Remove is not selected");
     FAME_RETURN_IF_ERROR(GuardWrite());
+#if FAME_OBS_ENABLED
+    if constexpr (kObservability) {
+      obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.remove_ns);
+      metrics_.removes.Add(1);
+      return NoteWrite(core_.Remove(key));
+    }
+#endif
     return NoteWrite(core_.Remove(key));
   }
 
@@ -167,6 +224,13 @@ class StaticEngine : private tx::ApplyTarget {
     FAME_RETURN_IF_ERROR(GuardWrite());
     uint64_t packed = 0;
     FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+#if FAME_OBS_ENABLED
+    if constexpr (kObservability) {
+      obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.put_ns);
+      metrics_.puts.Add(1);
+      return NoteWrite(core_.Put(key, value));
+    }
+#endif
     return NoteWrite(core_.Put(key, value));
   }
 
@@ -175,7 +239,16 @@ class StaticEngine : private tx::ApplyTarget {
   StatusOr<EngineCursor> NewCursor() { return core_.NewCursor(); }
 
   /// Full scan (index order) — visitor adapter over the cursor.
-  Status Scan(const KvVisitor& fn) { return core_.Scan(fn); }
+  Status Scan(const KvVisitor& fn) {
+#if FAME_OBS_ENABLED
+    if constexpr (kObservability) {
+      obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.scan_ns);
+      metrics_.scans.Add(1);
+      return core_.Scan(fn);
+    }
+#endif
+    return core_.Scan(fn);
+  }
 
   /// Ordered range scan — compile-time gated on the B+-tree alternative.
   Status RangeScan(const Slice& lo, const Slice& hi, const KvVisitor& fn) {
@@ -231,6 +304,62 @@ class StaticEngine : private tx::ApplyTarget {
   osal::Allocator* allocator() { return alloc_.get(); }
   Index* index() { return index_.get(); }
 
+#if FAME_OBS_ENABLED
+  /// [feature Observability] Snapshot of every metric this product
+  /// collects. Compile-time gated like ReverseScan: products that
+  /// deselect the feature fail the static_assert (and carry none of the
+  /// collection code).
+  obs::MetricsSnapshot GetMetricsSnapshot() const {
+    static_assert(kObservability,
+                  "feature Storage:Observability is not selected");
+    obs::MetricsSnapshot m;
+    metrics_.Snapshot(&m);
+    storage::BufferStats b = buffers_->stats();
+    m.buffer_hits = b.hits;
+    m.buffer_misses = b.misses;
+    m.buffer_evictions = b.evictions;
+    m.buffer_writebacks = b.dirty_writebacks;
+    for (size_t i = 0; i < buffers_->shard_count(); ++i) {
+      storage::BufferStats s = buffers_->shard_stats(i);
+      m.buffer_shards.push_back(
+          {s.hits, s.misses, s.evictions, s.dirty_writebacks});
+    }
+    const auto& io = file_->io_metrics();
+    m.file_reads = io.reads.Load();
+    m.file_writes = io.writes.Load();
+    m.file_syncs = io.syncs.Load();
+    m.file_read_bytes = io.read_bytes.Load();
+    m.file_write_bytes = io.write_bytes.Load();
+    m.file_read_ns = io.read_ns.Snapshot();
+    m.file_write_ns = io.write_ns.Snapshot();
+    m.file_sync_ns = io.sync_ns.Snapshot();
+    if constexpr (std::is_same_v<Index, index::BPlusTree>) {
+      const auto& bt = index_->metrics();
+      m.btree_splits = bt.splits.Load();
+      m.btree_merges = bt.merges.Load();
+      m.btree_descents = bt.descents.Load();
+    }
+    if constexpr (Cfg::kTransactions) {
+      tx::WalStats w = txmgr_->wal_stats();
+      m.wal_appends = w.records_appended;
+      m.wal_syncs = w.syncs;
+      m.wal_batches = w.group_batches;
+      m.wal_batched_bytes = w.group_batched_bytes;
+      m.wal_batch_records = txmgr_->wal_batch_histogram();
+      m.committed_txns = txmgr_->committed();
+      m.aborted_txns = txmgr_->aborted();
+      tx::RecoveryReport r = txmgr_->recovery_report();
+      m.recovery_applied_records = r.applied_records;
+      m.recovery_dropped_bytes = r.dropped_bytes;
+    }
+    m.lost_meta_writes = storage::PageFile::lost_meta_writes();
+    m.lost_page_writebacks = storage::BufferLostWritebacks();
+    m.page_count = file_->page_count();
+    m.read_only = read_only();
+    return m;
+  }
+#endif
+
  private:
   /// The degradation latch is touched from every committer in a concurrent
   /// product; a no-op lock (compiled away) in single-threaded ones.
@@ -279,6 +408,13 @@ class StaticEngine : private tx::ApplyTarget {
   std::unique_ptr<storage::RecordManager> heap_;
   std::unique_ptr<Index> index_;
   EngineCore<Index> core_;
+#if FAME_OBS_ENABLED
+  /// Sized only when the product selects Observability; otherwise an
+  /// empty tag that [[no_unique_address]] collapses to nothing.
+  [[no_unique_address]] mutable std::conditional_t<
+      kObservability, obs::BasicMetricsRegistry<ObsCells>, detail::NoMetrics>
+      metrics_;
+#endif
   std::unique_ptr<tx::TransactionManager> txmgr_;
   mutable LatchMutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy

@@ -53,6 +53,9 @@ feature FAME-DBMS {
     optional Verify       // [extension] structural verification + report
     optional Repair       // [extension] quarantine, salvage, rebuild
     optional Concurrency  // [extension] sharded buffer pool + group commit
+    optional Observability {  // [extension] metrics registry + fame stats
+      optional Tracing        // [extension] per-thread operation trace ring
+    }
   }
   mandatory Access abstract {
     mandatory Get
@@ -155,6 +158,29 @@ nfp binary_size 465782
 
 product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Put,ReverseScan,String-Types
 nfp binary_size 471866
+
+)nfp";
+
+/// Measured non-functional properties of the Observability feature
+/// (metrics registry + operation tracing), FeedbackRepository text format.
+/// binary_size is Release .text bytes on x86-64 Linux (gcc -O2), measured
+/// with `size` on the three probe binaries tests/ builds from one and the
+/// same single-threaded static product (tests/obs_probe_main.cc):
+/// obs_off_probe compiles with FAME_OBS_DISABLE (and doubles as the
+/// zero-overhead proof — the nm test greps it for fame::obs symbols),
+/// obs_probe selects Observability (registry + instrumentation + snapshot
+/// assembly), obs_trace_probe selects Tracing on top (ring buffer, span
+/// recording, text exporter). The deltas are what each feature costs a
+/// product; remeasure after material changes to src/obs/ or the
+/// instrumentation sites.
+inline constexpr const char kFameObservabilityNfpSeed[] = R"nfp(product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Put,String-Types
+nfp binary_size 367523
+
+product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Observability,Put,String-Types
+nfp binary_size 410061
+
+product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Observability,Put,String-Types,Tracing
+nfp binary_size 423344
 
 )nfp";
 

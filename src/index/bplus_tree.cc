@@ -41,6 +41,7 @@ size_t BPlusTree::MaxKeySize() const {
 }
 
 Status BPlusTree::Lookup(const Slice& key, uint64_t* value) {
+  FAME_OBS(metrics_.descents.Add(1);)
   PageId page = root_;
   while (true) {
     FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(page));
@@ -60,6 +61,7 @@ Status BPlusTree::Insert(const Slice& key, uint64_t value) {
   if (key.size() > MaxKeySize()) {
     return Status::InvalidArgument("key too large for page size");
   }
+  FAME_OBS(metrics_.descents.Add(1);)
   // Preemptive (top-down) splitting: every full node on the descent path is
   // split while we still hold its parent, which is guaranteed to have room.
   // The only fallible step of a split is allocating the right page, and it
@@ -178,10 +180,12 @@ Status BPlusTree::SplitChild(BtreeNode* parent, PageGuard* parent_guard,
   child_guard.MarkDirty();
   right_guard.MarkDirty();
   parent_guard->MarkDirty();
+  FAME_OBS(metrics_.splits.Add(1);)
   return Status::OK();
 }
 
 Status BPlusTree::Remove(const Slice& key) {
+  FAME_OBS(metrics_.descents.Add(1);)
   bool underflow = false;
   FAME_RETURN_IF_ERROR(RemoveRec(root_, key, &underflow));
   // Shrink the root if it became an empty inner node.
@@ -297,6 +301,7 @@ Status BPlusTree::RebalanceChild(BtreeNode* parent, PageGuard* parent_guard,
       parent_guard->MarkDirty();
       right_guard.Release();
       FAME_RETURN_IF_ERROR(buffers_->Free(right_id));
+      FAME_OBS(metrics_.merges.Add(1);)
       return Status::OK();
     }
   }
@@ -367,6 +372,7 @@ Status BPlusTree::RebalanceChild(BtreeNode* parent, PageGuard* parent_guard,
       parent_guard->MarkDirty();
       child_guard.Release();
       FAME_RETURN_IF_ERROR(buffers_->Free(child_id));
+      FAME_OBS(metrics_.merges.Add(1);)
       return Status::OK();
     }
   }

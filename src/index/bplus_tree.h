@@ -14,6 +14,10 @@
 
 #include "index/btree_node.h"
 #include "index/index.h"
+#include "obs/obs.h"
+#if FAME_OBS_ENABLED
+#include "obs/metrics.h"
+#endif
 #include "storage/buffer.h"
 
 namespace fame::index {
@@ -56,6 +60,15 @@ class BPlusTree final : public OrderedIndex {
   /// Maximum key length this tree accepts (a node must hold >= 4 entries).
   size_t MaxKeySize() const;
 
+#if FAME_OBS_ENABLED
+  /// [feature Observability] Structural counters: completed splits and
+  /// merges, and root-to-leaf descents (one per Lookup/Insert/Remove).
+  /// SharedCells: concurrent products read the tree from several threads.
+  const obs::BasicBtreeMetrics<obs::SharedCells>& metrics() const {
+    return metrics_;
+  }
+#endif
+
   /// [extension] Bulk-loads `entries` (strictly ascending keys, unique)
   /// into an *empty* tree by packing leaves bottom-up to `fill` (0.5–1.0,
   /// default 0.9) and building the inner levels from the leaf fence keys —
@@ -94,6 +107,9 @@ class BPlusTree final : public OrderedIndex {
   storage::BufferManager* buffers_;
   std::string name_;
   storage::PageId root_ = storage::kInvalidPageId;
+#if FAME_OBS_ENABLED
+  mutable obs::BasicBtreeMetrics<obs::SharedCells> metrics_;
+#endif
 };
 
 }  // namespace fame::index

@@ -101,6 +101,41 @@ StatusOr<FeedbackRepository> FeedbackRepository::Deserialize(
   return repo;
 }
 
+Status IngestMetrics(FeedbackRepository* repo,
+                     std::vector<std::string> features,
+                     const obs::MetricsSnapshot& snapshot,
+                     double wall_seconds) {
+  if (wall_seconds <= 0.0) {
+    return Status::InvalidArgument("wall_seconds must be positive");
+  }
+  const uint64_t ops = snapshot.engine_gets + snapshot.engine_puts +
+                       snapshot.engine_removes + snapshot.engine_scans;
+  if (ops == 0) {
+    return Status::InvalidArgument(
+        "snapshot carries no engine operations to ingest");
+  }
+  MeasuredProduct product;
+  product.features = std::move(features);
+  product.values[NfpKind::kThroughput] =
+      static_cast<double>(ops) / wall_seconds;
+  // Weighted mean over whichever op histograms carry samples, in the
+  // microseconds the latency NFP is defined in.
+  uint64_t lat_count = 0;
+  uint64_t lat_sum_ns = 0;
+  for (const obs::HistogramSnapshot* h :
+       {&snapshot.get_ns, &snapshot.put_ns, &snapshot.remove_ns,
+        &snapshot.scan_ns}) {
+    lat_count += h->count;
+    lat_sum_ns += h->sum;
+  }
+  if (lat_count > 0) {
+    product.values[NfpKind::kLatency] =
+        static_cast<double>(lat_sum_ns) / lat_count / 1000.0;
+  }
+  repo->Add(std::move(product));
+  return Status::OK();
+}
+
 Status FeedbackRepository::Save(osal::Env* env, const std::string& path) const {
   return env->WriteStringToFile(path, Serialize());
 }

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "nfp/nfp.h"
+#include "obs/metrics.h"
 #include "osal/env.h"
 
 namespace fame::nfp {
@@ -42,6 +43,20 @@ class FeedbackRepository {
  private:
   std::vector<MeasuredProduct> products_;
 };
+
+/// [feature Observability] The feedback loop's live input: folds a metrics
+/// snapshot taken on a running product (Database::GetMetricsSnapshot or
+/// StaticEngine::GetMetricsSnapshot) into the repository as a measured
+/// product — throughput from the engine-op counters over `wall_seconds`,
+/// latency from the op histograms' weighted mean. This is how the paper's
+/// "store as much information as possible about generated products" loop
+/// closes without a bench harness: any deployment that can ship a snapshot
+/// feeds the derivation tooling. InvalidArgument when the snapshot carries
+/// no operations or wall_seconds is not positive.
+Status IngestMetrics(FeedbackRepository* repo,
+                     std::vector<std::string> features,
+                     const obs::MetricsSnapshot& snapshot,
+                     double wall_seconds);
 
 }  // namespace fame::nfp
 

@@ -1,0 +1,59 @@
+// Observability gating — the compile-time half of the Observability
+// feature (optional sub-feature of Storage, with Tracing as an optional
+// child). Mirrors the ReverseScan pattern at the build level: when the
+// feature is deselected the instrumentation mustn't just be skipped, it
+// must not exist — no obs symbols in the product binary, no bytes in the
+// hot paths (the zero-overhead claim is enforced by the obs_off_probe nm
+// test and the on/off bench guard in CI).
+//
+// Two independent switches:
+//   FAME_OBS_ENABLED          1 unless FAME_OBS_DISABLE is defined.
+//   FAME_OBS_TRACING_ENABLED  1 when obs is on and FAME_OBS_TRACE_DISABLE
+//                             is not defined (Tracing requires
+//                             Observability, as in the feature model).
+//
+// The build defines FAME_OBS_DISABLE / FAME_OBS_TRACE_DISABLE globally
+// when the CMake options FAME_OBSERVABILITY / FAME_TRACING are OFF; the
+// obs_off probe target defines them per-target to prove the claim inside
+// an obs-on tree.
+//
+// Instrumentation sites use the variadic macros so a deselected build
+// compiles the arguments away entirely (they are never even parsed as
+// expressions):
+//
+//   FAME_OBS(metrics_.reads.Add(1); metrics_.read_bytes.Add(n);)
+//   FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kPageRead, id, n, !ok);)
+//
+// This header is safe to include unconditionally; it defines macros only.
+#ifndef FAME_OBS_OBS_H_
+#define FAME_OBS_OBS_H_
+
+#if !defined(FAME_OBS_ENABLED)
+#if defined(FAME_OBS_DISABLE)
+#define FAME_OBS_ENABLED 0
+#else
+#define FAME_OBS_ENABLED 1
+#endif
+#endif
+
+#if !defined(FAME_OBS_TRACING_ENABLED)
+#if FAME_OBS_ENABLED && !defined(FAME_OBS_TRACE_DISABLE)
+#define FAME_OBS_TRACING_ENABLED 1
+#else
+#define FAME_OBS_TRACING_ENABLED 0
+#endif
+#endif
+
+#if FAME_OBS_ENABLED
+#define FAME_OBS(...) __VA_ARGS__
+#else
+#define FAME_OBS(...)
+#endif
+
+#if FAME_OBS_TRACING_ENABLED
+#define FAME_OBS_TRACE(...) __VA_ARGS__
+#else
+#define FAME_OBS_TRACE(...)
+#endif
+
+#endif  // FAME_OBS_OBS_H_

@@ -1,0 +1,199 @@
+#include "obs/serialize.h"
+
+#include <cinttypes>
+#include <sstream>
+
+namespace fame::obs {
+namespace {
+
+void Line(std::string* out, const char* k, uint64_t v) {
+  *out += std::string(k) + ": " + std::to_string(v) + "\n";
+}
+
+void HistoLine(std::string* out, const char* k, const HistogramSnapshot& h) {
+  if (h.count == 0) return;
+  *out += std::string(k) + ": " + RenderHistogram(h) + "\n";
+}
+
+// --- Prometheus helpers -------------------------------------------------
+
+void PromCounter(std::ostringstream& os, const char* name, uint64_t v,
+                 const char* labels = nullptr) {
+  os << "fame_" << name;
+  if (labels != nullptr) os << "{" << labels << "}";
+  os << " " << v << "\n";
+}
+
+void PromHisto(std::ostringstream& os, const char* name,
+               const HistogramSnapshot& h) {
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    cumulative += h.counts[b];
+    os << "fame_" << name << "_bucket{le=\"";
+    if (b + 1 == HistogramSnapshot::kBuckets) {
+      os << "+Inf";
+    } else {
+      os << HistogramSnapshot::BucketBound(b);
+    }
+    os << "\"} " << cumulative << "\n";
+  }
+  os << "fame_" << name << "_sum " << h.sum << "\n";
+  os << "fame_" << name << "_count " << h.count << "\n";
+}
+
+}  // namespace
+
+std::string RenderHistogram(const HistogramSnapshot& h) {
+  std::ostringstream os;
+  os << "count=" << h.count << " sum=" << h.sum << " mean="
+     << static_cast<uint64_t>(h.Mean()) << " buckets=[";
+  bool first = true;
+  for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    if (h.counts[b] == 0) continue;
+    if (!first) os << " ";
+    first = false;
+    if (b + 1 == HistogramSnapshot::kBuckets) {
+      os << "le+Inf:";
+    } else {
+      os << "le" << HistogramSnapshot::BucketBound(b) << ":";
+    }
+    os << h.counts[b];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string RenderText(const MetricsSnapshot& m) {
+  std::string out;
+  // Historical DbStats block — keep the line keys stable; tests and
+  // scripts grep them.
+  Line(&out, "pages", m.page_count);
+  Line(&out, "buffer hits", m.buffer_hits);
+  Line(&out, "buffer misses", m.buffer_misses);
+  Line(&out, "buffer evictions", m.buffer_evictions);
+  Line(&out, "dirty writebacks", m.buffer_writebacks);
+  Line(&out, "scrub pages checked", m.scrub_pages_checked);
+  Line(&out, "scrub corrupt pages", m.scrub_corrupt_pages);
+  Line(&out, "scrub cycles", m.scrub_cycles);
+  Line(&out, "verify runs", m.verify_runs);
+  Line(&out, "repair runs", m.repair_runs);
+  Line(&out, "pages quarantined", m.pages_quarantined);
+  Line(&out, "records salvaged", m.records_salvaged);
+  Line(&out, "lost meta writes", m.lost_meta_writes);
+  Line(&out, "lost page writebacks", m.lost_page_writebacks);
+  Line(&out, "committed txns", m.committed_txns);
+  Line(&out, "aborted txns", m.aborted_txns);
+  Line(&out, "wal records appended", m.wal_appends);
+  Line(&out, "wal fsyncs", m.wal_syncs);
+  Line(&out, "wal group-commit batches", m.wal_batches);
+  Line(&out, "wal records replayed at open", m.recovery_applied_records);
+  Line(&out, "wal bytes dropped at open", m.recovery_dropped_bytes);
+  out += std::string("read-only: ") + (m.read_only ? "yes" : "no") + "\n";
+
+  // Observability sections (nonzero data only).
+  if (!m.buffer_shards.empty() && m.buffer_shards.size() > 1) {
+    for (size_t i = 0; i < m.buffer_shards.size(); ++i) {
+      const BufferShardSnapshot& s = m.buffer_shards[i];
+      if (s.hits + s.misses + s.evictions + s.dirty_writebacks == 0) continue;
+      out += "buffer shard " + std::to_string(i) + ": hits=" +
+             std::to_string(s.hits) + " misses=" + std::to_string(s.misses) +
+             " evictions=" + std::to_string(s.evictions) + " writebacks=" +
+             std::to_string(s.dirty_writebacks) + "\n";
+    }
+  }
+  if (m.file_reads + m.file_writes + m.file_syncs > 0) {
+    Line(&out, "file reads", m.file_reads);
+    Line(&out, "file writes", m.file_writes);
+    Line(&out, "file syncs", m.file_syncs);
+    Line(&out, "file read bytes", m.file_read_bytes);
+    Line(&out, "file write bytes", m.file_write_bytes);
+    HistoLine(&out, "file read latency ns", m.file_read_ns);
+    HistoLine(&out, "file write latency ns", m.file_write_ns);
+    HistoLine(&out, "file sync latency ns", m.file_sync_ns);
+  }
+  HistoLine(&out, "wal batch records", m.wal_batch_records);
+  if (m.btree_descents + m.btree_splits + m.btree_merges > 0) {
+    Line(&out, "btree descents", m.btree_descents);
+    Line(&out, "btree splits", m.btree_splits);
+    Line(&out, "btree merges", m.btree_merges);
+  }
+  if (m.cursor_seeks + m.cursor_rows_scanned > 0) {
+    Line(&out, "cursor seeks", m.cursor_seeks);
+    Line(&out, "cursor rows scanned", m.cursor_rows_scanned);
+    Line(&out, "cursor rows returned", m.cursor_rows_returned);
+    Line(&out, "cursors open", m.cursors_open);
+  }
+  if (m.engine_gets + m.engine_puts + m.engine_removes + m.engine_scans > 0) {
+    Line(&out, "engine gets", m.engine_gets);
+    Line(&out, "engine puts", m.engine_puts);
+    Line(&out, "engine removes", m.engine_removes);
+    Line(&out, "engine scans", m.engine_scans);
+    HistoLine(&out, "get latency ns", m.get_ns);
+    HistoLine(&out, "put latency ns", m.put_ns);
+    HistoLine(&out, "remove latency ns", m.remove_ns);
+    HistoLine(&out, "scan latency ns", m.scan_ns);
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& m) {
+  std::ostringstream os;
+  PromCounter(os, "buffer_hits_total", m.buffer_hits);
+  PromCounter(os, "buffer_misses_total", m.buffer_misses);
+  PromCounter(os, "buffer_evictions_total", m.buffer_evictions);
+  PromCounter(os, "buffer_writebacks_total", m.buffer_writebacks);
+  for (size_t i = 0; i < m.buffer_shards.size(); ++i) {
+    const BufferShardSnapshot& s = m.buffer_shards[i];
+    std::string label = "shard=\"" + std::to_string(i) + "\"";
+    PromCounter(os, "buffer_shard_hits_total", s.hits, label.c_str());
+    PromCounter(os, "buffer_shard_misses_total", s.misses, label.c_str());
+    PromCounter(os, "buffer_shard_evictions_total", s.evictions,
+                label.c_str());
+    PromCounter(os, "buffer_shard_writebacks_total", s.dirty_writebacks,
+                label.c_str());
+  }
+  PromCounter(os, "file_reads_total", m.file_reads);
+  PromCounter(os, "file_writes_total", m.file_writes);
+  PromCounter(os, "file_syncs_total", m.file_syncs);
+  PromCounter(os, "file_read_bytes_total", m.file_read_bytes);
+  PromCounter(os, "file_write_bytes_total", m.file_write_bytes);
+  PromHisto(os, "file_read_latency_ns", m.file_read_ns);
+  PromHisto(os, "file_write_latency_ns", m.file_write_ns);
+  PromHisto(os, "file_sync_latency_ns", m.file_sync_ns);
+  PromCounter(os, "wal_appends_total", m.wal_appends);
+  PromCounter(os, "wal_fsyncs_total", m.wal_syncs);
+  PromCounter(os, "wal_batches_total", m.wal_batches);
+  PromCounter(os, "wal_batched_bytes_total", m.wal_batched_bytes);
+  PromHisto(os, "wal_batch_records", m.wal_batch_records);
+  PromCounter(os, "btree_splits_total", m.btree_splits);
+  PromCounter(os, "btree_merges_total", m.btree_merges);
+  PromCounter(os, "btree_descents_total", m.btree_descents);
+  PromCounter(os, "cursor_seeks_total", m.cursor_seeks);
+  PromCounter(os, "cursor_rows_scanned_total", m.cursor_rows_scanned);
+  PromCounter(os, "cursor_rows_returned_total", m.cursor_rows_returned);
+  PromCounter(os, "cursors_open", m.cursors_open);
+  PromCounter(os, "engine_gets_total", m.engine_gets);
+  PromCounter(os, "engine_puts_total", m.engine_puts);
+  PromCounter(os, "engine_removes_total", m.engine_removes);
+  PromCounter(os, "engine_scans_total", m.engine_scans);
+  PromHisto(os, "get_latency_ns", m.get_ns);
+  PromHisto(os, "put_latency_ns", m.put_ns);
+  PromHisto(os, "remove_latency_ns", m.remove_ns);
+  PromHisto(os, "scan_latency_ns", m.scan_ns);
+  PromCounter(os, "verify_runs_total", m.verify_runs);
+  PromCounter(os, "repair_runs_total", m.repair_runs);
+  PromCounter(os, "pages_quarantined_total", m.pages_quarantined);
+  PromCounter(os, "records_salvaged_total", m.records_salvaged);
+  PromCounter(os, "scrub_pages_checked_total", m.scrub_pages_checked);
+  PromCounter(os, "scrub_corrupt_pages_total", m.scrub_corrupt_pages);
+  PromCounter(os, "scrub_cycles_total", m.scrub_cycles);
+  PromCounter(os, "lost_meta_writes_total", m.lost_meta_writes);
+  PromCounter(os, "lost_page_writebacks_total", m.lost_page_writebacks);
+  PromCounter(os, "committed_txns_total", m.committed_txns);
+  PromCounter(os, "aborted_txns_total", m.aborted_txns);
+  PromCounter(os, "page_count", m.page_count);
+  PromCounter(os, "read_only", m.read_only ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace fame::obs

@@ -1,0 +1,31 @@
+// The one stats serializer: `fame stats`, `fame_check --stats`, and
+// DbStats::ToString all render a MetricsSnapshot through these two
+// functions — there is no second formatter to drift out of sync.
+#ifndef FAME_OBS_SERIALIZE_H_
+#define FAME_OBS_SERIALIZE_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fame::obs {
+
+/// Human-readable report. The leading block keeps the historical
+/// DbStats::ToString line format (`key: value`, one per line, ending with
+/// `read-only: yes|no`) that tests and scripts grep; the observability
+/// sections (file IO, B+-tree, cursor pipeline, engine latencies) follow
+/// and are omitted when they carry no samples.
+std::string RenderText(const MetricsSnapshot& m);
+
+/// Prometheus text exposition format (counters, gauges, and cumulative
+/// `_bucket{le=...}` histogram series, `fame_` prefix).
+std::string RenderPrometheus(const MetricsSnapshot& m);
+
+/// One-line histogram rendering used by RenderText (exposed for tests):
+/// `count=N sum=S mean=M buckets=[le<bound>:count ...]` with zero buckets
+/// elided.
+std::string RenderHistogram(const HistogramSnapshot& h);
+
+}  // namespace fame::obs
+
+#endif  // FAME_OBS_SERIALIZE_H_

@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.h"  // NowNanos
+
+namespace fame::obs {
+namespace {
+
+// One event is four atomic words so a reader racing a ring wrap reads
+// stale-or-new words, never a torn word: w0 = timestamp, w1 = packed
+// kind/op/error/thread, w2/w3 = payload.
+struct AtomicEvent {
+  std::atomic<uint64_t> w[4];
+};
+
+struct Ring {
+  uint32_t thread_id = 0;
+  /// Next slot to write; only the owner thread stores (release), readers
+  /// load (acquire) to bound how far they may decode.
+  std::atomic<uint64_t> head{0};
+  AtomicEvent slots[Trace::kRingSlots];
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive statics
+  return *r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+Ring* ThisThreadRing() {
+  thread_local Ring* ring = [] {
+    auto owned = std::make_unique<Ring>();
+    Ring* raw = owned.get();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> l(reg.mu);
+    raw->thread_id = static_cast<uint32_t>(reg.rings.size());
+    reg.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return ring;
+}
+
+uint64_t PackMeta(SpanKind kind, TraceOp op, bool error, uint32_t thread) {
+  return static_cast<uint64_t>(kind) | (static_cast<uint64_t>(op) << 8) |
+         (static_cast<uint64_t>(error ? 1 : 0) << 16) |
+         (static_cast<uint64_t>(thread) << 32);
+}
+
+TraceEvent Decode(uint64_t t, uint64_t meta, uint64_t a, uint64_t b) {
+  TraceEvent e;
+  e.t_ns = t;
+  e.kind = static_cast<SpanKind>(meta & 0xff);
+  e.op = static_cast<TraceOp>((meta >> 8) & 0xff);
+  e.error = ((meta >> 16) & 1) != 0;
+  e.thread = static_cast<uint32_t>(meta >> 32);
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+}  // namespace
+
+void Trace::Enable(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Trace::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Trace::Record(SpanKind kind, TraceOp op, uint64_t a, uint64_t b,
+                   bool error) {
+  if (!enabled()) return;
+  Ring* ring = ThisThreadRing();
+  uint64_t h = ring->head.load(std::memory_order_relaxed);
+  AtomicEvent& slot = ring->slots[h % kRingSlots];
+  slot.w[0].store(NowNanos(), std::memory_order_relaxed);
+  slot.w[1].store(PackMeta(kind, op, error, ring->thread_id),
+                  std::memory_order_relaxed);
+  slot.w[2].store(a, std::memory_order_relaxed);
+  slot.w[3].store(b, std::memory_order_relaxed);
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Trace::Collect(size_t last_n) {
+  std::vector<TraceEvent> out;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  for (const auto& ring : reg.rings) {
+    uint64_t h = ring->head.load(std::memory_order_acquire);
+    uint64_t n = std::min<uint64_t>(h, kRingSlots);
+    for (uint64_t i = h - n; i < h; ++i) {
+      const AtomicEvent& slot = ring->slots[i % kRingSlots];
+      TraceEvent e = Decode(slot.w[0].load(std::memory_order_relaxed),
+                            slot.w[1].load(std::memory_order_relaxed),
+                            slot.w[2].load(std::memory_order_relaxed),
+                            slot.w[3].load(std::memory_order_relaxed));
+      if (e.kind != SpanKind{}) out.push_back(e);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.t_ns < y.t_ns;
+                   });
+  if (last_n != 0 && out.size() > last_n) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(last_n));
+  }
+  return out;
+}
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kOpBegin:
+      return "op.begin";
+    case SpanKind::kOpEnd:
+      return "op.end";
+    case SpanKind::kPageRead:
+      return "page.read";
+    case SpanKind::kPageWrite:
+      return "page.write";
+    case SpanKind::kWalSync:
+      return "wal.sync";
+    case SpanKind::kCursor:
+      return "cursor";
+  }
+  return "?";
+}
+
+const char* TraceOpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kNone:
+      return "-";
+    case TraceOp::kGet:
+      return "get";
+    case TraceOp::kPut:
+      return "put";
+    case TraceOp::kRemove:
+      return "remove";
+    case TraceOp::kUpdate:
+      return "update";
+    case TraceOp::kScan:
+      return "scan";
+    case TraceOp::kReverseScan:
+      return "reverse-scan";
+    case TraceOp::kCommit:
+      return "commit";
+    case TraceOp::kAbort:
+      return "abort";
+    case TraceOp::kVerify:
+      return "verify";
+    case TraceOp::kRepair:
+      return "repair";
+  }
+  return "?";
+}
+
+std::string Trace::Dump(size_t last_n) {
+  std::vector<TraceEvent> events = Collect(last_n);
+  std::ostringstream os;
+  for (const TraceEvent& e : events) {
+    os << "[" << e.t_ns << "ns] t" << e.thread << " "
+       << SpanKindName(e.kind);
+    switch (e.kind) {
+      case SpanKind::kOpBegin:
+      case SpanKind::kOpEnd:
+        os << " " << TraceOpName(e.op);
+        break;
+      case SpanKind::kPageRead:
+      case SpanKind::kPageWrite:
+        os << " page=" << e.a << " bytes=" << e.b;
+        break;
+      case SpanKind::kWalSync:
+        os << " batch_records=" << e.a << " bytes=" << e.b;
+        break;
+      case SpanKind::kCursor:
+        os << " scanned=" << e.a << " returned=" << e.b;
+        break;
+    }
+    if (e.error) os << " ERROR";
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Trace::Reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  for (auto& ring : reg.rings) {
+    for (auto& slot : ring->slots) {
+      for (auto& w : slot.w) w.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+bool HasErrorSpan(const std::vector<TraceEvent>& events, SpanKind kind) {
+  for (const TraceEvent& e : events) {
+    if (e.kind == kind && e.error) return true;
+  }
+  return false;
+}
+
+}  // namespace fame::obs

@@ -1,0 +1,128 @@
+// Operation tracing — the Tracing child feature of Observability.
+//
+// Each recording thread owns a fixed-size ring of trace events; recording
+// is lock-free (one relaxed-atomic enable check, four relaxed word stores,
+// one release head bump — no allocation, no locks, no fences beyond the
+// release store). Rings register themselves in a process-wide list the
+// first time a thread records; Collect()/Dump() walk that list, merge the
+// per-thread tails by timestamp, and return at most the last N events.
+//
+// Consistency contract: the exporter is a diagnostic, not a transaction.
+// A ring that wraps while being collected can yield an event whose words
+// mix two writes; every word is an atomic, so this is benign (and
+// TSan-clean) — a torn *event*, never a data race. Bounded rings mean a
+// hot thread overwrites its own oldest events; Collect sees the most
+// recent kRingSlots per thread at best.
+//
+// Recording is further gated at runtime by Trace::Enable — the Database
+// facade enables it when the Tracing feature is selected; static products
+// call it directly. The compile-time gate is FAME_OBS_TRACING_ENABLED
+// (obs.h): deselected builds contain none of this.
+#ifndef FAME_OBS_TRACE_H_
+#define FAME_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fame::obs {
+
+/// What a trace event marks.
+enum class SpanKind : uint8_t {
+  kOpBegin = 1,   ///< engine operation started (op says which)
+  kOpEnd = 2,     ///< engine operation finished (error flag = failed)
+  kPageRead = 3,  ///< PageFile read (a = page id, b = bytes)
+  kPageWrite = 4, ///< PageFile write (a = page id, b = bytes)
+  kWalSync = 5,   ///< WAL fsync / group-commit epoch (a = batch records)
+  kCursor = 6,    ///< cursor event (a = rows scanned, b = rows returned)
+};
+
+/// Which engine operation a kOpBegin/kOpEnd span belongs to.
+enum class TraceOp : uint8_t {
+  kNone = 0,
+  kGet = 1,
+  kPut = 2,
+  kRemove = 3,
+  kUpdate = 4,
+  kScan = 5,
+  kReverseScan = 6,
+  kCommit = 7,
+  kAbort = 8,
+  kVerify = 9,
+  kRepair = 10,
+};
+
+/// One decoded trace event.
+struct TraceEvent {
+  uint64_t t_ns = 0;    ///< NowNanos() at record time
+  SpanKind kind = SpanKind::kOpBegin;
+  TraceOp op = TraceOp::kNone;
+  bool error = false;
+  uint32_t thread = 0;  ///< small per-ring id (registration order)
+  uint64_t a = 0;       ///< kind-specific payload (page id, rows, ...)
+  uint64_t b = 0;       ///< kind-specific payload (bytes, rows, ...)
+};
+
+/// Process-wide trace facility. All methods are static: spans are recorded
+/// from components (PageFile, WAL) that have no path to a per-database
+/// object, and embedded products run one database per process anyway.
+class Trace {
+ public:
+  /// Events retained per recording thread.
+  static constexpr size_t kRingSlots = 256;
+
+  /// Runtime gate. Off by default; Database::Open enables it when the
+  /// Tracing feature is selected. Cheap to leave off: Record is one
+  /// relaxed load + branch when disabled.
+  static void Enable(bool on);
+  static bool enabled();
+
+  /// Records one event into this thread's ring (lock-free after the first
+  /// call on a thread). No-op when disabled.
+  static void Record(SpanKind kind, TraceOp op, uint64_t a = 0,
+                     uint64_t b = 0, bool error = false);
+
+  /// Merges all rings and returns at most the last `last_n` events in
+  /// timestamp order (all retained events when last_n == 0).
+  static std::vector<TraceEvent> Collect(size_t last_n);
+
+  /// Bounded text export of Collect(last_n), one line per event.
+  static std::string Dump(size_t last_n);
+
+  /// Clears all rings (test isolation). Not for concurrent use with
+  /// recording threads.
+  static void Reset();
+};
+
+/// RAII pair of spans around one engine operation: kOpBegin at
+/// construction, kOpEnd at scope exit with the error flag the caller set
+/// from the operation's final status (error paths included — the exit span
+/// is recorded even when the operation throws out of scope early).
+class ScopedOpSpan {
+ public:
+  explicit ScopedOpSpan(TraceOp op) : op_(op) {
+    Trace::Record(SpanKind::kOpBegin, op_);
+  }
+  ~ScopedOpSpan() {
+    Trace::Record(SpanKind::kOpEnd, op_, 0, 0, error_);
+  }
+  void set_error(bool e) { error_ = e; }
+
+  ScopedOpSpan(const ScopedOpSpan&) = delete;
+  ScopedOpSpan& operator=(const ScopedOpSpan&) = delete;
+
+ private:
+  TraceOp op_;
+  bool error_ = false;
+};
+
+/// Test helper: true when any event of `kind` carries the error flag.
+bool HasErrorSpan(const std::vector<TraceEvent>& events, SpanKind kind);
+
+/// Dump()'s name for a span kind / op (exposed for tests).
+const char* SpanKindName(SpanKind kind);
+const char* TraceOpName(TraceOp op);
+
+}  // namespace fame::obs
+
+#endif  // FAME_OBS_TRACE_H_

@@ -172,6 +172,10 @@ class BasicBufferManager {
 
   /// Aggregated snapshot across shards; safe to call while the pool is hot.
   BufferStats stats() const;
+  /// Snapshot of a single shard's counters (i < shard_count()) — the
+  /// Observability layer reports hit/miss/eviction/writeback per shard so
+  /// skew across the sharded pool is visible.
+  BufferStats shard_stats(size_t i) const;
   void ResetStats();
   size_t pool_frames() const;
   size_t pinned_frames() const;
@@ -397,6 +401,18 @@ BufferStats BasicBufferManager<Threading>::stats() const {
     out.evictions += s.evictions;
     out.dirty_writebacks += s.dirty_writebacks;
   }
+  return out;
+}
+
+template <typename Threading>
+BufferStats BasicBufferManager<Threading>::shard_stats(size_t i) const {
+  BufferStats out;
+  if (i >= shard_count_) return out;
+  const ShardStats& s = shards_[i].stats;
+  out.hits += s.hits;
+  out.misses += s.misses;
+  out.evictions += s.evictions;
+  out.dirty_writebacks += s.dirty_writebacks;
   return out;
 }
 

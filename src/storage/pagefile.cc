@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "common/crc32.h"
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 
 namespace fame::storage {
 
@@ -267,19 +270,30 @@ Status PageFile::ReadPage(PageId id, char* buf) {
   if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("read of invalid page " + std::to_string(id));
   }
-  FAME_RETURN_IF_ERROR(ReadAt(static_cast<uint64_t>(id) * opts_.page_size,
-                              opts_.page_size, buf));
-  if (opts_.paranoid_checks) {
+  FAME_OBS(obs::ScopedLatencyTimer<obs::SharedCells> timer(
+               &io_metrics_.read_ns);
+           io_metrics_.reads.Add(1);
+           io_metrics_.read_bytes.Add(opts_.page_size);)
+  Status s = ReadAt(static_cast<uint64_t>(id) * opts_.page_size,
+                    opts_.page_size, buf);
+  if (s.ok() && opts_.paranoid_checks) {
     Page page(buf, opts_.page_size);
-    FAME_RETURN_IF_ERROR(page.VerifyChecksum());
+    s = page.VerifyChecksum();
   }
-  return Status::OK();
+  FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kPageRead,
+                                    obs::TraceOp::kNone, id, opts_.page_size,
+                                    !s.ok());)
+  return s;
 }
 
 Status PageFile::ReadPageRaw(PageId id, char* buf) {
   if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("read of invalid page " + std::to_string(id));
   }
+  FAME_OBS(obs::ScopedLatencyTimer<obs::SharedCells> timer(
+               &io_metrics_.read_ns);
+           io_metrics_.reads.Add(1);
+           io_metrics_.read_bytes.Add(opts_.page_size);)
   return ReadAt(static_cast<uint64_t>(id) * opts_.page_size, opts_.page_size,
                 buf);
 }
@@ -288,13 +302,24 @@ Status PageFile::WritePage(PageId id, char* buf) {
   if (id < kFirstDataPage || id >= page_count_) {
     return Status::InvalidArgument("write of invalid page " + std::to_string(id));
   }
+  FAME_OBS(obs::ScopedLatencyTimer<obs::SharedCells> timer(
+               &io_metrics_.write_ns);
+           io_metrics_.writes.Add(1);
+           io_metrics_.write_bytes.Add(opts_.page_size);)
   Page page(buf, opts_.page_size);
   page.SealChecksum();
-  return WriteAt(static_cast<uint64_t>(id) * opts_.page_size,
-                 Slice(buf, opts_.page_size));
+  Status s = WriteAt(static_cast<uint64_t>(id) * opts_.page_size,
+                     Slice(buf, opts_.page_size));
+  FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kPageWrite,
+                                    obs::TraceOp::kNone, id, opts_.page_size,
+                                    !s.ok());)
+  return s;
 }
 
 Status PageFile::Sync() {
+  FAME_OBS(obs::ScopedLatencyTimer<obs::SharedCells> timer(
+               &io_metrics_.sync_ns);
+           io_metrics_.syncs.Add(1);)
   if (meta_dirty_) FAME_RETURN_IF_ERROR(StoreMeta());
   return SyncFile();
 }

@@ -27,6 +27,10 @@
 #include <string>
 
 #include "common/retry.h"
+#include "obs/obs.h"
+#if FAME_OBS_ENABLED
+#include "obs/metrics.h"
+#endif
 #include "osal/env.h"
 #include "storage/page.h"
 
@@ -113,6 +117,16 @@ class PageFile {
   /// Pages currently on the free chain (O(chain length); for tests/stats).
   StatusOr<uint32_t> CountFreePages();
 
+#if FAME_OBS_ENABLED
+  /// [feature Observability] Per-file IO counters and latency histograms.
+  /// SharedCells (relaxed atomics): ReadPage/WritePage may run concurrently
+  /// under the concurrent buffer pool, and this file already holds a
+  /// relaxed atomic for the same reason (page_count_).
+  const obs::BasicFileMetrics<obs::SharedCells>& io_metrics() const {
+    return io_metrics_;
+  }
+#endif
+
  private:
   /// Serialized meta slot size (fixed layout; fits the 512-byte minimum
   /// page size).
@@ -165,6 +179,10 @@ class PageFile {
   std::atomic<uint32_t> page_count_{kFirstDataPage};
   PageId free_head_ = kInvalidPageId;
   uint64_t epoch_ = 0;
+
+#if FAME_OBS_ENABLED
+  mutable obs::BasicFileMetrics<obs::SharedCells> io_metrics_;
+#endif
 
   RootEntry roots_[kMaxRoots];
   uint32_t roots_used_ = 0;

@@ -143,6 +143,12 @@ class TransactionManager {
   uint64_t aborted() const { return aborted_.load(std::memory_order_relaxed); }
   /// WAL counters (fsync count feeds the fsyncs-per-commit metric).
   WalStats wal_stats() const { return log_->wal_stats(); }
+#if FAME_OBS_ENABLED
+  /// [feature Observability] Records-per-flush histogram of the WAL.
+  obs::HistogramSnapshot wal_batch_histogram() const {
+    return log_->batch_records_histogram();
+  }
+#endif
 
  private:
   friend class Transaction;

@@ -2,6 +2,9 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 
 namespace fame::tx {
 
@@ -130,6 +133,7 @@ StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
   PutFixed32(&frame, MaskCrc(crc));
   frame.append(body);
   buffer_.append(frame);
+  FAME_OBS(++buffered_records_;)
   records_appended_.fetch_add(1, std::memory_order_relaxed);
   return lsn;
 }
@@ -156,6 +160,12 @@ Status LogManager::Flush() {
     return s;
   }
   durable_size_.store(durable + buffer_.size(), std::memory_order_relaxed);
+  FAME_OBS(const uint64_t flushed_records = buffered_records_;
+           buffered_records_ = 0;
+           batch_records_histo_.Record(flushed_records);)
+  FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kWalSync,
+                                    obs::TraceOp::kNone, flushed_records,
+                                    buffer_.size());)
   buffer_.clear();
   syncs_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -188,6 +198,8 @@ Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
   flush_in_progress_ = true;
   std::string batch;
   batch.swap(buffer_);
+  FAME_OBS(const uint64_t batch_records = buffered_records_;
+           buffered_records_ = 0;)
   const uint64_t base = durable_size_.load(std::memory_order_relaxed);
   l.unlock();
   Status s =
@@ -198,10 +210,14 @@ Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
   if (!s.ok()) {
     file_->Truncate(base);  // best effort, as in Flush()
   }
+  FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kWalSync,
+                                    obs::TraceOp::kNone, batch_records,
+                                    batch.size(), !s.ok());)
   l.lock();
   flush_in_progress_ = false;
   if (s.ok()) {
     durable_size_.store(base + batch.size(), std::memory_order_relaxed);
+    FAME_OBS(batch_records_histo_.Record(batch_records);)
     syncs_.fetch_add(1, std::memory_order_relaxed);
     group_batches_.fetch_add(1, std::memory_order_relaxed);
     group_batched_bytes_.fetch_add(batch.size(), std::memory_order_relaxed);

@@ -24,6 +24,10 @@
 #include <vector>
 
 #include "common/retry.h"
+#include "obs/obs.h"
+#if FAME_OBS_ENABLED
+#include "obs/metrics.h"
+#endif
 #include "osal/env.h"
 
 namespace fame::tx {
@@ -145,6 +149,14 @@ class LogManager {
   /// Snapshot of the append/sync counters; safe while the log is hot.
   WalStats wal_stats() const;
 
+#if FAME_OBS_ENABLED
+  /// [feature Observability] Records-per-flush histogram: how well group
+  /// commit batches (bucket 0 = single-record epochs, i.e. no batching).
+  obs::HistogramSnapshot batch_records_histogram() const {
+    return batch_records_histo_.Snapshot();
+  }
+#endif
+
   /// Replays every intact record in LSN order, stopping at the first torn
   /// or corrupt frame. When `report` is non-null it is filled with the
   /// recovered LSN, drop counts, and the torn-tail vs corruption verdict.
@@ -165,7 +177,10 @@ class LogManager {
   /// interleaves other transactions' records, and a commit-less record
   /// sequence is inert to recovery anyway.
   void DropBuffered() {
-    if (!group_commit_) buffer_.clear();
+    if (!group_commit_) {
+      buffer_.clear();
+      FAME_OBS(buffered_records_ = 0;)
+    }
   }
 
   /// Next LSN to be assigned.
@@ -202,6 +217,14 @@ class LogManager {
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> group_batches_{0};
   std::atomic<uint64_t> group_batched_bytes_{0};
+
+#if FAME_OBS_ENABLED
+  /// Records currently in buffer_ (same guard discipline as buffer_:
+  /// mu_ under group commit, single-threaded otherwise). Swapped out with
+  /// the batch so each flush records its own size.
+  uint64_t buffered_records_ = 0;
+  obs::BasicHistogram<obs::SharedCells> batch_records_histo_;
+#endif
 };
 
 }  // namespace fame::tx

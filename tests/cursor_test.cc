@@ -23,6 +23,10 @@
 #include "index/keys.h"
 #include "index/list_index.h"
 #include "index/queue_am.h"
+#include "obs/obs.h"
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 #include "osal/allocator.h"
 #include "osal/env.h"
 #include "osal/fault_env.h"
@@ -379,6 +383,53 @@ TEST(CursorConformanceTest, BtreeCursorSurfacesReadErrors) {
   EXPECT_TRUE(c->status().ok());
   EXPECT_EQ(Drain(c.get()).size(), oracle.size());
 }
+
+#if FAME_OBS_TRACING_ENABLED
+// Regression: a mid-scan IO error must leave an error-tagged page-read
+// span in the trace ring, so a truncated scan is attributable to the
+// failing page instead of silently returning fewer rows.
+TEST(CursorConformanceTest, MidScanReadErrorLeavesErrorSpan) {
+  obs::Trace::Reset();
+  obs::Trace::Enable(true);
+  auto base = osal::NewMemEnv(0);
+  FaultInjectionEnv fenv(base.get());
+  Harness h(512, 4, &fenv);
+  auto tree = BPlusTree::Open(h.buffers.get(), "t");
+  ASSERT_TRUE(tree.ok());
+  auto oracle = FillRandom(tree->get(), 2000, 23);
+  ASSERT_TRUE(h.buffers->Checkpoint().ok());
+
+  // Healthy scan first: page-read spans recorded, none tagged as errors.
+  {
+    auto cur_or = (*tree)->NewCursor();
+    ASSERT_TRUE(cur_or.ok());
+    std::unique_ptr<Cursor> c = std::move(cur_or).value();
+    for (c->SeekToFirst(); c->Valid(); c->Next()) {
+    }
+    ASSERT_TRUE(c->status().ok());
+  }
+  auto events = obs::Trace::Collect(0);
+  ASSERT_FALSE(events.empty());
+  EXPECT_FALSE(obs::HasErrorSpan(events, obs::SpanKind::kPageRead));
+
+  // Now fail reads mid-scan: the failing read must surface as an
+  // error-tagged kPageRead span.
+  obs::Trace::Reset();
+  fenv.FailFrom(FaultOp::kRead, fenv.op_count(FaultOp::kRead),
+                Status::IOError("injected read fault"));
+  auto cur_or = (*tree)->NewCursor();
+  ASSERT_TRUE(cur_or.ok());
+  std::unique_ptr<Cursor> c = std::move(cur_or).value();
+  for (c->SeekToFirst(); c->Valid(); c->Next()) {
+  }
+  EXPECT_EQ(c->status().code(), StatusCode::kIOError);
+  events = obs::Trace::Collect(0);
+  EXPECT_TRUE(obs::HasErrorSpan(events, obs::SpanKind::kPageRead));
+  obs::Trace::Enable(false);
+  obs::Trace::Reset();
+  fenv.ClearFaults();
+}
+#endif  // FAME_OBS_TRACING_ENABLED
 
 TEST(CursorConformanceTest, ChainCursorSurfacesReadErrors) {
   auto base = osal::NewMemEnv(0);

@@ -411,5 +411,39 @@ TEST(FeedbackTest, ReverseScanNfpSeedLoadsAndFits) {
   }
 }
 
+// Same guarantees for the Observability NFP seed (metrics registry +
+// tracing probes): loadable, fits, each sub-feature carries a positive
+// measured footprint, and the stacked selections estimate in cost order
+// base < +Observability < +Observability+Tracing.
+TEST(FeedbackTest, ObservabilityNfpSeedLoadsAndFits) {
+  auto repo_or =
+      FeedbackRepository::Deserialize(fm::kFameObservabilityNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 3u);
+
+  std::vector<std::string> base = {"API",       "B+-Tree", "BTree-Search",
+                                   "Dynamic",   "Get",     "Int-Types",
+                                   "LRU",       "Linux",   "Put",
+                                   "String-Types"};
+  std::vector<std::string> obs = base;
+  obs.push_back("Observability");
+  std::vector<std::string> traced = obs;
+  traced.push_back("Tracing");
+
+  auto est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GT(est->FeatureWeight("Observability"), 0.0);
+  EXPECT_GT(est->FeatureWeight("Tracing"), 0.0);
+  EXPECT_GT(est->Estimate(obs), est->Estimate(base));
+  EXPECT_GT(est->Estimate(traced), est->Estimate(obs));
+
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fame::nfp

@@ -1,0 +1,111 @@
+// Observability probe product: one minimal single-threaded static product
+// (B+-tree, Get/Put/Remove, no transactions) compiled three ways by
+// tests/CMakeLists.txt, each probe recompiling the storage/index/tx
+// sources with its own gating so every object in the binary agrees:
+//
+//   obs_off_probe    FAME_OBS_DISABLE: the zero-overhead claim. The nm
+//                    test greps this binary for mangled fame::obs names
+//                    and fails on any hit.
+//   obs_probe        Observability selected, Tracing compiled out.
+//   obs_trace_probe  Observability + Tracing.
+//
+// The three .text sizes are the measurement points behind
+// fm::kFameObservabilityNfpSeed. Run as a selftest, the probe executes a
+// small workload and (when the feature is compiled in) asserts the
+// snapshot carries the signal the workload must have produced.
+#include <cstdio>
+#include <string>
+
+#include "core/products.h"
+#include "osal/env.h"
+
+#include "obs/obs.h"
+#if FAME_OBS_ENABLED
+#include "obs/serialize.h"
+#endif
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
+
+namespace {
+
+/// The probed product: single-threaded (plain-integer metric cells),
+/// B+-tree, no transactions. kObservability only exists when the build
+/// compiles the feature at all, mirroring how a generator would emit it.
+struct ProbeCfg {
+  using IndexTag = fame::core::BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = false;
+  static constexpr bool kTransactions = false;
+  static constexpr bool kForceCommit = false;
+#if FAME_OBS_ENABLED
+  static constexpr bool kObservability = true;
+#endif
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 16;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "obs probe FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+#if FAME_OBS_TRACING_ENABLED
+  fame::obs::Trace::Enable(true);
+#endif
+  auto env = fame::osal::NewMemEnv(0);
+  fame::core::StaticEngine<ProbeCfg> db;
+  fame::Status s = db.Open(env.get(), "obs_probe.db");
+  if (!s.ok()) return Fail(s.ToString().c_str());
+
+  // Workload: enough puts to split leaves, point gets, one full scan.
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "key" + std::to_string(i);
+    s = db.Put(fame::Slice(key), fame::Slice("value" + std::to_string(i)));
+    if (!s.ok()) return Fail(s.ToString().c_str());
+  }
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "key" + std::to_string(i * 4);
+    std::string value;
+    s = db.Get(fame::Slice(key), &value);
+    if (!s.ok()) return Fail(s.ToString().c_str());
+  }
+  uint64_t rows = 0;
+  s = db.Scan([&rows](const fame::Slice&, const fame::Slice&) {
+    ++rows;
+    return true;
+  });
+  if (!s.ok()) return Fail(s.ToString().c_str());
+  if (rows != 2000) return Fail("scan did not visit every row");
+
+#if FAME_OBS_ENABLED
+  fame::obs::MetricsSnapshot m = db.GetMetricsSnapshot();
+  if (m.engine_puts != 2000) return Fail("puts not counted");
+  if (m.engine_gets != 500) return Fail("gets not counted");
+  if (m.engine_scans != 1) return Fail("scan not counted");
+  if (m.get_ns.count != 500) return Fail("get latency histogram not fed");
+  if (m.buffer_hits + m.buffer_misses == 0) return Fail("buffer idle");
+  if (m.btree_descents == 0) return Fail("btree descents not counted");
+  if (m.btree_splits == 0) return Fail("workload should have split leaves");
+  if (m.cursor_rows_scanned < rows) return Fail("cursor pipeline idle");
+  std::string text = fame::obs::RenderText(m);
+  if (text.find("engine puts: 2000") == std::string::npos) {
+    return Fail("serializer dropped the op counters");
+  }
+  std::printf("%s", text.c_str());
+#endif
+#if FAME_OBS_TRACING_ENABLED
+  if (fame::obs::Trace::Collect(0).empty()) {
+    return Fail("tracing enabled but the ring is empty");
+  }
+  std::printf("%s", fame::obs::Trace::Dump(8).c_str());
+#endif
+  std::printf("obs probe OK\n");
+  return 0;
+}

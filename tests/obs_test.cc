@@ -1,0 +1,437 @@
+// Observability subsystem tests:
+//   - metric primitives (counter, gauge, base-4 histogram) under both cell
+//     policies, including multi-threaded exactness of the atomic cells
+//   - serializers (text report, Prometheus exposition, histogram line)
+//   - the per-thread trace ring (runtime gate, wraparound, merge order,
+//     error spans)
+//   - Database integration: snapshot contents after a real workload, the
+//     Observability feature gate, legacy DbStats parity
+//   - the NFP feedback hook (IngestMetrics)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "nfp/feedback.h"
+#include "obs/obs.h"
+#include "obs/metrics.h"
+#include "obs/serialize.h"
+#include "obs/trace.h"
+#include "osal/env.h"
+#include "storage/concurrency.h"
+#include "tx/txmgr.h"
+
+namespace fame::obs {
+namespace {
+
+using Plain = storage::SingleThreaded;
+
+// ------------------------------------------------------------- primitives
+
+TEST(ObsMetricsTest, CounterAndGaugeBothPolicies) {
+  BasicCounter<Plain> c;
+  EXPECT_EQ(c.Load(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Load(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Load(), 0u);
+
+  BasicCounter<SharedCells> ac;
+  ac.Add(7);
+  EXPECT_EQ(ac.Load(), 7u);
+
+  BasicGauge<SharedCells> g;
+  g.Add(5);
+  g.Sub(2);
+  EXPECT_EQ(g.Load(), 3u);
+  g.Set(10);
+  EXPECT_EQ(g.Load(), 10u);
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundaries) {
+  using H = BasicHistogram<Plain>;
+  // Bucket b covers [4^b, 4^(b+1)); bucket 0 additionally holds zero.
+  EXPECT_EQ(H::BucketOf(0), 0u);
+  EXPECT_EQ(H::BucketOf(1), 0u);
+  EXPECT_EQ(H::BucketOf(3), 0u);
+  EXPECT_EQ(H::BucketOf(4), 1u);
+  EXPECT_EQ(H::BucketOf(15), 1u);
+  EXPECT_EQ(H::BucketOf(16), 2u);
+  EXPECT_EQ(H::BucketOf(63), 2u);
+  EXPECT_EQ(H::BucketOf(64), 3u);
+  // Values past the last bucket boundary clamp into the final bucket.
+  EXPECT_EQ(H::BucketOf(UINT64_MAX), HistogramSnapshot::kBuckets - 1);
+  // The reported inclusive bound of bucket b is 4^(b+1)-1.
+  EXPECT_EQ(HistogramSnapshot::BucketBound(0), 3u);
+  EXPECT_EQ(HistogramSnapshot::BucketBound(1), 15u);
+  EXPECT_EQ(HistogramSnapshot::BucketBound(2), 63u);
+}
+
+TEST(ObsMetricsTest, HistogramRecordSnapshotMergeReset) {
+  BasicHistogram<Plain> h;
+  h.Record(0);
+  h.Record(3);
+  h.Record(4);
+  h.Record(100);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 107u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[3], 1u);  // 100 in [64, 256)
+  EXPECT_DOUBLE_EQ(s.Mean(), 107.0 / 4.0);
+
+  HistogramSnapshot other = s;
+  s.Merge(other);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.sum, 214u);
+  EXPECT_EQ(s.counts[0], 4u);
+
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(ObsMetricsTest, SharedCellsExactUnderThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  BasicCounter<SharedCells> counter;
+  BasicHistogram<SharedCells> histo;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histo] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.Add(1);
+        histo.Record(static_cast<uint64_t>(i % 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Load(), uint64_t{kThreads} * kIters);
+  HistogramSnapshot s = histo.Snapshot();
+  EXPECT_EQ(s.count, uint64_t{kThreads} * kIters);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.counts) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(ObsMetricsTest, CursorSinkFlushesIntoRegistry) {
+  BasicCursorMetrics<Plain> cursors;
+  CursorSink sink = cursors.sink();
+  ASSERT_NE(sink.flush, nullptr);
+  ASSERT_NE(sink.track_open, nullptr);
+  sink.track_open(sink.ctx, true);
+  sink.flush(sink.ctx, 2, 100, 40);
+  sink.flush(sink.ctx, 1, 10, 10);
+  sink.track_open(sink.ctx, false);
+  EXPECT_EQ(cursors.seeks.Load(), 3u);
+  EXPECT_EQ(cursors.rows_scanned.Load(), 110u);
+  EXPECT_EQ(cursors.rows_returned.Load(), 50u);
+  EXPECT_EQ(cursors.open.Load(), 0u);
+}
+
+// ------------------------------------------------------------ serializers
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsSnapshot m;
+  m.buffer_hits = 10;
+  m.buffer_misses = 4;
+  m.engine_gets = 3;
+  m.engine_puts = 5;
+  m.get_ns.counts[2] = 3;
+  m.get_ns.count = 3;
+  m.get_ns.sum = 90;
+  m.page_count = 7;
+  m.read_only = false;
+  return m;
+}
+
+TEST(ObsSerializeTest, RenderTextKeepsLegacyKeysAndAddsSections) {
+  std::string text = RenderText(SampleSnapshot());
+  // The historical DbStats::ToString block, line-for-line greppable.
+  EXPECT_NE(text.find("pages: 7"), std::string::npos);
+  EXPECT_NE(text.find("buffer hits: 10"), std::string::npos);
+  EXPECT_NE(text.find("buffer misses: 4"), std::string::npos);
+  EXPECT_NE(text.find("read-only: no"), std::string::npos);
+  // Observability sections appear once they carry samples.
+  EXPECT_NE(text.find("engine gets: 3"), std::string::npos);
+  EXPECT_NE(text.find("engine puts: 5"), std::string::npos);
+}
+
+TEST(ObsSerializeTest, RenderPrometheusEmitsCountersAndBuckets) {
+  std::string prom = RenderPrometheus(SampleSnapshot());
+  EXPECT_NE(prom.find("fame_buffer_hits_total 10"), std::string::npos);
+  EXPECT_NE(prom.find("fame_buffer_misses_total 4"), std::string::npos);
+  // Histogram series: cumulative buckets plus +Inf, sum, and count.
+  EXPECT_NE(prom.find("fame_get_latency_ns_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("fame_get_latency_ns_sum 90"), std::string::npos);
+  EXPECT_NE(prom.find("fame_get_latency_ns_count 3"), std::string::npos);
+}
+
+TEST(ObsSerializeTest, RenderHistogramElidesEmptyBuckets) {
+  HistogramSnapshot h;
+  EXPECT_NE(RenderHistogram(h).find("count=0"), std::string::npos);
+  h.counts[1] = 2;
+  h.count = 2;
+  h.sum = 10;
+  std::string line = RenderHistogram(h);
+  EXPECT_NE(line.find("count=2"), std::string::npos);
+  EXPECT_NE(line.find("sum=10"), std::string::npos);
+  EXPECT_NE(line.find("le15:2"), std::string::npos);
+  // Only the populated bucket is printed.
+  EXPECT_EQ(line.find("le3:"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ trace
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Reset();
+    Trace::Enable(true);
+  }
+  void TearDown() override {
+    Trace::Enable(false);
+    Trace::Reset();
+  }
+};
+
+TEST_F(TraceFixture, DisabledRecordsNothing) {
+  Trace::Enable(false);
+  Trace::Record(SpanKind::kOpBegin, TraceOp::kGet);
+  EXPECT_TRUE(Trace::Collect(0).empty());
+}
+
+TEST_F(TraceFixture, RecordsInTimestampOrderAndHonorsLastN) {
+  {
+    ScopedOpSpan span(TraceOp::kPut);
+    Trace::Record(SpanKind::kPageRead, TraceOp::kNone, 12, 4096);
+  }
+  std::vector<TraceEvent> events = Trace::Collect(0);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, SpanKind::kOpBegin);
+  EXPECT_EQ(events[0].op, TraceOp::kPut);
+  EXPECT_EQ(events[1].kind, SpanKind::kPageRead);
+  EXPECT_EQ(events[1].a, 12u);
+  EXPECT_EQ(events[1].b, 4096u);
+  EXPECT_EQ(events[2].kind, SpanKind::kOpEnd);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t_ns, events[i - 1].t_ns);
+  }
+  EXPECT_EQ(Trace::Collect(2).size(), 2u);
+  EXPECT_EQ(Trace::Collect(2)[1].kind, SpanKind::kOpEnd);
+}
+
+TEST_F(TraceFixture, RingWrapsKeepingTheNewestEvents) {
+  for (uint64_t i = 0; i < Trace::kRingSlots + 50; ++i) {
+    Trace::Record(SpanKind::kPageWrite, TraceOp::kNone, i);
+  }
+  std::vector<TraceEvent> events = Trace::Collect(0);
+  ASSERT_EQ(events.size(), Trace::kRingSlots);
+  // The survivors are the newest kRingSlots events, still in order.
+  EXPECT_EQ(events.front().a, 50u);
+  EXPECT_EQ(events.back().a, Trace::kRingSlots + 49);
+}
+
+TEST_F(TraceFixture, ErrorSpansAreDetectable) {
+  {
+    ScopedOpSpan span(TraceOp::kGet);
+    span.set_error(true);
+  }
+  std::vector<TraceEvent> events = Trace::Collect(0);
+  EXPECT_TRUE(HasErrorSpan(events, SpanKind::kOpEnd));
+  EXPECT_FALSE(HasErrorSpan(events, SpanKind::kOpBegin));
+  std::string dump = Trace::Dump(0);
+  EXPECT_NE(dump.find(TraceOpName(TraceOp::kGet)), std::string::npos);
+}
+
+TEST_F(TraceFixture, MergesRingsAcrossThreads) {
+  std::thread other([] {
+    for (int i = 0; i < 5; ++i) {
+      Trace::Record(SpanKind::kWalSync, TraceOp::kNone, 3);
+    }
+  });
+  other.join();
+  for (int i = 0; i < 5; ++i) {
+    Trace::Record(SpanKind::kPageRead, TraceOp::kNone, 1, 64);
+  }
+  std::vector<TraceEvent> events = Trace::Collect(0);
+  ASSERT_EQ(events.size(), 10u);
+  bool saw_sync = false, saw_read = false;
+  for (const TraceEvent& e : events) {
+    saw_sync |= e.kind == SpanKind::kWalSync;
+    saw_read |= e.kind == SpanKind::kPageRead;
+  }
+  EXPECT_TRUE(saw_sync);
+  EXPECT_TRUE(saw_read);
+}
+
+// ----------------------------------------------------- Database integration
+
+core::DbOptions ObsOptions(osal::Env* env, bool observability) {
+  core::DbOptions opts;
+  opts.features = {"Linux",     "B+-Tree",      "Transaction", "Update",
+                   "BTree-Update", "Int-Types", "String-Types"};
+  if (observability) opts.features.push_back("Observability");
+  opts.env = env;
+  opts.path = "obs_db";
+  // Small pages + a small pool: the workload cannot stay cached, so the
+  // buffer pool must miss and evict and the snapshot shows real IO.
+  opts.page_size = 512;
+  opts.buffer_frames = 8;
+  return opts;
+}
+
+/// Puts enough data to overflow the pool, reads it back, commits a couple
+/// of transactions, and scans — every instrumented layer sees traffic.
+void RunObsWorkload(core::Database* db) {
+  for (int i = 0; i < 300; ++i) {
+    std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(db->Put(Slice(key), Slice("value" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "key" + std::to_string(i * 3);
+    std::string value;
+    ASSERT_TRUE(db->Get(Slice(key), &value).ok());
+  }
+  for (int t = 0; t < 3; ++t) {
+    auto txn_or = db->Begin();
+    ASSERT_TRUE(txn_or.ok());
+    for (int i = 0; i < 4; ++i) {
+      std::string key = "txn" + std::to_string(t * 4 + i);
+      ASSERT_TRUE((*txn_or)->Put("core", key, "v").ok());
+    }
+    ASSERT_TRUE(db->Commit(*txn_or).ok());
+  }
+  uint64_t rows = 0;
+  ASSERT_TRUE(db->Scan([&rows](const Slice&, uint64_t) {
+                  ++rows;
+                  return true;
+                })
+                  .ok());
+  EXPECT_GT(rows, 300u);
+}
+
+#if FAME_OBS_ENABLED
+// Instrumented hot paths only exist when the build compiles the feature;
+// a -DFAME_OBSERVABILITY=OFF build keeps the surfaces but reports only the
+// unconditional lifecycle counters, so the workload-signal assertions are
+// gated with the instrumentation they probe.
+TEST(ObsDatabaseTest, SnapshotCarriesWorkloadSignal) {
+  auto env = osal::NewMemEnv(0);
+  auto db_or = core::Database::Open(ObsOptions(env.get(), true));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  core::Database* db = db_or->get();
+  RunObsWorkload(db);
+
+  auto snap_or = db->GetMetricsSnapshot();
+  ASSERT_TRUE(snap_or.ok()) << snap_or.status().ToString();
+  const MetricsSnapshot& m = *snap_or;
+
+  EXPECT_EQ(m.engine_puts, 300u);
+  EXPECT_EQ(m.engine_gets, 100u);
+  EXPECT_EQ(m.engine_scans, 1u);
+  EXPECT_EQ(m.put_ns.count, 300u);
+  EXPECT_EQ(m.get_ns.count, 100u);
+  EXPECT_GT(m.buffer_hits, 0u);
+  EXPECT_GT(m.buffer_misses, 0u);  // 8-frame pool cannot hold the workload
+  EXPECT_GT(m.file_writes, 0u);
+  EXPECT_GT(m.file_write_bytes, 0u);
+  EXPECT_GT(m.btree_descents, 0u);
+  EXPECT_GT(m.btree_splits, 0u);
+  EXPECT_GT(m.wal_appends, 0u);
+  EXPECT_GT(m.wal_batch_records.count, 0u);
+  EXPECT_EQ(m.committed_txns, 3u);
+  EXPECT_GT(m.page_count, 0u);
+
+  // Legacy DbStats fields derive from the same snapshot; the text report
+  // keeps the historical keys.
+  auto stats = db->GetStats();
+  EXPECT_EQ(stats.metrics.engine_puts, m.engine_puts);
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("buffer hits:"), std::string::npos);
+  EXPECT_NE(text.find("read-only: no"), std::string::npos);
+  EXPECT_NE(text.find("engine puts: 300"), std::string::npos);
+}
+
+#endif  // FAME_OBS_ENABLED
+
+TEST(ObsDatabaseTest, SnapshotRequiresObservabilityFeature) {
+  auto env = osal::NewMemEnv(0);
+  auto db_or = core::Database::Open(ObsOptions(env.get(), false));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto snap_or = (*db_or)->GetMetricsSnapshot();
+  EXPECT_TRUE(snap_or.status().IsNotSupported());
+  // GetStats keeps working without the feature (legacy surface).
+  auto stats = (*db_or)->GetStats();
+  EXPECT_NE(stats.ToString().find("read-only: no"), std::string::npos);
+}
+
+#if FAME_OBS_TRACING_ENABLED
+TEST(ObsDatabaseTest, TracingFeatureProducesSpans) {
+  Trace::Reset();
+  auto env = osal::NewMemEnv(0);
+  core::DbOptions opts = ObsOptions(env.get(), true);
+  opts.features.push_back("Tracing");
+  auto db_or = core::Database::Open(opts);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  ASSERT_TRUE((*db_or)->Put(Slice("k"), Slice("v")).ok());
+  std::string value;
+  ASSERT_TRUE((*db_or)->Get(Slice("k"), &value).ok());
+  std::vector<TraceEvent> events = Trace::Collect(0);
+  bool saw_put = false, saw_get = false;
+  for (const TraceEvent& e : events) {
+    saw_put |= e.kind == SpanKind::kOpEnd && e.op == TraceOp::kPut;
+    saw_get |= e.kind == SpanKind::kOpEnd && e.op == TraceOp::kGet;
+  }
+  EXPECT_TRUE(saw_put);
+  EXPECT_TRUE(saw_get);
+  Trace::Enable(false);
+  Trace::Reset();
+}
+
+#endif  // FAME_OBS_TRACING_ENABLED
+
+// ------------------------------------------------------------ NFP feedback
+
+TEST(ObsFeedbackTest, IngestMetricsRejectsEmptyOrBadInput) {
+  nfp::FeedbackRepository repo;
+  MetricsSnapshot idle;
+  EXPECT_TRUE(nfp::IngestMetrics(&repo, {"Get"}, idle, 1.0)
+                  .IsInvalidArgument());
+  MetricsSnapshot busy;
+  busy.engine_gets = 10;
+  EXPECT_TRUE(nfp::IngestMetrics(&repo, {"Get"}, busy, 0.0)
+                  .IsInvalidArgument());
+  EXPECT_EQ(repo.size(), 0u);
+}
+
+TEST(ObsFeedbackTest, IngestMetricsDerivesThroughputAndLatency) {
+  nfp::FeedbackRepository repo;
+  MetricsSnapshot m;
+  m.engine_gets = 600;
+  m.engine_puts = 400;
+  m.get_ns.count = 600;
+  m.get_ns.sum = 600 * 2000;  // 2µs mean
+  m.put_ns.count = 400;
+  m.put_ns.sum = 400 * 4000;  // 4µs mean
+  ASSERT_TRUE(
+      nfp::IngestMetrics(&repo, {"Put", "Get", "B+-Tree"}, m, 2.0).ok());
+  ASSERT_EQ(repo.size(), 1u);
+  const nfp::MeasuredProduct& p = repo.products()[0];
+  // Features come out sorted in the signature.
+  EXPECT_EQ(p.Signature(), "B+-Tree,Get,Put");
+  ASSERT_TRUE(p.values.count(nfp::NfpKind::kThroughput));
+  EXPECT_DOUBLE_EQ(p.values.at(nfp::NfpKind::kThroughput), 1000.0 / 2.0);
+  ASSERT_TRUE(p.values.count(nfp::NfpKind::kLatency));
+  // Weighted mean of 2µs (600 samples) and 4µs (400 samples) = 2.8µs.
+  EXPECT_NEAR(p.values.at(nfp::NfpKind::kLatency), 2.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace fame::obs
