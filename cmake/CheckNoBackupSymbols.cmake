@@ -1,0 +1,55 @@
+# Symbol-table check behind the Backup feature's zero-cost claim. Run as a
+# ctest:
+#
+#   cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoBackupSymbols.cmake
+#
+# Greps `nm` output of BINARY for the mangled namespaces that hold the
+# segmented-WAL store ("4fame2tx3seg" = fame::tx::seg) and the hot-backup /
+# restore engine ("4fame4core6backup" = fame::core::backup). EXPECT=absent
+# fails on any hit: a product that does not select Backup must link none of
+# the machinery — its WAL path stays the legacy single file, byte for byte.
+# EXPECT=present is the positive control on the Backup-enabled twin of the
+# same product, proving the probe methodology actually sees the symbols it
+# claims to rule out.
+if(NOT DEFINED BINARY OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "usage: cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoBackupSymbols.cmake")
+endif()
+
+find_program(NM_TOOL NAMES nm llvm-nm)
+if(NOT NM_TOOL)
+  message(FATAL_ERROR "nm not found; cannot check ${BINARY}")
+endif()
+
+execute_process(
+  COMMAND ${NM_TOOL} --defined-only ${BINARY}
+  OUTPUT_VARIABLE SYMBOLS
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE NM_ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY}: ${NM_ERR}")
+endif()
+
+string(REGEX MATCHALL "[^\n]*(4fame2tx3seg|4fame4core6backup)[^\n]*"
+       BACKUP_SYMBOLS "${SYMBOLS}")
+list(LENGTH BACKUP_SYMBOLS HITS)
+
+if(EXPECT STREQUAL "absent")
+  if(HITS GREATER 0)
+    list(SUBLIST BACKUP_SYMBOLS 0 10 SAMPLE)
+    string(JOIN "\n  " SAMPLE_TEXT ${SAMPLE})
+    message(FATAL_ERROR
+      "${BINARY} does not select the Backup feature but defines ${HITS} "
+      "segment/backup symbol(s):\n  ${SAMPLE_TEXT}")
+  endif()
+  message(STATUS "${BINARY}: no segment/backup symbols (as required)")
+elseif(EXPECT STREQUAL "present")
+  if(HITS EQUAL 0)
+    message(FATAL_ERROR
+      "${BINARY} should carry fame::tx::seg / fame::core::backup symbols "
+      "(positive control for the absence test) but nm found none — the "
+      "check would be vacuous")
+  endif()
+  message(STATUS "${BINARY}: ${HITS} segment/backup symbols (positive control ok)")
+else()
+  message(FATAL_ERROR "EXPECT must be 'absent' or 'present', got '${EXPECT}'")
+endif()

@@ -9,6 +9,11 @@
 #include <cstdint>
 #include <utility>
 
+#if !defined(FAME_EMBEDDED)
+#include <chrono>
+#include <thread>
+#endif
+
 #include "common/status.h"
 
 namespace fame {
@@ -22,6 +27,40 @@ struct RetryPolicy {
   uint32_t max_attempts = 3;  ///< total tries, including the first (>= 1)
   void (*backoff)(uint32_t attempt) = nullptr;
 };
+
+/// Default backoff hook for host builds: jittered exponential wait
+/// (~250us << attempt, capped at 20ms, jittered to [base/2, base*1.5) so
+/// concurrent retriers — archive copiers, backup readers — do not thunder
+/// in lockstep against the same saturated device). Embedded builds
+/// (-DFAME_EMBEDDED) keep the immediate-bus-retry semantics: there is no
+/// scheduler to sleep on, and the transient faults being retried clear in
+/// bus time, not wall time.
+inline void BackoffWithJitter(uint32_t attempt) {
+#if defined(FAME_EMBEDDED)
+  (void)attempt;
+#else
+  thread_local uint32_t seed =
+      0x9e3779b9u ^ static_cast<uint32_t>(reinterpret_cast<uintptr_t>(&seed));
+  seed ^= seed << 13;
+  seed ^= seed >> 17;
+  seed ^= seed << 5;
+  uint64_t shift = attempt < 7 ? attempt : 7;
+  uint64_t base_us = 250ull << shift;
+  if (base_us > 20000) base_us = 20000;
+  uint64_t jittered_us = base_us / 2 + seed % base_us;
+  std::this_thread::sleep_for(std::chrono::microseconds(jittered_us));
+#endif
+}
+
+/// Policy for host-side bulk IO (segment archiving, backup page copies):
+/// more attempts than the embedded default, with jittered backoff between
+/// them. On embedded builds the hook degrades to immediate retry.
+inline RetryPolicy HostIoRetryPolicy(uint32_t max_attempts = 5) {
+  RetryPolicy p;
+  p.max_attempts = max_attempts;
+  p.backoff = &BackoffWithJitter;
+  return p;
+}
 
 /// True when `s` means the medium is out of space. Envs report that as
 /// ResourceExhausted (POSIX ENOSPC/EDQUOT, MemEnv capacity, injected disk

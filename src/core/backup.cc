@@ -1,0 +1,432 @@
+#include "core/backup.h"
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/retry.h"
+#include "storage/page.h"
+#include "storage/pagefile.h"
+#include "tx/txmgr.h"
+#include "tx/wal_segments.h"
+
+namespace fame::core::backup {
+
+namespace {
+
+constexpr char kManifestMagic[] = "fame-backup";
+constexpr uint32_t kManifestVersion = 1;
+
+/// Re-enables segment recycling on every exit path of a backup.
+class RecycleGuard {
+ public:
+  explicit RecycleGuard(tx::TransactionManager* mgr) : mgr_(mgr) {
+    mgr_->PauseWalRecycle(true);
+  }
+  ~RecycleGuard() { mgr_->PauseWalRecycle(false); }
+  RecycleGuard(const RecycleGuard&) = delete;
+  RecycleGuard& operator=(const RecycleGuard&) = delete;
+
+ private:
+  tx::TransactionManager* mgr_;
+};
+
+Status ReadExact(osal::RandomAccessFile* file, uint64_t off, uint64_t n,
+                 std::string* out) {
+  out->resize(n);
+  uint64_t got = 0;
+  while (got < n) {
+    Slice chunk;
+    FAME_RETURN_IF_ERROR(
+        file->Read(off + got, n - got, out->data() + got, &chunk));
+    if (chunk.empty()) return Status::Corruption("short read");
+    if (chunk.data() != out->data() + got) {
+      std::memmove(out->data() + got, chunk.data(), chunk.size());
+    }
+    got += chunk.size();
+  }
+  return Status::OK();
+}
+
+bool AllZero(const char* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+/// Durable whole-file write with host-side backoff (backups are host-only).
+Status WriteFileDurable(osal::Env* env, const std::string& name,
+                        const std::string& data) {
+  return RetryOnTransient(HostIoRetryPolicy(),
+                          [&] { return env->WriteStringToFile(name, data); });
+}
+
+/// One segment image headed for the restored chain.
+struct SegmentPlan {
+  uint32_t seq = 0;
+  uint64_t base = 0;
+  std::string data;  // header + payload
+};
+
+/// Parses the numeric suffix of "<prefix><digits>"; false for other names.
+bool ParseSeqSuffix(const std::string& name, const std::string& prefix,
+                    uint32_t* seq) {
+  if (name.size() <= prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  std::string suffix = name.substr(prefix.size());
+  if (suffix.size() < 6 || suffix.size() > 9) return false;
+  for (char c : suffix) {
+    if (c < '0' || c > '9') return false;
+  }
+  *seq = static_cast<uint32_t>(std::stoul(suffix));
+  return true;
+}
+
+}  // namespace
+
+Status RunBackup(const BackupContext& ctx, const std::string& dest,
+                 BackupReport* report) {
+  if (ctx.env == nullptr || ctx.txmgr == nullptr || ctx.file == nullptr) {
+    return Status::InvalidArgument("backup context is incomplete");
+  }
+  if (!ctx.txmgr->wal_segmented()) {
+    return Status::InvalidArgument("hot backup requires a segmented log");
+  }
+  if (dest.empty() || dest == ctx.db_path) {
+    return Status::InvalidArgument("backup destination must be a new prefix");
+  }
+  BackupReport rep;
+
+  // Freeze the segment chain for the duration: checkpoints keep advancing
+  // the watermark but no file is recycled out from under the copy.
+  RecycleGuard recycle(ctx.txmgr);
+
+  // Checkpoint so the on-disk page file holds everything up to the
+  // watermark; the copied meta then carries that watermark with it.
+  FAME_RETURN_IF_ERROR(ctx.txmgr->Checkpoint());
+  {
+    auto mark_or = ctx.file->GetRootAux("wal.mark");
+    rep.mark = mark_or.ok() ? mark_or.value() : 0;
+  }
+
+  // Fuzzy page copy. Engine applies (and further checkpoints) are paused,
+  // so the on-disk image is stable; committers stall only at their apply
+  // step — appends and fsyncs keep flowing. Every data page is verified
+  // against its own checksum, with a bounded re-read for transient damage.
+  const uint32_t page_size = ctx.file->page_size();
+  std::string image;
+  FAME_RETURN_IF_ERROR(ctx.txmgr->WithApplyPaused([&]() -> Status {
+    auto src_or = ctx.env->OpenFile(ctx.db_path, /*create=*/false);
+    FAME_RETURN_IF_ERROR(src_or.status());
+    std::unique_ptr<osal::RandomAccessFile> src = std::move(src_or).value();
+    FAME_ASSIGN_OR_RETURN(uint64_t file_bytes, src->Size());
+    const uint64_t pages = file_bytes / page_size;
+    image.reserve(file_bytes);
+    std::string page_buf;
+    for (uint64_t id = 0; id < pages; ++id) {
+      FAME_RETURN_IF_ERROR(
+          ReadExact(src.get(), id * page_size, page_size, &page_buf));
+      if (id >= storage::PageFile::kFirstDataPage) {
+        storage::Page view(page_buf.data(), page_size);
+        uint32_t attempts = 0;
+        while (!view.VerifyChecksum().ok() &&
+               !AllZero(page_buf.data(), page_size)) {
+          if (++attempts >= 3) {
+            return Status::Corruption("backup aborted: page " +
+                                      std::to_string(id) +
+                                      " fails checksum verification");
+          }
+          FAME_RETURN_IF_ERROR(
+              ReadExact(src.get(), id * page_size, page_size, &page_buf));
+        }
+      }
+      image.append(page_buf);
+      ++rep.pages_copied;
+    }
+    // Trailing partial page (torn final extension): carry it verbatim.
+    if (file_bytes > pages * page_size) {
+      std::string tail;
+      FAME_RETURN_IF_ERROR(ReadExact(src.get(), pages * page_size,
+                                     file_bytes - pages * page_size, &tail));
+      image.append(tail);
+    }
+    // The durable log end, captured before applies resume: any effect in
+    // the copied pages belongs to a commit at or below this LSN, so a
+    // restore replaying through end_lsn can never miss one.
+    rep.end_lsn = ctx.txmgr->durable_lsn();
+    return Status::OK();
+  }));
+
+  FAME_RETURN_IF_ERROR(WriteFileDurable(ctx.env, dest, image));
+  rep.bytes_copied += image.size();
+
+  // Copy the segment chain, cutting the tail segment at end_lsn. The cut
+  // is frame-aligned by construction: durable ends always land on frame
+  // boundaries. Segments cannot disappear meanwhile (recycling is paused);
+  // concurrent appends land past end_lsn and are simply not read.
+  std::vector<tx::WalSegmentInfo> segments;
+  FAME_RETURN_IF_ERROR(ctx.txmgr->ListWalSegments(&segments));
+  std::string manifest;
+  manifest += kManifestMagic;
+  manifest += " " + std::to_string(kManifestVersion) + "\n";
+  manifest += "mark " + std::to_string(rep.mark) + "\n";
+  manifest += "end_lsn " + std::to_string(rep.end_lsn) + "\n";
+  manifest += "page_size " + std::to_string(page_size) + "\n";
+  manifest += "pages " + std::to_string(rep.pages_copied) + "\n";
+  manifest += "file " + std::to_string(image.size()) + " " +
+              std::to_string(Crc32(image.data(), image.size())) + "\n";
+  for (const tx::WalSegmentInfo& seg : segments) {
+    if (seg.base_lsn > rep.end_lsn) continue;
+    uint64_t want = rep.end_lsn - seg.base_lsn;
+    if (want > seg.payload_bytes) want = seg.payload_bytes;
+    auto file_or = ctx.env->OpenFile(seg.file, /*create=*/false);
+    FAME_RETURN_IF_ERROR(file_or.status());
+    std::string data;
+    FAME_RETURN_IF_ERROR(
+        ReadExact(file_or.value().get(), 0, tx::seg::kHeaderSize + want,
+                  &data));
+    uint64_t base = 0;
+    uint32_t seq = 0;
+    if (!tx::seg::DecodeSegmentHeader(data.data(), data.size(), &base, &seq) ||
+        base != seg.base_lsn || seq != seg.seq) {
+      return Status::Corruption("segment header of " + seg.file +
+                                " is damaged");
+    }
+    FAME_RETURN_IF_ERROR(WriteFileDurable(
+        ctx.env, dest + ".wal." + tx::seg::SegmentSuffix(seg.seq), data));
+    rep.bytes_copied += data.size();
+    ++rep.segments_copied;
+    manifest += "segment " + std::to_string(seg.seq) + " " +
+                std::to_string(seg.base_lsn) + " " +
+                std::to_string(data.size()) + " " +
+                std::to_string(Crc32(data.data(), data.size())) + "\n";
+  }
+  manifest +=
+      "crc " + std::to_string(Crc32(manifest.data(), manifest.size())) + "\n";
+  FAME_RETURN_IF_ERROR(WriteFileDurable(ctx.env, dest + ".manifest", manifest));
+
+  if (report != nullptr) *report = rep;
+  return Status::OK();
+}
+
+Status RunRestore(osal::Env* env, const std::string& src,
+                  const std::string& dest_path, const RestoreOptions& opts,
+                  RestoreReport* report) {
+  if (env == nullptr) return Status::InvalidArgument("restore needs an env");
+  if (dest_path == src) {
+    return Status::InvalidArgument("restore destination collides with backup");
+  }
+  RestoreReport rep;
+
+  // ---- manifest: parse and verify the seal before touching anything.
+  std::string manifest;
+  FAME_RETURN_IF_ERROR(env->ReadFileToString(src + ".manifest", &manifest));
+  size_t crc_line = manifest.rfind("crc ");
+  if (crc_line == std::string::npos ||
+      (crc_line != 0 && manifest[crc_line - 1] != '\n')) {
+    return Status::Corruption("backup manifest has no seal");
+  }
+  {
+    std::istringstream seal(manifest.substr(crc_line + 4));
+    uint64_t stored = 0;
+    seal >> stored;
+    if (stored != Crc32(manifest.data(), crc_line)) {
+      return Status::Corruption("backup manifest fails its CRC");
+    }
+  }
+  uint64_t file_bytes = 0, file_crc = 0, page_size = 0, pages = 0;
+  bool have_file = false;
+  struct ManifestSegment {
+    uint32_t seq;
+    uint64_t base;
+    uint64_t bytes;
+    uint64_t crc;
+  };
+  std::vector<ManifestSegment> msegs;
+  {
+    std::istringstream lines(manifest.substr(0, crc_line));
+    std::string line;
+    bool have_magic = false;
+    while (std::getline(lines, line)) {
+      std::istringstream ls(line);
+      std::string key;
+      ls >> key;
+      if (key == kManifestMagic) {
+        uint64_t version = 0;
+        ls >> version;
+        if (version != kManifestVersion) {
+          return Status::NotSupported("unknown backup manifest version");
+        }
+        have_magic = true;
+      } else if (key == "mark") {
+        ls >> rep.mark;
+      } else if (key == "end_lsn") {
+        ls >> rep.end_lsn;
+      } else if (key == "page_size") {
+        ls >> page_size;
+      } else if (key == "pages") {
+        ls >> pages;
+      } else if (key == "file") {
+        ls >> file_bytes >> file_crc;
+        have_file = !ls.fail();
+      } else if (key == "segment") {
+        ManifestSegment m{};
+        ls >> m.seq >> m.base >> m.bytes >> m.crc;
+        if (ls.fail()) return Status::Corruption("bad manifest segment line");
+        msegs.push_back(m);
+      }
+    }
+    if (!have_magic || !have_file || page_size == 0) {
+      return Status::Corruption("backup manifest is incomplete");
+    }
+  }
+  const uint64_t target =
+      opts.target_lsn == 0 ? rep.end_lsn : opts.target_lsn;
+  if (target < rep.end_lsn) {
+    return Status::InvalidArgument(
+        "restore target " + std::to_string(target) +
+        " precedes the backup end LSN " + std::to_string(rep.end_lsn) +
+        "; the page copy may already contain later effects");
+  }
+  rep.target_lsn = target;
+
+  // ---- page file image.
+  std::string image;
+  FAME_RETURN_IF_ERROR(env->ReadFileToString(src, &image));
+  if (image.size() != file_bytes ||
+      Crc32(image.data(), image.size()) != file_crc) {
+    return Status::Corruption("backup page file fails its CRC");
+  }
+
+  // ---- assemble the segment chain: the backup's own segments, then
+  // archived segments spliced on for targets past end_lsn.
+  std::vector<SegmentPlan> plan;
+  for (const ManifestSegment& m : msegs) {
+    SegmentPlan p;
+    p.seq = m.seq;
+    p.base = m.base;
+    FAME_RETURN_IF_ERROR(env->ReadFileToString(
+        src + ".wal." + tx::seg::SegmentSuffix(m.seq), &p.data));
+    if (p.data.size() != m.bytes ||
+        Crc32(p.data.data(), p.data.size()) != m.crc) {
+      return Status::Corruption("backup segment " + std::to_string(m.seq) +
+                                " fails its CRC");
+    }
+    plan.push_back(std::move(p));
+  }
+  if (target > rep.end_lsn) {
+    if (opts.archive_prefix.empty()) {
+      return Status::InvalidArgument(
+          "point-in-time targets past the backup need an archive prefix "
+          "(feature Pitr)");
+    }
+    if (plan.empty()) {
+      return Status::Corruption("backup holds no segments to splice onto");
+    }
+    struct ArchiveInfo {
+      std::string file;
+      uint64_t base;
+      uint64_t payload;
+    };
+    std::map<uint32_t, ArchiveInfo> archives;
+    std::vector<std::string> names;
+    FAME_RETURN_IF_ERROR(env->ListFiles(opts.archive_prefix, &names));
+    for (const std::string& name : names) {
+      uint32_t seq = 0;
+      if (!ParseSeqSuffix(name, opts.archive_prefix, &seq)) continue;
+      std::string head;
+      auto f_or = env->OpenFile(name, /*create=*/false);
+      FAME_RETURN_IF_ERROR(f_or.status());
+      FAME_ASSIGN_OR_RETURN(uint64_t sz, f_or.value()->Size());
+      if (sz < tx::seg::kHeaderSize) continue;
+      FAME_RETURN_IF_ERROR(
+          ReadExact(f_or.value().get(), 0, tx::seg::kHeaderSize, &head));
+      uint64_t base = 0;
+      uint32_t hdr_seq = 0;
+      if (!tx::seg::DecodeSegmentHeader(head.data(), head.size(), &base,
+                                        &hdr_seq) ||
+          hdr_seq != seq) {
+        continue;  // damaged archive: skip, continuity check reports the gap
+      }
+      archives[seq] =
+          ArchiveInfo{name, base, sz - tx::seg::kHeaderSize};
+    }
+    uint64_t reach =
+        plan.back().base + (plan.back().data.size() - tx::seg::kHeaderSize);
+    while (reach < target) {
+      SegmentPlan& tail = plan.back();
+      uint64_t tail_payload = tail.data.size() - tx::seg::kHeaderSize;
+      auto same = archives.find(tail.seq);
+      if (same != archives.end() && same->second.payload > tail_payload) {
+        if (same->second.base != tail.base) {
+          return Status::Corruption("archived segment " +
+                                    std::to_string(tail.seq) +
+                                    " disagrees with the backup about its "
+                                    "base LSN");
+        }
+        FAME_RETURN_IF_ERROR(
+            env->ReadFileToString(same->second.file, &tail.data));
+        reach = tail.base + (tail.data.size() - tx::seg::kHeaderSize);
+        continue;
+      }
+      auto next = archives.find(tail.seq + 1);
+      if (next == archives.end() || next->second.base != reach) {
+        return Status::NotFound(
+            "archived segments reach LSN " + std::to_string(reach) +
+            ", short of the requested target " + std::to_string(target));
+      }
+      SegmentPlan p;
+      p.seq = tail.seq + 1;
+      p.base = next->second.base;
+      FAME_RETURN_IF_ERROR(env->ReadFileToString(next->second.file, &p.data));
+      plan.push_back(std::move(p));
+      reach =
+          plan.back().base + (plan.back().data.size() - tx::seg::kHeaderSize);
+      ++rep.archived_integrated;
+    }
+    // Cut the tail at the target. Targets are durable LSNs, hence
+    // frame-aligned; an unaligned target leaves a partial frame that
+    // recovery triages as a torn tail.
+    SegmentPlan& tail = plan.back();
+    uint64_t keep = target - tail.base;
+    if (tx::seg::kHeaderSize + keep < tail.data.size()) {
+      tail.data.resize(tx::seg::kHeaderSize + keep);
+    }
+  }
+
+  // ---- materialize: page file first, then a clean segment chain.
+  FAME_RETURN_IF_ERROR(RetryOnTransient(
+      HostIoRetryPolicy(), [&] { return env->WriteStringToFile(dest_path, image); }));
+  rep.pages_restored = pages;
+  {
+    // Drop stale log files at the destination (a legacy single-file log or
+    // segments of a previous life) so the restored chain stands alone.
+    const std::string wal = dest_path + ".wal";
+    if (env->FileExists(wal)) FAME_RETURN_IF_ERROR(env->DeleteFile(wal));
+    std::vector<std::string> names;
+    Status ls = env->ListFiles(wal + ".", &names);
+    if (ls.ok()) {
+      for (const std::string& name : names) {
+        uint32_t seq = 0;
+        if (ParseSeqSuffix(name, wal + ".", &seq)) {
+          FAME_RETURN_IF_ERROR(env->DeleteFile(name));
+        }
+      }
+    }
+    for (const SegmentPlan& p : plan) {
+      FAME_RETURN_IF_ERROR(WriteFileDurable(
+          env, wal + "." + tx::seg::SegmentSuffix(p.seq), p.data));
+      ++rep.segments_restored;
+    }
+  }
+
+  if (report != nullptr) *report = rep;
+  return Status::OK();
+}
+
+}  // namespace fame::core::backup

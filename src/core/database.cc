@@ -82,13 +82,7 @@ Status Database::ComposeComponents(const DbOptions& options) {
 
   // Transaction feature.
   if (HasFeature("Transaction")) {
-    tx::CommitProtocol protocol = HasFeature("Force-Commit")
-                                      ? tx::CommitProtocol::kForceAtCommit
-                                      : tx::CommitProtocol::kWalRedo;
-    auto mgr_or = tx::TransactionManager::Open(env_, options.path + ".wal",
-                                               this, protocol, concurrent_);
-    FAME_RETURN_IF_ERROR(mgr_or.status());
-    txmgr_ = std::move(mgr_or).value();
+    FAME_RETURN_IF_ERROR(OpenTxManager());
     FAME_RETURN_IF_ERROR(txmgr_->Recover());
   }
 
@@ -96,6 +90,33 @@ Status Database::ComposeComponents(const DbOptions& options) {
   if (HasFeature("SQL-Engine")) {
     sql_ = std::make_unique<SqlEngine>(this, HasFeature("Optimizer"));
   }
+  return Status::OK();
+}
+
+Status Database::OpenTxManager() {
+  tx::CommitProtocol protocol = HasFeature("Force-Commit")
+                                    ? tx::CommitProtocol::kForceAtCommit
+                                    : tx::CommitProtocol::kWalRedo;
+  const std::string log_path = options_.path + ".wal";
+  if (HasFeature("Backup")) {
+    // Segmented log: checkpoints advance a retention watermark instead of
+    // truncating, and hot backup / PITR become possible. Pitr additionally
+    // archives recycled segments next to the log.
+    tx::WalOptions wopts;
+    wopts.segment_bytes = options_.wal_segment_bytes;
+    wopts.archive = HasFeature("Pitr");
+    auto log_or = tx::LogManager::OpenSegmented(env_, log_path, wopts);
+    FAME_RETURN_IF_ERROR(log_or.status());
+    auto mgr_or = tx::TransactionManager::Adopt(std::move(log_or).value(),
+                                                this, protocol, concurrent_);
+    FAME_RETURN_IF_ERROR(mgr_or.status());
+    txmgr_ = std::move(mgr_or).value();
+    return Status::OK();
+  }
+  auto mgr_or = tx::TransactionManager::Open(env_, log_path, this, protocol,
+                                             concurrent_);
+  FAME_RETURN_IF_ERROR(mgr_or.status());
+  txmgr_ = std::move(mgr_or).value();
   return Status::OK();
 }
 
@@ -308,6 +329,51 @@ Status Database::ReadCommitted(const std::string& store, const Slice& key,
 }
 
 Status Database::CheckpointEngine() { return buffers_->Checkpoint(); }
+
+Status Database::PersistWalMark(tx::Lsn mark) {
+  // Called inside the checkpoint's exclusive section (applies and reads
+  // quiesced), so the unserialized meta mutation is safe even for
+  // concurrent products.
+  FAME_RETURN_IF_ERROR(
+      file_->SetRoot("wal.mark", storage::kInvalidPageId, mark));
+  return file_->Sync();
+}
+
+StatusOr<tx::Lsn> Database::LoadWalMark() {
+  auto aux_or = file_->GetRootAux("wal.mark");
+  if (!aux_or.ok()) return static_cast<tx::Lsn>(0);  // no checkpoint yet
+  return aux_or.value();
+}
+
+Status Database::Backup(const std::string& dest,
+                        backup::BackupReport* report) {
+  if (!HasFeature("Backup")) {
+    return Status::NotSupported("feature Backup not selected");
+  }
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  backup::BackupContext ctx;
+  ctx.env = env_;
+  ctx.txmgr = txmgr_.get();
+  ctx.file = file_.get();
+  ctx.db_path = options_.path;
+  ctx.wal_path = options_.path + ".wal";
+  backup::BackupReport local;
+  Status s = backup::RunBackup(ctx, dest, &local);
+  if (s.ok()) {
+    backup_runs_.fetch_add(1, std::memory_order_relaxed);
+    backup_bytes_.fetch_add(local.bytes_copied, std::memory_order_relaxed);
+    if (report != nullptr) *report = local;
+  }
+  return s;
+}
+
+Status Database::Restore(osal::Env* env, const std::string& src,
+                         const std::string& dest_path,
+                         const backup::RestoreOptions& opts,
+                         backup::RestoreReport* report) {
+  return backup::RunRestore(env != nullptr ? env : osal::GetPosixEnv(), src,
+                            dest_path, opts, report);
+}
 
 Status Database::Checkpoint() {
   FAME_RETURN_IF_ERROR(GuardWrite());

@@ -7,11 +7,13 @@
 #ifndef FAME_CORE_DATABASE_H_
 #define FAME_CORE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "core/backup.h"
 #include "core/datatypes.h"
 #include "core/engine_core.h"
 #include "featuremodel/fame_model.h"
@@ -41,6 +43,8 @@ struct DbOptions {
   size_t static_pool_bytes = 256 * 1024;  // used with feature Static
   uint64_t nutos_capacity_bytes = 0;      // device budget with feature NutOS
   uint32_t hash_buckets = 64;             // [extension] hash index tuning
+  /// [feature Backup] Segment roll threshold of the segmented WAL.
+  uint64_t wal_segment_bytes = 64 * 1024;
   /// Env for feature Linux; NutOS products create an owned MemEnv.
   osal::Env* env = nullptr;  // nullptr = GetPosixEnv()
 };
@@ -132,6 +136,35 @@ class Database : private tx::ApplyTarget {
   storage::BufferStats buffer_stats() const { return buffers_->stats(); }
   osal::Env* env() { return env_; }
 
+  // ---- Backup / Pitr features (runtime-gated) ----
+  /// [feature Backup] Online hot backup to destination prefix `dest`
+  /// (page file at `dest`, segments at `dest.wal.NNNNNN`, CRC-sealed
+  /// manifest at `dest.manifest`). Runs concurrently with committers:
+  /// only engine applies pause during the page copy. NotSupported unless
+  /// the Backup feature is selected.
+  Status Backup(const std::string& dest,
+                backup::BackupReport* report = nullptr);
+  /// [feature Backup] Rebuilds a database at `dest_path` from the backup
+  /// at prefix `src`; `opts.target_lsn` past the backup end replays
+  /// archived segments (feature Pitr). Open the result normally (with the
+  /// Backup feature selected) to complete recovery.
+  static Status Restore(osal::Env* env, const std::string& src,
+                        const std::string& dest_path,
+                        const backup::RestoreOptions& opts = {},
+                        backup::RestoreReport* report = nullptr);
+  /// [feature Backup] End of the durable log (a valid PITR target); 0
+  /// without the Transaction feature.
+  uint64_t DurableLsn() const {
+    return txmgr_ != nullptr ? txmgr_->durable_lsn() : 0;
+  }
+  /// [feature Backup] Segment-chain counters (zero-valued on a legacy,
+  /// single-file log).
+  tx::WalSegmentStats wal_segment_stats() const {
+    return txmgr_ != nullptr && txmgr_->wal_segmented()
+               ? txmgr_->wal_segment_stats()
+               : tx::WalSegmentStats{};
+  }
+
   // ---- integrity features (Scrub / Verify / Repair, runtime-gated) ----
   /// [feature Scrub] Incremental scrubbing: checks up to `max_pages` pages,
   /// resuming across calls; call from idle time. Returns pages checked.
@@ -185,6 +218,10 @@ class Database : private tx::ApplyTarget {
   Database() = default;
 
   Status ComposeComponents(const DbOptions& options);
+  /// Opens (or re-opens, for Repair) the transaction manager over the
+  /// product's log flavor: a segmented log with the Backup feature, the
+  /// legacy single file otherwise. Does not run recovery.
+  Status OpenTxManager();
   /// Opens the storage stack (page file, buffer pool, heap, index,
   /// scrubber) at options_.path and rebinds engine_; Repair re-runs it
   /// after rebuilding the file. env_ and allocator_ must already be set up.
@@ -208,6 +245,10 @@ class Database : private tx::ApplyTarget {
   Status ReadCommitted(const std::string& store, const Slice& key,
                        std::string* value) override;
   Status CheckpointEngine() override;
+  /// [feature Backup] Watermark persistence in the PageFile meta (root
+  /// "wal.mark", aux = LSN). Called by segmented checkpoints only.
+  Status PersistWalMark(tx::Lsn mark) override;
+  StatusOr<tx::Lsn> LoadWalMark() override;
 
   static std::string TableKey(const std::string& table, const Value& pk);
   static std::string SchemaKey(const std::string& table);
@@ -234,6 +275,10 @@ class Database : private tx::ApplyTarget {
   storage::IntegrityReport scrub_findings_;      // incremental Scrub() only
 
   bool has_put_ = false, has_remove_ = false, has_update_ = false;
+  /// [feature Backup] Completed hot backups and their output bytes
+  /// (atomics: Backup may run from a second thread under Concurrency).
+  std::atomic<uint64_t> backup_runs_{0};
+  std::atomic<uint64_t> backup_bytes_{0};
   /// Concurrency feature selected: transaction surface is thread-safe and
   /// the degradation latch below is mutex-guarded.
   bool concurrent_ = false;

@@ -235,6 +235,19 @@ Status Database::VerifyIntegrity(storage::IntegrityReport* report) {
                    " (" + std::to_string(wal.dropped_bytes) +
                    " byte(s); truncated at next recovery)");
     }
+    // [feature Backup] Segment-chain invariants: header CRCs, sequence
+    // continuity, base-LSN continuity, stranded orphan files.
+    if (txmgr_->wal_segmented()) {
+      std::vector<std::string> chain;
+      Status cs = txmgr_->VerifyWalChain(&chain);
+      if (!cs.ok()) {
+        AddIssue(&report->wal_issues,
+                 "segment chain verify failed: " + cs.ToString());
+      }
+      for (const std::string& issue : chain) {
+        AddIssue(&report->wal_issues, "wal segment: " + issue);
+      }
+    }
   }
 
   metrics_.verify_runs.Add(1);
@@ -329,14 +342,10 @@ Status Database::Repair(storage::IntegrityReport* report) {
   // or (when the rebuild failed before install) the original.
   Status reopen = OpenStorageStack();
   if (rebuild.ok() && reopen.ok() && HasFeature("Transaction")) {
-    tx::CommitProtocol protocol = HasFeature("Force-Commit")
-                                      ? tx::CommitProtocol::kForceAtCommit
-                                      : tx::CommitProtocol::kWalRedo;
-    auto mgr_or = tx::TransactionManager::Open(env_, options_.path + ".wal",
-                                               this, protocol);
-    reopen = mgr_or.status();
+    // Same log flavor as the original open (segmented for Backup
+    // products, the single file otherwise).
+    reopen = OpenTxManager();
     if (reopen.ok()) {
-      txmgr_ = std::move(mgr_or).value();
       // Replays everything committed after the last checkpoint. Redone
       // puts are idempotent upserts; deletes of already-gone keys are
       // tolerated by recovery.
@@ -408,6 +417,19 @@ obs::MetricsSnapshot Database::SnapshotMetrics() const {
     m.wal_syncs = w.syncs;
     m.wal_batches = w.group_batches;
     m.wal_batched_bytes = w.group_batched_bytes;
+    if (txmgr_->wal_segmented()) {
+      tx::WalSegmentStats seg = txmgr_->wal_segment_stats();
+      m.wal_segmented = true;
+      m.wal_segments = seg.segments;
+      m.wal_rotations = seg.rotations;
+      m.wal_recycled = seg.recycled;
+      m.wal_archived = seg.archived;
+      m.wal_archive_lag_bytes = seg.archive_lag_bytes;
+      m.wal_archive_stalled = seg.archive_stalled;
+      m.wal_retained_lsn = seg.retained_lsn;
+      m.backup_runs = backup_runs_.load(std::memory_order_relaxed);
+      m.backup_bytes = backup_bytes_.load(std::memory_order_relaxed);
+    }
     FAME_OBS(m.wal_batch_records = txmgr_->wal_batch_histogram();)
     m.committed_txns = txmgr_->committed();
     m.aborted_txns = txmgr_->aborted();

@@ -128,6 +128,28 @@ struct TelemetryNodeCfg {
 };
 using TelemetryNode = StaticEngine<TelemetryNodeCfg>;
 
+/// Archive node: Workstation plus the optional Backup feature (segmented
+/// WAL with retention watermarks, online hot backup) and its Pitr
+/// sub-feature (recycled segments archived for point-in-time recovery).
+/// Products without kBackup keep the legacy single-file log — and link
+/// zero bytes of the segment or backup machinery.
+struct ArchiveNodeCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr bool kBackup = true;
+  static constexpr bool kPitr = true;
+  static constexpr uint64_t kWalSegmentBytes = 64 * 1024;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 128;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+using ArchiveNode = StaticEngine<ArchiveNodeCfg>;
+
 /// Feature selections (names from the Figure 2 model) corresponding to the
 /// products above, used by tests and the derivation tooling to check that
 /// every named product is a valid variant.
@@ -159,6 +181,11 @@ const char* const kTelemetryNodeFeatures[] = {
     "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
     "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
     "Observability"};
+const char* const kArchiveNodeFeatures[] = {
+    "Linux", "Dynamic", "LRU", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
+    "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
+    "Backup", "Pitr"};
 
 }  // namespace fame::core
 

@@ -31,6 +31,7 @@
 #include <string>
 #include <type_traits>
 
+#include "core/backup.h"
 #include "core/engine_core.h"
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
@@ -100,9 +101,44 @@ template <typename Cfg>
 struct ObservabilitySelected<Cfg, std::void_t<decltype(Cfg::kObservability)>>
     : std::bool_constant<Cfg::kObservability> {};
 
+/// Detects the optional Backup sub-feature of Storage (segmented WAL with
+/// retention watermarks + hot backup); Cfg structs without a kBackup
+/// member mean "off" and keep the legacy single-file log byte for byte.
+template <typename Cfg, typename = void>
+struct BackupSelected : std::false_type {};
+template <typename Cfg>
+struct BackupSelected<Cfg, std::void_t<decltype(Cfg::kBackup)>>
+    : std::bool_constant<Cfg::kBackup> {};
+
+/// Detects the optional Pitr sub-feature of Backup (archive recycled
+/// segments for point-in-time recovery).
+template <typename Cfg, typename = void>
+struct PitrSelected : std::false_type {};
+template <typename Cfg>
+struct PitrSelected<Cfg, std::void_t<decltype(Cfg::kPitr)>>
+    : std::bool_constant<Cfg::kPitr> {};
+
+/// Detects the optional segment-size knob (bytes per WAL segment before a
+/// roll); defaults to 64 KiB when the Cfg does not name one.
+template <typename Cfg, typename = void>
+struct SegmentBytes {
+  static constexpr uint64_t value = 64 * 1024;
+};
+template <typename Cfg>
+struct SegmentBytes<Cfg, std::void_t<decltype(Cfg::kWalSegmentBytes)>> {
+  static constexpr uint64_t value = Cfg::kWalSegmentBytes;
+};
+
 /// Empty stand-in for the metrics registry in products that deselect
 /// Observability (the member collapses via [[no_unique_address]]).
 struct NoMetrics {};
+
+/// Backup-run counters, sized only for Backup products.
+struct BackupCounters {
+  uint64_t runs = 0;
+  uint64_t bytes = 0;
+};
+struct NoBackupCounters {};
 
 }  // namespace detail
 
@@ -115,6 +151,14 @@ class StaticEngine : private tx::ApplyTarget {
   static constexpr bool kConcurrent = detail::ConcurrencySelected<Cfg>::value;
   /// Optional ReverseScan feature (off for Cfgs that predate it).
   static constexpr bool kReverse = detail::ReverseScanSelected<Cfg>::value;
+  /// Optional Backup feature: segmented WAL, retention watermarks, hot
+  /// backup. Off (legacy single-file log) for Cfgs that predate it.
+  static constexpr bool kBackupFeature = detail::BackupSelected<Cfg>::value;
+  /// Optional Pitr sub-feature of Backup: archive recycled segments.
+  static constexpr bool kPitr = detail::PitrSelected<Cfg>::value;
+  static_assert(!kPitr || kBackupFeature, "Pitr requires Backup");
+  static_assert(!kBackupFeature || Cfg::kTransactions,
+                "Backup requires Transaction");
 #if FAME_OBS_ENABLED
   /// Optional Observability feature (off for Cfgs that predate it). In a
   /// build with FAME_OBS_DISABLE the trait is pinned off and the metrics
@@ -138,6 +182,7 @@ class StaticEngine : private tx::ApplyTarget {
   /// WAL is recovered before the call returns.
   Status Open(osal::Env* env, const std::string& path) {
     env_ = env;
+    path_ = path;
     storage::PageFileOptions opts;
     opts.page_size = Cfg::kPageSize;
     auto file_or = storage::PageFile::Open(env, path, opts);
@@ -161,13 +206,30 @@ class StaticEngine : private tx::ApplyTarget {
     }
 #endif
     if constexpr (Cfg::kTransactions) {
-      auto mgr_or = tx::TransactionManager::Open(
-          env, path + ".wal", this,
+      constexpr tx::CommitProtocol kProtocol =
           Cfg::kForceCommit ? tx::CommitProtocol::kForceAtCommit
-                            : tx::CommitProtocol::kWalRedo,
-          /*group_commit=*/kConcurrent);
-      FAME_RETURN_IF_ERROR(mgr_or.status());
-      txmgr_ = std::move(mgr_or).value();
+                            : tx::CommitProtocol::kWalRedo;
+      if constexpr (kBackupFeature) {
+        // Segmented log: only this branch (and so only Backup products)
+        // references the segment machinery's translation unit.
+        tx::WalOptions wopts;
+        wopts.segment_bytes = detail::SegmentBytes<Cfg>::value;
+        wopts.archive = kPitr;
+        auto log_or =
+            tx::LogManager::OpenSegmented(env, path + ".wal", wopts);
+        FAME_RETURN_IF_ERROR(log_or.status());
+        auto mgr_or = tx::TransactionManager::Adopt(
+            std::move(log_or).value(), this, kProtocol,
+            /*group_commit=*/kConcurrent);
+        FAME_RETURN_IF_ERROR(mgr_or.status());
+        txmgr_ = std::move(mgr_or).value();
+      } else {
+        auto mgr_or = tx::TransactionManager::Open(
+            env, path + ".wal", this, kProtocol,
+            /*group_commit=*/kConcurrent);
+        FAME_RETURN_IF_ERROR(mgr_or.status());
+        txmgr_ = std::move(mgr_or).value();
+      }
       FAME_RETURN_IF_ERROR(txmgr_->Recover());
     }
     return Status::OK();
@@ -285,7 +347,54 @@ class StaticEngine : private tx::ApplyTarget {
 
   Status Checkpoint() {
     FAME_RETURN_IF_ERROR(GuardWrite());
+    if constexpr (kBackupFeature) {
+      // Segmented products checkpoint through the transaction manager so
+      // the retention watermark advances and old segments recycle.
+      return NoteWrite(txmgr_->Checkpoint());
+    }
     return NoteWrite(buffers_->Checkpoint());
+  }
+
+  // ---- Backup / Pitr feature surface (instantiated on use only) ----
+  /// [feature Backup] Online hot backup to destination prefix `dest`;
+  /// see core::backup::RunBackup for the artifact layout.
+  Status Backup(const std::string& dest,
+                backup::BackupReport* report = nullptr) {
+    static_assert(kBackupFeature, "feature Storage:Backup is not selected");
+    FAME_RETURN_IF_ERROR(GuardWrite());
+    backup::BackupContext ctx;
+    ctx.env = env_;
+    ctx.txmgr = txmgr_.get();
+    ctx.file = file_.get();
+    ctx.db_path = path_;
+    ctx.wal_path = path_ + ".wal";
+    backup::BackupReport local;
+    Status s = backup::RunBackup(ctx, dest, &local);
+    if (s.ok()) {
+      backup_counters_.runs += 1;
+      backup_counters_.bytes += local.bytes_copied;
+      if (report != nullptr) *report = local;
+    }
+    return s;
+  }
+  /// [feature Backup] Rebuilds a database at `dest_path` from the backup
+  /// at prefix `src` (static: runs against files, not a live engine).
+  static Status Restore(osal::Env* env, const std::string& src,
+                        const std::string& dest_path,
+                        const backup::RestoreOptions& opts = {},
+                        backup::RestoreReport* report = nullptr) {
+    static_assert(kBackupFeature, "feature Storage:Backup is not selected");
+    return backup::RunRestore(env, src, dest_path, opts, report);
+  }
+  /// [feature Backup] End of the durable log — a valid PITR target.
+  uint64_t DurableLsn() const {
+    static_assert(Cfg::kTransactions, "feature Transaction is not selected");
+    return txmgr_->durable_lsn();
+  }
+  /// [feature Backup] Segment-chain counters.
+  tx::WalSegmentStats wal_segment_stats() const {
+    static_assert(kBackupFeature, "feature Storage:Backup is not selected");
+    return txmgr_->wal_segment_stats();
   }
 
   // ---- degraded (read-only) mode, mirroring core::Database ----
@@ -351,6 +460,19 @@ class StaticEngine : private tx::ApplyTarget {
       tx::RecoveryReport r = txmgr_->recovery_report();
       m.recovery_applied_records = r.applied_records;
       m.recovery_dropped_bytes = r.dropped_bytes;
+      if constexpr (kBackupFeature) {
+        tx::WalSegmentStats seg = txmgr_->wal_segment_stats();
+        m.wal_segmented = true;
+        m.wal_segments = seg.segments;
+        m.wal_rotations = seg.rotations;
+        m.wal_recycled = seg.recycled;
+        m.wal_archived = seg.archived;
+        m.wal_archive_lag_bytes = seg.archive_lag_bytes;
+        m.wal_archive_stalled = seg.archive_stalled;
+        m.wal_retained_lsn = seg.retained_lsn;
+        m.backup_runs = backup_counters_.runs;
+        m.backup_bytes = backup_counters_.bytes;
+      }
     }
     m.lost_meta_writes = storage::PageFile::lost_meta_writes();
     m.lost_page_writebacks = storage::BufferLostWritebacks();
@@ -400,6 +522,29 @@ class StaticEngine : private tx::ApplyTarget {
     return Get(key, value);
   }
   Status CheckpointEngine() override { return buffers_->Checkpoint(); }
+  // [feature Backup] Watermark persistence in the PageFile meta. Virtual
+  // slots exist in every product; the bodies collapse to the base-class
+  // no-ops unless Backup is selected (and are only ever called by
+  // segmented checkpoints).
+  Status PersistWalMark(tx::Lsn mark) override {
+    if constexpr (kBackupFeature) {
+      FAME_RETURN_IF_ERROR(
+          file_->SetRoot("wal.mark", storage::kInvalidPageId, mark));
+      return file_->Sync();
+    } else {
+      (void)mark;
+      return Status::OK();
+    }
+  }
+  StatusOr<tx::Lsn> LoadWalMark() override {
+    if constexpr (kBackupFeature) {
+      auto aux_or = file_->GetRootAux("wal.mark");
+      if (!aux_or.ok()) return static_cast<tx::Lsn>(0);  // no checkpoint yet
+      return aux_or.value();
+    } else {
+      return static_cast<tx::Lsn>(0);
+    }
+  }
 
   osal::Env* env_ = nullptr;
   detail::AllocState<Cfg::kStaticPoolBytes> alloc_;
@@ -416,6 +561,12 @@ class StaticEngine : private tx::ApplyTarget {
       metrics_;
 #endif
   std::unique_ptr<tx::TransactionManager> txmgr_;
+  std::string path_;
+  /// Sized only for Backup products ([[no_unique_address]] otherwise).
+  [[no_unique_address]] std::conditional_t<kBackupFeature,
+                                           detail::BackupCounters,
+                                           detail::NoBackupCounters>
+      backup_counters_;
   mutable LatchMutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy
 };

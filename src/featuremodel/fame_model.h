@@ -56,6 +56,9 @@ feature FAME-DBMS {
     optional Observability {  // [extension] metrics registry + fame stats
       optional Tracing        // [extension] per-thread operation trace ring
     }
+    optional Backup {     // [extension] segmented WAL + online hot backup
+      optional Pitr       // [extension] segment archiving + point-in-time restore
+    }
   }
   mandatory Access abstract {
     mandatory Get
@@ -87,6 +90,7 @@ constraints {
   Repair requires Verify;
   NutOS excludes Concurrency;
   ReverseScan requires B+-Tree;
+  Backup requires Transaction;
 }
 )fm";
 
@@ -181,6 +185,29 @@ nfp binary_size 410061
 
 product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Observability,Put,String-Types,Tracing
 nfp binary_size 423344
+
+)nfp";
+
+/// Measured non-functional properties of the Backup feature (segmented
+/// WAL + online hot backup) and its Pitr child (segment archiving +
+/// point-in-time restore), FeedbackRepository text format. binary_size is
+/// Release .text bytes on x86-64 Linux (gcc -O2), measured with `size` on
+/// the two probe binaries tests/ builds from one and the same
+/// transactional static product (tests/backup_probe_main.cc):
+/// backup_off_probe is the plain WAL-redo product (and doubles as the
+/// zero-overhead proof — the nm test greps it for fame::tx::seg and
+/// fame::core::backup symbols), backup_probe selects Backup + Pitr
+/// (segment store, rotation/retention/archiving, hot backup, manifest
+/// restore, PITR splice). The two features are measured as a pair because
+/// Pitr adds no code of its own to the probe — archiving lives in the
+/// segment store Backup already links; the delta is the pair's joint
+/// footprint. Remeasure after material changes to tx/wal_segments.cc or
+/// core/backup.cc.
+inline constexpr const char kFameBackupNfpSeed[] = R"nfp(product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Put,String-Types,Transaction,Update,WAL-Redo
+nfp binary_size 324851
+
+product API,B+-Tree,BTree-Search,Backup,Dynamic,Get,Int-Types,LRU,Linux,Pitr,Put,String-Types,Transaction,Update,WAL-Redo
+nfp binary_size 457489
 
 )nfp";
 

@@ -293,6 +293,18 @@ struct MetricsSnapshot {
   uint64_t wal_batched_bytes = 0;
   HistogramSnapshot wal_batch_records;  ///< records per group-commit batch
 
+  // Segmented WAL + backup ([feature Backup]; all zero otherwise).
+  bool wal_segmented = false;
+  uint64_t wal_segments = 0;           ///< live segment files in the chain
+  uint64_t wal_rotations = 0;          ///< segment rolls since open
+  uint64_t wal_recycled = 0;           ///< segments retired by checkpoints
+  uint64_t wal_archived = 0;           ///< segments copied to the archive
+  uint64_t wal_archive_lag_bytes = 0;  ///< recyclable but not yet archived
+  bool wal_archive_stalled = false;    ///< archiving paused after IO failure
+  uint64_t wal_retained_lsn = 0;       ///< durable retention watermark
+  uint64_t backup_runs = 0;            ///< completed hot backups
+  uint64_t backup_bytes = 0;           ///< bytes written by hot backups
+
   // B+-tree.
   uint64_t btree_splits = 0;
   uint64_t btree_merges = 0;

@@ -89,6 +89,20 @@ std::string RenderText(const MetricsSnapshot& m) {
   Line(&out, "wal records replayed at open", m.recovery_applied_records);
   Line(&out, "wal bytes dropped at open", m.recovery_dropped_bytes);
   out += std::string("read-only: ") + (m.read_only ? "yes" : "no") + "\n";
+  if (m.wal_segmented) {
+    // [feature Backup] only — products on the legacy single-file log keep
+    // the historical output byte-identical.
+    Line(&out, "wal segments", m.wal_segments);
+    Line(&out, "wal segment rotations", m.wal_rotations);
+    Line(&out, "wal segments recycled", m.wal_recycled);
+    Line(&out, "wal segments archived", m.wal_archived);
+    Line(&out, "wal archive lag bytes", m.wal_archive_lag_bytes);
+    out += std::string("wal archive stalled: ") +
+           (m.wal_archive_stalled ? "yes" : "no") + "\n";
+    Line(&out, "wal retained lsn", m.wal_retained_lsn);
+    Line(&out, "backup runs", m.backup_runs);
+    Line(&out, "backup bytes", m.backup_bytes);
+  }
 
   // Observability sections (nonzero data only).
   if (!m.buffer_shards.empty() && m.buffer_shards.size() > 1) {
@@ -165,6 +179,17 @@ std::string RenderPrometheus(const MetricsSnapshot& m) {
   PromCounter(os, "wal_batches_total", m.wal_batches);
   PromCounter(os, "wal_batched_bytes_total", m.wal_batched_bytes);
   PromHisto(os, "wal_batch_records", m.wal_batch_records);
+  if (m.wal_segmented) {
+    PromCounter(os, "wal_segments", m.wal_segments);
+    PromCounter(os, "wal_rotations_total", m.wal_rotations);
+    PromCounter(os, "wal_recycled_total", m.wal_recycled);
+    PromCounter(os, "wal_archived_total", m.wal_archived);
+    PromCounter(os, "wal_archive_lag_bytes", m.wal_archive_lag_bytes);
+    PromCounter(os, "wal_archive_stalled", m.wal_archive_stalled ? 1 : 0);
+    PromCounter(os, "wal_retained_lsn", m.wal_retained_lsn);
+    PromCounter(os, "backup_runs_total", m.backup_runs);
+    PromCounter(os, "backup_bytes_total", m.backup_bytes);
+  }
   PromCounter(os, "btree_splits_total", m.btree_splits);
   PromCounter(os, "btree_merges_total", m.btree_merges);
   PromCounter(os, "btree_descents_total", m.btree_descents);

@@ -27,4 +27,12 @@ Status Env::ReadFileToString(const std::string& name, std::string* out) {
   return Status::OK();
 }
 
+Status Env::ListFiles(const std::string& prefix,
+                      std::vector<std::string>* out) const {
+  (void)prefix;
+  (void)out;
+  return Status::InvalidArgument(std::string(name()) +
+                                 " env does not support ListFiles");
+}
+
 }  // namespace fame::osal

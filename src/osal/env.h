@@ -67,6 +67,13 @@ class Env {
                                    const Slice& data);
   virtual Status ReadFileToString(const std::string& name, std::string* out);
 
+  /// Appends to `out` the names of existing files starting with `prefix`,
+  /// sorted lexicographically (WAL segment / archive discovery, backup
+  /// tooling). The default reports Unimplemented so foreign Env shims stay
+  /// source-compatible; every shipped env overrides it.
+  virtual Status ListFiles(const std::string& prefix,
+                           std::vector<std::string>* out) const;
+
   /// Monotonic clock in nanoseconds (benchmark timing).
   virtual uint64_t NowNanos() const = 0;
 

@@ -50,6 +50,11 @@ class FaultInjectionEnv final : public Env {
   Status DeleteFile(const std::string& name) override;
   bool FileExists(const std::string& name) const override;
   Status RenameFile(const std::string& from, const std::string& to) override;
+  /// Listing is metadata-only (like FileExists): no op counter, no faults.
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) const override {
+    return base_->ListFiles(prefix, out);
+  }
   uint64_t NowNanos() const override { return base_->NowNanos(); }
   const char* name() const override { return "fault"; }
 

@@ -84,6 +84,17 @@ class MemEnvImpl final : public Env {
     return Status::OK();
   }
 
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) const override {
+    std::lock_guard<std::mutex> l(mu_);
+    // files_ is name-ordered, so the prefix range is already sorted.
+    for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out->push_back(it->first);
+    }
+    return Status::OK();
+  }
+
   uint64_t NowNanos() const override {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

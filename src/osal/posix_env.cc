@@ -1,8 +1,10 @@
 // PosixEnv: the "Linux" OS-Abstraction alternative. Plain pread/pwrite files.
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -113,6 +115,29 @@ class PosixEnv final : public Env {
     if (::rename(from.c_str(), to.c_str()) != 0) {
       return ErrnoStatus("rename " + from + " -> " + to, errno);
     }
+    return Status::OK();
+  }
+
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) const override {
+    // Split into directory + name prefix; entries are returned with the
+    // directory part re-attached so names round-trip into OpenFile.
+    size_t slash = prefix.find_last_of('/');
+    std::string dir = slash == std::string::npos ? std::string(".")
+                                                 : prefix.substr(0, slash + 1);
+    DIR* d = ::opendir(slash == std::string::npos ? "." : dir.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir " + dir, errno);
+    std::string name_prefix =
+        slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+    std::vector<std::string> found;
+    for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+      std::string entry(e->d_name);
+      if (entry.compare(0, name_prefix.size(), name_prefix) != 0) continue;
+      found.push_back(slash == std::string::npos ? entry : dir + entry);
+    }
+    ::closedir(d);
+    std::sort(found.begin(), found.end());
+    out->insert(out->end(), found.begin(), found.end());
     return Status::OK();
   }
 

@@ -27,6 +27,10 @@ class Win32PathEnv final : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override {
     return base_->RenameFile(Normalize(from), Normalize(to));
   }
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) const override {
+    return base_->ListFiles(Normalize(prefix), out);
+  }
   uint64_t NowNanos() const override { return base_->NowNanos(); }
   const char* name() const override { return "win32"; }
 

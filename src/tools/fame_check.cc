@@ -18,12 +18,14 @@
 // Opening runs normal crash recovery first (a torn WAL tail is truncated,
 // committed transactions are replayed) — the same path every product takes
 // at startup, so --verify reports what the *next open* would actually see.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/database.h"
+#include "osal/env.h"
 
 using namespace fame;
 
@@ -55,6 +57,21 @@ StatusOr<std::unique_ptr<core::Database>> OpenForCheck(const std::string& path,
     opts.features.insert(opts.features.end(),
                          {"B+-Tree", "BTree-Search", "BTree-Update",
                           "BTree-Remove"});
+  }
+  // A `<db>.wal.000001` beside the file means a Backup product wrote it:
+  // the segmented chain refuses a legacy single-file open, so select the
+  // feature (verification then also walks the segment chain). Archived
+  // segments additionally select Pitr so recycling keeps archiving.
+  std::vector<std::string> wal_files;
+  if (osal::GetPosixEnv()->ListFiles(path + ".wal.", &wal_files).ok() &&
+      !wal_files.empty()) {
+    opts.features.push_back("Backup");
+    if (std::any_of(wal_files.begin(), wal_files.end(),
+                    [](const std::string& f) {
+                      return f.find(".wal.arc.") != std::string::npos;
+                    })) {
+      opts.features.push_back("Pitr");
+    }
   }
   return core::Database::Open(opts);
 }

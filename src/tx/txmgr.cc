@@ -67,11 +67,23 @@ StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Open(
   if (target == nullptr) {
     return Status::InvalidArgument("transaction manager needs a target");
   }
-  std::unique_ptr<TransactionManager> mgr(
-      new TransactionManager(target, protocol));
   auto log_or = LogManager::Open(env, log_path);
   FAME_RETURN_IF_ERROR(log_or.status());
-  mgr->log_ = std::move(log_or).value();
+  return Adopt(std::move(log_or).value(), target, protocol, group_commit);
+}
+
+StatusOr<std::unique_ptr<TransactionManager>> TransactionManager::Adopt(
+    std::unique_ptr<LogManager> log, ApplyTarget* target,
+    CommitProtocol protocol, bool group_commit) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("transaction manager needs a target");
+  }
+  if (log == nullptr) {
+    return Status::InvalidArgument("transaction manager needs a log");
+  }
+  std::unique_ptr<TransactionManager> mgr(
+      new TransactionManager(target, protocol));
+  mgr->log_ = std::move(log);
   if (group_commit) {
     mgr->group_commit_ = true;
     mgr->log_->EnableGroupCommit();
@@ -104,6 +116,14 @@ size_t TransactionManager::active_transactions() const {
 
 Status TransactionManager::Recover() {
   // Startup-time, before any concurrent use: no locking needed.
+  if (log_->segmented()) {
+    // Seed retention from the persisted watermark: segments wholly below
+    // it are covered by a durable checkpoint, so retiring them first
+    // shrinks the replay suffix. (Replaying them anyway would be harmless
+    // — redo is idempotent — just slower.)
+    FAME_ASSIGN_OR_RETURN(Lsn mark, target_->LoadWalMark());
+    if (mark > 0) FAME_RETURN_IF_ERROR(log_->AdvanceRetention(mark));
+  }
   // Pass 1: find committed transaction ids, and classify the log tail.
   std::set<uint64_t> committed_ids;
   FAME_RETURN_IF_ERROR(log_->Replay(
@@ -213,7 +233,15 @@ Status TransactionManager::CommitPipeline(Transaction* txn) {
     }
     if (protocol_ == CommitProtocol::kForceAtCommit) {
       FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
-      FAME_RETURN_IF_ERROR(log_->Truncate());
+      if (log_->segmented()) {
+        // Force never replays, but a segmented log keeps its LSN space
+        // monotone: advance the watermark instead of rewinding the file.
+        Lsn mark = log_->durable_size();
+        FAME_RETURN_IF_ERROR(target_->PersistWalMark(mark));
+        FAME_RETURN_IF_ERROR(log_->AdvanceRetention(mark));
+      } else {
+        FAME_RETURN_IF_ERROR(log_->Truncate());
+      }
     }
   }
   return Status::OK();
@@ -232,17 +260,42 @@ Status TransactionManager::Abort(Transaction* txn) {
 }
 
 Status TransactionManager::Checkpoint() {
-  if (group_commit_) {
-    // Exclusive against every commit pipeline: nothing may sit between
-    // "synced to the log" and "applied to the engine" while the log is
-    // truncated, or a crash after the truncate would lose it.
-    std::unique_lock<std::shared_mutex> cl(checkpoint_mu_);
-    MaybeLock al(apply_mu_, true);
+  if (!log_->segmented()) {
+    if (group_commit_) {
+      // Exclusive against every commit pipeline: nothing may sit between
+      // "synced to the log" and "applied to the engine" while the log is
+      // truncated, or a crash after the truncate would lose it.
+      std::unique_lock<std::shared_mutex> cl(checkpoint_mu_);
+      MaybeLock al(apply_mu_, true);
+      FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+      return log_->Truncate();
+    }
     FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
     return log_->Truncate();
   }
-  FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
-  return log_->Truncate();
+  // Segmented checkpoint: flush the engine, durably record how far the
+  // checkpoint covers (the retention watermark), then retire wholly
+  // covered segments. Only the first two steps need the exclusive
+  // section; recycling old files happens after commits resume — that is
+  // the stall win over whole-log truncation.
+  Lsn mark = 0;
+  if (group_commit_) {
+    std::unique_lock<std::shared_mutex> cl(checkpoint_mu_);
+    MaybeLock al(apply_mu_, true);
+    FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+    mark = log_->durable_size();
+    FAME_RETURN_IF_ERROR(target_->PersistWalMark(mark));
+  } else {
+    FAME_RETURN_IF_ERROR(target_->CheckpointEngine());
+    mark = log_->durable_size();
+    FAME_RETURN_IF_ERROR(target_->PersistWalMark(mark));
+  }
+  return log_->AdvanceRetention(mark);
+}
+
+Status TransactionManager::WithApplyPaused(const std::function<Status()>& fn) {
+  MaybeLock al(apply_mu_, group_commit_);
+  return fn();
 }
 
 Status TransactionManager::ScanLog(RecoveryReport* report) {

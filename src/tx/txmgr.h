@@ -14,6 +14,7 @@
 #define FAME_TX_TXMGR_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,18 @@ class ApplyTarget {
                                std::string* value) = 0;
   /// Flushes engine state durably (force protocol / checkpoints).
   virtual Status CheckpointEngine() = 0;
+
+  /// [feature Backup] Durably records the WAL retention watermark in the
+  /// engine's metadata (FAME-DBMS stores it in the dual-slot PageFile
+  /// meta). Called after CheckpointEngine() succeeded, before segments
+  /// below `mark` are recycled. Default no-op: engines without a segmented
+  /// log have no watermark to keep.
+  virtual Status PersistWalMark(Lsn mark) {
+    (void)mark;
+    return Status::OK();
+  }
+  /// [feature Backup] Reads the persisted watermark back (0 when absent).
+  virtual StatusOr<Lsn> LoadWalMark() { return static_cast<Lsn>(0); }
 };
 
 enum class CommitProtocol : uint8_t { kWalRedo = 0, kForceAtCommit = 1 };
@@ -103,6 +116,14 @@ class TransactionManager {
       osal::Env* env, const std::string& log_path, ApplyTarget* target,
       CommitProtocol protocol, bool group_commit = false);
 
+  /// [feature Backup] Like Open, but adopts an already-opened log — the
+  /// seam through which products with the Backup feature hand in a
+  /// segmented log (LogManager::OpenSegmented) without the base
+  /// transaction layer referencing segment machinery.
+  static StatusOr<std::unique_ptr<TransactionManager>> Adopt(
+      std::unique_ptr<LogManager> log, ApplyTarget* target,
+      CommitProtocol protocol, bool group_commit = false);
+
   /// Replays committed transactions from the log into the target (call once
   /// at startup, before Begin). A torn log tail is truncated and recovery
   /// continues; mid-log corruption is reported through recovery_report()
@@ -143,6 +164,29 @@ class TransactionManager {
   uint64_t aborted() const { return aborted_.load(std::memory_order_relaxed); }
   /// WAL counters (fsync count feeds the fsyncs-per-commit metric).
   WalStats wal_stats() const { return log_->wal_stats(); }
+
+  /// [feature Backup] True when the adopted log is segmented.
+  bool wal_segmented() const { return log_->segmented(); }
+  /// [feature Backup] Segment counters (zero-valued on a legacy log).
+  WalSegmentStats wal_segment_stats() const { return log_->segment_stats(); }
+  /// [feature Backup] End of the durable log — the upper bound a hot
+  /// backup can capture.
+  Lsn durable_lsn() const { return log_->durable_size(); }
+  /// [feature Backup] Pauses/resumes segment recycling so a backup can
+  /// copy a stable chain while commits continue.
+  void PauseWalRecycle(bool paused) { log_->PauseRecycle(paused); }
+  /// [feature Backup] Snapshot of the live segment chain.
+  Status ListWalSegments(std::vector<WalSegmentInfo>* out) const {
+    return log_->ListSegments(out);
+  }
+  /// [feature Backup] Offline-grade chain verification (fame_check).
+  Status VerifyWalChain(std::vector<std::string>* issues) const {
+    return log_->VerifySegmentChain(issues);
+  }
+  /// [feature Backup] Runs `fn` with engine applies (and checkpoints)
+  /// excluded, so a fuzzy page copy sees no concurrent page writes. In
+  /// single-threaded builds this is just `fn()`.
+  Status WithApplyPaused(const std::function<Status()>& fn);
 #if FAME_OBS_ENABLED
   /// [feature Observability] Records-per-flush histogram of the WAL.
   obs::HistogramSnapshot wal_batch_histogram() const {

@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "tx/wal_frame.h"
 #if FAME_OBS_TRACING_ENABLED
 #include "obs/trace.h"
 #endif
@@ -91,6 +92,13 @@ StatusOr<LogRecord> LogRecord::DecodePayload(LogRecordType type,
 
 StatusOr<std::unique_ptr<LogManager>> LogManager::Open(
     osal::Env* env, const std::string& path) {
+  if (env->FileExists(path + ".000001")) {
+    // A segmented chain exists: opening it as a single file would silently
+    // ignore every record the segments hold. Refuse instead of losing data.
+    return Status::InvalidArgument(
+        "log at " + path +
+        " is segmented; open with the Backup feature selected");
+  }
   std::unique_ptr<LogManager> log(new LogManager(env, path));
   auto file_or = env->OpenFile(path, /*create=*/true);
   FAME_RETURN_IF_ERROR(file_or.status());
@@ -116,6 +124,10 @@ StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
   if (group_commit_) {
     l.lock();
     if (!poison_.ok()) return poison_;
+  } else if (!poison_.ok()) {
+    // Single-threaded path: a failed flush whose tail cleanup also failed
+    // left unaccounted bytes on disk; appending after them is unsafe.
+    return poison_;
   }
   Lsn lsn = durable_size_.load(std::memory_order_relaxed) +
             static_cast<Lsn>(buffer_.size());
@@ -138,6 +150,33 @@ StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
   return lsn;
 }
 
+Status LogManager::WriteDurable(uint64_t at, const Slice& data) {
+  if (store_ != nullptr) return store_->Append(at, data);
+  return file_->Write(at, data);
+}
+
+Status LogManager::SyncDurable() {
+  if (store_ != nullptr) return store_->Sync();
+  return file_->Sync();
+}
+
+Status LogManager::CleanupFailedFlush(uint64_t to) {
+  // Remove any partially written, unsynced bytes so a later successful
+  // flush does not leave stale frames past its own tail. After a crash the
+  // unsynced bytes are gone anyway, but while the process lives they are
+  // readable — so a persistent cleanup failure must poison the log (the
+  // caller's job; this helper only counts it): appending beyond an
+  // unaccounted tail could resurrect a failed transaction's frames as
+  // committed.
+  Status s = RetryOnTransient(retry_, [&] {
+    return store_ != nullptr ? store_->UndoAppend(to) : file_->Truncate(to);
+  });
+  if (!s.ok()) {
+    tail_cleanup_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
+}
+
 Status LogManager::Flush() {
   if (group_commit_) {
     std::unique_lock<std::mutex> l(mu_);
@@ -145,18 +184,20 @@ Status LogManager::Flush() {
                  static_cast<Lsn>(buffer_.size());
     return SyncThroughLocked(l, target);
   }
+  if (!poison_.ok()) return poison_;
   if (buffer_.empty()) return Status::OK();
   uint64_t durable = durable_size_.load(std::memory_order_relaxed);
   Status s = RetryOnTransient(
-      retry_, [&] { return file_->Write(durable, buffer_); });
+      retry_, [&] { return WriteDurable(durable, buffer_); });
   if (s.ok()) {
-    s = RetryOnTransient(retry_, [&] { return file_->Sync(); });
+    s = RetryOnTransient(retry_, [&] { return SyncDurable(); });
   }
   if (!s.ok()) {
-    // Remove any partially written, unsynced bytes so a later successful
-    // flush does not leave stale frames past its own tail (best effort —
-    // after a crash the unsynced bytes are gone anyway).
-    file_->Truncate(durable);
+    Status cleanup = CleanupFailedFlush(durable);
+    // Single-threaded path, so the poison write needs no lock. A poisoned
+    // log rejects all further appends/flushes; the durable prefix stays
+    // intact and readable.
+    if (!cleanup.ok() && poison_.ok()) poison_ = cleanup;
     return s;
   }
   durable_size_.store(durable + buffer_.size(), std::memory_order_relaxed);
@@ -203,12 +244,15 @@ Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
   const uint64_t base = durable_size_.load(std::memory_order_relaxed);
   l.unlock();
   Status s =
-      RetryOnTransient(retry_, [&] { return file_->Write(base, batch); });
+      RetryOnTransient(retry_, [&] { return WriteDurable(base, batch); });
   if (s.ok()) {
-    s = RetryOnTransient(retry_, [&] { return file_->Sync(); });
+    s = RetryOnTransient(retry_, [&] { return SyncDurable(); });
   }
   if (!s.ok()) {
-    file_->Truncate(base);  // best effort, as in Flush()
+    // The epoch failure below poisons the log regardless (under mu_); the
+    // cleanup, with its own retry budget, just keeps the on-disk tail
+    // accounted for — its failure is counted inside.
+    (void)CleanupFailedFlush(base);
   }
   FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kWalSync,
                                     obs::TraceOp::kNone, batch_records,
@@ -239,60 +283,66 @@ WalStats LogManager::wal_stats() const {
   out.group_batches = group_batches_.load(std::memory_order_relaxed);
   out.group_batched_bytes =
       group_batched_bytes_.load(std::memory_order_relaxed);
+  out.tail_cleanup_failures =
+      tail_cleanup_failures_.load(std::memory_order_relaxed);
   return out;
 }
-
-namespace {
-
-/// Validates the frame at `off` and decodes it into `rec`; on success sets
-/// `*next` to the following frame's offset. False for torn/corrupt frames.
-bool DecodeFrame(const std::string& contents, uint64_t off, uint64_t size,
-                 LogRecord* rec, uint64_t* next) {
-  if (off + 6 > size) return false;
-  uint32_t stored_crc = DecodeFixed32(contents.data() + off);
-  uint16_t len = DecodeFixed16(contents.data() + off + 4);
-  if (off + 6 + len > size || len == 0) return false;
-  const char* body = contents.data() + off + 4;
-  if (MaskCrc(Crc32(body, 2 + len)) != stored_crc) return false;
-  auto type = static_cast<LogRecordType>(body[2]);
-  auto rec_or = LogRecord::DecodePayload(type, Slice(body + 3, len - 1));
-  if (!rec_or.ok()) return false;
-  *rec = std::move(rec_or).value();
-  *next = off + 6 + len;
-  return true;
-}
-
-}  // namespace
 
 Status LogManager::Replay(
     const std::function<Status(Lsn, const LogRecord&)>& apply,
     RecoveryReport* report) {
-  auto size_or = file_->Size();
-  FAME_RETURN_IF_ERROR(size_or.status());
-  uint64_t size = size_or.value();
-  std::string contents(size, '\0');
-  if (size > 0) {
-    Status read = RetryOnTransient(retry_, [&] {
-      Slice result;
-      FAME_RETURN_IF_ERROR(file_->Read(0, size, contents.data(), &result));
-      if (result.size() != size) return Status::IOError("short log read");
-      return Status::OK();
-    });
-    FAME_RETURN_IF_ERROR(read);
+  // The log's logical bytes start at `base` (> 0 once segments were
+  // recycled) and are contiguous through the end; frame offsets inside
+  // `contents` are relative to it.
+  uint64_t base = 0;
+  std::string contents;
+  if (store_ != nullptr) {
+    base = store_->start_lsn();
+    FAME_RETURN_IF_ERROR(store_->ReadSuffix(&contents));
+  } else {
+    auto size_or = file_->Size();
+    FAME_RETURN_IF_ERROR(size_or.status());
+    uint64_t fsize = size_or.value();
+    contents.resize(fsize);
+    if (fsize > 0) {
+      Status read = RetryOnTransient(retry_, [&] {
+        Slice result;
+        FAME_RETURN_IF_ERROR(file_->Read(0, fsize, contents.data(), &result));
+        if (result.size() != fsize) return Status::IOError("short log read");
+        return Status::OK();
+      });
+      FAME_RETURN_IF_ERROR(read);
+    }
   }
+  const uint64_t size = contents.size();
   RecoveryReport local;
   RecoveryReport* rep = report != nullptr ? report : &local;
   *rep = RecoveryReport{};
+  // Frames below the retention watermark are covered by a durable
+  // checkpoint: decode them (the chain must still parse) but do not
+  // re-apply — the watermark is what shrinks recovery work. Legacy
+  // single-file logs have no watermark (retained stays 0).
+  const Lsn retained =
+      store_ != nullptr ? store_->stats().retained_lsn : 0;
   uint64_t off = 0;
   LogRecord rec;
   uint64_t next = 0;
-  while (DecodeFrame(contents, off, size, &rec, &next)) {
-    FAME_RETURN_IF_ERROR(apply(off, rec));
-    ++rep->applied_records;
+  while (DecodeWalFrame(contents.data(), off, size, &rec, &next)) {
+    if (base + off >= retained) {
+      FAME_RETURN_IF_ERROR(apply(base + off, rec));
+      ++rep->applied_records;
+    }
     off = next;
   }
-  rep->recovered_lsn = off;
+  rep->recovered_lsn = base + off;
   rep->dropped_bytes = size - off;
+  if (store_ != nullptr && store_->orphaned_bytes() > 0) {
+    // Segments stranded past a chain break found at open: once-durable
+    // records the contiguous prefix cannot reach — committed data was lost.
+    rep->corruption = true;
+    rep->dropped_bytes += store_->orphaned_bytes();
+    rep->dropped_records += store_->orphaned_records();
+  }
   if (rep->dropped_bytes == 0) return Status::OK();
   // Classify the bad region: resynchronize past it looking for intact
   // frames. Finding any means once-durable records are stranded behind
@@ -301,7 +351,7 @@ Status LogManager::Replay(
   uint64_t stranded = 0;
   uint64_t scan = off + 1;
   while (scan + 6 <= size) {
-    if (DecodeFrame(contents, scan, size, &rec, &next)) {
+    if (DecodeWalFrame(contents.data(), scan, size, &rec, &next)) {
       ++stranded;
       scan = next;
     } else {
@@ -310,8 +360,8 @@ Status LogManager::Replay(
   }
   if (stranded > 0) {
     rep->corruption = true;
-    rep->dropped_records = stranded + 1;  // the damaged frame itself, too
-  } else {
+    rep->dropped_records += stranded + 1;  // the damaged frame itself, too
+  } else if (!rep->corruption) {
     rep->torn_tail = true;
   }
   return Status::OK();
@@ -321,6 +371,11 @@ Status LogManager::TruncateTo(Lsn lsn) {
   if (!buffer_.empty()) {
     return Status::InvalidArgument("flush or drop buffered appends first");
   }
+  if (store_ != nullptr) {
+    FAME_RETURN_IF_ERROR(store_->TruncateTo(lsn));
+    durable_size_ = lsn;
+    return Status::OK();
+  }
   FAME_RETURN_IF_ERROR(
       RetryOnTransient(retry_, [&] { return file_->Truncate(lsn); }));
   FAME_RETURN_IF_ERROR(RetryOnTransient(retry_, [&] { return file_->Sync(); }));
@@ -329,8 +384,38 @@ Status LogManager::TruncateTo(Lsn lsn) {
 }
 
 Status LogManager::Truncate() {
+  if (store_ != nullptr) {
+    // Segmented logs never rewind the LSN space: "discard everything" is
+    // expressed as retention — everything durable is checkpointed, so the
+    // watermark advances to the head and full segments retire.
+    buffer_.clear();
+    FAME_OBS(buffered_records_ = 0;)
+    return AdvanceRetention(durable_size_.load(std::memory_order_relaxed));
+  }
   buffer_.clear();
+  FAME_OBS(buffered_records_ = 0;)
   return TruncateTo(0);
+}
+
+Status LogManager::AdvanceRetention(Lsn mark) {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("log is not segmented");
+  }
+  return store_->AdvanceRetention(mark);
+}
+
+Status LogManager::ListSegments(std::vector<WalSegmentInfo>* out) const {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("log is not segmented");
+  }
+  return store_->ListSegments(out);
+}
+
+Status LogManager::VerifySegmentChain(std::vector<std::string>* issues) const {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("log is not segmented");
+  }
+  return store_->VerifyChain(issues);
 }
 
 }  // namespace fame::tx

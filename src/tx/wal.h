@@ -100,6 +100,91 @@ struct WalStats {
   /// Group-commit epochs led (== syncs when group commit is on).
   uint64_t group_batches = 0;
   uint64_t group_batched_bytes = 0;
+  /// Failed-flush tail cleanups that themselves failed persistently. Each
+  /// one poisoned the log: an unaccounted tail may sit past the durable
+  /// prefix and nothing may append after it.
+  uint64_t tail_cleanup_failures = 0;
+};
+
+/// [feature Backup] Configuration of the segmented log store.
+struct WalOptions {
+  /// Rotation threshold: a new segment starts once the active one reaches
+  /// this many payload bytes. Soft cap — one append batch never splits.
+  uint64_t segment_bytes = 64 * 1024;
+  /// [feature Pitr] Archive recycled segments (copy to `archive_prefix` +
+  /// zero-padded sequence number) instead of deleting them, retaining
+  /// history for point-in-time recovery.
+  bool archive = false;
+  std::string archive_prefix;
+};
+
+/// [feature Backup] Snapshot of the segmented store, for metrics and the
+/// integrity/backup tooling. Zero-valued on a non-segmented log.
+struct WalSegmentStats {
+  uint64_t segments = 0;        ///< live segment files in the chain
+  uint64_t rotations = 0;       ///< segments created by rotation
+  uint64_t recycled = 0;        ///< segments retired below the watermark
+  uint64_t archived = 0;        ///< recycled segments copied to the archive
+  /// Bytes wholly below the retention watermark still occupying live
+  /// segments (recycle paused, or archiving stalled on an IO error).
+  uint64_t archive_lag_bytes = 0;
+  /// Archiving hit a persistent error (e.g. ENOSPC) and is paused; the
+  /// affected segments stay in the live chain, nothing is lost. Retried on
+  /// the next checkpoint.
+  bool archive_stalled = false;
+  Lsn start_lsn = 0;     ///< first byte still present in the chain
+  Lsn retained_lsn = 0;  ///< current retention watermark
+};
+
+/// [feature Backup] One live segment, for backup copies and chain checks.
+struct WalSegmentInfo {
+  std::string file;           ///< full file name within the env
+  uint32_t seq = 0;           ///< sequence number (monotonic, never reused)
+  Lsn base_lsn = 0;           ///< LSN of the first payload byte
+  uint64_t payload_bytes = 0; ///< payload length (excludes the header)
+};
+
+/// Physical byte store under the LogManager. The classic backend is an
+/// inlined single file; the Backup feature substitutes the segmented store
+/// (wal_segments.cc) through this seam so products without the feature
+/// never link a byte of it.
+class WalStore {
+ public:
+  virtual ~WalStore() = default;
+
+  /// First logical byte still present (> 0 once segments were recycled).
+  virtual Lsn start_lsn() const = 0;
+  /// Logical end of the store as found on disk at open time.
+  virtual uint64_t DurableEnd() const = 0;
+  /// Writes `data` at logical offset `at` (== current durable end),
+  /// rotating to a new segment first when the active one is full.
+  /// Idempotent under retry.
+  virtual Status Append(Lsn at, const Slice& data) = 0;
+  /// Makes appended bytes durable.
+  virtual Status Sync() = 0;
+  /// Best-effort removal of unsynced bytes past `to` after a failed append.
+  virtual Status UndoAppend(Lsn to) = 0;
+  /// Reads every byte of [start_lsn(), durable end) into `out`.
+  virtual Status ReadSuffix(std::string* out) = 0;
+  /// Drops all bytes at and past `lsn` (torn/corrupt tail removal).
+  virtual Status TruncateTo(Lsn lsn) = 0;
+  /// Advances the retention watermark and recycles (deletes or archives)
+  /// segments wholly below it. Archive failures pause archiving and are
+  /// reported through stats(), never through the return status.
+  virtual Status AdvanceRetention(Lsn mark) = 0;
+  /// While paused, AdvanceRetention still advances the watermark but
+  /// retires nothing (hot backup holds the chain steady while copying).
+  virtual void PauseRecycle(bool on) = 0;
+  virtual WalSegmentStats stats() const = 0;
+  /// Appends the live chain, in LSN order, to `out`.
+  virtual Status ListSegments(std::vector<WalSegmentInfo>* out) const = 0;
+  /// Re-reads segment headers from disk and reports chain damage
+  /// (bad magic/CRC, base/sequence discontinuities) as issue strings.
+  virtual Status VerifyChain(std::vector<std::string>* issues) const = 0;
+  /// Bytes (and intact records) in segments stranded past a chain break
+  /// found at open; reported as corruption by Replay.
+  virtual uint64_t orphaned_bytes() const = 0;
+  virtual uint64_t orphaned_records() const = 0;
 };
 
 /// Append-only log over an osal file. Appends are buffered in memory until
@@ -119,6 +204,45 @@ class LogManager {
  public:
   static StatusOr<std::unique_ptr<LogManager>> Open(osal::Env* env,
                                                     const std::string& path);
+
+  /// [feature Backup] Opens the log over fixed-size segments
+  /// (`<path>.000001`, ...) instead of one file. A legacy single-file log
+  /// at `path` is migrated into the first segment. Defined in
+  /// wal_segments.cc so products that never call it link none of the
+  /// segmented machinery.
+  static StatusOr<std::unique_ptr<LogManager>> OpenSegmented(
+      osal::Env* env, const std::string& path, const WalOptions& options);
+
+  /// True when the log runs over the segmented store.
+  bool segmented() const { return store_ != nullptr; }
+
+  /// [feature Backup] Advances the retention watermark to `mark` (monotone)
+  /// and recycles segments wholly below it. The caller must have made every
+  /// effect below `mark` durable in the engine first, and should call this
+  /// *outside* any commit-excluding lock — retiring segments does not need
+  /// to stall committers. InvalidArgument on a non-segmented log.
+  Status AdvanceRetention(Lsn mark);
+
+  /// [feature Backup] Holds the segment chain steady during a hot backup.
+  void PauseRecycle(bool on) {
+    if (store_ != nullptr) store_->PauseRecycle(on);
+  }
+
+  /// Segment counters; zero-valued for the single-file backend.
+  WalSegmentStats segment_stats() const {
+    return store_ != nullptr ? store_->stats() : WalSegmentStats{};
+  }
+
+  /// [feature Backup] Live chain listing for backup copies.
+  Status ListSegments(std::vector<WalSegmentInfo>* out) const;
+
+  /// [feature Backup] On-disk chain verification for fame_check.
+  Status VerifySegmentChain(std::vector<std::string>* issues) const;
+
+  /// First logical byte still present (0 for the single-file backend).
+  Lsn start_lsn() const {
+    return store_ != nullptr ? store_->start_lsn() : 0;
+  }
 
   /// Switches on the group-commit protocol. Call once, before any
   /// concurrent use; products that deselect the Concurrency feature never
@@ -198,9 +322,20 @@ class LogManager {
   /// durable_size_ >= target or the log is poisoned.
   Status SyncThroughLocked(std::unique_lock<std::mutex>& l, Lsn target);
 
+  /// Backend dispatch: single file or segmented store.
+  Status WriteDurable(uint64_t at, const Slice& data);
+  Status SyncDurable();
+  /// Removes unsynced bytes past `to` after a failed flush, with a bounded
+  /// retry; a persistent failure poisons the log — an unaccounted tail may
+  /// sit past the durable prefix and nothing may append beyond it.
+  Status CleanupFailedFlush(uint64_t to);
+
   osal::Env* env_;
   std::string path_;
   std::unique_ptr<osal::RandomAccessFile> file_;
+  /// Non-null when the Backup feature selected the segmented backend; the
+  /// single-file `file_` is unused then.
+  std::unique_ptr<WalStore> store_;
   std::string buffer_;
   /// Atomic so stats readers never see a torn value; mutated only by the
   /// flushing thread (under mu_ when group commit is on).
@@ -217,6 +352,7 @@ class LogManager {
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> group_batches_{0};
   std::atomic<uint64_t> group_batched_bytes_{0};
+  std::atomic<uint64_t> tail_cleanup_failures_{0};
 
 #if FAME_OBS_ENABLED
   /// Records currently in buffer_ (same guard discipline as buffer_:

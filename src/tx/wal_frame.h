@@ -1,0 +1,49 @@
+// Frame codec shared by the WAL's two physical backends (the classic
+// single file in wal.cc and the segmented store in wal_segments.cc).
+// Framing, from wal.h:
+//   [u32 masked CRC of len..payload][u16 len][u8 type][payload]
+#ifndef FAME_TX_WAL_FRAME_H_
+#define FAME_TX_WAL_FRAME_H_
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "tx/wal.h"
+
+namespace fame::tx {
+
+/// Validates the frame at byte offset `off` of `data` (`size` valid bytes)
+/// and decodes it into `rec`; on success sets `*next` to the following
+/// frame's offset. False for torn/corrupt frames.
+inline bool DecodeWalFrame(const char* data, uint64_t off, uint64_t size,
+                           LogRecord* rec, uint64_t* next) {
+  if (off + 6 > size) return false;
+  uint32_t stored_crc = DecodeFixed32(data + off);
+  uint16_t len = DecodeFixed16(data + off + 4);
+  if (off + 6 + len > size || len == 0) return false;
+  const char* body = data + off + 4;
+  if (MaskCrc(Crc32(body, 2 + len)) != stored_crc) return false;
+  auto type = static_cast<LogRecordType>(body[2]);
+  auto rec_or = LogRecord::DecodePayload(type, Slice(body + 3, len - 1));
+  if (!rec_or.ok()) return false;
+  *rec = std::move(rec_or).value();
+  *next = off + 6 + len;
+  return true;
+}
+
+/// Counts the intact frames in `data` starting at offset 0 (used to report
+/// how many once-durable records a stranded segment held).
+inline uint64_t CountIntactWalFrames(const char* data, uint64_t size) {
+  uint64_t off = 0;
+  uint64_t count = 0;
+  LogRecord rec;
+  uint64_t next = 0;
+  while (DecodeWalFrame(data, off, size, &rec, &next)) {
+    ++count;
+    off = next;
+  }
+  return count;
+}
+
+}  // namespace fame::tx
+
+#endif  // FAME_TX_WAL_FRAME_H_

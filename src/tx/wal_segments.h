@@ -1,0 +1,30 @@
+// Segment header codec of the [feature Backup] segmented WAL store, shared
+// with the backup/restore tooling (core/backup.cc) which parses archived
+// segment headers during point-in-time recovery. See wal_segments.cc for
+// the full on-disk layout.
+#ifndef FAME_TX_WAL_SEGMENTS_H_
+#define FAME_TX_WAL_SEGMENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tx/wal.h"
+
+namespace fame::tx::seg {
+
+/// Fixed segment header size in bytes.
+inline constexpr uint64_t kHeaderSize = 32;
+
+/// Zero-padded decimal sequence suffix ("000001").
+std::string SegmentSuffix(uint32_t seq);
+
+/// Encodes a kHeaderSize-byte segment header.
+std::string EncodeSegmentHeader(Lsn base, uint32_t seq);
+
+/// Validates and decodes a segment header; false on damage.
+bool DecodeSegmentHeader(const char* data, uint64_t n, Lsn* base,
+                         uint32_t* seq);
+
+}  // namespace fame::tx::seg
+
+#endif  // FAME_TX_WAL_SEGMENTS_H_

@@ -1,0 +1,411 @@
+// Backup / PITR feature tests over the runtime Database: online hot backup
+// round trips, point-in-time recovery against a per-LSN oracle, watermark
+// persistence across reopens, segment-chain verification through
+// VerifyIntegrity, and crash sweeps over the backup and checkpoint
+// machinery under a FaultInjectionEnv.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/backup.h"
+#include "core/database.h"
+#include "osal/env.h"
+#include "osal/fault_env.h"
+
+namespace fame::core {
+namespace {
+
+using osal::FaultInjectionEnv;
+
+constexpr int kKeySpace = 16;
+
+std::string KeyOf(uint32_t i) { return "key" + std::to_string(i); }
+
+DbOptions BackupOptions(osal::Env* env, bool pitr = true) {
+  DbOptions opts;
+  opts.features = {"Linux", "B+-Tree", "Transaction", "Update",
+                   "BTree-Update", "Backup"};
+  if (pitr) opts.features.push_back("Pitr");
+  opts.path = "db";
+  opts.env = env;
+  opts.wal_segment_bytes = 512;  // small segments: rotations are routine
+  return opts;
+}
+
+/// One committed transaction writing key(i % kKeySpace) = value.
+Status CommitPut(Database* db, int i, const std::string& value) {
+  auto txn = db->Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = (*txn)->Put("core", KeyOf(i % kKeySpace), value);
+  if (!s.ok()) {
+    (void)db->Abort(*txn);
+    return s;
+  }
+  return db->Commit(*txn);
+}
+
+std::map<std::string, std::string> DumpState(Database* db) {
+  std::map<std::string, std::string> state;
+  for (uint32_t i = 0; i < kKeySpace; ++i) {
+    std::string v;
+    Status s = db->Get(KeyOf(i), &v);
+    if (s.ok()) state[KeyOf(i)] = v;
+    EXPECT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+  }
+  return state;
+}
+
+TEST(BackupTest, BackupIsRefusedWithoutTheFeature) {
+  auto env = osal::NewMemEnv(0);
+  DbOptions opts = BackupOptions(env.get());
+  opts.features = {"Linux", "B+-Tree", "Transaction", "Update",
+                   "BTree-Update"};
+  auto db = Database::Open(opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Status s = (*db)->Backup("bk");
+  EXPECT_TRUE(s.IsNotSupported()) << s.ToString();
+}
+
+TEST(BackupTest, HotBackupRoundTripsThroughRestore) {
+  auto env = osal::NewMemEnv(0);
+  auto db = Database::Open(BackupOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "gen1-" + std::to_string(i)).ok());
+  }
+  auto oracle = DumpState(db->get());
+
+  backup::BackupReport rep;
+  ASSERT_TRUE((*db)->Backup("bk", &rep).ok());
+  EXPECT_GT(rep.pages_copied, 0u);
+  EXPECT_GT(rep.segments_copied, 0u);
+  EXPECT_GE(rep.end_lsn, rep.mark);
+
+  // The source keeps moving after the backup — the copy must not.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "gen2-" + std::to_string(i)).ok());
+  }
+
+  backup::RestoreReport rrep;
+  ASSERT_TRUE(
+      Database::Restore(env.get(), "bk", "restored", {}, &rrep).ok());
+  EXPECT_EQ(rrep.target_lsn, rep.end_lsn);
+  DbOptions ropts = BackupOptions(env.get());
+  ropts.path = "restored";
+  auto restored = Database::Open(ropts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_FALSE((*restored)->recovery_report().lost_committed_data());
+  EXPECT_EQ(DumpState(restored->get()), oracle);
+  // The restored database is fully live: it accepts new commits.
+  ASSERT_TRUE(CommitPut(restored->get(), 0, "after-restore").ok());
+}
+
+TEST(BackupTest, PitrReplaysArchivedSegmentsToAnyCapturedLsn) {
+  auto env = osal::NewMemEnv(0);
+  auto db = Database::Open(BackupOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "base-" + std::to_string(i)).ok());
+  }
+  backup::BackupReport brep;
+  ASSERT_TRUE((*db)->Backup("bk", &brep).ok());
+
+  // Keep committing past the backup; capture (LSN, oracle) pairs, then
+  // checkpoint so recycled segments flow into the archive.
+  struct Capture {
+    uint64_t lsn;
+    std::map<std::string, std::string> state;
+  };
+  std::vector<Capture> captures;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(CommitPut(db->get(), i,
+                            "r" + std::to_string(round) + "-" +
+                                std::to_string(i))
+                      .ok());
+    }
+    captures.push_back({(*db)->DurableLsn(), DumpState(db->get())});
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  // Push the last capture's bytes out of the active segment and into the
+  // archive: more traffic forces rotations, the checkpoint retires them.
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "filler-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  ASSERT_GT((*db)->wal_segment_stats().archived, 0u);
+
+  backup::RestoreOptions ropts;
+  ropts.archive_prefix = "db.wal.arc.";
+  for (size_t c = 0; c < captures.size(); ++c) {
+    ropts.target_lsn = captures[c].lsn;
+    std::string dest = "pitr" + std::to_string(c);
+    backup::RestoreReport rrep;
+    Status s = Database::Restore(env.get(), "bk", dest, ropts, &rrep);
+    ASSERT_TRUE(s.ok()) << "capture " << c << ": " << s.ToString();
+    EXPECT_EQ(rrep.target_lsn, captures[c].lsn);
+    EXPECT_GT(rrep.archived_integrated, 0u) << "capture " << c;
+    DbOptions dopts = BackupOptions(env.get());
+    dopts.path = dest;
+    auto restored = Database::Open(dopts);
+    ASSERT_TRUE(restored.ok())
+        << "capture " << c << ": " << restored.status().ToString();
+    EXPECT_EQ(DumpState(restored->get()), captures[c].state)
+        << "restore to lsn " << captures[c].lsn
+        << " does not reproduce the state captured there";
+  }
+}
+
+TEST(BackupTest, RestoreRejectsTargetsBeforeTheBackupEnd) {
+  auto env = osal::NewMemEnv(0);
+  auto db = Database::Open(BackupOptions(env.get()));
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "v" + std::to_string(i)).ok());
+  }
+  backup::BackupReport rep;
+  ASSERT_TRUE((*db)->Backup("bk", &rep).ok());
+  ASSERT_GT(rep.end_lsn, 1u);
+
+  backup::RestoreOptions ropts;
+  ropts.target_lsn = 1;  // before the backup's end: unreachable history
+  Status s = Database::Restore(env.get(), "bk", "r1", ropts);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(BackupTest, RestoreFailsWhenArchivesCannotReachTheTarget) {
+  auto env = osal::NewMemEnv(0);
+  auto db = Database::Open(BackupOptions(env.get()));
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "v" + std::to_string(i)).ok());
+  }
+  backup::BackupReport rep;
+  ASSERT_TRUE((*db)->Backup("bk", &rep).ok());
+
+  backup::RestoreOptions ropts;
+  ropts.archive_prefix = "db.wal.arc.";
+  ropts.target_lsn = rep.end_lsn + 1'000'000;  // far past any history
+  Status s = Database::Restore(env.get(), "bk", "r2", ropts);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(BackupTest, RestoreRefusesATamperedBackup) {
+  auto env = osal::NewMemEnv(0);
+  auto db = Database::Open(BackupOptions(env.get()));
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*db)->Backup("bk").ok());
+
+  std::string manifest;
+  ASSERT_TRUE(env->ReadFileToString("bk.manifest", &manifest).ok());
+  // Flip one digit of a recorded size: the sealed CRC must catch it.
+  size_t pos = manifest.find("pages ");
+  ASSERT_NE(pos, std::string::npos);
+  manifest[pos + 6] = manifest[pos + 6] == '1' ? '2' : '1';
+  ASSERT_TRUE(env->WriteStringToFile("bk.manifest", manifest).ok());
+  Status s = Database::Restore(env.get(), "bk", "r3");
+  EXPECT_FALSE(s.ok());
+
+  // Page-image damage below an intact manifest is caught by the file CRC.
+  ASSERT_TRUE((*db)->Backup("bk2").ok());
+  std::string image;
+  ASSERT_TRUE(env->ReadFileToString("bk2", &image).ok());
+  image[image.size() / 2] ^= 0x01;
+  ASSERT_TRUE(env->WriteStringToFile("bk2", image).ok());
+  s = Database::Restore(env.get(), "bk2", "r4");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(BackupTest, WatermarkPersistsAndShrinksRecovery) {
+  auto env = osal::NewMemEnv(0);
+  uint64_t durable = 0;
+  {
+    auto db = Database::Open(BackupOptions(env.get()));
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(CommitPut(db->get(), i, "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    durable = (*db)->DurableLsn();
+    ASSERT_GT(durable, 0u);
+    EXPECT_EQ((*db)->wal_segment_stats().retained_lsn, durable);
+  }
+  auto db = Database::Open(BackupOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // The persisted watermark told recovery the checkpoint already covered
+  // everything: nothing to replay, and the LSN space did not rewind.
+  EXPECT_EQ((*db)->recovery_report().applied_records, 0u);
+  EXPECT_EQ((*db)->DurableLsn(), durable);
+  EXPECT_EQ((*db)->wal_segment_stats().retained_lsn, durable);
+  std::string v;
+  ASSERT_TRUE((*db)->Get(KeyOf(3), &v).ok());
+}
+
+TEST(BackupTest, VerifyIntegrityWalksTheSegmentChain) {
+  auto env = osal::NewMemEnv(0);
+  DbOptions opts = BackupOptions(env.get());
+  opts.features.push_back("Verify");
+  auto db = Database::Open(opts);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(CommitPut(db->get(), i, "v" + std::to_string(i)).ok());
+  }
+  storage::IntegrityReport clean;
+  ASSERT_TRUE((*db)->VerifyIntegrity(&clean).ok());
+  EXPECT_TRUE(clean.wal_issues.empty());
+
+  // Damage a sealed segment header at rest; --verify must call it out.
+  ASSERT_GT((*db)->wal_segment_stats().segments, 1u);
+  const std::string first_segment = "db.wal.000001";
+  std::string bytes;
+  ASSERT_TRUE(env->ReadFileToString(first_segment, &bytes).ok());
+  bytes[12] ^= 0x20;
+  ASSERT_TRUE(env->WriteStringToFile(first_segment, bytes).ok());
+  storage::IntegrityReport report;
+  Status s = (*db)->VerifyIntegrity(&report);
+  ASSERT_FALSE(report.wal_issues.empty());
+  EXPECT_NE(report.wal_issues.front().find("wal segment:"),
+            std::string::npos);
+  EXPECT_FALSE(s.ok());
+}
+
+// Crash sweep over the hot-backup run itself: at every injected crash
+// point the *source* database reopens to exactly its pre-backup state, and
+// the destination either restores to that same state or is rejected as
+// incomplete (the CRC-sealed manifest is written last) — never a silently
+// wrong copy.
+TEST(BackupTest, BackupCrashSweepNeverCorruptsSourceOrProducesALyingCopy) {
+  std::map<std::string, std::string> oracle;
+  uint64_t backup_mutations = 0;
+  uint64_t pre_mutations = 0;
+  {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    auto db = Database::Open(BackupOptions(&fenv));
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(CommitPut(db->get(), i, "v" + std::to_string(i)).ok());
+    }
+    oracle = DumpState(db->get());
+    pre_mutations = fenv.mutation_count();
+    ASSERT_TRUE((*db)->Backup("bk").ok());
+    backup_mutations = fenv.mutation_count() - pre_mutations;
+  }
+  ASSERT_GT(backup_mutations, 5u);
+
+  int verified = 0;
+  for (uint64_t k = 1; k <= backup_mutations; k += 2) {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    bool backup_ok = false;
+    {
+      auto db = Database::Open(BackupOptions(&fenv));
+      ASSERT_TRUE(db.ok());
+      for (int i = 0; i < 30; ++i) {
+        ASSERT_TRUE(CommitPut(db->get(), i, "v" + std::to_string(i)).ok());
+      }
+      fenv.CrashAfterMutations(fenv.mutation_count() + k);
+      backup_ok = (*db)->Backup("bk").ok();
+    }
+    fenv.SimulateCrash();
+    // The source survives the crash with nothing lost.
+    auto db = Database::Open(BackupOptions(&fenv));
+    ASSERT_TRUE(db.ok())
+        << "crash@+" << k << ": " << db.status().ToString();
+    EXPECT_FALSE((*db)->recovery_report().lost_committed_data())
+        << "crash@+" << k;
+    EXPECT_EQ(DumpState(db->get()), oracle) << "crash@+" << k;
+    // The copy restores to the truth or refuses — nothing in between.
+    Status rs = Database::Restore(&fenv, "bk", "restored");
+    if (rs.ok()) {
+      DbOptions ropts = BackupOptions(&fenv);
+      ropts.path = "restored";
+      auto restored = Database::Open(ropts);
+      ASSERT_TRUE(restored.ok()) << "crash@+" << k;
+      EXPECT_EQ(DumpState(restored->get()), oracle) << "crash@+" << k;
+    } else if (backup_ok) {
+      ADD_FAILURE() << "crash@+" << k
+                    << ": an acknowledged backup failed to restore: "
+                    << rs.ToString();
+    }
+    ++verified;
+  }
+  EXPECT_GT(verified, 3);
+}
+
+// The fault_recovery_test sweep, over the segmented product: checkpoints
+// run the watermark protocol (persist mark, advance retention, recycle)
+// instead of truncating, and every crash point must still recover to the
+// oracle. Covers crashes mid-rotation, mid-watermark-persist, and
+// mid-recycle as they occur naturally in the workload.
+TEST(BackupTest, CommittedTransactionsSurviveEveryCrashPointSegmented) {
+  const auto workload = [](Database* db,
+                           std::map<std::string, std::string>* committed,
+                           std::map<std::string, std::string>* in_flight) {
+    bool failed = false;
+    for (int i = 0; i < 120 && !failed; ++i) {
+      std::string value = "v" + std::to_string(i);
+      std::map<std::string, std::string> pending = *committed;
+      pending[KeyOf(i % kKeySpace)] = value;
+      Status s = CommitPut(db, i, value);
+      if (s.ok()) {
+        *committed = pending;
+      } else {
+        *in_flight = pending;
+        failed = true;
+        break;
+      }
+      if (i % 10 == 9 && !db->Checkpoint().ok()) break;
+    }
+    if (!failed) *in_flight = *committed;
+  };
+  uint64_t total = 0;
+  {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    auto db = Database::Open(BackupOptions(&fenv));
+    ASSERT_TRUE(db.ok());
+    std::map<std::string, std::string> committed, in_flight;
+    workload(db->get(), &committed, &in_flight);
+    ASSERT_EQ(committed, in_flight);  // golden run: no failures
+    ASSERT_GT((*db)->wal_segment_stats().recycled, 0u);
+    total = fenv.mutation_count();
+  }
+  ASSERT_GT(total, 100u);
+  int verified = 0;
+  for (uint64_t crash = 1; crash < total; crash += 17) {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    fenv.CrashAfterMutations(crash);
+    std::map<std::string, std::string> committed, in_flight;
+    {
+      auto db = Database::Open(BackupOptions(&fenv));
+      if (db.ok()) workload(db->get(), &committed, &in_flight);
+    }
+    fenv.SimulateCrash();
+    auto db = Database::Open(BackupOptions(&fenv));
+    ASSERT_TRUE(db.ok())
+        << "crash@" << crash << ": " << db.status().ToString();
+    EXPECT_FALSE((*db)->recovery_report().lost_committed_data())
+        << "crash@" << crash;
+    auto state = DumpState(db->get());
+    EXPECT_TRUE(state == committed || state == in_flight)
+        << "crash@" << crash << ": recovered state is neither the last "
+        << "acknowledged commit nor that plus the in-flight transaction";
+    // Replay is idempotent: recovering again changes nothing.
+    db->reset();
+    auto again = Database::Open(BackupOptions(&fenv));
+    ASSERT_TRUE(again.ok()) << "crash@" << crash;
+    EXPECT_EQ(DumpState(again->get()), state) << "crash@" << crash;
+    ++verified;
+  }
+  EXPECT_GT(verified, 10);
+}
+
+}  // namespace
+}  // namespace fame::core

@@ -166,12 +166,13 @@ TEST(MultiSplTest, NfpDerivationOverComposite) {
   // Whole-system greedy derivation with a budget spanning both SPLs.
   auto os = OsModel();
   auto dbms = BuildFameDbmsModel();
-  // Pin the observability subtree off for this sweep: it tripled the DBMS
-  // variant space past the enumeration budget, and the derivation
-  // mechanics under test gain nothing from metrics/tracing variants.
-  // (Excluding the parent via a self-referential subtree conflict keeps
-  // the model otherwise untouched.)
+  // Pin the observability and backup subtrees off for this sweep: each
+  // tripled the DBMS variant space past the enumeration budget, and the
+  // derivation mechanics under test gain nothing from metrics/tracing or
+  // backup/PITR variants. (Excluding the parent via a self-referential
+  // subtree conflict keeps the model otherwise untouched.)
   ASSERT_TRUE(dbms->AddExcludes("Observability", "Storage").ok());
+  ASSERT_TRUE(dbms->AddExcludes("Backup", "Storage").ok());
   MultiSplComposer composer("device");
   ASSERT_TRUE(composer.AddSpl("os", *os).ok());
   ASSERT_TRUE(composer.AddSpl("dbms", *dbms).ok());

@@ -445,5 +445,36 @@ TEST(FeedbackTest, ObservabilityNfpSeedLoadsAndFits) {
   }
 }
 
+// Same guarantees for the Backup NFP seed (segmented WAL + hot backup +
+// PITR): loadable, fits, the Backup+Pitr pair carries a positive measured
+// footprint, names valid features. The pair is measured jointly (Pitr adds
+// no probe code of its own), so the ordering assertion is on the combined
+// selection rather than per-feature weights.
+TEST(FeedbackTest, BackupNfpSeedLoadsAndFits) {
+  auto repo_or = FeedbackRepository::Deserialize(fm::kFameBackupNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 2u);
+
+  std::vector<std::string> base = {
+      "API", "B+-Tree", "BTree-Search", "Dynamic",     "Get",
+      "Int-Types", "LRU", "Linux",      "Put",         "String-Types",
+      "Transaction", "Update", "WAL-Redo"};
+  std::vector<std::string> backed = base;
+  backed.push_back("Backup");
+  backed.push_back("Pitr");
+
+  auto est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GT(est->Estimate(backed), est->Estimate(base));
+  EXPECT_GT(est->FeatureWeight("Backup") + est->FeatureWeight("Pitr"), 0.0);
+
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fame::nfp

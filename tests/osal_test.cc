@@ -135,6 +135,34 @@ TEST_P(EnvContractTest, WholeFileHelpers) {
   EXPECT_EQ(out, "v2");
 }
 
+TEST_P(EnvContractTest, ListFilesReturnsSortedMatchesWithFullNames) {
+  // Created out of order; listing must come back sorted and round-trip
+  // into OpenFile (the WAL segment-discovery contract).
+  std::string s2 = Path("seg.000002"), s1 = Path("seg.000001");
+  std::string s10 = Path("seg.000010"), other = Path("other");
+  for (const std::string& p : {s2, s1, s10, other}) {
+    ASSERT_TRUE(env_->WriteStringToFile(p, "x").ok());
+  }
+  std::vector<std::string> files;
+  ASSERT_TRUE(env_->ListFiles(prefix_ + "seg.", &files).ok());
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], s1);
+  EXPECT_EQ(files[1], s2);
+  EXPECT_EQ(files[2], s10);
+  for (const std::string& f : files) {
+    EXPECT_TRUE(env_->OpenFile(f, false).ok()) << f;
+  }
+  // ListFiles appends; existing entries survive, and a prefix with no
+  // matches adds nothing.
+  std::vector<std::string> appended = {"sentinel"};
+  ASSERT_TRUE(env_->ListFiles(prefix_ + "seg.", &appended).ok());
+  EXPECT_EQ(appended.size(), 4u);
+  EXPECT_EQ(appended[0], "sentinel");
+  std::vector<std::string> none;
+  ASSERT_TRUE(env_->ListFiles(prefix_ + "no_such_prefix_", &none).ok());
+  EXPECT_TRUE(none.empty());
+}
+
 TEST_P(EnvContractTest, ClockIsMonotonicNonDecreasing) {
   uint64_t a = env_->NowNanos();
   uint64_t b = env_->NowNanos();
