@@ -284,6 +284,13 @@ Status RunRestore(osal::Env* env, const std::string& src,
     if (!have_magic || !have_file || page_size == 0) {
       return Status::Corruption("backup manifest is incomplete");
     }
+    // `pages` counts whole pages; `file` may additionally carry a trailing
+    // partial page (torn final extension, copied verbatim). A disagreement
+    // means the manifest lies about the image it seals.
+    if (pages != file_bytes / page_size) {
+      return Status::Corruption(
+          "backup manifest pages count disagrees with its file size");
+    }
   }
   const uint64_t target =
       opts.target_lsn == 0 ? rep.end_lsn : opts.target_lsn;

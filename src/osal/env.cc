@@ -31,8 +31,8 @@ Status Env::ListFiles(const std::string& prefix,
                       std::vector<std::string>* out) const {
   (void)prefix;
   (void)out;
-  return Status::InvalidArgument(std::string(name()) +
-                                 " env does not support ListFiles");
+  return Status::NotSupported(std::string(name()) +
+                              " env does not support ListFiles");
 }
 
 }  // namespace fame::osal

@@ -69,7 +69,7 @@ class Env {
 
   /// Appends to `out` the names of existing files starting with `prefix`,
   /// sorted lexicographically (WAL segment / archive discovery, backup
-  /// tooling). The default reports Unimplemented so foreign Env shims stay
+  /// tooling). The default reports NotSupported so foreign Env shims stay
   /// source-compatible; every shipped env overrides it.
   virtual Status ListFiles(const std::string& prefix,
                            std::vector<std::string>* out) const;

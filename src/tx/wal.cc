@@ -90,11 +90,48 @@ StatusOr<LogRecord> LogRecord::DecodePayload(LogRecordType type,
   return r;
 }
 
+namespace {
+
+/// True iff `name` is `prefix` followed by an all-digit sequence suffix —
+/// the same filter SegmentStore::Load applies when it discovers a chain.
+/// Kept local so legacy products do not pull in the segment store TU.
+bool IsSegmentName(const std::string& name, const std::string& prefix) {
+  if (name.size() <= prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  const size_t len = name.size() - prefix.size();
+  if (len < 6 || len > 9) return false;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<LogManager>> LogManager::Open(
     osal::Env* env, const std::string& path) {
-  if (env->FileExists(path + ".000001")) {
-    // A segmented chain exists: opening it as a single file would silently
-    // ignore every record the segments hold. Refuse instead of losing data.
+  // A segmented chain exists: opening it as a single file would silently
+  // ignore every record the segments hold. Refuse instead of losing data.
+  // Checkpoint retention recycles the chain's head, so the first segment
+  // need not be .000001 — probe for *any* sequence-suffixed file.
+  std::vector<std::string> names;
+  Status ls = env->ListFiles(path + ".", &names);
+  if (ls.ok()) {
+    for (const std::string& n : names) {
+      if (IsSegmentName(n, path + ".")) {
+        return Status::InvalidArgument(
+            "log at " + path +
+            " is segmented; open with the Backup feature selected");
+      }
+    }
+  } else if (!ls.IsNotSupported()) {
+    return ls;
+  } else if (env->FileExists(path + ".000001")) {
+    // Env cannot enumerate (foreign shim). A chain can only have been
+    // written through an env that supports ListFiles, so this existence
+    // probe is a defensive best effort.
     return Status::InvalidArgument(
         "log at " + path +
         " is segmented; open with the Backup feature selected");

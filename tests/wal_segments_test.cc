@@ -140,6 +140,27 @@ TEST(WalSegmentsTest, LegacyOpenRefusesASegmentedChain) {
   EXPECT_TRUE(legacy.status().IsInvalidArgument());
 }
 
+TEST(WalSegmentsTest, LegacyOpenRefusesAChainWhoseHeadWasRecycled) {
+  auto env = osal::NewMemEnv(0);
+  {
+    auto log_or =
+        LogManager::OpenSegmented(env.get(), "wal", SmallSegments());
+    ASSERT_TRUE(log_or.ok());
+    auto& log = *log_or;
+    AppendRecords(log.get(), 20);
+    std::vector<WalSegmentInfo> segs;
+    ASSERT_TRUE(log->ListSegments(&segs).ok());
+    ASSERT_GT(segs.size(), 2u);
+    // Retire segment 1: the chain now starts at .000002+, the shape a
+    // checkpoint leaves behind.
+    ASSERT_TRUE(log->AdvanceRetention(segs[1].base_lsn).ok());
+  }
+  ASSERT_FALSE(env->FileExists("wal.000001"));
+  auto legacy = LogManager::Open(env.get(), "wal");
+  ASSERT_FALSE(legacy.ok());
+  EXPECT_TRUE(legacy.status().IsInvalidArgument());
+}
+
 TEST(WalSegmentsTest, RetentionRecyclesOnlySegmentsWhollyBelowTheMark) {
   auto env = osal::NewMemEnv(0);
   auto log_or = LogManager::OpenSegmented(env.get(), "wal", SmallSegments());
