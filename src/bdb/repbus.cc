@@ -1,16 +1,29 @@
 #include "bdb/repbus.h"
 
+#include "common/stringutil.h"
+
 namespace fame::bdb {
 
 size_t ReplicationBus::Subscribe(Subscriber subscriber) {
-  subscribers_.push_back(std::move(subscriber));
+  subscribers_.push_back({std::move(subscriber), next_seqno_});
   return subscribers_.size() - 1;
 }
 
 Status ReplicationBus::Publish(RepMessage message) {
   message.seqno = next_seqno_++;
-  for (const Subscriber& s : subscribers_) {
-    FAME_RETURN_IF_ERROR(s(message));
+  for (size_t i = 0; i < subscribers_.size(); ++i) {
+    Subscription& sub = subscribers_[i];
+    if (message.seqno != sub.expected) {
+      // The seqno counter advanced past this replica (an earlier Publish
+      // failed before reaching it). Delivering now would hide a hole in its
+      // stream, so refuse loudly; the replica must re-sync out of band.
+      return Status::DataLoss(StringPrintf(
+          "replica %zu missed seqnos [%llu, %llu): stream has a gap", i,
+          static_cast<unsigned long long>(sub.expected),
+          static_cast<unsigned long long>(message.seqno)));
+    }
+    FAME_RETURN_IF_ERROR(sub.deliver(message));
+    sub.expected = message.seqno + 1;
   }
   return Status::OK();
 }

@@ -5,7 +5,9 @@
 // itself. The bus delivers committed operations from a master engine to any
 // number of subscribed replicas inside one process, preserving ordering —
 // the same code path shape (serialize op -> deliver -> apply) without a
-// network dependency.
+// network dependency. The FAME-DBMS product line's own replication axis is
+// the WAL-shipping subsystem in src/repl/ (epoch-fenced leader/follower over
+// the segmented log); this bus remains the Berkeley DB-comparison shim.
 #ifndef FAME_BDB_REPBUS_H_
 #define FAME_BDB_REPBUS_H_
 
@@ -33,17 +35,27 @@ class ReplicationBus {
  public:
   using Subscriber = std::function<Status(const RepMessage&)>;
 
-  /// Registers a replica; returns its subscriber id.
+  /// Registers a replica; returns its subscriber id. The replica's expected
+  /// seqno starts at the current publish counter: it is only owed messages
+  /// published after it joined.
   size_t Subscribe(Subscriber subscriber);
 
   /// Publishes to all subscribers; fails fast on the first delivery error.
+  /// A subscriber that previously missed a message (an earlier Publish
+  /// failed before reaching it, so the seqno advanced past it) is detected
+  /// here: Publish returns DataLoss instead of silently delivering a stream
+  /// with a gap to that replica.
   Status Publish(RepMessage message);
 
   uint64_t published() const { return next_seqno_; }
   size_t subscribers() const { return subscribers_.size(); }
 
  private:
-  std::vector<Subscriber> subscribers_;
+  struct Subscription {
+    Subscriber deliver;
+    uint64_t expected;  ///< next seqno this replica must see
+  };
+  std::vector<Subscription> subscribers_;
   uint64_t next_seqno_ = 0;
 };
 

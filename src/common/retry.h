@@ -98,6 +98,39 @@ Status RetryOnTransient(const RetryPolicy& policy, Fn&& fn) {
   }
 }
 
+/// Retry policy with a total wall-clock budget on top of the attempt bound.
+/// The attempt cap alone is the wrong bound for streaming sends: a slow peer
+/// that eats 30s per attempt would hold a replication round hostage for
+/// attempts * 30s. The budget caps the whole loop; whichever bound trips
+/// first ends the retrying. The clock is a plain function pointer (usually
+/// Env::NowNanos via a thunk) so this header stays free of osal and tests
+/// can substitute a fake clock.
+struct DeadlineRetryPolicy {
+  RetryPolicy base;
+  uint64_t budget_nanos = 0;            ///< 0 = attempts-only, no deadline
+  uint64_t (*now_nanos)() = nullptr;    ///< monotonic; required for a budget
+};
+
+/// RetryOnTransient with a deadline: stops retrying — returning the last
+/// transient error — once `budget_nanos` has elapsed since the first
+/// attempt, even if attempts remain. The in-flight `fn` is never interrupted
+/// (the deadline is checked between attempts), so a budget of 0 elapsed
+/// still runs `fn` exactly once.
+template <typename Fn>
+Status RetryOnTransientDeadline(const DeadlineRetryPolicy& policy, Fn&& fn) {
+  uint32_t attempts = policy.base.max_attempts > 0 ? policy.base.max_attempts : 1;
+  const bool budgeted = policy.budget_nanos > 0 && policy.now_nanos != nullptr;
+  const uint64_t start = budgeted ? policy.now_nanos() : 0;
+  Status s;
+  for (uint32_t attempt = 1;; ++attempt) {
+    s = fn();
+    if (s.ok() || !IsTransient(s) || attempt >= attempts) return s;
+    if (budgeted && policy.now_nanos() - start >= policy.budget_nanos) return s;
+    if (policy.base.backoff != nullptr) policy.base.backoff(attempt);
+    if (budgeted && policy.now_nanos() - start >= policy.budget_nanos) return s;
+  }
+}
+
 }  // namespace fame
 
 #endif  // FAME_COMMON_RETRY_H_

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kConfigInvalid = 9,      ///< feature configuration violates the model
   kParseError = 10,        ///< DSL / SQL / query parse failure
   kAborted = 11,           ///< transaction aborted
+  kDataLoss = 12,          ///< replication gap / diverged replica
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "NotFound"...).
@@ -70,6 +71,9 @@ class Status {
   static Status Aborted(std::string msg = "") {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status DataLoss(std::string msg = "") {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -78,6 +82,7 @@ class Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }

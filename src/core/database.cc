@@ -71,6 +71,16 @@ Status Database::ComposeComponents(const DbOptions& options) {
 
   FAME_RETURN_IF_ERROR(OpenStorageStack());
 
+  // Replication fence: a fenced store (leader or follower) carries its
+  // epoch and role in the meta. Loaded unconditionally — a follower's page
+  // file must stay read-only even when opened by a product without the
+  // Replication feature.
+  auto fence_or = file_->GetRootAux("repl.fence");
+  if (fence_or.ok()) {
+    repl_epoch_ = static_cast<uint32_t>(fence_or.value() >> 8);
+    repl_role_ = static_cast<uint8_t>(fence_or.value() & 0xff);
+  }
+
   has_put_ = HasFeature("Put");
   has_remove_ = HasFeature("Remove");
   has_update_ = HasFeature("Update");
@@ -84,6 +94,9 @@ Status Database::ComposeComponents(const DbOptions& options) {
   if (HasFeature("Transaction")) {
     FAME_RETURN_IF_ERROR(OpenTxManager());
     FAME_RETURN_IF_ERROR(txmgr_->Recover());
+    // New segments must carry the persisted fence from the first commit,
+    // not only after StartLeader/StartFollower re-stamps it.
+    if (repl_epoch_ != 0) txmgr_->SetWalFenceEpoch(repl_epoch_);
   }
 
   // SQL Engine feature.
@@ -169,6 +182,10 @@ Status Database::OpenStorageStack() {
 // ------------------------------------------------------------ degradation
 
 Status Database::GuardWrite() const {
+  if (repl_role_ == kRoleFollower) {
+    return Status::NotSupported(
+        "replica is read-only (follower role); promote to accept writes");
+  }
   std::unique_lock<std::mutex> l(latch_mu_, std::defer_lock);
   if (concurrent_) l.lock();  // committers race on the latch otherwise
   if (write_error_.ok()) return Status::OK();
@@ -373,6 +390,84 @@ Status Database::Restore(osal::Env* env, const std::string& src,
                          backup::RestoreReport* report) {
   return backup::RunRestore(env != nullptr ? env : osal::GetPosixEnv(), src,
                             dest_path, opts, report);
+}
+
+// ------------------------------------------------------------ replication
+
+Status Database::PersistFenceMeta() {
+  FAME_RETURN_IF_ERROR(file_->SetRoot(
+      "repl.fence", storage::kInvalidPageId,
+      (static_cast<uint64_t>(repl_epoch_) << 8) | repl_role_));
+  return file_->Sync();
+}
+
+Status Database::StartLeader(uint32_t epoch) {
+  if (!HasFeature("Replication")) {
+    return Status::NotSupported("feature Replication not selected");
+  }
+  if (epoch < repl_epoch_) {
+    return Status::InvalidArgument(
+        "fencing epoch cannot move backwards: have " +
+        std::to_string(repl_epoch_) + ", asked for " + std::to_string(epoch));
+  }
+  repl_epoch_ = epoch;
+  repl_role_ = kRoleLeader;
+  if (txmgr_ != nullptr) txmgr_->SetWalFenceEpoch(epoch);
+  return PersistFenceMeta();
+}
+
+Status Database::StartFollower(uint32_t epoch) {
+  if (!HasFeature("Replication")) {
+    return Status::NotSupported("feature Replication not selected");
+  }
+  if (epoch < repl_epoch_) {
+    return Status::InvalidArgument(
+        "fencing epoch cannot move backwards: have " +
+        std::to_string(repl_epoch_) + ", asked for " + std::to_string(epoch));
+  }
+  repl_epoch_ = epoch;
+  repl_role_ = kRoleFollower;
+  if (txmgr_ != nullptr) txmgr_->SetWalFenceEpoch(epoch);
+  return PersistFenceMeta();
+}
+
+Status Database::Promote(uint32_t epoch) {
+  if (!HasFeature("Failover")) {
+    return Status::NotSupported("feature Failover not selected");
+  }
+  if (repl_role_ != kRoleFollower) {
+    return Status::InvalidArgument("only a follower can be promoted");
+  }
+  if (epoch <= repl_epoch_) {
+    return Status::InvalidArgument(
+        "promotion must advance the fencing epoch past " +
+        std::to_string(repl_epoch_));
+  }
+  // Integrity-gated: a replica with damage must refuse leadership rather
+  // than serve (and replicate) divergent data.
+  storage::IntegrityReport report;
+  Status verify = VerifyIntegrity(&report);
+  if (!verify.ok()) {
+    return Status::DataLoss("refusing promotion, replica failed its scrub: " +
+                            verify.ToString());
+  }
+  repl_epoch_ = epoch;
+  repl_role_ = kRoleLeader;
+  if (txmgr_ != nullptr) txmgr_->SetWalFenceEpoch(epoch);
+  return PersistFenceMeta();
+}
+
+StatusOr<backup::BackupContext> Database::ReplicationSource() {
+  if (!HasFeature("Replication")) {
+    return Status::NotSupported("feature Replication not selected");
+  }
+  backup::BackupContext ctx;
+  ctx.env = env_;
+  ctx.txmgr = txmgr_.get();
+  ctx.file = file_.get();
+  ctx.db_path = options_.path;
+  ctx.wal_path = options_.path + ".wal";
+  return ctx;
 }
 
 Status Database::Checkpoint() {

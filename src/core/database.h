@@ -165,6 +165,33 @@ class Database : private tx::ApplyTarget {
                : tx::WalSegmentStats{};
   }
 
+  // ---- Replication / Failover features (runtime-gated) ----
+  /// [feature Replication] Takes (or resumes) leadership under fencing
+  /// epoch `epoch`: stamps the epoch into the PageFile meta (root
+  /// "repl.fence") and into every WAL segment created from here on. The
+  /// epoch can only move forward. NotSupported unless the Replication
+  /// feature is selected.
+  Status StartLeader(uint32_t epoch);
+  /// [feature Replication] Marks this instance a follower at fencing epoch
+  /// `epoch`: persists the fence and rejects every local mutation
+  /// (NotSupported) until Promote. Replay-by-recovery still applies — the
+  /// shipped log is the only write path into a follower.
+  Status StartFollower(uint32_t epoch);
+  /// [feature Failover] Integrity-gated promotion: verifies the store
+  /// (DataLoss on any finding — a damaged replica must not take
+  /// leadership), then re-fences as leader under `epoch` (> current).
+  Status Promote(uint32_t epoch);
+  /// [feature Replication] Borrowed live handles for a repl::Leader bound
+  /// to this engine (same shape hot backup uses).
+  StatusOr<backup::BackupContext> ReplicationSource();
+  /// Lag gauges fed by the shipping loop (repl::LeaderOptions::lag_sink).
+  void SetReplLag(uint64_t lag_bytes, uint64_t lag_epochs) {
+    repl_lag_bytes_.store(lag_bytes, std::memory_order_relaxed);
+    repl_lag_epochs_.store(lag_epochs, std::memory_order_relaxed);
+  }
+  uint32_t repl_epoch() const { return repl_epoch_; }
+  bool repl_follower() const { return repl_role_ == kRoleFollower; }
+
   // ---- integrity features (Scrub / Verify / Repair, runtime-gated) ----
   /// [feature Scrub] Incremental scrubbing: checks up to `max_pages` pages,
   /// resuming across calls; call from idle time. Returns pages checked.
@@ -232,8 +259,10 @@ class Database : private tx::ApplyTarget {
   /// derives its legacy fields from it).
   obs::MetricsSnapshot SnapshotMetrics() const;
 
-  /// Rejects mutations once the engine is degraded.
+  /// Rejects mutations once the engine is degraded or fenced as a follower.
   Status GuardWrite() const;
+  /// Writes the replication fence (epoch, role) into the PageFile meta.
+  Status PersistFenceMeta();
   /// Flips the engine to read-only when `s` is a persistent write failure;
   /// returns `s` unchanged.
   Status NoteWrite(Status s);
@@ -279,6 +308,15 @@ class Database : private tx::ApplyTarget {
   /// (atomics: Backup may run from a second thread under Concurrency).
   std::atomic<uint64_t> backup_runs_{0};
   std::atomic<uint64_t> backup_bytes_{0};
+  /// [feature Replication] Fencing state, loaded from the PageFile meta at
+  /// open and rewritten by StartLeader/StartFollower/Promote. The follower
+  /// role is enforced even in products without the Replication feature:
+  /// local writes into a replica would silently diverge it.
+  static constexpr uint8_t kRoleNone = 0, kRoleLeader = 1, kRoleFollower = 2;
+  uint8_t repl_role_ = kRoleNone;
+  uint32_t repl_epoch_ = 0;
+  std::atomic<uint64_t> repl_lag_bytes_{0};
+  std::atomic<uint64_t> repl_lag_epochs_{0};
   /// Concurrency feature selected: transaction surface is thread-safe and
   /// the degradation latch below is mutex-guarded.
   bool concurrent_ = false;

@@ -437,6 +437,13 @@ obs::MetricsSnapshot Database::SnapshotMetrics() const {
     m.recovery_applied_records = r.applied_records;
     m.recovery_dropped_bytes = r.dropped_bytes;
   }
+  if (repl_role_ != kRoleNone) {
+    m.repl = true;
+    m.repl_follower = repl_role_ == kRoleFollower;
+    m.repl_epoch = repl_epoch_;
+    m.repl_lag_bytes = repl_lag_bytes_.load(std::memory_order_relaxed);
+    m.repl_lag_epochs = repl_lag_epochs_.load(std::memory_order_relaxed);
+  }
   m.lost_meta_writes = storage::PageFile::lost_meta_writes();
   m.lost_page_writebacks = storage::BufferLostWritebacks();
   if (file_ != nullptr) m.page_count = file_->page_count();

@@ -150,6 +150,30 @@ struct ArchiveNodeCfg {
 };
 using ArchiveNode = StaticEngine<ArchiveNodeCfg>;
 
+/// Replica-set node: ArchiveNode plus the optional Replication feature
+/// (epoch-fenced WAL shipping: fence persistence, epoch-stamped segments,
+/// follower read-only enforcement) and its Failover sub-feature (the
+/// promotion ceremony). Verify rides along — a replica that cannot scrub
+/// itself cannot detect divergence. Products without kReplication carry
+/// zero bytes of the fencing state or the fame::repl shipping loop.
+struct ReplicaSetCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr bool kBackup = true;
+  static constexpr bool kReplication = true;
+  static constexpr bool kFailover = true;
+  static constexpr uint64_t kWalSegmentBytes = 64 * 1024;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 128;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+using ReplicaSet = StaticEngine<ReplicaSetCfg>;
+
 /// Feature selections (names from the Figure 2 model) corresponding to the
 /// products above, used by tests and the derivation tooling to check that
 /// every named product is a valid variant.
@@ -186,6 +210,11 @@ const char* const kArchiveNodeFeatures[] = {
     "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
     "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
     "Backup", "Pitr"};
+const char* const kReplicaSetFeatures[] = {
+    "Linux", "Dynamic", "LRU", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
+    "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
+    "Backup", "Verify", "Replication", "Failover"};
 
 }  // namespace fame::core
 

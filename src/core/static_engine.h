@@ -118,6 +118,22 @@ template <typename Cfg>
 struct PitrSelected<Cfg, std::void_t<decltype(Cfg::kPitr)>>
     : std::bool_constant<Cfg::kPitr> {};
 
+/// Detects the optional Replication sub-feature of Storage (epoch-fenced
+/// WAL shipping); Cfg structs without a kReplication member mean "off" and
+/// carry no fencing state or code.
+template <typename Cfg, typename = void>
+struct ReplicationSelected : std::false_type {};
+template <typename Cfg>
+struct ReplicationSelected<Cfg, std::void_t<decltype(Cfg::kReplication)>>
+    : std::bool_constant<Cfg::kReplication> {};
+
+/// Detects the optional Failover sub-feature of Replication (promotion).
+template <typename Cfg, typename = void>
+struct FailoverSelected : std::false_type {};
+template <typename Cfg>
+struct FailoverSelected<Cfg, std::void_t<decltype(Cfg::kFailover)>>
+    : std::bool_constant<Cfg::kFailover> {};
+
 /// Detects the optional segment-size knob (bytes per WAL segment before a
 /// roll); defaults to 64 KiB when the Cfg does not name one.
 template <typename Cfg, typename = void>
@@ -140,6 +156,13 @@ struct BackupCounters {
 };
 struct NoBackupCounters {};
 
+/// Fencing state, sized only for Replication products.
+struct ReplState {
+  uint8_t role = 0;  // 0 none, 1 leader, 2 follower
+  uint32_t epoch = 0;
+};
+struct NoReplState {};
+
 }  // namespace detail
 
 template <typename Cfg>
@@ -159,6 +182,17 @@ class StaticEngine : private tx::ApplyTarget {
   static_assert(!kPitr || kBackupFeature, "Pitr requires Backup");
   static_assert(!kBackupFeature || Cfg::kTransactions,
                 "Backup requires Transaction");
+  /// Optional Replication feature: epoch-fenced WAL shipping. Off for
+  /// Cfgs that predate it; selecting it sizes the fencing state and the
+  /// stamping code, nothing else — the shipping loop itself lives in
+  /// fame::repl and is linked only by products that use it.
+  static constexpr bool kReplication = detail::ReplicationSelected<Cfg>::value;
+  /// Optional Failover sub-feature of Replication: the promotion ceremony.
+  static constexpr bool kFailoverFeature = detail::FailoverSelected<Cfg>::value;
+  static_assert(!kReplication || kBackupFeature,
+                "Replication requires Backup");
+  static_assert(!kFailoverFeature || kReplication,
+                "Failover requires Replication");
 #if FAME_OBS_ENABLED
   /// Optional Observability feature (off for Cfgs that predate it). In a
   /// build with FAME_OBS_DISABLE the trait is pinned off and the metrics
@@ -188,6 +222,15 @@ class StaticEngine : private tx::ApplyTarget {
     auto file_or = storage::PageFile::Open(env, path, opts);
     FAME_RETURN_IF_ERROR(file_or.status());
     file_ = std::move(file_or).value();
+    if constexpr (kReplication) {
+      // Replication fence (epoch, role) persisted in the meta; see
+      // core::Database for the packing.
+      auto fence_or = file_->GetRootAux("repl.fence");
+      if (fence_or.ok()) {
+        repl_.epoch = static_cast<uint32_t>(fence_or.value() >> 8);
+        repl_.role = static_cast<uint8_t>(fence_or.value() & 0xff);
+      }
+    }
     auto bm_or = storage::BufferManager::Create(
         file_.get(), Cfg::kBufferFrames, alloc_.get(),
         storage::MakeReplacementPolicy(Cfg::kReplacement));
@@ -231,6 +274,9 @@ class StaticEngine : private tx::ApplyTarget {
         txmgr_ = std::move(mgr_or).value();
       }
       FAME_RETURN_IF_ERROR(txmgr_->Recover());
+      if constexpr (kReplication) {
+        if (repl_.epoch != 0) txmgr_->SetWalFenceEpoch(repl_.epoch);
+      }
     }
     return Status::OK();
   }
@@ -397,6 +443,74 @@ class StaticEngine : private tx::ApplyTarget {
     return txmgr_->wal_segment_stats();
   }
 
+  // ---- Replication / Failover feature surface (instantiated on use) ----
+  /// [feature Replication] Takes (or resumes) leadership under fencing
+  /// epoch `epoch`: persisted in the meta and stamped into every segment
+  /// created from here on.
+  Status StartLeader(uint32_t epoch) {
+    static_assert(kReplication,
+                  "feature Storage:Replication is not selected");
+    if (epoch < repl_.epoch) {
+      return Status::InvalidArgument("fencing epoch cannot move backwards");
+    }
+    repl_.epoch = epoch;
+    repl_.role = 1;
+    txmgr_->SetWalFenceEpoch(epoch);
+    return PersistFenceMeta();
+  }
+  /// [feature Replication] Fences this product as a read-only follower.
+  Status StartFollower(uint32_t epoch) {
+    static_assert(kReplication,
+                  "feature Storage:Replication is not selected");
+    if (epoch < repl_.epoch) {
+      return Status::InvalidArgument("fencing epoch cannot move backwards");
+    }
+    repl_.epoch = epoch;
+    repl_.role = 2;
+    txmgr_->SetWalFenceEpoch(epoch);
+    return PersistFenceMeta();
+  }
+  /// [feature Failover] Re-fences a follower as leader under `epoch`
+  /// (> current). The static product line leaves the integrity gate to
+  /// the caller (its Verify feature); the runtime facade's Promote runs
+  /// the scrub itself.
+  Status Promote(uint32_t epoch) {
+    static_assert(kFailoverFeature,
+                  "feature Replication:Failover is not selected");
+    if (repl_.role != 2) {
+      return Status::InvalidArgument("only a follower can be promoted");
+    }
+    if (epoch <= repl_.epoch) {
+      return Status::InvalidArgument("promotion must advance the epoch");
+    }
+    repl_.epoch = epoch;
+    repl_.role = 1;
+    txmgr_->SetWalFenceEpoch(epoch);
+    return PersistFenceMeta();
+  }
+  /// [feature Replication] Borrowed live handles for a repl::Leader.
+  backup::BackupContext ReplicationSource() {
+    static_assert(kReplication,
+                  "feature Storage:Replication is not selected");
+    backup::BackupContext ctx;
+    ctx.env = env_;
+    ctx.txmgr = txmgr_.get();
+    ctx.file = file_.get();
+    ctx.db_path = path_;
+    ctx.wal_path = path_ + ".wal";
+    return ctx;
+  }
+  uint32_t repl_epoch() const {
+    static_assert(kReplication,
+                  "feature Storage:Replication is not selected");
+    return repl_.epoch;
+  }
+  bool repl_follower() const {
+    static_assert(kReplication,
+                  "feature Storage:Replication is not selected");
+    return repl_.role == 2;
+  }
+
   // ---- degraded (read-only) mode, mirroring core::Database ----
   /// True after a persistent write failure flipped the engine read-only;
   /// Get/Scan keep serving, mutations are rejected until reopen.
@@ -490,10 +604,25 @@ class StaticEngine : private tx::ApplyTarget {
                          storage::SingleThreaded::Mutex>;
 
   Status GuardWrite() const {
+    if constexpr (kReplication) {
+      if (repl_.role == 2) {
+        return Status::NotSupported(
+            "replica is read-only (follower role); promote to accept writes");
+      }
+    }
     storage::LockGuard<LatchMutex> l(latch_mu_);
     if (write_error_.ok()) return Status::OK();
     return Status::IOError("engine is read-only after write failure: " +
                            write_error_.ToString());
+  }
+
+  /// [feature Replication] Fence persistence in the PageFile meta
+  /// (instantiated only from the gated surface above).
+  Status PersistFenceMeta() {
+    FAME_RETURN_IF_ERROR(file_->SetRoot(
+        "repl.fence", storage::kInvalidPageId,
+        (static_cast<uint64_t>(repl_.epoch) << 8) | repl_.role));
+    return file_->Sync();
   }
 
   Status NoteWrite(Status s) {
@@ -567,6 +696,10 @@ class StaticEngine : private tx::ApplyTarget {
                                            detail::BackupCounters,
                                            detail::NoBackupCounters>
       backup_counters_;
+  /// Sized only for Replication products ([[no_unique_address]] otherwise).
+  [[no_unique_address]] std::conditional_t<kReplication, detail::ReplState,
+                                           detail::NoReplState>
+      repl_;
   mutable LatchMutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy
 };

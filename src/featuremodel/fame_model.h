@@ -59,6 +59,9 @@ feature FAME-DBMS {
     optional Backup {     // [extension] segmented WAL + online hot backup
       optional Pitr       // [extension] segment archiving + point-in-time restore
     }
+    optional Replication {  // [extension] epoch-fenced WAL shipping
+      optional Failover     // [extension] integrity-gated promotion
+    }
   }
   mandatory Access abstract {
     mandatory Get
@@ -91,6 +94,9 @@ constraints {
   NutOS excludes Concurrency;
   ReverseScan requires B+-Tree;
   Backup requires Transaction;
+  Replication requires Backup;
+  Replication requires Verify;
+  Failover requires Replication;
 }
 )fm";
 
@@ -208,6 +214,31 @@ nfp binary_size 324851
 
 product API,B+-Tree,BTree-Search,Backup,Dynamic,Get,Int-Types,LRU,Linux,Pitr,Put,String-Types,Transaction,Update,WAL-Redo
 nfp binary_size 457489
+
+)nfp";
+
+/// Measured non-functional properties of the Replication feature
+/// (epoch-fenced WAL shipping) and its Failover child (integrity-gated
+/// promotion), FeedbackRepository text format. binary_size is Release
+/// .text bytes on x86-64 Linux (gcc -O2), measured with `size` on the two
+/// probe binaries tests/ builds from one and the same transactional
+/// verifying static product (tests/repl_probe_main.cc): repl_off_probe is
+/// the Backup + Verify product (and doubles as the zero-overhead proof —
+/// the nm test greps it for fame::repl symbols), repl_probe selects
+/// Replication + Failover on top (fence persistence, epoch-stamped
+/// segments, leader shipping loop, follower staging/apply, promotion
+/// gate). The two features are measured as a pair because Failover adds
+/// only the promotion ceremony to code Replication already links. The
+/// delta is dominated by the follower's apply path: staged segments are
+/// replayed by reopening the runtime engine, so a replication node links
+/// the dynamic Database alongside its static product — exactly the kind
+/// of heavyweight dependency the paper argues must stay optional.
+/// Remeasure after material changes to src/repl/.
+inline constexpr const char kFameReplicationNfpSeed[] = R"nfp(product API,B+-Tree,BTree-Search,Backup,Dynamic,Get,Int-Types,LRU,Linux,Put,String-Types,Transaction,Update,Verify,WAL-Redo
+nfp binary_size 396497
+
+product API,B+-Tree,BTree-Search,Backup,Dynamic,Failover,Get,Int-Types,LRU,Linux,Put,Replication,String-Types,Transaction,Update,Verify,WAL-Redo
+nfp binary_size 991330
 
 )nfp";
 

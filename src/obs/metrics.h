@@ -305,6 +305,13 @@ struct MetricsSnapshot {
   uint64_t backup_runs = 0;            ///< completed hot backups
   uint64_t backup_bytes = 0;           ///< bytes written by hot backups
 
+  // Replication ([feature Replication]; all zero otherwise).
+  bool repl = false;                   ///< this node carries a fence
+  bool repl_follower = false;          ///< fenced as follower (read-only)
+  uint64_t repl_epoch = 0;             ///< current fencing epoch
+  uint64_t repl_lag_bytes = 0;         ///< durable WAL bytes not yet acked
+  uint64_t repl_lag_epochs = 0;        ///< ship rounds behind (0 = caught up)
+
   // B+-tree.
   uint64_t btree_splits = 0;
   uint64_t btree_merges = 0;

@@ -103,6 +103,15 @@ std::string RenderText(const MetricsSnapshot& m) {
     Line(&out, "backup runs", m.backup_runs);
     Line(&out, "backup bytes", m.backup_bytes);
   }
+  if (m.repl) {
+    // [feature Replication] only — unfenced products keep the historical
+    // output byte-identical.
+    out += std::string("repl role: ") +
+           (m.repl_follower ? "follower" : "leader") + "\n";
+    Line(&out, "repl epoch", m.repl_epoch);
+    Line(&out, "repl lag bytes", m.repl_lag_bytes);
+    Line(&out, "repl lag epochs", m.repl_lag_epochs);
+  }
 
   // Observability sections (nonzero data only).
   if (!m.buffer_shards.empty() && m.buffer_shards.size() > 1) {
@@ -189,6 +198,12 @@ std::string RenderPrometheus(const MetricsSnapshot& m) {
     PromCounter(os, "wal_retained_lsn", m.wal_retained_lsn);
     PromCounter(os, "backup_runs_total", m.backup_runs);
     PromCounter(os, "backup_bytes_total", m.backup_bytes);
+  }
+  if (m.repl) {
+    PromCounter(os, "repl_follower", m.repl_follower ? 1 : 0);
+    PromCounter(os, "repl_epoch", m.repl_epoch);
+    PromCounter(os, "repl_lag_bytes", m.repl_lag_bytes);
+    PromCounter(os, "repl_lag_epochs", m.repl_lag_epochs);
   }
   PromCounter(os, "btree_splits_total", m.btree_splits);
   PromCounter(os, "btree_merges_total", m.btree_merges);

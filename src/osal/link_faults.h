@@ -1,0 +1,81 @@
+// Deterministic link-fault plans for the replication transport, the
+// network-side sibling of FaultInjectionEnv: instead of failing file IO by
+// operation index, a LinkFaults plan fails *message sends* by send index —
+// drop (the message vanishes, the sender sees a timeout), duplicate (the
+// peer receives it twice), delay (held back and delivered after the next
+// send: reordering), and partition (every send from a point on fails until
+// Heal()). Tests script a plan up front and the replication fault matrix
+// replays it deterministically; there is no randomness and no wall clock.
+//
+// Header-only and engine-agnostic: the transport asks `Next()` for the
+// fault decision of each send and implements the semantics itself.
+#ifndef FAME_OSAL_LINK_FAULTS_H_
+#define FAME_OSAL_LINK_FAULTS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fame::osal {
+
+/// A scripted fault plan over a sequence of message sends.
+class LinkFaults {
+ public:
+  /// What to do with one send.
+  struct Plan {
+    bool drop = false;         ///< discard; sender sees a transient failure
+    bool duplicate = false;    ///< deliver twice
+    bool delay = false;        ///< hold back, deliver after the next send
+    bool partitioned = false;  ///< link is down; nothing is delivered
+  };
+
+  /// Drops sends with index in [start, start + count).
+  void DropRange(uint64_t start, uint64_t count) {
+    drops_.emplace_back(start, count);
+  }
+  /// Delivers send `op` twice.
+  void DuplicateOp(uint64_t op) { dups_.push_back(op); }
+  /// Holds send `op` back so it arrives after the following send.
+  void DelayOp(uint64_t op) { delays_.push_back(op); }
+  /// Partitions the link from send `op` on; sends fail until Heal().
+  void PartitionFrom(uint64_t op) { partition_from_ = op; }
+  /// Repairs a partition; subsequent sends flow normally.
+  void Heal() { partition_from_ = kNever; }
+
+  /// Consumes the next send index and returns its fault decision.
+  Plan Next() {
+    const uint64_t op = next_op_++;
+    Plan p;
+    if (op >= partition_from_) {
+      p.partitioned = true;
+      return p;
+    }
+    for (const auto& [start, count] : drops_) {
+      if (op >= start && op - start < count) p.drop = true;
+    }
+    for (uint64_t d : dups_) {
+      if (d == op) p.duplicate = true;
+    }
+    for (uint64_t d : delays_) {
+      if (d == op) p.delay = true;
+    }
+    return p;
+  }
+
+  /// Sends decided so far (== the index the next send will get).
+  uint64_t sends() const { return next_op_; }
+  bool partitioned() const { return next_op_ >= partition_from_; }
+
+ private:
+  static constexpr uint64_t kNever = ~0ull;
+
+  std::vector<std::pair<uint64_t, uint64_t>> drops_;
+  std::vector<uint64_t> dups_;
+  std::vector<uint64_t> delays_;
+  uint64_t partition_from_ = kNever;
+  uint64_t next_op_ = 0;
+};
+
+}  // namespace fame::osal
+
+#endif  // FAME_OSAL_LINK_FAULTS_H_

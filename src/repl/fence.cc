@@ -1,0 +1,81 @@
+// Fence sidecar IO: the durable replication identity of a node, kept in a
+// small CRC-sealed text file next to the database so tooling (fame repl
+// status, fame_check) can read the role and epoch without opening the
+// engine. The PageFile meta carries a second copy ("repl.fence" root) that
+// fences writers even when the sidecar is lost; the sidecar is the
+// tooling-facing one.
+#include "repl/repl.h"
+
+#include <cstdio>
+
+#include "common/crc32.h"
+#include "common/stringutil.h"
+
+namespace fame::repl {
+
+namespace {
+constexpr char kMagicLine[] = "fame-fence 1";
+
+const char* RoleName(Role r) {
+  switch (r) {
+    case Role::kLeader:
+      return "leader";
+    case Role::kFollower:
+      return "follower";
+    case Role::kNone:
+      break;
+  }
+  return "none";
+}
+}  // namespace
+
+StatusOr<FenceState> LoadFence(osal::Env* env, const std::string& db_path) {
+  const std::string path = db_path + kFenceSuffix;
+  if (!env->FileExists(path)) {
+    return Status::NotFound("no fence sidecar at " + path);
+  }
+  std::string contents;
+  FAME_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
+  // Last line is "crc <masked crc of everything before it>".
+  size_t crc_pos = contents.rfind("crc ");
+  if (crc_pos == std::string::npos || crc_pos == 0 ||
+      contents[crc_pos - 1] != '\n') {
+    return Status::Corruption("fence sidecar missing crc seal: " + path);
+  }
+  uint32_t want = 0;
+  if (std::sscanf(contents.c_str() + crc_pos, "crc %u", &want) != 1 ||
+      want != MaskCrc(Crc32(contents.data(), crc_pos))) {
+    return Status::Corruption("fence sidecar crc mismatch: " + path);
+  }
+  FenceState f;
+  unsigned epoch = 0;
+  char role[16] = {0};
+  unsigned divergent = 0;
+  if (std::sscanf(contents.c_str(), "fame-fence 1\nepoch %u\nrole %15s\n"
+                  "divergent %u\n", &epoch, role, &divergent) != 3) {
+    return Status::Corruption("fence sidecar malformed: " + path);
+  }
+  f.epoch = epoch;
+  f.divergent = divergent != 0;
+  std::string r = role;
+  if (r == "leader") {
+    f.role = Role::kLeader;
+  } else if (r == "follower") {
+    f.role = Role::kFollower;
+  } else {
+    f.role = Role::kNone;
+  }
+  return f;
+}
+
+Status StoreFence(osal::Env* env, const std::string& db_path,
+                  const FenceState& fence) {
+  std::string body = StringPrintf("%s\nepoch %u\nrole %s\ndivergent %u\n",
+                                  kMagicLine, fence.epoch,
+                                  RoleName(fence.role),
+                                  fence.divergent ? 1u : 0u);
+  body += StringPrintf("crc %u\n", MaskCrc(Crc32(body.data(), body.size())));
+  return env->WriteStringToFile(db_path + kFenceSuffix, body);
+}
+
+}  // namespace fame::repl

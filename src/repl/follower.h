@@ -1,0 +1,100 @@
+// [feature Replication] Follower side of WAL shipping, and the promotion
+// ceremony. The follower's apply path is deliberately not new code: staged
+// segment bytes are applied by *reopening the engine*, which replays them
+// through the ordinary crash-recovery path (LogManager::Replay into the
+// ApplyTarget, then VerifyIntegrity). A crash mid-apply is therefore a
+// crash mid-recovery — a case the engine already survives idempotently.
+#ifndef FAME_REPL_FOLLOWER_H_
+#define FAME_REPL_FOLLOWER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "repl/repl.h"
+
+namespace fame::repl {
+
+/// Receives the leader's stream into local segment files and periodically
+/// applies them by reopening its engine. Create with Attach; single-
+/// threaded like the engines it wraps.
+class Follower final : public Peer {
+ public:
+  struct Options {
+    /// Template for the engine reopen in Sweep(): features and tuning of
+    /// the follower's product. path/env are overridden; the Transaction,
+    /// Backup, Verify, and Replication features are force-added (a
+    /// follower without them could not replay or scrub what it receives).
+    core::DbOptions base;
+  };
+
+  /// Binds a follower to `db_path` (creating its fence sidecar when absent)
+  /// and recovers the resume point from the staged segments on disk.
+  static StatusOr<std::unique_ptr<Follower>> Attach(osal::Env* env,
+                                                    std::string db_path,
+                                                    Options opts = {});
+
+  /// Peer: stages one message. Stale-epoch senders get Aborted ("fenced"),
+  /// duplicates and gaps are answered with the current contiguous end so
+  /// the leader resumes correctly, CRC-damaged chunks get a transient
+  /// error, and a failed seal cross-check marks the node divergent on disk
+  /// and returns DataLoss.
+  StatusOr<Ack> Deliver(const Message& m) override;
+
+  /// Applies everything staged so far: syncs the staged files, reopens the
+  /// engine (crash-recovery replay is the apply), verifies integrity, and
+  /// recomputes the resume point. DataLoss when the node is (or becomes)
+  /// divergent.
+  Status Sweep();
+
+  /// Contiguous WAL bytes staged (the resume point acked to the leader).
+  uint64_t end_lsn() const { return wal_end_; }
+  const FenceState& fence() const { return fence_; }
+  bool divergent() const { return fence_.divergent; }
+
+ private:
+  Follower(osal::Env* env, std::string db_path, Options opts);
+
+  Status DeliverWal(const Message& m);
+  Status DeliverSeal(const Message& m);
+  Status DeliverSnapshotFile(const Message& m, Ack* ack);
+  Status DeliverSnapshotDone();
+  /// Raises the fence to `epoch` (persisting it) if higher.
+  Status RaiseFence(uint32_t epoch);
+  Status MarkDivergent(const std::string& why);
+  /// Recomputes wal_end_ from the staged segment files.
+  Status ScanStagedWal();
+  /// Deletes the page file and every staged segment (epoch-change reset /
+  /// bootstrap replace).
+  Status ResetDataFiles();
+  Status ClearSnapshotStaging();
+  std::string SegmentName(uint32_t seq) const;
+  std::string SnapPrefix() const { return db_path_ + ".snap"; }
+
+  osal::Env* env_;
+  const std::string db_path_;
+  const std::string wal_path_;
+  Options opts_;
+  FenceState fence_;
+  uint64_t wal_end_ = 0;
+  bool snapshot_active_ = false;
+  /// Contiguous bytes staged per bootstrap artifact (keyed by suffix).
+  std::map<std::string, uint64_t> snap_received_;
+};
+
+/// Epoch-fenced failover: promotes the follower at `db_path` to leader.
+/// Refuses (DataLoss) when the node is marked divergent; otherwise opens
+/// the engine, runs the integrity-gated Database::Promote under epoch + 1,
+/// and rewrites the fence sidecar. Returns the new epoch. `base` carries
+/// the product's features/tuning like Follower::Options.
+StatusOr<uint32_t> PromoteFollower(osal::Env* env, const std::string& db_path,
+                                   const core::DbOptions& base);
+
+/// Force-adds the features a replication node cannot function without.
+void AddReplicationFeatures(std::vector<std::string>* features);
+
+}  // namespace fame::repl
+
+#endif  // FAME_REPL_FOLLOWER_H_

@@ -1,0 +1,388 @@
+#include "repl/leader.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/stringutil.h"
+#include "tx/txmgr.h"
+#include "tx/wal_segments.h"
+
+namespace fame::repl {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status ReadExactAt(osal::RandomAccessFile* f, uint64_t off, uint64_t n,
+                   char* dst) {
+  Slice result;
+  FAME_RETURN_IF_ERROR(f->Read(off, n, dst, &result));
+  if (result.size() != n) return Status::IOError("short replication read");
+  return Status::OK();
+}
+
+}  // namespace
+
+Leader::Leader(core::backup::BackupContext source, uint32_t epoch,
+               Transport* transport, LeaderOptions opts)
+    : ctx_(std::move(source)),
+      epoch_(epoch),
+      transport_(transport),
+      opts_(std::move(opts)) {
+  if (opts_.chunk_bytes == 0) opts_.chunk_bytes = 4096;
+  if (opts_.send_retry.now_nanos == nullptr &&
+      opts_.send_retry.budget_nanos == 0 &&
+      opts_.send_retry.base.max_attempts == 3 &&
+      opts_.send_retry.base.backoff == nullptr) {
+    // Untouched default: jittered backoff under a 200ms total budget.
+    opts_.send_retry.base = HostIoRetryPolicy();
+    opts_.send_retry.budget_nanos = 200ull * 1000 * 1000;
+    opts_.send_retry.now_nanos = &SteadyNowNanos;
+  }
+  if (opts_.archive_prefix.empty()) {
+    opts_.archive_prefix = ctx_.wal_path + ".arc.";
+  }
+}
+
+StatusOr<Ack> Leader::SendChecked(const Message& m) {
+  Ack ack;
+  Status s = RetryOnTransientDeadline(opts_.send_retry, [&]() -> Status {
+    auto ack_or = transport_->Send(m);
+    if (!ack_or.ok()) return ack_or.status();
+    ack = std::move(ack_or).value();
+    return Status::OK();
+  });
+  if (!s.ok()) {
+    if (s.IsAborted()) deposed_ = true;  // follower rejected our epoch
+    return s;
+  }
+  if (ack.epoch > epoch_) {
+    deposed_ = true;
+    return Status::Aborted(StringPrintf(
+        "fenced: follower is at epoch %u, this leader at %u", ack.epoch,
+        epoch_));
+  }
+  follower_has_db_ = ack.has_db;
+  return ack;
+}
+
+Status Leader::SyncOnce() {
+  if (deposed_) {
+    return Status::Aborted("fenced: this leader was deposed");
+  }
+  ++rounds_started_;
+  Status s = ShipRound();
+  const uint64_t durable = ctx_.txmgr->durable_lsn();
+  lag_bytes_ = durable > acked_end_ ? durable - acked_end_ : 0;
+  if (s.ok() && lag_bytes_ == 0) {
+    rounds_acked_ = rounds_started_;
+    NoteCaughtUp();
+  } else if (!s.ok() && !s.IsAborted() && IsTransient(s)) {
+    NoteStall(s);
+  }
+  if (opts_.lag_sink) opts_.lag_sink(lag_bytes_, lag_epochs());
+  return s;
+}
+
+Status Leader::ShipRound() {
+  if (!hello_sent_) {
+    Message hello;
+    hello.kind = Message::kHello;
+    hello.epoch = epoch_;
+    // The hello carries our durable end: a follower whose log runs past it
+    // (possible only across an epoch change) resets and re-bootstraps —
+    // its surplus suffix was never durable under this leadership.
+    hello.total = ctx_.txmgr->durable_lsn();
+    FAME_ASSIGN_OR_RETURN(Ack a, SendChecked(hello));
+    acked_end_ = a.end_lsn;  // resume point from the follower's disk
+    hello_sent_ = true;
+  }
+
+  const tx::WalSegmentStats stats = ctx_.txmgr->wal_segment_stats();
+  const uint64_t durable = ctx_.txmgr->durable_lsn();
+
+  // A follower with no database and no staged WAL needs a snapshot
+  // baseline: the retained chain only encodes changes made after it was
+  // created, and the leader's state at the chain's base may live in
+  // checkpointed pages (a migrated legacy log starts an empty chain).
+  const bool needs_baseline =
+      !follower_has_db_ && acked_end_ == 0 && !bootstrapped_once_;
+  if (acked_end_ < stats.start_lsn || needs_baseline) {
+    // The follower is behind the retained start of the live chain. Splice
+    // archived segments when they cover the gap (Pitr products); otherwise
+    // fall back to a full snapshot bootstrap. A baseline-less follower
+    // always bootstraps: no WAL suffix can stand in for the pages.
+    std::vector<SegView> splice;
+    bool spliceable = false;
+    if (!needs_baseline) {
+      std::vector<SegView> archived;
+      FAME_RETURN_IF_ERROR(CollectArchived(&archived));
+      uint64_t covered_to = acked_end_;
+      bool contiguous = true;
+      for (const SegView& v : archived) {
+        if (v.base + v.payload <= acked_end_) continue;
+        if (v.base >= stats.start_lsn) break;
+        if (v.base > covered_to) {
+          contiguous = false;
+          break;
+        }
+        splice.push_back(v);
+        covered_to = v.base + v.payload;
+      }
+      spliceable =
+          contiguous && covered_to >= stats.start_lsn && !splice.empty();
+    }
+    Status catchup;
+    if (spliceable) {
+      catchup = ShipSegments(splice, stats.start_lsn);
+      if (catchup.ok()) catchup = SealSegments(splice, /*all_sealed=*/true);
+    }
+    if (!spliceable || catchup.IsDataLoss()) {
+      // No archive coverage — or the follower flagged divergence on the
+      // spliced bytes. Either way the snapshot is the fresh baseline.
+      FAME_RETURN_IF_ERROR(Bootstrap());
+    } else {
+      FAME_RETURN_IF_ERROR(catchup);
+    }
+  }
+
+  Status live = ShipLive(durable);
+  if (live.IsDataLoss()) {
+    // The follower declared itself divergent (its staged bytes or its
+    // scrub disagreed with this leader). It refuses WAL but accepts a
+    // snapshot, and a completed bootstrap clears the mark on its side:
+    // re-baseline it, then re-ship the live tail.
+    FAME_RETURN_IF_ERROR(Bootstrap());
+    live = ShipLive(durable);
+  }
+  return live;
+}
+
+Status Leader::ShipLive(uint64_t durable) {
+  std::vector<tx::WalSegmentInfo> infos;
+  FAME_RETURN_IF_ERROR(ctx_.txmgr->ListWalSegments(&infos));
+  std::vector<SegView> live;
+  live.reserve(infos.size());
+  for (const tx::WalSegmentInfo& i : infos) {
+    live.push_back({i.file, i.seq, i.base_lsn, i.payload_bytes, i.epoch});
+  }
+  FAME_RETURN_IF_ERROR(ShipSegments(live, durable));
+  return SealSegments(live, /*all_sealed=*/false);
+}
+
+Status Leader::ShipSegments(const std::vector<SegView>& views,
+                            uint64_t limit) {
+  for (int pass = 0; pass < 4; ++pass) {
+    bool rewound = false;
+    for (const SegView& v : views) {
+      const uint64_t seg_end = std::min(v.base + v.payload, limit);
+      if (seg_end <= acked_end_) continue;
+      if (v.base > acked_end_) {
+        // The resume point fell below this chain (segments were recycled
+        // under the follower). The next round takes the bootstrap path.
+        return Status::OK();
+      }
+      auto f_or = ctx_.env->OpenFile(v.file, /*create=*/false);
+      FAME_RETURN_IF_ERROR(f_or.status());
+      std::unique_ptr<osal::RandomAccessFile> f = std::move(f_or).value();
+      while (acked_end_ < seg_end) {
+        const uint64_t n = std::min(opts_.chunk_bytes, seg_end - acked_end_);
+        std::string buf(n, '\0');
+        FAME_RETURN_IF_ERROR(ReadExactAt(
+            f.get(), tx::seg::kHeaderSize + (acked_end_ - v.base), n,
+            buf.data()));
+        Message m;
+        m.kind = Message::kWal;
+        m.epoch = epoch_;
+        m.seq = v.seq;
+        m.base_lsn = v.base;
+        m.seg_epoch = v.epoch;
+        m.lsn = acked_end_;
+        m.crc = Crc32(buf.data(), buf.size());
+        m.payload = std::move(buf);
+        FAME_ASSIGN_OR_RETURN(Ack a, SendChecked(m));
+        if (a.end_lsn != acked_end_ + n) {
+          // Short ack: the follower lost staged bytes (crash) or saw the
+          // chunks out of order — rewind to what it holds and re-ship.
+          // A long ack (duplicate delivery on reattach) just skips ahead.
+          acked_end_ = a.end_lsn;
+          rewound = true;
+          break;
+        }
+        acked_end_ = a.end_lsn;
+      }
+      if (rewound) break;
+    }
+    if (!rewound) return Status::OK();
+  }
+  return Status::IOError("follower kept rewinding; giving up this round");
+}
+
+Status Leader::SealSegments(const std::vector<SegView>& views,
+                            bool all_sealed) {
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (!all_sealed && i + 1 == views.size()) break;  // active segment
+    const SegView& v = views[i];
+    if (v.base + v.payload > acked_end_) break;  // not fully shipped yet
+    if (sealed_sent_.count(v.seq) != 0) continue;
+    std::string payload(v.payload, '\0');
+    if (v.payload > 0) {
+      auto f_or = ctx_.env->OpenFile(v.file, /*create=*/false);
+      FAME_RETURN_IF_ERROR(f_or.status());
+      FAME_RETURN_IF_ERROR(ReadExactAt(f_or.value().get(),
+                                       tx::seg::kHeaderSize, v.payload,
+                                       payload.data()));
+    }
+    Message m;
+    m.kind = Message::kSeal;
+    m.epoch = epoch_;
+    m.seq = v.seq;
+    m.base_lsn = v.base;
+    m.seg_epoch = v.epoch;
+    m.total = v.payload;
+    m.crc = Crc32(payload.data(), payload.size());
+    FAME_ASSIGN_OR_RETURN(Ack a, SendChecked(m));
+    (void)a;
+    sealed_sent_.insert(v.seq);
+  }
+  return Status::OK();
+}
+
+Status Leader::Bootstrap() {
+  const std::string prefix = ctx_.db_path + ".replship";
+  std::vector<std::string> stale;
+  (void)ctx_.env->ListFiles(prefix, &stale);
+  for (const std::string& f : stale) {
+    FAME_RETURN_IF_ERROR(ctx_.env->DeleteFile(f));
+  }
+  core::backup::BackupReport report;
+  FAME_RETURN_IF_ERROR(core::backup::RunBackup(ctx_, prefix, &report));
+
+  Message begin;
+  begin.kind = Message::kSnapshotBegin;
+  begin.epoch = epoch_;
+  {
+    FAME_ASSIGN_OR_RETURN(Ack a, SendChecked(begin));
+    (void)a;
+  }
+
+  std::vector<std::string> files;
+  FAME_RETURN_IF_ERROR(ctx_.env->ListFiles(prefix, &files));
+  for (const std::string& file : files) {
+    const std::string name = file.substr(prefix.size());
+    auto f_or = ctx_.env->OpenFile(file, /*create=*/false);
+    FAME_RETURN_IF_ERROR(f_or.status());
+    std::unique_ptr<osal::RandomAccessFile> f = std::move(f_or).value();
+    auto size_or = f->Size();
+    FAME_RETURN_IF_ERROR(size_or.status());
+    const uint64_t size = size_or.value();
+    uint64_t pos = 0;
+    uint32_t stagnant = 0;
+    do {
+      const uint64_t n = std::min(opts_.chunk_bytes, size - pos);
+      std::string buf(n, '\0');
+      if (n > 0) FAME_RETURN_IF_ERROR(ReadExactAt(f.get(), pos, n, buf.data()));
+      Message m;
+      m.kind = Message::kSnapshotFile;
+      m.epoch = epoch_;
+      m.name = name;
+      m.offset = pos;
+      m.total = size;
+      m.crc = Crc32(buf.data(), buf.size());
+      m.payload = std::move(buf);
+      FAME_ASSIGN_OR_RETURN(Ack a, SendChecked(m));
+      // The follower reports its contiguous prefix of this artifact; jump
+      // there (resume past what it already has, rewind over what it lost).
+      if (a.snapshot_bytes <= pos && n > 0) {
+        if (++stagnant > 8) {
+          return Status::IOError("bootstrap made no progress on " + file);
+        }
+      } else {
+        stagnant = 0;
+      }
+      pos = a.snapshot_bytes;
+    } while (pos < size);
+  }
+
+  Message done;
+  done.kind = Message::kSnapshotDone;
+  done.epoch = epoch_;
+  FAME_ASSIGN_OR_RETURN(Ack a, SendChecked(done));
+  acked_end_ = a.end_lsn;
+
+  files.clear();
+  (void)ctx_.env->ListFiles(prefix, &files);
+  for (const std::string& f : files) (void)ctx_.env->DeleteFile(f);
+  bootstrapped_once_ = true;
+  return Status::OK();
+}
+
+Status Leader::CollectArchived(std::vector<SegView>* out) const {
+  std::vector<std::string> names;
+  if (!ctx_.env->ListFiles(opts_.archive_prefix, &names).ok()) {
+    return Status::OK();
+  }
+  for (const std::string& name : names) {
+    auto f_or = ctx_.env->OpenFile(name, /*create=*/false);
+    if (!f_or.ok()) continue;
+    auto size_or = f_or.value()->Size();
+    if (!size_or.ok() || size_or.value() < tx::seg::kHeaderSize) continue;
+    char hdr[tx::seg::kHeaderSize];
+    if (!ReadExactAt(f_or.value().get(), 0, tx::seg::kHeaderSize, hdr).ok()) {
+      continue;
+    }
+    uint64_t base = 0;
+    uint32_t seq = 0;
+    uint32_t seg_epoch = 0;
+    if (!tx::seg::DecodeSegmentHeader(hdr, tx::seg::kHeaderSize, &base, &seq,
+                                      &seg_epoch)) {
+      continue;
+    }
+    out->push_back(
+        {name, seq, base, size_or.value() - tx::seg::kHeaderSize, seg_epoch});
+  }
+  std::sort(out->begin(), out->end(),
+            [](const SegView& a, const SegView& b) { return a.base < b.base; });
+  return Status::OK();
+}
+
+void Leader::NoteStall(const Status& cause) {
+  stalled_ = true;
+  if (!holding_ && !shed_) {
+    // Pin the chain so the follower can resume from live segments instead
+    // of paying for a bootstrap — bounded below.
+    ctx_.txmgr->PauseWalRecycle(true);
+    holding_ = true;
+  }
+  const uint64_t durable = ctx_.txmgr->durable_lsn();
+  const uint64_t held = durable > acked_end_ ? durable - acked_end_ : 0;
+  const tx::WalSegmentStats stats = ctx_.txmgr->wal_segment_stats();
+  if (holding_ &&
+      (held > opts_.max_hold_bytes || IsDiskFull(cause) ||
+       stats.archive_stalled)) {
+    // Shed the hold: the leader's durability beats the follower's
+    // convenience. Checkpoints recycle again; the follower re-enters
+    // through the archive splice or a fresh bootstrap.
+    ctx_.txmgr->PauseWalRecycle(false);
+    holding_ = false;
+    shed_ = true;
+  }
+}
+
+void Leader::NoteCaughtUp() {
+  stalled_ = false;
+  shed_ = false;
+  if (holding_) {
+    ctx_.txmgr->PauseWalRecycle(false);
+    holding_ = false;
+  }
+}
+
+}  // namespace fame::repl

@@ -1,0 +1,118 @@
+// [feature Replication] Leader side of WAL shipping. One Leader instance
+// serves one follower link; a node with several followers runs several
+// Leaders over the same engine handles.
+#ifndef FAME_REPL_LEADER_H_
+#define FAME_REPL_LEADER_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "core/backup.h"
+#include "repl/repl.h"
+
+namespace fame::repl {
+
+struct LeaderOptions {
+  /// Payload bytes per kWal / kSnapshotFile chunk.
+  uint64_t chunk_bytes = 4096;
+  /// Per-send retry with a total deadline budget; defaults to jittered
+  /// backoff under a 200ms budget on a steady clock. Tests substitute a
+  /// fake clock / zero budget to stay deterministic.
+  DeadlineRetryPolicy send_retry;
+  /// Un-acked live WAL bytes the leader will pin (recycle hold) for a
+  /// stalled follower before shedding the hold and letting checkpoints
+  /// recycle again — the follower then re-enters through the archive
+  /// splice or a fresh bootstrap. Mirrors the archive-stall semantics.
+  uint64_t max_hold_bytes = 1 << 20;
+  /// Archived-segment namespace for catch-up splicing; defaults to the
+  /// engine's "<wal>.arc." convention.
+  std::string archive_prefix;
+  /// Invoked at the end of every SyncOnce with (lag_bytes, lag_epochs);
+  /// the Database glue points this at its lag gauges.
+  std::function<void(uint64_t, uint64_t)> lag_sink;
+};
+
+/// Ships the leader's WAL to one follower. Single-threaded: call SyncOnce
+/// from the replication tick (tests call it directly). The leader keeps
+/// committing regardless of follower health — shipping is asynchronous by
+/// construction and degradation is bounded by `max_hold_bytes`.
+class Leader {
+ public:
+  /// `source` holds borrowed live handles of the open leader engine
+  /// (Database::ReplicationSource or StaticEngine::ReplicationSource);
+  /// `epoch` is the leader's fencing epoch (already stamped into the
+  /// engine via StartLeader).
+  Leader(core::backup::BackupContext source, uint32_t epoch,
+         Transport* transport, LeaderOptions opts = {});
+
+  /// One shipping round: bootstrap / archive-splice if the follower is
+  /// behind the retained log start, then ship live segment bytes up to the
+  /// durable end, then announce seals for fully-acked sealed segments.
+  /// Transient link errors stall the round (retention hold engaged, lag
+  /// grows, commits unaffected); a fencing rejection (Aborted) means this
+  /// leader was deposed and must stop.
+  Status SyncOnce();
+
+  uint64_t acked_end() const { return acked_end_; }
+  uint64_t lag_bytes() const { return lag_bytes_; }
+  uint64_t lag_epochs() const { return rounds_started_ - rounds_acked_; }
+  bool follower_stalled() const { return stalled_; }
+  bool holding_retention() const { return holding_; }
+  /// The hold was shed (budget exceeded / disk full); the follower will
+  /// catch up through the archive or a fresh bootstrap.
+  bool hold_shed() const { return shed_; }
+  /// A fencing rejection arrived: a newer leader exists.
+  bool deposed() const { return deposed_; }
+
+ private:
+  /// A shippable segment view: live chain entry or archived file.
+  struct SegView {
+    std::string file;
+    uint32_t seq = 0;
+    uint64_t base = 0;
+    uint64_t payload = 0;
+    uint32_t epoch = 0;
+  };
+
+  StatusOr<Ack> SendChecked(const Message& m);
+  Status ShipRound();
+  /// Ships + seals the live chain up to `durable`.
+  Status ShipLive(uint64_t durable);
+  Status ShipSegments(const std::vector<SegView>& views, uint64_t limit);
+  /// Announces seals for fully-acked segments; `all_sealed` covers archive
+  /// splices (every view is sealed), otherwise the last view is the active
+  /// segment and is skipped.
+  Status SealSegments(const std::vector<SegView>& views, bool all_sealed);
+  Status Bootstrap();
+  Status CollectArchived(std::vector<SegView>* out) const;
+  void NoteStall(const Status& cause);
+  void NoteCaughtUp();
+
+  core::backup::BackupContext ctx_;
+  const uint32_t epoch_;
+  Transport* transport_;
+  LeaderOptions opts_;
+
+  uint64_t acked_end_ = 0;
+  uint64_t lag_bytes_ = 0;
+  uint64_t rounds_started_ = 0;
+  uint64_t rounds_acked_ = 0;
+  bool hello_sent_ = false;
+  bool stalled_ = false;
+  bool holding_ = false;
+  bool shed_ = false;
+  bool deposed_ = false;
+  bool bootstrapped_once_ = false;
+  /// Last ack's view of whether the follower has a materialized database;
+  /// a baseline-less follower is bootstrapped even at zero LSN lag.
+  bool follower_has_db_ = false;
+  std::set<uint32_t> sealed_sent_;
+};
+
+}  // namespace fame::repl
+
+#endif  // FAME_REPL_LEADER_H_

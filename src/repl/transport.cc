@@ -1,0 +1,45 @@
+// Deterministic in-process transport. Fault semantics:
+//   drop      — the message never reaches the peer; the sender sees a
+//               transient IOError, exactly like a send timeout.
+//   duplicate — delivered twice back to back; the second ack wins (acks are
+//               idempotent, so both describe the same follower state).
+//   delay     — held back and delivered *after* the next send, modelling
+//               network reordering; the sender sees a timeout for the held
+//               message (it will retransmit, adding duplication on top).
+//   partition — the link is down: transient IOError on every send until the
+//               plan is healed.
+#include "repl/repl.h"
+
+namespace fame::repl {
+
+StatusOr<Ack> InProcessTransport::Send(const Message& m) {
+  osal::LinkFaults::Plan plan;
+  if (faults_ != nullptr) plan = faults_->Next();
+  if (plan.partitioned) {
+    return Status::IOError("repl link partitioned");
+  }
+  if (plan.drop) {
+    return Status::IOError("repl send timed out (dropped)");
+  }
+  if (plan.delay) {
+    held_.push_back(m);
+    return Status::IOError("repl send timed out (delayed in flight)");
+  }
+  auto ack_or = peer_->Deliver(m);
+  if (ack_or.ok() && plan.duplicate) {
+    ack_or = peer_->Deliver(m);
+  }
+  // Flush delayed messages *after* the current one: they arrive out of
+  // order. Their acks are stale by construction and are discarded; the
+  // sender already treated them as timed out and will have retransmitted.
+  if (!held_.empty()) {
+    std::vector<Message> held;
+    held.swap(held_);
+    for (const Message& h : held) {
+      (void)peer_->Deliver(h);
+    }
+  }
+  return ack_or;
+}
+
+}  // namespace fame::repl

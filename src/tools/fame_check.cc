@@ -73,6 +73,13 @@ StatusOr<std::unique_ptr<core::Database>> OpenForCheck(const std::string& path,
       opts.features.push_back("Pitr");
     }
   }
+  // A `<db>.fence` sidecar marks a replication node (leader or follower).
+  // Select Replication so the fence meta is a recognized part of the
+  // product: --verify on a follower must report clean, not flag the fence
+  // (model propagation adds Backup and whatever else Replication requires).
+  if (osal::GetPosixEnv()->FileExists(path + ".fence")) {
+    opts.features.push_back("Replication");
+  }
   return core::Database::Open(opts);
 }
 

@@ -25,6 +25,13 @@
 //                                     rebuild <db-path> from a backup; with
 //                                     --to-lsn, point-in-time recovery using
 //                                     archived segments under PREFIX
+//   fame repl status <db-path>        fencing state of a replication node
+//   fame repl bootstrap <leader-db> <follower-db>
+//                                     ship the leader's WAL (bootstrapping
+//                                     the follower when needed) and apply it
+//   fame repl sync <leader-db> <follower-db>
+//                                     alias of bootstrap: one catch-up pass
+//   fame repl promote <follower-db>   integrity-gated promotion to leader
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +49,8 @@
 #include "obs/serialize.h"
 #include "obs/trace.h"
 #include "osal/env.h"
+#include "repl/follower.h"
+#include "repl/leader.h"
 
 using namespace fame;
 
@@ -63,7 +72,11 @@ int Usage() {
                "  fame trace <db-path> [--last N]\n"
                "  fame backup <db-path> <dest>\n"
                "  fame restore <src> <db-path> [--to-lsn N] [--archive "
-               "PREFIX]\n");
+               "PREFIX]\n"
+               "  fame repl status <db-path>\n"
+               "  fame repl bootstrap <leader-db> <follower-db>\n"
+               "  fame repl sync <leader-db> <follower-db>\n"
+               "  fame repl promote <follower-db>\n");
   return 2;
 }
 
@@ -74,6 +87,12 @@ int Usage() {
 /// recycled segments keep flowing into the archive.
 void AddWalFeatures(const std::string& path,
                     std::vector<std::string>* features) {
+  // A `<db>.fence` sidecar means the node is part of a replica set: select
+  // Replication (and what it requires) so the fence meta and epoch-stamped
+  // segments round-trip — even before any WAL has been shipped.
+  if (osal::GetPosixEnv()->FileExists(path + repl::kFenceSuffix)) {
+    repl::AddReplicationFeatures(features);
+  }
   std::vector<std::string> files;
   if (!osal::GetPosixEnv()->ListFiles(path + ".wal.", &files).ok() ||
       files.empty()) {
@@ -523,6 +542,119 @@ int CmdRestore(int argc, char** argv) {
   return 0;
 }
 
+const char* RoleName(repl::Role role) {
+  switch (role) {
+    case repl::Role::kLeader:
+      return "leader";
+    case repl::Role::kFollower:
+      return "follower";
+    case repl::Role::kNone:
+      break;
+  }
+  return "none";
+}
+
+int CmdReplStatus(const char* path) {
+  auto fence = repl::LoadFence(osal::GetPosixEnv(), path);
+  if (!fence.ok()) {
+    if (fence.status().IsNotFound()) {
+      std::printf("%s: not a replication node (no fence sidecar)\n", path);
+      return 0;
+    }
+    std::fprintf(stderr, "error: %s\n", fence.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("role: %s\nepoch: %u\ndivergent: %s\n", RoleName(fence->role),
+              fence->epoch, fence->divergent ? "yes" : "no");
+  return 0;
+}
+
+/// One catch-up pass: opens the leader, ships its WAL to the follower
+/// (bootstrapping over a snapshot when the follower is too far behind),
+/// and applies the staged bytes on the follower.
+int CmdReplSync(const char* leader_path, const char* follower_path) {
+  osal::Env* env = osal::GetPosixEnv();
+  uint32_t epoch = 1;
+  auto lf = repl::LoadFence(env, leader_path);
+  if (lf.ok()) {
+    if (lf->role == repl::Role::kFollower) {
+      std::fprintf(stderr,
+                   "error: %s is fenced as a follower; promote it first\n",
+                   leader_path);
+      return 1;
+    }
+    if (lf->epoch > epoch) epoch = lf->epoch;
+  }
+  core::DbOptions opts;
+  opts.path = leader_path;
+  AddWalFeatures(opts.path, &opts.features);
+  repl::AddReplicationFeatures(&opts.features);
+  auto db = core::Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Status s = (*db)->StartLeader(epoch);
+  if (s.ok()) {
+    s = repl::StoreFence(env, leader_path,
+                         {epoch, repl::Role::kLeader, false});
+  }
+  auto follower_or = repl::Follower::Attach(env, follower_path);
+  if (!s.ok() || !follower_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (s.ok() ? follower_or.status() : s).ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<repl::Follower> follower = std::move(follower_or).value();
+  repl::InProcessTransport link(follower.get());
+  auto src = (*db)->ReplicationSource();
+  if (!src.ok()) {
+    std::fprintf(stderr, "error: %s\n", src.status().ToString().c_str());
+    return 1;
+  }
+  repl::Leader leader(*src, epoch, &link);
+  for (int round = 0; round < 8; ++round) {
+    s = leader.SyncOnce();
+    if (!s.ok() || leader.lag_bytes() == 0) break;
+  }
+  if (s.ok()) s = follower->Sweep();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("synced %s -> %s\n"
+              "  epoch:        %u\n"
+              "  acked end:    %llu\n"
+              "  lag bytes:    %llu\n",
+              leader_path, follower_path, epoch,
+              static_cast<unsigned long long>(leader.acked_end()),
+              static_cast<unsigned long long>(leader.lag_bytes()));
+  return 0;
+}
+
+int CmdReplPromote(const char* path) {
+  core::DbOptions base;
+  AddWalFeatures(path, &base.features);
+  auto epoch = repl::PromoteFollower(osal::GetPosixEnv(), path, base);
+  if (!epoch.ok()) {
+    std::fprintf(stderr, "error: %s\n", epoch.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("promoted %s to leader at epoch %u\n", path, epoch.value());
+  return 0;
+}
+
+int CmdRepl(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string sub = argv[0];
+  if (sub == "status") return CmdReplStatus(argv[1]);
+  if ((sub == "bootstrap" || sub == "sync") && argc >= 3) {
+    return CmdReplSync(argv[1], argv[2]);
+  }
+  if (sub == "promote") return CmdReplPromote(argv[1]);
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -539,5 +671,6 @@ int main(int argc, char** argv) {
   if (cmd == "trace") return CmdTrace(argc - 2, argv + 2);
   if (cmd == "backup") return CmdBackup(argc - 2, argv + 2);
   if (cmd == "restore") return CmdRestore(argc - 2, argv + 2);
+  if (cmd == "repl") return CmdRepl(argc - 2, argv + 2);
   return Usage();
 }

@@ -183,6 +183,11 @@ class TransactionManager {
   Status VerifyWalChain(std::vector<std::string>* issues) const {
     return log_->VerifySegmentChain(issues);
   }
+  /// [feature Replication] Raises the fencing epoch stamped into WAL
+  /// segments created from now on (monotone; no-op on a legacy log).
+  void SetWalFenceEpoch(uint32_t epoch) { log_->SetSegmentEpoch(epoch); }
+  /// [feature Replication] Current fencing epoch of the segmented log.
+  uint32_t wal_fence_epoch() const { return log_->segment_epoch(); }
   /// [feature Backup] Runs `fn` with engine applies (and checkpoints)
   /// excluded, so a fuzzy page copy sees no concurrent page writes. In
   /// single-threaded builds this is just `fn()`.

@@ -134,6 +134,8 @@ struct WalSegmentStats {
   bool archive_stalled = false;
   Lsn start_lsn = 0;     ///< first byte still present in the chain
   Lsn retained_lsn = 0;  ///< current retention watermark
+  /// [feature Replication] fencing epoch new segments are stamped with.
+  uint32_t fence_epoch = 0;
 };
 
 /// [feature Backup] One live segment, for backup copies and chain checks.
@@ -142,6 +144,7 @@ struct WalSegmentInfo {
   uint32_t seq = 0;           ///< sequence number (monotonic, never reused)
   Lsn base_lsn = 0;           ///< LSN of the first payload byte
   uint64_t payload_bytes = 0; ///< payload length (excludes the header)
+  uint32_t epoch = 0;         ///< fencing epoch from the segment header
 };
 
 /// Physical byte store under the LogManager. The classic backend is an
@@ -185,6 +188,10 @@ class WalStore {
   /// found at open; reported as corruption by Replay.
   virtual uint64_t orphaned_bytes() const = 0;
   virtual uint64_t orphaned_records() const = 0;
+  /// [feature Replication] Raises the fencing epoch stamped into segment
+  /// headers created from now on (monotone; existing headers are history).
+  virtual void SetEpoch(uint32_t epoch) { (void)epoch; }
+  virtual uint32_t epoch() const { return 0; }
 };
 
 /// Append-only log over an osal file. Appends are buffered in memory until
@@ -242,6 +249,15 @@ class LogManager {
   /// First logical byte still present (0 for the single-file backend).
   Lsn start_lsn() const {
     return store_ != nullptr ? store_->start_lsn() : 0;
+  }
+
+  /// [feature Replication] Raises the fencing epoch stamped into segments
+  /// created from now on; no-op on the single-file backend.
+  void SetSegmentEpoch(uint32_t epoch) {
+    if (store_ != nullptr) store_->SetEpoch(epoch);
+  }
+  uint32_t segment_epoch() const {
+    return store_ != nullptr ? store_->epoch() : 0;
   }
 
   /// Switches on the group-commit protocol. Call once, before any

@@ -45,26 +45,27 @@ std::string SegmentSuffix(uint32_t seq) {
   return buf;
 }
 
-std::string EncodeSegmentHeader(Lsn base, uint32_t seq) {
+std::string EncodeSegmentHeader(Lsn base, uint32_t seq, uint32_t epoch) {
   std::string h;
   PutFixed32(&h, kMagic);
   PutFixed32(&h, kVersion);
   PutFixed64(&h, base);
   PutFixed32(&h, seq);
-  PutFixed32(&h, 0);  // reserved
+  PutFixed32(&h, epoch);  // fencing epoch; 0 outside Replication products
   PutFixed32(&h, MaskCrc(Crc32(h.data(), h.size())));
   h.resize(kHeaderSize, '\0');
   return h;
 }
 
 bool DecodeSegmentHeader(const char* data, uint64_t n, Lsn* base,
-                         uint32_t* seq) {
+                         uint32_t* seq, uint32_t* epoch) {
   if (n < kHeaderSize) return false;
   if (DecodeFixed32(data) != kMagic) return false;
   if (DecodeFixed32(data + 4) != kVersion) return false;
   if (DecodeFixed32(data + 24) != MaskCrc(Crc32(data, 24))) return false;
   *base = DecodeFixed64(data + 8);
   *seq = DecodeFixed32(data + 16);
+  if (epoch != nullptr) *epoch = DecodeFixed32(data + 20);
   return true;
 }
 
@@ -85,6 +86,8 @@ struct Segment {
   /// pinned to the successor's base (trailing junk past it is unreachable);
   /// for the active segment it tracks the append position.
   uint64_t payload = 0;
+  /// Fencing epoch from the header ([feature Replication]; 0 otherwise).
+  uint32_t epoch = 0;
 };
 
 class SegmentStore final : public WalStore {
@@ -141,10 +144,13 @@ class SegmentStore final : public WalStore {
           ReadExact(f.get(), 0, kHeaderSize, hdr).ok()) {
         Lsn base = 0;
         uint32_t hdr_seq = 0;
-        if (DecodeSegmentHeader(hdr, kHeaderSize, &base, &hdr_seq) &&
+        uint32_t hdr_epoch = 0;
+        if (DecodeSegmentHeader(hdr, kHeaderSize, &base, &hdr_seq,
+                                &hdr_epoch) &&
             hdr_seq == seq) {
           p.seg.base = base;
           p.seg.payload = p.file_size - kHeaderSize;
+          p.seg.epoch = hdr_epoch;
           p.valid = true;
         }
       }
@@ -200,6 +206,9 @@ class SegmentStore final : public WalStore {
       FAME_RETURN_IF_ERROR(file_or.status());
       active_ = std::move(file_or).value();
     }
+    // Future segments continue under the newest epoch found on disk (a
+    // leader restart keeps its fence; StartLeader/Promote raise it).
+    epoch_ = chain_.back().epoch;
     retained_ = chain_.front().base;
     return Status::OK();
   }
@@ -350,6 +359,18 @@ class SegmentStore final : public WalStore {
     recycle_paused_ = on;
   }
 
+  void SetEpoch(uint32_t epoch) override {
+    std::lock_guard<std::mutex> l(mu_);
+    // Monotone: a fence never lowers. Only segments created from here on
+    // carry the new epoch; existing headers are immutable history.
+    if (epoch > epoch_) epoch_ = epoch;
+  }
+
+  uint32_t epoch() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return epoch_;
+  }
+
   WalSegmentStats stats() const override {
     std::lock_guard<std::mutex> l(mu_);
     WalSegmentStats out;
@@ -365,6 +386,7 @@ class SegmentStore final : public WalStore {
     out.archive_stalled = archive_stalled_;
     out.start_lsn = chain_.front().base;
     out.retained_lsn = retained_;
+    out.fence_epoch = epoch_;
     return out;
   }
 
@@ -376,6 +398,7 @@ class SegmentStore final : public WalStore {
       info.seq = s.seq;
       info.base_lsn = s.base;
       info.payload_bytes = s.payload;
+      info.epoch = s.epoch;
       out->push_back(std::move(info));
     }
     return Status::OK();
@@ -456,10 +479,10 @@ class SegmentStore final : public WalStore {
     auto file_or = env_->OpenFile(name, /*create=*/true);
     FAME_RETURN_IF_ERROR(file_or.status());
     std::unique_ptr<osal::RandomAccessFile> f = std::move(file_or).value();
-    std::string hdr = EncodeSegmentHeader(base, seq);
+    std::string hdr = EncodeSegmentHeader(base, seq, epoch_);
     FAME_RETURN_IF_ERROR(f->Write(0, hdr));
     FAME_RETURN_IF_ERROR(f->Sync());
-    chain_.push_back(Segment{name, seq, base, 0});
+    chain_.push_back(Segment{name, seq, base, 0, epoch_});
     active_ = std::move(f);
     return Status::OK();
   }
@@ -509,6 +532,7 @@ class SegmentStore final : public WalStore {
   std::vector<Segment> chain_;  // ascending; back() is the active segment
   std::unique_ptr<osal::RandomAccessFile> active_;
   Lsn retained_ = 0;
+  uint32_t epoch_ = 0;  ///< fencing epoch stamped into new segment headers
   bool recycle_paused_ = false;
   bool archive_stalled_ = false;
   uint64_t rotations_ = 0;

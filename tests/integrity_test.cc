@@ -619,6 +619,66 @@ TEST(IntegrityTest, RetryDoesNotBurnAttemptsOnDiskFullOrCorruption) {
   EXPECT_TRUE(IsTransient(Status::IOError("bus glitch")));
 }
 
+// Fake monotonic clock for deadline-retry tests: each reading advances
+// 100ns, so budgets are exact multiples of observable time.
+uint64_t g_fake_clock = 0;
+uint64_t FakeNowNanos() { return g_fake_clock += 100; }
+
+TEST(IntegrityTest, DeadlineRetryStopsOnBudgetNotJustAttempts) {
+  DeadlineRetryPolicy policy;
+  policy.base.max_attempts = 100;  // the attempt cap alone would spin long
+  policy.budget_nanos = 450;
+  policy.now_nanos = &FakeNowNanos;
+  int calls = 0;
+  auto flaky = [&calls] {
+    ++calls;
+    return Status::IOError("peer timeout");
+  };
+
+  // Each attempt costs one clock reading (100ns) plus the two budget
+  // checks; the 450ns budget admits only a couple of attempts of the 100
+  // allowed — the budget is the binding bound.
+  g_fake_clock = 0;
+  Status s = RetryOnTransientDeadline(policy, flaky);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_LT(calls, 5) << "deadline must cut the attempt budget short";
+  EXPECT_GE(calls, 1) << "the first attempt always runs";
+
+  // An already-elapsed budget still runs fn exactly once: the deadline is
+  // checked between attempts, never pre-empting the first try.
+  policy.budget_nanos = 1;
+  calls = 0;
+  EXPECT_FALSE(RetryOnTransientDeadline(policy, flaky).ok());
+  EXPECT_EQ(calls, 1);
+
+  // No budget (0) degrades to plain attempt-bounded retrying.
+  policy.budget_nanos = 0;
+  policy.base.max_attempts = 4;
+  calls = 0;
+  EXPECT_FALSE(RetryOnTransientDeadline(policy, flaky).ok());
+  EXPECT_EQ(calls, 4);
+
+  // Non-transient errors never burn budget or attempts.
+  calls = 0;
+  auto corrupt = [&calls] {
+    ++calls;
+    return Status::Corruption("bad checksum");
+  };
+  policy.budget_nanos = 1'000'000;
+  EXPECT_FALSE(RetryOnTransientDeadline(policy, corrupt).ok());
+  EXPECT_EQ(calls, 1);
+
+  // Success passes straight through.
+  calls = 0;
+  auto fine = [&calls] {
+    ++calls;
+    return Status::OK();
+  };
+  EXPECT_TRUE(RetryOnTransientDeadline(policy, fine).ok());
+  EXPECT_EQ(calls, 1);
+}
+
 // A full device fails the write cleanly: ResourceExhausted, no read-only
 // latch, no page leak — and the same write succeeds once space returns.
 TEST(IntegrityTest, DiskFullFailsPutCleanlyWithoutLatchingReadOnly) {
@@ -751,6 +811,13 @@ TEST(IntegrityTest, GetStatsUnifiesTheCounters) {
 TEST(IntegrityTest, CrashSweepProducesVerifiableDatabase) {
   const std::string path = "crash_sweep_smoke.db";
   osal::Env* posix = osal::GetPosixEnv();
+  // Everything under the prefix: a prior run of the CI backup/replication
+  // smoke over this file migrates its WAL to segments (<path>.wal.NNNNNN)
+  // and may leave a fence sidecar; a plain suffix list would miss those
+  // and the legacy open here would refuse the stale chain.
+  std::vector<std::string> stale;
+  (void)posix->ListFiles(path, &stale);
+  for (const std::string& f : stale) (void)posix->DeleteFile(f);
   for (const char* suffix : {"", ".wal", ".quarantine"}) {
     (void)posix->DeleteFile(path + suffix);
   }

@@ -476,5 +476,38 @@ TEST(FeedbackTest, BackupNfpSeedLoadsAndFits) {
   }
 }
 
+// And for the Replication NFP seed (WAL shipping + epoch-fenced failover):
+// the pair of measured products differs only in Replication+Failover, so
+// the fitted joint footprint of the two features must be the measured
+// delta — the paper's per-feature cost accounting extended to the
+// replication axis. Measured jointly like Backup+Pitr (Failover adds the
+// promotion ceremony, not a separately measurable probe).
+TEST(FeedbackTest, ReplicationNfpSeedLoadsAndFits) {
+  auto repo_or = FeedbackRepository::Deserialize(fm::kFameReplicationNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 2u);
+
+  std::vector<std::string> base = {
+      "API",          "B+-Tree", "BTree-Search", "Backup", "Dynamic",
+      "Get",          "Int-Types", "LRU",        "Linux",  "Put",
+      "String-Types", "Transaction", "Update",   "Verify", "WAL-Redo"};
+  std::vector<std::string> replicated = base;
+  replicated.push_back("Replication");
+  replicated.push_back("Failover");
+
+  auto est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GT(est->Estimate(replicated), est->Estimate(base));
+  EXPECT_GT(est->FeatureWeight("Replication") + est->FeatureWeight("Failover"),
+            0.0);
+
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fame::nfp
