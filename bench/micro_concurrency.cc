@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "osal/allocator.h"
 #include "osal/env.h"
+#include "osal/slab_alloc_mt.h"
 #include "storage/buffer_concurrent.h"
 #include "storage/pagefile.h"
 #include "tx/txmgr.h"
@@ -29,7 +30,9 @@ namespace {
 // fixture and the last thread out tears it down (mutex + refcount).
 struct PoolFixture {
   std::unique_ptr<osal::Env> env;
-  osal::DynamicAllocator alloc;
+  // Sharded slab pool: frame memory comes from the same allocator the
+  // concurrent engine products compose, so pool scaling includes it.
+  osal::slab::ConcurrentSlabPool alloc;
   std::unique_ptr<PageFile> file;
   std::unique_ptr<ConcurrentBufferManager> bm;
   std::vector<PageId> pages;

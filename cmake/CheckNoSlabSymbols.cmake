@@ -1,0 +1,65 @@
+# Symbol-table check behind the slab memory path's zero-overhead claims.
+# Run as a ctest:
+#
+#   cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoSlabSymbols.cmake
+#
+# Greps `nm` output of BINARY for the mangled fame::osal::slab namespace
+# prefix ("4fame4osal4slab"). EXPECT=absent fails on any hit: a product
+# built with FAME_SLAB_DISABLE must contain no slab-allocator code at all.
+# EXPECT=present is the positive control on the slab-enabled twin, and
+# additionally asserts the single-threaded product links no
+# SlabMultiThreaded policy instantiation — the ST pool must compile down to
+# plain pointer bumps with the whole remote-free/atomic machinery absent.
+if(NOT DEFINED BINARY OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "usage: cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoSlabSymbols.cmake")
+endif()
+
+find_program(NM_TOOL NAMES nm llvm-nm)
+if(NOT NM_TOOL)
+  message(FATAL_ERROR "nm not found; cannot check ${BINARY}")
+endif()
+
+execute_process(
+  COMMAND ${NM_TOOL} --defined-only ${BINARY}
+  OUTPUT_VARIABLE SYMBOLS
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE NM_ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY}: ${NM_ERR}")
+endif()
+
+string(REGEX MATCHALL "[^\n]*4fame4osal4slab[^\n]*" SLAB_SYMBOLS "${SYMBOLS}")
+list(LENGTH SLAB_SYMBOLS HITS)
+
+string(REGEX MATCHALL "[^\n]*SlabMultiThreaded[^\n]*" MT_SYMBOLS "${SYMBOLS}")
+list(LENGTH MT_SYMBOLS MT_HITS)
+
+if(EXPECT STREQUAL "absent")
+  if(HITS GREATER 0)
+    list(SUBLIST SLAB_SYMBOLS 0 10 SAMPLE)
+    string(JOIN "\n  " SAMPLE_TEXT ${SAMPLE})
+    message(FATAL_ERROR
+      "${BINARY} was built with the slab feature disabled but defines "
+      "${HITS} fame::osal::slab symbol(s):\n  ${SAMPLE_TEXT}")
+  endif()
+  message(STATUS "${BINARY}: no fame::osal::slab symbols (as required)")
+elseif(EXPECT STREQUAL "present")
+  if(HITS EQUAL 0)
+    message(FATAL_ERROR
+      "${BINARY} should carry fame::osal::slab symbols (positive control "
+      "for the absence test) but nm found none — the check would be vacuous")
+  endif()
+  if(MT_HITS GREATER 0)
+    list(SUBLIST MT_SYMBOLS 0 10 SAMPLE)
+    string(JOIN "\n  " SAMPLE_TEXT ${SAMPLE})
+    message(FATAL_ERROR
+      "${BINARY} is a single-threaded product but links ${MT_HITS} "
+      "SlabMultiThreaded symbol(s) — the MT policy leaked in:\n  "
+      "${SAMPLE_TEXT}")
+  endif()
+  message(STATUS
+    "${BINARY}: ${HITS} fame::osal::slab symbols, zero SlabMultiThreaded "
+    "(positive control ok)")
+else()
+  message(FATAL_ERROR "EXPECT must be 'absent' or 'present', got '${EXPECT}'")
+endif()

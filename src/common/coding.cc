@@ -2,6 +2,16 @@
 
 namespace fame {
 
+char* EncodeVarint32(char* dst, uint32_t v) {
+  auto* p = reinterpret_cast<unsigned char*>(dst);
+  while (v >= 0x80) {
+    *p++ = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  *p++ = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(p);
+}
+
 void PutVarint32(std::string* dst, uint32_t v) {
   unsigned char buf[5];
   int n = 0;

@@ -53,6 +53,11 @@ inline void PutFixed64(std::string* dst, uint64_t value) {
   dst->append(buf, sizeof(buf));
 }
 
+/// Encodes a varint32 at `dst` (at most 5 bytes) and returns the byte
+/// after it — the buffer-building twin of PutVarint32 for callers that
+/// assemble records in place without a std::string.
+char* EncodeVarint32(char* dst, uint32_t value);
+
 /// Appends a varint32; at most 5 bytes.
 void PutVarint32(std::string* dst, uint32_t value);
 /// Appends a varint64; at most 10 bytes.

@@ -6,6 +6,7 @@
 #include "index/bplus_tree.h"
 #include "index/list_index.h"
 #include "obs/obs.h"
+#include "osal/slab_alloc.h"
 #if FAME_OBS_TRACING_ENABLED
 #include "obs/trace.h"
 #endif
@@ -55,10 +56,17 @@ Status Database::ComposeComponents(const DbOptions& options) {
     env_ = options.env != nullptr ? options.env : osal::GetPosixEnv();
   }
 
-  // Memory Alloc alternative.
+  // Memory Alloc alternative. Static products take their whole budget up
+  // front and never touch the heap again: segregated slab classes (O(1)
+  // carve/free) replaced the first-fit StaticPoolAllocator walk.
   if (HasFeature("Static")) {
+#if FAME_SLAB_ENABLED
+    allocator_ = std::make_unique<osal::slab::StaticSlabAllocator>(
+        options.static_pool_bytes);
+#else
     allocator_ =
         std::make_unique<osal::StaticPoolAllocator>(options.static_pool_bytes);
+#endif
   } else {
     allocator_ = std::make_unique<osal::DynamicAllocator>();
   }

@@ -15,6 +15,7 @@
 #ifndef FAME_CORE_ENGINE_CORE_H_
 #define FAME_CORE_ENGINE_CORE_H_
 
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -35,6 +36,12 @@ namespace fame::core {
 
 /// Engine-level visitor: (key, value bytes) -> keep-going.
 using KvVisitor = std::function<bool(const Slice& key, const Slice& value)>;
+
+/// Records at most this big are staged in fixed buffers on the hot paths
+/// (Put's stack frame, the cursor's inline record); bigger ones spill to a
+/// heap string. Sized past any embedded product's page payload so the
+/// spill path is effectively cold.
+inline constexpr size_t kInlineRecordBytes = 512;
 
 /// Pull-based cursor over engine records: iterates the index cursor and
 /// joins each entry's Rid through the RecordManager *lazily* — value() does
@@ -141,9 +148,18 @@ class EngineCursor {
 
   bool Load() {
     storage::Rid rid = storage::Rid::Unpack(base_->value());
-    Status s = heap_->Get(rid, &record_);
+    // Inline-first heap join: the typical embedded record lands in the
+    // fixed buffer so per-row loads never touch the heap; oversize records
+    // spill to the owned string.
+    size_t len = 0;
+    Status s = heap_->Get(rid, inline_rec_, sizeof(inline_rec_), &len);
+    Slice rec(inline_rec_, len);
+    if (s.ok() && len > sizeof(inline_rec_)) {
+      s = heap_->Get(rid, &record_);
+      rec = Slice(record_);
+    }
     if (s.ok()) {
-      Slice in(record_);
+      Slice in = rec;
       uint32_t klen = 0;
       if (!GetVarint32(&in, &klen) || in.size() < klen) {
         s = Status::Corruption("bad core record");
@@ -193,8 +209,9 @@ class EngineCursor {
 
   std::unique_ptr<index::Cursor> base_;
   storage::RecordManager* heap_;
-  std::string record_;     // owned copy of the current heap record
-  Slice value_;            // value bytes within record_
+  char inline_rec_[kInlineRecordBytes];  // common case: record lives here
+  std::string record_;     // spill for records bigger than the inline buf
+  Slice value_;            // value bytes within inline_rec_ or record_
   bool loaded_ = false;
   Status status_;
 #if FAME_OBS_ENABLED
@@ -231,6 +248,23 @@ class EngineCore {
     return rec;
   }
 
+  /// Encodes into `buf` when the record fits (the common case on embedded
+  /// products — Put stays heap-free), else into `*spill`.
+  static Slice EncodeRecordInto(const Slice& key, const Slice& value,
+                                char* buf, size_t cap, std::string* spill) {
+    const size_t worst = 5 + key.size() + value.size();  // varint32 <= 5
+    if (worst > cap) {
+      *spill = EncodeRecord(key, value);
+      return Slice(*spill);
+    }
+    char* p = EncodeVarint32(buf, static_cast<uint32_t>(key.size()));
+    std::memcpy(p, key.data(), key.size());
+    p += key.size();
+    std::memcpy(p, value.data(), value.size());
+    p += value.size();
+    return Slice(buf, static_cast<size_t>(p - buf));
+  }
+
   static Status DecodeRecord(const Slice& rec, const Slice& expect_key,
                              std::string* value) {
     Slice in = rec;
@@ -248,9 +282,20 @@ class EngineCore {
   Status Get(const Slice& key, std::string* value) {
     uint64_t packed = 0;
     FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-    std::string rec;
-    FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), &rec));
-    return DecodeRecord(rec, key, value);
+    // Fetch the whole record into the caller's string and strip the key
+    // prefix in place: no temporary, and a reused `value` keeps its
+    // capacity — steady-state gets never touch the heap.
+    FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), value));
+    Slice in(*value);
+    uint32_t klen = 0;
+    if (!GetVarint32(&in, &klen) || in.size() < klen) {
+      return Status::Corruption("bad core record");
+    }
+    if (Slice(in.data(), klen) != key) {
+      return Status::Corruption("index points at the wrong record");
+    }
+    value->erase(0, value->size() - (in.size() - klen));
+    return Status::OK();
   }
 
   /// Upsert: in-place heap update when the key exists (re-indexing only if
@@ -258,7 +303,10 @@ class EngineCore {
   Status Put(const Slice& key, const Slice& value) {
     uint64_t packed = 0;
     Status found = index_->Lookup(key, &packed);
-    std::string rec = EncodeRecord(key, value);
+    char inline_rec[kInlineRecordBytes];
+    std::string spill;
+    Slice rec =
+        EncodeRecordInto(key, value, inline_rec, sizeof(inline_rec), &spill);
     if (found.ok()) {
       storage::Rid rid = storage::Rid::Unpack(packed);
       storage::Rid updated = rid;

@@ -14,6 +14,7 @@
 #include "index/list_index.h"
 #include "obs/obs.h"
 #include "obs/serialize.h"
+#include "osal/slab_alloc.h"
 #if FAME_OBS_TRACING_ENABLED
 #include "obs/trace.h"
 #endif
@@ -443,6 +444,18 @@ obs::MetricsSnapshot Database::SnapshotMetrics() const {
     m.repl_epoch = repl_epoch_;
     m.repl_lag_bytes = repl_lag_bytes_.load(std::memory_order_relaxed);
     m.repl_lag_epochs = repl_lag_epochs_.load(std::memory_order_relaxed);
+  }
+  if (allocator_ != nullptr) {
+    osal::AllocStats alloc = allocator_->stats();
+    m.alloc_name = allocator_->name();
+    m.alloc_live_bytes = alloc.live_bytes;
+    m.alloc_peak_bytes = alloc.peak_bytes;
+    m.alloc_remote_frees = alloc.remote_frees;
+#if FAME_SLAB_ENABLED
+    // Pooled per-op objects (cursors, transactions) are thread-local and
+    // process-wide, not per-engine; their cross-thread frees fold in here.
+    m.alloc_remote_frees += osal::slab::PooledCrossThreadFrees();
+#endif
   }
   m.lost_meta_writes = storage::PageFile::lost_meta_writes();
   m.lost_page_writebacks = storage::BufferLostWritebacks();

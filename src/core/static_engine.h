@@ -41,6 +41,7 @@
 #endif
 #include "osal/allocator.h"
 #include "osal/env.h"
+#include "osal/slab_alloc.h"
 #include "storage/buffer.h"
 #include "storage/record.h"
 #include "tx/txmgr.h"
@@ -65,16 +66,28 @@ struct ListTag {
 
 namespace detail {
 
-/// Memory Alloc alternative, selected at compile time.
+/// Memory Alloc alternative, selected at compile time. Static products
+/// take the whole kPoolBytes budget in one allocation at construction and
+/// never touch the heap again: the slab allocator's segregated classes
+/// make every Allocate/Deallocate O(1) (the old StaticPoolAllocator
+/// first-fit walk remains available when the slab feature is compiled
+/// out). Products that deselect the slab build link no fame::osal::slab
+/// symbols — the alloc nm probe pair enforces it.
 template <size_t kPoolBytes>
 struct AllocState {  // Static
+#if FAME_SLAB_ENABLED
+  osal::slab::StaticSlabAllocator alloc{kPoolBytes};
+#else
   osal::StaticPoolAllocator alloc{kPoolBytes};
+#endif
   osal::Allocator* get() { return &alloc; }
+  const osal::Allocator* get() const { return &alloc; }
 };
 template <>
 struct AllocState<0> {  // Dynamic
   osal::DynamicAllocator alloc;
   osal::Allocator* get() { return &alloc; }
+  const osal::Allocator* get() const { return &alloc; }
 };
 
 /// Detects the optional Concurrency feature: Cfg structs written before the
@@ -588,6 +601,16 @@ class StaticEngine : private tx::ApplyTarget {
         m.backup_bytes = backup_counters_.bytes;
       }
     }
+    osal::AllocStats alloc = alloc_.get()->stats();
+    m.alloc_name = alloc_.get()->name();
+    m.alloc_live_bytes = alloc.live_bytes;
+    m.alloc_peak_bytes = alloc.peak_bytes;
+    m.alloc_remote_frees = alloc.remote_frees;
+#if FAME_SLAB_ENABLED
+    // Cross-thread frees of pooled per-op objects (cursors, transactions)
+    // are process-wide: the pool is thread-local, not per-engine.
+    m.alloc_remote_frees += osal::slab::PooledCrossThreadFrees();
+#endif
     m.lost_meta_writes = storage::PageFile::lost_meta_writes();
     m.lost_page_writebacks = storage::BufferLostWritebacks();
     m.page_count = file_->page_count();

@@ -31,8 +31,8 @@ feature FAME-DBMS {
       mandatory Clock       // [extension] second-chance policy
     }
     mandatory Memory-Alloc abstract alternative {
-      mandatory Dynamic
-      mandatory Static
+      mandatory Dynamic     // malloc-backed, slab pool on engine hot paths
+      mandatory Static      // fixed slab arena: zero heap after init
     }
   }
   mandatory Storage abstract {
@@ -239,6 +239,30 @@ nfp binary_size 396497
 
 product API,B+-Tree,BTree-Search,Backup,Dynamic,Failover,Get,Int-Types,LRU,Linux,Put,Replication,String-Types,Transaction,Update,Verify,WAL-Redo
 nfp binary_size 991330
+
+)nfp";
+
+/// Measured non-functional properties of the Memory-Alloc axis (paper
+/// Figure 2: Dynamic vs Static), FeedbackRepository text format.
+/// binary_size is Release .text bytes on x86-64 Linux (gcc -O2), measured
+/// with `size` on the two probe binaries tests/ builds from one and the
+/// same single-threaded B+-tree product (tests/alloc_probe_main.cc):
+/// alloc_off_probe compiles with FAME_SLAB_DISABLE and composes the
+/// Dynamic allocator (and doubles as the zero-overhead proof — the nm
+/// test greps it for fame::osal::slab symbols and fails on any hit),
+/// alloc_probe selects Memory-Alloc:Static on the slab arena (segregated
+/// size classes, headerless dual-frontier carve, pooled cursor cache; the
+/// nm test additionally requires zero SlabMultiThreaded symbols, so the
+/// ST product provably links only the no-atomics policy). The delta is
+/// what the Static slab path costs a product in code bytes; the paper's
+/// trade is that it buys zero heap allocations after init (asserted by
+/// tests/alloc_test.cc ZeroHeapTest). Remeasure after material changes to
+/// src/osal/slab_alloc.*.
+inline constexpr const char kFameSlabAllocNfpSeed[] = R"nfp(product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Put,Remove,String-Types
+nfp binary_size 382933
+
+product API,B+-Tree,BTree-Search,Get,Int-Types,LRU,Linux,Put,Remove,Static,String-Types
+nfp binary_size 387025
 
 )nfp";
 

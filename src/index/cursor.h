@@ -30,6 +30,7 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "osal/slab_alloc.h"
 
 namespace fame::index {
 
@@ -38,6 +39,23 @@ using ScanVisitor = std::function<bool(const Slice& key, uint64_t value)>;
 class Cursor {
  public:
   virtual ~Cursor() = default;
+
+#if FAME_SLAB_ENABLED
+  // Cursors are the per-op hot objects: every Scan/RangeScan/SQL query
+  // heap-allocated one before the slab memory path. These class-level
+  // operators route every concrete cursor type through the thread-local
+  // object pool (osal/slab_alloc.h) — same-thread churn is a freelist
+  // pop/push with zero atomics; cross-thread or post-teardown frees fall
+  // back to the heap. Compiled out (plain new/delete) when the feature is
+  // deselected, which the alloc nm probe enforces.
+  static void* operator new(size_t n) { return osal::slab::PooledNew(n); }
+  static void operator delete(void* p, size_t n) noexcept {
+    osal::slab::PooledDelete(p, n);
+  }
+  static void operator delete(void* p) noexcept {
+    osal::slab::PooledDelete(p);
+  }
+#endif
 
   /// Positions at the first entry in iteration order (!Valid() when empty).
   virtual void SeekToFirst() = 0;

@@ -22,6 +22,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fame::obs {
@@ -346,6 +347,13 @@ struct MetricsSnapshot {
   uint64_t aborted_txns = 0;
   uint64_t recovery_applied_records = 0;  ///< WAL records replayed at open
   uint64_t recovery_dropped_bytes = 0;    ///< WAL bytes dropped at open
+
+  // Memory path (Memory-Alloc alternative + slab pools).
+  std::string alloc_name;             ///< engine allocator ("dynamic", ...)
+  uint64_t alloc_live_bytes = 0;      ///< bytes currently handed out
+  uint64_t alloc_peak_bytes = 0;      ///< high-water mark of live bytes
+  uint64_t alloc_remote_frees = 0;    ///< cross-thread frees (slab pools +
+                                      ///< pooled cursor/tx objects)
 
   // File shape.
   uint64_t page_count = 0;

@@ -156,6 +156,14 @@ std::string RenderText(const MetricsSnapshot& m) {
     HistoLine(&out, "remove latency ns", m.remove_ns);
     HistoLine(&out, "scan latency ns", m.scan_ns);
   }
+  if (!m.alloc_name.empty()) {
+    // Memory path: snapshots assembled before the alloc gauges existed
+    // carry no allocator name and keep the historical output byte-identical.
+    out += "alloc name: " + m.alloc_name + "\n";
+    Line(&out, "alloc live bytes", m.alloc_live_bytes);
+    Line(&out, "alloc peak bytes", m.alloc_peak_bytes);
+    Line(&out, "alloc remote frees", m.alloc_remote_frees);
+  }
   return out;
 }
 
@@ -231,6 +239,13 @@ std::string RenderPrometheus(const MetricsSnapshot& m) {
   PromCounter(os, "lost_page_writebacks_total", m.lost_page_writebacks);
   PromCounter(os, "committed_txns_total", m.committed_txns);
   PromCounter(os, "aborted_txns_total", m.aborted_txns);
+  if (!m.alloc_name.empty()) {
+    std::string label = "allocator=\"" + m.alloc_name + "\"";
+    PromCounter(os, "alloc_live_bytes", m.alloc_live_bytes, label.c_str());
+    PromCounter(os, "alloc_peak_bytes", m.alloc_peak_bytes, label.c_str());
+    PromCounter(os, "alloc_remote_frees_total", m.alloc_remote_frees,
+                label.c_str());
+  }
   PromCounter(os, "page_count", m.page_count);
   PromCounter(os, "read_only", m.read_only ? 1 : 0);
   return os.str();

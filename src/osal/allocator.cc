@@ -8,7 +8,11 @@ namespace fame::osal {
 
 void* DynamicAllocator::Allocate(size_t n) {
   void* p = ::operator new(n, std::nothrow);
-  if (p != nullptr) in_use_ += n;
+  assert(IsContractAligned(p));
+  if (p != nullptr) {
+    in_use_ += n;
+    if (in_use_ > peak_) peak_ = in_use_;
+  }
   return p;
 }
 
@@ -22,6 +26,9 @@ void DynamicAllocator::Deallocate(void* p, size_t n) {
 StaticPoolAllocator::StaticPoolAllocator(void* arena, size_t size)
     : arena_(static_cast<char*>(arena)), size_(size) {
   assert(size > sizeof(BlockHeader));
+  // The alignment contract propagates from the arena base: every payload
+  // sits at base + k * AlignUp(sizeof(BlockHeader)) offsets.
+  assert(IsContractAligned(arena_));
   free_list_ = reinterpret_cast<BlockHeader*>(arena_);
   free_list_->size = size - AlignUp(sizeof(BlockHeader));
   free_list_->next = nullptr;
@@ -51,12 +58,16 @@ void* StaticPoolAllocator::Allocate(size_t n) {
       ah->size = n;
       ah->next = nullptr;
       in_use_ += n;
+      if (in_use_ > peak_) peak_ = in_use_;
+      assert(IsContractAligned(alloc_start + header));
       return alloc_start + header;
     }
     // Exact-ish fit: hand out the whole block.
     *prev = b->next;
     b->next = nullptr;
     in_use_ += b->size;
+    if (in_use_ > peak_) peak_ = in_use_;
+    assert(IsContractAligned(reinterpret_cast<char*>(b) + header));
     return reinterpret_cast<char*>(b) + header;
   }
   return nullptr;  // pool exhausted or too fragmented

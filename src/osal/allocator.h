@@ -5,6 +5,8 @@
 //                           budgeted at build time (no malloc)
 //   - TrackingAllocator   — decorator counting live/peak bytes, feeding the
 //                           RAM non-functional property measurements (§3.2)
+// The segregated slab allocators (BasicSlabPool, StaticSlabAllocator) live
+// in osal/slab_alloc.h; they implement the same interface.
 #ifndef FAME_OSAL_ALLOCATOR_H_
 #define FAME_OSAL_ALLOCATOR_H_
 
@@ -16,7 +18,21 @@
 
 namespace fame::osal {
 
+/// Live/peak/cross-thread counters every allocator can report; feeds the
+/// alloc_* gauges of the observability snapshot. remote_frees is nonzero
+/// only for sharded pools that execute cross-thread deallocations.
+struct AllocStats {
+  size_t live_bytes = 0;
+  size_t peak_bytes = 0;
+  uint64_t remote_frees = 0;
+};
+
 /// Abstract allocator used by the buffer manager and index structures.
+///
+/// Alignment contract: every block returned by Allocate is aligned to
+/// alignof(std::max_align_t). Implementations must enforce this (the
+/// StaticPoolAllocator header math and the slab size classes silently
+/// depend on it); callers must not request stricter alignment.
 class Allocator {
  public:
   virtual ~Allocator() = default;
@@ -27,14 +43,27 @@ class Allocator {
 
   /// Returns a block obtained from Allocate. `n` must match the original
   /// request (needed by pool allocators; checked where possible).
+  /// p == nullptr is a no-op (callers legally pass back a failed Allocate).
   virtual void Deallocate(void* p, size_t n) = 0;
 
   /// Bytes currently handed out.
   virtual size_t bytes_in_use() const = 0;
 
-  /// Stable identifier of the alternative: "dynamic", "static", "tracking".
+  /// Stable identifier of the alternative: "dynamic", "static", "tracking",
+  /// "slab", "static-slab".
   virtual const char* name() const = 0;
+
+  /// Counter snapshot for observability. The default reports live bytes
+  /// only; allocators that track peaks or remote frees override.
+  virtual AllocStats stats() const { return {bytes_in_use(), 0, 0}; }
 };
+
+/// True when `p` satisfies the Allocator alignment contract. Debug checks
+/// in the implementations assert this on every block they hand out.
+inline bool IsContractAligned(const void* p) {
+  return (reinterpret_cast<uintptr_t>(p) &
+          (alignof(std::max_align_t) - 1)) == 0;
+}
 
 /// Heap-backed allocator (operator new/delete).
 class DynamicAllocator final : public Allocator {
@@ -43,9 +72,11 @@ class DynamicAllocator final : public Allocator {
   void Deallocate(void* p, size_t n) override;
   size_t bytes_in_use() const override { return in_use_; }
   const char* name() const override { return "dynamic"; }
+  AllocStats stats() const override { return {in_use_, peak_, 0}; }
 
  private:
   size_t in_use_ = 0;
+  size_t peak_ = 0;
 };
 
 /// Fixed-arena allocator with a first-fit free list and coalescing of
@@ -64,6 +95,7 @@ class StaticPoolAllocator final : public Allocator {
   void Deallocate(void* p, size_t n) override;
   size_t bytes_in_use() const override { return in_use_; }
   const char* name() const override { return "static"; }
+  AllocStats stats() const override { return {in_use_, peak_, 0}; }
 
   size_t capacity() const { return size_; }
   /// Largest single allocation currently satisfiable (fragmentation probe).
@@ -75,6 +107,13 @@ class StaticPoolAllocator final : public Allocator {
     BlockHeader* next;  // next free block (free blocks only)
   };
   static constexpr size_t kAlign = alignof(std::max_align_t);
+  // The block layout (header immediately before the payload) only yields
+  // contract-aligned payloads if the header rounds to a multiple of the
+  // contract alignment — enforce what the math silently assumes.
+  static_assert(((sizeof(BlockHeader) + kAlign - 1) & ~(kAlign - 1)) %
+                        alignof(std::max_align_t) ==
+                    0,
+                "BlockHeader must round to the Allocator alignment contract");
   static size_t AlignUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
 
   std::unique_ptr<char[]> owned_arena_;
@@ -82,6 +121,7 @@ class StaticPoolAllocator final : public Allocator {
   size_t size_;
   BlockHeader* free_list_;
   size_t in_use_ = 0;
+  size_t peak_ = 0;
 };
 
 /// Decorator that forwards to `base` and records live and peak usage.
@@ -99,11 +139,18 @@ class TrackingAllocator final : public Allocator {
     return p;
   }
   void Deallocate(void* p, size_t n) override {
+    // A failed Allocate hands callers nullptr, which they legally pass
+    // back; counting it would underflow live_ and corrupt the RAM NFP
+    // measurements this decorator exists to feed.
+    if (p == nullptr) return;
     base_->Deallocate(p, n);
     live_ -= n;
   }
   size_t bytes_in_use() const override { return live_; }
   const char* name() const override { return "tracking"; }
+  AllocStats stats() const override {
+    return {live_, peak_, base_->stats().remote_frees};
+  }
 
   size_t peak_bytes() const { return peak_; }
   uint64_t alloc_calls() const { return alloc_calls_; }

@@ -1,0 +1,296 @@
+#include "osal/slab_alloc.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace fame::osal::slab {
+
+// ---------------------------------------------------------------------------
+// StaticSlabAllocator
+
+StaticSlabAllocator::StaticSlabAllocator(void* arena, size_t size)
+    : base_(static_cast<char*>(arena)),
+      size_(size),
+      lo_(base_),
+      hi_(base_ + (size & ~(alignof(std::max_align_t) - 1))) {
+  assert(IsContractAligned(base_));
+  assert(size >= kMaxSmall);
+}
+
+StaticSlabAllocator::StaticSlabAllocator(size_t size)
+    : owned_(new char[size]),
+      base_(owned_.get()),
+      size_(size),
+      lo_(base_),
+      hi_(base_ + (size & ~(alignof(std::max_align_t) - 1))) {
+  assert(IsContractAligned(base_));
+  assert(size >= kMaxSmall);
+}
+
+size_t StaticSlabAllocator::ChargedSize(size_t n) {
+  if (n == 0) n = 1;
+  return n <= kMaxSmall ? ClassSize(SizeToClass(n)) : AlignUp(n);
+}
+
+void* StaticSlabAllocator::Allocate(size_t n) {
+  if (n == 0) n = 1;
+  if (n > kMaxSmall) return AllocateLarge(n);
+  const size_t c = SizeToClass(n);
+  const size_t cs = ClassSize(c);
+  FreeNode* f = free_[c];
+  if (f != nullptr) {
+    free_[c] = f->next;
+    live_ += cs;
+    if (live_ > peak_) peak_ = live_;
+    return f;
+  }
+  // The entire small path when the class freelist is warm or the bump gap
+  // is open: a pointer bump. No headers, no walks, no locks.
+  if (lo_ + cs > hi_) return nullptr;  // budget exhausted
+  char* p = lo_;
+  lo_ += cs;
+  live_ += cs;
+  if (live_ > peak_) peak_ = live_;
+  assert(IsContractAligned(p));
+  return p;
+}
+
+void* StaticSlabAllocator::AllocateLarge(size_t n) {
+  const size_t need = AlignUp(n);
+  // Recycled large blocks first (first-fit; the list stays short because
+  // frame arenas are allocated once per open). Split only when the
+  // remainder is still a usable large block.
+  LargeNode** prev = &large_free_;
+  for (LargeNode* b = large_free_; b != nullptr;
+       prev = &b->next, b = b->next) {
+    if (b->size < need) continue;
+    char* p = reinterpret_cast<char*>(b);
+    if (b->size >= need + kMaxSmall) {
+      auto* rest = reinterpret_cast<LargeNode*>(p + need);
+      rest->size = b->size - need;
+      rest->next = b->next;
+      *prev = rest;
+    } else {
+      *prev = b->next;
+    }
+    live_ += need;
+    if (live_ > peak_) peak_ = live_;
+    assert(IsContractAligned(p));
+    return p;
+  }
+  if (hi_ - lo_ < static_cast<ptrdiff_t>(need)) return nullptr;
+  hi_ -= need;
+  live_ += need;
+  if (live_ > peak_) peak_ = live_;
+  assert(IsContractAligned(hi_));
+  return hi_;
+}
+
+void StaticSlabAllocator::Deallocate(void* p, size_t n) {
+  if (p == nullptr) return;
+  if (n == 0) n = 1;
+  assert(static_cast<char*>(p) >= base_ &&
+         static_cast<char*>(p) < base_ + size_);
+  if (n <= kMaxSmall) {
+    const size_t c = SizeToClass(n);
+    const size_t cs = ClassSize(c);
+    PoisonFreedBlock(p, cs);
+    auto* f = static_cast<FreeNode*>(p);
+    f->next = free_[c];
+    free_[c] = f;
+    live_ -= cs;
+    return;
+  }
+  const size_t need = AlignUp(n);
+  live_ -= need;
+  if (static_cast<char*>(p) == hi_) {
+    // Freeing the most recent top carve reopens the bump gap directly.
+    hi_ += need;
+    return;
+  }
+  PoisonFreedBlock(p, sizeof(LargeNode));
+  auto* b = static_cast<LargeNode*>(p);
+  b->size = need;
+  b->next = large_free_;
+  large_free_ = b;
+}
+
+size_t StaticSlabAllocator::LargestFreeBlock() const {
+  size_t best = hi_ > lo_ ? static_cast<size_t>(hi_ - lo_) : 0;
+  for (LargeNode* b = large_free_; b != nullptr; b = b->next) {
+    if (b->size > best) best = b->size;
+  }
+  // Segregated classes never coalesce back into the bump gap, but a block
+  // parked on a class freelist can still satisfy a request of that class.
+  for (size_t c = kNumClasses; c-- > 0;) {
+    if (ClassSize(c) <= best) break;
+    if (free_[c] != nullptr) {
+      best = ClassSize(c);
+      break;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local object pool (pooled operator new of Cursor / Transaction).
+#if FAME_SLAB_ENABLED
+
+namespace {
+
+// Block layout: [BlockHeader][payload]; the header keeps the payload on
+// the alignment contract and lets an unsized delete recover the class.
+struct BlockHeader {
+  void* owner;     // ThreadCache* that allocated it; nullptr = uncached
+  uint32_t cls;    // size class, or kLargeCls
+  uint32_t magic;
+};
+static_assert(sizeof(BlockHeader) == AlignUp(sizeof(BlockHeader)),
+              "header must preserve the payload alignment contract");
+constexpr uint32_t kBlockMagic = 0xb10cb10cu;
+constexpr uint32_t kLargeCls = 0xffffffffu;
+constexpr uint32_t kMaxCachedPerClass = 64;
+
+std::atomic<uint64_t> g_cross_thread_frees{0};
+
+struct CacheFreeNode {
+  CacheFreeNode* next;
+};
+
+struct ThreadCache {
+  CacheFreeNode* free_[kNumClasses] = {};
+  uint32_t count_[kNumClasses] = {};
+  ThreadCacheStats stats;
+
+  void Purge() {
+    for (size_t c = 0; c < kNumClasses; ++c) {
+      CacheFreeNode* n = free_[c];
+      while (n != nullptr) {
+        CacheFreeNode* next = n->next;
+        ::operator delete(reinterpret_cast<char*>(n) - sizeof(BlockHeader));
+        n = next;
+      }
+      free_[c] = nullptr;
+      count_[c] = 0;
+    }
+  }
+};
+
+// Thread-exit-safe access: the raw pointer and the state byte are
+// trivially destructible thread_locals, valid at any point of thread
+// teardown; the holder's destructor flips the state so late frees (e.g.
+// from statics destroyed after the cache) take the heap path.
+thread_local ThreadCache* t_cache = nullptr;
+thread_local uint8_t t_cache_state = 0;  // 0 unborn, 1 alive, 2 dead
+
+struct CacheHolder {
+  ThreadCache cache;
+  CacheHolder() {
+    t_cache = &cache;
+    t_cache_state = 1;
+  }
+  ~CacheHolder() {
+    cache.Purge();
+    t_cache = nullptr;
+    t_cache_state = 2;
+  }
+};
+
+ThreadCache* GetCache() {
+  if (t_cache_state == 1) return t_cache;
+  if (t_cache_state == 2) return nullptr;
+  static thread_local CacheHolder holder;
+  return t_cache;
+}
+
+}  // namespace
+
+void* PooledNew(size_t n) {
+  ThreadCache* cache = GetCache();
+  const uint32_t cls =
+      n <= kMaxSmall ? static_cast<uint32_t>(SizeToClass(n)) : kLargeCls;
+  if (cache != nullptr && cls != kLargeCls) {
+    CacheFreeNode* f = cache->free_[cls];
+    if (f != nullptr) {
+      cache->free_[cls] = f->next;
+      --cache->count_[cls];
+      ++cache->stats.hits;
+      ++cache->stats.live_blocks;
+      auto* h = reinterpret_cast<BlockHeader*>(reinterpret_cast<char*>(f) -
+                                               sizeof(BlockHeader));
+      h->owner = cache;
+      return f;
+    }
+  }
+  const size_t payload = cls == kLargeCls ? AlignUp(n) : ClassSize(cls);
+  auto* h =
+      static_cast<BlockHeader*>(::operator new(sizeof(BlockHeader) + payload));
+  h->owner = cls == kLargeCls ? nullptr : cache;
+  h->cls = cls;
+  h->magic = kBlockMagic;
+  if (cache != nullptr) {
+    ++cache->stats.misses;
+    ++cache->stats.live_blocks;
+  }
+  return reinterpret_cast<char*>(h) + sizeof(BlockHeader);
+}
+
+namespace {
+
+void PooledRelease(void* p, uint32_t cls) noexcept {
+  auto* h = reinterpret_cast<BlockHeader*>(static_cast<char*>(p) -
+                                           sizeof(BlockHeader));
+  assert(h->magic == kBlockMagic);
+  assert(h->cls == cls);
+  ThreadCache* cache = GetCache();
+  if (cache != nullptr && cache->stats.live_blocks > 0) {
+    --cache->stats.live_blocks;
+  }
+  if (cls != kLargeCls && h->owner == cache && cache != nullptr &&
+      cache->count_[cls] < kMaxCachedPerClass) {
+    // Same-thread churn: recycle without touching the heap.
+    PoisonFreedBlock(p, ClassSize(cls));
+    auto* f = static_cast<CacheFreeNode*>(p);
+    f->next = cache->free_[cls];
+    cache->free_[cls] = f;
+    ++cache->count_[cls];
+    ++cache->stats.returns;
+    return;
+  }
+  if (h->owner != nullptr && h->owner != cache) {
+    // Allocated by another thread's cache (or by a thread that has since
+    // exited): route to the heap, count the crossing.
+    g_cross_thread_frees.fetch_add(1, std::memory_order_relaxed);
+  }
+  ::operator delete(h);
+}
+
+}  // namespace
+
+void PooledDelete(void* p, size_t n) noexcept {
+  if (p == nullptr) return;
+  PooledRelease(p, n <= kMaxSmall ? static_cast<uint32_t>(SizeToClass(n))
+                                  : kLargeCls);
+}
+
+void PooledDelete(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* h = reinterpret_cast<BlockHeader*>(static_cast<char*>(p) -
+                                           sizeof(BlockHeader));
+  PooledRelease(p, h->cls);
+}
+
+ThreadCacheStats PooledThreadStats() {
+  ThreadCache* cache = GetCache();
+  return cache != nullptr ? cache->stats : ThreadCacheStats{};
+}
+
+uint64_t PooledCrossThreadFrees() {
+  return g_cross_thread_frees.load(std::memory_order_relaxed);
+}
+
+#endif  // FAME_SLAB_ENABLED
+
+}  // namespace fame::osal::slab

@@ -1,0 +1,430 @@
+// Sharded slab allocator — the snmalloc-style "Memory Alloc" overhaul
+// (ROADMAP item 5). Three pieces share one size-class scheme:
+//
+//   BasicSlabPool<Policy>   heap-backed pool, threading-policy templated.
+//                           Small requests ride per-shard segregated
+//                           freelists carved out of aligned 64 KiB slabs;
+//                           cross-shard Deallocate is a single atomic push
+//                           onto the owner shard's MPSC remote-free stack,
+//                           reclaimed in a batch on the owner's next
+//                           Allocate. The SlabSingleThreaded instantiation
+//                           compiles to plain pointer bumps: no-op mutex,
+//                           remote path discarded by if-constexpr, zero
+//                           atomics (this header includes no threading
+//                           headers — checkable by inspection; the MT
+//                           policy lives in slab_alloc_mt.h).
+//   StaticSlabAllocator     arena-backed Memory-Alloc:Static alternative.
+//                           One fixed budget at construction, no malloc
+//                           afterwards; segregated class freelists replace
+//                           the StaticPoolAllocator O(n) first-fit walk.
+//   PooledNew/PooledDelete  thread-local object pool behind the class-level
+//                           operator new/delete of index::Cursor and
+//                           tx::Transaction (the per-op hot path). Gated by
+//                           FAME_SLAB_ENABLED so products that deselect the
+//                           feature carry none of it (nm probe enforced).
+//
+// Alignment: all size classes are multiples of alignof(std::max_align_t)
+// and every carve starts at a contract-aligned base, so the Allocator
+// alignment contract holds by construction.
+#ifndef FAME_OSAL_SLAB_ALLOC_H_
+#define FAME_OSAL_SLAB_ALLOC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "osal/allocator.h"
+
+// Feature gate, mirroring obs/obs.h: the build (or a probe target) defines
+// FAME_SLAB_DISABLE to compile the pooled-object path out entirely.
+#if defined(FAME_SLAB_DISABLE)
+#define FAME_SLAB_ENABLED 0
+#else
+#define FAME_SLAB_ENABLED 1
+#endif
+
+namespace fame::osal::slab {
+
+// ---------------------------------------------------------------------------
+// Size classes. Every class is a multiple of the alignment contract; the
+// spacing (powers of two plus midpoints) bounds internal fragmentation at
+// 25% while keeping class lookup a short branch-free scan.
+inline constexpr size_t kClassSizes[] = {16,  32,  48,  64,  96,  128,
+                                         192, 256, 384, 512, 768, 1024};
+inline constexpr size_t kNumClasses =
+    sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+inline constexpr size_t kMaxSmall = kClassSizes[kNumClasses - 1];
+
+constexpr size_t ClassSize(size_t c) { return kClassSizes[c]; }
+
+constexpr size_t SizeToClass(size_t n) {
+  size_t c = 0;
+  while (kClassSizes[c] < n) ++c;
+  return c;
+}
+
+constexpr size_t AlignUp(size_t n) {
+  constexpr size_t a = alignof(std::max_align_t);
+  return (n + a - 1) & ~(a - 1);
+}
+
+static_assert(SizeToClass(1) == 0 && SizeToClass(16) == 0 &&
+              SizeToClass(17) == 1 && SizeToClass(1024) == kNumClasses - 1);
+static_assert([] {
+  for (size_t c = 0; c < kNumClasses; ++c) {
+    if (kClassSizes[c] % alignof(std::max_align_t) != 0) return false;
+    if (kClassSizes[c] < sizeof(void*) * 2) return false;  // freelist nodes
+  }
+  return true;
+}());
+
+// Debug poison written over a freed block before it enters a freelist, so
+// use-after-free reads trip deterministically under the sanitizer jobs.
+inline void PoisonFreedBlock(void* p, size_t n) {
+#ifndef NDEBUG
+  std::memset(p, 0xDB, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Threading policies. The ST policy lives here (and keeps this header free
+// of <atomic>/<mutex>/<thread>); SlabMultiThreaded is in slab_alloc_mt.h.
+struct SlabSingleThreaded {
+  static constexpr bool kConcurrent = false;
+  static constexpr size_t kDefaultShards = 1;
+  struct Mutex {
+    void lock() {}
+    void unlock() {}
+  };
+  // Placeholder for the MPSC remote-free stack head; never touched in ST
+  // builds (the remote path is discarded by if-constexpr).
+  template <typename Node>
+  struct RemotePtr {
+    Node* head = nullptr;
+  };
+  static size_t HomeShard(size_t /*nshards*/) { return 0; }
+};
+
+namespace detail {
+/// Scoped lock over a policy mutex; compiles to nothing for the ST policy.
+template <typename M>
+class SlabLockGuard {
+ public:
+  explicit SlabLockGuard(M& m) : m_(m) { m_.lock(); }
+  ~SlabLockGuard() { m_.unlock(); }
+  SlabLockGuard(const SlabLockGuard&) = delete;
+  SlabLockGuard& operator=(const SlabLockGuard&) = delete;
+
+ private:
+  M& m_;
+};
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+/// Sharded slab pool. Small blocks (≤ kMaxSmall) come from per-shard,
+/// per-class freelists fed by bump carving inside 64 KiB pointer-aligned
+/// slabs; the owning shard of any small block is recovered by masking the
+/// pointer down to its slab header. Large blocks go straight to the heap
+/// and are routed by the Deallocate size argument, so they carry no header.
+template <typename Policy>
+class BasicSlabPool final : public Allocator {
+ public:
+  static constexpr size_t kSlabBytes = 64 * 1024;
+
+  explicit BasicSlabPool(size_t shards = Policy::kDefaultShards)
+      : nshards_(shards == 0 ? 1 : shards),
+        shards_(std::make_unique<Shard[]>(shards == 0 ? 1 : shards)) {}
+
+  ~BasicSlabPool() override {
+    for (size_t i = 0; i < nshards_; ++i) {
+      SlabHeader* s = shards_[i].slabs;
+      while (s != nullptr) {
+        SlabHeader* next = s->next_slab;
+        ::operator delete(s, std::align_val_t(kSlabBytes));
+        s = next;
+      }
+    }
+  }
+
+  void* Allocate(size_t n) override {
+    if (n == 0) n = 1;
+    if (n > kMaxSmall) {
+      // Large blocks are heap-direct and routed back by size; accounting
+      // lives on shard 0 so alloc and free touch the same counters.
+      Shard& sh = shards_[0];
+      detail::SlabLockGuard<typename Policy::Mutex> g(sh.mu);
+      return AllocateLargeLocked(sh, n);
+    }
+    Shard& sh = shards_[Policy::HomeShard(nshards_)];
+    detail::SlabLockGuard<typename Policy::Mutex> g(sh.mu);
+    if constexpr (Policy::kConcurrent) DrainRemoteLocked(sh);
+    const size_t c = SizeToClass(n);
+    FreeNode* f = sh.free_[c];
+    if (f != nullptr) {
+      sh.free_[c] = f->next;
+      Charge(sh, ClassSize(c));
+      return f;
+    }
+    if (sh.bump_[c] + ClassSize(c) > sh.bump_end_[c]) {
+      if (!RefillClassLocked(sh, c)) return nullptr;
+    }
+    char* p = sh.bump_[c];
+    sh.bump_[c] += ClassSize(c);
+    Charge(sh, ClassSize(c));
+    assert(IsContractAligned(p));
+    return p;
+  }
+
+  void Deallocate(void* p, size_t n) override {
+    if (p == nullptr) return;
+    if (n == 0) n = 1;
+    if (n > kMaxSmall) {
+      Shard& sh = shards_[0];
+      detail::SlabLockGuard<typename Policy::Mutex> g(sh.mu);
+      sh.live -= AlignUp(n);
+      ::operator delete(p);
+      return;
+    }
+    auto* slab = reinterpret_cast<SlabHeader*>(
+        reinterpret_cast<uintptr_t>(p) & ~uintptr_t(kSlabBytes - 1));
+    assert(slab->magic == kSlabMagic);
+    const size_t c = SizeToClass(n);
+    assert(slab->size_class == c);
+    Shard& owner = shards_[slab->shard];
+    if constexpr (Policy::kConcurrent) {
+      // A thread whose home shard is not the block's owner must not touch
+      // the owner's freelists; it pushes onto the owner's MPSC remote
+      // stack instead — one atomic CAS, no lock, reclaimed in a batch by
+      // the owner on its next Allocate.
+      if (&shards_[Policy::HomeShard(nshards_)] != &owner) {
+        PoisonFreedBlock(p, ClassSize(c));
+        auto* node = static_cast<RemoteNode*>(p);
+        node->cls = c;
+        Policy::RemotePush(owner.remote, node);
+        return;
+      }
+    }
+    detail::SlabLockGuard<typename Policy::Mutex> g(owner.mu);
+    PoisonFreedBlock(p, ClassSize(c));
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = owner.free_[c];
+    owner.free_[c] = node;
+    owner.live -= ClassSize(c);
+  }
+
+  size_t bytes_in_use() const override {
+    size_t total = 0;
+    for (size_t i = 0; i < nshards_; ++i) {
+      detail::SlabLockGuard<typename Policy::Mutex> g(shards_[i].mu);
+      total += shards_[i].live;
+    }
+    return total;
+  }
+
+  const char* name() const override { return "slab"; }
+
+  AllocStats stats() const override {
+    AllocStats a;
+    for (size_t i = 0; i < nshards_; ++i) {
+      detail::SlabLockGuard<typename Policy::Mutex> g(shards_[i].mu);
+      a.live_bytes += shards_[i].live;
+      a.peak_bytes += shards_[i].peak;
+      a.remote_frees += shards_[i].remote_frees;
+    }
+    return a;
+  }
+
+  size_t shard_count() const { return nshards_; }
+
+  /// Forces owner-side reclaim of every shard's remote stack. Normal
+  /// reclaim happens on the owning shard's next Allocate; tests and
+  /// shutdown paths call this to settle `bytes_in_use` (blocks sitting on
+  /// a remote stack still count as live until reclaimed).
+  void DrainRemote() {
+    if constexpr (Policy::kConcurrent) {
+      for (size_t i = 0; i < nshards_; ++i) {
+        detail::SlabLockGuard<typename Policy::Mutex> g(shards_[i].mu);
+        DrainRemoteLocked(shards_[i]);
+      }
+    }
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct RemoteNode {
+    RemoteNode* next;
+    size_t cls;
+  };
+  static constexpr uint32_t kSlabMagic = 0x51ab51abu;
+  struct SlabHeader {
+    uint32_t magic;
+    uint32_t size_class;
+    uint32_t shard;
+    uint32_t reserved;
+    SlabHeader* next_slab;  // teardown chain, per shard
+  };
+  static constexpr size_t kSlabPayloadOffset = AlignUp(sizeof(SlabHeader));
+
+  struct Shard {
+    mutable typename Policy::Mutex mu;
+    FreeNode* free_[kNumClasses] = {};
+    char* bump_[kNumClasses] = {};
+    char* bump_end_[kNumClasses] = {};
+    [[no_unique_address]] typename Policy::template RemotePtr<RemoteNode>
+        remote;
+    SlabHeader* slabs = nullptr;
+    size_t live = 0;  // shard-local; pool totals sum across shards
+    size_t peak = 0;
+    uint64_t remote_frees = 0;  // blocks reclaimed off the remote stack
+  };
+
+  static void Charge(Shard& sh, size_t bytes) {
+    sh.live += bytes;
+    if (sh.live > sh.peak) sh.peak = sh.live;
+  }
+
+  // Owner-side batch reclaim: one exchange empties the MPSC stack, then
+  // every node goes back to its class freelist under the already-held lock.
+  void DrainRemoteLocked(Shard& sh) {
+    if constexpr (Policy::kConcurrent) {
+      if (Policy::RemoteEmpty(sh.remote)) return;
+      RemoteNode* n = Policy::RemoteDrainAll(sh.remote);
+      while (n != nullptr) {
+        RemoteNode* next = n->next;
+        const size_t c = n->cls;
+        auto* f = reinterpret_cast<FreeNode*>(n);
+        f->next = sh.free_[c];
+        sh.free_[c] = f;
+        sh.live -= ClassSize(c);
+        ++sh.remote_frees;
+        n = next;
+      }
+    }
+  }
+
+  bool RefillClassLocked(Shard& sh, size_t c) {
+    void* raw =
+        ::operator new(kSlabBytes, std::align_val_t(kSlabBytes), std::nothrow);
+    if (raw == nullptr) return false;
+    auto* slab = static_cast<SlabHeader*>(raw);
+    slab->magic = kSlabMagic;
+    slab->size_class = static_cast<uint32_t>(c);
+    slab->shard = static_cast<uint32_t>(&sh - shards_.get());
+    slab->reserved = 0;
+    slab->next_slab = sh.slabs;
+    sh.slabs = slab;
+    sh.bump_[c] = static_cast<char*>(raw) + kSlabPayloadOffset;
+    sh.bump_end_[c] = static_cast<char*>(raw) + kSlabBytes;
+    return true;
+  }
+
+  void* AllocateLargeLocked(Shard& sh, size_t n) {
+    void* p = ::operator new(n, std::nothrow);
+    if (p == nullptr) return nullptr;
+    assert(IsContractAligned(p));
+    Charge(sh, AlignUp(n));
+    return p;
+  }
+
+  size_t nshards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+using SlabPool = BasicSlabPool<SlabSingleThreaded>;
+
+// ---------------------------------------------------------------------------
+/// Arena-backed Memory-Alloc:Static alternative. The whole budget is taken
+/// once at construction (or supplied externally) and never grows: small
+/// classes bump-carve from the bottom of the arena and recycle through
+/// segregated freelists — O(1) pointer pops replacing the first-fit walk —
+/// while large blocks (page-frame arenas, WAL buffers) carve from the top
+/// and recycle through a first-fit list that is short in practice because
+/// frame arenas are allocated once per open. No per-block headers: the
+/// Deallocate size argument routes every free, so usable capacity is the
+/// full budget.
+class StaticSlabAllocator final : public Allocator {
+ public:
+  /// Manages `size` bytes at `arena` (not owned; must satisfy the
+  /// alignment contract).
+  StaticSlabAllocator(void* arena, size_t size);
+  /// Owns an internal arena of `size` bytes — the single heap allocation
+  /// this allocator ever performs.
+  explicit StaticSlabAllocator(size_t size);
+
+  void* Allocate(size_t n) override;
+  void Deallocate(void* p, size_t n) override;
+  size_t bytes_in_use() const override { return live_; }
+  const char* name() const override { return "static-slab"; }
+  AllocStats stats() const override { return {live_, peak_, 0}; }
+
+  size_t capacity() const { return size_; }
+  /// Largest single allocation currently satisfiable (fragmentation probe):
+  /// the untouched bump gap or the biggest recycled large block.
+  size_t LargestFreeBlock() const;
+  /// Arena bytes a request of `n` costs (size-class rounding for small
+  /// requests, contract rounding for large) — lets tests account exactly.
+  static size_t ChargedSize(size_t n);
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct LargeNode {
+    size_t size;
+    LargeNode* next;
+  };
+  void* AllocateLarge(size_t n);
+
+  std::unique_ptr<char[]> owned_;
+  char* base_;
+  size_t size_;
+  char* lo_;  // small-class bump frontier (grows up)
+  char* hi_;  // large-block frontier (grows down); free gap is [lo_, hi_)
+  FreeNode* free_[kNumClasses] = {};
+  LargeNode* large_free_ = nullptr;
+  size_t live_ = 0;
+  size_t peak_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Thread-local object pool behind the pooled class-level operator new of
+// index::Cursor and tx::Transaction. Every block is an individual heap
+// allocation tagged with its owning cache, so a free from any thread (or
+// after the owner thread exited) safely falls back to operator delete;
+// same-thread churn — the per-op hot path — is a freelist pop/push with
+// zero atomics and zero locks.
+#if FAME_SLAB_ENABLED
+
+/// Allocates a pooled block (throws std::bad_alloc on exhaustion, matching
+/// operator new semantics of the classes that ride it).
+void* PooledNew(size_t n);
+/// Sized release; same-thread frees recycle into the thread cache.
+void PooledDelete(void* p, size_t n) noexcept;
+/// Unsized release (the block header carries its class).
+void PooledDelete(void* p) noexcept;
+
+struct ThreadCacheStats {
+  uint64_t hits = 0;       // allocations served from the cache freelist
+  uint64_t misses = 0;     // allocations that went to the heap
+  uint64_t returns = 0;    // frees recycled into the cache
+  uint64_t live_blocks = 0;
+};
+/// Stats of the calling thread's cache.
+ThreadCacheStats PooledThreadStats();
+/// Process-wide count of pooled blocks freed on a thread other than their
+/// allocator (the object-pool analogue of the slab remote-free counter).
+uint64_t PooledCrossThreadFrees();
+
+#endif  // FAME_SLAB_ENABLED
+
+}  // namespace fame::osal::slab
+
+#endif  // FAME_OSAL_SLAB_ALLOC_H_

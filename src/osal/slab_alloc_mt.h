@@ -1,0 +1,60 @@
+// Multi-threaded policy for BasicSlabPool (see slab_alloc.h). Kept in its
+// own header — mirroring storage/concurrency_mt.h — so single-threaded
+// products never include <atomic>/<mutex>/<thread> through the allocator:
+// the ST instantiation stays plain pointer bumps by inspection.
+#ifndef FAME_OSAL_SLAB_ALLOC_MT_H_
+#define FAME_OSAL_SLAB_ALLOC_MT_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "osal/slab_alloc.h"
+
+namespace fame::osal::slab {
+
+struct SlabMultiThreaded {
+  static constexpr bool kConcurrent = true;
+  static constexpr size_t kDefaultShards = 8;
+  using Mutex = std::mutex;
+
+  /// MPSC remote-free stack head: many producers push freed blocks with a
+  /// CAS, the single owner empties it with one exchange.
+  template <typename Node>
+  struct RemotePtr {
+    std::atomic<Node*> head{nullptr};
+  };
+
+  template <typename Node>
+  static void RemotePush(RemotePtr<Node>& r, Node* n) {
+    Node* old = r.head.load(std::memory_order_relaxed);
+    do {
+      n->next = old;
+    } while (!r.head.compare_exchange_weak(old, n, std::memory_order_release,
+                                           std::memory_order_relaxed));
+  }
+
+  template <typename Node>
+  static Node* RemoteDrainAll(RemotePtr<Node>& r) {
+    return r.head.exchange(nullptr, std::memory_order_acquire);
+  }
+
+  template <typename Node>
+  static bool RemoteEmpty(const RemotePtr<Node>& r) {
+    return r.head.load(std::memory_order_relaxed) == nullptr;
+  }
+
+  /// Stable per-thread shard assignment: hashed once per thread, cached.
+  static size_t HomeShard(size_t nshards) {
+    static thread_local const size_t hashed =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return hashed % nshards;
+  }
+};
+
+using ConcurrentSlabPool = BasicSlabPool<SlabMultiThreaded>;
+
+}  // namespace fame::osal::slab
+
+#endif  // FAME_OSAL_SLAB_ALLOC_MT_H_

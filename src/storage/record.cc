@@ -1,5 +1,7 @@
 #include "storage/record.h"
 
+#include <cstring>
+
 namespace fame::storage {
 
 StatusOr<std::unique_ptr<RecordManager>> RecordManager::Open(
@@ -60,6 +62,16 @@ Status RecordManager::Get(const Rid& rid, std::string* out) {
   auto rec_or = guard.page().Get(rid.slot);
   FAME_RETURN_IF_ERROR(rec_or.status());
   out->assign(rec_or.value().data(), rec_or.value().size());
+  return Status::OK();
+}
+
+Status RecordManager::Get(const Rid& rid, char* buf, size_t cap,
+                          size_t* len) {
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(rid.page));
+  auto rec_or = guard.page().Get(rid.slot);
+  FAME_RETURN_IF_ERROR(rec_or.status());
+  *len = rec_or.value().size();
+  if (*len <= cap) std::memcpy(buf, rec_or.value().data(), *len);
   return Status::OK();
 }
 

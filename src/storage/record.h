@@ -46,6 +46,11 @@ class RecordManager {
   /// Reads the record at `rid` into `out`.
   Status Get(const Rid& rid, std::string* out);
 
+  /// Buffer variant for heap-free readers: sets *len to the record size
+  /// and copies into `buf` only when it fits (`*len <= cap`); when it does
+  /// not, the caller retries with the string overload.
+  Status Get(const Rid& rid, char* buf, size_t cap, size_t* len);
+
   /// Replaces the record at `rid` in place. If the new value no longer fits
   /// on its page, the record moves and `*rid` is updated (callers owning
   /// index entries must re-point them; the engine layers do).

@@ -6,25 +6,48 @@ namespace fame::storage {
 
 // ---------------------------------------------------------------- LRU
 
+void LruPolicy::Unlink(FrameId frame) {
+  Node& n = nodes_[frame];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = n.next = kNil;
+  n.linked = false;
+  --count_;
+}
+
 void LruPolicy::OnUnpinned(FrameId frame) {
-  auto it = map_.find(frame);
-  if (it != map_.end()) order_.erase(it->second);
-  order_.push_back(frame);
-  map_[frame] = std::prev(order_.end());
+  if (frame >= nodes_.size()) nodes_.resize(frame + 1);
+  if (nodes_[frame].linked) Unlink(frame);
+  Node& n = nodes_[frame];
+  n.prev = tail_;
+  n.next = kNil;
+  n.linked = true;
+  if (tail_ != kNil) {
+    nodes_[tail_].next = frame;
+  } else {
+    head_ = frame;
+  }
+  tail_ = frame;
+  ++count_;
 }
 
 void LruPolicy::OnRemoved(FrameId frame) {
-  auto it = map_.find(frame);
-  if (it == map_.end()) return;
-  order_.erase(it->second);
-  map_.erase(it);
+  if (frame >= nodes_.size() || !nodes_[frame].linked) return;
+  Unlink(frame);
 }
 
 bool LruPolicy::Victim(FrameId* frame) {
-  if (order_.empty()) return false;
-  *frame = order_.front();
-  order_.pop_front();
-  map_.erase(*frame);
+  if (head_ == kNil) return false;
+  *frame = head_;
+  Unlink(head_);
   return true;
 }
 

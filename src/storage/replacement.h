@@ -38,18 +38,33 @@ class ReplacementPolicy {
 };
 
 /// Least-recently-used: victims in OnUnpinned order, refreshed per unpin.
+/// Frame ids are dense small integers, so recency is an intrusive doubly
+/// linked list threaded through a frame-indexed vector: every pin/unpin on
+/// the buffer hot path is pure index surgery — the vector grows only the
+/// first time a frame id appears (the old std::list version paid a heap
+/// node new/delete per unpin).
 class LruPolicy final : public ReplacementPolicy {
  public:
   void OnUnpinned(FrameId frame) override;
   void OnRemoved(FrameId frame) override;
   void OnAccess(FrameId /*frame*/) override {}
   bool Victim(FrameId* frame) override;
-  size_t Size() const override { return map_.size(); }
+  size_t Size() const override { return count_; }
   const char* name() const override { return "lru"; }
 
  private:
-  std::list<FrameId> order_;  // front = least recently unpinned
-  std::unordered_map<FrameId, std::list<FrameId>::iterator> map_;
+  static constexpr FrameId kNil = ~FrameId{0};
+  struct Node {
+    FrameId prev = kNil;
+    FrameId next = kNil;
+    bool linked = false;
+  };
+  void Unlink(FrameId frame);
+
+  std::vector<Node> nodes_;  // indexed by frame id
+  FrameId head_ = kNil;      // least recently unpinned
+  FrameId tail_ = kNil;      // most recently unpinned
+  size_t count_ = 0;
 };
 
 /// Least-frequently-used with FIFO tie-breaking. Frequencies persist while a

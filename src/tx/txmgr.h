@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "osal/slab_alloc.h"
 #include "tx/locks.h"
 #include "tx/wal.h"
 
@@ -67,6 +68,21 @@ class Transaction {
  public:
   uint64_t id() const { return id_; }
   bool active() const { return active_; }
+
+#if FAME_SLAB_ENABLED
+  // Begin() heap-allocated a fresh handle per transaction; with the slab
+  // memory path the handle rides the thread-local object pool instead.
+  // Handles belong to a single thread (see TransactionManager), so the
+  // common begin/commit churn never leaves the allocating thread's cache;
+  // a handle destroyed elsewhere falls back to the heap safely.
+  static void* operator new(size_t n) { return osal::slab::PooledNew(n); }
+  static void operator delete(void* p, size_t n) noexcept {
+    osal::slab::PooledDelete(p, n);
+  }
+  static void operator delete(void* p) noexcept {
+    osal::slab::PooledDelete(p);
+  }
+#endif
 
   /// Buffered transactional put (acquires an exclusive lock).
   Status Put(const std::string& store, const Slice& key, const Slice& value);

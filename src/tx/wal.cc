@@ -53,15 +53,19 @@ LogRecord LogRecord::Delete(uint64_t txid, std::string store,
   return r;
 }
 
+void LogRecord::AppendPayloadTo(std::string* out) const {
+  PutVarint64(out, txid);
+  if (type == LogRecordType::kOp) {
+    out->push_back(static_cast<char>(op));
+    PutLengthPrefixedSlice(out, store);
+    PutLengthPrefixedSlice(out, key);
+    PutLengthPrefixedSlice(out, value);
+  }
+}
+
 std::string LogRecord::EncodePayload() const {
   std::string out;
-  PutVarint64(&out, txid);
-  if (type == LogRecordType::kOp) {
-    out.push_back(static_cast<char>(op));
-    PutLengthPrefixedSlice(&out, store);
-    PutLengthPrefixedSlice(&out, key);
-    PutLengthPrefixedSlice(&out, value);
-  }
+  AppendPayloadTo(&out);
   return out;
 }
 
@@ -168,20 +172,26 @@ StatusOr<Lsn> LogManager::Append(const LogRecord& record) {
   }
   Lsn lsn = durable_size_.load(std::memory_order_relaxed) +
             static_cast<Lsn>(buffer_.size());
-  std::string payload = record.EncodePayload();
-  if (payload.size() + 1 > 0xffff) {
+  // Encode the frame directly into the batch buffer — the hot commit path
+  // used to build three temporary strings (payload, body, frame) per
+  // record; now the only allocations are buffer_'s amortized growth, and
+  // the buffer's capacity is recycled across group-commit epochs. The CRC
+  // and length fields are placeholders patched once the payload is in
+  // place.
+  const size_t frame_off = buffer_.size();
+  PutFixed32(&buffer_, 0);  // masked CRC, patched below
+  const size_t body_off = buffer_.size();
+  PutFixed16(&buffer_, 0);  // body length, patched below
+  buffer_.push_back(static_cast<char>(record.type));
+  record.AppendPayloadTo(&buffer_);
+  const size_t body_size = buffer_.size() - body_off - 2;  // type + payload
+  if (body_size > 0xffff) {
+    buffer_.resize(frame_off);  // roll the partial frame back out
     return Status::InvalidArgument("log record too large");
   }
-  std::string body;
-  body.reserve(payload.size() + 3);
-  PutFixed16(&body, static_cast<uint16_t>(payload.size() + 1));
-  body.push_back(static_cast<char>(record.type));
-  body.append(payload);
-  uint32_t crc = Crc32(body.data(), body.size());
-  std::string frame;
-  PutFixed32(&frame, MaskCrc(crc));
-  frame.append(body);
-  buffer_.append(frame);
+  EncodeFixed16(&buffer_[body_off], static_cast<uint16_t>(body_size));
+  uint32_t crc = Crc32(buffer_.data() + body_off, buffer_.size() - body_off);
+  EncodeFixed32(&buffer_[frame_off], MaskCrc(crc));
   FAME_OBS(++buffered_records_;)
   records_appended_.fetch_add(1, std::memory_order_relaxed);
   return lsn;
@@ -274,8 +284,13 @@ Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
   // Lead this epoch: take everything buffered — our record plus every
   // follower's — and fsync once for the whole batch.
   flush_in_progress_ = true;
-  std::string batch;
-  batch.swap(buffer_);
+  // Recycle the previous epoch's capacity instead of allocating a fresh
+  // batch string every group commit: the batch keeps buffer_'s storage,
+  // buffer_ inherits spare_'s (cleared) storage, and after the flush the
+  // batch's storage parks back in spare_ for the next epoch.
+  std::string batch = std::move(buffer_);
+  buffer_ = std::move(spare_);
+  buffer_.clear();
   FAME_OBS(const uint64_t batch_records = buffered_records_;
            buffered_records_ = 0;)
   const uint64_t base = durable_size_.load(std::memory_order_relaxed);
@@ -309,6 +324,8 @@ Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
     // prefix on disk stays intact.
     poison_ = s;
   }
+  batch.clear();
+  spare_ = std::move(batch);  // park the capacity for the next epoch
   cv_.notify_all();
   return s;
 }

@@ -61,7 +61,10 @@ struct LogRecord {
                        std::string value);
   static LogRecord Delete(uint64_t txid, std::string store, std::string key);
 
-  /// Payload serialization (without framing).
+  /// Payload serialization (without framing). AppendPayloadTo encodes
+  /// directly into the caller's buffer so the group-commit hot path can
+  /// build frames without per-record temporaries.
+  void AppendPayloadTo(std::string* out) const;
   std::string EncodePayload() const;
   static StatusOr<LogRecord> DecodePayload(LogRecordType type,
                                            const Slice& payload);
@@ -353,6 +356,9 @@ class LogManager {
   /// single-file `file_` is unused then.
   std::unique_ptr<WalStore> store_;
   std::string buffer_;
+  /// Retired batch storage recycled into buffer_ at the next group-commit
+  /// epoch so steady-state flushing allocates nothing (guarded by mu_).
+  std::string spare_;
   /// Atomic so stats readers never see a torn value; mutated only by the
   /// flushing thread (under mu_ when group commit is on).
   std::atomic<uint64_t> durable_size_{0};

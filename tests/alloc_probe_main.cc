@@ -1,0 +1,110 @@
+// Memory-Alloc probe product: one minimal single-threaded static product
+// compiled two ways by tests/CMakeLists.txt, each probe recompiling the
+// storage/index/tx sources with its own gating so every object in the
+// binary agrees:
+//
+//   alloc_off_probe  FAME_SLAB_DISABLE + Memory-Alloc:Dynamic. The nm test
+//                    greps this binary for mangled fame::osal::slab names
+//                    and fails on any hit — a product that deselects the
+//                    slab path carries none of it.
+//   alloc_probe      Memory-Alloc:Static on the slab arena. The nm test
+//                    requires slab symbols (positive control) and requires
+//                    zero SlabMultiThreaded symbols: the single-threaded
+//                    product must link only the ST policy — plain pointer
+//                    bumps, no atomics, no remote-free machinery.
+//
+// The two .text sizes are the measurement points behind
+// fm::kFameSlabAllocNfpSeed. Run as a selftest, the probe executes a small
+// workload and (when the slab path is compiled in) asserts the engine runs
+// on the static-slab arena and that cursor churn is served by the pooled
+// thread cache.
+#include <cstdio>
+#include <string>
+
+#include "core/products.h"
+#include "osal/env.h"
+#include "osal/slab_alloc.h"
+
+namespace {
+
+/// The probed product: single-threaded, B+-tree, no transactions. The
+/// Memory-Alloc axis is the one dial the two probes disagree on:
+/// Static (slab arena) when the slab path is compiled in, Dynamic in the
+/// FAME_SLAB_DISABLE twin.
+struct ProbeCfg {
+  using IndexTag = fame::core::BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = false;
+  static constexpr bool kTransactions = false;
+  static constexpr bool kForceCommit = false;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 16;
+#if FAME_SLAB_ENABLED
+  static constexpr size_t kStaticPoolBytes = 128 * 1024;
+#else
+  static constexpr size_t kStaticPoolBytes = 0;
+#endif
+};
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "alloc probe FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  auto env = fame::osal::NewMemEnv(0);
+  fame::core::StaticEngine<ProbeCfg> db;
+  fame::Status s = db.Open(env.get(), "alloc_probe.db");
+  if (!s.ok()) return Fail(s.ToString().c_str());
+
+  // Workload: enough puts to split leaves, point gets, repeated scans so
+  // the per-op cursor objects churn through the pooled thread cache.
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "key" + std::to_string(i);
+    s = db.Put(fame::Slice(key), fame::Slice("value" + std::to_string(i)));
+    if (!s.ok()) return Fail(s.ToString().c_str());
+  }
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "key" + std::to_string(i * 4);
+    std::string value;
+    s = db.Get(fame::Slice(key), &value);
+    if (!s.ok()) return Fail(s.ToString().c_str());
+  }
+  uint64_t rows = 0;
+  for (int r = 0; r < 8; ++r) {
+    rows = 0;
+    s = db.Scan([&rows](const fame::Slice&, const fame::Slice&) {
+      ++rows;
+      return true;
+    });
+    if (!s.ok()) return Fail(s.ToString().c_str());
+  }
+  if (rows != 2000) return Fail("scan did not visit every row");
+
+#if FAME_SLAB_ENABLED
+  if (std::string(db.allocator()->name()) != "static-slab") {
+    return Fail("Static product is not running on the slab arena");
+  }
+  if (db.allocator()->bytes_in_use() == 0) {
+    return Fail("slab arena idle — frames not carved from it");
+  }
+  fame::osal::slab::ThreadCacheStats tc = fame::osal::slab::PooledThreadStats();
+  if (tc.hits == 0) {
+    return Fail("cursor churn never hit the pooled thread cache");
+  }
+  std::printf("alloc probe: arena live=%zu hits=%llu misses=%llu\n",
+              db.allocator()->bytes_in_use(),
+              static_cast<unsigned long long>(tc.hits),
+              static_cast<unsigned long long>(tc.misses));
+#else
+  if (std::string(db.allocator()->name()) != "dynamic") {
+    return Fail("slab-disabled product should run on the dynamic allocator");
+  }
+#endif
+  std::printf("alloc probe OK\n");
+  return 0;
+}

@@ -86,8 +86,14 @@ TEST(StaticProductTest, EmbeddedMinimalGetPutOnly) {
   EXPECT_EQ(v, "23.5C");
   // db.Remove(...) / db.Update(...) / db.Begin() would each be a
   // *compile-time* error here (static_assert on the unselected feature).
-  // Static allocation: all frames come from the fixed pool.
+  // Static allocation: all frames come from the fixed pool (the slab
+  // arena when the slab feature is compiled in, the first-fit pool when
+  // it is compiled out).
+#if FAME_SLAB_ENABLED
+  EXPECT_STREQ(db.allocator()->name(), "static-slab");
+#else
   EXPECT_STREQ(db.allocator()->name(), "static");
+#endif
   EXPECT_GT(db.allocator()->bytes_in_use(), 0u);
 }
 

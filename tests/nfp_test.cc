@@ -509,5 +509,35 @@ TEST(FeedbackTest, ReplicationNfpSeedLoadsAndFits) {
   }
 }
 
+// And for the Memory-Alloc NFP seed (Dynamic vs Static slab arena): the
+// pair of measured products differs only in the allocator alternative, so
+// the estimator must price the Static product above the Dynamic one by
+// the measured slab-arena footprint — the paper's Figure-2 axis with a
+// real cost attached to each side.
+TEST(FeedbackTest, SlabAllocNfpSeedLoadsAndFits) {
+  auto repo_or = FeedbackRepository::Deserialize(fm::kFameSlabAllocNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 2u);
+
+  std::vector<std::string> dynamic = {
+      "API", "B+-Tree", "BTree-Search", "Dynamic",      "Get", "Int-Types",
+      "LRU", "Linux",   "Put",          "Remove",       "String-Types"};
+  std::vector<std::string> statics = {
+      "API", "B+-Tree", "BTree-Search", "Get",          "Int-Types",
+      "LRU", "Linux",   "Put",          "Remove",       "Static",
+      "String-Types"};
+
+  auto est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GT(est->Estimate(statics), est->Estimate(dynamic));
+
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fame::nfp

@@ -173,6 +173,35 @@ TEST(ObsSerializeTest, RenderPrometheusEmitsCountersAndBuckets) {
   EXPECT_NE(prom.find("fame_get_latency_ns_count 3"), std::string::npos);
 }
 
+TEST(ObsSerializeTest, RenderCarriesAllocGauges) {
+  MetricsSnapshot m = SampleSnapshot();
+  m.alloc_name = "static-slab";
+  m.alloc_live_bytes = 4096;
+  m.alloc_peak_bytes = 8192;
+  m.alloc_remote_frees = 12;
+  std::string text = RenderText(m);
+  EXPECT_NE(text.find("alloc name: static-slab"), std::string::npos);
+  EXPECT_NE(text.find("alloc live bytes: 4096"), std::string::npos);
+  EXPECT_NE(text.find("alloc peak bytes: 8192"), std::string::npos);
+  EXPECT_NE(text.find("alloc remote frees: 12"), std::string::npos);
+  std::string prom = RenderPrometheus(m);
+  EXPECT_NE(prom.find("fame_alloc_live_bytes{allocator=\"static-slab\"} 4096"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fame_alloc_peak_bytes{allocator=\"static-slab\"} 8192"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("fame_alloc_remote_frees_total{allocator=\"static-slab\"} 12"),
+      std::string::npos);
+}
+
+TEST(ObsSerializeTest, RenderOmitsAllocGaugesWithoutAllocator) {
+  // Engines that predate the allocator snapshot leave alloc_name empty; the
+  // render output must stay byte-identical to the legacy form.
+  MetricsSnapshot m = SampleSnapshot();
+  EXPECT_EQ(RenderText(m).find("alloc"), std::string::npos);
+  EXPECT_EQ(RenderPrometheus(m).find("fame_alloc"), std::string::npos);
+}
+
 TEST(ObsSerializeTest, RenderHistogramElidesEmptyBuckets) {
   HistogramSnapshot h;
   EXPECT_NE(RenderHistogram(h).find("count=0"), std::string::npos);

@@ -7,6 +7,7 @@
 #include "osal/allocator.h"
 #include "osal/env.h"
 #include "osal/fault_env.h"
+#include "osal/slab_alloc.h"
 
 namespace fame::osal {
 namespace {
@@ -407,6 +408,47 @@ TEST(TrackingAllocatorTest, PeakTracking) {
   EXPECT_EQ(t.peak_bytes(), 300u);  // peak persists
   t.Deallocate(b, 200);
   EXPECT_EQ(t.alloc_calls(), 2u);
+}
+
+TEST(TrackingAllocatorTest, NullptrDeallocateDoesNotUnderflow) {
+  DynamicAllocator base;
+  TrackingAllocator t(&base);
+  void* a = t.Allocate(64);
+  ASSERT_NE(a, nullptr);
+  // Freeing nullptr is a no-op — it must not debit the live counter (the
+  // old code underflowed live_ to a huge value on this call).
+  t.Deallocate(nullptr, 64);
+  EXPECT_EQ(t.bytes_in_use(), 64u);
+  t.Deallocate(a, 64);
+  EXPECT_EQ(t.bytes_in_use(), 0u);
+}
+
+TEST(AllocatorContractTest, AllAllocatorsReturnContractAlignedBlocks) {
+  DynamicAllocator dyn;
+  StaticPoolAllocator pool(8192);
+  slab::SlabPool slab_pool;
+  slab::StaticSlabAllocator static_slab(64 * 1024);
+  Allocator* allocs[] = {&dyn, &pool, &slab_pool, &static_slab};
+  for (Allocator* a : allocs) {
+    for (size_t n : {1u, 7u, 16u, 100u, 1000u, 5000u}) {
+      void* p = a->Allocate(n);
+      ASSERT_NE(p, nullptr) << a->name() << " size " << n;
+      EXPECT_TRUE(IsContractAligned(p)) << a->name() << " size " << n;
+      a->Deallocate(p, n);
+    }
+    EXPECT_EQ(a->bytes_in_use(), 0u) << a->name();
+  }
+}
+
+TEST(AllocStatsTest, PeakAndLiveReported) {
+  DynamicAllocator dyn;
+  void* a = dyn.Allocate(100);
+  void* b = dyn.Allocate(200);
+  dyn.Deallocate(a, 100);
+  AllocStats st = dyn.stats();
+  EXPECT_EQ(st.live_bytes, 200u);
+  EXPECT_EQ(st.peak_bytes, 300u);
+  dyn.Deallocate(b, 200);
 }
 
 }  // namespace
