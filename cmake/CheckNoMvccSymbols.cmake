@@ -1,0 +1,53 @@
+# Symbol-table check behind the Mvcc feature's zero-cost claim. Run as a
+# ctest:
+#
+#   cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoMvccSymbols.cmake
+#
+# Greps `nm` output of BINARY for the mangled MVCC namespace
+# ("4fame2tx4mvcc" = fame::tx::mvcc), which holds the version-chain codec,
+# the commit-timestamp oracle, and the snapshot registry. EXPECT=absent
+# fails on any hit: a product that does not select Transaction ▸ Mvcc must
+# link none of the versioning machinery — its record path stays the
+# unversioned one. EXPECT=present is the positive control on the
+# Mvcc-enabled twin of the same product, proving the probe methodology
+# actually sees the symbols it claims to rule out.
+if(NOT DEFINED BINARY OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "usage: cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoMvccSymbols.cmake")
+endif()
+
+find_program(NM_TOOL NAMES nm llvm-nm)
+if(NOT NM_TOOL)
+  message(FATAL_ERROR "nm not found; cannot check ${BINARY}")
+endif()
+
+execute_process(
+  COMMAND ${NM_TOOL} --defined-only ${BINARY}
+  OUTPUT_VARIABLE SYMBOLS
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE NM_ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "nm failed on ${BINARY}: ${NM_ERR}")
+endif()
+
+string(REGEX MATCHALL "[^\n]*4fame2tx4mvcc[^\n]*" MVCC_SYMBOLS "${SYMBOLS}")
+list(LENGTH MVCC_SYMBOLS HITS)
+
+if(EXPECT STREQUAL "absent")
+  if(HITS GREATER 0)
+    list(SUBLIST MVCC_SYMBOLS 0 10 SAMPLE)
+    string(JOIN "\n  " SAMPLE_TEXT ${SAMPLE})
+    message(FATAL_ERROR
+      "${BINARY} does not select the Mvcc feature but defines "
+      "${HITS} MVCC symbol(s):\n  ${SAMPLE_TEXT}")
+  endif()
+  message(STATUS "${BINARY}: no MVCC symbols (as required)")
+elseif(EXPECT STREQUAL "present")
+  if(HITS EQUAL 0)
+    message(FATAL_ERROR
+      "${BINARY} should carry fame::tx::mvcc symbols (positive control for "
+      "the absence test) but nm found none — the check would be vacuous")
+  endif()
+  message(STATUS "${BINARY}: ${HITS} MVCC symbols (positive control ok)")
+else()
+  message(FATAL_ERROR "EXPECT must be 'absent' or 'present', got '${EXPECT}'")
+endif()

@@ -101,7 +101,28 @@ Status Database::ComposeComponents(const DbOptions& options) {
   // Transaction feature.
   if (HasFeature("Transaction")) {
     FAME_RETURN_IF_ERROR(OpenTxManager());
+    // Mvcc sub-feature: install the oracle before recovery so replayed
+    // commits that carry timestamps go down the versioned apply path.
+    if (HasFeature("Mvcc")) {
+      mvcc_ = std::make_unique<tx::mvcc::MvccManager>();
+      txmgr_->EnableMvcc(mvcc_.get());
+      // Seed the oracle from the checkpointed meta BEFORE recovery runs:
+      // replay ends in CheckpointEngine(), which re-persists the clock —
+      // seeding afterwards would read back the overwrite, not the stored
+      // value, and restart the clock at zero under existing chains.
+      auto ts_or = file_->GetRootAux("mvcc.ts");
+      if (ts_or.ok()) mvcc_->SeedClock(ts_or.value());
+      auto mark_or = file_->GetRootAux("mvcc.mark");
+      if (mark_or.ok()) mvcc_mark_ = mark_or.value();
+    }
     FAME_RETURN_IF_ERROR(txmgr_->Recover());
+    if (mvcc_ != nullptr) {
+      // Ratchet past the highest commit ts replay saw and persist right
+      // away — recovery just truncated the log, so a crash before the
+      // next checkpoint must not rewind the clock under existing chains.
+      mvcc_->SeedClock(txmgr_->recovery_report().max_commit_ts);
+      FAME_RETURN_IF_ERROR(PersistMvccMeta());
+    }
     // New segments must carry the persisted fence from the first commit,
     // not only after StartLeader/StartFollower re-stamps it.
     if (repl_epoch_ != 0) txmgr_->SetWalFenceEpoch(repl_epoch_);
@@ -227,7 +248,7 @@ Status Database::Put(const Slice& key, const Slice& value) {
            obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.put_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kPut);)
   FAME_RETURN_IF_ERROR(GuardWrite());
-  Status s = NoteWrite(engine_.Put(key, value));
+  Status s = NoteWrite(PutRecord(key, value));
   FAME_OBS_TRACE(span.set_error(!s.ok());)
   return s;
 }
@@ -236,7 +257,7 @@ Status Database::Get(const Slice& key, std::string* value) {
   FAME_OBS(metrics_.gets.Add(1);
            obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.get_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kGet);)
-  Status s = engine_.Get(key, value);
+  Status s = GetRecord(key, value);
   FAME_OBS_TRACE(span.set_error(!s.ok() && !s.IsNotFound());)
   return s;
 }
@@ -248,7 +269,7 @@ Status Database::Remove(const Slice& key) {
       obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.remove_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kRemove);)
   FAME_RETURN_IF_ERROR(GuardWrite());
-  Status s = NoteWrite(engine_.Remove(key));
+  Status s = NoteWrite(RemoveRecord(key));
   FAME_OBS_TRACE(span.set_error(!s.ok() && !s.IsNotFound());)
   return s;
 }
@@ -259,9 +280,17 @@ Status Database::Update(const Slice& key, const Slice& value) {
            obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.put_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kUpdate);)
   FAME_RETURN_IF_ERROR(GuardWrite());
-  uint64_t packed = 0;
-  FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-  Status s = NoteWrite(engine_.Put(key, value));
+  if (mvcc_ != nullptr) {
+    // Update requires the key to *visibly* exist: an index hit whose chain
+    // is tombstoned at the read timestamp is still absent.
+    std::string existing;
+    FAME_RETURN_IF_ERROR(engine_.GetVersioned(key, mvcc_->ReadTs(),
+                                              &existing, mvcc_.get()));
+  } else {
+    uint64_t packed = 0;
+    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+  }
+  Status s = NoteWrite(PutRecord(key, value));
   FAME_OBS_TRACE(span.set_error(!s.ok());)
   return s;
 }
@@ -283,7 +312,11 @@ Status Database::RangeScan(const Slice& lo, const Slice& hi,
   FAME_OBS(metrics_.scans.Add(1);
            obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.scan_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kScan);)
-  Status s = engine_.RangeScan(lo, hi, /*ordered=*/true, fn);
+  Status s = mvcc_ != nullptr
+                 ? engine_.SnapshotRangeScan(mvcc_->ReadTs(), lo, hi,
+                                             /*ordered=*/true, fn,
+                                             mvcc_.get())
+                 : engine_.RangeScan(lo, hi, /*ordered=*/true, fn);
   FAME_OBS_TRACE(span.set_error(!s.ok());)
   return s;
 }
@@ -296,7 +329,10 @@ Status Database::ReverseScan(const Slice& lo, const Slice& hi,
   FAME_OBS(metrics_.scans.Add(1);
            obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.scan_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kReverseScan);)
-  Status s = engine_.ReverseScan(lo, hi, fn);
+  Status s = mvcc_ != nullptr
+                 ? engine_.SnapshotReverseScan(mvcc_->ReadTs(), lo, hi, fn,
+                                               mvcc_.get())
+                 : engine_.ReverseScan(lo, hi, fn);
   FAME_OBS_TRACE(span.set_error(!s.ok());)
   return s;
 }
@@ -339,12 +375,114 @@ Status Database::Abort(tx::Transaction* txn) {
 Status Database::ApplyPut(const std::string& store, const Slice& key,
                           const Slice& value) {
   if (store != kStore) return Status::InvalidArgument("unknown store");
+  // A legacy (timestamp-less) log record replaying into an Mvcc product is
+  // migrated on the fly: it becomes a fresh head version.
+  if (mvcc_ != nullptr) {
+    return engine_.WriteVersion(key, value, /*tombstone=*/false,
+                                mvcc_->AdvanceClock(), mvcc_->Watermark(),
+                                mvcc_.get());
+  }
   return engine_.Put(key, value);
 }
 
 Status Database::ApplyDelete(const std::string& store, const Slice& key) {
   if (store != kStore) return Status::InvalidArgument("unknown store");
+  if (mvcc_ != nullptr) return RemoveRecord(key);
   return engine_.Remove(key);
+}
+
+Status Database::ApplyPutVersioned(const std::string& store, const Slice& key,
+                                   const Slice& value, uint64_t commit_ts) {
+  if (store != kStore) return Status::InvalidArgument("unknown store");
+  if (mvcc_ == nullptr) return engine_.Put(key, value);  // ts-less fallback
+  mvcc_->SeedClock(commit_ts);  // replay may run before the clock is seeded
+  return engine_.WriteVersion(key, value, /*tombstone=*/false, commit_ts,
+                              mvcc_->Watermark(), mvcc_.get());
+}
+
+Status Database::ApplyDeleteVersioned(const std::string& store,
+                                      const Slice& key, uint64_t commit_ts) {
+  if (store != kStore) return Status::InvalidArgument("unknown store");
+  if (mvcc_ == nullptr) return engine_.Remove(key);
+  mvcc_->SeedClock(commit_ts);
+  uint64_t packed = 0;
+  Status found = engine_.index()->Lookup(key, &packed);
+  // Deleting a key with no chain at all stays NotFound (the caller treats
+  // replayed deletes of absent keys as already-applied).
+  if (!found.ok()) return found;
+  return engine_.WriteVersion(key, Slice(), /*tombstone=*/true, commit_ts,
+                              mvcc_->Watermark(), mvcc_.get());
+}
+
+Status Database::ReadAtSnapshot(const std::string& store, const Slice& key,
+                                uint64_t ts, std::string* value) {
+  if (store != kStore) return Status::InvalidArgument("unknown store");
+  if (mvcc_ == nullptr) return Get(key, value);
+  return engine_.GetVersioned(key, ts, value, mvcc_.get());
+}
+
+// ------------------------------------------------------------ record path
+
+Status Database::PutRecord(const Slice& key, const Slice& value) {
+  if (mvcc_ == nullptr) return engine_.Put(key, value);
+  // Auto-commit versioned write: one oracle tick, opportunistic pruning of
+  // versions already below the watermark while the chain is in hand.
+  return engine_.WriteVersion(key, value, /*tombstone=*/false,
+                              mvcc_->AdvanceClock(), mvcc_->Watermark(),
+                              mvcc_.get());
+}
+
+Status Database::RemoveRecord(const Slice& key) {
+  if (mvcc_ == nullptr) return engine_.Remove(key);
+  // Preserve Remove's NotFound contract against the *visible* state: a key
+  // that is absent or already tombstoned at the read ts is not removable.
+  std::string existing;
+  FAME_RETURN_IF_ERROR(
+      engine_.GetVersioned(key, mvcc_->ReadTs(), &existing, mvcc_.get()));
+  return engine_.WriteVersion(key, Slice(), /*tombstone=*/true,
+                              mvcc_->AdvanceClock(), mvcc_->Watermark(),
+                              mvcc_.get());
+}
+
+Status Database::GetRecord(const Slice& key, std::string* value) {
+  if (mvcc_ == nullptr) return engine_.Get(key, value);
+  return engine_.GetVersioned(key, mvcc_->ReadTs(), value, mvcc_.get());
+}
+
+StatusOr<SnapshotCursor> Database::NewSnapshotCursor() {
+  if (mvcc_ == nullptr) {
+    return Status::NotSupported("feature Mvcc not selected");
+  }
+  // Register the snapshot with the oracle so the GC watermark stays at or
+  // below the cursor's ts while it lives; the cursor owns the release.
+  return engine_.NewSnapshotCursor(mvcc_->BeginSnapshot(), mvcc_.get());
+}
+
+StatusOr<uint64_t> Database::MvccGc() {
+  if (mvcc_ == nullptr) {
+    return Status::NotSupported("feature Mvcc not selected");
+  }
+  FAME_RETURN_IF_ERROR(GuardWrite());
+  const uint64_t mark = mvcc_->Watermark();
+  uint64_t pruned = 0;
+  // The sweep rewrites heap records in place; exclude concurrent engine
+  // applies the same way hot backup does.
+  Status s = txmgr_->WithApplyPaused([&]() -> Status {
+    FAME_ASSIGN_OR_RETURN(pruned, engine_.MvccSweep(mark, mvcc_.get()));
+    return Status::OK();
+  });
+  if (!s.ok()) return NoteWrite(std::move(s));
+  mvcc_mark_ = mark;
+  FAME_RETURN_IF_ERROR(NoteWrite(PersistMvccMeta()));
+  return pruned;
+}
+
+Status Database::PersistMvccMeta() {
+  FAME_RETURN_IF_ERROR(
+      file_->SetRoot("mvcc.ts", storage::kInvalidPageId, mvcc_->ReadTs()));
+  FAME_RETURN_IF_ERROR(
+      file_->SetRoot("mvcc.mark", storage::kInvalidPageId, mvcc_mark_));
+  return file_->Sync();
 }
 
 Status Database::ReadCommitted(const std::string& store, const Slice& key,
@@ -353,7 +491,14 @@ Status Database::ReadCommitted(const std::string& store, const Slice& key,
   return Get(key, value);
 }
 
-Status Database::CheckpointEngine() { return buffers_->Checkpoint(); }
+Status Database::CheckpointEngine() {
+  FAME_RETURN_IF_ERROR(buffers_->Checkpoint());
+  // Checkpoint is the durability point of the timestamp oracle: the WAL
+  // below the checkpoint may be truncated/recycled, so the clock must be
+  // recoverable from the meta alone.
+  if (mvcc_ != nullptr) FAME_RETURN_IF_ERROR(PersistMvccMeta());
+  return Status::OK();
+}
 
 Status Database::PersistWalMark(tx::Lsn mark) {
   // Called inside the checkpoint's exclusive section (applies and reads
@@ -516,7 +661,7 @@ Status Database::CreateTable(const Schema& schema) {
     return Status::InvalidArgument("table exists: " + schema.table);
   }
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(engine_.Put(SchemaKey(schema.table), schema.Encode()));
+  return NoteWrite(PutRecord(SchemaKey(schema.table), schema.Encode()));
 }
 
 StatusOr<Schema> Database::GetSchema(const std::string& table) {
@@ -532,7 +677,7 @@ Status Database::InsertRow(const std::string& table, const Row& row) {
   FAME_RETURN_IF_ERROR(schema.CheckRow(row));
   if (!has_put_) return Status::NotSupported("feature Put not selected");
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(engine_.Put(TableKey(table, row[0]), EncodeRow(row)));
+  return NoteWrite(PutRecord(TableKey(table, row[0]), EncodeRow(row)));
 }
 
 StatusOr<Row> Database::FindRow(const std::string& table, const Value& pk) {
@@ -544,22 +689,27 @@ StatusOr<Row> Database::FindRow(const std::string& table, const Value& pk) {
 Status Database::DeleteRow(const std::string& table, const Value& pk) {
   if (!has_remove_) return Status::NotSupported("feature Remove not selected");
   FAME_RETURN_IF_ERROR(GuardWrite());
-  return NoteWrite(engine_.Remove(TableKey(table, pk)));
+  return NoteWrite(RemoveRecord(TableKey(table, pk)));
 }
 
 Status Database::ScanTable(const std::string& table,
                            const std::function<bool(const Row&)>& fn) {
   std::string prefix = "t:" + table + "\x01";
   Status inner = Status::OK();
-  FAME_RETURN_IF_ERROR(engine_.ScanPrefix(
-      prefix, ordered_ != nullptr, [&](const Slice&, const Slice& value) {
-        auto row_or = DecodeRow(value);
-        if (!row_or.ok()) {
-          inner = row_or.status();
-          return false;
-        }
-        return fn(row_or.value());
-      }));
+  const KvVisitor row_visitor = [&](const Slice&, const Slice& value) {
+    auto row_or = DecodeRow(value);
+    if (!row_or.ok()) {
+      inner = row_or.status();
+      return false;
+    }
+    return fn(row_or.value());
+  };
+  FAME_RETURN_IF_ERROR(
+      mvcc_ != nullptr
+          ? engine_.SnapshotScanPrefix(mvcc_->ReadTs(), prefix,
+                                       ordered_ != nullptr, row_visitor,
+                                       mvcc_.get())
+          : engine_.ScanPrefix(prefix, ordered_ != nullptr, row_visitor));
   return inner;
 }
 

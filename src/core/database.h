@@ -107,7 +107,27 @@ class Database : private tx::ApplyTarget {
 
   /// Pull-based cursor over the engine's records (heap-joined values).
   /// Mutating the database invalidates open cursors; re-Seek after writes.
+  /// With the Mvcc feature the joined values are raw version chains —
+  /// NewSnapshotCursor is the record-level view.
   StatusOr<EngineCursor> NewCursor() { return engine_.NewCursor(); }
+
+  // ---- Transaction ▸ Mvcc feature (runtime-gated) ----
+  bool mvcc() const { return mvcc_ != nullptr; }
+  /// [feature Mvcc] Cursor frozen at the current read timestamp: positions
+  /// resolve through the version chains, so writers committing after the
+  /// open never change what it returns. NotSupported without Mvcc.
+  StatusOr<SnapshotCursor> NewSnapshotCursor();
+  /// [feature Mvcc] Watermark GC: prunes versions no active snapshot can
+  /// see (and keys fully dead under a tombstone), then persists the sweep
+  /// watermark in the PageFile meta ("mvcc.mark"). Returns versions pruned.
+  StatusOr<uint64_t> MvccGc();
+  /// [feature Mvcc] Watermark of the last completed GC sweep (persisted;
+  /// reloaded at open). 0 before the first sweep.
+  uint64_t mvcc_gc_mark() const { return mvcc_mark_; }
+  /// [feature Mvcc] Oracle counters (zero-valued without the feature).
+  tx::mvcc::MvccStats mvcc_stats() const {
+    return mvcc_ != nullptr ? mvcc_->stats() : tx::mvcc::MvccStats{};
+  }
 
   // ---- Transaction feature ----
   StatusOr<tx::Transaction*> Begin();
@@ -267,12 +287,28 @@ class Database : private tx::ApplyTarget {
   /// returns `s` unchanged.
   Status NoteWrite(Status s);
 
+  /// Record-path seam: plain bytes without Mvcc, a version-chain append /
+  /// visible-version resolve at the current read timestamp with it. Every
+  /// KV, typed-record and SQL access funnels through these three.
+  Status PutRecord(const Slice& key, const Slice& value);
+  Status RemoveRecord(const Slice& key);
+  Status GetRecord(const Slice& key, std::string* value);
+  /// [feature Mvcc] Persists the timestamp oracle ("mvcc.ts") and the GC
+  /// watermark ("mvcc.mark") in the PageFile meta.
+  Status PersistMvccMeta();
+
   // tx::ApplyTarget.
   Status ApplyPut(const std::string& store, const Slice& key,
                   const Slice& value) override;
   Status ApplyDelete(const std::string& store, const Slice& key) override;
   Status ReadCommitted(const std::string& store, const Slice& key,
                        std::string* value) override;
+  Status ApplyPutVersioned(const std::string& store, const Slice& key,
+                           const Slice& value, uint64_t commit_ts) override;
+  Status ApplyDeleteVersioned(const std::string& store, const Slice& key,
+                              uint64_t commit_ts) override;
+  Status ReadAtSnapshot(const std::string& store, const Slice& key,
+                        uint64_t ts, std::string* value) override;
   Status CheckpointEngine() override;
   /// [feature Backup] Watermark persistence in the PageFile meta (root
   /// "wal.mark", aux = LSN). Called by segmented checkpoints only.
@@ -299,6 +335,13 @@ class Database : private tx::ApplyTarget {
   /// template over its compile-time index type.
   EngineCore<index::KeyValueIndex> engine_;
   std::unique_ptr<tx::TransactionManager> txmgr_;
+  /// [feature Mvcc] Timestamp oracle / snapshot registry / conflict table;
+  /// null without the feature (which keeps the whole record path on the
+  /// plain-bytes codec — the zero-cost claim the nm guard checks on the
+  /// static products).
+  std::unique_ptr<tx::mvcc::MvccManager> mvcc_;
+  /// [feature Mvcc] Watermark of the last completed GC sweep (persisted).
+  uint64_t mvcc_mark_ = 0;
   std::unique_ptr<SqlEngine> sql_;
   std::unique_ptr<storage::Scrubber> scrubber_;  // with Scrub/Verify
   storage::IntegrityReport scrub_findings_;      // incremental Scrub() only

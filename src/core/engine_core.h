@@ -18,8 +18,11 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/coding.h"
 #include "index/cursor.h"
@@ -31,6 +34,7 @@
 #include "obs/trace.h"
 #endif
 #include "storage/record.h"
+#include "tx/mvcc.h"
 
 namespace fame::core {
 
@@ -42,6 +46,15 @@ using KvVisitor = std::function<bool(const Slice& key, const Slice& value)>;
 /// heap string. Sized past any embedded product's page payload so the
 /// spill path is effectively cold.
 inline constexpr size_t kInlineRecordBytes = 512;
+
+/// The index probe and the heap fetch are not one atomic step: in a
+/// concurrent product a writer can relocate a record between them (a
+/// version chain outgrowing its slot moves to a new page and re-points
+/// the index entry), so the just-read rid may address a freed or reused
+/// slot. Readers re-descend to the same key for a fresh rid and retry —
+/// bounded, so genuine corruption (a stale rid in a quiesced database)
+/// still surfaces after this many refreshes.
+inline constexpr int kStaleJoinRetries = 8;
 
 /// Pull-based cursor over engine records: iterates the index cursor and
 /// joins each entry's Rid through the RecordManager *lazily* — value() does
@@ -147,6 +160,31 @@ class EngineCursor {
   }
 
   bool Load() {
+    Status s = TryLoad();
+    // A failed join usually means the rid went stale under a concurrent
+    // writer (kStaleJoinRetries): re-descend to the same key — the index
+    // cursor's Seek re-reads the leaf, picking up the relocated rid — and
+    // retry. A key that vanished outright (pruned by a concurrent GC
+    // sweep; it had no visible version) ends the retries: Seek lands past
+    // it and the error surfaces to the consumer as before.
+    for (int attempt = 0; !s.ok() && attempt < kStaleJoinRetries; ++attempt) {
+      std::string k(base_->key().data(), base_->key().size());
+      base_->Seek(Slice(k));
+      if (!base_->Valid() || base_->key() != Slice(k)) break;
+      s = TryLoad();
+    }
+    if (s.ok()) return true;
+    // A mid-scan heap-join failure invalidates the cursor; tag it in the
+    // trace so a truncated scan is attributable to the exact position.
+    FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kCursor,
+                                      obs::TraceOp::kScan, scanned_,
+                                      returned_, /*error=*/true);)
+    status_ = std::move(s);
+    return false;
+  }
+
+  /// One join attempt at the current position; OK caches the value.
+  Status TryLoad() {
     storage::Rid rid = storage::Rid::Unpack(base_->value());
     // Inline-first heap join: the typical embedded record lands in the
     // fixed buffer so per-row loads never touch the heap; oversize records
@@ -158,27 +196,19 @@ class EngineCursor {
       s = heap_->Get(rid, &record_);
       rec = Slice(record_);
     }
-    if (s.ok()) {
-      Slice in = rec;
-      uint32_t klen = 0;
-      if (!GetVarint32(&in, &klen) || in.size() < klen) {
-        s = Status::Corruption("bad core record");
-      } else if (Slice(in.data(), klen) != base_->key()) {
-        s = Status::Corruption("index points at the wrong record");
-      } else {
-        value_ = Slice(in.data() + klen, in.size() - klen);
-        loaded_ = true;
-        FAME_OBS(++returned_;)
-        return true;
-      }
+    FAME_RETURN_IF_ERROR(s);
+    Slice in = rec;
+    uint32_t klen = 0;
+    if (!GetVarint32(&in, &klen) || in.size() < klen) {
+      return Status::Corruption("bad core record");
     }
-    // A mid-scan heap-join failure invalidates the cursor; tag it in the
-    // trace so a truncated scan is attributable to the exact position.
-    FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kCursor,
-                                      obs::TraceOp::kScan, scanned_,
-                                      returned_, /*error=*/true);)
-    status_ = s;
-    return false;
+    if (Slice(in.data(), klen) != base_->key()) {
+      return Status::Corruption("index points at the wrong record");
+    }
+    value_ = Slice(in.data() + klen, in.size() - klen);
+    loaded_ = true;
+    FAME_OBS(++returned_;)
+    return Status::OK();
   }
 
 #if FAME_OBS_ENABLED
@@ -220,6 +250,187 @@ class EngineCursor {
   uint64_t scanned_ = 0;
   uint64_t returned_ = 0;
 #endif
+};
+
+/// [feature Mvcc] Heap-joining cursor frozen at one snapshot timestamp:
+/// wraps an EngineCursor whose joined values are version chains and
+/// resolves each position through tx::mvcc::VisibleAt, skipping keys with
+/// no visible version (never written before the snapshot, or deleted by a
+/// tombstone the snapshot can see). Concurrent writers that commit after
+/// this cursor's ts only *prepend* chain entries, so every position keeps
+/// resolving to exactly the version the snapshot saw — that is the
+/// snapshot-stability guarantee the cursor conformance suite checks.
+///
+/// Concurrency model (the `latch` argument): MVCC readers take no table
+/// locks, so writers stay free to commit during a scan — but a commit can
+/// physically move bytes (heap-page compaction, record relocation, B+-tree
+/// splits up to a root change). Each cursor *step* therefore runs under
+/// the shared side of MvccManager::PhysLatch() while appliers hold it
+/// exclusive per mutation, and Next()/Prev() re-descend from the last
+/// returned key instead of trusting the base cursor's pinned-leaf
+/// position, which a split may have restructured between steps. The latch
+/// spans one step, never the whole scan: writers stall at most one
+/// descent + heap join. Without a latch (single-threaded engines) the
+/// cheap pinned-leaf stepping is kept as-is.
+///
+/// All members are inline and only emitted when odr-used, so products
+/// without the Mvcc sub-feature never reference the mvcc codec objects.
+class SnapshotCursor {
+ public:
+  /// `mgr` (optional) is the oracle the snapshot was registered with via
+  /// BeginSnapshot(): the cursor owns that registration and releases it on
+  /// destruction. Without the pin, a concurrent write's inline prune
+  /// (prune_below = Watermark()) could drop the very versions this cursor
+  /// still resolves — the watermark must not advance past ts_ while the
+  /// cursor lives. `latch` (optional, defaults to `mgr`) supplies the
+  /// physical latch only — pass it alone for scans whose snapshot is
+  /// pinned by the caller (the engine visitor adapters do).
+  SnapshotCursor(EngineCursor base, uint64_t ts,
+                 tx::mvcc::MvccManager* mgr = nullptr,
+                 tx::mvcc::MvccManager* latch = nullptr)
+      : base_(std::move(base)),
+        ts_(ts),
+        mgr_(mgr),
+        latch_(latch != nullptr ? latch : mgr) {}
+  ~SnapshotCursor() {
+    if (mgr_ != nullptr) mgr_->ReleaseSnapshot(ts_);
+  }
+  SnapshotCursor(SnapshotCursor&& o) noexcept
+      : base_(std::move(o.base_)),
+        ts_(o.ts_),
+        value_(o.value_),
+        status_(std::move(o.status_)),
+        pos_(std::move(o.pos_)),
+        has_pos_(o.has_pos_),
+        mgr_(o.mgr_),
+        latch_(o.latch_) {
+    o.mgr_ = nullptr;
+  }
+  SnapshotCursor& operator=(SnapshotCursor&& o) noexcept {
+    if (this != &o) {
+      if (mgr_ != nullptr) mgr_->ReleaseSnapshot(ts_);
+      base_ = std::move(o.base_);
+      ts_ = o.ts_;
+      value_ = o.value_;
+      status_ = std::move(o.status_);
+      pos_ = std::move(o.pos_);
+      has_pos_ = o.has_pos_;
+      mgr_ = o.mgr_;
+      latch_ = o.latch_;
+      o.mgr_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotCursor(const SnapshotCursor&) = delete;
+  SnapshotCursor& operator=(const SnapshotCursor&) = delete;
+
+  void SeekToFirst() {
+    auto step = LockStep();
+    base_.SeekToFirst();
+    Settle(/*forward=*/true);
+  }
+  void Seek(const Slice& target) {
+    auto step = LockStep();
+    base_.Seek(target);
+    Settle(/*forward=*/true);
+  }
+  bool Valid() const { return status_.ok() && base_.Valid(); }
+  void Next() {
+    auto step = LockStep();
+    if (latch_ != nullptr && has_pos_) {
+      // Fresh descent to the last settled key: the base cursor's pinned
+      // leaf may have been split or compacted since the previous step, so
+      // its cached position (leaf frame, entry index, entry count) cannot
+      // be trusted across the latch gap. Seek lands at the smallest key
+      // >= pos_ on the *current* structure; stepping past pos_ itself
+      // (when still present) yields the successor.
+      base_.Seek(Slice(pos_));
+      if (base_.Valid() && base_.key() == Slice(pos_)) base_.Next();
+    } else {
+      base_.Next();
+    }
+    Settle(/*forward=*/true);
+  }
+  /// The settled key. Returned from the cursor-owned copy captured under
+  /// the step latch — the base cursor's key() Slice points into a pinned
+  /// page frame that a concurrent writer may rewrite between steps.
+  Slice key() const { return Slice(pos_); }
+  /// Visible version's value bytes (stable until the next cursor call;
+  /// the EngineCursor owns a copy of the record, so concurrent page
+  /// motion cannot touch it).
+  Slice value() const { return value_; }
+  const Status& status() const {
+    return status_.ok() ? base_.status() : status_;
+  }
+
+  bool SupportsReverse() const { return base_.SupportsReverse(); }
+  void SeekToLast() {
+    auto step = LockStep();
+    base_.SeekToLast();
+    Settle(/*forward=*/false);
+  }
+  void Prev() {
+    auto step = LockStep();
+    if (latch_ != nullptr && has_pos_) {
+      // Predecessor via fresh descent: land at the smallest key >= pos_,
+      // then one step back. When every key is now < pos_ the predecessor
+      // is the last key overall.
+      base_.Seek(Slice(pos_));
+      if (base_.Valid()) {
+        base_.Prev();
+      } else if (base_.status().ok()) {
+        base_.SeekToLast();
+      }
+    } else {
+      base_.Prev();
+    }
+    Settle(/*forward=*/false);
+  }
+
+  uint64_t snapshot_ts() const { return ts_; }
+
+ private:
+  /// Shared physical latch for one step (no-op without a latch manager).
+  std::shared_lock<std::shared_mutex> LockStep() {
+    return latch_ != nullptr
+               ? std::shared_lock<std::shared_mutex>(latch_->PhysLatch())
+               : std::shared_lock<std::shared_mutex>();
+  }
+
+  /// Advances past positions with no version visible at ts_; stops on the
+  /// first visible one (caching its value and key) or on chain corruption.
+  void Settle(bool forward) {
+    while (base_.Valid()) {
+      Slice chain = base_.value();
+      if (!base_.Valid()) return;  // heap join failed; base status has it
+      tx::mvcc::Version v;
+      Status s = tx::mvcc::VisibleAt(chain, ts_, &v);
+      if (s.ok()) {
+        value_ = v.value;
+        pos_.assign(base_.key().data(), base_.key().size());
+        has_pos_ = true;
+        return;
+      }
+      if (!s.IsNotFound()) {
+        status_ = s;
+        return;
+      }
+      if (forward) {
+        base_.Next();
+      } else {
+        base_.Prev();
+      }
+    }
+  }
+
+  EngineCursor base_;
+  uint64_t ts_;
+  Slice value_;       // within base_'s record buffer (cursor-owned copy)
+  Status status_;
+  std::string pos_;   // settled key; re-descent anchor and key() storage
+  bool has_pos_ = false;
+  tx::mvcc::MvccManager* mgr_ = nullptr;    // released on destruction
+  tx::mvcc::MvccManager* latch_ = nullptr;  // physical latch only
 };
 
 template <typename IndexT>
@@ -280,22 +491,33 @@ class EngineCore {
   }
 
   Status Get(const Slice& key, std::string* value) {
-    uint64_t packed = 0;
-    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
-    // Fetch the whole record into the caller's string and strip the key
-    // prefix in place: no temporary, and a reused `value` keeps its
-    // capacity — steady-state gets never touch the heap.
-    FAME_RETURN_IF_ERROR(heap_->Get(storage::Rid::Unpack(packed), value));
-    Slice in(*value);
-    uint32_t klen = 0;
-    if (!GetVarint32(&in, &klen) || in.size() < klen) {
-      return Status::Corruption("bad core record");
+    // Bounded refresh on a stale rid (kStaleJoinRetries): a concurrent
+    // writer may relocate the record between the index probe and the heap
+    // fetch; a fresh probe reads the re-pointed entry. Lookup's NotFound
+    // is authoritative (the key is absent) and never retried.
+    Status s;
+    for (int attempt = 0; attempt <= kStaleJoinRetries; ++attempt) {
+      uint64_t packed = 0;
+      FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+      // Fetch the whole record into the caller's string and strip the key
+      // prefix in place: no temporary, and a reused `value` keeps its
+      // capacity — steady-state gets never touch the heap.
+      s = heap_->Get(storage::Rid::Unpack(packed), value);
+      if (!s.ok()) continue;
+      Slice in(*value);
+      uint32_t klen = 0;
+      if (!GetVarint32(&in, &klen) || in.size() < klen) {
+        s = Status::Corruption("bad core record");
+        continue;
+      }
+      if (Slice(in.data(), klen) != key) {
+        s = Status::Corruption("index points at the wrong record");
+        continue;
+      }
+      value->erase(0, value->size() - (in.size() - klen));
+      return Status::OK();
     }
-    if (Slice(in.data(), klen) != key) {
-      return Status::Corruption("index points at the wrong record");
-    }
-    value->erase(0, value->size() - (in.size() - klen));
-    return Status::OK();
+    return s;
   }
 
   /// Upsert: in-place heap update when the key exists (re-indexing only if
@@ -308,18 +530,30 @@ class EngineCore {
     Slice rec =
         EncodeRecordInto(key, value, inline_rec, sizeof(inline_rec), &spill);
     if (found.ok()) {
-      storage::Rid rid = storage::Rid::Unpack(packed);
-      storage::Rid updated = rid;
-      FAME_RETURN_IF_ERROR(heap_->Update(&updated, rec));
-      if (!(updated == rid)) {
-        FAME_RETURN_IF_ERROR(index_->Insert(key, updated.Pack()));
-      }
-      return Status::OK();
+      return UpdateRecord(key, storage::Rid::Unpack(packed), rec);
     }
     if (!found.IsNotFound()) return found;
     auto rid_or = heap_->Insert(rec);
     FAME_RETURN_IF_ERROR(rid_or.status());
     return index_->Insert(key, rid_or.value().Pack());
+  }
+
+  /// Rewrites an indexed record. In place when it still fits its page;
+  /// otherwise in publish-then-retire order — insert the new copy,
+  /// re-point the index entry at it, only then free the old slot — so a
+  /// lock-free reader (MVCC snapshot scans, concurrent gets) that already
+  /// read the old rid always finds a live record there: either copy is a
+  /// consistent state, never a freed slot. (Update's delete-then-reinsert
+  /// would leave the published rid dangling for the whole window until
+  /// the index re-point, which spans a scheduling quantum in the worst
+  /// case — far longer than any bounded reader retry.)
+  Status UpdateRecord(const Slice& key, storage::Rid rid, const Slice& rec) {
+    Status s = heap_->UpdateInPlace(rid, rec);
+    if (s.code() != StatusCode::kResourceExhausted) return s;
+    auto moved_or = heap_->Insert(rec);
+    FAME_RETURN_IF_ERROR(moved_or.status());
+    FAME_RETURN_IF_ERROR(index_->Insert(key, moved_or.value().Pack()));
+    return heap_->Delete(rid);
   }
 
   Status Remove(const Slice& key) {
@@ -389,6 +623,228 @@ class EngineCore {
       if (!fn(c.key(), v)) break;
     }
     return c.status();
+  }
+
+  // ---- [feature Mvcc] versioned record path ----------------------------
+  // Template members: instantiated — and the mvcc codec objects pulled out
+  // of the tx library — only when a product that selects Mvcc calls them.
+  // The chain is stored as the value half of the ordinary heap record, so
+  // index maintenance, heap placement and the cursor join are untouched.
+
+  /// Appends a (commit_ts, value | tombstone) head to `key`'s version
+  /// chain, closing the previous head and dropping entries dead below
+  /// `prune_below` on the way. Idempotent: a stamp at or below the current
+  /// chain head is a replayed write and becomes a no-op — that property
+  /// makes crash recovery, double reopens and replication follower apply
+  /// safe to re-run.
+  Status WriteVersion(const Slice& key, const Slice& value, bool tombstone,
+                      uint64_t commit_ts, uint64_t prune_below,
+                      tx::mvcc::MvccManager* mgr) {
+    // Exclusive physical latch for the whole apply: the rewrite below may
+    // compact the heap page, relocate the record, or split index nodes —
+    // motion a latch-free snapshot reader could otherwise tear mid-step
+    // (see MvccManager::PhysLatch). Readers hold the shared side per step.
+    std::unique_lock<std::shared_mutex> phys;
+    if (mgr != nullptr) {
+      phys = std::unique_lock<std::shared_mutex>(mgr->PhysLatch());
+    }
+    uint64_t packed = 0;
+    Status found = index_->Lookup(key, &packed);
+    std::string chain;
+    storage::Rid rid;
+    bool exists = false;
+    if (found.ok()) {
+      rid = storage::Rid::Unpack(packed);
+      FAME_RETURN_IF_ERROR(heap_->Get(rid, &chain));
+      Slice in(chain);
+      uint32_t klen = 0;
+      if (!GetVarint32(&in, &klen) || in.size() < klen) {
+        return Status::Corruption("bad core record");
+      }
+      if (Slice(in.data(), klen) != key) {
+        return Status::Corruption("index points at the wrong record");
+      }
+      chain.erase(0, chain.size() - (in.size() - klen));
+      exists = true;
+      // Strictly-newer heads mean this write was already applied AND
+      // superseded — a replayed tail behind a later checkpoint. An equal
+      // ts falls through: ops of one transaction share its commit ts and
+      // the last op on a key must win (AppendVersion replaces the head).
+      if (tx::mvcc::HeadTs(chain) > commit_ts) return Status::OK();
+    } else if (!found.IsNotFound()) {
+      return found;
+    }
+    std::string next;
+    uint32_t entries = tx::mvcc::AppendVersion(Slice(chain), commit_ts,
+                                               tombstone, Slice(value),
+                                               prune_below, &next);
+    if (mgr != nullptr) mgr->RecordChainLen(entries);
+    char inline_rec[kInlineRecordBytes];
+    std::string spill;
+    Slice rec = EncodeRecordInto(key, Slice(next), inline_rec,
+                                 sizeof(inline_rec), &spill);
+    if (exists) {
+      // Publish-then-retire (UpdateRecord): snapshot readers hold rids
+      // with no latch, so the old slot must outlive the index re-point.
+      return UpdateRecord(key, rid, rec);
+    }
+    auto rid_or = heap_->Insert(rec);
+    FAME_RETURN_IF_ERROR(rid_or.status());
+    return index_->Insert(key, rid_or.value().Pack());
+  }
+
+  /// Point lookup at snapshot `ts`: NotFound when the key has no visible
+  /// version (absent, written after ts, or tombstoned at ts). `latch`
+  /// (optional) shields the physical probe+fetch against concurrent
+  /// appliers; the chain copy is resolved outside the latch.
+  Status GetVersioned(const Slice& key, uint64_t ts, std::string* value,
+                      tx::mvcc::MvccManager* latch = nullptr) {
+    std::string chain;
+    {
+      std::shared_lock<std::shared_mutex> phys;
+      if (latch != nullptr) {
+        phys = std::shared_lock<std::shared_mutex>(latch->PhysLatch());
+      }
+      FAME_RETURN_IF_ERROR(Get(key, &chain));
+    }
+    tx::mvcc::Version v;
+    FAME_RETURN_IF_ERROR(tx::mvcc::VisibleAt(Slice(chain), ts, &v));
+    value->assign(v.value.data(), v.value.size());
+    return Status::OK();
+  }
+
+  /// Opens a snapshot-frozen heap-joining cursor at `ts`. When `mgr` is
+  /// given, the caller already registered the snapshot (BeginSnapshot) and
+  /// the cursor releases it when destroyed — pinning the GC watermark at
+  /// or below ts for the cursor's lifetime.
+  StatusOr<SnapshotCursor> NewSnapshotCursor(
+      uint64_t ts, tx::mvcc::MvccManager* mgr = nullptr) {
+    auto c = NewCursor();
+    if (!c.ok()) {
+      if (mgr != nullptr) mgr->ReleaseSnapshot(ts);
+      return c.status();
+    }
+    return SnapshotCursor(std::move(c).value(), ts, mgr);
+  }
+
+  /// Snapshot visitor adapters — the versioned twins of Scan/RangeScan/
+  /// ScanPrefix/ReverseScan: same traversal shape, each chain resolved at
+  /// `ts`, invisible keys skipped, corruption surfaced. All drive a
+  /// SnapshotCursor so a `latch` manager gives them the same per-step
+  /// physical latching and re-descent the handle cursors get; the visitor
+  /// runs outside any pinned mid-mutation state.
+  Status SnapshotScan(uint64_t ts, const KvVisitor& fn,
+                      tx::mvcc::MvccManager* latch = nullptr) {
+    return SnapshotRangeScan(ts, Slice(), Slice(), /*ordered=*/true, fn,
+                             latch);
+  }
+
+  Status SnapshotRangeScan(uint64_t ts, const Slice& lo, const Slice& hi,
+                           bool ordered, const KvVisitor& fn,
+                           tx::mvcc::MvccManager* latch = nullptr) {
+    FAME_ASSIGN_OR_RETURN(EngineCursor c, NewCursor());
+    SnapshotCursor cur(std::move(c), ts, /*mgr=*/nullptr, latch);
+    if (lo.empty()) {
+      cur.SeekToFirst();
+    } else {
+      cur.Seek(lo);
+    }
+    for (; cur.Valid(); cur.Next()) {
+      if (!hi.empty() && cur.key().compare(hi) >= 0) {
+        if (ordered) break;
+        continue;
+      }
+      if (!fn(cur.key(), cur.value())) break;
+    }
+    return cur.status();
+  }
+
+  Status SnapshotScanPrefix(uint64_t ts, const Slice& prefix, bool ordered,
+                            const KvVisitor& fn,
+                            tx::mvcc::MvccManager* latch = nullptr) {
+    if (!ordered) {
+      return SnapshotRangeScan(
+          ts, Slice(), Slice(), false,
+          [&](const Slice& k, const Slice& v) {
+            return k.starts_with(prefix) ? fn(k, v) : true;
+          },
+          latch);
+    }
+    std::string hi = PrefixUpperBound(prefix);
+    return SnapshotRangeScan(ts, prefix, Slice(hi), true, fn, latch);
+  }
+
+  Status SnapshotReverseScan(uint64_t ts, const Slice& lo, const Slice& hi,
+                             const KvVisitor& fn,
+                             tx::mvcc::MvccManager* latch = nullptr) {
+    FAME_ASSIGN_OR_RETURN(EngineCursor c, NewCursor());
+    if (!c.SupportsReverse()) {
+      return Status::NotSupported("access method has no reverse iteration");
+    }
+    SnapshotCursor cur(std::move(c), ts, /*mgr=*/nullptr, latch);
+    if (hi.empty()) {
+      cur.SeekToLast();
+    } else {
+      // Predecessor of hi among *visible* keys: Seek settles at the first
+      // visible key >= hi, so one Prev lands on the last visible key < hi
+      // (every key between is invisible at ts by construction).
+      cur.Seek(hi);
+      if (cur.Valid()) {
+        cur.Prev();
+      } else if (cur.status().ok()) {
+        cur.SeekToLast();
+      }
+    }
+    for (; cur.Valid(); cur.Prev()) {
+      if (!lo.empty() && cur.key().compare(lo) < 0) break;
+      if (!fn(cur.key(), cur.value())) break;
+    }
+    return cur.status();
+  }
+
+  /// Watermark GC sweep: rewrites every chain without its versions dead at
+  /// `watermark` and deletes keys whose chain empties (head tombstone at or
+  /// below the watermark). Collect-then-apply, because mutating the heap
+  /// under an open cursor is not supported. Returns versions pruned.
+  StatusOr<uint64_t> MvccSweep(uint64_t watermark, tx::mvcc::MvccManager* mgr) {
+    // The sweep holds the physical latch exclusive end to end: collect
+    // iterates the heap-joined cursor and apply rewrites records in place,
+    // and a snapshot reader must see neither mid-flight. GC is an explicit
+    // maintenance call, so stalling readers for its duration is the simple
+    // correct trade.
+    std::unique_lock<std::shared_mutex> phys;
+    if (mgr != nullptr) {
+      phys = std::unique_lock<std::shared_mutex>(mgr->PhysLatch());
+    }
+    struct Edit {
+      std::string key;
+      std::string chain;  // empty = delete the key
+      uint64_t pruned;
+    };
+    std::vector<Edit> edits;
+    FAME_RETURN_IF_ERROR(Scan([&](const Slice& k, const Slice& v) {
+      std::string next;
+      uint64_t pruned = 0;
+      // A corrupt chain is left in place: the sweep is advisory, readers
+      // report the corruption with full context.
+      if (!tx::mvcc::PruneChain(v, watermark, &next, &pruned).ok()) {
+        return true;
+      }
+      if (pruned == 0) return true;
+      edits.push_back(Edit{k.ToString(), std::move(next), pruned});
+      return true;
+    }));
+    uint64_t total = 0;
+    for (const auto& e : edits) {
+      if (e.chain.empty()) {
+        FAME_RETURN_IF_ERROR(Remove(Slice(e.key)));
+      } else {
+        FAME_RETURN_IF_ERROR(Put(Slice(e.key), Slice(e.chain)));
+      }
+      total += e.pruned;
+    }
+    if (mgr != nullptr) mgr->RecordGcRun(total);
+    return total;
   }
 
  private:

@@ -438,6 +438,17 @@ obs::MetricsSnapshot Database::SnapshotMetrics() const {
     m.recovery_applied_records = r.applied_records;
     m.recovery_dropped_bytes = r.dropped_bytes;
   }
+  if (mvcc_ != nullptr) {
+    tx::mvcc::MvccStats ms = mvcc_->stats();
+    m.mvcc = true;
+    m.mvcc_active_snapshots = ms.active_snapshots;
+    m.mvcc_conflicts = ms.conflicts;
+    m.mvcc_gc_runs = ms.gc_runs;
+    m.mvcc_gc_pruned = ms.gc_pruned;
+    m.mvcc_watermark = ms.watermark;
+    m.mvcc_clock = ms.clock;
+    m.mvcc_chain_len = mvcc_->chain_len_histogram();
+  }
   if (repl_role_ != kRoleNone) {
     m.repl = true;
     m.repl_follower = repl_role_ == kRoleFollower;

@@ -174,6 +174,26 @@ struct ReplicaSetCfg {
 };
 using ReplicaSet = StaticEngine<ReplicaSetCfg>;
 
+/// Versioned store: Workstation plus the optional Mvcc sub-feature of
+/// Transaction — snapshot-isolation reads over version-chained records,
+/// first-committer-wins commits (disjoint-key writers skip 2PL entirely)
+/// and watermark-driven version GC. Products without kMvcc keep the
+/// plain-bytes record codec and link zero fame::tx::mvcc symbols.
+struct VersionedStoreCfg {
+  using IndexTag = BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr bool kMvcc = true;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 128;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+using VersionedStore = StaticEngine<VersionedStoreCfg>;
+
 /// Feature selections (names from the Figure 2 model) corresponding to the
 /// products above, used by tests and the derivation tooling to check that
 /// every named product is a valid variant.
@@ -215,6 +235,10 @@ const char* const kReplicaSetFeatures[] = {
     "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
     "Remove", "Update", "Transaction", "WAL-Redo", "Locking", "API",
     "Backup", "Verify", "Replication", "Failover"};
+const char* const kVersionedStoreFeatures[] = {
+    "Linux", "Dynamic", "LRU", "B+-Tree", "BTree-Search", "BTree-Update",
+    "BTree-Remove", "Int-Types", "String-Types", "Blob-Types", "Get", "Put",
+    "Remove", "Update", "Transaction", "WAL-Redo", "Mvcc", "API"};
 
 }  // namespace fame::core
 

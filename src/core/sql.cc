@@ -339,6 +339,23 @@ Status SqlEngine::CollectRows(const std::string& table,
     // Consume the engine cursor directly: seek to the range start, pull
     // rows until the bound or the limit, then abandon the cursor — a
     // LIMIT-k query never touches more than k matching leaves.
+    if (db_->mvcc()) {
+      // [feature Mvcc] Same walk over the snapshot view: each position
+      // resolves its version chain at the query's read timestamp.
+      auto snap_or = db_->NewSnapshotCursor();
+      FAME_RETURN_IF_ERROR(snap_or.status());
+      SnapshotCursor snap = std::move(snap_or).value();
+      for (snap.Seek(lo); snap.Valid(); snap.Next()) {
+        if (snap.key().compare(Slice(hi)) >= 0) break;
+        auto row_or = DecodeRow(snap.value());
+        if (!row_or.ok()) return row_or.status();
+        if (matches_all(row_or.value())) {
+          rows->push_back(std::move(row_or).value());
+          if (done()) break;
+        }
+      }
+      return snap.status();
+    }
     auto cur_or = db_->NewCursor();
     FAME_RETURN_IF_ERROR(cur_or.status());
     EngineCursor cur = std::move(cur_or).value();

@@ -147,6 +147,15 @@ template <typename Cfg>
 struct FailoverSelected<Cfg, std::void_t<decltype(Cfg::kFailover)>>
     : std::bool_constant<Cfg::kFailover> {};
 
+/// Detects the optional Mvcc sub-feature of Transaction (snapshot
+/// isolation over version-chained records); Cfg structs without a kMvcc
+/// member mean "off" and keep the plain-bytes record codec byte for byte.
+template <typename Cfg, typename = void>
+struct MvccSelected : std::false_type {};
+template <typename Cfg>
+struct MvccSelected<Cfg, std::void_t<decltype(Cfg::kMvcc)>>
+    : std::bool_constant<Cfg::kMvcc> {};
+
 /// Detects the optional segment-size knob (bytes per WAL segment before a
 /// roll); defaults to 64 KiB when the Cfg does not name one.
 template <typename Cfg, typename = void>
@@ -175,6 +184,15 @@ struct ReplState {
   uint32_t epoch = 0;
 };
 struct NoReplState {};
+
+/// Timestamp oracle + GC mark, sized only for Mvcc products. Constructing
+/// the MvccManager is what pulls tx/mvcc.o out of the library — products
+/// without the feature hold NoMvccState and reference nothing.
+struct MvccState {
+  tx::mvcc::MvccManager mgr;
+  uint64_t gc_mark = 0;
+};
+struct NoMvccState {};
 
 }  // namespace detail
 
@@ -206,6 +224,13 @@ class StaticEngine : private tx::ApplyTarget {
                 "Replication requires Backup");
   static_assert(!kFailoverFeature || kReplication,
                 "Failover requires Replication");
+  /// Optional Mvcc sub-feature of Transaction: snapshot-isolation
+  /// transactions over version-chained records, first-committer-wins
+  /// commits, watermark GC. Off for Cfgs that predate it — their record
+  /// path stays on the plain-bytes codec and links zero fame::tx::mvcc
+  /// symbols (cmake/CheckNoMvccSymbols.cmake).
+  static constexpr bool kMvcc = detail::MvccSelected<Cfg>::value;
+  static_assert(!kMvcc || Cfg::kTransactions, "Mvcc requires Transaction");
 #if FAME_OBS_ENABLED
   /// Optional Observability feature (off for Cfgs that predate it). In a
   /// build with FAME_OBS_DISABLE the trait is pinned off and the metrics
@@ -286,7 +311,26 @@ class StaticEngine : private tx::ApplyTarget {
         FAME_RETURN_IF_ERROR(mgr_or.status());
         txmgr_ = std::move(mgr_or).value();
       }
+      // Mvcc: install the oracle before recovery so replayed commits that
+      // carry timestamps take the versioned apply path, and seed it from
+      // the checkpointed meta BEFORE replay runs — recovery ends in
+      // CheckpointEngine(), which re-persists the clock, so seeding after
+      // would read back the overwrite and restart the clock at zero.
+      if constexpr (kMvcc) {
+        txmgr_->EnableMvcc(&mvcc_.mgr);
+        auto ts_or = file_->GetRootAux("mvcc.ts");
+        if (ts_or.ok()) mvcc_.mgr.SeedClock(ts_or.value());
+        auto mark_or = file_->GetRootAux("mvcc.mark");
+        if (mark_or.ok()) mvcc_.gc_mark = mark_or.value();
+      }
       FAME_RETURN_IF_ERROR(txmgr_->Recover());
+      if constexpr (kMvcc) {
+        // Ratchet past the highest commit ts replay saw and persist
+        // immediately: recovery just truncated the log, so a crash before
+        // the next checkpoint must not rewind the clock under chains.
+        mvcc_.mgr.SeedClock(txmgr_->recovery_report().max_commit_ts);
+        FAME_RETURN_IF_ERROR(PersistMvccMeta());
+      }
       if constexpr (kReplication) {
         if (repl_.epoch != 0) txmgr_->SetWalFenceEpoch(repl_.epoch);
       }
@@ -305,10 +349,10 @@ class StaticEngine : private tx::ApplyTarget {
     if constexpr (kObservability) {
       obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.get_ns);
       metrics_.gets.Add(1);
-      return core_.Get(key, value);
+      return GetRecord(key, value);
     }
 #endif
-    return core_.Get(key, value);
+    return GetRecord(key, value);
   }
 
   /// Access:put.
@@ -319,10 +363,10 @@ class StaticEngine : private tx::ApplyTarget {
     if constexpr (kObservability) {
       obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.put_ns);
       metrics_.puts.Add(1);
-      return NoteWrite(core_.Put(key, value));
+      return NoteWrite(PutRecord(key, value));
     }
 #endif
-    return NoteWrite(core_.Put(key, value));
+    return NoteWrite(PutRecord(key, value));
   }
 
   /// Access:remove.
@@ -333,26 +377,34 @@ class StaticEngine : private tx::ApplyTarget {
     if constexpr (kObservability) {
       obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.remove_ns);
       metrics_.removes.Add(1);
-      return NoteWrite(core_.Remove(key));
+      return NoteWrite(RemoveRecord(key));
     }
 #endif
-    return NoteWrite(core_.Remove(key));
+    return NoteWrite(RemoveRecord(key));
   }
 
   /// Access:update — put that requires the key to exist.
   Status Update(const Slice& key, const Slice& value) {
     static_assert(Cfg::kUpdate, "feature Access:Update is not selected");
     FAME_RETURN_IF_ERROR(GuardWrite());
-    uint64_t packed = 0;
-    FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    if constexpr (kMvcc) {
+      // The key must *visibly* exist: an index hit whose chain is
+      // tombstoned at the read timestamp is still absent.
+      std::string existing;
+      FAME_RETURN_IF_ERROR(
+          core_.GetVersioned(key, mvcc_.mgr.ReadTs(), &existing, &mvcc_.mgr));
+    } else {
+      uint64_t packed = 0;
+      FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+    }
 #if FAME_OBS_ENABLED
     if constexpr (kObservability) {
       obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.put_ns);
       metrics_.puts.Add(1);
-      return NoteWrite(core_.Put(key, value));
+      return NoteWrite(PutRecord(key, value));
     }
 #endif
-    return NoteWrite(core_.Put(key, value));
+    return NoteWrite(PutRecord(key, value));
   }
 
   /// Pull-based cursor over the engine's records (heap-joined values).
@@ -365,16 +417,21 @@ class StaticEngine : private tx::ApplyTarget {
     if constexpr (kObservability) {
       obs::ScopedLatencyTimer<ObsCells> timer(&metrics_.scan_ns);
       metrics_.scans.Add(1);
-      return core_.Scan(fn);
+      return ScanRecords(fn);
     }
 #endif
-    return core_.Scan(fn);
+    return ScanRecords(fn);
   }
 
   /// Ordered range scan — compile-time gated on the B+-tree alternative.
   Status RangeScan(const Slice& lo, const Slice& hi, const KvVisitor& fn) {
     static_assert(kOrdered, "RangeScan requires the B+-Tree alternative");
-    return core_.RangeScan(lo, hi, /*ordered=*/true, fn);
+    if constexpr (kMvcc) {
+      return core_.SnapshotRangeScan(mvcc_.mgr.ReadTs(), lo, hi,
+                                     /*ordered=*/true, fn, &mvcc_.mgr);
+    } else {
+      return core_.RangeScan(lo, hi, /*ordered=*/true, fn);
+    }
   }
 
   /// Descending scan over [lo, hi) — the ReverseScan feature, gated at
@@ -382,7 +439,12 @@ class StaticEngine : private tx::ApplyTarget {
   Status ReverseScan(const Slice& lo, const Slice& hi, const KvVisitor& fn) {
     static_assert(kReverse, "feature Access:ReverseScan is not selected");
     static_assert(kOrdered, "ReverseScan requires the B+-Tree alternative");
-    return core_.ReverseScan(lo, hi, fn);
+    if constexpr (kMvcc) {
+      return core_.SnapshotReverseScan(mvcc_.mgr.ReadTs(), lo, hi, fn,
+                                       &mvcc_.mgr);
+    } else {
+      return core_.ReverseScan(lo, hi, fn);
+    }
   }
 
   // ---- Transaction feature surface (instantiated on use only) ----
@@ -402,6 +464,44 @@ class StaticEngine : private tx::ApplyTarget {
   Status Abort(tx::Transaction* txn) {
     static_assert(Cfg::kTransactions, "feature Transaction is not selected");
     return txmgr_->Abort(txn);
+  }
+
+  // ---- Transaction ▸ Mvcc feature surface (instantiated on use only) ----
+  /// [feature Mvcc] Cursor frozen at the current read timestamp: positions
+  /// resolve through the version chains, so writers committing after the
+  /// open never change what it returns.
+  StatusOr<SnapshotCursor> NewSnapshotCursor() {
+    static_assert(kMvcc, "feature Transaction:Mvcc is not selected");
+    // Register the snapshot so the GC watermark cannot pass the cursor's
+    // ts while it lives; the cursor owns the release.
+    return core_.NewSnapshotCursor(mvcc_.mgr.BeginSnapshot(), &mvcc_.mgr);
+  }
+  /// [feature Mvcc] Watermark GC: prunes versions no active snapshot can
+  /// see, persists the sweep watermark ("mvcc.mark"). Returns versions
+  /// pruned.
+  StatusOr<uint64_t> MvccGc() {
+    static_assert(kMvcc, "feature Transaction:Mvcc is not selected");
+    FAME_RETURN_IF_ERROR(GuardWrite());
+    const uint64_t mark = mvcc_.mgr.Watermark();
+    uint64_t pruned = 0;
+    Status s = txmgr_->WithApplyPaused([&]() -> Status {
+      FAME_ASSIGN_OR_RETURN(pruned, core_.MvccSweep(mark, &mvcc_.mgr));
+      return Status::OK();
+    });
+    if (!s.ok()) return NoteWrite(std::move(s));
+    mvcc_.gc_mark = mark;
+    FAME_RETURN_IF_ERROR(NoteWrite(PersistMvccMeta()));
+    return pruned;
+  }
+  /// [feature Mvcc] Watermark of the last completed GC sweep (persisted).
+  uint64_t mvcc_gc_mark() const {
+    static_assert(kMvcc, "feature Transaction:Mvcc is not selected");
+    return mvcc_.gc_mark;
+  }
+  /// [feature Mvcc] Oracle counters.
+  tx::mvcc::MvccStats mvcc_stats() const {
+    static_assert(kMvcc, "feature Transaction:Mvcc is not selected");
+    return mvcc_.mgr.stats();
   }
 
   Status Checkpoint() {
@@ -600,6 +700,17 @@ class StaticEngine : private tx::ApplyTarget {
         m.backup_runs = backup_counters_.runs;
         m.backup_bytes = backup_counters_.bytes;
       }
+      if constexpr (kMvcc) {
+        tx::mvcc::MvccStats ms = mvcc_.mgr.stats();
+        m.mvcc = true;
+        m.mvcc_active_snapshots = ms.active_snapshots;
+        m.mvcc_conflicts = ms.conflicts;
+        m.mvcc_gc_runs = ms.gc_runs;
+        m.mvcc_gc_pruned = ms.gc_pruned;
+        m.mvcc_watermark = ms.watermark;
+        m.mvcc_clock = ms.clock;
+        m.mvcc_chain_len = mvcc_.mgr.chain_len_histogram();
+      }
     }
     osal::AllocStats alloc = alloc_.get()->stats();
     m.alloc_name = alloc_.get()->name();
@@ -662,18 +773,126 @@ class StaticEngine : private tx::ApplyTarget {
   Status ApplyPut(const std::string& store, const Slice& key,
                   const Slice& value) override {
     if (store != "core") return Status::InvalidArgument("unknown store");
-    return core_.Put(key, value);
+    if constexpr (kMvcc) {
+      // Legacy (timestamp-less) log records migrate on the fly: each
+      // becomes a fresh head version.
+      return core_.WriteVersion(key, value, /*tombstone=*/false,
+                                mvcc_.mgr.AdvanceClock(),
+                                mvcc_.mgr.Watermark(), &mvcc_.mgr);
+    } else {
+      return core_.Put(key, value);
+    }
   }
   Status ApplyDelete(const std::string& store, const Slice& key) override {
     if (store != "core") return Status::InvalidArgument("unknown store");
-    return core_.Remove(key);
+    if constexpr (kMvcc) {
+      return RemoveRecord(key);
+    } else {
+      return core_.Remove(key);
+    }
   }
   Status ReadCommitted(const std::string& store, const Slice& key,
                        std::string* value) override {
     if (store != "core") return Status::InvalidArgument("unknown store");
     return Get(key, value);
   }
-  Status CheckpointEngine() override { return buffers_->Checkpoint(); }
+  // [feature Mvcc] Versioned apply/read slots; the bodies collapse to the
+  // plain codec unless Mvcc is selected (same pattern as PersistWalMark —
+  // virtual overrides instantiate with the vtable, so the gate must live
+  // inside the body).
+  Status ApplyPutVersioned(const std::string& store, const Slice& key,
+                           const Slice& value, uint64_t commit_ts) override {
+    if (store != "core") return Status::InvalidArgument("unknown store");
+    if constexpr (kMvcc) {
+      mvcc_.mgr.SeedClock(commit_ts);  // replay may precede clock seeding
+      return core_.WriteVersion(key, value, /*tombstone=*/false, commit_ts,
+                                mvcc_.mgr.Watermark(), &mvcc_.mgr);
+    } else {
+      (void)commit_ts;
+      return core_.Put(key, value);
+    }
+  }
+  Status ApplyDeleteVersioned(const std::string& store, const Slice& key,
+                              uint64_t commit_ts) override {
+    if (store != "core") return Status::InvalidArgument("unknown store");
+    if constexpr (kMvcc) {
+      mvcc_.mgr.SeedClock(commit_ts);
+      uint64_t packed = 0;
+      FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
+      return core_.WriteVersion(key, Slice(), /*tombstone=*/true, commit_ts,
+                                mvcc_.mgr.Watermark(), &mvcc_.mgr);
+    } else {
+      (void)commit_ts;
+      return core_.Remove(key);
+    }
+  }
+  Status ReadAtSnapshot(const std::string& store, const Slice& key,
+                        uint64_t ts, std::string* value) override {
+    if (store != "core") return Status::InvalidArgument("unknown store");
+    if constexpr (kMvcc) {
+      return core_.GetVersioned(key, ts, value, &mvcc_.mgr);
+    } else {
+      (void)ts;
+      return Get(key, value);
+    }
+  }
+  Status CheckpointEngine() override {
+    FAME_RETURN_IF_ERROR(buffers_->Checkpoint());
+    // Checkpoint is the durability point of the timestamp oracle: the WAL
+    // below it may be truncated/recycled afterwards.
+    if constexpr (kMvcc) FAME_RETURN_IF_ERROR(PersistMvccMeta());
+    return Status::OK();
+  }
+
+  // ---- [feature Mvcc] record-path seam -----------------------------
+  // Plain bytes without the feature, a version-chain append / visible-
+  // version resolve at the current read timestamp with it. Every surface
+  // access funnels through these.
+  Status PutRecord(const Slice& key, const Slice& value) {
+    if constexpr (kMvcc) {
+      return core_.WriteVersion(key, value, /*tombstone=*/false,
+                                mvcc_.mgr.AdvanceClock(),
+                                mvcc_.mgr.Watermark(), &mvcc_.mgr);
+    } else {
+      return core_.Put(key, value);
+    }
+  }
+  Status RemoveRecord(const Slice& key) {
+    if constexpr (kMvcc) {
+      // Preserve Remove's NotFound contract against the *visible* state.
+      std::string existing;
+      FAME_RETURN_IF_ERROR(
+          core_.GetVersioned(key, mvcc_.mgr.ReadTs(), &existing, &mvcc_.mgr));
+      return core_.WriteVersion(key, Slice(), /*tombstone=*/true,
+                                mvcc_.mgr.AdvanceClock(),
+                                mvcc_.mgr.Watermark(), &mvcc_.mgr);
+    } else {
+      return core_.Remove(key);
+    }
+  }
+  Status GetRecord(const Slice& key, std::string* value) {
+    if constexpr (kMvcc) {
+      return core_.GetVersioned(key, mvcc_.mgr.ReadTs(), value, &mvcc_.mgr);
+    } else {
+      return core_.Get(key, value);
+    }
+  }
+  Status ScanRecords(const KvVisitor& fn) {
+    if constexpr (kMvcc) {
+      return core_.SnapshotScan(mvcc_.mgr.ReadTs(), fn, &mvcc_.mgr);
+    } else {
+      return core_.Scan(fn);
+    }
+  }
+  /// [feature Mvcc] Oracle + GC-mark persistence in the PageFile meta
+  /// (instantiated only from the gated paths above).
+  Status PersistMvccMeta() {
+    FAME_RETURN_IF_ERROR(file_->SetRoot("mvcc.ts", storage::kInvalidPageId,
+                                        mvcc_.mgr.ReadTs()));
+    FAME_RETURN_IF_ERROR(file_->SetRoot("mvcc.mark", storage::kInvalidPageId,
+                                        mvcc_.gc_mark));
+    return file_->Sync();
+  }
   // [feature Backup] Watermark persistence in the PageFile meta. Virtual
   // slots exist in every product; the bodies collapse to the base-class
   // no-ops unless Backup is selected (and are only ever called by
@@ -723,6 +942,11 @@ class StaticEngine : private tx::ApplyTarget {
   [[no_unique_address]] std::conditional_t<kReplication, detail::ReplState,
                                            detail::NoReplState>
       repl_;
+  /// Timestamp oracle + GC mark; sized only for Mvcc products
+  /// ([[no_unique_address]] otherwise).
+  [[no_unique_address]] std::conditional_t<kMvcc, detail::MvccState,
+                                           detail::NoMvccState>
+      mvcc_;
   mutable LatchMutex latch_mu_;
   Status write_error_;  // first persistent write failure; OK while healthy
 };

@@ -76,6 +76,7 @@ feature FAME-DBMS {
       mandatory Force-Commit
     }
     optional Locking
+    optional Mvcc       // [extension] snapshot-isolation version chains
   }
   optional API
   optional SQL-Engine
@@ -263,6 +264,28 @@ nfp binary_size 382933
 
 product API,B+-Tree,BTree-Search,Get,Int-Types,LRU,Linux,Put,Remove,Static,String-Types
 nfp binary_size 387025
+
+)nfp";
+
+/// Measured non-functional properties of the Mvcc feature (Transaction ▸
+/// Mvcc: snapshot-isolation version chains), FeedbackRepository text
+/// format. binary_size is Release .text bytes on x86-64 Linux (gcc -O2),
+/// measured with `size` on the two probe binaries tests/ builds from one
+/// and the same transactional static product (tests/mvcc_probe_main.cc):
+/// mvcc_off_probe is the plain 2PL Transaction product (and doubles as
+/// the zero-overhead proof — the nm test greps it for fame::tx::mvcc
+/// symbols and fails on any hit: an Mvcc-less record path stays plain
+/// bytes), mvcc_probe selects Mvcc on top (version-chain codec, commit
+/// timestamp oracle, snapshot registry, first-committer-wins conflict
+/// table, watermark GC, snapshot cursors). The delta is what snapshot
+/// isolation costs a product in code bytes; what it buys is writers that
+/// never block snapshot readers. Remeasure after material changes to
+/// src/tx/mvcc.* or the versioned paths in core/engine_core.h.
+inline constexpr const char kFameMvccNfpSeed[] = R"nfp(product API,B+-Tree,BTree-Remove,BTree-Search,BTree-Update,Dynamic,Get,Int-Types,LRU,Linux,Put,Remove,String-Types,Transaction,Update,WAL-Redo
+nfp binary_size 345663
+
+product API,B+-Tree,BTree-Remove,BTree-Search,BTree-Update,Dynamic,Get,Int-Types,LRU,Linux,Mvcc,Put,Remove,String-Types,Transaction,Update,WAL-Redo
+nfp binary_size 395648
 
 )nfp";
 

@@ -333,12 +333,34 @@ Status FeatureModel::CompleteMinimal(Configuration* config) const {
 
 // ------------------------------------------------------------ counting
 
+std::vector<char> FeatureModel::ConstrainedFeatures() const {
+  std::vector<char> constrained(features_.size(), 0);
+  for (const Constraint& c : constraints_) {
+    constrained[c.a] = 1;
+    constrained[c.b] = 1;
+  }
+  return constrained;
+}
+
+bool FeatureModel::CompleteAndValidate(const Configuration& config,
+                                       Configuration* complete) const {
+  *complete = config;
+  for (FeatureId id = 0; id < features_.size(); ++id) {
+    if (complete->Get(id) == Decision::kUnknown) {
+      if (!complete->Exclude(id).ok()) return false;
+      if (!Propagate(complete).ok()) return false;  // dead branch
+    }
+  }
+  return ValidateComplete(*complete).ok();
+}
+
 Status FeatureModel::CountRec(Configuration* config,
                               const std::vector<FeatureId>& order, size_t idx,
                               uint64_t* count, uint64_t* steps,
                               uint64_t max_steps,
                               std::vector<Configuration>* sink,
-                              uint64_t max_variants) const {
+                              uint64_t max_variants,
+                              const std::vector<char>& constrained) const {
   if (++*steps > max_steps) {
     return Status::ResourceExhausted("variant space too large");
   }
@@ -346,18 +368,41 @@ Status FeatureModel::CountRec(Configuration* config,
   while (idx < order.size() && config->Get(order[idx]) != Decision::kUnknown) {
     ++idx;
   }
+  // Free-leaf product shortcut (counting only): when every remaining
+  // undecided decision feature is an optional, childless AND-child of an
+  // already-selected parent and appears in no cross-tree constraint, the
+  // remaining choices are independent of each other and of everything else
+  // in the configuration — selecting or excluding such a feature propagates
+  // nothing and no ValidateComplete rule can distinguish the combinations.
+  // Validate one representative completion and multiply by 2^k instead of
+  // enumerating the combinations; this keeps exact counting tractable as
+  // the model grows one optional feature (= one doubling) per release.
+  if (sink == nullptr && idx < order.size()) {
+    uint64_t free_leaves = 0;
+    bool all_free = true;
+    for (size_t j = idx; j < order.size() && all_free; ++j) {
+      FeatureId f = order[j];
+      if (config->Get(f) != Decision::kUnknown) continue;
+      const Feature& ft = features_[f];
+      all_free = ft.children.empty() && ft.optional &&
+                 ft.parent != kNoFeature && !constrained[f] &&
+                 features_[ft.parent].group == GroupKind::kAnd &&
+                 config->Get(ft.parent) == Decision::kSelected;
+      ++free_leaves;
+    }
+    if (all_free && free_leaves < 64) {
+      Configuration complete(this);
+      if (CompleteAndValidate(*config, &complete)) {
+        *count += uint64_t{1} << free_leaves;
+      }
+      return Status::OK();
+    }
+  }
   if (idx == order.size()) {
     // All decision features decided; force the rest via propagation and
     // defaulted exclusion of still-unknown subtrees.
-    Configuration complete = *config;
-    for (FeatureId id = 0; id < features_.size(); ++id) {
-      if (complete.Get(id) == Decision::kUnknown) {
-        FAME_RETURN_IF_ERROR(complete.Exclude(id));
-        Status s = Propagate(&complete);
-        if (!s.ok()) return Status::OK();  // dead branch, not an error
-      }
-    }
-    if (ValidateComplete(complete).ok()) {
+    Configuration complete(this);
+    if (CompleteAndValidate(*config, &complete)) {
       ++*count;
       if (sink != nullptr) {
         if (sink->size() >= max_variants) {
@@ -375,7 +420,7 @@ Status FeatureModel::CountRec(Configuration* config,
     if (s.ok()) s = Propagate(&trial);
     if (!s.ok()) continue;  // contradiction: prune
     FAME_RETURN_IF_ERROR(CountRec(&trial, order, idx + 1, count, steps,
-                                  max_steps, sink, max_variants));
+                                  max_steps, sink, max_variants, constrained));
   }
   return Status::OK();
 }
@@ -386,9 +431,19 @@ StatusOr<uint64_t> FeatureModel::CountVariants(uint64_t max_steps) const {
   if (s.code() == StatusCode::kConfigInvalid) return uint64_t{0};  // void model
   FAME_RETURN_IF_ERROR(s);
   std::vector<FeatureId> order = DecisionFeatures();
+  std::vector<char> constrained = ConstrainedFeatures();
+  // Decide entangled features (group members, interior nodes, constraint
+  // participants) first so the statically-free leaves form the order's
+  // suffix — that is the position the free-leaf shortcut in CountRec fires
+  // from.
+  std::stable_partition(order.begin(), order.end(), [&](FeatureId f) {
+    const Feature& ft = features_[f];
+    return !(ft.children.empty() && ft.optional && ft.parent != kNoFeature &&
+             !constrained[f] && features_[ft.parent].group == GroupKind::kAnd);
+  });
   uint64_t count = 0, steps = 0;
   FAME_RETURN_IF_ERROR(CountRec(&config, order, 0, &count, &steps, max_steps,
-                                nullptr, 0));
+                                nullptr, 0, constrained));
   return count;
 }
 
@@ -404,7 +459,8 @@ StatusOr<std::vector<Configuration>> FeatureModel::EnumerateVariants(
   uint64_t count = 0, steps = 0;
   std::vector<Configuration> out;
   FAME_RETURN_IF_ERROR(CountRec(&config, order, 0, &count, &steps,
-                                max_variants * 64 + 1024, &out, max_variants));
+                                max_variants * 64 + 1024, &out, max_variants,
+                                ConstrainedFeatures()));
   return out;
 }
 

@@ -118,7 +118,14 @@ class FeatureModel {
                   size_t idx, uint64_t* count, uint64_t* steps,
                   uint64_t max_steps,
                   std::vector<Configuration>* sink,
-                  uint64_t max_variants) const;
+                  uint64_t max_variants,
+                  const std::vector<char>& constrained) const;
+  /// Per-feature flag: appears in some cross-tree constraint.
+  std::vector<char> ConstrainedFeatures() const;
+  /// Completes *config by excluding every unknown; true when the result is
+  /// a valid variant, false on a dead branch.
+  bool CompleteAndValidate(const Configuration& config,
+                           Configuration* complete) const;
 
   std::vector<Feature> features_;
   std::map<std::string, FeatureId> by_name_;

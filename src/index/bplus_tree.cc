@@ -479,7 +479,7 @@ Status BPlusTree::BulkLoad(
 }
 
 StatusOr<std::unique_ptr<Cursor>> BPlusTree::NewCursor() {
-  return std::unique_ptr<Cursor>(new BtreeCursor(buffers_, root_));
+  return std::unique_ptr<Cursor>(new BtreeCursor(buffers_, &root_));
 }
 
 Status BPlusTree::Scan(const ScanVisitor& visit) {

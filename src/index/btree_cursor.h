@@ -35,11 +35,23 @@ class BasicBtreeCursor final : public Cursor {
         root_(root),
         page_size_(buffers->file()->page_size()) {}
 
+  /// Live-root variant: every descent (Seek*/Prev's re-descend) re-reads
+  /// `*root`, so the cursor keeps landing on the current structure after a
+  /// root split — provided the caller serializes descents against
+  /// mutations (the MVCC physical latch does; single-threaded engines
+  /// trivially do). BPlusTree::NewCursor hands out this form pointed at
+  /// its own root field.
+  BasicBtreeCursor(Buffers* buffers, const storage::PageId* root)
+      : buffers_(buffers),
+        root_(*root),
+        root_src_(root),
+        page_size_(buffers->file()->page_size()) {}
+
   void SeekToFirst() override { Seek(Slice()); }
 
   void Seek(const Slice& target) override {
     Reset();
-    storage::PageId page = root_;
+    storage::PageId page = RootNow();
     while (true) {
       auto guard_or = buffers_->Fetch(page);
       if (!Check(guard_or.status())) return;
@@ -103,7 +115,7 @@ class BasicBtreeCursor final : public Cursor {
 
   void SeekToLast() override {
     Reset();
-    storage::PageId page = root_;
+    storage::PageId page = RootNow();
     while (true) {
       auto guard_or = buffers_->Fetch(page);
       if (!Check(guard_or.status())) return;
@@ -128,7 +140,7 @@ class BasicBtreeCursor final : public Cursor {
     // leaf's fence. No back-link on the chain, so re-descend for it.
     std::string bound = View().KeyAt(0).ToString();
     Unpin();
-    if (!FindLastBelow(root_, Slice(bound))) Invalidate();
+    if (!FindLastBelow(RootNow(), Slice(bound))) Invalidate();
   }
 
  protected:
@@ -139,6 +151,10 @@ class BasicBtreeCursor final : public Cursor {
   /// (key/value/Next) build node views without chasing guard_ → frame →
   /// file → page_size on every step.
   BtreeNode View() const { return BtreeNode(frame_, page_size_); }
+
+  storage::PageId RootNow() const {
+    return root_src_ != nullptr ? *root_src_ : root_;
+  }
 
   void Pin(Guard guard) {
     guard_ = std::move(guard);
@@ -208,6 +224,7 @@ class BasicBtreeCursor final : public Cursor {
 
   Buffers* buffers_;
   storage::PageId root_;
+  const storage::PageId* root_src_ = nullptr;  // live root, when provided
   uint32_t page_size_;       // cached from the page file (immutable)
   Guard guard_;              // pinned current leaf; invalid = unpositioned
   char* frame_ = nullptr;    // guard_'s frame data, cached for View()

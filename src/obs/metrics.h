@@ -348,6 +348,16 @@ struct MetricsSnapshot {
   uint64_t recovery_applied_records = 0;  ///< WAL records replayed at open
   uint64_t recovery_dropped_bytes = 0;    ///< WAL bytes dropped at open
 
+  // Mvcc ([feature Mvcc]; all zero otherwise).
+  bool mvcc = false;                    ///< snapshot isolation selected
+  uint64_t mvcc_active_snapshots = 0;   ///< open (unreleased) snapshots
+  uint64_t mvcc_conflicts = 0;          ///< first-committer-wins refusals
+  uint64_t mvcc_gc_runs = 0;            ///< completed GC sweeps
+  uint64_t mvcc_gc_pruned = 0;          ///< versions dropped by GC
+  uint64_t mvcc_watermark = 0;          ///< min active snapshot ts
+  uint64_t mvcc_clock = 0;              ///< last assigned commit ts
+  HistogramSnapshot mvcc_chain_len;     ///< version-chain length per write
+
   // Memory path (Memory-Alloc alternative + slab pools).
   std::string alloc_name;             ///< engine allocator ("dynamic", ...)
   uint64_t alloc_live_bytes = 0;      ///< bytes currently handed out

@@ -112,6 +112,17 @@ std::string RenderText(const MetricsSnapshot& m) {
     Line(&out, "repl lag bytes", m.repl_lag_bytes);
     Line(&out, "repl lag epochs", m.repl_lag_epochs);
   }
+  if (m.mvcc) {
+    // [feature Mvcc] only — products without snapshot isolation keep the
+    // historical output byte-identical.
+    Line(&out, "mvcc active snapshots", m.mvcc_active_snapshots);
+    Line(&out, "mvcc conflicts", m.mvcc_conflicts);
+    Line(&out, "mvcc gc runs", m.mvcc_gc_runs);
+    Line(&out, "mvcc gc pruned versions", m.mvcc_gc_pruned);
+    Line(&out, "mvcc watermark", m.mvcc_watermark);
+    Line(&out, "mvcc commit clock", m.mvcc_clock);
+    HistoLine(&out, "mvcc chain length", m.mvcc_chain_len);
+  }
 
   // Observability sections (nonzero data only).
   if (!m.buffer_shards.empty() && m.buffer_shards.size() > 1) {
@@ -212,6 +223,15 @@ std::string RenderPrometheus(const MetricsSnapshot& m) {
     PromCounter(os, "repl_epoch", m.repl_epoch);
     PromCounter(os, "repl_lag_bytes", m.repl_lag_bytes);
     PromCounter(os, "repl_lag_epochs", m.repl_lag_epochs);
+  }
+  if (m.mvcc) {
+    PromCounter(os, "mvcc_active_snapshots", m.mvcc_active_snapshots);
+    PromCounter(os, "mvcc_conflicts_total", m.mvcc_conflicts);
+    PromCounter(os, "mvcc_gc_runs_total", m.mvcc_gc_runs);
+    PromCounter(os, "mvcc_gc_pruned_total", m.mvcc_gc_pruned);
+    PromCounter(os, "mvcc_watermark", m.mvcc_watermark);
+    PromCounter(os, "mvcc_commit_clock", m.mvcc_clock);
+    PromHisto(os, "mvcc_chain_len", m.mvcc_chain_len);
   }
   PromCounter(os, "btree_splits_total", m.btree_splits);
   PromCounter(os, "btree_merges_total", m.btree_merges);

@@ -94,6 +94,14 @@ Status RecordManager::Update(Rid* rid, const Slice& record) {
   return Status::OK();
 }
 
+Status RecordManager::UpdateInPlace(const Rid& rid, const Slice& record) {
+  FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(rid.page));
+  Page page = guard.page();
+  FAME_RETURN_IF_ERROR(page.Update(rid.slot, record));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
 Status RecordManager::Delete(const Rid& rid) {
   FAME_ASSIGN_OR_RETURN(PageGuard guard, buffers_->Fetch(rid.page));
   FAME_RETURN_IF_ERROR(guard.page().Delete(rid.slot));

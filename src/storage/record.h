@@ -56,6 +56,14 @@ class RecordManager {
   /// index entries must re-point them; the engine layers do).
   Status Update(Rid* rid, const Slice& record);
 
+  /// In-place-only variant: ResourceExhausted when the new value no longer
+  /// fits on its page, leaving the record untouched. Lets callers that
+  /// publish rids to lock-free readers relocate in a safe order — insert
+  /// the new copy, re-point the index, then Delete the old rid — so no
+  /// reader ever follows a published rid into a freed slot (Update's
+  /// delete-then-reinsert leaves exactly that window).
+  Status UpdateInPlace(const Rid& rid, const Slice& record);
+
   /// Deletes the record at `rid`.
   Status Delete(const Rid& rid);
 

@@ -1,0 +1,236 @@
+#include "tx/mvcc.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace fame::tx::mvcc {
+
+namespace {
+
+constexpr uint8_t kTombstoneFlag = 0x01;
+
+// Decodes one entry at *p (within [p, limit)), advancing *p past it.
+// Returns false on malformed bytes.
+bool DecodeEntry(const char** p, const char* limit, Version* v) {
+  uint64_t begin = 0, end = 0;
+  const char* q = GetVarint64Ptr(*p, limit, &begin);
+  if (q == nullptr) return false;
+  q = GetVarint64Ptr(q, limit, &end);
+  if (q == nullptr || q >= limit) return false;
+  uint8_t flags = static_cast<uint8_t>(*q++);
+  uint32_t vlen = 0;
+  q = GetVarint32Ptr(q, limit, &vlen);
+  if (q == nullptr || static_cast<size_t>(limit - q) < vlen) return false;
+  v->begin_ts = begin;
+  v->end_ts = end;
+  v->tombstone = (flags & kTombstoneFlag) != 0;
+  v->value = Slice(q, vlen);
+  *p = q + vlen;
+  return true;
+}
+
+void AppendEntry(std::string* out, const Version& v) {
+  PutVarint64(out, v.begin_ts);
+  PutVarint64(out, v.end_ts);
+  out->push_back(static_cast<char>(v.tombstone ? kTombstoneFlag : 0));
+  PutVarint32(out, static_cast<uint32_t>(v.value.size()));
+  out->append(v.value.data(), v.value.size());
+}
+
+// An entry is dead at `watermark` when some version fully supersedes it for
+// every snapshot that can still exist: it was closed at or before the
+// watermark.
+bool DeadAt(const Version& v, uint64_t watermark) {
+  return v.end_ts != 0 && v.end_ts <= watermark;
+}
+
+}  // namespace
+
+uint32_t AppendVersion(const Slice& chain, uint64_t commit_ts, bool tombstone,
+                       const Slice& value, uint64_t prune_below,
+                       std::string* out) {
+  out->clear();
+  Version head;
+  head.begin_ts = commit_ts;
+  head.tombstone = tombstone;
+  head.value = value;
+  AppendEntry(out, head);
+  uint32_t count = 1;
+
+  const char* p = chain.data();
+  const char* limit = p + chain.size();
+  bool first = true;
+  while (p < limit) {
+    Version v;
+    if (!DecodeEntry(&p, limit, &v)) break;  // drop a corrupt tail
+    if (first) {
+      first = false;
+      // A head carrying the same timestamp is *replaced*, not chained
+      // behind: a transaction's ops on one key all commit at one ts, so
+      // the last op wins — and replaying the same op sequence converges
+      // on the same chain. Its predecessor's end_ts is already commit_ts.
+      if (v.begin_ts == commit_ts) continue;
+      // The previous head is superseded by the new version.
+      if (v.end_ts == 0) v.end_ts = commit_ts;
+    }
+    if (prune_below != 0 && DeadAt(v, prune_below)) continue;
+    AppendEntry(out, v);
+    ++count;
+  }
+  return count;
+}
+
+Status VisibleAt(const Slice& chain, uint64_t ts, Version* v) {
+  const char* p = chain.data();
+  const char* limit = p + chain.size();
+  while (p < limit) {
+    Version cur;
+    if (!DecodeEntry(&p, limit, &cur)) {
+      return Status::Corruption("malformed mvcc version chain");
+    }
+    if (cur.begin_ts <= ts && (cur.end_ts == 0 || ts < cur.end_ts)) {
+      *v = cur;
+      if (cur.tombstone) return Status::NotFound("tombstone at snapshot");
+      return Status::OK();
+    }
+  }
+  v->tombstone = false;
+  return Status::NotFound("no version visible at snapshot");
+}
+
+uint64_t HeadTs(const Slice& chain) {
+  const char* p = chain.data();
+  Version v;
+  if (!DecodeEntry(&p, chain.data() + chain.size(), &v)) return 0;
+  return v.begin_ts;
+}
+
+Status DecodeChain(const Slice& chain, std::vector<Version>* out) {
+  out->clear();
+  const char* p = chain.data();
+  const char* limit = p + chain.size();
+  while (p < limit) {
+    Version v;
+    if (!DecodeEntry(&p, limit, &v)) {
+      return Status::Corruption("malformed mvcc version chain");
+    }
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status PruneChain(const Slice& chain, uint64_t watermark, std::string* out,
+                  uint64_t* pruned) {
+  out->clear();
+  *pruned = 0;
+  std::vector<Version> versions;
+  FAME_RETURN_IF_ERROR(DecodeChain(chain, &versions));
+  for (size_t i = 0; i < versions.size(); ++i) {
+    const Version& v = versions[i];
+    // A head tombstone at or below the watermark dies too: every snapshot
+    // that could still read past it has been released, so the whole key
+    // can disappear from the heap.
+    bool dead = DeadAt(v, watermark) ||
+                (i == 0 && v.tombstone && v.begin_ts <= watermark);
+    if (dead) {
+      ++*pruned;
+      continue;
+    }
+    AppendEntry(out, v);
+  }
+  return Status::OK();
+}
+
+uint64_t MvccManager::BeginSnapshot() {
+  std::lock_guard<std::mutex> l(mu_);
+  ++snapshots_[clock_];
+  return clock_;
+}
+
+void MvccManager::ReleaseSnapshot(uint64_t ts) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = snapshots_.find(ts);
+  if (it == snapshots_.end()) return;
+  if (--it->second == 0) snapshots_.erase(it);
+}
+
+StatusOr<uint64_t> MvccManager::PrepareCommit(
+    const std::vector<std::string>& keys, uint64_t read_ts) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& key : keys) {
+    auto it = last_commit_.find(key);
+    if (it != last_commit_.end() && it->second > read_ts) {
+      ++conflicts_;
+      return Status::Busy("write-write conflict: key committed after snapshot");
+    }
+  }
+  const uint64_t commit_ts = ++clock_;
+  const uint64_t mark = WatermarkLocked();
+  for (const auto& key : keys) last_commit_[key] = commit_ts;
+  // Shed entries no live snapshot can conflict with; bounds the table
+  // without a background thread. (Cheap: proportional to table size, run
+  // only when it has grown past the write set.)
+  if (last_commit_.size() > keys.size() * 4 + 64) {
+    for (auto it = last_commit_.begin(); it != last_commit_.end();) {
+      if (it->second <= mark) {
+        it = last_commit_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return commit_ts;
+}
+
+uint64_t MvccManager::Watermark() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return WatermarkLocked();
+}
+
+uint64_t MvccManager::WatermarkLocked() const {
+  // No active snapshot: everything committed so far is reclaimable.
+  if (snapshots_.empty()) return clock_;
+  return snapshots_.begin()->first;
+}
+
+uint64_t MvccManager::AdvanceClock() {
+  std::lock_guard<std::mutex> l(mu_);
+  return ++clock_;
+}
+
+uint64_t MvccManager::ReadTs() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return clock_;
+}
+
+void MvccManager::SeedClock(uint64_t ts) {
+  std::lock_guard<std::mutex> l(mu_);
+  clock_ = std::max(clock_, ts);
+}
+
+void MvccManager::RecordGcRun(uint64_t pruned) {
+  std::lock_guard<std::mutex> l(mu_);
+  ++gc_runs_;
+  gc_pruned_ += pruned;
+}
+
+void MvccManager::RecordChainLen(uint64_t len) { chain_len_.Record(len); }
+
+MvccStats MvccManager::stats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  MvccStats s;
+  s.active_snapshots = snapshots_.size();
+  s.conflicts = conflicts_;
+  s.gc_runs = gc_runs_;
+  s.gc_pruned = gc_pruned_;
+  s.watermark = WatermarkLocked();
+  s.clock = clock_;
+  return s;
+}
+
+obs::HistogramSnapshot MvccManager::chain_len_histogram() const {
+  return chain_len_.Snapshot();
+}
+
+}  // namespace fame::tx::mvcc

@@ -1,5 +1,6 @@
 #include "tx/txmgr.h"
 
+#include <map>
 #include <set>
 
 namespace fame::tx {
@@ -29,8 +30,13 @@ class MaybeLock {
 Status Transaction::Put(const std::string& store, const Slice& key,
                         const Slice& value) {
   if (!active_) return Status::Aborted("transaction is finished");
-  FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
-                                         LockMode::kExclusive));
+  // [feature Mvcc] Writers take no locks: write-write conflicts surface at
+  // commit (first-committer-wins), so disjoint-key writers never touch a
+  // shared lock table.
+  if (!mgr_->mvcc_enabled()) {
+    FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
+                                           LockMode::kExclusive));
+  }
   writes_.push_back(WriteOp{OpType::kPut, store, key.ToString(),
                             value.ToString()});
   latest_[{store, key.ToString()}] = writes_.size() - 1;
@@ -39,8 +45,10 @@ Status Transaction::Put(const std::string& store, const Slice& key,
 
 Status Transaction::Delete(const std::string& store, const Slice& key) {
   if (!active_) return Status::Aborted("transaction is finished");
-  FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
-                                         LockMode::kExclusive));
+  if (!mgr_->mvcc_enabled()) {
+    FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
+                                           LockMode::kExclusive));
+  }
   writes_.push_back(WriteOp{OpType::kDelete, store, key.ToString(), ""});
   latest_[{store, key.ToString()}] = writes_.size() - 1;
   return Status::OK();
@@ -49,6 +57,19 @@ Status Transaction::Delete(const std::string& store, const Slice& key) {
 Status Transaction::Get(const std::string& store, const Slice& key,
                         std::string* value) {
   if (!active_) return Status::Aborted("transaction is finished");
+  // [feature Mvcc] Snapshot reads: no shared lock, never blocked by (or
+  // blocking) writer transactions; the read sees the frozen snapshot_ts_
+  // state no matter who commits meanwhile.
+  if (mgr_->mvcc_enabled()) {
+    auto own = latest_.find({store, key.ToString()});
+    if (own != latest_.end()) {
+      const WriteOp& op = writes_[own->second];
+      if (op.op == OpType::kDelete) return Status::NotFound("deleted in txn");
+      *value = op.value;
+      return Status::OK();
+    }
+    return mgr_->SnapshotReadSafe(store, key, snapshot_ts_, value);
+  }
   FAME_RETURN_IF_ERROR(mgr_->AcquireLock(id_, store + ":" + key.ToString(),
                                          LockMode::kShared));
   auto it = latest_.find({store, key.ToString()});
@@ -109,6 +130,23 @@ Status TransactionManager::ReadCommittedSafe(const std::string& store,
   return target_->ReadCommitted(store, key, value);
 }
 
+Status TransactionManager::SnapshotReadSafe(const std::string& store,
+                                            const Slice& key, uint64_t ts,
+                                            std::string* value) {
+  MaybeLock l(apply_mu_, group_commit_);
+  return target_->ReadAtSnapshot(store, key, ts, value);
+}
+
+void TransactionManager::Retire(Transaction* txn) {
+  MaybeLock l(state_mu_, group_commit_);
+  auto it = active_.find(txn->id_);
+  if (it == active_.end() || it->second.get() != txn) return;
+  if (retired_.size() < kMaxRetired) {
+    retired_.push_back(std::move(it->second));
+  }
+  active_.erase(it);
+}
+
 size_t TransactionManager::active_transactions() const {
   MaybeLock l(state_mu_, group_commit_);
   return active_.size();
@@ -124,23 +162,37 @@ Status TransactionManager::Recover() {
     FAME_ASSIGN_OR_RETURN(Lsn mark, target_->LoadWalMark());
     if (mark > 0) FAME_RETURN_IF_ERROR(log_->AdvanceRetention(mark));
   }
-  // Pass 1: find committed transaction ids, and classify the log tail.
-  std::set<uint64_t> committed_ids;
+  // Pass 1: find committed transaction ids (and, for Mvcc-written logs,
+  // their commit timestamps), and classify the log tail.
+  std::map<uint64_t, uint64_t> committed_ids;  // txid -> commit_ts (0=legacy)
+  uint64_t max_commit_ts = 0;
   FAME_RETURN_IF_ERROR(log_->Replay(
       [&](Lsn, const LogRecord& rec) {
-        if (rec.type == LogRecordType::kCommit) committed_ids.insert(rec.txid);
+        if (rec.type == LogRecordType::kCommit) {
+          committed_ids[rec.txid] = rec.commit_ts;
+          if (rec.commit_ts > max_commit_ts) max_commit_ts = rec.commit_ts;
+        }
         return Status::OK();
       },
       &report_));
-  // Pass 2: redo committed ops in log order.
+  report_.max_commit_ts = max_commit_ts;
+  // Pass 2: redo committed ops in log order. Ops of a commit that carries
+  // a timestamp redo through the versioned apply path, which skips stamps
+  // at or below the chain head — that is what makes a crash between WAL
+  // append and apply, and double reopens, idempotent under Mvcc.
   FAME_RETURN_IF_ERROR(log_->Replay([&](Lsn, const LogRecord& rec) {
-    if (rec.type != LogRecordType::kOp || committed_ids.count(rec.txid) == 0) {
+    auto it = committed_ids.find(rec.txid);
+    if (rec.type != LogRecordType::kOp || it == committed_ids.end()) {
       return Status::OK();
     }
+    const uint64_t ts = it->second;
     if (rec.op == OpType::kPut) {
-      return target_->ApplyPut(rec.store, rec.key, rec.value);
+      return ts != 0
+                 ? target_->ApplyPutVersioned(rec.store, rec.key, rec.value, ts)
+                 : target_->ApplyPut(rec.store, rec.key, rec.value);
     }
-    Status s = target_->ApplyDelete(rec.store, rec.key);
+    Status s = ts != 0 ? target_->ApplyDeleteVersioned(rec.store, rec.key, ts)
+                       : target_->ApplyDelete(rec.store, rec.key);
     // Redo of a delete whose effect is already durable is a no-op.
     return s.IsNotFound() ? Status::OK() : s;
   }));
@@ -154,7 +206,20 @@ Status TransactionManager::Recover() {
 
 StatusOr<Transaction*> TransactionManager::Begin() {
   uint64_t id = next_txid_.fetch_add(1, std::memory_order_relaxed);
-  auto txn = std::unique_ptr<Transaction>(new Transaction(this, id));
+  std::unique_ptr<Transaction> txn;
+  {
+    MaybeLock l(state_mu_, group_commit_);
+    if (!retired_.empty()) {
+      txn = std::move(retired_.back());
+      retired_.pop_back();
+    }
+  }
+  if (txn != nullptr) {
+    txn->Reset(id);
+  } else {
+    txn = std::unique_ptr<Transaction>(new Transaction(this, id));
+  }
+  if (mvcc_ != nullptr) txn->snapshot_ts_ = mvcc_->BeginSnapshot();
   Transaction* ptr = txn.get();
   MaybeLock l(state_mu_, group_commit_);
   active_[id] = std::move(txn);
@@ -163,7 +228,10 @@ StatusOr<Transaction*> TransactionManager::Begin() {
 
 Status TransactionManager::Commit(Transaction* txn) {
   if (txn == nullptr || !txn->active_) {
-    return Status::Aborted("transaction is finished");
+    // Deterministic caller-error: the handle outlives its transaction (see
+    // retired_), so a second Commit/Abort reads live memory and fails
+    // cleanly instead of relying on caller discipline.
+    return Status::InvalidArgument("transaction already finished");
   }
   Status s = CommitInternal(txn);
   // Success or failure, the transaction is finished: locks are released and
@@ -179,14 +247,30 @@ Status TransactionManager::Commit(Transaction* txn) {
     committed_.fetch_add(1, std::memory_order_relaxed);
   }
   txn->active_ = false;
-  ReleaseLocks(txn->id_);
-  MaybeLock l(state_mu_, group_commit_);
-  active_.erase(txn->id_);
+  if (mvcc_ != nullptr) {
+    mvcc_->ReleaseSnapshot(txn->snapshot_ts_);
+  } else {
+    ReleaseLocks(txn->id_);
+  }
+  Retire(txn);
   return s;
 }
 
 Status TransactionManager::CommitInternal(Transaction* txn) {
   if (txn->writes_.empty()) return Status::OK();
+  if (mvcc_ != nullptr) {
+    // [feature Mvcc] First-committer-wins: one oracle call decides every
+    // key at once; Busy means another transaction committed one of them
+    // after our snapshot and the caller retries on fresh state. Winners
+    // on disjoint keys proceed concurrently into the group-commit WAL.
+    std::vector<std::string> keys;
+    keys.reserve(txn->latest_.size());
+    for (const auto& entry : txn->latest_) {
+      keys.push_back(entry.first.first + ":" + entry.first.second);
+    }
+    FAME_ASSIGN_OR_RETURN(txn->commit_ts_,
+                          mvcc_->PrepareCommit(keys, txn->snapshot_ts_));
+  }
   if (group_commit_) {
     if (protocol_ == CommitProtocol::kForceAtCommit) {
       // Force truncates the log at commit; no other transaction's records
@@ -215,8 +299,11 @@ Status TransactionManager::CommitPipeline(Transaction* txn) {
                         : LogRecord::Delete(txn->id_, op.store, op.key);
     FAME_RETURN_IF_ERROR(log_->Append(rec).status());
   }
-  FAME_ASSIGN_OR_RETURN(Lsn commit_lsn,
-                        log_->Append(LogRecord::Commit(txn->id_)));
+  FAME_ASSIGN_OR_RETURN(
+      Lsn commit_lsn,
+      log_->Append(txn->commit_ts_ != 0
+                       ? LogRecord::CommitAt(txn->id_, txn->commit_ts_)
+                       : LogRecord::Commit(txn->id_)));
   FAME_RETURN_IF_ERROR(log_->SyncCommit(commit_lsn));
   // Apply the write set to the engine. From here the transaction is
   // durable: even if applying fails (and the commit call reports an
@@ -225,9 +312,16 @@ Status TransactionManager::CommitPipeline(Transaction* txn) {
     MaybeLock al(apply_mu_, group_commit_);
     for (const auto& op : txn->writes_) {
       if (op.op == OpType::kPut) {
-        FAME_RETURN_IF_ERROR(target_->ApplyPut(op.store, op.key, op.value));
+        FAME_RETURN_IF_ERROR(
+            txn->commit_ts_ != 0
+                ? target_->ApplyPutVersioned(op.store, op.key, op.value,
+                                             txn->commit_ts_)
+                : target_->ApplyPut(op.store, op.key, op.value));
       } else {
-        Status s = target_->ApplyDelete(op.store, op.key);
+        Status s = txn->commit_ts_ != 0
+                       ? target_->ApplyDeleteVersioned(op.store, op.key,
+                                                       txn->commit_ts_)
+                       : target_->ApplyDelete(op.store, op.key);
         if (!s.ok() && !s.IsNotFound()) return s;
       }
     }
@@ -249,13 +343,16 @@ Status TransactionManager::CommitPipeline(Transaction* txn) {
 
 Status TransactionManager::Abort(Transaction* txn) {
   if (txn == nullptr || !txn->active_) {
-    return Status::Aborted("transaction is finished");
+    return Status::InvalidArgument("transaction already finished");
   }
   txn->active_ = false;
-  ReleaseLocks(txn->id_);
+  if (mvcc_ != nullptr) {
+    mvcc_->ReleaseSnapshot(txn->snapshot_ts_);
+  } else {
+    ReleaseLocks(txn->id_);
+  }
   aborted_.fetch_add(1, std::memory_order_relaxed);
-  MaybeLock l(state_mu_, group_commit_);
-  active_.erase(txn->id_);
+  Retire(txn);
   return Status::OK();
 }
 

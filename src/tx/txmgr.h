@@ -56,6 +56,55 @@ class ApplyTarget {
   }
   /// [feature Backup] Reads the persisted watermark back (0 when absent).
   virtual StatusOr<Lsn> LoadWalMark() { return static_cast<Lsn>(0); }
+
+  /// [feature Mvcc] Installs `value` as a new version of `key` stamped
+  /// `commit_ts`. Mvcc engines override to append to the key's version
+  /// chain; re-applying a stamp at or below the chain head must be a
+  /// no-op, which is what keeps replay / double-reopen / replication
+  /// follower apply idempotent. The default ignores the stamp so legacy
+  /// logs replay into non-Mvcc engines unchanged.
+  virtual Status ApplyPutVersioned(const std::string& store, const Slice& key,
+                                   const Slice& value, uint64_t commit_ts) {
+    (void)commit_ts;
+    return ApplyPut(store, key, value);
+  }
+  /// [feature Mvcc] Versioned delete: a tombstone version, not a physical
+  /// remove (garbage collection reclaims the record once no snapshot can
+  /// see it).
+  virtual Status ApplyDeleteVersioned(const std::string& store,
+                                      const Slice& key, uint64_t commit_ts) {
+    (void)commit_ts;
+    return ApplyDelete(store, key);
+  }
+  /// [feature Mvcc] Reads the version of `key` visible at snapshot `ts`.
+  virtual Status ReadAtSnapshot(const std::string& store, const Slice& key,
+                                uint64_t ts, std::string* value) {
+    (void)ts;
+    return ReadCommitted(store, key, value);
+  }
+};
+
+/// [feature Mvcc] The seam through which an engine hands the transaction
+/// manager its commit-timestamp oracle (tx::mvcc::MvccManager) without the
+/// base transaction layer referencing the MVCC translation unit — same
+/// idiom as Adopt() for the segmented log. Pure interface: txmgr.cc calls
+/// through the vtable only, so Mvcc-less products link zero fame::tx::mvcc
+/// symbols (cmake/CheckNoMvccSymbols.cmake holds it to that).
+class MvccHooks {
+ public:
+  virtual ~MvccHooks() = default;
+  /// Opens a snapshot: returns its read timestamp (registered until
+  /// ReleaseSnapshot so the GC watermark cannot pass it).
+  virtual uint64_t BeginSnapshot() = 0;
+  virtual void ReleaseSnapshot(uint64_t ts) = 0;
+  /// First-committer-wins: assigns and returns a commit timestamp iff no
+  /// key in `keys` ("store:key" strings) was committed by another
+  /// transaction after `read_ts`; Busy otherwise. Winners on disjoint
+  /// keys all succeed — this table is the only commit-time coordination.
+  virtual StatusOr<uint64_t> PrepareCommit(
+      const std::vector<std::string>& keys, uint64_t read_ts) = 0;
+  /// Min active snapshot ts (the GC watermark floor).
+  virtual uint64_t Watermark() const = 0;
 };
 
 enum class CommitProtocol : uint8_t { kWalRedo = 0, kForceAtCommit = 1 };
@@ -68,6 +117,12 @@ class Transaction {
  public:
   uint64_t id() const { return id_; }
   bool active() const { return active_; }
+  /// [feature Mvcc] The frozen read timestamp this transaction sees (0
+  /// without the Mvcc feature).
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
+  /// [feature Mvcc] The commit timestamp assigned at Commit (0 before, and
+  /// 0 forever for read-only transactions).
+  uint64_t commit_ts() const { return commit_ts_; }
 
 #if FAME_SLAB_ENABLED
   // Begin() heap-allocated a fresh handle per transaction; with the slab
@@ -102,6 +157,17 @@ class Transaction {
     std::string value;
   };
 
+  /// Reinitializes a recycled handle for a fresh Begin (see
+  /// TransactionManager::retired_).
+  void Reset(uint64_t id) {
+    id_ = id;
+    active_ = true;
+    writes_.clear();
+    latest_.clear();
+    snapshot_ts_ = 0;
+    commit_ts_ = 0;
+  }
+
   TransactionManager* mgr_;
   uint64_t id_;
   bool active_ = true;
@@ -109,6 +175,8 @@ class Transaction {
   // (store, key) -> index into writes_ of the latest write, for
   // read-your-writes and write coalescing.
   std::map<std::pair<std::string, std::string>, size_t> latest_;
+  uint64_t snapshot_ts_ = 0;  // [feature Mvcc] frozen read ts
+  uint64_t commit_ts_ = 0;    // [feature Mvcc] assigned at commit
 };
 
 /// Coordinates transactions over one engine. Conflicts surface as
@@ -208,6 +276,19 @@ class TransactionManager {
   /// excluded, so a fuzzy page copy sees no concurrent page writes. In
   /// single-threaded builds this is just `fn()`.
   Status WithApplyPaused(const std::function<Status()>& fn);
+
+  /// [feature Mvcc] Installs the engine's commit-timestamp oracle. Call
+  /// before Begin/Recover; a null hooks pointer (the default) keeps the
+  /// 2PL path byte-identical. From here on transactions carry snapshot
+  /// timestamps, Put/Delete take no locks, and Commit runs the
+  /// first-committer-wins check instead of relying on lock conflicts.
+  void EnableMvcc(MvccHooks* hooks) { mvcc_ = hooks; }
+  bool mvcc_enabled() const { return mvcc_ != nullptr; }
+  /// [feature Mvcc] Snapshot read behind the apply mutex (the engine
+  /// under the tx layer is not thread-safe; readers share its short apply
+  /// sections but never wait on writer *transactions* — no read locks).
+  Status SnapshotReadSafe(const std::string& store, const Slice& key,
+                          uint64_t ts, std::string* value);
 #if FAME_OBS_ENABLED
   /// [feature Observability] Records-per-flush histogram of the WAL.
   obs::HistogramSnapshot wal_batch_histogram() const {
@@ -233,14 +314,24 @@ class TransactionManager {
   /// Engine read behind the apply mutex when group commit is on.
   Status ReadCommittedSafe(const std::string& store, const Slice& key,
                            std::string* value);
+  /// Moves a finished handle from active_ to the bounded retired_ pool.
+  void Retire(Transaction* txn);
 
   ApplyTarget* target_;
   CommitProtocol protocol_;
   bool group_commit_ = false;
   std::unique_ptr<LogManager> log_;
   LockManager locks_;
+  MvccHooks* mvcc_ = nullptr;  // [feature Mvcc] null = 2PL path
   std::atomic<uint64_t> next_txid_{1};
   std::map<uint64_t, std::unique_ptr<Transaction>> active_;
+  /// Finished handles, kept alive (bounded) and recycled by Begin. The
+  /// point is determinism, not reuse: "the pointer stays valid until
+  /// Commit/Abort" used to mean a second Commit on a finished handle read
+  /// freed memory — now the handle outlives its transaction and the
+  /// second call fails InvalidArgument cleanly.
+  std::vector<std::unique_ptr<Transaction>> retired_;
+  static constexpr size_t kMaxRetired = 32;
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
   RecoveryReport report_;

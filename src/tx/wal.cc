@@ -23,6 +23,12 @@ LogRecord LogRecord::Commit(uint64_t txid) {
   return r;
 }
 
+LogRecord LogRecord::CommitAt(uint64_t txid, uint64_t commit_ts) {
+  LogRecord r = Commit(txid);
+  r.commit_ts = commit_ts;
+  return r;
+}
+
 LogRecord LogRecord::Abort(uint64_t txid) {
   LogRecord r;
   r.type = LogRecordType::kAbort;
@@ -55,6 +61,11 @@ LogRecord LogRecord::Delete(uint64_t txid, std::string store,
 
 void LogRecord::AppendPayloadTo(std::string* out) const {
   PutVarint64(out, txid);
+  // [feature Mvcc] Versioned commits carry their timestamp as a trailing
+  // varint; everything the legacy writer produced is encoded identically.
+  if (type == LogRecordType::kCommit && commit_ts != 0) {
+    PutVarint64(out, commit_ts);
+  }
   if (type == LogRecordType::kOp) {
     out->push_back(static_cast<char>(op));
     PutLengthPrefixedSlice(out, store);
@@ -76,6 +87,13 @@ StatusOr<LogRecord> LogRecord::DecodePayload(LogRecordType type,
   Slice in = payload;
   if (!GetVarint64(&in, &r.txid)) {
     return Status::Corruption("log record missing txid");
+  }
+  if (type == LogRecordType::kCommit && !in.empty()) {
+    // [feature Mvcc] Optional trailing commit timestamp; legacy commit
+    // records end at the txid and decode with commit_ts = 0.
+    if (!GetVarint64(&in, &r.commit_ts)) {
+      return Status::Corruption("log commit record truncated");
+    }
   }
   if (type == LogRecordType::kOp) {
     if (in.empty()) return Status::Corruption("log op record truncated");

@@ -53,9 +53,15 @@ struct LogRecord {
   std::string store;
   std::string key;
   std::string value;
+  /// [feature Mvcc] Commit timestamp stamped into kCommit records by Mvcc
+  /// products (a trailing varint the legacy decoder never wrote, so
+  /// non-Mvcc logs stay byte-identical and replay either way). 0 = none.
+  uint64_t commit_ts = 0;
 
   static LogRecord Begin(uint64_t txid);
   static LogRecord Commit(uint64_t txid);
+  /// [feature Mvcc] A commit record carrying its version timestamp.
+  static LogRecord CommitAt(uint64_t txid, uint64_t commit_ts);
   static LogRecord Abort(uint64_t txid);
   static LogRecord Put(uint64_t txid, std::string store, std::string key,
                        std::string value);
@@ -88,6 +94,9 @@ struct RecoveryReport {
   uint64_t dropped_records = 0;
   bool torn_tail = false;   ///< scan ended at a clean crashed tail
   bool corruption = false;  ///< intact records exist past the damage
+  /// [feature Mvcc] Highest commit timestamp seen in the log (0 on legacy
+  /// logs); recovery seeds the timestamp oracle past it.
+  uint64_t max_commit_ts = 0;
 
   /// True when the log needs attention beyond tail truncation.
   bool lost_committed_data() const { return corruption; }

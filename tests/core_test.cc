@@ -186,6 +186,7 @@ TEST(StaticProductTest, ProductsMatchFeatureModelVariants) {
   check(kControllerFeatures, std::size(kControllerFeatures));
   check(kEdgeServerFeatures, std::size(kEdgeServerFeatures));
   check(kAnalyticsFeatures, std::size(kAnalyticsFeatures));
+  check(kVersionedStoreFeatures, std::size(kVersionedStoreFeatures));
 }
 
 // ------------------------------------------------------------ Database

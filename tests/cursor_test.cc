@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -683,6 +684,218 @@ TEST(EngineCursorTest, ConcurrentReadersShareBtreeCursorChain) {
     EXPECT_TRUE(ok[t]) << "thread " << t;
     EXPECT_EQ(counts[t], oracle.size()) << "thread " << t;
   }
+}
+
+// ---------------------------------------------- snapshot-stability cells
+
+// The MVCC twin of the conformance suite above: a SnapshotCursor opened at
+// some timestamp must keep resolving to exactly the frozen view — the same
+// Seek/Next/Prev contract, checked against the oracle captured at open
+// time while writers overwrite, delete, and insert underneath the cursor.
+
+core::DbOptions MvccCursorOptions(osal::Env* env) {
+  return MemDbOptions({"Linux", "B+-Tree", "Transaction", "Update",
+                       "BTree-Update", "Remove", "BTree-Remove", "Mvcc"},
+                      env);
+}
+
+Status TxPut(core::Database* db, const std::string& k, const std::string& v) {
+  auto txn = db->Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = (*txn)->Put("core", k, v);
+  if (!s.ok()) {
+    (void)db->Abort(*txn);
+    return s;
+  }
+  return db->Commit(*txn);
+}
+
+TEST(SnapshotCursorConformanceTest, DatabaseBtreeFrozenViewMatchesOracle) {
+  auto env = osal::NewMemEnv(0);
+  auto db = core::Database::Open(MvccCursorOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::map<std::string, std::string> oracle;
+  Random rnd(61);
+  for (int i = 0; i < 120; ++i) {
+    std::string k = rnd.NextString(1 + rnd.Uniform(10));
+    std::string v = rnd.NextString(rnd.Uniform(32));
+    ASSERT_TRUE(TxPut(db->get(), k, v).ok());
+    oracle[k] = v;
+  }
+
+  auto snap = (*db)->NewSnapshotCursor();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  // Mutate heavily after the open: overwrite everything, delete a third,
+  // insert fresh keys the snapshot must never surface.
+  int n = 0;
+  for (const auto& [k, v] : oracle) {
+    if (++n % 3 == 0) {
+      ASSERT_TRUE((*db)->Remove(Slice(k)).ok());
+    } else {
+      ASSERT_TRUE(TxPut(db->get(), k, "rewritten").ok());
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(TxPut(db->get(), "new-" + std::to_string(i), "x").ok());
+  }
+
+  // Full forward scan: exactly the frozen view.
+  std::map<std::string, std::string> seen;
+  for (snap->SeekToFirst(); snap->Valid(); snap->Next()) {
+    seen[snap->key().ToString()] = snap->value().ToString();
+  }
+  ASSERT_TRUE(snap->status().ok()) << snap->status().ToString();
+  EXPECT_EQ(seen, oracle);
+
+  // Seek to the middle: the frozen suffix from lower_bound on.
+  auto mid = std::next(oracle.begin(), oracle.size() / 2);
+  seen.clear();
+  for (snap->Seek(Slice(mid->first)); snap->Valid(); snap->Next()) {
+    seen[snap->key().ToString()] = snap->value().ToString();
+  }
+  ASSERT_TRUE(snap->status().ok());
+  EXPECT_EQ(seen, (std::map<std::string, std::string>(mid, oracle.end())));
+
+  // Reverse iteration over the same frozen view.
+  if (snap->SupportsReverse()) {
+    std::vector<std::string> keys;
+    for (snap->SeekToLast(); snap->Valid(); snap->Prev()) {
+      keys.push_back(snap->key().ToString());
+    }
+    ASSERT_TRUE(snap->status().ok());
+    ASSERT_EQ(keys.size(), oracle.size());
+    EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+    EXPECT_EQ(keys.front(), oracle.rbegin()->first);
+  }
+
+  // A cursor opened now conforms to the post-mutation oracle instead.
+  std::map<std::string, std::string> oracle2;
+  n = 0;
+  for (const auto& [k, v] : oracle) {
+    if (++n % 3 != 0) oracle2[k] = "rewritten";
+  }
+  for (int i = 0; i < 40; ++i) oracle2["new-" + std::to_string(i)] = "x";
+  auto live = (*db)->NewSnapshotCursor();
+  ASSERT_TRUE(live.ok());
+  seen.clear();
+  for (live->SeekToFirst(); live->Valid(); live->Next()) {
+    seen[live->key().ToString()] = live->value().ToString();
+  }
+  ASSERT_TRUE(live->status().ok());
+  EXPECT_EQ(seen, oracle2);
+}
+
+TEST(SnapshotCursorConformanceTest, StaticVersionedStoreFrozenSeek) {
+  auto env = osal::NewMemEnv(0);
+  core::VersionedStore db;
+  ASSERT_TRUE(db.Open(env.get(), "vs-cursor").ok());
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 60; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put("core", key, "old").ok());
+    ASSERT_TRUE(db.Commit(*txn).ok());
+    oracle[key] = "old";
+  }
+
+  auto snap = db.NewSnapshotCursor();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  for (int i = 0; i < 60; i += 2) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(db.Remove(Slice(key)).ok());
+  }
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("core", "k999", "late").ok());
+  ASSERT_TRUE(db.Commit(*txn).ok());
+
+  std::map<std::string, std::string> seen;
+  for (snap->Seek(Slice("k020")); snap->Valid(); snap->Next()) {
+    seen[snap->key().ToString()] = snap->value().ToString();
+  }
+  ASSERT_TRUE(snap->status().ok());
+  EXPECT_EQ(seen,
+            (std::map<std::string, std::string>(oracle.lower_bound("k020"),
+                                                oracle.end())));
+}
+
+// Static MVCC + Concurrency product: snapshot cursors scanned from several
+// threads while a writer commits. Two passes of one cursor must agree —
+// the cell the TSan CI job exercises for the snapshot-cursor layer.
+struct CursorMvccCfg {
+  using IndexTag = core::BtreeTag;
+  static constexpr bool kPut = true;
+  static constexpr bool kRemove = true;
+  static constexpr bool kUpdate = true;
+  static constexpr bool kTransactions = true;
+  static constexpr bool kForceCommit = false;
+  static constexpr bool kConcurrency = true;
+  static constexpr bool kMvcc = true;
+  static constexpr const char* kReplacement = "lru";
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr size_t kBufferFrames = 128;
+  static constexpr size_t kStaticPoolBytes = 0;
+};
+
+TEST(SnapshotCursorConformanceTest, ConcurrentSnapshotScansStayFrozen) {
+  auto env = osal::NewMemEnv(0);
+  core::StaticEngine<CursorMvccCfg> db;
+  ASSERT_TRUE(db.Open(env.get(), "mt-cursor").ok());
+  constexpr int kKeys = 16;
+  for (int i = 0; i < kKeys; ++i) {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put("core", "k" + std::to_string(i), "0").ok());
+    ASSERT_TRUE(db.Commit(*txn).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread writer([&] {
+    int gen = 1;
+    while (!stop.load()) {
+      for (int i = 0; i < kKeys; ++i) {
+        auto txn = db.Begin();
+        if (!txn.ok()) { ++errors; return; }
+        if (!(*txn)->Put("core", "k" + std::to_string(i),
+                         std::to_string(gen))
+                 .ok() ||
+            !db.Commit(*txn).ok()) {
+          ++errors;
+          return;
+        }
+      }
+      ++gen;
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      for (int iter = 0; iter < 20; ++iter) {
+        auto snap = db.NewSnapshotCursor();
+        if (!snap.ok()) { ++errors; return; }
+        std::map<std::string, std::string> first, second;
+        for (int pass = 0; pass < 2; ++pass) {
+          auto& out = pass == 0 ? first : second;
+          for (snap->SeekToFirst(); snap->Valid(); snap->Next()) {
+            out[snap->key().ToString()] = snap->value().ToString();
+          }
+          if (!snap->status().ok()) { ++errors; return; }
+        }
+        // A snapshot cursor is repeatable: the second pass sees byte-for-
+        // byte what the first saw, no matter how far the writer advanced.
+        if (first != second || first.size() != kKeys) { ++errors; return; }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  EXPECT_EQ(errors.load(), 0);
 }
 
 }  // namespace

@@ -420,5 +420,127 @@ TEST(FaultRecoveryTest, StaticEngineRecoversCommittedDataAfterPowerLoss) {
   EXPECT_FALSE(db.read_only());  // reopen resets degradation
 }
 
+// ------------------------------------------------- Mvcc products
+
+DbOptions MvccFaultOptions(osal::Env* env) {
+  DbOptions opts = FaultOptions(env);
+  opts.features.push_back("Remove");
+  opts.features.push_back("BTree-Remove");
+  opts.features.push_back("Mvcc");
+  return opts;
+}
+
+// The crash sweep over the versioned record path: same workload and
+// recovery invariant as the tentpole sweep, but every record is a version
+// chain, commits carry timestamps, and checkpoints persist the oracle
+// ("mvcc.ts"). Adds the MVCC-specific obligations on top: replay is
+// idempotent across a double reopen, the clock never rewinds under
+// recovered chains (a post-recovery commit must supersede every head), and
+// a GC sweep over just-recovered chains is safe.
+TEST(FaultRecoveryTest, MvccWorkloadSurvivesEveryCrashPoint) {
+  uint64_t total_mutations = 0;
+  {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    auto db = Database::Open(MvccFaultOptions(&fenv));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    WorkloadResult gold = RunWorkload(db->get(), kSeed,
+                                      /*checkpoint_every=*/7);
+    ASSERT_FALSE(gold.commit_failed);
+    total_mutations = fenv.mutation_count();
+  }
+  ASSERT_GT(total_mutations, 100u);
+
+  int verified = 0;
+  for (uint64_t crash = 1; crash < total_mutations; crash += 29) {
+    auto base = osal::NewMemEnv(0);
+    FaultInjectionEnv fenv(base.get());
+    fenv.CrashAfterMutations(crash);
+    WorkloadResult run;
+    {
+      auto db = Database::Open(MvccFaultOptions(&fenv));
+      if (db.ok()) run = RunWorkload(db->get(), kSeed, 7);
+    }
+    fenv.SimulateCrash();
+
+    std::map<std::string, std::string> state1;
+    uint64_t clock1 = 0;
+    {
+      auto db = Database::Open(MvccFaultOptions(&fenv));
+      ASSERT_TRUE(db.ok()) << "crash@" << crash << ": "
+                           << db.status().ToString();
+      EXPECT_FALSE((*db)->recovery_report().lost_committed_data())
+          << "crash@" << crash;
+      state1 = DumpState(db->get());
+      EXPECT_TRUE(state1 == run.committed || state1 == run.in_flight)
+          << "crash@" << crash << ": recovered state is neither the last "
+                                  "acknowledged commit nor that plus the "
+                                  "in-flight transaction";
+      clock1 = (*db)->mvcc_stats().clock;
+      if (!state1.empty()) EXPECT_GT(clock1, 0u) << "crash@" << crash;
+    }
+
+    // Reopen again without writing: recovery replays the same tail onto
+    // the already-applied chains and must change nothing (idempotence via
+    // the per-chain head timestamp), and the clock must not rewind.
+    auto db = Database::Open(MvccFaultOptions(&fenv));
+    ASSERT_TRUE(db.ok()) << "crash@" << crash;
+    EXPECT_EQ(DumpState(db->get()), state1) << "crash@" << crash;
+    EXPECT_GE((*db)->mvcc_stats().clock, clock1) << "crash@" << crash;
+
+    // GC over just-recovered chains keeps the live view intact, and a
+    // fresh commit supersedes every recovered chain head.
+    ASSERT_TRUE((*db)->MvccGc().ok()) << "crash@" << crash;
+    EXPECT_EQ(DumpState(db->get()), state1) << "crash@" << crash;
+    {
+      auto txn = (*db)->Begin();
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE((*txn)->Put("core", KeyOf(0), "post-recovery").ok());
+      ASSERT_TRUE((*db)->Commit(*txn).ok()) << "crash@" << crash;
+      std::string v;
+      ASSERT_TRUE((*db)->Get(KeyOf(0), &v).ok());
+      EXPECT_EQ(v, "post-recovery") << "crash@" << crash;
+    }
+    ++verified;
+  }
+  EXPECT_GT(verified, 10);
+}
+
+// The GC watermark is durable at the MvccGc call itself (it syncs the
+// meta), not only at the next checkpoint: after power loss the reopened
+// database reports the last completed sweep.
+TEST(FaultRecoveryTest, MvccGcWatermarkSurvivesPowerLoss) {
+  auto base = osal::NewMemEnv(0);
+  FaultInjectionEnv fenv(base.get());
+  uint64_t mark = 0;
+  {
+    auto db = Database::Open(MvccFaultOptions(&fenv));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (int gen = 0; gen < 4; ++gen) {
+      for (int i = 0; i < 6; ++i) {
+        auto txn = (*db)->Begin();
+        ASSERT_TRUE(txn.ok());
+        ASSERT_TRUE(
+            (*txn)->Put("core", KeyOf(i), "g" + std::to_string(gen)).ok());
+        ASSERT_TRUE((*db)->Commit(*txn).ok());
+      }
+    }
+    auto pruned = (*db)->MvccGc();
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    EXPECT_GT(*pruned, 0u);
+    mark = (*db)->mvcc_gc_mark();
+    EXPECT_GT(mark, 0u);
+    // No checkpoint — power fails now.
+  }
+  fenv.SimulateCrash();
+  auto db = Database::Open(MvccFaultOptions(&fenv));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->mvcc_gc_mark(), mark);
+  EXPECT_GE((*db)->mvcc_stats().clock, mark);
+  std::string v;
+  ASSERT_TRUE((*db)->Get(KeyOf(0), &v).ok());
+  EXPECT_EQ(v, "g3");
+}
+
 }  // namespace
 }  // namespace fame::core

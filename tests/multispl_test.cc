@@ -173,6 +173,7 @@ TEST(MultiSplTest, NfpDerivationOverComposite) {
   // subtree conflict keeps the model otherwise untouched.)
   ASSERT_TRUE(dbms->AddExcludes("Observability", "Storage").ok());
   ASSERT_TRUE(dbms->AddExcludes("Backup", "Storage").ok());
+  ASSERT_TRUE(dbms->AddExcludes("Mvcc", "Storage").ok());
   MultiSplComposer composer("device");
   ASSERT_TRUE(composer.AddSpl("os", *os).ok());
   ASSERT_TRUE(composer.AddSpl("dbms", *dbms).ok());

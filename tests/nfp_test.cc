@@ -539,5 +539,37 @@ TEST(FeedbackTest, SlabAllocNfpSeedLoadsAndFits) {
   }
 }
 
+// And for the Mvcc NFP seed (Transaction ▸ Mvcc snapshot isolation): the
+// pair of measured probe products differs only in the Mvcc selection, so
+// the estimator must attribute the whole measured delta — version-chain
+// codec, timestamp oracle, snapshot registry, conflict table, GC — to
+// that one feature and price the Mvcc product strictly above its plain
+// 2PL twin.
+TEST(FeedbackTest, MvccNfpSeedLoadsAndFits) {
+  auto repo_or = FeedbackRepository::Deserialize(fm::kFameMvccNfpSeed);
+  ASSERT_TRUE(repo_or.ok()) << repo_or.status().ToString();
+  EXPECT_EQ(repo_or->size(), 2u);
+
+  std::vector<std::string> plain = {
+      "API",    "B+-Tree", "BTree-Remove", "BTree-Search", "BTree-Update",
+      "Dynamic", "Get",    "Int-Types",    "LRU",          "Linux",
+      "Put",    "Remove",  "String-Types", "Transaction",  "Update",
+      "WAL-Redo"};
+  std::vector<std::string> versioned = plain;
+  versioned.push_back("Mvcc");
+
+  auto est = AdditiveEstimator::Fit(*repo_or, NfpKind::kBinarySize);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GT(est->Estimate(versioned), est->Estimate(plain));
+  EXPECT_GT(est->FeatureWeight("Mvcc"), 0.0);
+
+  auto model = fm::BuildFameDbmsModel();
+  for (const auto& product : repo_or->products()) {
+    for (const std::string& f : product.features) {
+      EXPECT_TRUE(model->Has(f)) << "seed names unknown feature " << f;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fame::nfp

@@ -202,6 +202,50 @@ TEST(ObsSerializeTest, RenderOmitsAllocGaugesWithoutAllocator) {
   EXPECT_EQ(RenderPrometheus(m).find("fame_alloc"), std::string::npos);
 }
 
+TEST(ObsSerializeTest, RenderCarriesMvccSection) {
+  MetricsSnapshot m = SampleSnapshot();
+  m.mvcc = true;
+  m.mvcc_active_snapshots = 2;
+  m.mvcc_conflicts = 3;
+  m.mvcc_gc_runs = 4;
+  m.mvcc_gc_pruned = 17;
+  m.mvcc_watermark = 40;
+  m.mvcc_clock = 42;
+  m.mvcc_chain_len.counts[1] = 5;
+  m.mvcc_chain_len.count = 5;
+  m.mvcc_chain_len.sum = 9;
+  std::string text = RenderText(m);
+  EXPECT_NE(text.find("mvcc active snapshots: 2"), std::string::npos);
+  EXPECT_NE(text.find("mvcc conflicts: 3"), std::string::npos);
+  EXPECT_NE(text.find("mvcc gc runs: 4"), std::string::npos);
+  EXPECT_NE(text.find("mvcc gc pruned versions: 17"), std::string::npos);
+  EXPECT_NE(text.find("mvcc watermark: 40"), std::string::npos);
+  EXPECT_NE(text.find("mvcc commit clock: 42"), std::string::npos);
+  EXPECT_NE(text.find("mvcc chain length"), std::string::npos);
+  std::string prom = RenderPrometheus(m);
+  EXPECT_NE(prom.find("fame_mvcc_active_snapshots 2"), std::string::npos);
+  EXPECT_NE(prom.find("fame_mvcc_conflicts_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("fame_mvcc_gc_runs_total 4"), std::string::npos);
+  EXPECT_NE(prom.find("fame_mvcc_gc_pruned_total 17"), std::string::npos);
+  EXPECT_NE(prom.find("fame_mvcc_watermark 40"), std::string::npos);
+  EXPECT_NE(prom.find("fame_mvcc_commit_clock 42"), std::string::npos);
+  // Histogram series: cumulative buckets plus +Inf, sum, and count.
+  EXPECT_NE(prom.find("fame_mvcc_chain_len_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("fame_mvcc_chain_len_sum 9"), std::string::npos);
+  EXPECT_NE(prom.find("fame_mvcc_chain_len_count 5"), std::string::npos);
+}
+
+TEST(ObsSerializeTest, RenderOmitsMvccWithoutTheFeature) {
+  // Products without snapshot isolation (m.mvcc false) keep the historical
+  // output byte-identical — no mvcc keys in either renderer, even when
+  // stale numbers sit in the fields.
+  MetricsSnapshot m = SampleSnapshot();
+  m.mvcc_clock = 99;
+  m.mvcc_conflicts = 7;
+  EXPECT_EQ(RenderText(m).find("mvcc"), std::string::npos);
+  EXPECT_EQ(RenderPrometheus(m).find("fame_mvcc"), std::string::npos);
+}
+
 TEST(ObsSerializeTest, RenderHistogramElidesEmptyBuckets) {
   HistogramSnapshot h;
   EXPECT_NE(RenderHistogram(h).find("count=0"), std::string::npos);
@@ -389,6 +433,70 @@ TEST(ObsDatabaseTest, SnapshotCarriesWorkloadSignal) {
 }
 
 #endif  // FAME_OBS_ENABLED
+
+// The MVCC gauges flow end-to-end (oracle -> snapshot -> renderers) on any
+// Observability+Mvcc product; they are lifecycle counters, not FAME_OBS
+// instrumentation, so this holds in -DFAME_OBSERVABILITY=OFF builds too.
+TEST(ObsDatabaseTest, SnapshotCarriesMvccSignal) {
+  auto env = osal::NewMemEnv(0);
+  core::DbOptions opts = ObsOptions(env.get(), true);
+  opts.features.push_back("Remove");
+  opts.features.push_back("BTree-Remove");
+  opts.features.push_back("Mvcc");
+  auto db_or = core::Database::Open(opts);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  core::Database* db = db_or->get();
+
+  for (int gen = 0; gen < 3; ++gen) {
+    for (int i = 0; i < 4; ++i) {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE(
+          (*txn)->Put("core", "k" + std::to_string(i), "g" + std::to_string(gen))
+              .ok());
+      ASSERT_TRUE(db->Commit(*txn).ok());
+    }
+  }
+  // One first-committer-wins refusal.
+  auto t1 = db->Begin();
+  auto t2 = db->Begin();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_TRUE((*t1)->Put("core", "k0", "winner").ok());
+  ASSERT_TRUE((*t2)->Put("core", "k0", "loser").ok());
+  ASSERT_TRUE(db->Commit(*t1).ok());
+  ASSERT_TRUE(db->Commit(*t2).IsBusy());
+  // One GC sweep with history to prune.
+  auto pruned = db->MvccGc();
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_GT(*pruned, 0u);
+
+  auto snap_cursor = db->NewSnapshotCursor();
+  ASSERT_TRUE(snap_cursor.ok());
+  auto snap_or = db->GetMetricsSnapshot();
+  ASSERT_TRUE(snap_or.ok()) << snap_or.status().ToString();
+  const MetricsSnapshot& m = *snap_or;
+  EXPECT_TRUE(m.mvcc);
+  EXPECT_GE(m.mvcc_active_snapshots, 1u);  // the live cursor's registration
+  EXPECT_GE(m.mvcc_conflicts, 1u);
+  EXPECT_GE(m.mvcc_gc_runs, 1u);
+  EXPECT_GT(m.mvcc_gc_pruned, 0u);
+  EXPECT_GT(m.mvcc_clock, 0u);
+  EXPECT_GT(m.mvcc_chain_len.count, 0u);  // every versioned write recorded
+
+  std::string prom = RenderPrometheus(m);
+  EXPECT_NE(prom.find("fame_mvcc_commit_clock"), std::string::npos);
+  std::string text = RenderText(m);
+  EXPECT_NE(text.find("mvcc commit clock"), std::string::npos);
+
+  // Mvcc-less twin: the section stays absent end-to-end.
+  auto env2 = osal::NewMemEnv(0);
+  auto plain_or = core::Database::Open(ObsOptions(env2.get(), true));
+  ASSERT_TRUE(plain_or.ok());
+  auto plain_snap = (*plain_or)->GetMetricsSnapshot();
+  ASSERT_TRUE(plain_snap.ok());
+  EXPECT_FALSE(plain_snap->mvcc);
+  EXPECT_EQ(RenderText(*plain_snap).find("mvcc"), std::string::npos);
+}
 
 TEST(ObsDatabaseTest, SnapshotRequiresObservabilityFeature) {
   auto env = osal::NewMemEnv(0);

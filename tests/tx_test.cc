@@ -478,7 +478,41 @@ TEST_P(TxMgrTest, OpsOnFinishedTransactionFail) {
   ASSERT_TRUE(txn.ok());
   Transaction* t = *txn;
   ASSERT_TRUE(mgr_->Commit(t).ok());
-  EXPECT_TRUE(mgr_->Commit(t).IsAborted());
+  EXPECT_TRUE(mgr_->Commit(t).IsInvalidArgument());
+}
+
+// Regression: a second Commit or Abort on an already-finished handle used
+// to walk a dangling pointer (the manager erased the owning unique_ptr when
+// the transaction finished). Finished handles are now parked in a bounded
+// retire pool, so every double-finish combination must deterministically
+// return InvalidArgument — never crash, never Aborted.
+TEST_P(TxMgrTest, DoubleFinishIsDeterministicInvalidArgument) {
+  {
+    auto txn = mgr_->Begin();
+    ASSERT_TRUE(txn.ok());
+    Transaction* t = *txn;
+    ASSERT_TRUE((*txn)->Put("main", "dk", "dv").ok());
+    ASSERT_TRUE(mgr_->Commit(t).ok());
+    EXPECT_TRUE(mgr_->Commit(t).IsInvalidArgument());
+    EXPECT_TRUE(mgr_->Abort(t).IsInvalidArgument());
+    EXPECT_TRUE(mgr_->Commit(t).IsInvalidArgument());
+  }
+  {
+    auto txn = mgr_->Begin();
+    ASSERT_TRUE(txn.ok());
+    Transaction* t = *txn;
+    ASSERT_TRUE(mgr_->Abort(t).ok());
+    EXPECT_TRUE(mgr_->Abort(t).IsInvalidArgument());
+    EXPECT_TRUE(mgr_->Commit(t).IsInvalidArgument());
+  }
+  // Ops on a finished handle fail too, and a fresh Begin (which may recycle
+  // the retired handle) works normally.
+  auto txn = mgr_->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("main", "dk2", "dv2").ok());
+  ASSERT_TRUE(mgr_->Commit(*txn).ok());
+  EXPECT_TRUE((*txn)->Put("main", "dk3", "dv3").IsAborted());
+  EXPECT_TRUE(mgr_->Commit(*txn).IsInvalidArgument());
 }
 
 TEST_P(TxMgrTest, ForceProtocolCheckpointsAtCommit) {
