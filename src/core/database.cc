@@ -284,8 +284,8 @@ Status Database::Update(const Slice& key, const Slice& value) {
     // Update requires the key to *visibly* exist: an index hit whose chain
     // is tombstoned at the read timestamp is still absent.
     std::string existing;
-    FAME_RETURN_IF_ERROR(engine_.GetVersioned(key, mvcc_->ReadTs(),
-                                              &existing, mvcc_.get()));
+    FAME_RETURN_IF_ERROR(
+        engine_.GetVersionedLatest(key, &existing, mvcc_.get()));
   } else {
     uint64_t packed = 0;
     FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
@@ -312,8 +312,12 @@ Status Database::RangeScan(const Slice& lo, const Slice& hi,
   FAME_OBS(metrics_.scans.Add(1);
            obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.scan_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kScan);)
+  // The scan's snapshot is *registered* (not a bare ReadTs sample): the
+  // adapter's cursor owns the registration, so the GC watermark stays
+  // pinned below the scan's ts until it finishes — a concurrent commit
+  // cannot prune the versions the scan still has to resolve.
   Status s = mvcc_ != nullptr
-                 ? engine_.SnapshotRangeScan(mvcc_->ReadTs(), lo, hi,
+                 ? engine_.SnapshotRangeScan(mvcc_->BeginSnapshot(), lo, hi,
                                              /*ordered=*/true, fn,
                                              mvcc_.get())
                  : engine_.RangeScan(lo, hi, /*ordered=*/true, fn);
@@ -330,8 +334,8 @@ Status Database::ReverseScan(const Slice& lo, const Slice& hi,
            obs::ScopedLatencyTimer<obs::SharedCells> timer(&metrics_.scan_ns);)
   FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kReverseScan);)
   Status s = mvcc_ != nullptr
-                 ? engine_.SnapshotReverseScan(mvcc_->ReadTs(), lo, hi, fn,
-                                               mvcc_.get())
+                 ? engine_.SnapshotReverseScan(mvcc_->BeginSnapshot(), lo, hi,
+                                               fn, mvcc_.get())
                  : engine_.ReverseScan(lo, hi, fn);
   FAME_OBS_TRACE(span.set_error(!s.ok());)
   return s;
@@ -376,11 +380,14 @@ Status Database::ApplyPut(const std::string& store, const Slice& key,
                           const Slice& value) {
   if (store != kStore) return Status::InvalidArgument("unknown store");
   // A legacy (timestamp-less) log record replaying into an Mvcc product is
-  // migrated on the fly: it becomes a fresh head version.
+  // migrated on the fly: it becomes a fresh head version. (Sequenced
+  // explicitly: the watermark must be read *after* the tick, or an
+  // unspecified evaluation order could hand WriteVersion a prune floor
+  // equal to its own commit ts.)
   if (mvcc_ != nullptr) {
-    return engine_.WriteVersion(key, value, /*tombstone=*/false,
-                                mvcc_->AdvanceClock(), mvcc_->Watermark(),
-                                mvcc_.get());
+    const uint64_t ts = mvcc_->AdvanceClock();
+    return engine_.WriteVersion(key, value, /*tombstone=*/false, ts,
+                                mvcc_->Watermark(), mvcc_.get());
   }
   return engine_.Put(key, value);
 }
@@ -425,11 +432,20 @@ Status Database::ReadAtSnapshot(const std::string& store, const Slice& key,
 
 Status Database::PutRecord(const Slice& key, const Slice& value) {
   if (mvcc_ == nullptr) return engine_.Put(key, value);
-  // Auto-commit versioned write: one oracle tick, opportunistic pruning of
-  // versions already below the watermark while the chain is in hand.
-  return engine_.WriteVersion(key, value, /*tombstone=*/false,
-                              mvcc_->AdvanceClock(), mvcc_->Watermark(),
-                              mvcc_.get());
+  // Auto-commit versioned write through the oracle's conflict table — not
+  // a bare clock tick — so an MVCC transaction that read this key before
+  // the write loses first-committer-wins at its own commit instead of
+  // silently overwriting us (lost update). The ts stays in-flight
+  // (invisible to new snapshots) until the engine apply lands; the
+  // watermark is read after PrepareAutoCommit, which also pins it below
+  // the new commit ts. Opportunistic pruning of versions already below the
+  // watermark happens while the chain is in hand.
+  const uint64_t commit_ts =
+      mvcc_->PrepareAutoCommit(std::string(kStore) + ":" + key.ToString());
+  Status s = engine_.WriteVersion(key, value, /*tombstone=*/false, commit_ts,
+                                  mvcc_->Watermark(), mvcc_.get());
+  mvcc_->FinishCommit(commit_ts);
+  return s;
 }
 
 Status Database::RemoveRecord(const Slice& key) {
@@ -437,16 +453,21 @@ Status Database::RemoveRecord(const Slice& key) {
   // Preserve Remove's NotFound contract against the *visible* state: a key
   // that is absent or already tombstoned at the read ts is not removable.
   std::string existing;
-  FAME_RETURN_IF_ERROR(
-      engine_.GetVersioned(key, mvcc_->ReadTs(), &existing, mvcc_.get()));
-  return engine_.WriteVersion(key, Slice(), /*tombstone=*/true,
-                              mvcc_->AdvanceClock(), mvcc_->Watermark(),
-                              mvcc_.get());
+  FAME_RETURN_IF_ERROR(engine_.GetVersionedLatest(key, &existing, mvcc_.get()));
+  const uint64_t commit_ts =
+      mvcc_->PrepareAutoCommit(std::string(kStore) + ":" + key.ToString());
+  Status s = engine_.WriteVersion(key, Slice(), /*tombstone=*/true, commit_ts,
+                                  mvcc_->Watermark(), mvcc_.get());
+  mvcc_->FinishCommit(commit_ts);
+  return s;
 }
 
 Status Database::GetRecord(const Slice& key, std::string* value) {
   if (mvcc_ == nullptr) return engine_.Get(key, value);
-  return engine_.GetVersioned(key, mvcc_->ReadTs(), value, mvcc_.get());
+  // Latched latest-read: the ts is sampled under the physical latch, so a
+  // concurrent commit pair cannot prune the sampled version between the
+  // ReadTs call and the chain copy.
+  return engine_.GetVersionedLatest(key, value, mvcc_.get());
 }
 
 StatusOr<SnapshotCursor> Database::NewSnapshotCursor() {
@@ -478,8 +499,12 @@ StatusOr<uint64_t> Database::MvccGc() {
 }
 
 Status Database::PersistMvccMeta() {
+  // The *raw* clock, not the (pending-gated) read ts: chains on disk may
+  // already carry in-flight stamps past ReadTs, and a reopened clock below
+  // any persisted head would make WriteVersion treat fresh writes as
+  // already-replayed no-ops.
   FAME_RETURN_IF_ERROR(
-      file_->SetRoot("mvcc.ts", storage::kInvalidPageId, mvcc_->ReadTs()));
+      file_->SetRoot("mvcc.ts", storage::kInvalidPageId, mvcc_->Clock()));
   FAME_RETURN_IF_ERROR(
       file_->SetRoot("mvcc.mark", storage::kInvalidPageId, mvcc_mark_));
   return file_->Sync();
@@ -706,7 +731,7 @@ Status Database::ScanTable(const std::string& table,
   };
   FAME_RETURN_IF_ERROR(
       mvcc_ != nullptr
-          ? engine_.SnapshotScanPrefix(mvcc_->ReadTs(), prefix,
+          ? engine_.SnapshotScanPrefix(mvcc_->BeginSnapshot(), prefix,
                                        ordered_ != nullptr, row_visitor,
                                        mvcc_.get())
           : engine_.ScanPrefix(prefix, ordered_ != nullptr, row_visitor));

@@ -264,14 +264,18 @@ class EngineCursor {
 /// Concurrency model (the `latch` argument): MVCC readers take no table
 /// locks, so writers stay free to commit during a scan — but a commit can
 /// physically move bytes (heap-page compaction, record relocation, B+-tree
-/// splits up to a root change). Each cursor *step* therefore runs under
-/// the shared side of MvccManager::PhysLatch() while appliers hold it
-/// exclusive per mutation, and Next()/Prev() re-descend from the last
-/// returned key instead of trusting the base cursor's pinned-leaf
-/// position, which a split may have restructured between steps. The latch
-/// spans one step, never the whole scan: writers stall at most one
-/// descent + heap join. Without a latch (single-threaded engines) the
-/// cheap pinned-leaf stepping is kept as-is.
+/// splits up to a root change), and the engine composes the footprint-free
+/// SingleThreaded buffer pool whose frame pin counts are plain integers,
+/// so even two *readers* must not touch the pool concurrently. Each cursor
+/// *step* therefore runs under MvccManager::PhysLatch() held exclusive
+/// (appliers hold it exclusive per mutation too), and Next()/Prev()
+/// re-descend from the last returned key instead of trusting the base
+/// cursor's pinned-leaf position, which a split may have restructured
+/// between steps. The latch spans one step, never the whole scan: a
+/// reader never blocks on a writer *transaction* (there are no row locks
+/// and commits hold the latch only per physical mutation), it only queues
+/// behind one descent + heap join. Without a latch (single-threaded
+/// engines) the cheap pinned-leaf stepping is kept as-is.
 ///
 /// All members are inline and only emitted when odr-used, so products
 /// without the Mvcc sub-feature never reference the mvcc codec objects.
@@ -390,11 +394,14 @@ class SnapshotCursor {
   uint64_t snapshot_ts() const { return ts_; }
 
  private:
-  /// Shared physical latch for one step (no-op without a latch manager).
-  std::shared_lock<std::shared_mutex> LockStep() {
+  /// Physical latch for one step (no-op without a latch manager). Held
+  /// exclusive, not shared: the underlying SingleThreaded buffer pool
+  /// keeps pin counts as plain integers, so concurrent reader steps would
+  /// race on them even though neither moves bytes.
+  std::unique_lock<std::shared_mutex> LockStep() {
     return latch_ != nullptr
-               ? std::shared_lock<std::shared_mutex>(latch_->PhysLatch())
-               : std::shared_lock<std::shared_mutex>();
+               ? std::unique_lock<std::shared_mutex>(latch_->PhysLatch())
+               : std::unique_lock<std::shared_mutex>();
   }
 
   /// Advances past positions with no version visible at ts_; stops on the
@@ -696,15 +703,42 @@ class EngineCore {
   /// Point lookup at snapshot `ts`: NotFound when the key has no visible
   /// version (absent, written after ts, or tombstoned at ts). `latch`
   /// (optional) shields the physical probe+fetch against concurrent
-  /// appliers; the chain copy is resolved outside the latch.
+  /// appliers *and other readers* (exclusive: the SingleThreaded pool's
+  /// pin counts are plain ints); the chain copy is resolved outside the
+  /// latch. The caller must hold `ts` pinned (a registered snapshot) —
+  /// otherwise a concurrent commit's inline prune may retire the version
+  /// visible at ts before the chain copy is taken.
   Status GetVersioned(const Slice& key, uint64_t ts, std::string* value,
                       tx::mvcc::MvccManager* latch = nullptr) {
     std::string chain;
     {
-      std::shared_lock<std::shared_mutex> phys;
+      std::unique_lock<std::shared_mutex> phys;
       if (latch != nullptr) {
-        phys = std::shared_lock<std::shared_mutex>(latch->PhysLatch());
+        phys = std::unique_lock<std::shared_mutex>(latch->PhysLatch());
       }
+      FAME_RETURN_IF_ERROR(Get(key, &chain));
+    }
+    tx::mvcc::Version v;
+    FAME_RETURN_IF_ERROR(tx::mvcc::VisibleAt(Slice(chain), ts, &v));
+    value->assign(v.value.data(), v.value.size());
+    return Status::OK();
+  }
+
+  /// Point lookup at the *current* read timestamp, without registering a
+  /// snapshot: the ts is sampled under the physical latch, and appliers
+  /// hold that latch through apply + inline prune — so between the sample
+  /// and the chain copy no commit can retire the version this read
+  /// resolves. (Sampling ReadTs outside the latch would leave a window in
+  /// which two back-to-back commits advance the watermark past the
+  /// sampled ts and prune its version.) Exclusive for the same pin-count
+  /// reason as SnapshotCursor::LockStep.
+  Status GetVersionedLatest(const Slice& key, std::string* value,
+                            tx::mvcc::MvccManager* mgr) {
+    std::string chain;
+    uint64_t ts = 0;
+    {
+      std::unique_lock<std::shared_mutex> phys(mgr->PhysLatch());
+      ts = mgr->ReadTs();
       FAME_RETURN_IF_ERROR(Get(key, &chain));
     }
     tx::mvcc::Version v;
@@ -729,21 +763,25 @@ class EngineCore {
 
   /// Snapshot visitor adapters — the versioned twins of Scan/RangeScan/
   /// ScanPrefix/ReverseScan: same traversal shape, each chain resolved at
-  /// `ts`, invisible keys skipped, corruption surfaced. All drive a
-  /// SnapshotCursor so a `latch` manager gives them the same per-step
-  /// physical latching and re-descent the handle cursors get; the visitor
-  /// runs outside any pinned mid-mutation state.
+  /// `ts`, invisible keys skipped, corruption surfaced. When `mgr` is
+  /// given, `ts` must be a *registered* snapshot (the caller's
+  /// mgr->BeginSnapshot()); the underlying SnapshotCursor takes ownership
+  /// of the registration and releases it when the scan finishes — pinning
+  /// the GC watermark at or below ts for the whole walk. Without the pin a
+  /// concurrent commit's inline prune (prune_below = Watermark()) could
+  /// retire the very versions the in-flight scan still has to resolve and
+  /// keys would silently vanish mid-scan. `mgr` also supplies the
+  /// per-step physical latching and re-descent the handle cursors get;
+  /// the visitor runs outside any pinned mid-mutation state.
   Status SnapshotScan(uint64_t ts, const KvVisitor& fn,
-                      tx::mvcc::MvccManager* latch = nullptr) {
-    return SnapshotRangeScan(ts, Slice(), Slice(), /*ordered=*/true, fn,
-                             latch);
+                      tx::mvcc::MvccManager* mgr = nullptr) {
+    return SnapshotRangeScan(ts, Slice(), Slice(), /*ordered=*/true, fn, mgr);
   }
 
   Status SnapshotRangeScan(uint64_t ts, const Slice& lo, const Slice& hi,
                            bool ordered, const KvVisitor& fn,
-                           tx::mvcc::MvccManager* latch = nullptr) {
-    FAME_ASSIGN_OR_RETURN(EngineCursor c, NewCursor());
-    SnapshotCursor cur(std::move(c), ts, /*mgr=*/nullptr, latch);
+                           tx::mvcc::MvccManager* mgr = nullptr) {
+    FAME_ASSIGN_OR_RETURN(SnapshotCursor cur, NewSnapshotCursor(ts, mgr));
     if (lo.empty()) {
       cur.SeekToFirst();
     } else {
@@ -761,27 +799,26 @@ class EngineCore {
 
   Status SnapshotScanPrefix(uint64_t ts, const Slice& prefix, bool ordered,
                             const KvVisitor& fn,
-                            tx::mvcc::MvccManager* latch = nullptr) {
+                            tx::mvcc::MvccManager* mgr = nullptr) {
     if (!ordered) {
       return SnapshotRangeScan(
           ts, Slice(), Slice(), false,
           [&](const Slice& k, const Slice& v) {
             return k.starts_with(prefix) ? fn(k, v) : true;
           },
-          latch);
+          mgr);
     }
     std::string hi = PrefixUpperBound(prefix);
-    return SnapshotRangeScan(ts, prefix, Slice(hi), true, fn, latch);
+    return SnapshotRangeScan(ts, prefix, Slice(hi), true, fn, mgr);
   }
 
   Status SnapshotReverseScan(uint64_t ts, const Slice& lo, const Slice& hi,
                              const KvVisitor& fn,
-                             tx::mvcc::MvccManager* latch = nullptr) {
-    FAME_ASSIGN_OR_RETURN(EngineCursor c, NewCursor());
-    if (!c.SupportsReverse()) {
+                             tx::mvcc::MvccManager* mgr = nullptr) {
+    FAME_ASSIGN_OR_RETURN(SnapshotCursor cur, NewSnapshotCursor(ts, mgr));
+    if (!cur.SupportsReverse()) {
       return Status::NotSupported("access method has no reverse iteration");
     }
-    SnapshotCursor cur(std::move(c), ts, /*mgr=*/nullptr, latch);
     if (hi.empty()) {
       cur.SeekToLast();
     } else {

@@ -392,7 +392,7 @@ class StaticEngine : private tx::ApplyTarget {
       // tombstoned at the read timestamp is still absent.
       std::string existing;
       FAME_RETURN_IF_ERROR(
-          core_.GetVersioned(key, mvcc_.mgr.ReadTs(), &existing, &mvcc_.mgr));
+          core_.GetVersionedLatest(key, &existing, &mvcc_.mgr));
     } else {
       uint64_t packed = 0;
       FAME_RETURN_IF_ERROR(index_->Lookup(key, &packed));
@@ -427,7 +427,9 @@ class StaticEngine : private tx::ApplyTarget {
   Status RangeScan(const Slice& lo, const Slice& hi, const KvVisitor& fn) {
     static_assert(kOrdered, "RangeScan requires the B+-Tree alternative");
     if constexpr (kMvcc) {
-      return core_.SnapshotRangeScan(mvcc_.mgr.ReadTs(), lo, hi,
+      // Registered snapshot (not a bare ReadTs): the scan's cursor owns
+      // the registration, pinning the GC watermark for the whole walk.
+      return core_.SnapshotRangeScan(mvcc_.mgr.BeginSnapshot(), lo, hi,
                                      /*ordered=*/true, fn, &mvcc_.mgr);
     } else {
       return core_.RangeScan(lo, hi, /*ordered=*/true, fn);
@@ -440,7 +442,7 @@ class StaticEngine : private tx::ApplyTarget {
     static_assert(kReverse, "feature Access:ReverseScan is not selected");
     static_assert(kOrdered, "ReverseScan requires the B+-Tree alternative");
     if constexpr (kMvcc) {
-      return core_.SnapshotReverseScan(mvcc_.mgr.ReadTs(), lo, hi, fn,
+      return core_.SnapshotReverseScan(mvcc_.mgr.BeginSnapshot(), lo, hi, fn,
                                        &mvcc_.mgr);
     } else {
       return core_.ReverseScan(lo, hi, fn);
@@ -775,9 +777,10 @@ class StaticEngine : private tx::ApplyTarget {
     if (store != "core") return Status::InvalidArgument("unknown store");
     if constexpr (kMvcc) {
       // Legacy (timestamp-less) log records migrate on the fly: each
-      // becomes a fresh head version.
-      return core_.WriteVersion(key, value, /*tombstone=*/false,
-                                mvcc_.mgr.AdvanceClock(),
+      // becomes a fresh head version. Sequenced so the watermark is read
+      // after the tick (unspecified evaluation order otherwise).
+      const uint64_t ts = mvcc_.mgr.AdvanceClock();
+      return core_.WriteVersion(key, value, /*tombstone=*/false, ts,
                                 mvcc_.mgr.Watermark(), &mvcc_.mgr);
     } else {
       return core_.Put(key, value);
@@ -850,9 +853,17 @@ class StaticEngine : private tx::ApplyTarget {
   // access funnels through these.
   Status PutRecord(const Slice& key, const Slice& value) {
     if constexpr (kMvcc) {
-      return core_.WriteVersion(key, value, /*tombstone=*/false,
-                                mvcc_.mgr.AdvanceClock(),
-                                mvcc_.mgr.Watermark(), &mvcc_.mgr);
+      // Auto-commit write through the oracle's conflict table, so MVCC
+      // transactions that read this key before the write conflict at
+      // their commit (no lost update); the ts stays invisible to new
+      // snapshots until the apply lands (FinishCommit).
+      const uint64_t commit_ts =
+          mvcc_.mgr.PrepareAutoCommit("core:" + key.ToString());
+      Status s = core_.WriteVersion(key, value, /*tombstone=*/false,
+                                    commit_ts, mvcc_.mgr.Watermark(),
+                                    &mvcc_.mgr);
+      mvcc_.mgr.FinishCommit(commit_ts);
+      return s;
     } else {
       return core_.Put(key, value);
     }
@@ -862,24 +873,31 @@ class StaticEngine : private tx::ApplyTarget {
       // Preserve Remove's NotFound contract against the *visible* state.
       std::string existing;
       FAME_RETURN_IF_ERROR(
-          core_.GetVersioned(key, mvcc_.mgr.ReadTs(), &existing, &mvcc_.mgr));
-      return core_.WriteVersion(key, Slice(), /*tombstone=*/true,
-                                mvcc_.mgr.AdvanceClock(),
-                                mvcc_.mgr.Watermark(), &mvcc_.mgr);
+          core_.GetVersionedLatest(key, &existing, &mvcc_.mgr));
+      const uint64_t commit_ts =
+          mvcc_.mgr.PrepareAutoCommit("core:" + key.ToString());
+      Status s = core_.WriteVersion(key, Slice(), /*tombstone=*/true,
+                                    commit_ts, mvcc_.mgr.Watermark(),
+                                    &mvcc_.mgr);
+      mvcc_.mgr.FinishCommit(commit_ts);
+      return s;
     } else {
       return core_.Remove(key);
     }
   }
   Status GetRecord(const Slice& key, std::string* value) {
     if constexpr (kMvcc) {
-      return core_.GetVersioned(key, mvcc_.mgr.ReadTs(), value, &mvcc_.mgr);
+      // The read ts is sampled under the physical latch (see
+      // EngineCore::GetVersionedLatest) so concurrent commits cannot prune
+      // the version this read resolves.
+      return core_.GetVersionedLatest(key, value, &mvcc_.mgr);
     } else {
       return core_.Get(key, value);
     }
   }
   Status ScanRecords(const KvVisitor& fn) {
     if constexpr (kMvcc) {
-      return core_.SnapshotScan(mvcc_.mgr.ReadTs(), fn, &mvcc_.mgr);
+      return core_.SnapshotScan(mvcc_.mgr.BeginSnapshot(), fn, &mvcc_.mgr);
     } else {
       return core_.Scan(fn);
     }
@@ -887,8 +905,10 @@ class StaticEngine : private tx::ApplyTarget {
   /// [feature Mvcc] Oracle + GC-mark persistence in the PageFile meta
   /// (instantiated only from the gated paths above).
   Status PersistMvccMeta() {
+    // The raw clock, not the pending-gated read ts: a reopened clock below
+    // any persisted chain head would drop fresh writes as replays.
     FAME_RETURN_IF_ERROR(file_->SetRoot("mvcc.ts", storage::kInvalidPageId,
-                                        mvcc_.mgr.ReadTs()));
+                                        mvcc_.mgr.Clock()));
     FAME_RETURN_IF_ERROR(file_->SetRoot("mvcc.mark", storage::kInvalidPageId,
                                         mvcc_.gc_mark));
     return file_->Sync();

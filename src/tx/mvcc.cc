@@ -144,8 +144,9 @@ Status PruneChain(const Slice& chain, uint64_t watermark, std::string* out,
 
 uint64_t MvccManager::BeginSnapshot() {
   std::lock_guard<std::mutex> l(mu_);
-  ++snapshots_[clock_];
-  return clock_;
+  const uint64_t ts = VisibleTsLocked();
+  ++snapshots_[ts];
+  return ts;
 }
 
 void MvccManager::ReleaseSnapshot(uint64_t ts) {
@@ -166,21 +167,44 @@ StatusOr<uint64_t> MvccManager::PrepareCommit(
     }
   }
   const uint64_t commit_ts = ++clock_;
-  const uint64_t mark = WatermarkLocked();
+  // In flight until FinishCommit: no snapshot forms at or past commit_ts
+  // while its version is not yet in the engine.
+  pending_.insert(commit_ts);
   for (const auto& key : keys) last_commit_[key] = commit_ts;
+  ShedLastCommitLocked(keys.size());
+  return commit_ts;
+}
+
+void MvccManager::FinishCommit(uint64_t commit_ts) {
+  std::lock_guard<std::mutex> l(mu_);
+  pending_.erase(commit_ts);
+}
+
+uint64_t MvccManager::PrepareAutoCommit(const std::string& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  const uint64_t commit_ts = ++clock_;
+  pending_.insert(commit_ts);
+  last_commit_[key] = commit_ts;
+  ShedLastCommitLocked(1);
+  return commit_ts;
+}
+
+void MvccManager::ShedLastCommitLocked(size_t write_set) {
   // Shed entries no live snapshot can conflict with; bounds the table
   // without a background thread. (Cheap: proportional to table size, run
-  // only when it has grown past the write set.)
-  if (last_commit_.size() > keys.size() * 4 + 64) {
-    for (auto it = last_commit_.begin(); it != last_commit_.end();) {
-      if (it->second <= mark) {
-        it = last_commit_.erase(it);
-      } else {
-        ++it;
-      }
+  // only when it has grown past the write set.) Safe because every
+  // conflict check's read_ts is a registered snapshot, and the watermark
+  // never passes a registered snapshot: a shed entry could not have
+  // triggered a conflict anyway.
+  if (last_commit_.size() <= write_set * 4 + 64) return;
+  const uint64_t mark = WatermarkLocked();
+  for (auto it = last_commit_.begin(); it != last_commit_.end();) {
+    if (it->second <= mark) {
+      it = last_commit_.erase(it);
+    } else {
+      ++it;
     }
   }
-  return commit_ts;
 }
 
 uint64_t MvccManager::Watermark() const {
@@ -189,9 +213,20 @@ uint64_t MvccManager::Watermark() const {
 }
 
 uint64_t MvccManager::WatermarkLocked() const {
-  // No active snapshot: everything committed so far is reclaimable.
-  if (snapshots_.empty()) return clock_;
-  return snapshots_.begin()->first;
+  // No active snapshot: everything *visible* so far is reclaimable. The
+  // visible ts (not the raw clock) is the ceiling either way — an
+  // in-flight commit's predecessor version must survive until readers can
+  // see its successor.
+  const uint64_t visible = VisibleTsLocked();
+  if (snapshots_.empty()) return visible;
+  return std::min(snapshots_.begin()->first, visible);
+}
+
+uint64_t MvccManager::VisibleTsLocked() const {
+  // Visibility gates on *applied* commits, not allocated timestamps: a ts
+  // sits in pending_ from PrepareCommit until FinishCommit (engine apply
+  // done), and snapshots stay strictly below the oldest such ts.
+  return pending_.empty() ? clock_ : *pending_.begin() - 1;
 }
 
 uint64_t MvccManager::AdvanceClock() {
@@ -200,6 +235,11 @@ uint64_t MvccManager::AdvanceClock() {
 }
 
 uint64_t MvccManager::ReadTs() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return VisibleTsLocked();
+}
+
+uint64_t MvccManager::Clock() const {
   std::lock_guard<std::mutex> l(mu_);
   return clock_;
 }

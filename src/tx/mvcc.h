@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -105,12 +106,27 @@ class MvccManager : public MvccHooks {
   void ReleaseSnapshot(uint64_t ts) override;
   StatusOr<uint64_t> PrepareCommit(const std::vector<std::string>& keys,
                                    uint64_t read_ts) override;
+  void FinishCommit(uint64_t commit_ts) override;
   uint64_t Watermark() const override;
 
-  /// Next timestamp for auto-commit (non-transactional) writes.
+  /// Auto-commit (non-transactional) write on one key: assigns a commit
+  /// timestamp, records the key in the first-committer-wins table — so an
+  /// MVCC transaction that read the key before this write conflicts at its
+  /// own commit instead of silently overwriting — and registers the ts as
+  /// in-flight until FinishCommit. Never conflicts itself: an auto-commit
+  /// write is not based on a stale snapshot read.
+  uint64_t PrepareAutoCommit(const std::string& key);
+  /// Bare timestamp tick for recovery-time replay of legacy (ts-less) log
+  /// records into a versioned engine — single-threaded, no readers, so it
+  /// skips the pending registration the live write paths need.
   uint64_t AdvanceClock();
-  /// Current read timestamp (sees everything committed so far).
+  /// Current read timestamp: the newest *fully applied* commit (in-flight
+  /// commits gate it — see pending_).
   uint64_t ReadTs() const;
+  /// Raw clock (last allocated commit ts) for meta persistence: chains on
+  /// disk may carry in-flight stamps past ReadTs, and recovery must seed
+  /// the clock at or above every persisted version.
+  uint64_t Clock() const;
   /// Raises the clock to at least `ts` — recovery seeds it from the
   /// persisted checkpoint clock and the max commit ts seen in replay, so
   /// post-restart commits always stamp past every version on disk.
@@ -136,6 +152,12 @@ class MvccManager : public MvccHooks {
   mutable std::shared_mutex phys_mu_;
   mutable std::mutex mu_;
   uint64_t clock_ = 0;
+  /// Commit timestamps allocated (PrepareCommit / PrepareAutoCommit) but
+  /// not yet fully applied to the engine (FinishCommit). Snapshots form
+  /// strictly below the smallest pending ts: a snapshot at or past an
+  /// unapplied commit would miss its version now and find it later — a
+  /// non-repeatable read within one snapshot.
+  std::set<uint64_t> pending_;
   /// Active snapshot timestamps with refcounts (several readers may share
   /// one ts when no commit happened between their Begins).
   std::map<uint64_t, uint32_t> snapshots_;
@@ -149,6 +171,8 @@ class MvccManager : public MvccHooks {
   obs::BasicHistogram<obs::SharedCells> chain_len_;
 
   uint64_t WatermarkLocked() const;
+  uint64_t VisibleTsLocked() const;
+  void ShedLastCommitLocked(size_t write_set);
 };
 
 }  // namespace fame::tx::mvcc

@@ -141,9 +141,11 @@ void TransactionManager::Retire(Transaction* txn) {
   MaybeLock l(state_mu_, group_commit_);
   auto it = active_.find(txn->id_);
   if (it == active_.end() || it->second.get() != txn) return;
-  if (retired_.size() < kMaxRetired) {
-    retired_.push_back(std::move(it->second));
-  }
+  // FIFO: keep the kMaxRetired most recently finished handles alive, so
+  // the common stale double-finish (on a handle finished moments ago)
+  // stays deterministic no matter how many transactions ran before it.
+  if (retired_.size() >= kMaxRetired) retired_.erase(retired_.begin());
+  retired_.push_back(std::move(it->second));
   active_.erase(it);
 }
 
@@ -206,19 +208,11 @@ Status TransactionManager::Recover() {
 
 StatusOr<Transaction*> TransactionManager::Begin() {
   uint64_t id = next_txid_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_ptr<Transaction> txn;
-  {
-    MaybeLock l(state_mu_, group_commit_);
-    if (!retired_.empty()) {
-      txn = std::move(retired_.back());
-      retired_.pop_back();
-    }
-  }
-  if (txn != nullptr) {
-    txn->Reset(id);
-  } else {
-    txn = std::unique_ptr<Transaction>(new Transaction(this, id));
-  }
+  // Always a fresh handle — never a recycled one from retired_. Recycling
+  // would hand a new transaction the address a stale caller may still
+  // hold, and their late Commit/Abort would silently finish the *new*
+  // transaction instead of failing InvalidArgument.
+  auto txn = std::unique_ptr<Transaction>(new Transaction(this, id));
   if (mvcc_ != nullptr) txn->snapshot_ts_ = mvcc_->BeginSnapshot();
   Transaction* ptr = txn.get();
   MaybeLock l(state_mu_, group_commit_);
@@ -234,6 +228,12 @@ Status TransactionManager::Commit(Transaction* txn) {
     return Status::InvalidArgument("transaction already finished");
   }
   Status s = CommitInternal(txn);
+  // Release the visibility gate PrepareCommit installed — the engine apply
+  // is done (or the commit failed and its ts can never surface). From here
+  // new snapshots may form at or past commit_ts_.
+  if (mvcc_ != nullptr && txn->commit_ts_ != 0) {
+    mvcc_->FinishCommit(txn->commit_ts_);
+  }
   // Success or failure, the transaction is finished: locks are released and
   // the handle is dead. A failed commit must not leave its buffered log
   // records behind — a later flush would resurrect them as committed.

@@ -101,8 +101,19 @@ class MvccHooks {
   /// key in `keys` ("store:key" strings) was committed by another
   /// transaction after `read_ts`; Busy otherwise. Winners on disjoint
   /// keys all succeed — this table is the only commit-time coordination.
+  /// The returned ts is *in flight* (invisible to new snapshots) until the
+  /// matching FinishCommit.
   virtual StatusOr<uint64_t> PrepareCommit(
       const std::vector<std::string>& keys, uint64_t read_ts) = 0;
+  /// Marks `commit_ts` fully applied to the engine, releasing the
+  /// visibility gate PrepareCommit installed. Without the gate a snapshot
+  /// beginning between timestamp allocation and engine apply would read
+  /// the old value first and the new value later — a non-repeatable read
+  /// within one snapshot. Called once per PrepareCommit success, whether
+  /// the commit pipeline succeeded or failed (a failed commit's ts can
+  /// never become visible retroactively: recovery replays it or the
+  /// engine has degraded to read-only).
+  virtual void FinishCommit(uint64_t commit_ts) = 0;
   /// Min active snapshot ts (the GC watermark floor).
   virtual uint64_t Watermark() const = 0;
 };
@@ -156,17 +167,6 @@ class Transaction {
     std::string key;
     std::string value;
   };
-
-  /// Reinitializes a recycled handle for a fresh Begin (see
-  /// TransactionManager::retired_).
-  void Reset(uint64_t id) {
-    id_ = id;
-    active_ = true;
-    writes_.clear();
-    latest_.clear();
-    snapshot_ts_ = 0;
-    commit_ts_ = 0;
-  }
 
   TransactionManager* mgr_;
   uint64_t id_;
@@ -325,11 +325,13 @@ class TransactionManager {
   MvccHooks* mvcc_ = nullptr;  // [feature Mvcc] null = 2PL path
   std::atomic<uint64_t> next_txid_{1};
   std::map<uint64_t, std::unique_ptr<Transaction>> active_;
-  /// Finished handles, kept alive (bounded) and recycled by Begin. The
-  /// point is determinism, not reuse: "the pointer stays valid until
+  /// The most recently finished handles, kept alive (bounded FIFO, oldest
+  /// evicted first) purely for determinism: "the pointer stays valid until
   /// Commit/Abort" used to mean a second Commit on a finished handle read
-  /// freed memory — now the handle outlives its transaction and the
-  /// second call fails InvalidArgument cleanly.
+  /// freed memory — now the handle outlives its transaction and the second
+  /// call fails InvalidArgument cleanly. Handles are never *recycled* into
+  /// fresh transactions: Begin always allocates, so a stale pointer can
+  /// never alias a newer transaction and silently commit/abort it.
   std::vector<std::unique_ptr<Transaction>> retired_;
   static constexpr size_t kMaxRetired = 32;
   std::atomic<uint64_t> committed_{0};

@@ -196,6 +196,7 @@ TEST(MvccManagerTest, FirstCommitterWins) {
   uint64_t t2 = mgr.BeginSnapshot();
   auto c1 = mgr.PrepareCommit({"core:k"}, t1);
   ASSERT_TRUE(c1.ok());
+  mgr.FinishCommit(*c1);
   // t2 read below t1's commit and writes the same key: refused.
   auto c2 = mgr.PrepareCommit({"core:k"}, t2);
   EXPECT_TRUE(c2.status().IsBusy());
@@ -204,12 +205,60 @@ TEST(MvccManagerTest, FirstCommitterWins) {
   auto c3 = mgr.PrepareCommit({"core:other"}, t2);
   EXPECT_TRUE(c3.ok());
   EXPECT_GT(*c3, *c1);
+  mgr.FinishCommit(*c3);
   // A fresh snapshot past the winning commit can rewrite the key.
   mgr.ReleaseSnapshot(t1);
   mgr.ReleaseSnapshot(t2);
   uint64_t t3 = mgr.BeginSnapshot();
   EXPECT_TRUE(mgr.PrepareCommit({"core:k"}, t3).ok());
   mgr.ReleaseSnapshot(t3);
+}
+
+// Regression (review): a commit timestamp is *allocated* at PrepareCommit
+// but only becomes visible at FinishCommit, after the engine apply. A
+// snapshot that Begins in between must stay below the in-flight ts —
+// otherwise it would miss the version now and find it later, a
+// non-repeatable read within one snapshot.
+TEST(MvccManagerTest, SnapshotsGateOnAppliedNotAllocatedCommits) {
+  MvccManager mgr;
+  mgr.SeedClock(10);
+  uint64_t t0 = mgr.BeginSnapshot();
+  auto c1 = mgr.PrepareCommit({"core:k"}, t0);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(*c1, 11u);
+  // In-flight: the clock advanced but readers cannot reach the new ts.
+  EXPECT_EQ(mgr.ReadTs(), 10u);
+  EXPECT_EQ(mgr.BeginSnapshot(), 10u);
+  // Overlapping second commit: visibility still pinned below the oldest
+  // unapplied ts, in whichever order the two finish.
+  auto c2 = mgr.PrepareCommit({"core:j"}, t0);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c2, 12u);
+  mgr.FinishCommit(*c2);
+  EXPECT_EQ(mgr.ReadTs(), 10u);  // c1 still pending
+  mgr.FinishCommit(*c1);
+  EXPECT_EQ(mgr.ReadTs(), 12u);  // both applied: fully visible
+  // The watermark never outran the gated read ts while commits were in
+  // flight (checked implicitly: it cannot exceed ReadTs by construction).
+  EXPECT_LE(mgr.Watermark(), mgr.ReadTs());
+  EXPECT_EQ(mgr.Clock(), 12u);  // raw clock for meta persistence
+}
+
+// Regression (review): auto-commit writes must enter the first-committer-
+// wins table, so a transaction that read the key before the auto-commit
+// write conflicts at its own commit instead of silently overwriting.
+TEST(MvccManagerTest, AutoCommitWritesParticipateInConflictDetection) {
+  MvccManager mgr;
+  uint64_t t1 = mgr.BeginSnapshot();
+  uint64_t auto_ts = mgr.PrepareAutoCommit("core:k");
+  EXPECT_GT(auto_ts, t1);
+  mgr.FinishCommit(auto_ts);
+  // The transaction that read below the auto-commit write loses.
+  auto c = mgr.PrepareCommit({"core:k"}, t1);
+  EXPECT_TRUE(c.status().IsBusy());
+  // Disjoint key from the same snapshot still commits.
+  EXPECT_TRUE(mgr.PrepareCommit({"core:other"}, t1).ok());
+  mgr.ReleaseSnapshot(t1);
 }
 
 // ------------------------------------------------------- runtime Database
@@ -366,6 +415,80 @@ TEST(MvccDatabaseTest, WriteConflictSurfacesBusyAndLoserStagesNothing) {
   ASSERT_TRUE((*t4)->Put("core", "b", "4").ok());
   EXPECT_TRUE((*db)->Commit(*t3).ok());
   EXPECT_TRUE((*db)->Commit(*t4).ok());
+}
+
+// Regression (review): an auto-commit Put used to tick the clock without
+// entering the conflict table, so an overlapping transaction that also
+// wrote the key would commit and silently erase the auto-commit write (a
+// classic lost update). The auto-commit path now registers in the
+// first-committer-wins table and the transaction must lose.
+TEST(MvccDatabaseTest, AutoCommitPutConflictsWithOverlappingTransaction) {
+  auto env = osal::NewMemEnv(0);
+  auto db = Database::Open(MvccOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(CommitPut(db->get(), "k", "base").ok());
+
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  // Auto-commit write lands after the transaction's snapshot.
+  ASSERT_TRUE((*db)->Put("k", "auto").ok());
+  ASSERT_TRUE((*txn)->Put("core", "k", "txn").ok());
+  EXPECT_TRUE((*db)->Commit(*txn).IsBusy());
+
+  std::string v;
+  ASSERT_TRUE((*db)->Get("k", &v).ok());
+  EXPECT_EQ(v, "auto");  // the auto-commit write survives
+
+  // Auto-commit Remove participates the same way.
+  auto txn2 = (*db)->Begin();
+  ASSERT_TRUE(txn2.ok());
+  ASSERT_TRUE((*db)->Remove("k").ok());
+  ASSERT_TRUE((*txn2)->Put("core", "k", "txn2").ok());
+  EXPECT_TRUE((*db)->Commit(*txn2).IsBusy());
+  EXPECT_TRUE((*db)->Get("k", &v).IsNotFound());
+}
+
+// Regression (review): range scans used to read at an unregistered
+// timestamp, so a concurrent commit's inline prune could drop the very
+// version the scan was about to visit and keys silently vanished mid-scan.
+// The scan now owns a registered snapshot that pins the GC watermark. The
+// visitor runs without the per-step latch held, so issuing auto-commit
+// writes from inside it is legal and exercises exactly that window.
+TEST(MvccDatabaseTest, RangeScanPinsVersionsAgainstConcurrentPrune) {
+  auto env = osal::NewMemEnv(0);
+  auto db = Database::Open(MvccOptions(env.get()));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (int i = 0; i < 20; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(CommitPut(db->get(), key, "old").ok());
+  }
+
+  std::map<std::string, std::string> seen;
+  bool wrote = false;
+  Status s = (*db)->RangeScan(
+      Slice("k000"), Slice("k999"),
+      [&](const Slice& k, const Slice& v) {
+        seen[k.ToString()] = v.ToString();
+        if (!wrote) {
+          // Overwrite a key the scan has not reached yet — twice, so the
+          // second write's inline prune targets the version our snapshot
+          // still needs.
+          wrote = true;
+          EXPECT_TRUE((*db)->Put("k010", "new1").ok());
+          EXPECT_TRUE((*db)->Put("k010", "new2").ok());
+        }
+        return true;
+      });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(seen.size(), 20u);
+  ASSERT_EQ(seen.count("k010"), 1u);
+  EXPECT_EQ(seen.at("k010"), "old");  // frozen at the scan's snapshot
+
+  // After the scan releases its snapshot the live view sees the new value.
+  std::string v;
+  ASSERT_TRUE((*db)->Get("k010", &v).ok());
+  EXPECT_EQ(v, "new2");
 }
 
 TEST(MvccDatabaseTest, RemoveAndUpdateHonorVisibleState) {

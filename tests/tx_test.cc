@@ -505,14 +505,51 @@ TEST_P(TxMgrTest, DoubleFinishIsDeterministicInvalidArgument) {
     EXPECT_TRUE(mgr_->Abort(t).IsInvalidArgument());
     EXPECT_TRUE(mgr_->Commit(t).IsInvalidArgument());
   }
-  // Ops on a finished handle fail too, and a fresh Begin (which may recycle
-  // the retired handle) works normally.
+  // Ops on a finished handle fail too, and a fresh Begin works normally.
   auto txn = mgr_->Begin();
   ASSERT_TRUE(txn.ok());
   ASSERT_TRUE((*txn)->Put("main", "dk2", "dv2").ok());
   ASSERT_TRUE(mgr_->Commit(*txn).ok());
   EXPECT_TRUE((*txn)->Put("main", "dk3", "dv3").IsAborted());
   EXPECT_TRUE(mgr_->Commit(*txn).IsInvalidArgument());
+}
+
+// Regression (review): Begin used to recycle retired handles, so a caller
+// holding a stale pointer could alias a brand-new transaction — a stale
+// double-Commit would then commit the *new* transaction's writes. Handles
+// are never recycled now: the stale pointer keeps reporting
+// InvalidArgument while the new transaction proceeds untouched.
+TEST_P(TxMgrTest, StaleHandleNeverAliasesANewTransaction) {
+  auto t1 = mgr_->Begin();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE((*t1)->Put("main", "sk", "one").ok());
+  ASSERT_TRUE(mgr_->Commit(*t1).ok());
+
+  auto t2 = mgr_->Begin();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_NE(*t1, *t2);  // a fresh handle, not the retired one
+  ASSERT_TRUE((*t2)->Put("main", "sk", "two").ok());
+
+  // The stale handle must not touch t2's staged writes.
+  EXPECT_TRUE(mgr_->Commit(*t1).IsInvalidArgument());
+  EXPECT_TRUE(mgr_->Abort(*t1).IsInvalidArgument());
+  EXPECT_EQ(target_.data_.at("main:sk"), "one");  // t2 still uncommitted
+
+  ASSERT_TRUE(mgr_->Commit(*t2).ok());
+  EXPECT_EQ(target_.data_.at("main:sk"), "two");
+
+  // Churn well past the retire-pool bound; every handle still in the pool
+  // (the most recent kMaxRetired retirees) keeps answering InvalidArgument
+  // deterministically instead of being handed to a new transaction.
+  std::vector<Transaction*> stale;
+  for (int i = 0; i < 40; ++i) {
+    auto t = mgr_->Begin();
+    ASSERT_TRUE(t.ok());
+    stale.push_back(*t);
+    ASSERT_TRUE(mgr_->Abort(*t).ok());
+  }
+  EXPECT_TRUE(mgr_->Commit(stale[stale.size() - 1]).IsInvalidArgument());
+  EXPECT_TRUE(mgr_->Abort(stale[stale.size() - 20]).IsInvalidArgument());
 }
 
 TEST_P(TxMgrTest, ForceProtocolCheckpointsAtCommit) {
