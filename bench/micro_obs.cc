@@ -1,0 +1,217 @@
+// Micro-benchmarks for the Observability v2 surfaces added with span
+// tracing, EXPLAIN/PROFILE, and the flight recorder:
+//
+//   - trace record cost, disabled (the always-paid gate) and enabled
+//     (the per-event seqlock publish), plus the BeginSpan/EndSpan pair
+//   - Collect() and DumpJson() over a full ring (the `fame trace` path)
+//   - percentile interpolation over a populated base-4 histogram (the
+//     `fame stats` / PROFILE tail-latency lines)
+//   - one flight-recorder dump through the CRC seal (mem env, no disk)
+//   - a SQL point SELECT with and without PROFILE bracketing, so the
+//     instrumentation overhead of the per-operator table is a number
+//
+// Run with --benchmark_out=BENCH_obsv2.json --benchmark_out_format=json to
+// emit the evaluation artifact (the CI bench-smoke step does this).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sql.h"
+#include "obs/obs.h"
+#include "obs/blackbox.h"
+#include "obs/metrics.h"
+#include "obs/serialize.h"
+#include "obs/trace.h"
+#include "osal/env.h"
+
+namespace fame::obs {
+namespace {
+
+#if FAME_OBS_TRACING_ENABLED
+
+// The cost every non-traced build pays per instrumentation point: one
+// relaxed load and a not-taken branch.
+void BM_TraceRecordDisabled(benchmark::State& state) {
+  Trace::Enable(false);
+  for (auto _ : state) {
+    Trace::Record(SpanKind::kPageRead, TraceOp::kNone, 7, 4096);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordDisabled);
+
+// One point event into the per-thread ring: seqlock odd, seven word
+// stores, seqlock even, head bump.
+void BM_TraceRecordEnabled(benchmark::State& state) {
+  Trace::Enable(true);
+  Trace::Reset();
+  for (auto _ : state) {
+    Trace::Record(SpanKind::kPageRead, TraceOp::kNone, 7, 4096);
+  }
+  state.SetItemsProcessed(state.iterations());
+  Trace::Enable(false);
+  Trace::Reset();
+}
+BENCHMARK(BM_TraceRecordEnabled);
+
+// Full span bracket: id allocation, stack push, kOpBegin, kOpEnd, pop.
+void BM_TraceSpanPair(benchmark::State& state) {
+  Trace::Enable(true);
+  Trace::Reset();
+  for (auto _ : state) {
+    ScopedOpSpan span(TraceOp::kGet);
+    benchmark::DoNotOptimize(span.context().span_id);
+  }
+  state.SetItemsProcessed(state.iterations());
+  Trace::Enable(false);
+  Trace::Reset();
+}
+BENCHMARK(BM_TraceSpanPair);
+
+// Merging a wrapped ring: the read-side cost `fame trace` pays.
+void BM_TraceCollect(benchmark::State& state) {
+  Trace::Enable(true);
+  Trace::Reset();
+  for (size_t i = 0; i < 2 * Trace::kRingSlots; ++i) {
+    Trace::Record(SpanKind::kPageWrite, TraceOp::kNone, i, i);
+  }
+  size_t events = 0;
+  for (auto _ : state) {
+    auto collected = Trace::Collect(0);
+    events = collected.size();
+    benchmark::DoNotOptimize(collected.data());
+  }
+  state.counters["events"] = static_cast<double>(events);
+  Trace::Enable(false);
+  Trace::Reset();
+}
+BENCHMARK(BM_TraceCollect);
+
+// Chrome trace-event export of a full ring of spans and flow links.
+void BM_TraceDumpJson(benchmark::State& state) {
+  Trace::Enable(true);
+  Trace::Reset();
+  for (size_t i = 0; i < Trace::kRingSlots / 4; ++i) {
+    ScopedOpSpan span(TraceOp::kGet);
+    Trace::Record(SpanKind::kPageRead, TraceOp::kNone, i, 512);
+    uint64_t batch = Trace::NewId();
+    Trace::RecordWithSpanId(SpanKind::kWalSync, TraceOp::kCommit, batch, 1);
+    Trace::Record(SpanKind::kWalJoin, TraceOp::kCommit, batch, 1);
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string json = Trace::DumpJson(0);
+    bytes = json.size();
+    benchmark::DoNotOptimize(json.data());
+  }
+  state.counters["json_bytes"] = static_cast<double>(bytes);
+  Trace::Enable(false);
+  Trace::Reset();
+}
+BENCHMARK(BM_TraceDumpJson);
+
+#endif  // FAME_OBS_TRACING_ENABLED
+
+#if FAME_OBS_ENABLED
+
+// The p50/p95/p99 interpolation shared by `fame stats` and PROFILE.
+void BM_HistogramPercentile(benchmark::State& state) {
+  HistogramSnapshot h;
+  for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    h.counts[b] = 1 + (b * 37) % 101;
+    h.count += h.counts[b];
+    h.sum += h.counts[b] * (uint64_t{1} << (2 * b));
+  }
+  for (auto _ : state) {
+    uint64_t p50 = HistogramPercentile(h, 0.50);
+    uint64_t p95 = HistogramPercentile(h, 0.95);
+    uint64_t p99 = HistogramPercentile(h, 0.99);
+    benchmark::DoNotOptimize(p50 + p95 + p99);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_HistogramPercentile);
+
+// One flight-recorder dump: render, CRC-seal, tmp-write, rename. The mem
+// env keeps this a pure CPU + copy measurement.
+void BM_BlackBoxPersist(benchmark::State& state) {
+  auto env = osal::NewMemEnv(4 << 20);
+  BlackBox box;
+  for (int i = 0; i < 8; ++i) {
+    box.NoteStatus("bench op " + std::to_string(i), "IO error: bench");
+  }
+  std::string metrics(1024, 'm');
+  for (auto _ : state) {
+    Status s = box.Persist(env.get(), "bench_db", "bench trigger",
+                           "B+-Tree,Linux", metrics);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlackBoxPersist);
+
+core::DbOptions BenchSqlOptions(osal::Env* env) {
+  core::DbOptions opts;
+  opts.features = {"Linux",        "B+-Tree",   "SQL-Engine",
+                   "Optimizer",    "Update",    "BTree-Update",
+                   "Remove",       "BTree-Remove", "Int-Types",
+                   "String-Types", "Observability"};
+  opts.env = env;
+  opts.path = "obs_bench_db";
+  opts.page_size = 4096;
+  opts.buffer_frames = 64;
+  return opts;
+}
+
+// A point SELECT with and without the PROFILE bracket, against the same
+// warm table: the delta is the cost of snapshotting the registry twice
+// and rendering the per-operator table.
+void RunSqlBench(benchmark::State& state, bool profile) {
+  auto env = osal::NewMemEnv(16 << 20);
+  auto db_or = core::Database::Open(BenchSqlOptions(env.get()));
+  if (!db_or.ok()) {
+    state.SkipWithError(db_or.status().ToString().c_str());
+    return;
+  }
+  core::Database* db = db_or->get();
+  auto seed = db->sql()->Execute("CREATE TABLE t (k INT, v TEXT)");
+  if (!seed.ok()) {
+    state.SkipWithError(seed.status().ToString().c_str());
+    return;
+  }
+  for (int i = 0; i < 64; ++i) {
+    auto ins = db->sql()->Execute("INSERT INTO t VALUES (" +
+                                  std::to_string(i) + ", 'row')");
+    if (!ins.ok()) {
+      state.SkipWithError(ins.status().ToString().c_str());
+      return;
+    }
+  }
+  const std::string stmt = profile ? "PROFILE SELECT * FROM t WHERE k = 17"
+                                   : "SELECT * FROM t WHERE k = 17";
+  for (auto _ : state) {
+    auto rs = db->sql()->Execute(stmt);
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SqlPointSelect(benchmark::State& state) { RunSqlBench(state, false); }
+BENCHMARK(BM_SqlPointSelect);
+
+void BM_SqlPointProfile(benchmark::State& state) { RunSqlBench(state, true); }
+BENCHMARK(BM_SqlPointProfile);
+
+#endif  // FAME_OBS_ENABLED
+
+}  // namespace
+}  // namespace fame::obs
+
+BENCHMARK_MAIN();

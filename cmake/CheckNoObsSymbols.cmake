@@ -4,7 +4,12 @@
 #   cmake -DBINARY=<file> -DEXPECT=absent|present -P CheckNoObsSymbols.cmake
 #
 # Greps `nm` output of BINARY for the mangled fame::obs namespace prefix
-# ("4fame3obs" — every symbol defined in the namespace carries it).
+# ("4fame3obs" — every symbol defined in the namespace carries it). This
+# covers the whole subsystem by construction, including the v2 surfaces
+# (Trace span recording / DumpJson, the serializer's Prometheus and
+# percentile helpers, BlackBox and the flight-recorder free functions):
+# they all live in fame::obs, so a new class cannot silently escape the
+# guard without also leaving the namespace.
 # EXPECT=absent fails on any hit: a product built with FAME_OBS_DISABLE
 # must contain no observability code at all. EXPECT=present is the positive
 # control on the obs-enabled twin of the same product, proving the probe

@@ -77,6 +77,12 @@ Status Database::ComposeComponents(const DbOptions& options) {
   // derives it from the configuration like every other feature.)
   FAME_OBS_TRACE(if (HasFeature("Tracing")) obs::Trace::Enable(true);)
 
+  // FlightRecorder feature: the in-memory black box exists from before the
+  // storage stack opens so even open-time degradation leaves breadcrumbs.
+  FAME_OBS(if (HasFeature("FlightRecorder")) {
+    blackbox_ = std::make_unique<obs::BlackBox>();
+  })
+
   FAME_RETURN_IF_ERROR(OpenStorageStack());
 
   // Replication fence: a fenced store (leader or follower) carries its
@@ -227,13 +233,28 @@ Status Database::NoteWrite(Status s) {
   // corruption discovered on a mutation path, are persistent: a half-applied
   // write may be on disk, so stop mutating instead of compounding it. Reads
   // stay up; reopening the database (which re-runs recovery) is the reset.
-  std::unique_lock<std::mutex> l(latch_mu_, std::defer_lock);
-  if (concurrent_) l.lock();
-  if (write_error_.ok() &&
-      (s.code() == StatusCode::kIOError ||
-       s.code() == StatusCode::kCorruption)) {
-    write_error_ = s;
+  FAME_OBS(bool tripped = false;)
+  {
+    std::unique_lock<std::mutex> l(latch_mu_, std::defer_lock);
+    if (concurrent_) l.lock();
+    if (write_error_.ok() &&
+        (s.code() == StatusCode::kIOError ||
+         s.code() == StatusCode::kCorruption)) {
+      write_error_ = s;
+      FAME_OBS(tripped = true;)
+    }
   }
+  // Flight-recorder hooks run after the latch releases: the dump reads the
+  // metrics snapshot and writes a file, neither of which belongs under
+  // latch_mu_.
+  FAME_OBS(if (blackbox_ != nullptr && !s.ok() && !s.IsNotFound()) {
+    blackbox_->NoteStatus("write", s.ToString());
+    if (tripped) {
+      // Best-effort by design — the database just degraded, the dump must
+      // not mask the original failure.
+      (void)DumpBlackBox("read-only latch tripped: " + s.ToString());
+    }
+  })
   return s;
 }
 

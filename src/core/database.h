@@ -19,6 +19,9 @@
 #include "featuremodel/fame_model.h"
 #include "index/index.h"
 #include "obs/metrics.h"
+#if FAME_OBS_ENABLED
+#include "obs/blackbox.h"
+#endif
 #include "osal/allocator.h"
 #include "osal/env.h"
 #include "storage/buffer.h"
@@ -236,6 +239,13 @@ class Database : private tx::ApplyTarget {
   /// Observability feature is selected (GetStats stays available either
   /// way; this is the surface `fame stats` and the NFP feedback hook use).
   StatusOr<obs::MetricsSnapshot> GetMetricsSnapshot() const;
+  /// [feature FlightRecorder] Persists the flight-recorder black box as
+  /// `<path>.blackbox` (trigger, feature set, recent errors, last trace
+  /// spans, metrics snapshot) via an atomic tmp+rename install, decodable
+  /// by `fame_check --blackbox`. Invoked automatically when the read-only
+  /// latch trips and when Repair runs; this is the on-demand entry.
+  /// NotSupported unless the FlightRecorder feature is selected.
+  Status DumpBlackBox(const std::string& reason);
   /// Accumulated findings of incremental Scrub() calls (VerifyIntegrity
   /// uses its own per-call report instead).
   const storage::IntegrityReport& scrub_findings() const {
@@ -370,6 +380,12 @@ class Database : private tx::ApplyTarget {
   /// several threads drive the transaction surface, and torn non-atomic
   /// counter reads in GetStats were exactly the bug this replaces.
   mutable obs::BasicMetricsRegistry<obs::SharedCells> metrics_;
+#if FAME_OBS_ENABLED
+  /// [feature FlightRecorder] Degradation breadcrumbs + dump machinery;
+  /// null without the feature. Dumped when the read-only latch trips,
+  /// when Repair runs, and on demand via DumpBlackBox().
+  std::unique_ptr<obs::BlackBox> blackbox_;
+#endif
 };
 
 }  // namespace fame::core

@@ -271,6 +271,12 @@ Status Database::Repair(storage::IntegrityReport* report) {
   if (txmgr_ != nullptr && txmgr_->active_transactions() > 0) {
     return Status::InvalidArgument("repair with transactions still active");
   }
+  // Flight recorder: repair is a degradation event — snapshot the state
+  // (breadcrumbs, spans, metrics) before the rebuild tears it down.
+  FAME_OBS(if (blackbox_ != nullptr) {
+    (void)DumpBlackBox("repair requested; degraded_status=" +
+                       write_error_.ToString());
+  })
   report->page_size = file_->page_size();
   report->page_count = file_->page_count();
 
@@ -508,5 +514,18 @@ DbStats Database::GetStats() const {
 }
 
 std::string DbStats::ToString() const { return obs::RenderText(metrics); }
+
+Status Database::DumpBlackBox(const std::string& reason) {
+#if FAME_OBS_ENABLED
+  if (blackbox_ == nullptr) {
+    return Status::NotSupported("feature FlightRecorder not selected");
+  }
+  return blackbox_->Persist(env_, options_.path, reason, config_.Signature(),
+                            obs::RenderText(SnapshotMetrics()));
+#else
+  (void)reason;
+  return Status::NotSupported("observability not compiled in");
+#endif
+}
 
 }  // namespace fame::core

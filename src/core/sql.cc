@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 
 #include "common/stringutil.h"
 #include "core/database.h"
+#include "obs/obs.h"
+
+#if FAME_OBS_ENABLED
+#include "obs/metrics.h"
+#include "obs/serialize.h"
+#endif
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 
 namespace fame::core {
 namespace {
@@ -203,7 +213,20 @@ std::string ResultSet::ToTable() const {
 }
 
 StatusOr<ResultSet> SqlEngine::Execute(const std::string& sql) {
-  std::string head = ToLower(std::string(Trim(sql)).substr(0, 6));
+  // Every statement runs under one root span; engine ops, buffer misses,
+  // and WAL syncs it triggers nest beneath it in the trace ring.
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kSql);)
+  StatusOr<ResultSet> result = ExecuteStatement(sql);
+  FAME_OBS_TRACE(span.set_error(!result.ok());)
+  return result;
+}
+
+StatusOr<ResultSet> SqlEngine::ExecuteStatement(const std::string& sql) {
+  std::string trimmed(Trim(sql));
+  std::string head = ToLower(trimmed.substr(0, 7));
+  if (StartsWith(head, "explain")) return ExecExplain(trimmed.substr(7));
+  if (StartsWith(head, "profile")) return ExecProfile(trimmed.substr(7));
+  head = head.substr(0, 6);
   if (StartsWith(head, "create")) return ExecCreate(sql);
   if (StartsWith(head, "insert")) return ExecInsert(sql);
   if (StartsWith(head, "select")) return ExecSelect(sql);
@@ -279,10 +302,34 @@ bool SqlEngine::RowMatches(const Schema& schema, const Row& row,
   return CompareWithOp(row[idx_or.value()].Compare(pred.literal), pred.op);
 }
 
+const SqlEngine::Predicate* SqlEngine::PickAccess(
+    const Schema& schema, const std::vector<Predicate>& preds) {
+  const Predicate* access = nullptr;
+  for (const Predicate& p : preds) {
+    auto idx_or = schema.ColumnIndex(p.column);
+    if (!idx_or.ok() || idx_or.value() != 0) continue;
+    if (p.op == "=") return &p;
+    if (access == nullptr &&
+        (p.op == "<" || p.op == "<=" || p.op == ">" || p.op == ">=")) {
+      access = &p;
+    }
+  }
+  return access;
+}
+
+std::string SqlEngine::PlanName(const Predicate* access) const {
+  if (access != nullptr && access->op == "=") return "point-lookup";
+  if (access != nullptr && optimizer_ && db_->HasFeature("B+-Tree")) {
+    return "index-range";
+  }
+  return "full-scan";
+}
+
 Status SqlEngine::CollectRows(const std::string& table,
                               const std::vector<Predicate>& preds,
                               std::optional<uint64_t> limit,
-                              std::vector<Row>* rows, std::string* plan) {
+                              std::vector<Row>* rows, std::string* plan,
+                              ScanStats* stats) {
   FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(table));
   for (const Predicate& p : preds) {
     FAME_RETURN_IF_ERROR(schema.ColumnIndex(p.column).status());
@@ -294,39 +341,36 @@ Status SqlEngine::CollectRows(const std::string& table,
   // Pick the access-path predicate: an equality on the primary key beats a
   // range on the primary key beats nothing. The remaining predicates
   // filter.
-  const Predicate* access = nullptr;
-  for (const Predicate& p : preds) {
-    auto idx_or = schema.ColumnIndex(p.column);
-    if (!idx_or.ok() || idx_or.value() != 0) continue;
-    if (p.op == "=") {
-      access = &p;
-      break;
-    }
-    if (access == nullptr &&
-        (p.op == "<" || p.op == "<=" || p.op == ">" || p.op == ">=")) {
-      access = &p;
-    }
-  }
+  const Predicate* access = PickAccess(schema, preds);
+  *plan = PlanName(access);
   auto matches_all = [&](const Row& row) {
     for (const Predicate& p : preds) {
       if (!RowMatches(schema, row, p)) return false;
     }
     return true;
   };
+  auto scanned = [&] {
+    if (stats != nullptr) ++stats->rows_scanned;
+  };
+  auto matched = [&] {
+    if (stats != nullptr) ++stats->rows_matched;
+  };
 
-  if (access != nullptr && access->op == "=") {
-    *plan = "point-lookup";
+  if (*plan == "point-lookup") {
     auto row_or = db_->FindRow(table, access->literal);
     if (row_or.ok()) {
-      if (matches_all(row_or.value())) rows->push_back(std::move(row_or).value());
+      scanned();
+      if (matches_all(row_or.value())) {
+        matched();
+        rows->push_back(std::move(row_or).value());
+      }
     } else if (!row_or.status().IsNotFound()) {
       return row_or.status();
     }
     return Status::OK();
   }
-  if (access != nullptr && optimizer_ && db_->HasFeature("B+-Tree")) {
+  if (*plan == "index-range") {
     // Rule-based optimizer: range predicate on the key -> index range.
-    *plan = "index-range";
     std::string prefix = "t:" + table + "\x01";
     std::string lo = prefix, hi = prefix;
     hi.back() = '\x02';
@@ -347,9 +391,11 @@ Status SqlEngine::CollectRows(const std::string& table,
       SnapshotCursor snap = std::move(snap_or).value();
       for (snap.Seek(lo); snap.Valid(); snap.Next()) {
         if (snap.key().compare(Slice(hi)) >= 0) break;
+        scanned();
         auto row_or = DecodeRow(snap.value());
         if (!row_or.ok()) return row_or.status();
         if (matches_all(row_or.value())) {
+          matched();
           rows->push_back(std::move(row_or).value());
           if (done()) break;
         }
@@ -361,12 +407,14 @@ Status SqlEngine::CollectRows(const std::string& table,
     EngineCursor cur = std::move(cur_or).value();
     for (cur.Seek(lo); cur.Valid(); cur.Next()) {
       if (cur.key().compare(Slice(hi)) >= 0) break;
+      scanned();
       Slice value = cur.value();
       if (!cur.Valid()) break;  // heap join failed; status() has the error
       auto row_or = DecodeRow(value);
       if (!row_or.ok()) return row_or.status();
       // The bounds over-approximate; re-check every predicate exactly.
       if (matches_all(row_or.value())) {
+        matched();
         rows->push_back(std::move(row_or).value());
         if (done()) break;
       }
@@ -376,7 +424,9 @@ Status SqlEngine::CollectRows(const std::string& table,
   // Fallback: scan everything, filter; the limit still stops the
   // underlying cursor early once enough rows matched.
   FAME_RETURN_IF_ERROR(db_->ScanTable(table, [&](const Row& row) {
+    scanned();
     if (matches_all(row)) {
+      matched();
       rows->push_back(row);
       if (done()) return false;
     }
@@ -385,27 +435,21 @@ Status SqlEngine::CollectRows(const std::string& table,
   return Status::OK();
 }
 
-StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
+Status SqlEngine::ParseSelect(const std::string& sql, SelectQuery* q) {
   auto toks_or = Lex(sql);
   FAME_RETURN_IF_ERROR(toks_or.status());
   Tokens t(std::move(toks_or).value());
   if (!t.ConsumeWord("SELECT")) return Status::ParseError("expected SELECT");
 
   // Projection list: '*', plain columns, or aggregates (not mixed).
-  struct Aggregate {
-    std::string fn;      // COUNT SUM AVG MIN MAX
-    std::string column;  // "*" only for COUNT
-  };
-  std::vector<std::string> wanted;
-  std::vector<Aggregate> aggregates;
-  bool star = t.ConsumePunct("*");
-  if (!star) {
+  q->star = t.ConsumePunct("*");
+  if (!q->star) {
     while (true) {
       FAME_ASSIGN_OR_RETURN(std::string word, t.ExpectWord());
       if ((word == "COUNT" || word == "SUM" || word == "AVG" ||
            word == "MIN" || word == "MAX") &&
           t.ConsumePunct("(")) {
-        Aggregate agg;
+        SelectQuery::Aggregate agg;
         agg.fn = word;
         if (t.ConsumePunct("*")) {
           if (word != "COUNT") {
@@ -416,21 +460,20 @@ StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
           FAME_ASSIGN_OR_RETURN(agg.column, t.ExpectWord());
         }
         FAME_RETURN_IF_ERROR(t.ExpectPunct(")"));
-        aggregates.push_back(std::move(agg));
+        q->aggregates.push_back(std::move(agg));
       } else {
-        wanted.push_back(word);
+        q->wanted.push_back(word);
       }
       if (!t.ConsumePunct(",")) break;
     }
-    if (!aggregates.empty() && !wanted.empty()) {
+    if (!q->aggregates.empty() && !q->wanted.empty()) {
       return Status::ParseError(
           "mixing aggregates and plain columns is not supported");
     }
   }
   if (!t.ConsumeWord("FROM")) return Status::ParseError("expected FROM");
-  FAME_ASSIGN_OR_RETURN(std::string table, t.ExpectWord());
+  FAME_ASSIGN_OR_RETURN(q->table, t.ExpectWord());
 
-  std::vector<Predicate> preds;
   if (t.ConsumeWord("WHERE")) {
     do {
       Predicate p;
@@ -441,51 +484,78 @@ StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
       }
       p.op = t.Next().text;
       FAME_ASSIGN_OR_RETURN(p.literal, t.ExpectLiteral());
-      preds.push_back(std::move(p));
+      q->preds.push_back(std::move(p));
     } while (t.ConsumeWord("AND"));
   }
-  std::optional<std::string> order_by;
-  bool order_desc = false;
   if (t.ConsumeWord("ORDER")) {
     if (!t.ConsumeWord("BY")) return Status::ParseError("expected BY");
     FAME_ASSIGN_OR_RETURN(std::string col, t.ExpectWord());
-    order_by = col;
+    q->order_by = col;
     if (t.ConsumeWord("DESC")) {
-      order_desc = true;
+      q->order_desc = true;
     } else {
       t.ConsumeWord("ASC");
     }
   }
-  std::optional<uint64_t> limit;
   if (t.ConsumeWord("LIMIT")) {
     if (t.Peek().kind != SqlToken::kNumber) {
       return Status::ParseError("expected LIMIT count");
     }
-    limit = std::strtoull(t.Next().text.c_str(), nullptr, 10);
+    q->limit = std::strtoull(t.Next().text.c_str(), nullptr, 10);
   }
   if (!t.AtEnd()) {
     return Status::ParseError("trailing input after SELECT: '" +
                               t.Peek().text + "'");
   }
+  return Status::OK();
+}
 
-  FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(table));
+StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
+  SelectQuery q;
+  FAME_RETURN_IF_ERROR(ParseSelect(sql, &q));
+  return RunSelect(q, nullptr);
+}
+
+namespace {
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - since)
+                                   .count());
+}
+}  // namespace
+
+StatusOr<ResultSet> SqlEngine::RunSelect(const SelectQuery& q,
+                                         SelectProfile* prof) {
+  FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(q.table));
   ResultSet rs;
   std::vector<Row> rows;
   // LIMIT pushes down into collection (stopping the cursor after k matches)
   // only when collection order is output order; ORDER BY and aggregates
   // need the full row set first.
   std::optional<uint64_t> pushdown;
-  if (!order_by.has_value() && aggregates.empty()) pushdown = limit;
-  FAME_RETURN_IF_ERROR(CollectRows(table, preds, pushdown, &rows, &rs.plan));
+  if (!q.order_by.has_value() && q.aggregates.empty()) pushdown = q.limit;
+  ScanStats scan_stats;
+  auto mark = [&](const std::string& name, uint64_t rows_in, uint64_t rows_out,
+                  std::chrono::steady_clock::time_point since) {
+    if (prof != nullptr) {
+      prof->ops.push_back({name, rows_in, rows_out, ElapsedNs(since)});
+    }
+  };
+  auto scan_t0 = std::chrono::steady_clock::now();
+  FAME_RETURN_IF_ERROR(CollectRows(q.table, q.preds, pushdown, &rows, &rs.plan,
+                                   prof != nullptr ? &scan_stats : nullptr));
+  mark("scan:" + rs.plan, scan_stats.rows_scanned, rows.size(), scan_t0);
 
-  if (!aggregates.empty()) {
+  if (!q.aggregates.empty()) {
     // Aggregation consumes the row set; ORDER BY / LIMIT are meaningless
     // on the single result row and therefore rejected.
-    if (order_by.has_value() || limit.has_value()) {
+    if (q.order_by.has_value() || q.limit.has_value()) {
       return Status::ParseError("ORDER BY / LIMIT on an aggregate query");
     }
+    auto agg_t0 = std::chrono::steady_clock::now();
+    const uint64_t agg_in = rows.size();
     Row out_row;
-    for (const Aggregate& agg : aggregates) {
+    for (const SelectQuery::Aggregate& agg : q.aggregates) {
       rs.columns.push_back(agg.fn + "(" + agg.column + ")");
       if (agg.fn == "COUNT" && agg.column == "*") {
         out_row.push_back(Value::Int(static_cast<int64_t>(rows.size())));
@@ -526,26 +596,36 @@ StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
       }
     }
     rs.rows.push_back(std::move(out_row));
+    mark("aggregate", agg_in, 1, agg_t0);
     return rs;
   }
 
-  if (order_by.has_value()) {
-    FAME_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(*order_by));
+  if (q.order_by.has_value()) {
+    auto sort_t0 = std::chrono::steady_clock::now();
+    FAME_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(*q.order_by));
+    const bool order_desc = q.order_desc;
     std::stable_sort(rows.begin(), rows.end(),
                      [col, order_desc](const Row& a, const Row& b) {
                        int cmp = a[col].Compare(b[col]);
                        return order_desc ? cmp > 0 : cmp < 0;
                      });
+    mark("sort", rows.size(), rows.size(), sort_t0);
   }
-  if (limit.has_value() && rows.size() > *limit) rows.resize(*limit);
+  if (q.limit.has_value()) {
+    auto limit_t0 = std::chrono::steady_clock::now();
+    const uint64_t limit_in = rows.size();
+    if (rows.size() > *q.limit) rows.resize(*q.limit);
+    mark("limit", limit_in, rows.size(), limit_t0);
+  }
 
   // Projection.
+  auto proj_t0 = std::chrono::steady_clock::now();
   std::vector<size_t> proj;
-  if (star) {
+  if (q.star) {
     for (size_t i = 0; i < schema.columns.size(); ++i) proj.push_back(i);
     for (const Column& c : schema.columns) rs.columns.push_back(c.name);
   } else {
-    for (const std::string& name : wanted) {
+    for (const std::string& name : q.wanted) {
       FAME_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
       proj.push_back(idx);
       rs.columns.push_back(name);
@@ -557,7 +637,148 @@ StatusOr<ResultSet> SqlEngine::ExecSelect(const std::string& sql) {
     for (size_t idx : proj) out.push_back(row[idx]);
     rs.rows.push_back(std::move(out));
   }
+  mark("project", rs.rows.size(), rs.rows.size(), proj_t0);
   return rs;
+}
+
+StatusOr<ResultSet> SqlEngine::ExecExplain(const std::string& select_sql) {
+  SelectQuery q;
+  FAME_RETURN_IF_ERROR(ParseSelect(select_sql, &q));
+  // Validate every referenced column against the schema so EXPLAIN rejects
+  // exactly what execution would — it just never touches the data.
+  FAME_ASSIGN_OR_RETURN(Schema schema, db_->GetSchema(q.table));
+  for (const Predicate& p : q.preds) {
+    FAME_RETURN_IF_ERROR(schema.ColumnIndex(p.column).status());
+  }
+  if (q.order_by.has_value()) {
+    FAME_RETURN_IF_ERROR(schema.ColumnIndex(*q.order_by).status());
+  }
+  for (const std::string& name : q.wanted) {
+    FAME_RETURN_IF_ERROR(schema.ColumnIndex(name).status());
+  }
+  for (const SelectQuery::Aggregate& agg : q.aggregates) {
+    if (agg.column != "*") {
+      FAME_RETURN_IF_ERROR(schema.ColumnIndex(agg.column).status());
+    }
+  }
+
+  const Predicate* access = PickAccess(schema, q.preds);
+  ResultSet rs;
+  rs.plan = PlanName(access);
+  rs.columns = {"step", "detail"};
+  auto step = [&rs](const std::string& name, const std::string& detail) {
+    rs.rows.push_back({Value::String(name), Value::String(detail)});
+  };
+  std::string access_detail = rs.plan + " on " + q.table;
+  if (access != nullptr && rs.plan != "full-scan") {
+    access_detail +=
+        " (" + access->column + " " + access->op + " " +
+        access->literal.ToDisplay() + ")";
+  }
+  step("access", access_detail);
+  if (!q.preds.empty()) {
+    step("filter", std::to_string(q.preds.size()) +
+                       " predicate(s) re-checked on every row");
+  }
+  if (!q.aggregates.empty()) {
+    std::string aggs;
+    for (const SelectQuery::Aggregate& agg : q.aggregates) {
+      if (!aggs.empty()) aggs += ", ";
+      aggs += agg.fn + "(" + agg.column + ")";
+    }
+    step("aggregate", aggs);
+  }
+  if (q.order_by.has_value()) {
+    step("sort", "ORDER BY " + *q.order_by + (q.order_desc ? " DESC" : " ASC"));
+  }
+  if (q.limit.has_value()) {
+    const bool pushdown = !q.order_by.has_value() && q.aggregates.empty();
+    step("limit", std::to_string(*q.limit) +
+                      (pushdown ? " (pushed down into the scan)"
+                                : " (applied after sort/aggregate)"));
+  }
+  if (q.star) {
+    step("project", "*");
+  } else if (!q.wanted.empty()) {
+    std::string cols;
+    for (const std::string& name : q.wanted) {
+      if (!cols.empty()) cols += ", ";
+      cols += name;
+    }
+    step("project", cols);
+  }
+  return rs;
+}
+
+StatusOr<ResultSet> SqlEngine::ExecProfile(const std::string& select_sql) {
+#if FAME_OBS_ENABLED
+  SelectQuery q;
+  FAME_RETURN_IF_ERROR(ParseSelect(select_sql, &q));
+  // The IO columns are registry deltas around execution: the profile is
+  // read from the same counters `fame stats` reports, not a parallel
+  // bookkeeping path that could drift.
+  auto before_or = db_->GetMetricsSnapshot();
+  FAME_RETURN_IF_ERROR(before_or.status());
+  const obs::MetricsSnapshot before = std::move(before_or).value();
+
+  SelectProfile prof;
+  auto total_t0 = std::chrono::steady_clock::now();
+  auto run_or = RunSelect(q, &prof);
+  const uint64_t total_ns = ElapsedNs(total_t0);
+  FAME_RETURN_IF_ERROR(run_or.status());
+
+  auto after_or = db_->GetMetricsSnapshot();
+  FAME_RETURN_IF_ERROR(after_or.status());
+  const obs::MetricsSnapshot after = std::move(after_or).value();
+  const uint64_t page_reads = after.file_reads - before.file_reads;
+  const uint64_t buffer_hits = after.buffer_hits - before.buffer_hits;
+
+  ResultSet rs;
+  rs.plan = run_or.value().plan;
+  rs.columns = {"operator", "rows_in",    "rows_out",
+                "wall_ns",  "page_reads", "buffer_hits"};
+  for (const SelectProfile::OpStat& op : prof.ops) {
+    // All data access happens in the scan operator; the statement's IO
+    // deltas are attributed there, the in-memory operators get nulls.
+    const bool is_scan = StartsWith(op.name, "scan:");
+    rs.rows.push_back({Value::String(op.name),
+                       Value::Int(static_cast<int64_t>(op.rows_in)),
+                       Value::Int(static_cast<int64_t>(op.rows_out)),
+                       Value::Int(static_cast<int64_t>(op.wall_ns)),
+                       is_scan ? Value::Int(static_cast<int64_t>(page_reads))
+                               : Value(),
+                       is_scan ? Value::Int(static_cast<int64_t>(buffer_hits))
+                               : Value()});
+  }
+  rs.rows.push_back({Value::String("total"), Value(),
+                     Value::Int(static_cast<int64_t>(run_or.value().rows.size())),
+                     Value::Int(static_cast<int64_t>(total_ns)),
+                     Value::Int(static_cast<int64_t>(page_reads)),
+                     Value::Int(static_cast<int64_t>(buffer_hits))});
+
+  // Page-read latency percentiles for this statement, interpolated from
+  // the delta of the base-4 IO histogram (shared with `fame stats`).
+  obs::HistogramSnapshot read_ns;
+  for (size_t b = 0; b < obs::HistogramSnapshot::kBuckets; ++b) {
+    read_ns.counts[b] = after.file_read_ns.counts[b] - before.file_read_ns.counts[b];
+  }
+  read_ns.count = after.file_read_ns.count - before.file_read_ns.count;
+  read_ns.sum = after.file_read_ns.sum - before.file_read_ns.sum;
+  if (read_ns.count > 0) {
+    for (double quantile : {0.50, 0.95, 0.99}) {
+      const uint64_t ns = obs::HistogramPercentile(read_ns, quantile);
+      rs.rows.push_back(
+          {Value::String("io.read.p" +
+                         std::to_string(static_cast<int>(quantile * 100))),
+           Value(), Value(), Value::Int(static_cast<int64_t>(ns)), Value(),
+           Value()});
+    }
+  }
+  return rs;
+#else
+  (void)select_sql;
+  return Status::NotSupported("PROFILE requires observability support");
+#endif
 }
 
 StatusOr<ResultSet> SqlEngine::ExecUpdate(const std::string& sql) {

@@ -8,10 +8,19 @@
 //       [ORDER BY col [DESC]] [LIMIT n]
 //   UPDATE t SET col = lit [, ...] [WHERE ...]
 //   DELETE FROM t [WHERE ...]
+//   EXPLAIN SELECT ...                           -- plan only, no execution
+//   PROFILE SELECT ...                           -- execute + operator stats
 //
 // op: = != < <= > >=. Literals: integers, 'strings', x'hex blobs', NULL.
 // agg: COUNT(*) | COUNT(col) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
 // (aggregates and plain columns cannot be mixed in one SELECT).
+//
+// EXPLAIN renders the chosen access method and pushdowns as a step/detail
+// table without touching any data. PROFILE runs the query and returns a
+// per-operator table (rows in/out, wall ns, page reads, buffer hits) whose
+// IO columns are metric-registry deltas taken around execution; it needs
+// the Observability feature and the result rows are the profile, not the
+// query output.
 //
 // Planning: equality on the primary key becomes a point lookup; with the
 // Optimizer feature, range predicates on the primary key become B+-tree
@@ -59,11 +68,67 @@ class SqlEngine {
     Value literal;
   };
 
+  /// A parsed SELECT: everything the planner and executor need, with no
+  /// reference to the token stream. EXPLAIN plans one without executing;
+  /// PROFILE executes one with per-operator accounting.
+  struct SelectQuery {
+    struct Aggregate {
+      std::string fn;      // COUNT SUM AVG MIN MAX
+      std::string column;  // "*" only for COUNT
+    };
+    std::string table;
+    bool star = false;
+    std::vector<std::string> wanted;
+    std::vector<Aggregate> aggregates;
+    std::vector<Predicate> preds;
+    std::optional<std::string> order_by;
+    bool order_desc = false;
+    std::optional<uint64_t> limit;
+  };
+
+  /// Rows examined/matched by the access operator (PROFILE accounting).
+  struct ScanStats {
+    uint64_t rows_scanned = 0;  // rows the access path examined
+    uint64_t rows_matched = 0;  // rows surviving the residual filter
+  };
+
+  /// Per-operator runtime counters collected by RunSelect for PROFILE.
+  struct SelectProfile {
+    struct OpStat {
+      std::string name;
+      uint64_t rows_in = 0;
+      uint64_t rows_out = 0;
+      uint64_t wall_ns = 0;
+    };
+    std::vector<OpStat> ops;
+  };
+
+  StatusOr<ResultSet> ExecuteStatement(const std::string& sql);
   StatusOr<ResultSet> ExecCreate(const std::string& sql);
   StatusOr<ResultSet> ExecInsert(const std::string& sql);
   StatusOr<ResultSet> ExecSelect(const std::string& sql);
   StatusOr<ResultSet> ExecUpdate(const std::string& sql);
   StatusOr<ResultSet> ExecDelete(const std::string& sql);
+  StatusOr<ResultSet> ExecExplain(const std::string& select_sql);
+  StatusOr<ResultSet> ExecProfile(const std::string& select_sql);
+
+  /// Parses a full SELECT statement (starting at the SELECT keyword) into
+  /// `q`. Pure parse: no schema validation, no data access.
+  Status ParseSelect(const std::string& sql, SelectQuery* q);
+
+  /// Executes a parsed SELECT. With `prof`, fills one OpStat per operator
+  /// actually run (scan, aggregate, sort, limit, project).
+  StatusOr<ResultSet> RunSelect(const SelectQuery& q, SelectProfile* prof);
+
+  /// The access-path chooser shared by execution and EXPLAIN: an equality
+  /// on the primary key beats a range on the primary key beats nothing.
+  static const Predicate* PickAccess(const Schema& schema,
+                                     const std::vector<Predicate>& preds);
+
+  /// Plan name for a chosen access predicate, honouring the optimizer
+  /// gate and the selected access-method feature — the exact rule
+  /// CollectRows executes, so EXPLAIN can never drift from reality.
+  std::string PlanName(const Predicate* access) const;
 
   /// Collects rows of `table` matching all of `preds`, using the best
   /// access path for the most selective primary-key predicate and
@@ -71,10 +136,11 @@ class SqlEngine {
   /// that many rows matched — the underlying cursor is abandoned early, so
   /// LIMIT-k queries do O(k) work (callers must only pass a limit when
   /// collection order is output order: no ORDER BY, no aggregates).
+  /// `stats` (optional) receives access-operator row counts for PROFILE.
   Status CollectRows(const std::string& table,
                      const std::vector<Predicate>& preds,
                      std::optional<uint64_t> limit, std::vector<Row>* rows,
-                     std::string* plan);
+                     std::string* plan, ScanStats* stats = nullptr);
 
   static bool RowMatches(const Schema& schema, const Row& row,
                          const Predicate& pred);

@@ -54,7 +54,8 @@ feature FAME-DBMS {
     optional Repair       // [extension] quarantine, salvage, rebuild
     optional Concurrency  // [extension] sharded buffer pool + group commit
     optional Observability {  // [extension] metrics registry + fame stats
-      optional Tracing        // [extension] per-thread operation trace ring
+      optional Tracing        // [extension] causal span trees + trace ring
+      optional FlightRecorder // [extension] crash black box (<db>.blackbox)
     }
     optional Backup {     // [extension] segmented WAL + online hot backup
       optional Pitr       // [extension] segment archiving + point-in-time restore
@@ -180,18 +181,18 @@ nfp binary_size 471866
 /// obs_off_probe compiles with FAME_OBS_DISABLE (and doubles as the
 /// zero-overhead proof — the nm test greps it for fame::obs symbols),
 /// obs_probe selects Observability (registry + instrumentation + snapshot
-/// assembly), obs_trace_probe selects Tracing on top (ring buffer, span
-/// recording, text exporter). The deltas are what each feature costs a
-/// product; remeasure after material changes to src/obs/ or the
-/// instrumentation sites.
+/// assembly), obs_trace_probe selects Tracing on top (seqlock ring
+/// buffer, span-tree recording, text + Chrome JSON exporters). The deltas
+/// are what each feature costs a product; remeasure after material
+/// changes to src/obs/ or the instrumentation sites.
 inline constexpr const char kFameObservabilityNfpSeed[] = R"nfp(product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Put,String-Types
-nfp binary_size 367523
+nfp binary_size 335796
 
 product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Observability,Put,String-Types
-nfp binary_size 410061
+nfp binary_size 379250
 
 product API,B+-Tree,BTree-Search,Dynamic,Get,Int-Types,LRU,Linux,Observability,Put,String-Types,Tracing
-nfp binary_size 423344
+nfp binary_size 398032
 
 )nfp";
 

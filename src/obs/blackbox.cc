@@ -1,0 +1,121 @@
+#include "obs/blackbox.h"
+
+#include <sstream>
+
+#include "common/crc32.h"
+#include "obs/metrics.h"  // NowNanos
+#include "obs/obs.h"
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
+
+namespace fame::obs {
+namespace {
+
+// On-disk framing: magic, body length, CRC seal, text body. The decoder
+// rejects anything that does not frame exactly — a torn tmp file that
+// somehow got installed, a truncated copy, bit rot.
+constexpr char kMagic[8] = {'F', 'A', 'M', 'E', 'B', 'B', 'X', '1'};
+constexpr size_t kHeaderSize = 16;
+
+void PutFixed32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+void BlackBox::NoteStatus(const std::string& where,
+                          const std::string& status_text) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (errors_.size() >= kMaxErrors) {
+    errors_.pop_front();
+    ++dropped_;
+  }
+  errors_.push_back(where + ": " + status_text);
+}
+
+std::string BlackBox::RenderErrors() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::ostringstream os;
+  if (dropped_ > 0) os << "dropped=" << dropped_ << "\n";
+  for (const std::string& e : errors_) os << e << "\n";
+  return os.str();
+}
+
+Status BlackBox::Persist(osal::Env* env, const std::string& db_path,
+                         const std::string& trigger,
+                         const std::string& features,
+                         const std::string& metrics_text) const {
+  return PersistBlackBox(env, db_path, trigger, features, RenderErrors(),
+                         metrics_text);
+}
+
+std::string BlackBoxPath(const std::string& db_path) {
+  return db_path + ".blackbox";
+}
+
+Status PersistBlackBox(osal::Env* env, const std::string& db_path,
+                       const std::string& trigger,
+                       const std::string& features,
+                       const std::string& errors_text,
+                       const std::string& metrics_text) {
+  std::ostringstream body;
+  body << "[trigger]\n" << trigger << "\n";
+  body << "t_ns=" << NowNanos() << "\n";
+  body << "[features]\n" << features << "\n";
+  body << "[errors]\n" << errors_text;
+  body << "[spans]\n";
+#if FAME_OBS_TRACING_ENABLED
+  if (Trace::enabled()) body << Trace::Dump(BlackBox::kSpanLastN);
+#endif
+  body << "[metrics]\n" << metrics_text;
+
+  const std::string text = body.str();
+  std::string blob(kMagic, sizeof(kMagic));
+  PutFixed32(&blob, static_cast<uint32_t>(text.size()));
+  PutFixed32(&blob, Crc32(text.data(), text.size()));
+  blob += text;
+
+  // Atomic install: a crash anywhere before the rename leaves the previous
+  // black box (if any) untouched; the rename replaces it in one step.
+  const std::string final_path = BlackBoxPath(db_path);
+  const std::string tmp_path = final_path + ".tmp";
+  auto f_or = env->OpenFile(tmp_path, /*create=*/true);
+  FAME_RETURN_IF_ERROR(f_or.status());
+  std::unique_ptr<osal::RandomAccessFile> f = std::move(f_or).value();
+  FAME_RETURN_IF_ERROR(f->Truncate(0));
+  FAME_RETURN_IF_ERROR(f->Write(0, blob));
+  FAME_RETURN_IF_ERROR(f->Sync());
+  f.reset();
+  return env->RenameFile(tmp_path, final_path);
+}
+
+StatusOr<std::string> ReadBlackBox(osal::Env* env, const std::string& file) {
+  std::string blob;
+  FAME_RETURN_IF_ERROR(env->ReadFileToString(file, &blob));
+  if (blob.size() < kHeaderSize ||
+      blob.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a black box file: " + file);
+  }
+  const uint32_t len = GetFixed32(blob.data() + 8);
+  const uint32_t crc = GetFixed32(blob.data() + 12);
+  if (blob.size() != kHeaderSize + len) {
+    return Status::Corruption("black box length mismatch: " + file);
+  }
+  if (Crc32(blob.data() + kHeaderSize, len) != crc) {
+    return Status::Corruption("black box CRC mismatch: " + file);
+  }
+  return blob.substr(kHeaderSize);
+}
+
+}  // namespace fame::obs

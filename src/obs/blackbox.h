@@ -1,0 +1,80 @@
+// Flight recorder — the FlightRecorder child feature of Observability.
+//
+// A bounded in-memory black box: components note non-OK outcomes as they
+// happen (a small ring, oldest dropped), and on a degradation event — the
+// read-only latch tripping, a replication divergence, a repair, an
+// operator asking — the database persists everything a post-mortem needs
+// beside itself as `<db>.blackbox`: what tripped, the selected feature
+// set, the recent error breadcrumbs, the last N trace spans, and a full
+// metrics snapshot.
+//
+// Crash safety: the dump is written to `<db>.blackbox.tmp`, synced, then
+// installed with Env::RenameFile — the same atomic-install idiom the
+// checkpoint uses. A crash mid-dump leaves the previous black box intact;
+// a torn or corrupt file is rejected by the CRC seal at decode time.
+// `fame_check --blackbox` decodes the artifact without opening (or even
+// having) the database.
+//
+// Compile-time gate: the whole translation unit lives in fame::obs and is
+// only referenced behind FAME_OBS(...) — deselected products link none of
+// it (enforced by the nm guard on obs_off_probe).
+#ifndef FAME_OBS_BLACKBOX_H_
+#define FAME_OBS_BLACKBOX_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "osal/env.h"
+
+namespace fame::obs {
+
+/// In-memory degradation breadcrumbs plus the dump trigger.
+class BlackBox {
+ public:
+  /// Recent non-OK statuses retained (oldest dropped beyond this).
+  static constexpr size_t kMaxErrors = 32;
+  /// Trace spans snapshotted into each dump.
+  static constexpr size_t kSpanLastN = 128;
+
+  /// Notes a non-OK outcome: `where` names the call site ("put",
+  /// "wal.sync"), `status_text` the Status. Thread-safe, bounded.
+  void NoteStatus(const std::string& where, const std::string& status_text);
+
+  /// The breadcrumb ring rendered one line per entry, newest last; a
+  /// leading `dropped=N` line accounts for overflow.
+  std::string RenderErrors() const;
+
+  /// Persists `<db_path>.blackbox` with this box's breadcrumbs plus the
+  /// caller-supplied context. Atomic install; see file comment.
+  Status Persist(osal::Env* env, const std::string& db_path,
+                 const std::string& trigger, const std::string& features,
+                 const std::string& metrics_text) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> errors_;
+  uint64_t dropped_ = 0;
+};
+
+/// Where a database's black box lives: `<db_path>.blackbox`.
+std::string BlackBoxPath(const std::string& db_path);
+
+/// One-shot writer behind BlackBox::Persist, also used by components that
+/// have no Database handle (a replication follower marking divergence).
+/// Snapshots the last BlackBox::kSpanLastN trace spans itself when tracing
+/// is compiled in and enabled.
+Status PersistBlackBox(osal::Env* env, const std::string& db_path,
+                       const std::string& trigger,
+                       const std::string& features,
+                       const std::string& errors_text,
+                       const std::string& metrics_text);
+
+/// Decodes a persisted black box: verifies the magic, length, and CRC
+/// seal, and returns the text body. Corruption for torn/damaged files.
+StatusOr<std::string> ReadBlackBox(osal::Env* env, const std::string& file);
+
+}  // namespace fame::obs
+
+#endif  // FAME_OBS_BLACKBOX_H_

@@ -1,6 +1,7 @@
 #include "obs/serialize.h"
 
 #include <cinttypes>
+#include <set>
 #include <sstream>
 
 namespace fame::obs {
@@ -17,36 +18,110 @@ void HistoLine(std::string* out, const char* k, const HistogramSnapshot& h) {
 
 // --- Prometheus helpers -------------------------------------------------
 
-void PromCounter(std::ostringstream& os, const char* name, uint64_t v,
-                 const char* labels = nullptr) {
-  os << "fame_" << name;
-  if (labels != nullptr) os << "{" << labels << "}";
-  os << " " << v << "\n";
+/// Output stream plus the set of metric families already announced, so
+/// `# HELP` / `# TYPE` appear exactly once per family even when a family
+/// emits one sample per label set (buffer shards, allocators).
+struct PromState {
+  std::ostringstream os;
+  std::set<std::string> announced;
+};
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes.
+std::string PromEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
-void PromHisto(std::ostringstream& os, const char* name,
-               const HistogramSnapshot& h) {
+std::string PromLabel(const char* key, const std::string& value) {
+  return std::string(key) + "=\"" + PromEscape(value) + "\"";
+}
+
+void PromAnnounce(PromState& st, const char* name, const char* type) {
+  if (!st.announced.insert(name).second) return;
+  std::string help(name);
+  for (char& c : help) {
+    if (c == '_') c = ' ';
+  }
+  st.os << "# HELP fame_" << name << " " << help << "\n";
+  st.os << "# TYPE fame_" << name << " " << type << "\n";
+}
+
+void PromCounter(PromState& st, const char* name, uint64_t v,
+                 const std::string& labels = "") {
+  const std::string n(name);
+  const bool counter =
+      n.size() >= 6 && n.compare(n.size() - 6, 6, "_total") == 0;
+  PromAnnounce(st, name, counter ? "counter" : "gauge");
+  st.os << "fame_" << name;
+  if (!labels.empty()) st.os << "{" << labels << "}";
+  st.os << " " << v << "\n";
+}
+
+void PromHisto(PromState& st, const char* name, const HistogramSnapshot& h) {
+  PromAnnounce(st, name, "histogram");
   uint64_t cumulative = 0;
   for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
     cumulative += h.counts[b];
-    os << "fame_" << name << "_bucket{le=\"";
+    st.os << "fame_" << name << "_bucket{le=\"";
     if (b + 1 == HistogramSnapshot::kBuckets) {
-      os << "+Inf";
+      st.os << "+Inf";
     } else {
-      os << HistogramSnapshot::BucketBound(b);
+      st.os << HistogramSnapshot::BucketBound(b);
     }
-    os << "\"} " << cumulative << "\n";
+    st.os << "\"} " << cumulative << "\n";
   }
-  os << "fame_" << name << "_sum " << h.sum << "\n";
-  os << "fame_" << name << "_count " << h.count << "\n";
+  st.os << "fame_" << name << "_sum " << h.sum << "\n";
+  st.os << "fame_" << name << "_count " << h.count << "\n";
 }
 
 }  // namespace
 
+uint64_t HistogramPercentile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile (1-based, rounded up so p100 lands on
+  // the last sample), then a linear interpolation inside the base-4 bucket
+  // that holds it — log-spaced buckets, linear within.
+  const double rank = q * static_cast<double>(h.count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    if (h.counts[b] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += h.counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const uint64_t lo = b == 0 ? 0 : (uint64_t{1} << (2 * b));
+    const uint64_t hi = HistogramSnapshot::BucketBound(b) + 1;
+    const double frac = (rank - static_cast<double>(before)) /
+                        static_cast<double>(h.counts[b]);
+    return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+  }
+  return HistogramSnapshot::BucketBound(HistogramSnapshot::kBuckets - 1);
+}
+
 std::string RenderHistogram(const HistogramSnapshot& h) {
   std::ostringstream os;
   os << "count=" << h.count << " sum=" << h.sum << " mean="
-     << static_cast<uint64_t>(h.Mean()) << " buckets=[";
+     << static_cast<uint64_t>(h.Mean());
+  if (h.count > 0) {
+    os << " p50=" << HistogramPercentile(h, 0.50)
+       << " p95=" << HistogramPercentile(h, 0.95)
+       << " p99=" << HistogramPercentile(h, 0.99);
+  }
+  os << " buckets=[";
   bool first = true;
   for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
     if (h.counts[b] == 0) continue;
@@ -179,96 +254,94 @@ std::string RenderText(const MetricsSnapshot& m) {
 }
 
 std::string RenderPrometheus(const MetricsSnapshot& m) {
-  std::ostringstream os;
-  PromCounter(os, "buffer_hits_total", m.buffer_hits);
-  PromCounter(os, "buffer_misses_total", m.buffer_misses);
-  PromCounter(os, "buffer_evictions_total", m.buffer_evictions);
-  PromCounter(os, "buffer_writebacks_total", m.buffer_writebacks);
+  PromState st;
+  PromCounter(st, "buffer_hits_total", m.buffer_hits);
+  PromCounter(st, "buffer_misses_total", m.buffer_misses);
+  PromCounter(st, "buffer_evictions_total", m.buffer_evictions);
+  PromCounter(st, "buffer_writebacks_total", m.buffer_writebacks);
   for (size_t i = 0; i < m.buffer_shards.size(); ++i) {
     const BufferShardSnapshot& s = m.buffer_shards[i];
-    std::string label = "shard=\"" + std::to_string(i) + "\"";
-    PromCounter(os, "buffer_shard_hits_total", s.hits, label.c_str());
-    PromCounter(os, "buffer_shard_misses_total", s.misses, label.c_str());
-    PromCounter(os, "buffer_shard_evictions_total", s.evictions,
-                label.c_str());
-    PromCounter(os, "buffer_shard_writebacks_total", s.dirty_writebacks,
-                label.c_str());
+    std::string label = PromLabel("shard", std::to_string(i));
+    PromCounter(st, "buffer_shard_hits_total", s.hits, label);
+    PromCounter(st, "buffer_shard_misses_total", s.misses, label);
+    PromCounter(st, "buffer_shard_evictions_total", s.evictions, label);
+    PromCounter(st, "buffer_shard_writebacks_total", s.dirty_writebacks,
+                label);
   }
-  PromCounter(os, "file_reads_total", m.file_reads);
-  PromCounter(os, "file_writes_total", m.file_writes);
-  PromCounter(os, "file_syncs_total", m.file_syncs);
-  PromCounter(os, "file_read_bytes_total", m.file_read_bytes);
-  PromCounter(os, "file_write_bytes_total", m.file_write_bytes);
-  PromHisto(os, "file_read_latency_ns", m.file_read_ns);
-  PromHisto(os, "file_write_latency_ns", m.file_write_ns);
-  PromHisto(os, "file_sync_latency_ns", m.file_sync_ns);
-  PromCounter(os, "wal_appends_total", m.wal_appends);
-  PromCounter(os, "wal_fsyncs_total", m.wal_syncs);
-  PromCounter(os, "wal_batches_total", m.wal_batches);
-  PromCounter(os, "wal_batched_bytes_total", m.wal_batched_bytes);
-  PromHisto(os, "wal_batch_records", m.wal_batch_records);
+  PromCounter(st, "file_reads_total", m.file_reads);
+  PromCounter(st, "file_writes_total", m.file_writes);
+  PromCounter(st, "file_syncs_total", m.file_syncs);
+  PromCounter(st, "file_read_bytes_total", m.file_read_bytes);
+  PromCounter(st, "file_write_bytes_total", m.file_write_bytes);
+  PromHisto(st, "file_read_latency_ns", m.file_read_ns);
+  PromHisto(st, "file_write_latency_ns", m.file_write_ns);
+  PromHisto(st, "file_sync_latency_ns", m.file_sync_ns);
+  PromCounter(st, "wal_appends_total", m.wal_appends);
+  PromCounter(st, "wal_fsyncs_total", m.wal_syncs);
+  PromCounter(st, "wal_batches_total", m.wal_batches);
+  PromCounter(st, "wal_batched_bytes_total", m.wal_batched_bytes);
+  PromHisto(st, "wal_batch_records", m.wal_batch_records);
   if (m.wal_segmented) {
-    PromCounter(os, "wal_segments", m.wal_segments);
-    PromCounter(os, "wal_rotations_total", m.wal_rotations);
-    PromCounter(os, "wal_recycled_total", m.wal_recycled);
-    PromCounter(os, "wal_archived_total", m.wal_archived);
-    PromCounter(os, "wal_archive_lag_bytes", m.wal_archive_lag_bytes);
-    PromCounter(os, "wal_archive_stalled", m.wal_archive_stalled ? 1 : 0);
-    PromCounter(os, "wal_retained_lsn", m.wal_retained_lsn);
-    PromCounter(os, "backup_runs_total", m.backup_runs);
-    PromCounter(os, "backup_bytes_total", m.backup_bytes);
+    PromCounter(st, "wal_segments", m.wal_segments);
+    PromCounter(st, "wal_rotations_total", m.wal_rotations);
+    PromCounter(st, "wal_recycled_total", m.wal_recycled);
+    PromCounter(st, "wal_archived_total", m.wal_archived);
+    PromCounter(st, "wal_archive_lag_bytes", m.wal_archive_lag_bytes);
+    PromCounter(st, "wal_archive_stalled", m.wal_archive_stalled ? 1 : 0);
+    PromCounter(st, "wal_retained_lsn", m.wal_retained_lsn);
+    PromCounter(st, "backup_runs_total", m.backup_runs);
+    PromCounter(st, "backup_bytes_total", m.backup_bytes);
   }
   if (m.repl) {
-    PromCounter(os, "repl_follower", m.repl_follower ? 1 : 0);
-    PromCounter(os, "repl_epoch", m.repl_epoch);
-    PromCounter(os, "repl_lag_bytes", m.repl_lag_bytes);
-    PromCounter(os, "repl_lag_epochs", m.repl_lag_epochs);
+    PromCounter(st, "repl_follower", m.repl_follower ? 1 : 0);
+    PromCounter(st, "repl_epoch", m.repl_epoch);
+    PromCounter(st, "repl_lag_bytes", m.repl_lag_bytes);
+    PromCounter(st, "repl_lag_epochs", m.repl_lag_epochs);
   }
   if (m.mvcc) {
-    PromCounter(os, "mvcc_active_snapshots", m.mvcc_active_snapshots);
-    PromCounter(os, "mvcc_conflicts_total", m.mvcc_conflicts);
-    PromCounter(os, "mvcc_gc_runs_total", m.mvcc_gc_runs);
-    PromCounter(os, "mvcc_gc_pruned_total", m.mvcc_gc_pruned);
-    PromCounter(os, "mvcc_watermark", m.mvcc_watermark);
-    PromCounter(os, "mvcc_commit_clock", m.mvcc_clock);
-    PromHisto(os, "mvcc_chain_len", m.mvcc_chain_len);
+    PromCounter(st, "mvcc_active_snapshots", m.mvcc_active_snapshots);
+    PromCounter(st, "mvcc_conflicts_total", m.mvcc_conflicts);
+    PromCounter(st, "mvcc_gc_runs_total", m.mvcc_gc_runs);
+    PromCounter(st, "mvcc_gc_pruned_total", m.mvcc_gc_pruned);
+    PromCounter(st, "mvcc_watermark", m.mvcc_watermark);
+    PromCounter(st, "mvcc_commit_clock", m.mvcc_clock);
+    PromHisto(st, "mvcc_chain_len", m.mvcc_chain_len);
   }
-  PromCounter(os, "btree_splits_total", m.btree_splits);
-  PromCounter(os, "btree_merges_total", m.btree_merges);
-  PromCounter(os, "btree_descents_total", m.btree_descents);
-  PromCounter(os, "cursor_seeks_total", m.cursor_seeks);
-  PromCounter(os, "cursor_rows_scanned_total", m.cursor_rows_scanned);
-  PromCounter(os, "cursor_rows_returned_total", m.cursor_rows_returned);
-  PromCounter(os, "cursors_open", m.cursors_open);
-  PromCounter(os, "engine_gets_total", m.engine_gets);
-  PromCounter(os, "engine_puts_total", m.engine_puts);
-  PromCounter(os, "engine_removes_total", m.engine_removes);
-  PromCounter(os, "engine_scans_total", m.engine_scans);
-  PromHisto(os, "get_latency_ns", m.get_ns);
-  PromHisto(os, "put_latency_ns", m.put_ns);
-  PromHisto(os, "remove_latency_ns", m.remove_ns);
-  PromHisto(os, "scan_latency_ns", m.scan_ns);
-  PromCounter(os, "verify_runs_total", m.verify_runs);
-  PromCounter(os, "repair_runs_total", m.repair_runs);
-  PromCounter(os, "pages_quarantined_total", m.pages_quarantined);
-  PromCounter(os, "records_salvaged_total", m.records_salvaged);
-  PromCounter(os, "scrub_pages_checked_total", m.scrub_pages_checked);
-  PromCounter(os, "scrub_corrupt_pages_total", m.scrub_corrupt_pages);
-  PromCounter(os, "scrub_cycles_total", m.scrub_cycles);
-  PromCounter(os, "lost_meta_writes_total", m.lost_meta_writes);
-  PromCounter(os, "lost_page_writebacks_total", m.lost_page_writebacks);
-  PromCounter(os, "committed_txns_total", m.committed_txns);
-  PromCounter(os, "aborted_txns_total", m.aborted_txns);
+  PromCounter(st, "btree_splits_total", m.btree_splits);
+  PromCounter(st, "btree_merges_total", m.btree_merges);
+  PromCounter(st, "btree_descents_total", m.btree_descents);
+  PromCounter(st, "cursor_seeks_total", m.cursor_seeks);
+  PromCounter(st, "cursor_rows_scanned_total", m.cursor_rows_scanned);
+  PromCounter(st, "cursor_rows_returned_total", m.cursor_rows_returned);
+  PromCounter(st, "cursors_open", m.cursors_open);
+  PromCounter(st, "engine_gets_total", m.engine_gets);
+  PromCounter(st, "engine_puts_total", m.engine_puts);
+  PromCounter(st, "engine_removes_total", m.engine_removes);
+  PromCounter(st, "engine_scans_total", m.engine_scans);
+  PromHisto(st, "get_latency_ns", m.get_ns);
+  PromHisto(st, "put_latency_ns", m.put_ns);
+  PromHisto(st, "remove_latency_ns", m.remove_ns);
+  PromHisto(st, "scan_latency_ns", m.scan_ns);
+  PromCounter(st, "verify_runs_total", m.verify_runs);
+  PromCounter(st, "repair_runs_total", m.repair_runs);
+  PromCounter(st, "pages_quarantined_total", m.pages_quarantined);
+  PromCounter(st, "records_salvaged_total", m.records_salvaged);
+  PromCounter(st, "scrub_pages_checked_total", m.scrub_pages_checked);
+  PromCounter(st, "scrub_corrupt_pages_total", m.scrub_corrupt_pages);
+  PromCounter(st, "scrub_cycles_total", m.scrub_cycles);
+  PromCounter(st, "lost_meta_writes_total", m.lost_meta_writes);
+  PromCounter(st, "lost_page_writebacks_total", m.lost_page_writebacks);
+  PromCounter(st, "committed_txns_total", m.committed_txns);
+  PromCounter(st, "aborted_txns_total", m.aborted_txns);
   if (!m.alloc_name.empty()) {
-    std::string label = "allocator=\"" + m.alloc_name + "\"";
-    PromCounter(os, "alloc_live_bytes", m.alloc_live_bytes, label.c_str());
-    PromCounter(os, "alloc_peak_bytes", m.alloc_peak_bytes, label.c_str());
-    PromCounter(os, "alloc_remote_frees_total", m.alloc_remote_frees,
-                label.c_str());
+    std::string label = PromLabel("allocator", m.alloc_name);
+    PromCounter(st, "alloc_live_bytes", m.alloc_live_bytes, label);
+    PromCounter(st, "alloc_peak_bytes", m.alloc_peak_bytes, label);
+    PromCounter(st, "alloc_remote_frees_total", m.alloc_remote_frees, label);
   }
-  PromCounter(os, "page_count", m.page_count);
-  PromCounter(os, "read_only", m.read_only ? 1 : 0);
-  return os.str();
+  PromCounter(st, "page_count", m.page_count);
+  PromCounter(st, "read_only", m.read_only ? 1 : 0);
+  return st.os.str();
 }
 
 }  // namespace fame::obs

@@ -18,13 +18,20 @@ namespace fame::obs {
 std::string RenderText(const MetricsSnapshot& m);
 
 /// Prometheus text exposition format (counters, gauges, and cumulative
-/// `_bucket{le=...}` histogram series, `fame_` prefix).
+/// `_bucket{le=...}` histogram series, `fame_` prefix). Each metric
+/// family is announced once with `# HELP` / `# TYPE` lines and label
+/// values are escaped per the exposition spec.
 std::string RenderPrometheus(const MetricsSnapshot& m);
 
 /// One-line histogram rendering used by RenderText (exposed for tests):
-/// `count=N sum=S mean=M buckets=[le<bound>:count ...]` with zero buckets
-/// elided.
+/// `count=N sum=S mean=M p50=.. p95=.. p99=.. buckets=[le<bound>:count
+/// ...]` with zero buckets elided and percentiles only when samples exist.
 std::string RenderHistogram(const HistogramSnapshot& h);
+
+/// Quantile estimate (q in [0,1]) from the base-4 buckets: finds the
+/// bucket holding the rank and interpolates linearly inside it — exact at
+/// bucket boundaries, monotone in q, and never outside the bucket range.
+uint64_t HistogramPercentile(const HistogramSnapshot& h, double q);
 
 }  // namespace fame::obs
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iomanip>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -11,11 +12,21 @@
 namespace fame::obs {
 namespace {
 
-// One event is four atomic words so a reader racing a ring wrap reads
-// stale-or-new words, never a torn word: w0 = timestamp, w1 = packed
-// kind/op/error/thread, w2/w3 = payload.
-struct AtomicEvent {
-  std::atomic<uint64_t> w[4];
+// One event is eight atomic words. seq is a per-slot seqlock: the owner
+// thread bumps it odd before the payload stores and even (release) after;
+// Collect rejects odd or changed sequences, so a reader racing a ring
+// wrap drops the in-flight slot instead of decoding words mixed from two
+// writes. Payload: t_ns, packed kind/op/error/thread, a, b, and the
+// causal ids. 64 bytes — one cache line per slot.
+struct alignas(64) AtomicEvent {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> t_ns{0};
+  std::atomic<uint64_t> meta{0};
+  std::atomic<uint64_t> a{0};
+  std::atomic<uint64_t> b{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_id{0};
 };
 
 struct Ring {
@@ -37,6 +48,7 @@ Registry& registry() {
 }
 
 std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_next_id{1};
 
 Ring* ThisThreadRing() {
   thread_local Ring* ring = [] {
@@ -51,22 +63,51 @@ Ring* ThisThreadRing() {
   return ring;
 }
 
+// This thread's active-span stack. Depth counts logical nesting (it may
+// exceed kMaxSpanDepth); only the first kMaxSpanDepth spans are tracked,
+// deeper work parents to the deepest tracked one.
+struct ThreadSpans {
+  uint64_t trace_id = 0;
+  uint64_t stack[Trace::kMaxSpanDepth] = {};
+  uint32_t depth = 0;
+};
+
+thread_local ThreadSpans t_spans;
+
+uint64_t TopSpan() {
+  if (t_spans.depth == 0) return 0;
+  uint32_t top = std::min<uint32_t>(
+      t_spans.depth, static_cast<uint32_t>(Trace::kMaxSpanDepth));
+  return t_spans.stack[top - 1];
+}
+
 uint64_t PackMeta(SpanKind kind, TraceOp op, bool error, uint32_t thread) {
   return static_cast<uint64_t>(kind) | (static_cast<uint64_t>(op) << 8) |
          (static_cast<uint64_t>(error ? 1 : 0) << 16) |
          (static_cast<uint64_t>(thread) << 32);
 }
 
-TraceEvent Decode(uint64_t t, uint64_t meta, uint64_t a, uint64_t b) {
-  TraceEvent e;
-  e.t_ns = t;
-  e.kind = static_cast<SpanKind>(meta & 0xff);
-  e.op = static_cast<TraceOp>((meta >> 8) & 0xff);
-  e.error = ((meta >> 16) & 1) != 0;
-  e.thread = static_cast<uint32_t>(meta >> 32);
-  e.a = a;
-  e.b = b;
-  return e;
+// Seqlock writer: odd → payload → even. The release fence orders the odd
+// store before the payload stores; the final release store publishes the
+// payload to readers that re-check the sequence.
+void WriteSlot(SpanKind kind, TraceOp op, uint64_t a, uint64_t b, bool error,
+               uint64_t trace, uint64_t span, uint64_t parent) {
+  Ring* ring = ThisThreadRing();
+  uint64_t h = ring->head.load(std::memory_order_relaxed);
+  AtomicEvent& slot = ring->slots[h % Trace::kRingSlots];
+  uint64_t s = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.t_ns.store(NowNanos(), std::memory_order_relaxed);
+  slot.meta.store(PackMeta(kind, op, error, ring->thread_id),
+                  std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.trace_id.store(trace, std::memory_order_relaxed);
+  slot.span_id.store(span, std::memory_order_relaxed);
+  slot.parent_id.store(parent, std::memory_order_relaxed);
+  slot.seq.store(s + 2, std::memory_order_release);
+  ring->head.store(h + 1, std::memory_order_release);
 }
 
 }  // namespace
@@ -77,18 +118,59 @@ void Trace::Enable(bool on) {
 
 bool Trace::enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
+uint64_t Trace::NewId() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanContext Trace::Current() {
+  SpanContext c;
+  if (t_spans.depth > 0) {
+    c.trace_id = t_spans.trace_id;
+    c.span_id = TopSpan();
+  }
+  return c;
+}
+
+void Trace::BeginSpan(TraceOp op, SpanBinding* out) {
+  *out = SpanBinding{};
+  if (!enabled()) return;
+  ThreadSpans& ts = t_spans;
+  out->parent_id = TopSpan();
+  if (ts.depth == 0) ts.trace_id = NewId();
+  out->trace_id = ts.trace_id;
+  out->span_id = NewId();
+  if (ts.depth < kMaxSpanDepth) ts.stack[ts.depth] = out->span_id;
+  ++ts.depth;
+  out->active = true;
+  WriteSlot(SpanKind::kOpBegin, op, 0, 0, false, out->trace_id, out->span_id,
+            out->parent_id);
+}
+
+void Trace::EndSpan(TraceOp op, const SpanBinding& binding, bool error) {
+  if (!binding.active) return;
+  if (enabled()) {
+    WriteSlot(SpanKind::kOpEnd, op, 0, 0, error, binding.trace_id,
+              binding.span_id, binding.parent_id);
+  }
+  ThreadSpans& ts = t_spans;
+  if (ts.depth > 0) {
+    --ts.depth;
+    if (ts.depth == 0) ts.trace_id = 0;
+  }
+}
+
 void Trace::Record(SpanKind kind, TraceOp op, uint64_t a, uint64_t b,
                    bool error) {
   if (!enabled()) return;
-  Ring* ring = ThisThreadRing();
-  uint64_t h = ring->head.load(std::memory_order_relaxed);
-  AtomicEvent& slot = ring->slots[h % kRingSlots];
-  slot.w[0].store(NowNanos(), std::memory_order_relaxed);
-  slot.w[1].store(PackMeta(kind, op, error, ring->thread_id),
-                  std::memory_order_relaxed);
-  slot.w[2].store(a, std::memory_order_relaxed);
-  slot.w[3].store(b, std::memory_order_relaxed);
-  ring->head.store(h + 1, std::memory_order_release);
+  WriteSlot(kind, op, a, b, error,
+            t_spans.depth > 0 ? t_spans.trace_id : 0, 0, TopSpan());
+}
+
+void Trace::RecordWithSpanId(SpanKind kind, TraceOp op, uint64_t span_id,
+                             uint64_t a, uint64_t b, bool error) {
+  if (!enabled()) return;
+  WriteSlot(kind, op, a, b, error,
+            t_spans.depth > 0 ? t_spans.trace_id : 0, span_id, TopSpan());
 }
 
 std::vector<TraceEvent> Trace::Collect(size_t last_n) {
@@ -100,10 +182,23 @@ std::vector<TraceEvent> Trace::Collect(size_t last_n) {
     uint64_t n = std::min<uint64_t>(h, kRingSlots);
     for (uint64_t i = h - n; i < h; ++i) {
       const AtomicEvent& slot = ring->slots[i % kRingSlots];
-      TraceEvent e = Decode(slot.w[0].load(std::memory_order_relaxed),
-                            slot.w[1].load(std::memory_order_relaxed),
-                            slot.w[2].load(std::memory_order_relaxed),
-                            slot.w[3].load(std::memory_order_relaxed));
+      // Seqlock reader: reject in-flight (odd) or rewritten slots.
+      uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if ((s1 & 1) != 0) continue;
+      TraceEvent e;
+      e.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+      uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      e.a = slot.a.load(std::memory_order_relaxed);
+      e.b = slot.b.load(std::memory_order_relaxed);
+      e.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      e.span_id = slot.span_id.load(std::memory_order_relaxed);
+      e.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+      e.kind = static_cast<SpanKind>(meta & 0xff);
+      e.op = static_cast<TraceOp>((meta >> 8) & 0xff);
+      e.error = ((meta >> 16) & 1) != 0;
+      e.thread = static_cast<uint32_t>(meta >> 32);
       if (e.kind != SpanKind{}) out.push_back(e);
     }
   }
@@ -131,6 +226,8 @@ const char* SpanKindName(SpanKind kind) {
       return "wal.sync";
     case SpanKind::kCursor:
       return "cursor";
+    case SpanKind::kWalJoin:
+      return "wal.join";
   }
   return "?";
 }
@@ -159,6 +256,12 @@ const char* TraceOpName(TraceOp op) {
       return "verify";
     case TraceOp::kRepair:
       return "repair";
+    case TraceOp::kSql:
+      return "sql";
+    case TraceOp::kReplShip:
+      return "repl-ship";
+    case TraceOp::kReplApply:
+      return "repl-apply";
   }
   return "?";
 }
@@ -184,10 +287,101 @@ std::string Trace::Dump(size_t last_n) {
       case SpanKind::kCursor:
         os << " scanned=" << e.a << " returned=" << e.b;
         break;
+      case SpanKind::kWalJoin:
+        os << " batch_span=" << e.a << " batch_records=" << e.b;
+        break;
+    }
+    if (e.trace_id != 0 || e.span_id != 0) {
+      os << " trace=" << e.trace_id << " span=" << e.span_id
+         << " parent=" << e.parent_id;
     }
     if (e.error) os << " ERROR";
     os << "\n";
   }
+  return os.str();
+}
+
+namespace {
+
+const char* KindCategory(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kOpBegin:
+    case SpanKind::kOpEnd:
+      return "op";
+    case SpanKind::kPageRead:
+    case SpanKind::kPageWrite:
+      return "io";
+    case SpanKind::kWalSync:
+    case SpanKind::kWalJoin:
+      return "wal";
+    case SpanKind::kCursor:
+      return "cursor";
+  }
+  return "op";
+}
+
+// ts is microseconds (double) in the Chrome trace-event format; emit the
+// nanosecond remainder as a fraction so ordering survives the export.
+void JsonTs(std::ostream& os, uint64_t t_ns) {
+  os << (t_ns / 1000) << "." << std::setw(3) << std::setfill('0')
+     << (t_ns % 1000) << std::setfill(' ');
+}
+
+void JsonEventHead(std::ostream& os, const char* name, const char* cat,
+                   const char* ph, const TraceEvent& e) {
+  os << "{\"name\":\"" << name << "\",\"cat\":\"" << cat << "\",\"ph\":\""
+     << ph << "\",\"ts\":";
+  JsonTs(os, e.t_ns);
+  os << ",\"pid\":1,\"tid\":" << e.thread;
+}
+
+}  // namespace
+
+std::string Trace::DumpJson(size_t last_n) {
+  std::vector<TraceEvent> events = Collect(last_n);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const TraceEvent& e : events) {
+    const char* cat = KindCategory(e.kind);
+    sep();
+    switch (e.kind) {
+      case SpanKind::kOpBegin:
+        JsonEventHead(os, TraceOpName(e.op), cat, "B", e);
+        os << ",\"args\":{\"trace\":" << e.trace_id << ",\"span\":"
+           << e.span_id << ",\"parent\":" << e.parent_id << "}}";
+        break;
+      case SpanKind::kOpEnd:
+        JsonEventHead(os, TraceOpName(e.op), cat, "E", e);
+        os << ",\"args\":{\"error\":" << (e.error ? "true" : "false")
+           << "}}";
+        break;
+      default:
+        JsonEventHead(os, SpanKindName(e.kind), cat, "i", e);
+        os << ",\"s\":\"t\",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b
+           << ",\"trace\":" << e.trace_id << ",\"parent\":" << e.parent_id;
+        if (e.error) os << ",\"error\":true";
+        os << "}}";
+        break;
+    }
+    // Group-commit epochs become flow arrows: the leader's batch event is
+    // the source (id = the batch's span id), each follower's join event
+    // the sink (it names that id in `a`).
+    if (e.kind == SpanKind::kWalSync && e.span_id != 0) {
+      sep();
+      JsonEventHead(os, "wal.batch", "wal", "s", e);
+      os << ",\"id\":" << e.span_id << "}";
+    } else if (e.kind == SpanKind::kWalJoin && e.a != 0) {
+      sep();
+      JsonEventHead(os, "wal.batch", "wal", "f", e);
+      os << ",\"bp\":\"e\",\"id\":" << e.a << "}";
+    }
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -196,7 +390,14 @@ void Trace::Reset() {
   std::lock_guard<std::mutex> l(reg.mu);
   for (auto& ring : reg.rings) {
     for (auto& slot : ring->slots) {
-      for (auto& w : slot.w) w.store(0, std::memory_order_relaxed);
+      slot.seq.store(0, std::memory_order_relaxed);
+      slot.t_ns.store(0, std::memory_order_relaxed);
+      slot.meta.store(0, std::memory_order_relaxed);
+      slot.a.store(0, std::memory_order_relaxed);
+      slot.b.store(0, std::memory_order_relaxed);
+      slot.trace_id.store(0, std::memory_order_relaxed);
+      slot.span_id.store(0, std::memory_order_relaxed);
+      slot.parent_id.store(0, std::memory_order_relaxed);
     }
     ring->head.store(0, std::memory_order_release);
   }

@@ -1,18 +1,29 @@
 // Operation tracing — the Tracing child feature of Observability.
 //
 // Each recording thread owns a fixed-size ring of trace events; recording
-// is lock-free (one relaxed-atomic enable check, four relaxed word stores,
-// one release head bump — no allocation, no locks, no fences beyond the
-// release store). Rings register themselves in a process-wide list the
-// first time a thread records; Collect()/Dump() walk that list, merge the
-// per-thread tails by timestamp, and return at most the last N events.
+// is lock-free (one relaxed-atomic enable check, a per-slot seqlock bump,
+// seven relaxed word stores, one release head bump — no allocation, no
+// locks). Rings register themselves in a process-wide list the first time
+// a thread records; Collect()/Dump() walk that list, merge the per-thread
+// tails by timestamp, and return at most the last N events.
 //
-// Consistency contract: the exporter is a diagnostic, not a transaction.
-// A ring that wraps while being collected can yield an event whose words
-// mix two writes; every word is an atomic, so this is benign (and
-// TSan-clean) — a torn *event*, never a data race. Bounded rings mean a
+// Consistency contract: every slot carries a seqlock word. The writer
+// bumps it odd before touching the payload and even (release) after;
+// Collect() rejects slots whose sequence is odd or changed across the
+// payload read. A ring that wraps while being collected therefore drops
+// the in-flight slot instead of emitting an event whose words mix two
+// writes — collected events are exact, never torn. Bounded rings mean a
 // hot thread overwrites its own oldest events; Collect sees the most
 // recent kRingSlots per thread at best.
+//
+// Causality: events carry a trace id, a span id, and a parent span id.
+// ScopedOpSpan maintains a per-thread stack of active spans; a root span
+// allocates a fresh trace id and nested spans/point events inherit it, so
+// the collected events of one request form a tree ("which page reads did
+// this Get cause"). Cross-thread edges (a follower commit riding a
+// leader's group-commit epoch) are expressed as flow links: the leader
+// records the batch event under a pre-allocated span id and followers
+// record a kWalJoin event naming it.
 //
 // Recording is further gated at runtime by Trace::Enable — the Database
 // facade enables it when the Tracing feature is selected; static products
@@ -35,6 +46,8 @@ enum class SpanKind : uint8_t {
   kPageWrite = 4, ///< PageFile write (a = page id, b = bytes)
   kWalSync = 5,   ///< WAL fsync / group-commit epoch (a = batch records)
   kCursor = 6,    ///< cursor event (a = rows scanned, b = rows returned)
+  kWalJoin = 7,   ///< follower commit joined a group-commit epoch
+                  ///< (a = the leader batch's span id, b = batch records)
 };
 
 /// Which engine operation a kOpBegin/kOpEnd span belongs to.
@@ -50,6 +63,9 @@ enum class TraceOp : uint8_t {
   kAbort = 8,
   kVerify = 9,
   kRepair = 10,
+  kSql = 11,        ///< one SQL statement (root span of its trace)
+  kReplShip = 12,   ///< replication leader shipping a WAL window
+  kReplApply = 13,  ///< replication follower applying a shipped window
 };
 
 /// One decoded trace event.
@@ -61,6 +77,25 @@ struct TraceEvent {
   uint32_t thread = 0;  ///< small per-ring id (registration order)
   uint64_t a = 0;       ///< kind-specific payload (page id, rows, ...)
   uint64_t b = 0;       ///< kind-specific payload (bytes, rows, ...)
+  uint64_t trace_id = 0;   ///< request tree this event belongs to (0 = none)
+  uint64_t span_id = 0;    ///< this span's id (0 for point events)
+  uint64_t parent_id = 0;  ///< enclosing span at record time (0 = root)
+};
+
+/// The (trace, span) pair a thread is currently inside; all zeros when no
+/// span is active. Capture it to attribute work done on another thread.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// What ScopedOpSpan holds between Begin and End (exposed so the RAII
+/// wrapper stays header-only and trivially copyable state).
+struct SpanBinding {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  bool active = false;  ///< Begin ran while tracing was enabled
 };
 
 /// Process-wide trace facility. All methods are static: spans are recorded
@@ -70,6 +105,9 @@ class Trace {
  public:
   /// Events retained per recording thread.
   static constexpr size_t kRingSlots = 256;
+  /// Active spans tracked per thread; deeper nesting still records but
+  /// parents pin to the deepest tracked span.
+  static constexpr size_t kMaxSpanDepth = 16;
 
   /// Runtime gate. Off by default; Database::Open enables it when the
   /// Tracing feature is selected. Cheap to leave off: Record is one
@@ -77,17 +115,45 @@ class Trace {
   static void Enable(bool on);
   static bool enabled();
 
-  /// Records one event into this thread's ring (lock-free after the first
-  /// call on a thread). No-op when disabled.
+  /// Allocates a fresh process-unique id (never 0). Used for spans and
+  /// for cross-thread flow sources like group-commit batches.
+  static uint64_t NewId();
+
+  /// This thread's innermost active span, or zeros.
+  static SpanContext Current();
+
+  /// Opens a span: allocates ids, pushes it on this thread's stack, and
+  /// records kOpBegin. Fills `out` for the matching EndSpan.
+  static void BeginSpan(TraceOp op, SpanBinding* out);
+  /// Closes a span opened by BeginSpan: records kOpEnd and pops.
+  static void EndSpan(TraceOp op, const SpanBinding& binding, bool error);
+
+  /// Records one point event into this thread's ring (lock-free after the
+  /// first call on a thread). Stamped with the current trace and parented
+  /// to the innermost active span. No-op when disabled.
   static void Record(SpanKind kind, TraceOp op, uint64_t a = 0,
                      uint64_t b = 0, bool error = false);
 
+  /// Like Record but the event carries a caller-allocated span id —
+  /// used for flow sources other threads link to (e.g. the WAL leader's
+  /// batch event, whose id followers name in their kWalJoin events).
+  static void RecordWithSpanId(SpanKind kind, TraceOp op, uint64_t span_id,
+                               uint64_t a = 0, uint64_t b = 0,
+                               bool error = false);
+
   /// Merges all rings and returns at most the last `last_n` events in
-  /// timestamp order (all retained events when last_n == 0).
+  /// timestamp order (all retained events when last_n == 0). In-flight
+  /// slots (seqlock odd or changed) are dropped, never emitted torn.
   static std::vector<TraceEvent> Collect(size_t last_n);
 
   /// Bounded text export of Collect(last_n), one line per event.
   static std::string Dump(size_t last_n);
+
+  /// Chrome-trace-event JSON export of Collect(last_n): op spans become
+  /// B/E slices, point events become instants, and group-commit epochs
+  /// become flow arrows from the leader's batch to each follower commit.
+  /// Loadable in Perfetto / chrome://tracing.
+  static std::string DumpJson(size_t last_n);
 
   /// Clears all rings (test isolation). Not for concurrent use with
   /// recording threads.
@@ -98,21 +164,27 @@ class Trace {
 /// construction, kOpEnd at scope exit with the error flag the caller set
 /// from the operation's final status (error paths included — the exit span
 /// is recorded even when the operation throws out of scope early).
+/// Maintains the per-thread active-span stack: work recorded inside the
+/// scope (page IO, WAL syncs, nested ops) parents to this span.
 class ScopedOpSpan {
  public:
   explicit ScopedOpSpan(TraceOp op) : op_(op) {
-    Trace::Record(SpanKind::kOpBegin, op_);
+    Trace::BeginSpan(op_, &binding_);
   }
-  ~ScopedOpSpan() {
-    Trace::Record(SpanKind::kOpEnd, op_, 0, 0, error_);
-  }
+  ~ScopedOpSpan() { Trace::EndSpan(op_, binding_, error_); }
   void set_error(bool e) { error_ = e; }
+
+  /// Ids of this span (zeros when tracing was disabled at entry).
+  SpanContext context() const {
+    return SpanContext{binding_.trace_id, binding_.span_id};
+  }
 
   ScopedOpSpan(const ScopedOpSpan&) = delete;
   ScopedOpSpan& operator=(const ScopedOpSpan&) = delete;
 
  private:
   TraceOp op_;
+  SpanBinding binding_;
   bool error_ = false;
 };
 

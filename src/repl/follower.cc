@@ -5,7 +5,14 @@
 
 #include "common/crc32.h"
 #include "common/stringutil.h"
+#include "obs/obs.h"
 #include "tx/wal_segments.h"
+#if FAME_OBS_ENABLED
+#include "obs/blackbox.h"
+#endif
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 
 namespace fame::repl {
 
@@ -75,6 +82,22 @@ Status Follower::MarkDivergent(const std::string& why) {
   // Persist first: a divergent node must refuse promotion even after a
   // crash right here.
   FAME_RETURN_IF_ERROR(StoreFence(env_, db_path_, fence_));
+  // Flight recorder: divergence is the replication black-box moment. The
+  // follower has no Database handle, so the one-shot writer captures the
+  // trigger + any active trace spans (best-effort — the DataLoss verdict
+  // below must surface regardless).
+  FAME_OBS(if (std::find(opts_.base.features.begin(),
+                         opts_.base.features.end(),
+                         "FlightRecorder") != opts_.base.features.end()) {
+    std::string features;
+    for (const std::string& f : opts_.base.features) {
+      if (!features.empty()) features += ",";
+      features += f;
+    }
+    (void)obs::PersistBlackBox(env_, db_path_,
+                               "replication divergence: " + why, features,
+                               /*errors_text=*/"", /*metrics_text=*/"");
+  })
   return Status::DataLoss("follower diverged: " + why);
 }
 
@@ -245,6 +268,9 @@ Status Follower::Sweep() {
   if (!env_->FileExists(db_path_) && wal_end_ == 0) {
     return Status::OK();  // nothing staged yet
   }
+  // One apply sweep is one replication span: the reopen's recovery replay
+  // and the post-sweep scrub both parent under it.
+  FAME_OBS_TRACE(obs::ScopedOpSpan sweep_span(obs::TraceOp::kReplApply);)
   core::DbOptions o = opts_.base;
   o.path = db_path_;
   o.env = env_;
@@ -254,6 +280,7 @@ Status Follower::Sweep() {
   // crashed standalone engine uses.
   auto db_or = core::Database::Open(o);
   if (!db_or.ok()) {
+    FAME_OBS_TRACE(sweep_span.set_error(true);)
     if (db_or.status().IsCorruption()) {
       return MarkDivergent("engine reopen failed: " +
                            db_or.status().ToString());
@@ -265,6 +292,7 @@ Status Follower::Sweep() {
   storage::IntegrityReport report;
   Status verify = db->VerifyIntegrity(&report);
   if (!verify.ok()) {
+    FAME_OBS_TRACE(sweep_span.set_error(true);)
     return MarkDivergent("post-sweep scrub found damage: " +
                          verify.ToString());
   }

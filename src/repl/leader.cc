@@ -6,8 +6,12 @@
 
 #include "common/crc32.h"
 #include "common/stringutil.h"
+#include "obs/obs.h"
 #include "tx/txmgr.h"
 #include "tx/wal_segments.h"
+#if FAME_OBS_TRACING_ENABLED
+#include "obs/trace.h"
+#endif
 
 namespace fame::repl {
 
@@ -78,7 +82,11 @@ Status Leader::SyncOnce() {
     return Status::Aborted("fenced: this leader was deposed");
   }
   ++rounds_started_;
+  // One ship round is one replication span: chunk sends, seals, and any
+  // bootstrap it triggers all parent under it.
+  FAME_OBS_TRACE(obs::ScopedOpSpan span(obs::TraceOp::kReplShip);)
   Status s = ShipRound();
+  FAME_OBS_TRACE(span.set_error(!s.ok());)
   const uint64_t durable = ctx_.txmgr->durable_lsn();
   lag_bytes_ = durable > acked_end_ ? durable - acked_end_ : 0;
   if (s.ok() && lag_bytes_ == 0) {

@@ -10,6 +10,11 @@
 //                                   salvage surviving records, rebuild the
 //                                   file and index, replay the WAL.
 //   fame_check --stats  <db-path>   print the unified statistics snapshot.
+//   fame_check --blackbox <db-path> decode the `<db-path>.blackbox` flight
+//                                   recorder (or a .blackbox file named
+//                                   directly) WITHOUT opening the database —
+//                                   the post-mortem path for a file that no
+//                                   longer opens.
 //
 // Options:
 //   --list-index   the database was created with the List index feature
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "obs/blackbox.h"
 #include "osal/env.h"
 
 using namespace fame;
@@ -36,7 +42,8 @@ int Usage() {
                "usage:\n"
                "  fame_check --verify <db-path> [--list-index]\n"
                "  fame_check --repair <db-path> [--list-index]\n"
-               "  fame_check --stats  <db-path> [--list-index]\n");
+               "  fame_check --stats  <db-path> [--list-index]\n"
+               "  fame_check --blackbox <db-path|file.blackbox>\n");
   return 2;
 }
 
@@ -136,6 +143,26 @@ int CmdStats(const std::string& path, bool list_index) {
   return 0;
 }
 
+/// Decodes the flight-recorder black box. Deliberately does NOT open the
+/// database: the black box exists precisely for databases that degraded or
+/// crashed, so the decoder must work when Open no longer does.
+int CmdBlackbox(const std::string& path) {
+  const std::string suffix = ".blackbox";
+  std::string file = path;
+  if (file.size() < suffix.size() ||
+      file.compare(file.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    file = obs::BlackBoxPath(path);
+  }
+  auto body = obs::ReadBlackBox(osal::GetPosixEnv(), file);
+  if (!body.ok()) {
+    std::fprintf(stderr, "fame_check: cannot decode %s: %s\n", file.c_str(),
+                 body.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", body->c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,7 +170,8 @@ int main(int argc, char** argv) {
   bool list_index = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--verify" || arg == "--repair" || arg == "--stats") {
+    if (arg == "--verify" || arg == "--repair" || arg == "--stats" ||
+        arg == "--blackbox") {
       if (!mode.empty()) return Usage();
       mode = arg;
     } else if (arg == "--list-index") {
@@ -159,5 +187,6 @@ int main(int argc, char** argv) {
   if (mode.empty() || path.empty()) return Usage();
   if (mode == "--verify") return CmdVerify(path, list_index);
   if (mode == "--repair") return CmdRepair(path, list_index);
+  if (mode == "--blackbox") return CmdBlackbox(path);
   return CmdStats(path, list_index);
 }

@@ -17,8 +17,14 @@
 //   fame stats <db-path> [--prom]     open with Observability, run a scan
 //                                     workload, report the metrics snapshot
 //                                     (--prom: Prometheus exposition format)
-//   fame trace <db-path> [--last N]   open with Observability+Tracing, run a
+//   fame trace <db-path> [--last N] [--json]
+//                                     open with Observability+Tracing, run a
 //                                     scan workload, dump the last N spans
+//                                     (--json: Chrome trace-event JSON,
+//                                     loadable in Perfetto / about:tracing)
+//   fame blackbox <db-path>           open with FlightRecorder, persist the
+//                                     black box on demand, print its decoded
+//                                     contents
 //   fame backup <db-path> <dest>      online hot backup: checkpoint, fuzzy
 //                                     page copy, WAL segment copy, manifest
 //   fame restore <src> <db-path> [--to-lsn N] [--archive PREFIX]
@@ -46,6 +52,7 @@
 #include "derivation/pipeline.h"
 #include "featuremodel/fame_model.h"
 #include "featuremodel/parser.h"
+#include "obs/blackbox.h"
 #include "obs/serialize.h"
 #include "obs/trace.h"
 #include "osal/env.h"
@@ -69,7 +76,8 @@ int Usage() {
                "  fame scan <db-path> [--limit N] [--prefix P]\n"
                "  fame range <db-path> <lo> <hi> [--limit N]\n"
                "  fame stats <db-path> [--prom]\n"
-               "  fame trace <db-path> [--last N]\n"
+               "  fame trace <db-path> [--last N] [--json]\n"
+               "  fame blackbox <db-path>\n"
                "  fame backup <db-path> <dest>\n"
                "  fame restore <src> <db-path> [--to-lsn N] [--archive "
                "PREFIX]\n"
@@ -237,9 +245,12 @@ int CmdAdvise(int argc, char** argv) {
 int CmdSql(int argc, char** argv) {
   if (argc < 2) return Usage();
   core::DbOptions opts;
+  // Observability (plus Tracing and the FlightRecorder) rides along so
+  // PROFILE statements can read registry deltas and span trees.
   opts.features = {"Linux",  "B+-Tree",      "SQL-Engine", "Optimizer",
                    "Remove", "BTree-Remove", "Update",     "BTree-Update",
-                   "Int-Types", "String-Types", "Blob-Types"};
+                   "Int-Types", "String-Types", "Blob-Types",
+                   "Observability", "Tracing", "FlightRecorder"};
   opts.path = argv[0];
   AddWalFeatures(opts.path, &opts.features);
   auto db = core::Database::Open(opts);
@@ -446,9 +457,12 @@ int CmdStats(int argc, char** argv) {
 int CmdTrace(int argc, char** argv) {
   if (argc < 1) return Usage();
   uint64_t last = 64;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
       last = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       return Usage();
     }
@@ -457,6 +471,12 @@ int CmdTrace(int argc, char** argv) {
   if (!db.ok()) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
+  }
+  if (json) {
+    // Chrome trace-event format: load the output in Perfetto or
+    // about:tracing to see the span tree on a timeline.
+    std::printf("%s\n", obs::Trace::DumpJson(static_cast<size_t>(last)).c_str());
+    return 0;
   }
   std::string dump = obs::Trace::Dump(static_cast<size_t>(last));
   if (dump.empty()) {
@@ -467,6 +487,33 @@ int CmdTrace(int argc, char** argv) {
     return 0;
   }
   std::printf("%s", dump.c_str());
+  return 0;
+}
+
+int CmdBlackbox(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  core::DbOptions opts;
+  opts.features = {"Linux",         "B+-Tree", "Int-Types",     "String-Types",
+                   "Observability", "Tracing", "FlightRecorder"};
+  opts.path = argv[0];
+  AddWalFeatures(opts.path, &opts.features);
+  auto db = core::Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Status s = (*db)->DumpBlackBox("on-demand (fame blackbox)");
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::string file = obs::BlackBoxPath(argv[0]);
+  auto body = obs::ReadBlackBox(osal::GetPosixEnv(), file);
+  if (!body.ok()) {
+    std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n%s", file.c_str(), body->c_str());
   return 0;
 }
 
@@ -669,6 +716,7 @@ int main(int argc, char** argv) {
   if (cmd == "range") return CmdRange(argc - 2, argv + 2);
   if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
   if (cmd == "trace") return CmdTrace(argc - 2, argv + 2);
+  if (cmd == "blackbox") return CmdBlackbox(argc - 2, argv + 2);
   if (cmd == "backup") return CmdBackup(argc - 2, argv + 2);
   if (cmd == "restore") return CmdRestore(argc - 2, argv + 2);
   if (cmd == "repl") return CmdRepl(argc - 2, argv + 2);

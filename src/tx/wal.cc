@@ -288,14 +288,23 @@ Status LogManager::SyncCommit(Lsn rec_lsn) {
 
 Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
                                      Lsn target) {
+  FAME_OBS_TRACE(bool followed = false;)
   for (;;) {
     if (!poison_.ok()) return poison_;
     if (durable_size_.load(std::memory_order_relaxed) >= target) {
+      // A follower's commit became durable inside someone else's epoch:
+      // record the cross-thread edge to the leader's batch span so the
+      // trace exporter can draw the flow from batch to follower commit.
+      FAME_OBS_TRACE(if (followed) {
+        obs::Trace::Record(obs::SpanKind::kWalJoin, obs::TraceOp::kNone,
+                           last_batch_span_, last_batch_records_);
+      })
       return Status::OK();
     }
     if (!flush_in_progress_) break;
     // An epoch is in flight; follow it. Records appended while the leader
     // is fsyncing form the *next* epoch, so we may loop back to lead it.
+    FAME_OBS_TRACE(followed = true;)
     cv_.wait(l);
   }
   if (buffer_.empty()) return Status::OK();
@@ -311,6 +320,9 @@ Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
   buffer_.clear();
   FAME_OBS(const uint64_t batch_records = buffered_records_;
            buffered_records_ = 0;)
+  // The epoch's span id is allocated up front so the batch event below is
+  // a flow source followers can name after they wake.
+  FAME_OBS_TRACE(const uint64_t batch_span = obs::Trace::NewId();)
   const uint64_t base = durable_size_.load(std::memory_order_relaxed);
   l.unlock();
   Status s =
@@ -324,11 +336,13 @@ Status LogManager::SyncThroughLocked(std::unique_lock<std::mutex>& l,
     // accounted for — its failure is counted inside.
     (void)CleanupFailedFlush(base);
   }
-  FAME_OBS_TRACE(obs::Trace::Record(obs::SpanKind::kWalSync,
-                                    obs::TraceOp::kNone, batch_records,
-                                    batch.size(), !s.ok());)
+  FAME_OBS_TRACE(obs::Trace::RecordWithSpanId(
+      obs::SpanKind::kWalSync, obs::TraceOp::kNone, batch_span,
+      batch_records, batch.size(), !s.ok());)
   l.lock();
   flush_in_progress_ = false;
+  FAME_OBS_TRACE(last_batch_span_ = batch_span;
+                 last_batch_records_ = batch_records;)
   if (s.ok()) {
     durable_size_.store(base + batch.size(), std::memory_order_relaxed);
     FAME_OBS(batch_records_histo_.Record(batch_records);)

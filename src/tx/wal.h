@@ -392,6 +392,13 @@ class LogManager {
   uint64_t buffered_records_ = 0;
   obs::BasicHistogram<obs::SharedCells> batch_records_histo_;
 #endif
+#if FAME_OBS_TRACING_ENABLED
+  /// [feature Tracing] Span id / size of the last completed group-commit
+  /// epoch (guarded by mu_); woken followers attribute their commit to it
+  /// with a kWalJoin event.
+  uint64_t last_batch_span_ = 0;
+  uint64_t last_batch_records_ = 0;
+#endif
 };
 
 }  // namespace fame::tx

@@ -8,6 +8,7 @@
 #include "core/products.h"
 #include "core/sql.h"
 #include "featuremodel/fame_model.h"
+#include "obs/obs.h"
 
 namespace fame::core {
 namespace {
@@ -560,6 +561,123 @@ TEST(SqlTest, ResultSetRendersAsTable) {
   std::string table = h.Exec("SELECT * FROM t").ToTable();
   EXPECT_NE(table.find("K | V"), std::string::npos);
   EXPECT_NE(table.find("1 | 'a'"), std::string::npos);
+}
+
+// --------------------------------------------------------- EXPLAIN/PROFILE
+
+TEST(SqlTest, ExplainShowsThePlanWithoutReturningData) {
+  SqlHarness h;
+  h.Exec("CREATE TABLE emp (id INT, name TEXT, salary INT)");
+  h.Exec("INSERT INTO emp VALUES (1, 'ada', 5000), (2, 'bob', 4000)");
+  ResultSet rs = h.Exec("EXPLAIN SELECT name FROM emp WHERE id = 1");
+  EXPECT_EQ(rs.plan, "point-lookup");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"step", "detail"}));
+  // The output is plan steps, never the table's rows.
+  ASSERT_FALSE(rs.rows.empty());
+  EXPECT_EQ(rs.rows[0][0].AsString(), "access");
+  // The tokenizer upper-cases identifiers, so plan details render them so.
+  EXPECT_NE(rs.rows[0][1].AsString().find("point-lookup on EMP"),
+            std::string::npos);
+  EXPECT_NE(rs.rows[0][1].AsString().find("ID ="), std::string::npos);
+  bool saw_filter = false, saw_project = false;
+  for (const auto& row : rs.rows) {
+    if (row[0].AsString() == "filter") saw_filter = true;
+    if (row[0].AsString() == "project") {
+      saw_project = true;
+      EXPECT_EQ(row[1].AsString(), "NAME");
+    }
+    // No data row ever leaks: every row is a (step, detail) pair.
+    ASSERT_EQ(row.size(), 2u);
+  }
+  EXPECT_TRUE(saw_filter);
+  EXPECT_TRUE(saw_project);
+}
+
+TEST(SqlTest, ExplainAccessMethodFollowsTheOptimizer) {
+  // EXPLAIN must go through the same chooser execution uses, so the plan
+  // it prints is the plan that would run.
+  SqlHarness with_opt(true);
+  with_opt.Exec("CREATE TABLE t (k INT, v TEXT)");
+  with_opt.Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+  EXPECT_EQ(with_opt.Exec("EXPLAIN SELECT * FROM t WHERE k >= 2").plan,
+            "index-range");
+  EXPECT_EQ(with_opt.Exec("EXPLAIN SELECT * FROM t WHERE v = 'a'").plan,
+            "full-scan");
+  // The actual SELECT picks the identical plan.
+  EXPECT_EQ(with_opt.Exec("SELECT * FROM t WHERE k >= 2").plan,
+            "index-range");
+
+  SqlHarness no_opt(false);
+  no_opt.Exec("CREATE TABLE t (k INT, v TEXT)");
+  no_opt.Exec("INSERT INTO t VALUES (1, 'a')");
+  EXPECT_EQ(no_opt.Exec("EXPLAIN SELECT * FROM t WHERE k >= 1").plan,
+            "full-scan");
+  EXPECT_EQ(no_opt.Exec("SELECT * FROM t WHERE k >= 1").plan, "full-scan");
+}
+
+TEST(SqlTest, ExplainCoversSortLimitAggregateAndPushdown) {
+  SqlHarness h;
+  h.Exec("CREATE TABLE t (k INT, grp TEXT)");
+  h.Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  auto detail = [](const ResultSet& rs,
+                   const std::string& step) -> std::string {
+    for (const auto& row : rs.rows) {
+      if (row[0].AsString() == step) return row[1].AsString();
+    }
+    return "";
+  };
+  ResultSet sorted =
+      h.Exec("EXPLAIN SELECT * FROM t ORDER BY k DESC LIMIT 2");
+  EXPECT_EQ(detail(sorted, "sort"), "ORDER BY K DESC");
+  EXPECT_NE(detail(sorted, "limit").find("applied after sort"),
+            std::string::npos);
+  ResultSet pushed = h.Exec("EXPLAIN SELECT * FROM t LIMIT 5");
+  EXPECT_NE(detail(pushed, "limit").find("pushed down into the scan"),
+            std::string::npos);
+  ResultSet agg = h.Exec("EXPLAIN SELECT COUNT(*), SUM(k) FROM t");
+  EXPECT_NE(detail(agg, "aggregate").find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(detail(agg, "aggregate").find("SUM(K)"), std::string::npos);
+}
+
+TEST(SqlTest, ExplainRejectsWhatExecutionWouldReject) {
+  SqlHarness h;
+  h.Exec("CREATE TABLE t (k INT)");
+  // Unknown table / column surface exactly as they would on execution.
+  EXPECT_EQ(h.db->sql()->Execute("EXPLAIN SELECT * FROM nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      h.db->sql()->Execute("EXPLAIN SELECT zzz FROM t").status().code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(h.db->sql()
+                ->Execute("EXPLAIN SELECT * FROM t WHERE zzz = 1")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Only SELECT can be explained or profiled.
+  EXPECT_EQ(h.db->sql()
+                ->Execute("EXPLAIN INSERT INTO t VALUES (1)")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(h.db->sql()->Execute("PROFILE DELETE FROM t").status().code(),
+            FAME_OBS_ENABLED ? StatusCode::kParseError
+                             : StatusCode::kNotSupported);
+}
+
+TEST(SqlTest, ProfileRequiresTheObservabilityFeature) {
+  // SqlHarness products do not select Observability, so PROFILE refuses
+  // at runtime (and in -DFAME_OBSERVABILITY=OFF builds at compile scope).
+  SqlHarness h;
+  h.Exec("CREATE TABLE t (k INT)");
+  h.Exec("INSERT INTO t VALUES (1)");
+  EXPECT_TRUE(h.db->sql()
+                  ->Execute("PROFILE SELECT * FROM t")
+                  .status()
+                  .IsNotSupported());
+  // EXPLAIN carries no measurement and works on every SQL product.
+  EXPECT_EQ(h.Exec("EXPLAIN SELECT * FROM t").plan, "full-scan");
+  EXPECT_EQ(h.Exec("EXPLAIN SELECT * FROM t WHERE k = 1").plan,
+            "point-lookup");
 }
 
 }  // namespace
